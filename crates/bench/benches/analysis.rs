@@ -1,0 +1,28 @@
+//! Criterion bench: front-end + analysis pipeline stages on the Figure 1
+//! program (everything up to, but excluding, the parametric solve).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use offload_ir::lower;
+use offload_lang::frontend;
+use offload_pta::{ModRef, PointsTo};
+use offload_symbolic::Symbolic;
+use offload_tcfg::Tcfg;
+
+fn bench_stages(c: &mut Criterion) {
+    let src = offload_lang::examples_src::FIGURE1;
+    c.bench_function("frontend", |b| b.iter(|| frontend(src).unwrap()));
+    let checked = frontend(src).unwrap();
+    c.bench_function("lower", |b| b.iter(|| lower(&checked)));
+    let module = lower(&checked);
+    c.bench_function("points_to", |b| b.iter(|| PointsTo::analyze(&module)));
+    let pta = PointsTo::analyze(&module);
+    c.bench_function("tcfg", |b| b.iter(|| Tcfg::build(&module, pta.indirect_targets())));
+    let tcfg = Tcfg::build(&module, pta.indirect_targets());
+    c.bench_function("modref", |b| b.iter(|| ModRef::compute(&module, &tcfg, &pta)));
+    c.bench_function("symbolic", |b| {
+        b.iter(|| Symbolic::analyze(&module, pta.indirect_targets()))
+    });
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

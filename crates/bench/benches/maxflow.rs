@@ -1,0 +1,43 @@
+//! Criterion bench: exact rational max-flow (Dinic) scaling with graph
+//! size — the kernel of step 4 of Algorithm 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use offload_flow::{Capacity, FlowNetwork};
+use offload_poly::Rational;
+
+fn random_network(nodes: usize, arcs: usize, seed: u64) -> FlowNetwork {
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut net = FlowNetwork::new(nodes, 0, nodes - 1);
+    for _ in 0..arcs {
+        let f = (next() % nodes as u64) as usize;
+        let t = (next() % nodes as u64) as usize;
+        if f == t {
+            continue;
+        }
+        let c = (next() % 50) as i64;
+        net.add_arc(f, t, Capacity::Finite(Rational::from(c)));
+    }
+    net
+}
+
+fn bench_maxflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dinic");
+    for &(nodes, arcs) in &[(16usize, 64usize), (64, 256), (256, 1024)] {
+        let net = random_network(nodes, arcs, 0xBEEF);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nodes}n_{arcs}a")),
+            &net,
+            |b, net| b.iter(|| net.max_flow().unwrap().value),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maxflow);
+criterion_main!(benches);

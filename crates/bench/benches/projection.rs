@@ -1,0 +1,39 @@
+//! Criterion bench: the Lemma 1 optimality-region computation
+//! (Fourier–Motzkin with Imbert/Chernikov/LP pruning), with and without
+//! the §5.4 network simplification — the ablation DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use offload_core::{Analysis, AnalysisOptions, SolveOptions};
+
+fn bench_projection(c: &mut Criterion) {
+    let src = offload_lang::examples_src::FIGURE1;
+    let mut group = c.benchmark_group("figure1_analysis");
+    group.sample_size(10);
+    group.bench_function("with_simplification", |b| {
+        b.iter(|| {
+            Analysis::from_source(src, AnalysisOptions::default()).unwrap().partition.choices.len()
+        })
+    });
+    group.bench_function("without_simplification", |b| {
+        b.iter(|| {
+            let opts = AnalysisOptions {
+                solve: SolveOptions { simplify: false, ..Default::default() },
+                ..Default::default()
+            };
+            Analysis::from_source(src, opts).unwrap().partition.choices.len()
+        })
+    });
+    group.bench_function("without_degeneracy_reduction", |b| {
+        b.iter(|| {
+            let opts = AnalysisOptions {
+                solve: SolveOptions { reduce_degeneracy: false, ..Default::default() },
+                ..Default::default()
+            };
+            Analysis::from_source(src, opts).unwrap().partition.choices.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_projection);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: distributed-simulator throughput on the Figure 1
+//! audio pipeline, local vs offloaded execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use offload_core::{Analysis, AnalysisOptions};
+use offload_runtime::{DeviceModel, Simulator};
+
+fn bench_runtime(c: &mut Criterion) {
+    // Analyze once, outside the timing loops.
+    let analysis =
+        Analysis::from_source(offload_lang::examples_src::FIGURE1, AnalysisOptions::default())
+            .unwrap();
+    let sim = Simulator::new(&analysis, DeviceModel::ipaq_testbed());
+    let params = [8i64, 64, 16]; // x frames, y samples, z work
+    let input: Vec<i64> = (0..(params[0] * params[1])).map(|v| v % 100).collect();
+    let offloaded = analysis
+        .partition
+        .choices
+        .iter()
+        .position(|p| !p.is_all_local());
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    group.bench_function("figure1_local", |b| {
+        b.iter(|| sim.run_local(&params, &input).unwrap().stats.instructions)
+    });
+    if let Some(idx) = offloaded {
+        group.bench_function("figure1_offloaded", |b| {
+            b.iter(|| sim.run_choice(idx, &params, &input).unwrap().stats.instructions)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

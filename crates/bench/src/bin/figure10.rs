@@ -1,0 +1,44 @@
+//! Figure 10: G.721 encode under different I/O buffer sizes — the
+//! parameter the paper added to the benchmark precisely because it
+//! "greatly affects the partitioning decision": any fixed choice loses
+//! badly somewhere in the sweep.
+
+use offload_bench::{print_normalized_table, run_setting};
+use offload_benchmarks::encode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = encode();
+    eprintln!("analyzing {} ...", bench.name);
+    let analysis = bench.analyze()?;
+
+    // One coding method and format (-4 -l), like the paper; sweep bufsz
+    // with the total sample count held fixed.
+    let total = 2048i64;
+    let mut rows = Vec::new();
+    for bufsz in [16i64, 64, 256, 1024, 2048] {
+        let nbuf = (total / bufsz).max(1);
+        let params = [4, 0, bufsz, nbuf];
+        rows.push(run_setting(&bench, &analysis, format!("bufsz={bufsz}"), &params)?);
+    }
+    print_normalized_table(
+        "Figure 10: G.721 encode with different buffer sizes (-4 -l)",
+        analysis.partition.choices.len(),
+        &rows,
+    );
+
+    // The paper: "Any fixed choice of partitioning may lead up to 60%
+    // performance decrease from the optimal choice."
+    let mut worst_fixed_penalty: f64 = 0.0;
+    for fixed in 0..analysis.partition.choices.len() {
+        for row in &rows {
+            let best = row.choice_times[row.best_choice()];
+            let penalty = row.choice_times[fixed] / best - 1.0;
+            worst_fixed_penalty = worst_fixed_penalty.max(penalty);
+        }
+    }
+    println!(
+        "worst penalty of any fixed partitioning vs per-setting optimum: {:.0}%",
+        worst_fixed_penalty * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Figure 11: FFT under different sample numbers — again no fixed
+//! partitioning stays optimal across the sweep; the sample number drives
+//! the decision (the sinusoid count and inverse flag do not, per the
+//! paper's analysis).
+
+use offload_bench::{print_normalized_table, run_setting};
+use offload_benchmarks::fft;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = fft();
+    eprintln!("analyzing {} ...", bench.name);
+    let analysis = bench.analyze()?;
+    eprintln!(
+        "{} choices, {} dummies ({} need user annotations)",
+        analysis.partition.choices.len(),
+        analysis.symbolic.dict.dummies().len(),
+        analysis.symbolic.annotations_required().len(),
+    );
+
+    let mut rows = Vec::new();
+    for samples in [16i64, 64, 256, 1024, 4096] {
+        let params = [4, samples, 0];
+        rows.push(run_setting(&bench, &analysis, format!("n={samples}"), &params)?);
+    }
+    print_normalized_table(
+        "Figure 11: FFT with different sample numbers",
+        analysis.partition.choices.len(),
+        &rows,
+    );
+
+    // Sinusoid count and inverse flag shouldn't change the pick.
+    let picks: std::collections::BTreeSet<usize> = [(1i64, 0i64), (16, 0), (4, 1)]
+        .iter()
+        .map(|&(nsin, inv)| analysis.select(&[nsin, 512, inv]).unwrap())
+        .collect();
+    println!(
+        "distinct dispatched choices across (nsin, inv) at n=512: {} (paper: 1)",
+        picks.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Figure 12: susan under six representative parameter settings —
+//! smoothing / edges / corners modes on photos of different sizes.
+
+use offload_bench::{average_improvement, print_normalized_table, run_setting};
+use offload_benchmarks::susan;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = susan();
+    eprintln!("analyzing {} ...", bench.name);
+    let analysis = bench.analyze()?;
+    eprintln!(
+        "{} choices found in {:?}",
+        analysis.partition.choices.len(),
+        analysis.analysis_time
+    );
+
+    // (mode flags, dims, label) — the six representative settings.
+    let settings: [(&str, [i64; 12]); 6] = [
+        ("-s 24x24", [1, 0, 0, 24, 24, 20, 2, 1, 1, 1200, 16, 10]),
+        ("-e 24x24", [0, 1, 0, 24, 24, 20, 2, 1, 1, 1200, 16, 10]),
+        ("-c 24x24", [0, 0, 1, 24, 24, 20, 2, 1, 1, 1200, 16, 10]),
+        ("-s 56x56", [1, 0, 0, 56, 56, 20, 2, 1, 1, 1200, 16, 10]),
+        ("-e 56x56", [0, 1, 0, 56, 56, 20, 2, 1, 1, 1200, 16, 10]),
+        ("-c 56x56", [0, 0, 1, 56, 56, 20, 2, 1, 1, 1200, 16, 10]),
+    ];
+    let mut rows = Vec::new();
+    for (label, params) in settings {
+        rows.push(run_setting(&bench, &analysis, label, &params)?);
+    }
+    print_normalized_table(
+        "Figure 12: susan under 6 representative settings",
+        analysis.partition.choices.len(),
+        &rows,
+    );
+    if let Some(gain) = average_improvement(&rows, &analysis) {
+        println!("average improvement over local (offloaded settings): {:.1}%", gain * 100.0);
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Figures 6–7: the parametric algorithm on the worked example — the
+//! three sample points, the three minimum cuts (P1, P2, P3) and their
+//! parameter ranges (R1, R2, R3).
+
+use offload_flow::{ParamCap, ParamNetwork};
+use offload_poly::{Constraint, LinExpr, Polyhedron, Rational, Region};
+
+fn r(n: i64) -> Rational {
+    Rational::from(n)
+}
+
+fn main() {
+    // Linearized dimensions d0 = x, d1 = x·y, d2 = x·y·z (§5.1).
+    let k = 3;
+    let aff = |x: i64, xy: i64, xyz: i64| {
+        ParamCap::Affine(
+            LinExpr::zero(k).plus_term(0, r(x)).plus_term(1, r(xy)).plus_term(2, r(xyz)),
+        )
+    };
+    // Nodes: 0 = s, 1 = t, 2 = M(f), 3 = M(g) — the Table 1 network.
+    let mut net = ParamNetwork::new(k, 4, 0, 1);
+    net.add_arc(0, 2, aff(0, 2, 0));
+    net.add_arc(0, 3, aff(0, 0, 1));
+    net.add_arc(2, 3, aff(12, 2, 0));
+    net.add_arc(3, 2, aff(12, 2, 0));
+    net.add_arc(2, 1, aff(0, 14, 0));
+    let space = Polyhedron::from_constraints(
+        k,
+        vec![
+            Constraint::ge0(LinExpr::var(k, 0).plus_constant(r(-1))),
+            Constraint::ge0(LinExpr::var(k, 1).sub(&LinExpr::var(k, 0))),
+            Constraint::ge0(LinExpr::var(k, 2).sub(&LinExpr::var(k, 1))),
+        ],
+    );
+
+    println!("== Figures 6-7: Algorithm 2 on the worked example ==\n");
+    let names = |i: usize| ["x", "x*y", "x*y*z"][i].to_string();
+    let mut x = Region::from(space.clone());
+    let mut round = 0;
+    while let Some(p) = x.sample() {
+        round += 1;
+        let mf = net.solve_at(&p).unwrap();
+        let region = net.optimality_region(&mf.source_side, &space);
+        let label = match (mf.source_side[2], mf.source_side[3]) {
+            (false, false) => "P: run f and g locally",
+            (false, true) => "P: offload g",
+            (true, true) => "P: offload f and g",
+            (true, false) => "P: offload f only",
+        };
+        println!(
+            "iteration {round}: sample (x, xy, xyz) = ({}, {}, {})",
+            p[0], p[1], p[2]
+        );
+        println!("  minimum cut {label}, value {}", mf.value);
+        println!("  region R{round}: {}", region.display_with(&names));
+        x = x.subtract(&region);
+        if round > 6 {
+            break;
+        }
+    }
+    println!("\npaper's ranges (divide by x; y = xy/x, z = xyz/xy):");
+    println!("  R1: z <= 12 && yz <= 12 + 2y        (all local)");
+    println!("  R2: 6 <= 5y && 12 + 2y <= yz        (offload g)");
+    println!("  R3: 5y <= 6 && 12 <= z              (offload f and g)");
+}

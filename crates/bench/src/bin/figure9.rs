@@ -1,0 +1,45 @@
+//! Figure 9: G.721 encode under different coding methods (-3/-4/-5) and
+//! audio formats (-l/-a/-u) — execution time of every partitioning,
+//! normalized to local execution.
+//!
+//! The paper's takeaway, which must hold here too: *no single
+//! partitioning decision is best under all command options.*
+
+use offload_bench::{average_improvement, print_normalized_table, run_setting};
+use offload_benchmarks::encode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = encode();
+    eprintln!("analyzing {} ...", bench.name);
+    let analysis = bench.analyze()?;
+    eprintln!(
+        "{} choices found in {:?}",
+        analysis.partition.choices.len(),
+        analysis.analysis_time
+    );
+
+    // Buffer size near the offloading crossover (see Figure 10), where
+    // the per-option work differences decide the winner — the regime the
+    // paper's unbuffered G.721 effectively operated in.
+    let mut rows = Vec::new();
+    for (mname, method) in [("-3", 3i64), ("-4", 4), ("-5", 5)] {
+        for (lname, law) in [("-l", 0i64), ("-a", 1), ("-u", 2)] {
+            let params = [method, law, 32, 8];
+            rows.push(run_setting(&bench, &analysis, format!("{mname} {lname}"), &params)?);
+        }
+    }
+    print_normalized_table(
+        "Figure 9: G.721 encode with different options",
+        analysis.partition.choices.len(),
+        &rows,
+    );
+
+    // The paper's claim: different options favor different partitionings.
+    let bests: std::collections::BTreeSet<usize> =
+        rows.iter().map(|r| r.best_choice()).collect();
+    println!("distinct best partitionings across options: {}", bests.len());
+    if let Some(gain) = average_improvement(&rows, &analysis) {
+        println!("average improvement over local (offloaded settings): {:.1}%", gain * 100.0);
+    }
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! §6.2 headline numbers across the benchmark suite: average improvement
+//! of adaptive offloading over local execution (the paper reports ≈37%,
+//! excluding instances where the optimum is to stay local), and the
+//! energy/time proportionality observation.
+//!
+//! Optional argument: a benchmark name to restrict to (default: the
+//! lighter half of the suite; run each figure binary for the full
+//! sweeps).
+
+use offload_bench::{average_improvement, run_setting, SettingRow};
+use offload_benchmarks::{all, Benchmark};
+use offload_core::Analysis;
+
+fn settings_for(b: &Benchmark) -> Vec<(String, Vec<i64>)> {
+    match b.name {
+        "rawcaudio" | "rawdaudio" => [256i64, 1024, 4096]
+            .iter()
+            .map(|&n| (format!("n={n}"), vec![n]))
+            .collect(),
+        "encode" | "decode" => vec![
+            ("-4 -l small".into(), vec![4, 0, 64, 4]),
+            ("-4 -l large".into(), vec![4, 0, 512, 4]),
+            ("-5 -u large".into(), vec![5, 2, 512, 4]),
+        ],
+        "fft" => vec![
+            ("n=64".into(), vec![4, 64, 0]),
+            ("n=1024".into(), vec![4, 1024, 0]),
+        ],
+        "susan" => vec![
+            ("-e 24x24".into(), vec![0, 1, 0, 24, 24, 20, 2, 1, 1, 1200, 16, 10]),
+            ("-e 56x56".into(), vec![0, 1, 0, 56, 56, 20, 2, 1, 1, 1200, 16, 10]),
+        ],
+        _ => vec![],
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let filter = std::env::args().nth(1);
+    let mut all_gains: Vec<f64> = Vec::new();
+    for b in all() {
+        match &filter {
+            Some(f) if &b.name != f => continue,
+            None if matches!(b.name, "encode" | "decode" | "susan") => {
+                // Heavy analyses; run explicitly via the figure binaries
+                // or `summary <name>`.
+                println!("{:<10} (skipped by default — run `summary {}`)", b.name, b.name);
+                continue;
+            }
+            _ => {}
+        }
+        eprintln!("analyzing {} ...", b.name);
+        let analysis: Analysis = b.analyze()?;
+        let mut rows: Vec<SettingRow> = Vec::new();
+        for (label, params) in settings_for(&b) {
+            rows.push(run_setting(&b, &analysis, label, &params)?);
+        }
+        println!(
+            "{:<10} choices={} settings={}",
+            b.name,
+            analysis.partition.choices.len(),
+            rows.len()
+        );
+        for row in &rows {
+            let best = row.best_choice();
+            let speedup = row.local_time / row.choice_times[best];
+            let energy_ratio = row.choice_energy[best] / row.local_energy;
+            let time_ratio = row.choice_times[best] / row.local_time;
+            println!(
+                "    {:<14} best=partition{} speedup={:.2}x  energy/time ratio {:.2}/{:.2}",
+                row.label, best, speedup, energy_ratio, time_ratio
+            );
+        }
+        if let Some(g) = average_improvement(&rows, &analysis) {
+            println!("    average improvement over local: {:.1}%", g * 100.0);
+            all_gains.push(g);
+        } else {
+            println!("    local execution is optimal everywhere (as the paper found for ADPCM)");
+        }
+    }
+    if !all_gains.is_empty() {
+        let avg = all_gains.iter().sum::<f64>() / all_gains.len() as f64;
+        println!("\noverall average improvement (offloaded instances): {:.1}%", avg * 100.0);
+        println!("(paper §6.2: about 37%, energy roughly proportional to time)");
+    }
+    Ok(())
+}

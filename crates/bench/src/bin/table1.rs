@@ -1,0 +1,73 @@
+//! Table 1: computation workload and communication cost of the running
+//! example under the three offloading choices, as symbolic functions of
+//! the parameters x, y, z — and numerically checked against the paper's
+//! closed forms.
+
+use offload_symbolic::{Atom, ParamDict, SymExpr};
+
+fn main() {
+    let mut dict = ParamDict::new(vec!["x".into(), "y".into(), "z".into()]);
+    let x = SymExpr::atom(&mut dict, Atom::Param(0));
+    let y = SymExpr::atom(&mut dict, Atom::Param(1));
+    let z = SymExpr::atom(&mut dict, Atom::Param(2));
+    let xy = x.mul(&y, &mut dict);
+    let xyz = xy.mul(&z, &mut dict);
+
+    // §1.1: unit computation per innermost statement, startup 6, unit
+    // transfer 1.
+    let comp_local = xyz.add(&xy.scale(&2.into()));
+    let comp_g = xy.scale(&2.into());
+    let comp_fg = SymExpr::zero();
+    let comm_local = SymExpr::zero();
+    let comm_g = x.scale(&12.into()).add(&xy.scale(&2.into()));
+    let comm_fg = xy.scale(&14.into());
+
+    println!("== Table 1: Cost for Different Computation Offloading ==");
+    println!("{:<24}{:<18}{:<18}{:<12}", "offload", "-", "g", "f,g");
+    println!(
+        "{:<24}{:<18}{:<18}{:<12}",
+        "computation workload",
+        comp_local.display(&dict),
+        comp_g.display(&dict),
+        comp_fg.display(&dict)
+    );
+    println!(
+        "{:<24}{:<18}{:<18}{:<12}",
+        "communication cost",
+        comm_local.display(&dict),
+        comm_g.display(&dict),
+        comm_fg.display(&dict)
+    );
+    let total_local = comp_local.add(&comm_local);
+    let total_g = comp_g.add(&comm_g);
+    let total_fg = comp_fg.add(&comm_fg);
+    println!(
+        "{:<24}{:<18}{:<18}{:<12}",
+        "total cost",
+        total_local.display(&dict),
+        total_g.display(&dict),
+        total_fg.display(&dict)
+    );
+
+    // Numeric spot checks against the paper's closed forms.
+    let eval = |e: &SymExpr, xv: i64, yv: i64, zv: i64| {
+        e.eval(&dict, &|a| match a {
+            Atom::Param(0) => xv.into(),
+            Atom::Param(1) => yv.into(),
+            Atom::Param(2) => zv.into(),
+            _ => 0.into(),
+        })
+    };
+    for (xv, yv, zv) in [(1i64, 6, 3), (1, 6, 6), (1, 1, 18)] {
+        let l = eval(&total_local, xv, yv, zv);
+        let g = eval(&total_g, xv, yv, zv);
+        let fg = eval(&total_fg, xv, yv, zv);
+        assert_eq!(l, offload_poly::Rational::from(xv * yv * zv + 2 * xv * yv));
+        assert_eq!(g, offload_poly::Rational::from(12 * xv + 4 * xv * yv));
+        assert_eq!(fg, offload_poly::Rational::from(14 * xv * yv));
+        println!("  at (x={xv}, y={yv}, z={zv}): local={l} g={g} f,g={fg}");
+    }
+    println!("\nconditions (paper §1.1):");
+    println!("  offload f,g iff 12 < z && 5y < 6");
+    println!("  offload g   iff 12 + 2y < yz (otherwise local)");
+}

@@ -1,0 +1,46 @@
+//! Table 4: parametric partitioning analysis results — task count,
+//! annotations required, number of partitioning choices, analysis time.
+//!
+//! Run with `--release`; the exact polyhedral algebra is the dominant
+//! cost (the paper's own analysis times were 164–3482 seconds on 2004
+//! hardware).
+//!
+//! Optional argument: a benchmark name to restrict to.
+
+use offload_benchmarks::all;
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    println!("== Table 4: Parametric Analysis Results ==");
+    println!(
+        "{:<12} {:>9} {:>15} {:>22} {:>16}",
+        "Program", "No. Tasks", "No. Annotations", "No. Partition Choices", "Analysis Time"
+    );
+    for b in all() {
+        if let Some(f) = &filter {
+            if &b.name != f {
+                continue;
+            }
+        }
+        match b.analyze() {
+            Ok(a) => {
+                // Annotations: the dummy parameters the analysis names
+                // (§3.4) — auto-resolvable conditions plus user-supplied
+                // rules.
+                let annotations = a.symbolic.dict.dummies().len();
+                println!(
+                    "{:<12} {:>9} {:>15} {:>22} {:>13.1?}",
+                    b.name,
+                    a.tcfg.tasks().len(),
+                    annotations,
+                    a.partition.choices.len(),
+                    a.analysis_time,
+                );
+            }
+            Err(e) => println!("{:<12} analysis failed: {e}", b.name),
+        }
+    }
+    println!("\n(paper: rawcaudio 10/2/1/164s, rawdaudio 10/2/1/185s,");
+    println!(" encode 107/4/4/2247s, decode 87/4/4/2159s, fft 26/3/2/748s,");
+    println!(" susan 95/13/3/3482s)");
+}

@@ -1,0 +1,122 @@
+//! # offload-bench
+//!
+//! The experiment harness: one binary per table and figure of the paper's
+//! evaluation section (see `DESIGN.md`'s experiment index), plus shared
+//! helpers for running a benchmark under every discovered partitioning
+//! and printing normalized results the way the paper's figures do.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use offload_benchmarks::Benchmark;
+use offload_core::Analysis;
+use offload_runtime::{DeviceModel, SimError, Simulator};
+
+/// Result of running one parameter setting under local execution and
+/// every partitioning choice.
+#[derive(Debug, Clone)]
+pub struct SettingRow {
+    /// Human-readable label of the setting (e.g. `-4 -l`).
+    pub label: String,
+    /// Virtual time of the all-local run.
+    pub local_time: f64,
+    /// Virtual time under each partitioning choice, in choice order.
+    pub choice_times: Vec<f64>,
+    /// The choice the dispatcher picks for this setting.
+    pub dispatched: usize,
+    /// Client energy of the all-local run.
+    pub local_energy: f64,
+    /// Client energy per choice.
+    pub choice_energy: Vec<f64>,
+}
+
+impl SettingRow {
+    /// Times normalized so the local run is 1.0 (the paper's Figures
+    /// 9–12 normalization).
+    pub fn normalized(&self) -> Vec<f64> {
+        self.choice_times.iter().map(|t| t / self.local_time).collect()
+    }
+
+    /// The fastest choice for this setting.
+    pub fn best_choice(&self) -> usize {
+        self.choice_times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    }
+}
+
+/// Runs `params` under local execution and every partitioning choice.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn run_setting(
+    bench: &Benchmark,
+    analysis: &Analysis,
+    label: impl Into<String>,
+    params: &[i64],
+) -> Result<SettingRow, SimError> {
+    let sim = Simulator::new(analysis, DeviceModel::ipaq_testbed());
+    let input = (bench.make_input)(params);
+    let local = sim.run_local(params, &input)?;
+    let mut choice_times = Vec::new();
+    let mut choice_energy = Vec::new();
+    for i in 0..analysis.partition.choices.len() {
+        let r = sim.run_choice(i, params, &input)?;
+        assert_eq!(r.outputs, local.outputs, "behaviour preserved under choice {i}");
+        choice_times.push(r.stats.total_time.to_f64());
+        choice_energy.push(r.stats.energy.to_f64());
+    }
+    let dispatched = analysis.select(params)?;
+    Ok(SettingRow {
+        label: label.into(),
+        local_time: local.stats.total_time.to_f64(),
+        choice_times,
+        dispatched,
+        local_energy: local.stats.energy.to_f64(),
+        choice_energy,
+    })
+}
+
+/// Prints a figure as a normalized-time table: one row per setting, one
+/// column per partitioning (local execution = 1.0), with the dispatcher's
+/// pick starred.
+pub fn print_normalized_table(title: &str, nchoices: usize, rows: &[SettingRow]) {
+    println!("== {title} ==");
+    print!("{:<18}", "setting");
+    for i in 0..nchoices {
+        print!("  partition{i:<2}");
+    }
+    println!("  (local = 1.0; * = dispatched)");
+    for row in rows {
+        print!("{:<18}", row.label);
+        for (i, t) in row.normalized().iter().enumerate() {
+            let star = if i == row.dispatched { "*" } else { " " };
+            print!("  {t:>9.3}{star} ");
+        }
+        println!();
+    }
+    println!();
+}
+
+/// The paper's §6.2 headline statistic: average improvement of the best
+/// partitioning over local execution, excluding settings where the best
+/// choice is to run everything locally.
+pub fn average_improvement(rows: &[SettingRow], analysis: &Analysis) -> Option<f64> {
+    let mut gains = Vec::new();
+    for row in rows {
+        let best = row.best_choice();
+        if analysis.partition.choices[best].is_all_local() {
+            continue;
+        }
+        gains.push(1.0 - row.choice_times[best] / row.local_time);
+    }
+    if gains.is_empty() {
+        None
+    } else {
+        Some(gains.iter().sum::<f64>() / gains.len() as f64)
+    }
+}

@@ -1,0 +1,32 @@
+//! Developer tool: analyze every benchmark (optionally filtered by a
+//! name argument) and print Table-4-style statistics.
+
+use offload_benchmarks::all;
+use std::time::Instant;
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    for b in all() {
+        if let Some(f) = &filter {
+            if b.name != f { continue; }
+        }
+        let t = Instant::now();
+        match b.analyze() {
+            Ok(a) => {
+                eprintln!(
+                    "{:<10} tasks={:<3} items={:<3} nodes={}->{} choices={} dummies={} missing={:?} time={:?}",
+                    b.name,
+                    a.tcfg.tasks().len(),
+                    a.items.items.len(),
+                    a.partition.stats.nodes_before,
+                    a.partition.stats.nodes_after,
+                    a.partition.choices.len(),
+                    a.symbolic.dict.dummies().len(),
+                    a.missing_annotations(),
+                    t.elapsed(),
+                );
+            }
+            Err(e) => eprintln!("{:<10} ERROR after {:?}: {e}", b.name, t.elapsed()),
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! `rawcaudio` / `rawdaudio` — IMA ADPCM speech compression and
+//! decompression (Mediabench). One parameter: the input size in samples.
+//!
+//! The step-size table is generated at startup with the standard ~1.1×
+//! geometric progression instead of a literal table (the mini language
+//! has no array initializers); encoder and decoder share it, so
+//! compress→decompress round-trips behave like the original codec.
+
+use crate::Benchmark;
+use offload_core::ParamBounds;
+
+/// Shared codec helpers (tables + per-sample kernels).
+fn codec_common() -> &'static str {
+    r#"
+int steptab[89];
+int state_val;
+int state_idx;
+
+void init_tables() {
+    int i;
+    int s;
+    s = 7;
+    for (i = 0; i < 89; i++) {
+        steptab[i] = s;
+        s = s + s / 10 + 1;
+    }
+    state_val = 0;
+    state_idx = 0;
+}
+
+int index_adjust(int code) {
+    int c;
+    c = code % 8;
+    if (c < 4) { return -1; }
+    if (c == 4) { return 2; }
+    if (c == 5) { return 4; }
+    if (c == 6) { return 6; }
+    return 8;
+}
+
+int clamp_state() {
+    if (state_val > 32767) { state_val = 32767; }
+    if (state_val < -32768) { state_val = -32768; }
+    if (state_idx < 0) { state_idx = 0; }
+    if (state_idx > 88) { state_idx = 88; }
+    return 0;
+}
+"#
+}
+
+fn encoder_kernel() -> &'static str {
+    r#"
+int encode_sample(int sample) {
+    int step;
+    int diff;
+    int code;
+    int vpdiff;
+    int sign;
+    step = steptab[state_idx];
+    diff = sample - state_val;
+    if (diff < 0) { sign = 8; diff = -diff; } else { sign = 0; }
+    code = 0;
+    vpdiff = step / 8;
+    if (diff >= step) { code = 4; diff = diff - step; vpdiff = vpdiff + step; }
+    step = step / 2;
+    if (diff >= step) { code = code + 2; diff = diff - step; vpdiff = vpdiff + step; }
+    step = step / 2;
+    if (diff >= step) { code = code + 1; vpdiff = vpdiff + step; }
+    if (sign == 8) { state_val = state_val - vpdiff; } else { state_val = state_val + vpdiff; }
+    clamp_state();
+    state_idx = state_idx + index_adjust(code);
+    clamp_state();
+    return code + sign;
+}
+"#
+}
+
+fn decoder_kernel() -> &'static str {
+    r#"
+int decode_sample(int in) {
+    int step;
+    int code;
+    int sign;
+    int vpdiff;
+    step = steptab[state_idx];
+    code = in % 8;
+    sign = in / 8;
+    vpdiff = step / 8;
+    if (code >= 4) { vpdiff = vpdiff + step; }
+    if (code % 4 >= 2) { vpdiff = vpdiff + step / 2; }
+    if (code % 2 == 1) { vpdiff = vpdiff + step / 4; }
+    if (sign == 1) { state_val = state_val - vpdiff; } else { state_val = state_val + vpdiff; }
+    clamp_state();
+    state_idx = state_idx + index_adjust(code);
+    clamp_state();
+    return state_val;
+}
+"#
+}
+
+/// The `rawcaudio` benchmark: ADPCM speech compression.
+pub fn rawcaudio() -> Benchmark {
+    let source = format!(
+        "{}{}
+void main(int n) {{
+    int i;
+    int s;
+    init_tables();
+    for (i = 0; i < n; i++) {{
+        s = input();
+        output(encode_sample(s));
+    }}
+}}
+",
+        codec_common(),
+        encoder_kernel()
+    );
+    Benchmark {
+        name: "rawcaudio",
+        description: "ADPCM in Mediabench, Speech Compression",
+        source,
+        param_names: vec!["n"],
+        bounds: ParamBounds::uniform(1, 1, None),
+        default_params: vec![2048],
+        make_input: |params| crate::prng_stream(0xC0FFEE, params[0].max(0) as usize, 20000),
+        annotate: crate::default_annotations,
+    }
+}
+
+/// The `rawdaudio` benchmark: ADPCM speech decompression.
+pub fn rawdaudio() -> Benchmark {
+    let source = format!(
+        "{}{}
+void main(int n) {{
+    int i;
+    int c;
+    init_tables();
+    for (i = 0; i < n; i++) {{
+        c = input();
+        output(decode_sample(c));
+    }}
+}}
+",
+        codec_common(),
+        decoder_kernel()
+    );
+    Benchmark {
+        name: "rawdaudio",
+        description: "ADPCM in Mediabench, Speech Decompression",
+        source,
+        param_names: vec!["n"],
+        bounds: ParamBounds::uniform(1, 1, None),
+        default_params: vec![2048],
+        make_input: |params| {
+            crate::prng_stream(0xDECADE, params[0].max(0) as usize, 16)
+                .into_iter()
+                .map(|v| v + 8) // 4-bit codes 0..15
+                .collect()
+        },
+        annotate: crate::default_annotations,
+    }
+}

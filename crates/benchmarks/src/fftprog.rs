@@ -1,0 +1,187 @@
+//! `fft` — discrete fast Fourier transform (MiBench).
+//!
+//! Three parameters, mirroring the paper's command options: the number of
+//! sinusoids mixed into the synthetic waveform, the number of samples
+//! (a power of two), and the inverse-transform flag.
+//!
+//! Everything is integer arithmetic: a quarter-wave sine table built with
+//! Bhaskara's approximation, Q12 fixed-point butterflies, and a doubling
+//! outer loop whose `log2(n)` trip count is exactly the kind of quantity
+//! the paper's analysis cannot express — it becomes a dummy parameter
+//! that needs a user annotation (Table 4 credits `fft` with 3
+//! annotations).
+
+use crate::{annotate_by_origin, log2_of_param1, Benchmark};
+use offload_core::{AnnotationRule, ParamBounds};
+use offload_symbolic::DummyOrigin;
+
+fn source() -> String {
+    r#"
+int re[16384];
+int im[16384];
+int sintab[1025];
+
+// Quarter-wave sine table, Q12: sintab[i] ~ 4096*sin(pi/2 * i/1024),
+// via Bhaskara's rational approximation in pure integers.
+void init_sin() {
+    int i;
+    int x;
+    int num;
+    int den;
+    for (i = 0; i <= 1024; i++) {
+        x = i * 90 / 1024;
+        num = 4 * x * (180 - x);
+        den = 40500 - x * (180 - x);
+        sintab[i] = 4096 * num / den;
+    }
+}
+
+// sin(2*pi*k/n) in Q12 for 0 <= k < n, by quarter-wave symmetry.
+int qsin(int k, int n) {
+    int quarter;
+    int pos;
+    int idx;
+    quarter = 4 * k / n;
+    pos = 4 * k % n;
+    idx = pos * 1024 / n;
+    if (quarter == 0) { return sintab[idx]; }
+    if (quarter == 1) { return sintab[1024 - idx]; }
+    if (quarter == 2) { return -sintab[idx]; }
+    return -sintab[1024 - idx];
+}
+
+int qcos(int k, int n) {
+    return qsin(k + n / 4, n);
+}
+
+// Synthesize the test waveform: a sum of `nsin` harmonics.
+void gen_wave(int nsin, int n) {
+    int s;
+    int i;
+    for (i = 0; i < n; i++) {
+        re[i] = 0;
+        im[i] = 0;
+    }
+    for (s = 1; s <= nsin; s++) {
+        for (i = 0; i < n; i++) {
+            re[i] = re[i] + qsin(s * i % n, n) / s;
+        }
+    }
+}
+
+// In-place bit-reversal permutation.
+void bit_reverse(int n) {
+    int i;
+    int j;
+    int k;
+    int t;
+    j = 0;
+    for (i = 0; i < n; i++) {
+        if (i < j) {
+            t = re[i]; re[i] = re[j]; re[j] = t;
+            t = im[i]; im[i] = im[j]; im[j] = t;
+        }
+        k = n / 2;
+        while (k >= 1 && j >= k) {
+            j = j - k;
+            k = k / 2;
+        }
+        j = j + k;
+    }
+}
+
+// Radix-2 butterflies; `inv` selects the inverse transform. Each pass
+// processes exactly n/2 butterfly pairs (an analyzable trip count); only
+// the number of passes — log2(n) — needs a user annotation.
+void fft_passes(int n, int inv) {
+    int len;
+    int half;
+    int pair;
+    int start;
+    int k;
+    int wr;
+    int wi;
+    int ur;
+    int ui;
+    int tr;
+    int ti;
+    int idx;
+    len = 2;
+    while (len <= n) {
+        half = len / 2;
+        for (pair = 0; pair < n / 2; pair++) {
+            start = (pair / half) * len;
+            k = pair % half;
+            idx = k * (n / len);
+            wr = qcos(idx, n);
+            if (inv == 1) { wi = qsin(idx, n); } else { wi = -qsin(idx, n); }
+            ur = re[start + k];
+            ui = im[start + k];
+            tr = (wr * re[start + k + half] - wi * im[start + k + half]) / 4096;
+            ti = (wr * im[start + k + half] + wi * re[start + k + half]) / 4096;
+            re[start + k] = ur + tr;
+            im[start + k] = ui + ti;
+            re[start + k + half] = ur - tr;
+            im[start + k + half] = ui - ti;
+        }
+        len = len * 2;
+    }
+}
+
+void main(int nsin, int n, int inv) {
+    int i;
+    int step;
+    init_sin();
+    gen_wave(nsin, n);
+    bit_reverse(n);
+    fft_passes(n, inv);
+    if (inv == 1) {
+        for (i = 0; i < n; i++) {
+            re[i] = re[i] / n;
+            im[i] = im[i] / n;
+        }
+    }
+    step = n / 16;
+    if (step < 1) { step = 1; }
+    for (i = 0; i < n; i = i + step) {
+        output(re[i]);
+        output(im[i]);
+    }
+}
+"#
+    .to_string()
+}
+
+/// The `fft` benchmark.
+pub fn fft() -> Benchmark {
+    Benchmark {
+        name: "fft",
+        description: "FFT in MiBench, Discrete Fast Fourier Transforms",
+        source: source(),
+        param_names: vec!["nsin", "n", "inv"],
+        bounds: ParamBounds {
+            per_param: vec![
+                (Some(1), Some(64)),   // sinusoids
+                (Some(4), Some(16384)), // samples
+                (Some(0), Some(1)),    // inverse flag
+            ],
+        },
+        default_params: vec![4, 1024, 0],
+        make_input: |_| Vec::new(),
+        annotate: |sym| {
+            annotate_by_origin(sym, |_, origin| match origin {
+                // The doubling pass loop runs log2(n) times (a quantity no
+                // polynomial expresses: an annotation *function* of the
+                // parameters, kept as a dispatch-time dimension).
+                DummyOrigin::TripCount { .. } => {
+                    Some(AnnotationRule::Func(log2_of_param1))
+                }
+                // Data-dependent branches (bit-reversal carries): ~50%.
+                DummyOrigin::BranchFreq { .. } => Some(AnnotationRule::Expr(
+                    offload_symbolic::SymExpr::constant(offload_poly::Rational::new(1, 2)),
+                )),
+                _ => None,
+            })
+        },
+    }
+}

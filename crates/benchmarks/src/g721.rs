@@ -1,0 +1,240 @@
+//! `encode` / `decode` — G.721-style CCITT voice compression
+//! (Mediabench), modified like the paper's version to use buffered I/O
+//! with the buffer size as an extra run-time parameter.
+//!
+//! Four parameters, mirroring the paper's command options:
+//!
+//! * `method` — coding rate: 3 (G.723 24kbps), 4 (G.721 32kbps) or
+//!   5 (G.723 40kbps) bits per sample (selected through a function
+//!   pointer, like the original's coder dispatch);
+//! * `law` — audio format: 0 linear PCM (`-l`), 1 a-law (`-a`),
+//!   2 u-law (`-u`);
+//! * `bufsz` — I/O buffer size (the parameter Figure 10 sweeps);
+//! * `nbuf` — number of buffers to process.
+
+use crate::Benchmark;
+use offload_core::ParamBounds;
+
+fn predictor_common() -> &'static str {
+    r#"
+int inbuf[4096];
+int linbuf[4096];
+int outbuf[4096];
+int steptab[89];
+int state_val;
+int state_idx;
+
+void init_tables() {
+    int i;
+    int s;
+    s = 7;
+    for (i = 0; i < 89; i++) {
+        steptab[i] = s;
+        s = s + s / 10 + 1;
+    }
+    state_val = 0;
+    state_idx = 0;
+}
+
+int clamp_state() {
+    if (state_val > 32767) { state_val = 32767; }
+    if (state_val < -32768) { state_val = -32768; }
+    if (state_idx < 0) { state_idx = 0; }
+    if (state_idx > 88) { state_idx = 88; }
+    return 0;
+}
+
+// Segmented companding expansion: law 0 = linear, 1 = a-law-like,
+// 2 = u-law-like. The u-law branch does the most per-sample work,
+// matching the real codec's conversion costs.
+int expand(int v, int law) {
+    int seg;
+    int mant;
+    int mag;
+    int sign;
+    if (law == 0) { return v; }
+    if (v < 0) { sign = -1; mag = -v; } else { sign = 1; mag = v; }
+    mag = mag % 128;
+    seg = mag / 16;
+    mant = mag % 16;
+    if (law == 1) {
+        // a-law: value = (mant*2 + 33) << seg  (shift via doubling loop)
+        int val;
+        int k;
+        val = mant * 2 + 33;
+        for (k = 0; k < seg; k++) { val = val * 2; }
+        return sign * (val - 33);
+    }
+    // u-law: value = ((mant*2 + 33) << seg) - 33, with bias correction
+    {
+        int val;
+        int k;
+        val = mant * 2 + 33;
+        for (k = 0; k < seg; k++) { val = val * 2; }
+        val = val - 33;
+        val = val + val / 64;
+        return sign * val;
+    }
+}
+
+// Adaptive quantization of a difference to `bits` bits: the loop over
+// bit positions makes per-sample work scale with the coding rate.
+int quantize(int diff, int bits) {
+    int step;
+    int code;
+    int vpdiff;
+    int sign;
+    int b;
+    int mask;
+    step = steptab[state_idx];
+    if (diff < 0) { sign = 1; diff = -diff; } else { sign = 0; }
+    code = 0;
+    vpdiff = step / 8;
+    mask = 4;
+    for (b = 1; b < bits; b++) {
+        if (diff >= step) {
+            code = code + mask;
+            diff = diff - step;
+            vpdiff = vpdiff + step;
+        }
+        step = step / 2;
+        mask = mask / 2;
+        if (mask == 0) { mask = 1; }
+    }
+    if (sign == 1) { state_val = state_val - vpdiff; } else { state_val = state_val + vpdiff; }
+    clamp_state();
+    if (code >= 4) { state_idx = state_idx + 2 * (code / 4); } else { state_idx = state_idx - 1; }
+    clamp_state();
+    if (sign == 1) { return code + 64; }
+    return code;
+}
+
+int dequantize(int code, int bits) {
+    int step;
+    int vpdiff;
+    int sign;
+    int b;
+    int mask;
+    int c;
+    step = steptab[state_idx];
+    sign = code / 64;
+    c = code % 64;
+    vpdiff = step / 8;
+    mask = 4;
+    for (b = 1; b < bits; b++) {
+        if (c >= mask && mask > 0) {
+            vpdiff = vpdiff + step;
+            c = c - mask;
+        }
+        step = step / 2;
+        mask = mask / 2;
+        if (mask == 0) { mask = 1; }
+    }
+    if (sign == 1) { state_val = state_val - vpdiff; } else { state_val = state_val + vpdiff; }
+    clamp_state();
+    c = code % 64;
+    if (c >= 4) { state_idx = state_idx + 2 * (c / 4); } else { state_idx = state_idx - 1; }
+    clamp_state();
+    return state_val;
+}
+"#
+}
+
+fn coder_funcs(encode: bool) -> String {
+    let (verb, kernel) = if encode {
+        ("coder", "quantize(linbuf[i] - state_val, BITS)")
+    } else {
+        ("coder", "dequantize(linbuf[i], BITS)")
+    };
+    let mut out = String::new();
+    for bits in [3, 4, 5] {
+        out.push_str(&format!(
+            r#"
+void {verb}{bits}(int count) {{
+    int i;
+    for (i = 0; i < count; i++) {{
+        outbuf[i] = {};
+    }}
+}}
+"#,
+            kernel.replace("BITS", &bits.to_string())
+        ));
+    }
+    out
+}
+
+fn main_src() -> &'static str {
+    r#"
+void main(int method, int law, int bufsz, int nbuf) {
+    int f;
+    int i;
+    fn g;
+    init_tables();
+    if (method == 3) { g = &coder3; } else {
+        if (method == 5) { g = &coder5; } else { g = &coder4; }
+    }
+    for (f = 0; f < nbuf; f++) {
+        for (i = 0; i < bufsz; i++) {
+            inbuf[i] = input();
+        }
+        for (i = 0; i < bufsz; i++) {
+            linbuf[i] = expand(inbuf[i], law);
+        }
+        g(bufsz);
+        for (i = 0; i < bufsz; i++) {
+            output(outbuf[i]);
+        }
+    }
+}
+"#
+}
+
+fn bounds() -> ParamBounds {
+    ParamBounds {
+        per_param: vec![
+            (Some(3), Some(5)),    // method
+            (Some(0), Some(2)),    // law
+            (Some(1), Some(4096)), // bufsz
+            (Some(1), None),       // nbuf
+        ],
+    }
+}
+
+/// The `encode` benchmark: G.721-style compression.
+pub fn encode() -> Benchmark {
+    let source = format!("{}{}{}", predictor_common(), coder_funcs(true), main_src());
+    Benchmark {
+        name: "encode",
+        description: "G.721 in Mediabench, CCITT Voice Compression",
+        source,
+        param_names: vec!["method", "law", "bufsz", "nbuf"],
+        bounds: bounds(),
+        default_params: vec![4, 0, 256, 8],
+        make_input: |params| {
+            let total = (params[2].max(0) * params[3].max(0)) as usize;
+            crate::prng_stream(0x6721, total, 120)
+        },
+        annotate: crate::default_annotations,
+    }
+}
+
+/// The `decode` benchmark: G.721-style decompression.
+pub fn decode() -> Benchmark {
+    let source = format!("{}{}{}", predictor_common(), coder_funcs(false), main_src());
+    Benchmark {
+        name: "decode",
+        description: "G.721 in Mediabench, CCITT Voice Decompression",
+        source,
+        param_names: vec!["method", "law", "bufsz", "nbuf"],
+        bounds: bounds(),
+        default_params: vec![4, 0, 256, 8],
+        make_input: |params| {
+            let total = (params[2].max(0) * params[3].max(0)) as usize;
+            crate::prng_stream(0xDEC0DE, total, 32)
+                .into_iter()
+                .map(|v| v.rem_euclid(32))
+                .collect()
+        },
+        annotate: crate::default_annotations,
+    }
+}

@@ -1,0 +1,197 @@
+//! `susan` — photo smoothing, edge recognition and corner recognition
+//! (MiBench).
+//!
+//! Twelve parameters, like the paper's version (10 command options plus
+//! the photo dimensions):
+//!
+//! | # | name      | meaning                                    |
+//! |---|-----------|--------------------------------------------|
+//! | 0 | `mode_s`  | perform smoothing (`-s`)                   |
+//! | 1 | `mode_e`  | recognize edges (`-e`)                     |
+//! | 2 | `mode_c`  | recognize corners (`-c`)                   |
+//! | 3 | `xdim`    | photo width                                |
+//! | 4 | `ydim`    | photo height                               |
+//! | 5 | `bt`      | brightness threshold                       |
+//! | 6 | `dt`      | distance (geometric) threshold             |
+//! | 7 | `mask`    | smoothing mask radius                      |
+//! | 8 | `iters`   | smoothing iterations                       |
+//! | 9 | `corner_t`| corner USAN threshold                      |
+//! |10 | `stride`  | output sampling stride                     |
+//! |11 | `gain`    | output gain divisor                        |
+
+use crate::Benchmark;
+use offload_core::ParamBounds;
+
+fn source() -> String {
+    r#"
+int img[16900];
+int tmp[16900];
+int outp[16900];
+
+// Box-mask smoothing with the given radius, repeated `iters` times.
+void smooth(int xdim, int ydim, int mask, int iters) {
+    int it;
+    int x;
+    int y;
+    int dx;
+    int dy;
+    int acc;
+    int cnt;
+    for (it = 0; it < iters; it++) {
+        for (y = 0; y < ydim; y++) {
+            for (x = 0; x < xdim; x++) {
+                acc = 0;
+                cnt = 0;
+                for (dy = -mask; dy <= mask; dy++) {
+                    for (dx = -mask; dx <= mask; dx++) {
+                        if (y + dy >= 0 && y + dy < ydim && x + dx >= 0 && x + dx < xdim) {
+                            acc = acc + img[(y + dy) * xdim + x + dx];
+                            cnt = cnt + 1;
+                        }
+                    }
+                }
+                if (cnt > 0) { tmp[y * xdim + x] = acc / cnt; }
+            }
+        }
+        for (y = 0; y < ydim; y++) {
+            for (x = 0; x < xdim; x++) {
+                img[y * xdim + x] = tmp[y * xdim + x];
+            }
+        }
+    }
+}
+
+// USAN similarity: full weight when within the brightness threshold.
+int similar(int a, int b, int bt) {
+    int d;
+    d = a - b;
+    if (d < 0) { d = -d; }
+    if (d <= bt) { return 100; }
+    if (d <= 2 * bt) { return 50; }
+    return 0;
+}
+
+// Edge response: small USAN area (few similar neighbours) = edge.
+void edges(int xdim, int ydim, int bt, int dt, int gain) {
+    int x;
+    int y;
+    int dx;
+    int dy;
+    int usan;
+    int center;
+    int geom;
+    for (y = 0; y < ydim; y++) {
+        for (x = 0; x < xdim; x++) {
+            center = img[y * xdim + x];
+            usan = 0;
+            for (dy = -3; dy <= 3; dy++) {
+                for (dx = -3; dx <= 3; dx++) {
+                    geom = dx * dx + dy * dy;
+                    if (geom <= dt * dt) {
+                        if (y + dy >= 0 && y + dy < ydim && x + dx >= 0 && x + dx < xdim) {
+                            usan = usan + similar(center, img[(y + dy) * xdim + x + dx], bt);
+                        }
+                    }
+                }
+            }
+            outp[y * xdim + x] = usan / gain;
+        }
+    }
+}
+
+// Corner response: USAN below the corner threshold = candidate corner.
+void corners(int xdim, int ydim, int bt, int corner_t, int gain) {
+    int x;
+    int y;
+    int dx;
+    int dy;
+    int usan;
+    int center;
+    for (y = 0; y < ydim; y++) {
+        for (x = 0; x < xdim; x++) {
+            center = img[y * xdim + x];
+            usan = 0;
+            for (dy = -2; dy <= 2; dy++) {
+                for (dx = -2; dx <= 2; dx++) {
+                    if (y + dy >= 0 && y + dy < ydim && x + dx >= 0 && x + dx < xdim) {
+                        usan = usan + similar(center, img[(y + dy) * xdim + x + dx], bt);
+                    }
+                }
+            }
+            if (usan < corner_t) {
+                outp[y * xdim + x] = (corner_t - usan) / gain;
+            } else {
+                outp[y * xdim + x] = 0;
+            }
+        }
+    }
+}
+
+void main(int mode_s, int mode_e, int mode_c, int xdim, int ydim, int bt,
+          int dt, int mask, int iters, int corner_t, int stride, int gain) {
+    int i;
+    int total;
+    total = xdim * ydim;
+    for (i = 0; i < total; i++) {
+        img[i] = input();
+    }
+    for (i = 0; i < total; i++) {
+        outp[i] = img[i];
+    }
+    if (mode_s == 1) {
+        smooth(xdim, ydim, mask, iters);
+        for (i = 0; i < total; i++) {
+            outp[i] = img[i];
+        }
+    }
+    if (mode_e == 1) {
+        edges(xdim, ydim, bt, dt, gain);
+    }
+    if (mode_c == 1) {
+        corners(xdim, ydim, bt, corner_t, gain);
+    }
+    for (i = 0; i < total; i = i + stride) {
+        output(outp[i]);
+    }
+}
+"#
+    .to_string()
+}
+
+/// The `susan` benchmark.
+pub fn susan() -> Benchmark {
+    Benchmark {
+        name: "susan",
+        description: "susan in MiBench, Photo Processing",
+        source: source(),
+        param_names: vec![
+            "mode_s", "mode_e", "mode_c", "xdim", "ydim", "bt", "dt", "mask", "iters",
+            "corner_t", "stride", "gain",
+        ],
+        bounds: ParamBounds {
+            per_param: vec![
+                (Some(0), Some(1)),   // mode_s
+                (Some(0), Some(1)),   // mode_e
+                (Some(0), Some(1)),   // mode_c
+                (Some(1), Some(130)), // xdim
+                (Some(1), Some(130)), // ydim
+                (Some(1), Some(100)), // bt
+                (Some(1), Some(3)),   // dt
+                (Some(1), Some(4)),   // mask
+                (Some(1), Some(4)),   // iters
+                (Some(1), Some(2500)),// corner_t
+                (Some(1), Some(64)),  // stride
+                (Some(1), Some(100)), // gain
+            ],
+        },
+        default_params: vec![0, 1, 0, 64, 64, 20, 2, 1, 1, 1200, 16, 10],
+        make_input: |params| {
+            let total = (params[3].max(0) * params[4].max(0)) as usize;
+            crate::prng_stream(0x5A5A, total, 256)
+                .into_iter()
+                .map(|v| v.rem_euclid(256))
+                .collect()
+        },
+        annotate: crate::default_annotations,
+    }
+}

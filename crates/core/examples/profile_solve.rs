@@ -1,0 +1,18 @@
+//! Developer tool: end-to-end analysis timing and the discovered
+//! choices/guards for the Figure 1 program.
+
+use offload_core::*;
+use std::time::Instant;
+
+fn main() {
+    let src = offload_lang::examples_src::FIGURE1;
+    let t = Instant::now();
+    let a = Analysis::from_source(src, AnalysisOptions::default()).unwrap();
+    eprintln!("full analysis: {:?}", t.elapsed());
+    eprintln!("choices: {} iterations: {} merged: {}",
+        a.partition.choices.len(), a.partition.stats.iterations, a.partition.stats.merged_choices);
+    for (i, g) in a.guards().iter().enumerate() {
+        let c = &a.partition.choices[i];
+        eprintln!("choice {i} local={} when: {g}", c.is_all_local());
+    }
+}

@@ -1,0 +1,135 @@
+//! The cost model: the measured constants of §3.2.
+//!
+//! The paper measures these "by experiments using synthesized benchmarks"
+//! on an iPAQ 3970 (400 MHz XScale) client, a 2 GHz P4 server and an
+//! 11 Mbps WaveLAN link. Our defaults mirror that hardware's ratios; the
+//! `offload-runtime` crate can *calibrate* a model against its simulated
+//! devices, reproducing the paper's methodology.
+
+use offload_ir::{Inst, IrBinOp};
+use offload_poly::Rational;
+
+/// Measured cost constants (all in abstract time units; only ratios
+/// matter for partitioning decisions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Client time per unit of instruction weight (`tc`).
+    pub client_unit: Rational,
+    /// Server time per unit of instruction weight (`ts`).
+    pub server_unit: Rational,
+    /// Client-to-server transfer startup time (`tcsh`).
+    pub send_startup_c2s: Rational,
+    /// Client-to-server time per transferred slot (`tcsu`).
+    pub send_unit_c2s: Rational,
+    /// Server-to-client transfer startup time (`tsch`).
+    pub send_startup_s2c: Rational,
+    /// Server-to-client time per transferred slot (`tscu`).
+    pub send_unit_s2c: Rational,
+    /// Client-to-server task scheduling time (`tcst`).
+    pub sched_c2s: Rational,
+    /// Server-to-client task scheduling time (`tsct`).
+    pub sched_s2c: Rational,
+    /// Registration time per dynamic allocation (`ta`).
+    pub registration: Rational,
+}
+
+impl CostModel {
+    /// A model shaped like the paper's testbed: the server is 5× faster
+    /// than the client; message startup dominates small transfers.
+    pub fn ipaq_testbed() -> Self {
+        CostModel {
+            client_unit: Rational::from(5),
+            server_unit: Rational::from(1),
+            send_startup_c2s: Rational::from(600),
+            send_unit_c2s: Rational::from(4),
+            send_startup_s2c: Rational::from(600),
+            send_unit_s2c: Rational::from(4),
+            sched_c2s: Rational::from(600),
+            sched_s2c: Rational::from(600),
+            registration: Rational::from(8),
+        }
+    }
+
+    /// The toy constants of the paper's running example (§1.1): unit
+    /// computation per innermost statement, transfer startup 6, unit
+    /// transfer cost 1, everything else free. With these constants the
+    /// analysis reproduces Table 1 exactly.
+    pub fn paper_example() -> Self {
+        CostModel {
+            client_unit: Rational::from(1),
+            server_unit: Rational::zero(),
+            send_startup_c2s: Rational::from(6),
+            send_unit_c2s: Rational::from(1),
+            send_startup_s2c: Rational::from(6),
+            send_unit_s2c: Rational::from(1),
+            sched_c2s: Rational::zero(),
+            sched_s2c: Rational::zero(),
+            registration: Rational::zero(),
+        }
+    }
+
+    /// Weight of one IR instruction in abstract work units.
+    ///
+    /// Multiplications and divisions are costlier than moves; address
+    /// arithmetic is cheap; `alloc` pays an allocator fee.
+    pub fn inst_weight(&self, inst: &Inst) -> u32 {
+        match inst {
+            Inst::Copy { .. } => 1,
+            Inst::Un { .. } => 1,
+            Inst::Bin { op, .. } => match op {
+                IrBinOp::Mul => 3,
+                IrBinOp::Div | IrBinOp::Rem => 8,
+                _ => 1,
+            },
+            Inst::AddrGlobal { .. } | Inst::AddrLocal { .. } => 1,
+            Inst::AddrIndex { .. } | Inst::AddrField { .. } => 1,
+            Inst::Load { .. } | Inst::Store { .. } => 2,
+            Inst::Alloc { .. } => 12,
+            Inst::LoadFunc { .. } => 1,
+            Inst::Call { .. } => 2,
+            // The I/O device time is identical under every partitioning
+            // (I/O always runs on the client), so it carries ordinary
+            // instruction weight here and never biases decisions.
+            Inst::Input { .. } | Inst::Output { .. } => 2,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::ipaq_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offload_ir::{LocalId, Operand};
+
+    #[test]
+    fn weights_ordered_sensibly() {
+        let m = CostModel::default();
+        let copy = Inst::Copy { dst: LocalId(0), src: Operand::Const(1) };
+        let div = Inst::Bin {
+            dst: LocalId(0),
+            op: IrBinOp::Div,
+            lhs: Operand::Const(1),
+            rhs: Operand::Const(2),
+        };
+        assert!(m.inst_weight(&div) > m.inst_weight(&copy));
+    }
+
+    #[test]
+    fn testbed_ratios() {
+        let m = CostModel::ipaq_testbed();
+        assert!(m.client_unit > m.server_unit, "server faster than client");
+        assert!(m.send_startup_c2s > m.send_unit_c2s, "startup dominates per-slot cost");
+    }
+
+    #[test]
+    fn paper_example_constants() {
+        let m = CostModel::paper_example();
+        assert_eq!(m.send_startup_c2s, Rational::from(6));
+        assert_eq!(m.send_unit_c2s, Rational::from(1));
+    }
+}

@@ -1,0 +1,179 @@
+//! Selection of the data items that participate in validity-state
+//! tracking, with their sizes and relevance sets.
+//!
+//! Every abstract memory location touched by **two or more tasks** is a
+//! *tracked item*: its per-host copies need validity states and its
+//! transfers carry costs. Locations confined to a single task never move
+//! between hosts and are skipped (a large, sound pruning — the bulk of
+//! compiler temporaries).
+
+use offload_poly::Rational;
+use offload_pta::{AbsLocId, ModRef, PointsTo};
+use offload_symbolic::{SymExpr, Symbolic};
+use offload_tcfg::{TaskId, Tcfg};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One tracked data item.
+#[derive(Debug, Clone)]
+pub struct TrackedItem {
+    /// The underlying abstract location.
+    pub loc: AbsLocId,
+    /// Tasks that access the item.
+    pub accessors: Vec<TaskId>,
+    /// Tasks for which validity states are modeled: every task from which
+    /// an accessor is still reachable (closed under TCFG predecessors).
+    pub relevant: BTreeSet<TaskId>,
+    /// Size of one transfer of this item, in slots (symbolic for dynamic
+    /// sites, whose footprint depends on the parameters).
+    pub transfer_slots: SymExpr,
+    /// `true` for dynamically allocated data (registration applies).
+    pub dynamic: bool,
+    /// The allocation site, for dynamic items.
+    pub site: Option<offload_ir::AllocSiteId>,
+}
+
+/// The full tracked-item table.
+#[derive(Debug, Clone, Default)]
+pub struct ItemTable {
+    /// Tracked items, in deterministic order.
+    pub items: Vec<TrackedItem>,
+    /// All dynamic locations accessed by at least one task (they need
+    /// `Ns`/`Nc` nodes even when single-accessor — registration charges
+    /// only when *both* hosts touch them, which single-accessor items
+    /// can't trigger, but multi-accessor ones can).
+    pub dynamic_locs: Vec<AbsLocId>,
+}
+
+impl ItemTable {
+    /// Builds the table.
+    pub fn build(
+        tcfg: &Tcfg,
+        pta: &PointsTo,
+        modref: &ModRef,
+        symbolic: &Symbolic,
+    ) -> ItemTable {
+        // Successor lists over tasks.
+        let n = tcfg.tasks().len();
+        let mut preds: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for e in tcfg.edges() {
+            preds[e.to.index()].push(e.from);
+        }
+
+        let mut items = Vec::new();
+        let mut dynamic_locs = Vec::new();
+        let touched: BTreeMap<AbsLocId, Vec<TaskId>> = {
+            let mut m: BTreeMap<AbsLocId, Vec<TaskId>> = BTreeMap::new();
+            for loc in modref.touched_locs() {
+                m.insert(loc, modref.accessors(loc));
+            }
+            m
+        };
+        for (loc, accessors) in touched {
+            let is_dyn = pta.loc(loc).is_dynamic();
+            if is_dyn && !accessors.is_empty() {
+                dynamic_locs.push(loc);
+            }
+            if accessors.len() < 2 {
+                continue;
+            }
+            // Relevant set: reverse-reachable from any accessor.
+            let mut relevant: BTreeSet<TaskId> = accessors.iter().copied().collect();
+            let mut stack: Vec<TaskId> = accessors.clone();
+            while let Some(t) = stack.pop() {
+                for &p in &preds[t.index()] {
+                    if relevant.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            let site = match pta.loc(loc) {
+                offload_pta::AbsLoc::Site(s) => Some(s),
+                _ => None,
+            };
+            let transfer_slots = match pta.slots(loc) {
+                Some(s) => SymExpr::constant(Rational::from(s as i64)),
+                None => {
+                    // Dynamic site: transfers move the whole registered
+                    // footprint (conservative, like the paper's treatment
+                    // of an abstract location as one data unit).
+                    let s = site.expect("only sites lack static sizes");
+                    symbolic.allocs[s.index()].total_slots.clone()
+                }
+            };
+            items.push(TrackedItem {
+                loc,
+                accessors,
+                relevant,
+                transfer_slots,
+                dynamic: is_dyn,
+                site,
+            });
+        }
+        ItemTable { items, dynamic_locs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offload_ir::lower;
+    use offload_lang::frontend;
+    use offload_pta::PointsTo;
+    use offload_tcfg::Tcfg;
+
+    fn build(src: &str) -> (offload_ir::Module, Tcfg, PointsTo, ItemTable) {
+        let m = lower(&frontend(src).unwrap());
+        let pta = PointsTo::analyze(&m);
+        let tcfg = Tcfg::build(&m, pta.indirect_targets());
+        let modref = ModRef::compute(&m, &tcfg, &pta);
+        let sym = Symbolic::analyze(&m, pta.indirect_targets());
+        let table = ItemTable::build(&tcfg, &pta, &modref, &sym);
+        (m, tcfg, pta, table)
+    }
+
+    #[test]
+    fn shared_buffer_is_tracked() {
+        let (m, _, pta, table) = build(offload_lang::examples_src::FIGURE1);
+        let inbuf = pta.id_of(offload_pta::AbsLoc::Global(m.global_by_name("inbuf").unwrap()));
+        assert!(table.items.iter().any(|i| Some(i.loc) == inbuf), "inbuf crosses tasks");
+    }
+
+    #[test]
+    fn single_task_temps_skipped() {
+        let (_, tcfg, _, table) = build(
+            "void main(int n) {
+                 int i; int acc;
+                 acc = 0;
+                 for (i = 0; i < n; i++) { acc = acc + i; }
+                 output(acc);
+             }",
+        );
+        // One task => nothing crosses task boundaries.
+        assert_eq!(tcfg.tasks().len(), 1);
+        assert!(table.items.is_empty());
+    }
+
+    #[test]
+    fn relevant_closed_under_predecessors() {
+        let (_, tcfg, _, table) = build(offload_lang::examples_src::FIGURE1);
+        for item in &table.items {
+            for e in tcfg.edges() {
+                if item.relevant.contains(&e.to) {
+                    assert!(
+                        item.relevant.contains(&e.from),
+                        "relevant sets are predecessor-closed"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_site_tracked_with_symbolic_size() {
+        let (_, _, _, table) = build(offload_lang::examples_src::FIGURE4);
+        let dynamic: Vec<_> = table.items.iter().filter(|i| i.dynamic).collect();
+        assert_eq!(dynamic.len(), 1);
+        assert!(!dynamic[0].transfer_slots.is_constant(), "site size depends on n");
+        assert_eq!(table.dynamic_locs.len(), 1);
+    }
+}

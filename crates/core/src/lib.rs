@@ -1,0 +1,372 @@
+//! # offload-core
+//!
+//! The primary contribution of *Wang & Li, "Parametric Analysis for
+//! Adaptive Computation Offloading" (PLDI 2004)*: parametric cost
+//! analysis and parametric program partitioning for client/server
+//! computation offloading.
+//!
+//! The pipeline, end to end:
+//!
+//! 1. front end + IR (`offload-lang`, `offload-ir`);
+//! 2. points-to & memory abstraction (`offload-pta`, §2.3);
+//! 3. task formation (`offload-tcfg`, Algorithm 1);
+//! 4. per-task mod/ref classification (§2.4's constraint inputs);
+//! 5. symbolic flow-constraint analysis (`offload-symbolic`, §3.3–3.4);
+//! 6. the Theorem 1 reduction to a parametric min-cut network
+//!    ([`NetBuilder`]);
+//! 7. Algorithm 2 ([`solve`]): one optimal partitioning per polyhedral
+//!    region of the parameter space;
+//! 8. dispatch-guard generation ([`Dispatcher`], the Figure 2 program
+//!    transformation).
+//!
+//! ```
+//! use offload_core::{Analysis, AnalysisOptions};
+//!
+//! let src = "
+//!     int work(int k) {
+//!         int j; int acc;
+//!         acc = 0;
+//!         for (j = 0; j < k; j++) { acc = acc + j * j; }
+//!         return acc;
+//!     }
+//!     void main(int n) { output(work(n)); }";
+//! let analysis = Analysis::from_source(src, AnalysisOptions::default())?;
+//! // Small n: stay local. Huge n: offload the worker.
+//! let small = analysis.select(&[1])?;
+//! let large = analysis.select(&[100000])?;
+//! assert!(analysis.partition.choices[small].is_all_local());
+//! assert!(!analysis.partition.choices[large].is_all_local());
+//! # Ok::<(), offload_core::AnalyzeError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod costmodel;
+mod dispatch;
+mod items;
+mod netbuild;
+mod parametric;
+
+pub use costmodel::CostModel;
+pub use dispatch::{dummies_in_solution, AnnotationRule, Annotations, DispatchError, Dispatcher};
+pub use items::{ItemTable, TrackedItem};
+pub use netbuild::{NetBuilder, ParamBounds, PartitionNetwork, Term, ValidityModel};
+pub use parametric::{
+    cut_cost_at, solve, Direction, ParametricPartition, Partition, RegionStrategy, SolveError,
+    SolveOptions, SolveStats,
+};
+
+use offload_ir::Module;
+use offload_pta::{ModRef, PointsTo};
+use offload_symbolic::Symbolic;
+use offload_tcfg::Tcfg;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Options for a whole-program analysis.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisOptions {
+    /// Cost constants (defaults to the iPAQ-like testbed).
+    pub cost: CostModel,
+    /// Declared parameter bounds (defaults to `h ≥ 0`).
+    pub bounds: ParamBounds,
+    /// User annotations for unresolvable dummies.
+    pub annotations: Annotations,
+    /// Builds annotations from the discovered dummies (dummy ids only
+    /// exist after the symbolic analysis runs, so benchmark-style callers
+    /// supply a function instead of a fixed table). Takes precedence over
+    /// `annotations` when set.
+    pub annotate: Option<fn(&Symbolic) -> Annotations>,
+    /// Data-transfer model: the paper's validity states (default) or the
+    /// traditional per-DU-chain charging it improves upon (§2.2 ablation).
+    pub validity_model: ValidityModel,
+    /// Solver options (simplification, degeneracy reduction).
+    pub solve: SolveOptions,
+}
+
+/// Errors from [`Analysis::from_source`].
+#[derive(Debug)]
+pub enum AnalyzeError {
+    /// Front-end rejection.
+    Lang(offload_lang::LangError),
+    /// Parametric solver failure.
+    Solve(SolveError),
+    /// Run-time dispatch failure (from helper methods).
+    Dispatch(DispatchError),
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Lang(e) => write!(f, "{e}"),
+            AnalyzeError::Solve(e) => write!(f, "{e}"),
+            AnalyzeError::Dispatch(e) => write!(f, "{e}"),
+        }
+    }
+}
+impl std::error::Error for AnalyzeError {}
+
+impl From<offload_lang::LangError> for AnalyzeError {
+    fn from(e: offload_lang::LangError) -> Self {
+        AnalyzeError::Lang(e)
+    }
+}
+impl From<SolveError> for AnalyzeError {
+    fn from(e: SolveError) -> Self {
+        AnalyzeError::Solve(e)
+    }
+}
+impl From<DispatchError> for AnalyzeError {
+    fn from(e: DispatchError) -> Self {
+        AnalyzeError::Dispatch(e)
+    }
+}
+
+/// Builds a grid of parameter-consistent probe points in the linearized
+/// dimension space: per-parameter geometric ladders (within the declared
+/// bounds) swept individually and diagonally, crossed with a few dummy
+/// assignments. Used to seed the dominance-probing region strategy.
+fn probe_points(
+    dict: &offload_symbolic::ParamDict,
+    network: &PartitionNetwork,
+    bounds: &ParamBounds,
+) -> Vec<Vec<offload_poly::Rational>> {
+    use offload_poly::Rational;
+    use offload_symbolic::Atom;
+    let k = dict.param_count();
+    let ladder = |i: usize| -> Vec<i64> {
+        let lb = bounds.lower(i).unwrap_or(0).max(1);
+        let ub = bounds.upper(i);
+        let mut vals = vec![lb];
+        let mut v = lb.saturating_mul(8);
+        loop {
+            match ub {
+                Some(u) if v >= u => {
+                    if *vals.last().expect("nonempty") != u {
+                        vals.push(u);
+                    }
+                    break;
+                }
+                None if v > 1_000_000 => {
+                    vals.push(1_000_000);
+                    break;
+                }
+                _ => vals.push(v),
+            }
+            if vals.len() >= 5 {
+                break;
+            }
+            v = v.saturating_mul(8);
+        }
+        vals
+    };
+    let ladders: Vec<Vec<i64>> = (0..k).map(ladder).collect();
+    let max_levels = ladders.iter().map(Vec::len).max().unwrap_or(1);
+
+    let mut param_vecs: Vec<Vec<i64>> = Vec::new();
+    // Diagonals: every parameter at its level-L value.
+    for level in 0..max_levels {
+        param_vecs.push(
+            ladders
+                .iter()
+                .map(|l| *l.get(level.min(l.len() - 1)).expect("nonempty"))
+                .collect(),
+        );
+    }
+    // Per-parameter sweeps with the others at their second level.
+    let base: Vec<i64> = ladders
+        .iter()
+        .map(|l| *l.get(1.min(l.len() - 1)).expect("nonempty"))
+        .collect();
+    for (i, l) in ladders.iter().enumerate() {
+        for &v in l {
+            let mut p = base.clone();
+            p[i] = v;
+            param_vecs.push(p);
+        }
+    }
+
+    let dummy_values = [Rational::zero(), Rational::one(), Rational::new(1, 2)];
+    let mut out = Vec::new();
+    for params in &param_vecs {
+        for dv in &dummy_values {
+            let point: Vec<Rational> = network
+                .dims
+                .iter()
+                .map(|m| {
+                    dict.eval_monomial(*m, &|a| match a {
+                        Atom::Param(i) => Rational::from(params[i as usize]),
+                        Atom::Dummy(_) => dv.clone(),
+                    })
+                })
+                .collect();
+            out.push(point);
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// A complete parametric offloading analysis of one program.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The lowered program.
+    pub module: Module,
+    /// Task control flow graph.
+    pub tcfg: Tcfg,
+    /// Points-to results.
+    pub pta: PointsTo,
+    /// Per-task access classification.
+    pub modref: ModRef,
+    /// Symbolic counts and the parameter dictionary.
+    pub symbolic: Symbolic,
+    /// Tracked data items.
+    pub items: ItemTable,
+    /// The Theorem 1 network.
+    pub network: PartitionNetwork,
+    /// The Algorithm 2 solution.
+    pub partition: ParametricPartition,
+    /// The run-time selector.
+    pub dispatcher: Dispatcher,
+    /// Wall-clock time of the whole analysis.
+    pub analysis_time: Duration,
+}
+
+impl Analysis {
+    /// Runs the full pipeline on mini-C source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns front-end errors verbatim and solver failures (see
+    /// [`AnalyzeError`]).
+    pub fn from_source(src: &str, options: AnalysisOptions) -> Result<Analysis, AnalyzeError> {
+        let start = Instant::now();
+        let checked = offload_lang::frontend(src)?;
+        let module = offload_ir::lower(&checked);
+        Self::from_module(module, options, start)
+    }
+
+    fn from_module(
+        module: Module,
+        options: AnalysisOptions,
+        start: Instant,
+    ) -> Result<Analysis, AnalyzeError> {
+        let pta = PointsTo::analyze(&module);
+        let tcfg = Tcfg::build(&module, pta.indirect_targets());
+        let modref = ModRef::compute(&module, &tcfg, &pta);
+        let mut symbolic = Symbolic::analyze(&module, pta.indirect_targets());
+        // Resolve annotations, then apply every *polynomial* annotation by
+        // substitution (§3.4): the dummy disappears from all costs and
+        // never becomes a polyhedral dimension. Function-rule annotations
+        // (e.g. log2 trip counts) stay as dimensions and are evaluated at
+        // dispatch time.
+        let annotations = match options.annotate {
+            Some(f) => f(&symbolic),
+            None => options.annotations.clone(),
+        };
+        for (d, rule) in annotations.exprs.clone() {
+            if let AnnotationRule::Expr(e) = rule {
+                symbolic.substitute_dummy(d, &e);
+            }
+        }
+        let items = ItemTable::build(&tcfg, &pta, &modref, &symbolic);
+        let mut bounds = options.bounds.clone();
+        if bounds.per_param.is_empty() {
+            bounds = ParamBounds::uniform(symbolic.dict.param_count(), 0, None);
+        }
+        let network = NetBuilder {
+            module: &module,
+            tcfg: &tcfg,
+            modref: &modref,
+            symbolic: &mut symbolic,
+            items: &items,
+            cost: &options.cost,
+            bounds: &bounds,
+            validity_model: options.validity_model,
+        }
+        .build();
+        let probes = probe_points(&symbolic.dict, &network, &bounds);
+        let partition = parametric::solve_with_probes(
+            &network,
+            &tcfg,
+            items.items.len(),
+            &options.solve,
+            &probes,
+        )?;
+        let dispatcher = Dispatcher::new(symbolic.dict.clone(), annotations);
+        Ok(Analysis {
+            module,
+            tcfg,
+            pta,
+            modref,
+            symbolic,
+            items,
+            network,
+            partition,
+            dispatcher,
+            analysis_time: start.elapsed(),
+        })
+    }
+
+    /// Selects the partitioning choice for concrete parameter values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DispatchError`] for missing annotations or wrong arity.
+    pub fn select(&self, params: &[i64]) -> Result<usize, DispatchError> {
+        self.dispatcher.select(&self.network, &self.partition, params)
+    }
+
+    /// The Figure 2-style guard text of each choice.
+    pub fn guards(&self) -> Vec<String> {
+        self.partition
+            .choices
+            .iter()
+            .map(|c| self.dispatcher.guard_text(&self.network, c))
+            .collect()
+    }
+
+    /// Dummy parameters that appear in the solution and lack both an
+    /// automatic rule and a user annotation (§3.4: these must be
+    /// annotated before dispatch).
+    pub fn missing_annotations(&self) -> Vec<u32> {
+        dummies_in_solution(&self.network, &self.partition, &self.symbolic.dict)
+            .into_iter()
+            .filter(|d| {
+                let auto = self
+                    .symbolic
+                    .dict
+                    .dummies()
+                    .get(*d as usize)
+                    .map(|o| o.is_auto())
+                    .unwrap_or(false);
+                !auto && !self.dispatcher.annotations().exprs.contains_key(d)
+            })
+            .collect()
+    }
+
+    /// One-line summary per choice (for reports).
+    pub fn describe_choices(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, c) in self.partition.choices.iter().enumerate() {
+            let server: Vec<String> = c
+                .server_task_ids()
+                .iter()
+                .map(|t| {
+                    let task = self.tcfg.task(*t);
+                    format!("{}@{}", t, self.module.function(task.func).name)
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "choice {i}: server tasks = [{}]\n  when {}",
+                server.join(", "),
+                self.dispatcher.guard_text(&self.network, c)
+            );
+        }
+        out
+    }
+}

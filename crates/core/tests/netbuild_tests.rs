@@ -1,0 +1,98 @@
+//! Structural tests of the Theorem 1 network construction.
+
+use offload_core::{Analysis, AnalysisOptions, Term};
+use offload_flow::ParamCap;
+
+fn analyze(src: &str) -> Analysis {
+    Analysis::from_source(src, AnalysisOptions::default()).expect("analysis")
+}
+
+#[test]
+fn every_task_has_an_m_node() {
+    let a = analyze(offload_lang::examples_src::FIGURE1);
+    for i in 0..a.tcfg.tasks().len() {
+        assert!(
+            a.network.node(Term::M(offload_tcfg::TaskId(i as u32))).is_some(),
+            "task {i} missing M node"
+        );
+    }
+}
+
+#[test]
+fn io_tasks_have_infinite_server_arcs() {
+    let a = analyze(offload_lang::examples_src::FIGURE1);
+    let sink = a.network.net.sink();
+    for (i, t) in a.tcfg.tasks().iter().enumerate() {
+        if !t.is_io {
+            continue;
+        }
+        let m = a.network.node(Term::M(offload_tcfg::TaskId(i as u32))).unwrap();
+        let has_inf = a
+            .network
+            .net
+            .arcs()
+            .iter()
+            .any(|arc| arc.from == m && arc.to == sink && arc.cap == ParamCap::Infinite);
+        assert!(has_inf, "I/O task {i} must be pinned by an infinite arc");
+    }
+}
+
+#[test]
+fn client_computation_arcs_leave_source() {
+    let a = analyze("void main(int n) { int i; for (i = 0; i < n; i++) { output(i); } }");
+    let src = a.network.net.source();
+    let m = a.network.node(Term::M(offload_tcfg::TaskId(0))).unwrap();
+    let has_cc = a.network.net.arcs().iter().any(|arc| arc.from == src && arc.to == m);
+    assert!(has_cc, "client computation cost arc s -> M");
+}
+
+#[test]
+fn validity_nodes_only_for_tracked_items() {
+    let a = analyze(
+        "void main(int n) {
+             int i; int acc;
+             acc = 0;
+             for (i = 0; i < n; i++) { acc = acc + i; }
+             output(acc);
+         }",
+    );
+    // Single task: no tracked items, hence no validity nodes.
+    assert!(a.items.items.is_empty());
+    let has_validity = a
+        .network
+        .terms
+        .iter()
+        .any(|t| matches!(t, Term::Vsi(..) | Term::Vso(..) | Term::NotVci(..) | Term::NotVco(..)));
+    assert!(!has_validity);
+}
+
+#[test]
+fn figure4_has_registration_nodes() {
+    let a = analyze(offload_lang::examples_src::FIGURE4);
+    let has_ns = a.network.terms.iter().any(|t| matches!(t, Term::Ns(_)));
+    let has_nc = a.network.terms.iter().any(|t| matches!(t, Term::NotNc(_)));
+    assert!(has_ns && has_nc, "dynamic items get Ns/¬Nc access-state nodes");
+}
+
+#[test]
+fn dims_cover_all_capacities() {
+    let a = analyze(offload_lang::examples_src::FIGURE1);
+    let k = a.network.dims.len();
+    for arc in a.network.net.arcs() {
+        if let ParamCap::Affine(e) = &arc.cap {
+            assert_eq!(e.nvars(), k, "capacity lives in the dim space");
+        }
+    }
+    assert_eq!(a.network.param_space.nvars(), k);
+}
+
+#[test]
+fn param_space_contains_representative_points() {
+    let a = analyze(offload_lang::examples_src::FIGURE1);
+    let params = [offload_poly::Rational::from(2), 4.into(), 8.into()];
+    let point = a.dispatcher.dim_point(&a.network, &params).unwrap();
+    assert!(
+        a.network.param_space.contains(&point),
+        "in-bounds parameter values land inside the declared space"
+    );
+}

@@ -1,0 +1,62 @@
+//! The dominance-probing region strategy must agree with the exact
+//! Lemma 1 strategy on programs small enough to run both.
+
+use offload_core::{Analysis, AnalysisOptions, RegionStrategy, SolveOptions};
+
+fn analyze(src: &str, strategy: RegionStrategy) -> Analysis {
+    let options = AnalysisOptions {
+        solve: SolveOptions { region_strategy: strategy, ..Default::default() },
+        ..Default::default()
+    };
+    Analysis::from_source(src, options).expect("analysis")
+}
+
+const WORKER: &str = "
+    int work(int k) {
+        int j; int acc;
+        acc = 0;
+        for (j = 0; j < k; j++) { acc = acc + j * j; }
+        return acc;
+    }
+    void main(int n) { output(work(n)); }";
+
+#[test]
+fn dominance_matches_exact_dispatch_on_worker() {
+    let exact = analyze(WORKER, RegionStrategy::Exact);
+    let dom = analyze(WORKER, RegionStrategy::Dominance);
+    for n in [1i64, 10, 100, 1000, 10_000, 100_000, 1_000_000] {
+        let e = exact.partition.choices[exact.select(&[n]).unwrap()].is_all_local();
+        let d = dom.partition.choices[dom.select(&[n]).unwrap()].is_all_local();
+        assert_eq!(e, d, "n={n}: strategies disagree");
+    }
+}
+
+#[test]
+fn dominance_matches_exact_dispatch_on_figure1() {
+    let exact = analyze(offload_lang::examples_src::FIGURE1, RegionStrategy::Exact);
+    let dom = analyze(offload_lang::examples_src::FIGURE1, RegionStrategy::Dominance);
+    for &(x, y, z) in
+        &[(1i64, 4, 1), (4, 64, 3), (2, 8, 500), (1, 512, 40), (3, 3, 3), (2, 2, 5000)]
+    {
+        let e = exact.partition.choices[exact.select(&[x, y, z]).unwrap()]
+            .server_task_ids()
+            .len();
+        let d =
+            dom.partition.choices[dom.select(&[x, y, z]).unwrap()].server_task_ids().len();
+        assert_eq!(e, d, "({x},{y},{z}): strategies disagree on offloaded task count");
+    }
+}
+
+#[test]
+fn dominance_regions_cover_space() {
+    let dom = analyze(WORKER, RegionStrategy::Dominance);
+    for n in [0i64, 1, 7, 999, 123_456] {
+        let point = dom
+            .dispatcher
+            .dim_point(&dom.network, &[offload_poly::Rational::from(n)])
+            .unwrap();
+        let holders =
+            dom.partition.choices.iter().filter(|c| c.region.contains(&point)).count();
+        assert_eq!(holders, 1, "n={n}: dominance regions must partition the space");
+    }
+}

@@ -1,0 +1,82 @@
+//! The §2.2 claim behind the validity-state model (Figure 3): when one
+//! producer task feeds several consumers, the traditional per-DU-chain
+//! charging exaggerates communication cost relative to validity states —
+//! so the states model never predicts a higher offloading cost, and its
+//! offloading region is at least as large.
+
+use offload_core::{Analysis, AnalysisOptions, ValidityModel};
+use offload_poly::Rational;
+
+const SHARED_PRODUCER: &str = "
+    int data[64];
+    void produce(int n) {
+        int i;
+        for (i = 0; i < n; i++) { data[i % 64] = i % 97; }
+    }
+    int consume_a(int n) {
+        int i; int acc;
+        acc = 0;
+        for (i = 0; i < n; i++) { acc = acc + data[i % 64]; }
+        return acc;
+    }
+    int consume_b(int n) {
+        int i; int acc;
+        acc = 0;
+        for (i = 0; i < n; i++) { acc = acc + data[i % 64] * 2; }
+        return acc;
+    }
+    void main(int n) {
+        produce(n);
+        output(consume_a(n) + consume_b(n));
+    }";
+
+fn best_cost(a: &Analysis, n: i64) -> f64 {
+    let point = a
+        .dispatcher
+        .dim_point(&a.network, &[Rational::from(n)])
+        .expect("no missing annotations");
+    a.partition
+        .choices
+        .iter()
+        .filter_map(|c| offload_core::cut_cost_at(&a.network, c, &point))
+        .map(|r| r.to_f64())
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+fn states_model_never_costs_more() {
+    let states =
+        Analysis::from_source(SHARED_PRODUCER, AnalysisOptions::default()).expect("states");
+    let duchain = Analysis::from_source(
+        SHARED_PRODUCER,
+        AnalysisOptions { validity_model: ValidityModel::DuChains, ..Default::default() },
+    )
+    .expect("du-chains");
+    for n in [16i64, 256, 4096, 65536, 1 << 20] {
+        let s = best_cost(&states, n);
+        let d = best_cost(&duchain, n);
+        assert!(
+            s <= d * 1.0001,
+            "n={n}: validity states ({s}) must not exceed DU-chain cost ({d})"
+        );
+    }
+}
+
+#[test]
+fn both_models_offload_eventually() {
+    // With enough work the compute savings dominate either transfer
+    // model; both should leave the all-local choice.
+    for model in [ValidityModel::States, ValidityModel::DuChains] {
+        let a = Analysis::from_source(
+            SHARED_PRODUCER,
+            AnalysisOptions { validity_model: model, ..Default::default() },
+        )
+        .expect("analysis");
+        let idx = a.select(&[1 << 22]).expect("dispatch");
+        assert!(
+            !a.partition.choices[idx].is_all_local(),
+            "{model:?}: heavy work must offload\n{}",
+            a.describe_choices()
+        );
+    }
+}

@@ -1,0 +1,428 @@
+//! Exact max-flow / min-cut over rational capacities (Dinic's algorithm).
+//!
+//! Capacities may be infinite (the paper's encoding of hard constraints:
+//! an infinite arc can never be cut). Dinic's bound of `O(V²E)` phases is
+//! independent of capacity magnitudes, so exact rationals are safe.
+
+use offload_poly::Rational;
+use std::fmt;
+
+/// A capacity: a non-negative rational or `+∞`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Capacity {
+    /// Finite capacity (non-negative).
+    Finite(Rational),
+    /// Infinite capacity (uncuttable constraint arc).
+    Infinite,
+}
+
+impl Capacity {
+    /// Finite zero.
+    pub fn zero() -> Self {
+        Capacity::Finite(Rational::zero())
+    }
+
+    /// Returns the finite value, if any.
+    pub fn as_finite(&self) -> Option<&Rational> {
+        match self {
+            Capacity::Finite(r) => Some(r),
+            Capacity::Infinite => None,
+        }
+    }
+
+    /// Capacity addition (`∞ + x = ∞`).
+    pub fn add(&self, other: &Capacity) -> Capacity {
+        match (self, other) {
+            (Capacity::Finite(a), Capacity::Finite(b)) => Capacity::Finite(a + b),
+            _ => Capacity::Infinite,
+        }
+    }
+}
+
+impl fmt::Display for Capacity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Capacity::Finite(r) => write!(f, "{r}"),
+            Capacity::Infinite => write!(f, "inf"),
+        }
+    }
+}
+
+/// A directed flow network with a single source and sink.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    nodes: usize,
+    /// `(from, to, capacity)`.
+    arcs: Vec<(usize, usize, Capacity)>,
+    source: usize,
+    sink: usize,
+}
+
+/// Result of a max-flow computation.
+#[derive(Debug, Clone)]
+pub struct MaxFlow {
+    /// Value of the maximum flow (= the minimum cut).
+    pub value: Rational,
+    /// Flow on each arc, in insertion order.
+    pub arc_flow: Vec<Rational>,
+    /// `true` for nodes on the source side of the minimum cut (reachable
+    /// in the residual graph).
+    pub source_side: Vec<bool>,
+}
+
+/// Error returned when the maximum flow is unbounded (an all-infinite
+/// augmenting path exists).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnboundedFlow;
+
+impl fmt::Display for UnboundedFlow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "maximum flow is unbounded (an all-infinite s-t path exists)")
+    }
+}
+impl std::error::Error for UnboundedFlow {}
+
+impl FlowNetwork {
+    /// Creates a network with `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == sink` or either is out of range.
+    pub fn new(nodes: usize, source: usize, sink: usize) -> Self {
+        assert!(source < nodes && sink < nodes && source != sink);
+        FlowNetwork { nodes, arcs: Vec::new(), source, sink }
+    }
+
+    /// Adds an arc; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or a negative finite capacity.
+    pub fn add_arc(&mut self, from: usize, to: usize, cap: Capacity) -> usize {
+        assert!(from < self.nodes && to < self.nodes);
+        if let Capacity::Finite(c) = &cap {
+            assert!(!c.is_negative(), "negative capacity");
+        }
+        self.arcs.push((from, to, cap));
+        self.arcs.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// The arcs, in insertion order.
+    pub fn arcs(&self) -> &[(usize, usize, Capacity)] {
+        &self.arcs
+    }
+
+    /// The source node.
+    pub fn source(&self) -> usize {
+        self.source
+    }
+
+    /// The sink node.
+    pub fn sink(&self) -> usize {
+        self.sink
+    }
+
+    /// Computes the maximum flow and the canonical minimum cut.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnboundedFlow`] if an all-infinite source-to-sink path
+    /// exists.
+    pub fn max_flow(&self) -> Result<MaxFlow, UnboundedFlow> {
+        // Unboundedness check: s-t path using only infinite arcs.
+        {
+            let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.nodes];
+            for (f, t, c) in &self.arcs {
+                if matches!(c, Capacity::Infinite) {
+                    adj[*f].push(*t);
+                }
+            }
+            let mut seen = vec![false; self.nodes];
+            let mut stack = vec![self.source];
+            seen[self.source] = true;
+            while let Some(n) = stack.pop() {
+                if n == self.sink {
+                    return Err(UnboundedFlow);
+                }
+                for &m in &adj[n] {
+                    if !seen[m] {
+                        seen[m] = true;
+                        stack.push(m);
+                    }
+                }
+            }
+        }
+
+        // Residual representation: paired forward/backward edges.
+        struct Edge {
+            to: usize,
+            cap: Option<Rational>, // residual; None = infinite
+            paired: usize,
+        }
+        let mut graph: Vec<Vec<usize>> = vec![Vec::new(); self.nodes];
+        let mut edges: Vec<Edge> = Vec::with_capacity(self.arcs.len() * 2);
+        let mut fwd_index = Vec::with_capacity(self.arcs.len());
+        for (f, t, c) in &self.arcs {
+            let fi = edges.len();
+            fwd_index.push(fi);
+            edges.push(Edge {
+                to: *t,
+                cap: c.as_finite().cloned().map(Some).unwrap_or(None),
+                paired: fi + 1,
+            });
+            graph[*f].push(fi);
+            edges.push(Edge { to: *f, cap: Some(Rational::zero()), paired: fi });
+            graph[*t].push(fi + 1);
+        }
+
+        let positive = |cap: &Option<Rational>| match cap {
+            None => true,
+            Some(r) => r.is_positive(),
+        };
+
+        let mut total = Rational::zero();
+        loop {
+            // BFS levels.
+            let mut level = vec![usize::MAX; self.nodes];
+            level[self.source] = 0;
+            let mut queue = std::collections::VecDeque::from([self.source]);
+            while let Some(n) = queue.pop_front() {
+                for &ei in &graph[n] {
+                    let e = &edges[ei];
+                    if positive(&e.cap) && level[e.to] == usize::MAX {
+                        level[e.to] = level[n] + 1;
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if level[self.sink] == usize::MAX {
+                break;
+            }
+            // Blocking flow via iterative DFS with edge iterators.
+            let mut iter = vec![0usize; self.nodes];
+            loop {
+                // Find one augmenting path.
+                let mut path: Vec<usize> = Vec::new(); // edge ids
+                let mut node = self.source;
+                let found = loop {
+                    if node == self.sink {
+                        break true;
+                    }
+                    let mut advanced = false;
+                    while iter[node] < graph[node].len() {
+                        let ei = graph[node][iter[node]];
+                        let e = &edges[ei];
+                        if positive(&e.cap) && level[e.to] == level[node] + 1 {
+                            path.push(ei);
+                            node = e.to;
+                            advanced = true;
+                            break;
+                        }
+                        iter[node] += 1;
+                    }
+                    if advanced {
+                        continue;
+                    }
+                    // Dead end: retreat.
+                    match path.pop() {
+                        None => break false,
+                        Some(ei) => {
+                            // The edge we came through is exhausted at its
+                            // tail; advance the tail's iterator.
+                            let tail = edges[edges[ei].paired].to;
+                            iter[tail] += 1;
+                            node = tail;
+                        }
+                    }
+                };
+                if !found {
+                    break;
+                }
+                // Bottleneck.
+                let mut bottleneck: Option<Rational> = None;
+                for &ei in &path {
+                    if let Some(c) = &edges[ei].cap {
+                        bottleneck = Some(match bottleneck {
+                            None => c.clone(),
+                            Some(b) if c < &b => c.clone(),
+                            Some(b) => b,
+                        });
+                    }
+                }
+                let b = bottleneck.expect("no all-infinite path (checked upfront)");
+                debug_assert!(b.is_positive());
+                for &ei in &path {
+                    if let Some(c) = &mut edges[ei].cap {
+                        *c = &*c - &b;
+                    }
+                    let pi = edges[ei].paired;
+                    if let Some(c) = &mut edges[pi].cap {
+                        *c = &*c + &b;
+                    }
+                }
+                total += &b;
+            }
+        }
+
+        // Min cut: residual reachability from the source.
+        let mut source_side = vec![false; self.nodes];
+        source_side[self.source] = true;
+        let mut stack = vec![self.source];
+        while let Some(n) = stack.pop() {
+            for &ei in &graph[n] {
+                let e = &edges[ei];
+                if positive(&e.cap) && !source_side[e.to] {
+                    source_side[e.to] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+
+        // Per-arc flow = original cap - residual (for finite); for
+        // infinite arcs the reverse edge's residual is the flow.
+        let arc_flow = self
+            .arcs
+            .iter()
+            .zip(&fwd_index)
+            .map(|((_, _, c), &fi)| match (c.as_finite(), &edges[fi].cap) {
+                (Some(orig), Some(resid)) => orig - resid,
+                (None, _) => edges[edges[fi].paired]
+                    .cap
+                    .clone()
+                    .expect("reverse residual is finite"),
+                (Some(_), None) => unreachable!("finite arc keeps finite residual"),
+            })
+            .collect();
+
+        Ok(MaxFlow { value: total, arc_flow, source_side })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from(n)
+    }
+
+    fn fin(n: i64) -> Capacity {
+        Capacity::Finite(r(n))
+    }
+
+    #[test]
+    fn single_arc() {
+        let mut n = FlowNetwork::new(2, 0, 1);
+        n.add_arc(0, 1, fin(5));
+        let mf = n.max_flow().unwrap();
+        assert_eq!(mf.value, r(5));
+        assert!(mf.source_side[0] && !mf.source_side[1]);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // s -> a (3), s -> b (2), a -> t (2), b -> t (3), a -> b (5)
+        let mut n = FlowNetwork::new(4, 0, 3);
+        n.add_arc(0, 1, fin(3));
+        n.add_arc(0, 2, fin(2));
+        n.add_arc(1, 3, fin(2));
+        n.add_arc(2, 3, fin(3));
+        n.add_arc(1, 2, fin(5));
+        let mf = n.max_flow().unwrap();
+        assert_eq!(mf.value, r(5));
+    }
+
+    #[test]
+    fn rational_capacities() {
+        let mut n = FlowNetwork::new(3, 0, 2);
+        n.add_arc(0, 1, Capacity::Finite(Rational::new(1, 3)));
+        n.add_arc(1, 2, Capacity::Finite(Rational::new(1, 2)));
+        let mf = n.max_flow().unwrap();
+        assert_eq!(mf.value, Rational::new(1, 3));
+    }
+
+    #[test]
+    fn infinite_arcs_route_around() {
+        // s -> a (inf), a -> t (4): flow 4; cut at a -> t.
+        let mut n = FlowNetwork::new(3, 0, 2);
+        n.add_arc(0, 1, Capacity::Infinite);
+        n.add_arc(1, 2, fin(4));
+        let mf = n.max_flow().unwrap();
+        assert_eq!(mf.value, r(4));
+        assert!(mf.source_side[1], "infinite arc is never cut");
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut n = FlowNetwork::new(3, 0, 2);
+        n.add_arc(0, 1, Capacity::Infinite);
+        n.add_arc(1, 2, Capacity::Infinite);
+        assert!(matches!(n.max_flow(), Err(UnboundedFlow)));
+    }
+
+    #[test]
+    fn min_cut_equals_max_flow() {
+        // Random-ish fixed graph; verify cut value equals flow value.
+        let mut n = FlowNetwork::new(6, 0, 5);
+        let caps = [
+            (0, 1, 7),
+            (0, 2, 4),
+            (1, 3, 5),
+            (2, 3, 3),
+            (2, 4, 2),
+            (3, 5, 8),
+            (4, 5, 3),
+            (1, 4, 2),
+        ];
+        for (f, t, c) in caps {
+            n.add_arc(f, t, fin(c));
+        }
+        let mf = n.max_flow().unwrap();
+        let cut_value: Rational = n
+            .arcs()
+            .iter()
+            .filter(|(f, t, _)| mf.source_side[*f] && !mf.source_side[*t])
+            .map(|(_, _, c)| c.as_finite().unwrap().clone())
+            .fold(Rational::zero(), |a, b| &a + &b);
+        assert_eq!(mf.value, cut_value);
+    }
+
+    #[test]
+    fn flow_conservation() {
+        let mut n = FlowNetwork::new(5, 0, 4);
+        for (f, t, c) in [(0, 1, 4), (0, 2, 3), (1, 3, 3), (2, 3, 5), (3, 4, 6), (1, 2, 1)] {
+            n.add_arc(f, t, fin(c));
+        }
+        let mf = n.max_flow().unwrap();
+        for node in 1..4 {
+            let inflow: Rational = n
+                .arcs()
+                .iter()
+                .zip(&mf.arc_flow)
+                .filter(|((_, t, _), _)| *t == node)
+                .map(|(_, fl)| fl.clone())
+                .fold(Rational::zero(), |a, b| &a + &b);
+            let outflow: Rational = n
+                .arcs()
+                .iter()
+                .zip(&mf.arc_flow)
+                .filter(|((f, _, _), _)| *f == node)
+                .map(|(_, fl)| fl.clone())
+                .fold(Rational::zero(), |a, b| &a + &b);
+            assert_eq!(inflow, outflow, "conservation at {node}");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_graph() {
+        let mut n = FlowNetwork::new(2, 0, 1);
+        n.add_arc(0, 1, Capacity::zero());
+        let mf = n.max_flow().unwrap();
+        assert_eq!(mf.value, Rational::zero());
+    }
+}

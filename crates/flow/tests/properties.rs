@@ -1,0 +1,146 @@
+//! Property tests: max-flow/min-cut duality on random graphs, and
+//! soundness of the Lemma-1 optimality regions against brute-force
+//! minimum cuts.
+
+use offload_flow::{Capacity, FlowNetwork, ParamCap, ParamNetwork};
+use offload_poly::{Constraint, LinExpr, Polyhedron, Rational};
+use proptest::prelude::*;
+
+fn r(n: i64) -> Rational {
+    Rational::from(n)
+}
+
+/// Random small graph: 4-7 nodes, arcs with capacities 0..20.
+fn random_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize, i64)>)> {
+    (4usize..=7).prop_flat_map(|n| {
+        let arcs = prop::collection::vec(
+            (0..n, 0..n, 0i64..=20).prop_filter("no self arcs", |(f, t, _)| f != t),
+            1..=16,
+        );
+        (Just(n), arcs)
+    })
+}
+
+/// Brute-force minimum cut by enumerating all side assignments.
+fn brute_min_cut(n: usize, arcs: &[(usize, usize, i64)], s: usize, t: usize) -> Rational {
+    let mut best: Option<i64> = None;
+    for mask in 0u32..(1 << n) {
+        if mask & (1 << s) == 0 || mask & (1 << t) != 0 {
+            continue;
+        }
+        let val: i64 = arcs
+            .iter()
+            .filter(|(f, to, _)| mask & (1 << f) != 0 && mask & (1 << to) == 0)
+            .map(|(_, _, c)| *c)
+            .sum();
+        best = Some(best.map_or(val, |b: i64| b.min(val)));
+    }
+    r(best.expect("at least the trivial cut"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn maxflow_equals_brute_force_mincut((n, arcs) in random_graph()) {
+        let (s, t) = (0, n - 1);
+        let mut net = FlowNetwork::new(n, s, t);
+        for &(f, to, c) in &arcs {
+            net.add_arc(f, to, Capacity::Finite(r(c)));
+        }
+        let mf = net.max_flow().unwrap();
+        prop_assert_eq!(mf.value, brute_min_cut(n, &arcs, s, t));
+    }
+
+    #[test]
+    fn reported_cut_achieves_flow_value((n, arcs) in random_graph()) {
+        let (s, t) = (0, n - 1);
+        let mut net = FlowNetwork::new(n, s, t);
+        for &(f, to, c) in &arcs {
+            net.add_arc(f, to, Capacity::Finite(r(c)));
+        }
+        let mf = net.max_flow().unwrap();
+        prop_assert!(mf.source_side[s]);
+        prop_assert!(!mf.source_side[t]);
+        let cut: Rational = net
+            .arcs()
+            .iter()
+            .filter(|(f, to, _)| mf.source_side[*f] && !mf.source_side[*to])
+            .map(|(_, _, c)| c.as_finite().unwrap().clone())
+            .fold(Rational::zero(), |a, b| &a + &b);
+        prop_assert_eq!(mf.value, cut);
+    }
+
+    /// Parametric regions: at every integer point of a small range, a cut
+    /// whose region contains the point must achieve the true minimum there.
+    #[test]
+    fn optimality_regions_sound(
+        (n, arcs) in random_graph(),
+        slopes in prop::collection::vec(0i64..=3, 16),
+    ) {
+        let (s, t) = (0, n - 1);
+        let mut net = ParamNetwork::new(1, n, s, t);
+        for (i, &(f, to, c)) in arcs.iter().enumerate() {
+            let slope = slopes[i % slopes.len()];
+            net.add_arc(
+                f,
+                to,
+                ParamCap::Affine(
+                    LinExpr::constant(1, r(c)).plus_term(0, r(slope)),
+                ),
+            );
+        }
+        let space = Polyhedron::from_constraints(1, vec![
+            Constraint::ge0(LinExpr::var(1, 0)),
+            Constraint::ge0(LinExpr::constant(1, r(8)).plus_term(0, r(-1))),
+        ]);
+        // Solve at x = 2, get a cut, compute its region.
+        let probe = [r(2)];
+        let mf = net.solve_at(&probe).unwrap();
+        let region = net.optimality_region(&mf.source_side, &space);
+        prop_assert!(region.contains(&probe), "cut must be optimal where it was found");
+        for x in 0..=8i64 {
+            let p = [r(x)];
+            if region.contains(&p) {
+                let best = net.solve_at(&p).unwrap().value;
+                let this = match net.cut_value_at(&mf.source_side, &p) {
+                    Capacity::Finite(v) => v,
+                    Capacity::Infinite => {
+                        prop_assert!(false, "finite cut expected");
+                        unreachable!()
+                    }
+                };
+                prop_assert_eq!(this, best, "region over-claims at x={}", x);
+            }
+        }
+    }
+
+    /// Simplification never changes the min-cut value.
+    #[test]
+    fn simplification_value_preserving(
+        (n, arcs) in random_graph(),
+        inf_mask in any::<u16>(),
+    ) {
+        let (s, t) = (0, n - 1);
+        let mut net = ParamNetwork::new(1, n, s, t);
+        for (i, &(f, to, c)) in arcs.iter().enumerate() {
+            let cap = if inf_mask & (1 << (i % 16)) != 0 {
+                ParamCap::Infinite
+            } else {
+                ParamCap::constant(1, r(c))
+            };
+            net.add_arc(f, to, cap);
+        }
+        let space = Polyhedron::from_constraints(1, vec![Constraint::ge0(LinExpr::var(1, 0))]);
+        let (simplified, _) = net.simplify(&space);
+        for x in [0i64, 3, 9] {
+            let v1 = net.solve_at(&[r(x)]);
+            let v2 = simplified.solve_at(&[r(x)]);
+            match (v1, v2) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a.value, b.value),
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(false, "bounded/unbounded mismatch: {:?} vs {:?}", a.map(|m| m.value), b.map(|m| m.value)),
+            }
+        }
+    }
+}

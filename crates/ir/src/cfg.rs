@@ -1,0 +1,331 @@
+//! Control-flow-graph analyses over a lowered function: predecessors,
+//! reverse postorder, dominator tree, and natural loops.
+//!
+//! The symbolic cost analysis uses natural loops to recover trip counts,
+//! and the task-control-flow-graph construction uses reachability.
+
+use crate::ir::{BlockId, FuncDef};
+use std::collections::{HashMap, HashSet};
+
+/// Predecessor lists for every block.
+#[derive(Debug, Clone)]
+pub struct Preds {
+    preds: Vec<Vec<BlockId>>,
+}
+
+impl Preds {
+    /// Computes predecessors for `f`.
+    pub fn compute(f: &FuncDef) -> Self {
+        let mut preds = vec![Vec::new(); f.blocks.len()];
+        for (id, b) in f.iter_blocks() {
+            for s in b.term.successors() {
+                preds[s.index()].push(id);
+            }
+        }
+        Preds { preds }
+    }
+
+    /// Predecessors of `b`.
+    pub fn of(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+}
+
+/// Blocks reachable from the entry, in reverse postorder.
+pub fn reverse_postorder(f: &FuncDef) -> Vec<BlockId> {
+    let mut visited = vec![false; f.blocks.len()];
+    let mut post = Vec::new();
+    // Iterative DFS with an explicit stack of (block, next-successor).
+    let mut stack: Vec<(BlockId, Vec<BlockId>, usize)> = Vec::new();
+    visited[f.entry.index()] = true;
+    stack.push((f.entry, f.block(f.entry).term.successors(), 0));
+    while let Some((b, succs, idx)) = stack.last_mut() {
+        if *idx < succs.len() {
+            let next = succs[*idx];
+            *idx += 1;
+            if !visited[next.index()] {
+                visited[next.index()] = true;
+                stack.push((next, f.block(next).term.successors(), 0));
+            }
+        } else {
+            post.push(*b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Immediate-dominator tree (entry dominates everything reachable).
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of `b`; the entry maps to
+    /// itself; unreachable blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+    rpo_index: Vec<usize>,
+}
+
+impl Dominators {
+    /// Computes dominators with the Cooper–Harvey–Kennedy iterative
+    /// algorithm.
+    pub fn compute(f: &FuncDef, preds: &Preds) -> Self {
+        let rpo = reverse_postorder(f);
+        let mut rpo_index = vec![usize::MAX; f.blocks.len()];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; f.blocks.len()];
+        idom[f.entry.index()] = Some(f.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in preds.of(b) {
+                    if idom[p.index()].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => Self::intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom, rpo_index }
+    }
+
+    fn intersect(
+        idom: &[Option<BlockId>],
+        rpo_index: &[usize],
+        mut a: BlockId,
+        mut b: BlockId,
+    ) -> BlockId {
+        while a != b {
+            while rpo_index[a.index()] > rpo_index[b.index()] {
+                a = idom[a.index()].expect("processed");
+            }
+            while rpo_index[b.index()] > rpo_index[a.index()] {
+                b = idom[b.index()].expect("processed");
+            }
+        }
+        a
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry and unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom[b.index()] {
+            Some(d) if d != b => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Returns `true` if `b` is reachable from the entry.
+    pub fn reachable(&self, b: BlockId) -> bool {
+        self.idom[b.index()].is_some()
+    }
+
+    /// Position of `b` in reverse postorder (`usize::MAX` if unreachable).
+    pub fn rpo_index(&self, b: BlockId) -> usize {
+        self.rpo_index[b.index()]
+    }
+}
+
+/// A natural loop.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// Loop header (target of the back edge).
+    pub header: BlockId,
+    /// All blocks in the loop body, including the header.
+    pub body: HashSet<BlockId>,
+    /// Sources of back edges into the header (latches).
+    pub latches: Vec<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Returns `true` if the block belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+}
+
+/// Finds all natural loops of `f` (one per header; back edges sharing a
+/// header are merged, as usual).
+pub fn natural_loops(f: &FuncDef, preds: &Preds, doms: &Dominators) -> Vec<NaturalLoop> {
+    let mut by_header: HashMap<BlockId, NaturalLoop> = HashMap::new();
+    for (id, b) in f.iter_blocks() {
+        if !doms.reachable(id) {
+            continue;
+        }
+        for s in b.term.successors() {
+            if doms.dominates(s, id) {
+                // Back edge id -> s.
+                let entry = by_header.entry(s).or_insert_with(|| NaturalLoop {
+                    header: s,
+                    body: HashSet::from([s]),
+                    latches: Vec::new(),
+                });
+                entry.latches.push(id);
+                // Walk predecessors from the latch up to the header.
+                let mut stack = vec![id];
+                while let Some(n) = stack.pop() {
+                    if entry.body.insert(n) {
+                        for &p in preds.of(n) {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut loops: Vec<NaturalLoop> = by_header.into_values().collect();
+    // Stable order: by header id, inner loops after outer ones when nested
+    // (larger body first for equal ancestry is not needed; header order is
+    // deterministic and sufficient for consumers).
+    loops.sort_by_key(|l| l.header);
+    loops
+}
+
+/// The innermost loop containing each block, as indices into the result of
+/// [`natural_loops`].
+pub fn innermost_loop_map(f: &FuncDef, loops: &[NaturalLoop]) -> Vec<Option<usize>> {
+    let mut map: Vec<Option<usize>> = vec![None; f.blocks.len()];
+    for (i, l) in loops.iter().enumerate() {
+        for &b in &l.body {
+            match map[b.index()] {
+                // A smaller body strictly nested inside means more inner.
+                Some(j) if loops[j].body.len() <= l.body.len() => {}
+                _ => map[b.index()] = Some(i),
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use offload_lang::frontend;
+
+    fn func(src: &str) -> FuncDef {
+        let m = lower(&frontend(src).unwrap());
+        m.function(m.main).clone()
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let f = func("void main() { output(1); output(2); }");
+        let preds = Preds::compute(&f);
+        let doms = Dominators::compute(&f, &preds);
+        assert!(natural_loops(&f, &preds, &doms).is_empty());
+    }
+
+    #[test]
+    fn single_loop_detected() {
+        let f = func("void main(int n) { int i; for (i = 0; i < n; i++) { output(i); } }");
+        let preds = Preds::compute(&f);
+        let doms = Dominators::compute(&f, &preds);
+        let loops = natural_loops(&f, &preds, &doms);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert!(l.body.len() >= 3, "header, body, step");
+        assert_eq!(l.latches.len(), 1);
+    }
+
+    #[test]
+    fn nested_loops_detected() {
+        let f = func(
+            "void main(int n) {
+                 int i; int j;
+                 for (i = 0; i < n; i++) {
+                     for (j = 0; j < n; j++) { output(j); }
+                 }
+             }",
+        );
+        let preds = Preds::compute(&f);
+        let doms = Dominators::compute(&f, &preds);
+        let loops = natural_loops(&f, &preds, &doms);
+        assert_eq!(loops.len(), 2);
+        let (outer, inner) = if loops[0].body.len() > loops[1].body.len() {
+            (&loops[0], &loops[1])
+        } else {
+            (&loops[1], &loops[0])
+        };
+        for b in &inner.body {
+            assert!(outer.contains(*b), "inner loop nested in outer");
+        }
+        let map = innermost_loop_map(&f, &loops);
+        // The inner header's innermost loop is the inner loop.
+        let inner_idx = loops.iter().position(|l| l.header == inner.header).unwrap();
+        assert_eq!(map[inner.header.index()], Some(inner_idx));
+    }
+
+    #[test]
+    fn dominators_basic_properties() {
+        let f = func(
+            "void main(int a) {
+                 if (a) { output(1); } else { output(2); }
+                 output(3);
+             }",
+        );
+        let preds = Preds::compute(&f);
+        let doms = Dominators::compute(&f, &preds);
+        for (id, _) in f.iter_blocks() {
+            if doms.reachable(id) {
+                assert!(doms.dominates(f.entry, id), "entry dominates everything");
+                assert!(doms.dominates(id, id), "reflexive");
+            }
+        }
+        // The two branch arms do not dominate the join block.
+        let rpo = reverse_postorder(&f);
+        let join = *rpo.last().unwrap();
+        let arms: Vec<BlockId> = preds.of(join).to_vec();
+        if arms.len() == 2 {
+            assert!(!doms.dominates(arms[0], join) || !doms.dominates(arms[1], join));
+        }
+    }
+
+    #[test]
+    fn while_loop_header_dominates_body() {
+        let f = func("void main(int n) { while (n > 0) { n = n - 1; } output(n); }");
+        let preds = Preds::compute(&f);
+        let doms = Dominators::compute(&f, &preds);
+        let loops = natural_loops(&f, &preds, &doms);
+        assert_eq!(loops.len(), 1);
+        for &b in &loops[0].body {
+            assert!(doms.dominates(loops[0].header, b));
+        }
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let f = func("void main(int n) { if (n) { output(1); } output(2); }");
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo[0], f.entry);
+        // RPO visits each reachable block exactly once.
+        let set: HashSet<_> = rpo.iter().collect();
+        assert_eq!(set.len(), rpo.len());
+    }
+}

@@ -1,0 +1,110 @@
+//! Human-readable dumps of the IR (for debugging and golden tests).
+
+use crate::ir::*;
+use std::fmt::Write;
+
+/// Renders a module as text.
+pub fn dump_module(m: &Module) -> String {
+    let mut out = String::new();
+    for g in &m.globals {
+        let _ = writeln!(out, "global {} : {} ({} slots)", g.name, g.ty, g.slots);
+    }
+    for (i, f) in m.functions.iter().enumerate() {
+        let _ = writeln!(out, "\n{}:", FuncId(i as u32));
+        out.push_str(&dump_function(f));
+    }
+    out
+}
+
+/// Renders one function as text.
+pub fn dump_function(f: &FuncDef) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f.params.iter().map(|p| format!("{p}")).collect();
+    let _ = writeln!(out, "func {}({}) -> {} {{", f.name, params.join(", "), f.ret);
+    for (i, l) in f.locals.iter().enumerate() {
+        let kind = match &l.kind {
+            LocalKind::Register => "reg".to_string(),
+            LocalKind::Memory { slots } => format!("mem[{slots}]"),
+        };
+        let _ = writeln!(out, "  local {} = {} : {} ({kind})", LocalId(i as u32), l.name, l.ty);
+    }
+    for (id, b) in f.iter_blocks() {
+        let _ = writeln!(out, "{id}:");
+        for inst in &b.insts {
+            let _ = writeln!(out, "    {}", dump_inst(inst));
+        }
+        let _ = writeln!(out, "    {}", dump_term(&b.term));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders one instruction.
+pub fn dump_inst(i: &Inst) -> String {
+    use offload_lang::UnOp;
+    match i {
+        Inst::Copy { dst, src } => format!("{dst} = {src}"),
+        Inst::Un { dst, op: UnOp::Neg, src } => format!("{dst} = -{src}"),
+        Inst::Un { dst, op: UnOp::Not, src } => format!("{dst} = !{src}"),
+        Inst::Bin { dst, op, lhs, rhs } => format!("{dst} = {lhs} {op} {rhs}"),
+        Inst::AddrGlobal { dst, global } => format!("{dst} = &{global}"),
+        Inst::AddrLocal { dst, local } => format!("{dst} = &{local}"),
+        Inst::AddrIndex { dst, base, index, stride } => {
+            format!("{dst} = {base} + {index} * {stride}")
+        }
+        Inst::AddrField { dst, base, offset } => format!("{dst} = {base} + {offset}"),
+        Inst::Load { dst, addr } => format!("{dst} = *{addr}"),
+        Inst::Store { addr, src } => format!("*{addr} = {src}"),
+        Inst::Alloc { dst, elem_slots, count, site } => {
+            format!("{dst} = alloc {count} x {elem_slots} ({site})")
+        }
+        Inst::LoadFunc { dst, func } => format!("{dst} = &{func}"),
+        Inst::Call { dst: Some(d), callee, args } => {
+            format!("{d} = call {}({})", dump_callee(callee), dump_args(args))
+        }
+        Inst::Call { dst: None, callee, args } => {
+            format!("call {}({})", dump_callee(callee), dump_args(args))
+        }
+        Inst::Input { dst } => format!("{dst} = input()"),
+        Inst::Output { src } => format!("output({src})"),
+    }
+}
+
+fn dump_callee(c: &Callee) -> String {
+    match c {
+        Callee::Direct(f) => format!("{f}"),
+        Callee::Indirect(o) => format!("*{o}"),
+    }
+}
+
+fn dump_args(args: &[Operand]) -> String {
+    args.iter().map(|a| format!("{a}")).collect::<Vec<_>>().join(", ")
+}
+
+/// Renders one terminator.
+pub fn dump_term(t: &Terminator) -> String {
+    match t {
+        Terminator::Goto(b) => format!("goto {b}"),
+        Terminator::Branch { cond, then, otherwise } => {
+            format!("br {cond} ? {then} : {otherwise}")
+        }
+        Terminator::Return(Some(v)) => format!("ret {v}"),
+        Terminator::Return(None) => "ret".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use offload_lang::frontend;
+
+    #[test]
+    fn dump_contains_structure() {
+        let m = lower(&frontend("void main(int n) { output(n); }").unwrap());
+        let text = dump_module(&m);
+        assert!(text.contains("func main"));
+        assert!(text.contains("output("));
+        assert!(text.contains("ret"));
+    }
+}

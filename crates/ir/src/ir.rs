@@ -1,0 +1,528 @@
+//! The three-address intermediate representation.
+//!
+//! All analyses of the offloading compiler (task formation, points-to,
+//! symbolic cost analysis) and the distributed interpreter operate on this
+//! IR, lowered from the type-checked AST by [`crate::lower`].
+//!
+//! ## Memory model
+//!
+//! Scalars live in *register locals*. Aggregates (arrays, structs) and
+//! address-taken scalars live in *memory objects* addressed by
+//! `(object, slot)` pairs at run time; the IR manipulates addresses as
+//! first-class scalar values produced by the `Addr*` instructions. Every
+//! type has a fixed *slot* footprint: scalars take one slot, aggregates the
+//! sum of their parts — mirroring the paper's typed abstract memory
+//! locations (§2.3).
+
+use offload_lang::{BinOp, Type, UnOp};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The id as a usable index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A function in a [`Module`].
+    FuncId,
+    "fn"
+);
+id_type!(
+    /// A basic block within a function.
+    BlockId,
+    "bb"
+);
+id_type!(
+    /// A local slot (register or memory object) within a function.
+    LocalId,
+    "%"
+);
+id_type!(
+    /// A global memory object.
+    GlobalId,
+    "@g"
+);
+id_type!(
+    /// A dynamic allocation site (one `alloc` instruction).
+    AllocSiteId,
+    "site"
+);
+
+/// An operand: a constant or the value of a register local.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Integer constant.
+    Const(i64),
+    /// Value of a register local.
+    Local(LocalId),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Const(c) => write!(f, "{c}"),
+            Operand::Local(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// Binary operators available in the IR (short-circuit `&&`/`||` are
+/// lowered to control flow, so they never appear here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IrBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating; division by zero traps)
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl IrBinOp {
+    /// Lowers an AST operator; `&&`/`||` have no IR counterpart.
+    pub fn from_ast(op: BinOp) -> Option<IrBinOp> {
+        Some(match op {
+            BinOp::Add => IrBinOp::Add,
+            BinOp::Sub => IrBinOp::Sub,
+            BinOp::Mul => IrBinOp::Mul,
+            BinOp::Div => IrBinOp::Div,
+            BinOp::Rem => IrBinOp::Rem,
+            BinOp::Eq => IrBinOp::Eq,
+            BinOp::Ne => IrBinOp::Ne,
+            BinOp::Lt => IrBinOp::Lt,
+            BinOp::Le => IrBinOp::Le,
+            BinOp::Gt => IrBinOp::Gt,
+            BinOp::Ge => IrBinOp::Ge,
+            BinOp::And | BinOp::Or => return None,
+        })
+    }
+}
+
+impl fmt::Display for IrBinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IrBinOp::Add => "+",
+            IrBinOp::Sub => "-",
+            IrBinOp::Mul => "*",
+            IrBinOp::Div => "/",
+            IrBinOp::Rem => "%",
+            IrBinOp::Eq => "==",
+            IrBinOp::Ne => "!=",
+            IrBinOp::Lt => "<",
+            IrBinOp::Le => "<=",
+            IrBinOp::Gt => ">",
+            IrBinOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Callee of a [`Inst::Call`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// Direct call to a known function.
+    Direct(FuncId),
+    /// Indirect call through a `fn` value.
+    Indirect(Operand),
+}
+
+/// An IR instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst = src`.
+    Copy {
+        /// Destination register.
+        dst: LocalId,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = op src`.
+    Un {
+        /// Destination register.
+        dst: LocalId,
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        src: Operand,
+    },
+    /// `dst = lhs op rhs`.
+    Bin {
+        /// Destination register.
+        dst: LocalId,
+        /// Operator.
+        op: IrBinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = &global`.
+    AddrGlobal {
+        /// Destination register (holds an address).
+        dst: LocalId,
+        /// The global object.
+        global: GlobalId,
+    },
+    /// `dst = &local` (the local must be a memory local).
+    AddrLocal {
+        /// Destination register (holds an address).
+        dst: LocalId,
+        /// The memory local.
+        local: LocalId,
+    },
+    /// `dst = base + index * stride` (address arithmetic in slots).
+    AddrIndex {
+        /// Destination register (holds an address).
+        dst: LocalId,
+        /// Base address.
+        base: Operand,
+        /// Element index.
+        index: Operand,
+        /// Element footprint in slots.
+        stride: u32,
+    },
+    /// `dst = base + offset` (field address, offset in slots).
+    AddrField {
+        /// Destination register (holds an address).
+        dst: LocalId,
+        /// Base address of the struct.
+        base: Operand,
+        /// Field offset in slots.
+        offset: u32,
+    },
+    /// `dst = *addr`.
+    Load {
+        /// Destination register.
+        dst: LocalId,
+        /// Address to read.
+        addr: Operand,
+    },
+    /// `*addr = src`.
+    Store {
+        /// Address to write.
+        addr: Operand,
+        /// Value to store.
+        src: Operand,
+    },
+    /// `dst = alloc(elem_slots * count)` — dynamic allocation.
+    Alloc {
+        /// Destination register (receives the new object's address).
+        dst: LocalId,
+        /// Element footprint in slots.
+        elem_slots: u32,
+        /// Number of elements.
+        count: Operand,
+        /// The allocation site (one per `alloc` expression).
+        site: AllocSiteId,
+    },
+    /// `dst = &func` — materialize a function pointer.
+    LoadFunc {
+        /// Destination register.
+        dst: LocalId,
+        /// Referenced function.
+        func: FuncId,
+    },
+    /// `[dst =] callee(args)`.
+    Call {
+        /// Register receiving the return value, if used.
+        dst: Option<LocalId>,
+        /// Target.
+        callee: Callee,
+        /// Scalar arguments.
+        args: Vec<Operand>,
+    },
+    /// `dst = input()` — client I/O.
+    Input {
+        /// Destination register.
+        dst: LocalId,
+    },
+    /// `output(src)` — client I/O.
+    Output {
+        /// Value to emit.
+        src: Operand,
+    },
+}
+
+impl Inst {
+    /// The register this instruction defines, if any.
+    pub fn def(&self) -> Option<LocalId> {
+        match self {
+            Inst::Copy { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::AddrGlobal { dst, .. }
+            | Inst::AddrLocal { dst, .. }
+            | Inst::AddrIndex { dst, .. }
+            | Inst::AddrField { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::Alloc { dst, .. }
+            | Inst::LoadFunc { dst, .. }
+            | Inst::Input { dst } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            Inst::Store { .. } | Inst::Output { .. } => None,
+        }
+    }
+
+    /// The register operands this instruction reads.
+    pub fn uses(&self) -> Vec<LocalId> {
+        fn op(o: &Operand, out: &mut Vec<LocalId>) {
+            if let Operand::Local(l) = o {
+                out.push(*l);
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            Inst::Copy { src, .. } | Inst::Un { src, .. } => op(src, &mut out),
+            Inst::Bin { lhs, rhs, .. } => {
+                op(lhs, &mut out);
+                op(rhs, &mut out);
+            }
+            Inst::AddrIndex { base, index, .. } => {
+                op(base, &mut out);
+                op(index, &mut out);
+            }
+            Inst::AddrField { base, .. } => op(base, &mut out),
+            Inst::Load { addr, .. } => op(addr, &mut out),
+            Inst::Store { addr, src } => {
+                op(addr, &mut out);
+                op(src, &mut out);
+            }
+            Inst::Alloc { count, .. } => op(count, &mut out),
+            Inst::Call { callee, args, .. } => {
+                if let Callee::Indirect(c) = callee {
+                    op(c, &mut out);
+                }
+                for a in args {
+                    op(a, &mut out);
+                }
+            }
+            Inst::Output { src } => op(src, &mut out),
+            Inst::AddrGlobal { .. }
+            | Inst::AddrLocal { .. }
+            | Inst::LoadFunc { .. }
+            | Inst::Input { .. } => {}
+        }
+        out
+    }
+
+    /// Returns `true` for the I/O instructions that pin a task to the
+    /// client under the paper's semantic constraint.
+    pub fn is_io(&self) -> bool {
+        matches!(self, Inst::Input { .. } | Inst::Output { .. })
+    }
+}
+
+/// A basic-block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Goto(BlockId),
+    /// Two-way branch on a scalar condition (non-zero = taken).
+    Branch {
+        /// Condition operand.
+        cond: Operand,
+        /// Successor when the condition is non-zero.
+        then: BlockId,
+        /// Successor when the condition is zero.
+        otherwise: BlockId,
+    },
+    /// Function return.
+    Return(Option<Operand>),
+}
+
+impl Terminator {
+    /// Successor blocks, in order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Goto(b) => vec![*b],
+            Terminator::Branch { then, otherwise, .. } => vec![*then, *otherwise],
+            Terminator::Return(_) => vec![],
+        }
+    }
+}
+
+/// A basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub insts: Vec<Inst>,
+    /// Closing control transfer.
+    pub term: Terminator,
+}
+
+/// Storage class of a local.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalKind {
+    /// Scalar value in a virtual register.
+    Register,
+    /// Stack memory object of the given slot size (aggregates and
+    /// address-taken scalars).
+    Memory {
+        /// Footprint in slots.
+        slots: u32,
+    },
+}
+
+/// A local definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalDef {
+    /// Source name (synthetic temporaries are named `$tN`).
+    pub name: String,
+    /// Source-level type.
+    pub ty: Type,
+    /// Register or memory object.
+    pub kind: LocalKind,
+}
+
+impl LocalDef {
+    /// Returns `true` if the local is a memory object.
+    pub fn is_memory(&self) -> bool {
+        matches!(self.kind, LocalKind::Memory { .. })
+    }
+}
+
+/// A lowered function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDef {
+    /// Source name.
+    pub name: String,
+    /// Parameter locals (always registers), in order.
+    pub params: Vec<LocalId>,
+    /// Return type.
+    pub ret: Type,
+    /// All locals (parameters first).
+    pub locals: Vec<LocalDef>,
+    /// Basic blocks; `blocks[entry.index()]` is the entry.
+    pub blocks: Vec<Block>,
+    /// Entry block.
+    pub entry: BlockId,
+}
+
+impl FuncDef {
+    /// The block with the given id.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// The local definition with the given id.
+    pub fn local(&self, id: LocalId) -> &LocalDef {
+        &self.locals[id.index()]
+    }
+
+    /// Iterates over `(BlockId, &Block)`.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+    }
+}
+
+/// A global memory object definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalDef {
+    /// Source name.
+    pub name: String,
+    /// Source-level type.
+    pub ty: Type,
+    /// Footprint in slots.
+    pub slots: u32,
+}
+
+/// Layout of a struct: field offsets in slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructLayout {
+    /// Struct name.
+    pub name: String,
+    /// `(field name, type, offset in slots)`.
+    pub fields: Vec<(String, Type, u32)>,
+    /// Total footprint in slots.
+    pub slots: u32,
+}
+
+/// A whole lowered program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Struct layouts (indexed by original declaration order).
+    pub structs: Vec<StructLayout>,
+    /// Global objects.
+    pub globals: Vec<GlobalDef>,
+    /// Functions; `functions[main.index()]` is the entry point.
+    pub functions: Vec<FuncDef>,
+    /// The entry function (`main`).
+    pub main: FuncId,
+    /// Number of allocation sites in the whole module.
+    pub alloc_sites: u32,
+}
+
+impl Module {
+    /// The function with the given id.
+    pub fn function(&self, id: FuncId) -> &FuncDef {
+        &self.functions[id.index()]
+    }
+
+    /// Finds a function id by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+    }
+
+    /// Finds a global id by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals.iter().position(|g| g.name == name).map(|i| GlobalId(i as u32))
+    }
+
+    /// Slot footprint of a type under this module's struct layouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the type mentions an unknown struct (impossible for
+    /// type-checked input).
+    pub fn slots_of(&self, ty: &Type) -> u32 {
+        match ty {
+            Type::Int | Type::Ptr(_) | Type::Fn => 1,
+            Type::Void => 0,
+            Type::Array(t, n) => self.slots_of(t) * (*n as u32),
+            Type::Struct(name) => {
+                self.structs
+                    .iter()
+                    .find(|s| &s.name == name)
+                    .expect("struct exists in checked program")
+                    .slots
+            }
+        }
+    }
+
+    /// The struct layout for `name`.
+    pub fn struct_layout(&self, name: &str) -> Option<&StructLayout> {
+        self.structs.iter().find(|s| s.name == name)
+    }
+}

@@ -1,0 +1,43 @@
+//! # offload-ir
+//!
+//! Three-address intermediate representation plus control-flow analyses
+//! (predecessors, dominators, natural loops) for the computation
+//! offloading compiler.
+//!
+//! The [`lower`] function turns a type-checked mini-C program
+//! ([`offload_lang::CheckedProgram`]) into a [`Module`] of functions made
+//! of basic blocks. Aggregates live in memory objects addressed in
+//! *slots*; scalars live in virtual registers (see [`ir`] module docs).
+//!
+//! ```
+//! use offload_lang::frontend;
+//! use offload_ir::{lower, Preds, Dominators, natural_loops};
+//!
+//! let checked = frontend(
+//!     "void main(int n) { int i; for (i = 0; i < n; i++) { output(i); } }",
+//! )?;
+//! let module = lower(&checked);
+//! let main = module.function(module.main);
+//! let preds = Preds::compute(main);
+//! let doms = Dominators::compute(main, &preds);
+//! assert_eq!(natural_loops(main, &preds, &doms).len(), 1);
+//! # Ok::<(), offload_lang::LangError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cfg;
+pub mod display;
+pub mod ir;
+mod lower;
+
+pub use cfg::{
+    innermost_loop_map, natural_loops, reverse_postorder, Dominators, NaturalLoop, Preds,
+};
+pub use display::{dump_function, dump_inst, dump_module, dump_term};
+pub use ir::{
+    AllocSiteId, Block, BlockId, Callee, FuncDef, FuncId, GlobalDef, GlobalId, Inst, IrBinOp,
+    LocalDef, LocalId, LocalKind, Module, Operand, StructLayout, Terminator,
+};
+pub use lower::lower;

@@ -1,0 +1,927 @@
+//! Lowering from the type-checked AST to the three-address IR.
+
+use crate::ir::*;
+use offload_lang::{
+    BinOp, Block as AstBlock, CallTarget, CheckedProgram, Expr, ExprKind, Function, NodeId,
+    Stmt, Type, UnOp,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Lowers a type-checked program to an IR [`Module`].
+///
+/// # Panics
+///
+/// Panics only on violations of invariants guaranteed by the type checker
+/// (the function is total on `check`-accepted programs).
+///
+/// # Examples
+///
+/// ```
+/// use offload_lang::frontend;
+/// use offload_ir::lower;
+///
+/// let checked = frontend("void main(int n) { output(n + 1); }")?;
+/// let module = lower(&checked);
+/// assert_eq!(module.functions.len(), 1);
+/// assert_eq!(module.function(module.main).name, "main");
+/// # Ok::<(), offload_lang::LangError>(())
+/// ```
+pub fn lower(checked: &CheckedProgram) -> Module {
+    let program = &checked.program;
+
+    // Struct layouts, in declaration order (definitions may only reference
+    // earlier structs by value, so one pass suffices).
+    let mut structs: Vec<StructLayout> = Vec::new();
+    for s in &program.structs {
+        let mut offset = 0u32;
+        let mut fields = Vec::new();
+        for (name, ty) in &s.fields {
+            fields.push((name.clone(), ty.clone(), offset));
+            offset += slots_of(ty, &structs);
+        }
+        structs.push(StructLayout { name: s.name.clone(), fields, slots: offset });
+    }
+
+    let globals: Vec<GlobalDef> = program
+        .globals
+        .iter()
+        .map(|g| GlobalDef {
+            name: g.name.clone(),
+            ty: g.ty.clone(),
+            slots: slots_of(&g.ty, &structs),
+        })
+        .collect();
+
+    let func_ids: HashMap<String, FuncId> = program
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.clone(), FuncId(i as u32)))
+        .collect();
+
+    let mut alloc_sites = 0u32;
+    let functions: Vec<FuncDef> = program
+        .functions
+        .iter()
+        .map(|f| {
+            FuncLowerer::new(checked, &structs, &globals, &func_ids, &mut alloc_sites).run(f)
+        })
+        .collect();
+
+    let main = func_ids["main"];
+    Module { structs, globals, functions, main, alloc_sites }
+}
+
+fn slots_of(ty: &Type, structs: &[StructLayout]) -> u32 {
+    match ty {
+        Type::Int | Type::Ptr(_) | Type::Fn => 1,
+        Type::Void => 0,
+        Type::Array(t, n) => slots_of(t, structs) * (*n as u32),
+        Type::Struct(name) => {
+            structs.iter().find(|s| &s.name == name).expect("earlier struct").slots
+        }
+    }
+}
+
+/// Where an l-value lives.
+enum Place {
+    /// A register local.
+    Reg(LocalId),
+    /// Memory at a computed address.
+    Mem(Operand),
+}
+
+struct LoopCtx {
+    break_to: BlockId,
+    continue_to: BlockId,
+}
+
+struct FuncLowerer<'a> {
+    checked: &'a CheckedProgram,
+    structs: &'a [StructLayout],
+    globals: &'a [GlobalDef],
+    func_ids: &'a HashMap<String, FuncId>,
+    alloc_sites: &'a mut u32,
+
+    locals: Vec<LocalDef>,
+    blocks: Vec<Block>,
+    current: BlockId,
+    /// `true` when `current` already received its terminator.
+    terminated: bool,
+    scopes: Vec<HashMap<String, LocalId>>,
+    loops: Vec<LoopCtx>,
+    /// Names that are the direct target of `&name` anywhere in the
+    /// function; declarations of these names become memory locals. (This
+    /// is name-based and thus conservatively spills every same-named
+    /// declaration — harmless over-approximation.)
+    addr_taken: HashSet<String>,
+    temp_count: u32,
+}
+
+impl<'a> FuncLowerer<'a> {
+    fn new(
+        checked: &'a CheckedProgram,
+        structs: &'a [StructLayout],
+        globals: &'a [GlobalDef],
+        func_ids: &'a HashMap<String, FuncId>,
+        alloc_sites: &'a mut u32,
+    ) -> Self {
+        FuncLowerer {
+            checked,
+            structs,
+            globals,
+            func_ids,
+            alloc_sites,
+            locals: Vec::new(),
+            blocks: Vec::new(),
+            current: BlockId(0),
+            terminated: false,
+            scopes: Vec::new(),
+            loops: Vec::new(),
+            addr_taken: HashSet::new(),
+            temp_count: 0,
+        }
+    }
+
+    fn run(mut self, f: &Function) -> FuncDef {
+        collect_addr_taken(&f.body, &mut self.addr_taken);
+        let entry = self.new_block();
+        self.current = entry;
+        self.scopes.push(HashMap::new());
+        let mut params = Vec::new();
+        for p in &f.params {
+            let id = self.add_local(&p.name, p.ty.clone(), LocalKind::Register);
+            self.scopes.last_mut().expect("scope").insert(p.name.clone(), id);
+            params.push(id);
+        }
+        self.lower_block(&f.body);
+        if !self.terminated {
+            let value = match f.ret {
+                Type::Void => None,
+                _ => Some(Operand::Const(0)),
+            };
+            self.terminate(Terminator::Return(value));
+        }
+        FuncDef {
+            name: f.name.clone(),
+            params,
+            ret: f.ret.clone(),
+            locals: self.locals,
+            blocks: self.blocks,
+            entry,
+        }
+    }
+
+    // ---- block plumbing ----
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block { insts: Vec::new(), term: Terminator::Return(None) });
+        id
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        if self.terminated {
+            // Dead code after return/break/continue: park it in a fresh
+            // unreachable block so the builder invariants hold.
+            let b = self.new_block();
+            self.current = b;
+            self.terminated = false;
+        }
+        self.blocks[self.current.index()].insts.push(inst);
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        if self.terminated {
+            let b = self.new_block();
+            self.current = b;
+            self.terminated = false;
+        }
+        self.blocks[self.current.index()].term = term;
+        self.terminated = true;
+    }
+
+    /// Switches to a new, already-created block.
+    fn switch_to(&mut self, b: BlockId) {
+        debug_assert!(self.terminated, "switching away from an open block");
+        self.current = b;
+        self.terminated = false;
+    }
+
+    // ---- locals ----
+
+    fn add_local(&mut self, name: &str, ty: Type, kind: LocalKind) -> LocalId {
+        let id = LocalId(self.locals.len() as u32);
+        self.locals.push(LocalDef { name: name.to_string(), ty, kind });
+        id
+    }
+
+    fn fresh_temp(&mut self, ty: Type) -> LocalId {
+        let name = format!("$t{}", self.temp_count);
+        self.temp_count += 1;
+        self.add_local(&name, ty, LocalKind::Register)
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<LocalId> {
+        self.scopes.iter().rev().find_map(|s| s.get(name)).copied()
+    }
+
+    fn lookup_global(&self, name: &str) -> Option<GlobalId> {
+        self.globals.iter().position(|g| g.name == name).map(|i| GlobalId(i as u32))
+    }
+
+    fn ty(&self, id: NodeId) -> &Type {
+        self.checked.type_of(id)
+    }
+
+    fn slots(&self, ty: &Type) -> u32 {
+        slots_of(ty, self.structs)
+    }
+
+    // ---- statements ----
+
+    fn lower_block(&mut self, b: &AstBlock) {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.lower_stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl { name, ty, init, .. } => {
+                let needs_memory = !ty.is_scalar() || self.addr_taken.contains(name);
+                let kind = if needs_memory {
+                    LocalKind::Memory { slots: self.slots(ty) }
+                } else {
+                    LocalKind::Register
+                };
+                let id = self.add_local(name, ty.clone(), kind);
+                self.scopes.last_mut().expect("scope").insert(name.clone(), id);
+                if let Some(e) = init {
+                    let v = self.rvalue(e);
+                    if needs_memory {
+                        let addr = self.fresh_temp(ty.clone().ptr_to());
+                        self.emit(Inst::AddrLocal { dst: addr, local: id });
+                        self.emit(Inst::Store { addr: Operand::Local(addr), src: v });
+                    } else {
+                        self.emit(Inst::Copy { dst: id, src: v });
+                    }
+                }
+            }
+            Stmt::Expr(e) => {
+                self.lower_expr_for_effect(e);
+            }
+            Stmt::If { cond, then, otherwise, .. } => {
+                let then_bb = self.new_block();
+                let exit_bb = self.new_block();
+                let else_bb = match otherwise {
+                    Some(_) => self.new_block(),
+                    None => exit_bb,
+                };
+                self.lower_cond(cond, then_bb, else_bb);
+                self.switch_to(then_bb);
+                self.lower_block(then);
+                if !self.terminated {
+                    self.terminate(Terminator::Goto(exit_bb));
+                }
+                if let Some(b) = otherwise {
+                    self.switch_to(else_bb);
+                    self.lower_block(b);
+                    if !self.terminated {
+                        self.terminate(Terminator::Goto(exit_bb));
+                    }
+                }
+                self.switch_to(exit_bb);
+            }
+            Stmt::While { cond, body, .. } => {
+                let header = self.new_block();
+                let body_bb = self.new_block();
+                let exit_bb = self.new_block();
+                self.terminate(Terminator::Goto(header));
+                self.switch_to(header);
+                self.lower_cond(cond, body_bb, exit_bb);
+                self.switch_to(body_bb);
+                self.loops.push(LoopCtx { break_to: exit_bb, continue_to: header });
+                self.lower_block(body);
+                self.loops.pop();
+                if !self.terminated {
+                    self.terminate(Terminator::Goto(header));
+                }
+                self.switch_to(exit_bb);
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.lower_stmt(i);
+                }
+                let header = self.new_block();
+                let body_bb = self.new_block();
+                let step_bb = self.new_block();
+                let exit_bb = self.new_block();
+                self.terminate(Terminator::Goto(header));
+                self.switch_to(header);
+                match cond {
+                    Some(c) => self.lower_cond(c, body_bb, exit_bb),
+                    None => self.terminate(Terminator::Goto(body_bb)),
+                }
+                self.switch_to(body_bb);
+                self.loops.push(LoopCtx { break_to: exit_bb, continue_to: step_bb });
+                self.lower_block(body);
+                self.loops.pop();
+                if !self.terminated {
+                    self.terminate(Terminator::Goto(step_bb));
+                }
+                self.switch_to(step_bb);
+                if let Some(st) = step {
+                    self.lower_expr_for_effect(st);
+                }
+                self.terminate(Terminator::Goto(header));
+                self.switch_to(exit_bb);
+                self.scopes.pop();
+            }
+            Stmt::Return { value, .. } => {
+                let v = value.as_ref().map(|e| self.rvalue(e));
+                self.terminate(Terminator::Return(v));
+            }
+            Stmt::Break(_) => {
+                let target = self.loops.last().expect("checked: inside loop").break_to;
+                self.terminate(Terminator::Goto(target));
+            }
+            Stmt::Continue(_) => {
+                let target = self.loops.last().expect("checked: inside loop").continue_to;
+                self.terminate(Terminator::Goto(target));
+            }
+            Stmt::Block(b) => self.lower_block(b),
+        }
+    }
+
+    /// Lowers an expression whose value is discarded (avoids materializing
+    /// call results).
+    fn lower_expr_for_effect(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Call(..) | ExprKind::CallPtr(..) => {
+                self.lower_call(e, /* want_value= */ false);
+            }
+            _ => {
+                self.rvalue(e);
+            }
+        }
+    }
+
+    // ---- conditions with short-circuit ----
+
+    fn lower_cond(&mut self, e: &Expr, then_bb: BlockId, else_bb: BlockId) {
+        match &e.kind {
+            ExprKind::Binary(BinOp::And, a, b) => {
+                let mid = self.new_block();
+                self.lower_cond(a, mid, else_bb);
+                self.switch_to(mid);
+                self.lower_cond(b, then_bb, else_bb);
+            }
+            ExprKind::Binary(BinOp::Or, a, b) => {
+                let mid = self.new_block();
+                self.lower_cond(a, then_bb, mid);
+                self.switch_to(mid);
+                self.lower_cond(b, then_bb, else_bb);
+            }
+            ExprKind::Unary(UnOp::Not, a) => self.lower_cond(a, else_bb, then_bb),
+            _ => {
+                let v = self.rvalue(e);
+                self.terminate(Terminator::Branch { cond: v, then: then_bb, otherwise: else_bb });
+            }
+        }
+    }
+
+    // ---- expressions ----
+
+    fn rvalue(&mut self, e: &Expr) -> Operand {
+        match &e.kind {
+            ExprKind::Int(v) => Operand::Const(*v),
+            ExprKind::Var(name) => {
+                if let Some(id) = self.lookup_local(name) {
+                    if self.locals[id.index()].is_memory() {
+                        // Scalar spilled to memory (address-taken): load it.
+                        let addr = self.fresh_temp(self.locals[id.index()].ty.clone().ptr_to());
+                        self.emit(Inst::AddrLocal { dst: addr, local: id });
+                        let dst = self.fresh_temp(self.ty(e.id).clone());
+                        self.emit(Inst::Load { dst, addr: Operand::Local(addr) });
+                        Operand::Local(dst)
+                    } else {
+                        Operand::Local(id)
+                    }
+                } else if let Some(g) = self.lookup_global(name) {
+                    let addr = self.fresh_temp(self.ty(e.id).clone().ptr_to());
+                    self.emit(Inst::AddrGlobal { dst: addr, global: g });
+                    let dst = self.fresh_temp(self.ty(e.id).clone());
+                    self.emit(Inst::Load { dst, addr: Operand::Local(addr) });
+                    Operand::Local(dst)
+                } else {
+                    unreachable!("checked: variable `{name}` resolves")
+                }
+            }
+            ExprKind::Unary(op, a) => {
+                let v = self.rvalue(a);
+                let dst = self.fresh_temp(Type::Int);
+                self.emit(Inst::Un { dst, op: *op, src: v });
+                Operand::Local(dst)
+            }
+            ExprKind::Binary(op @ (BinOp::And | BinOp::Or), ..) => {
+                // Value use of a short-circuit operator: lower through
+                // control flow into a 0/1 temporary.
+                let _ = op;
+                let dst = self.fresh_temp(Type::Int);
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let exit_bb = self.new_block();
+                self.lower_cond(e, then_bb, else_bb);
+                self.switch_to(then_bb);
+                self.emit(Inst::Copy { dst, src: Operand::Const(1) });
+                self.terminate(Terminator::Goto(exit_bb));
+                self.switch_to(else_bb);
+                self.emit(Inst::Copy { dst, src: Operand::Const(0) });
+                self.terminate(Terminator::Goto(exit_bb));
+                self.switch_to(exit_bb);
+                Operand::Local(dst)
+            }
+            ExprKind::Binary(op, a, b) => {
+                let lhs = self.rvalue(a);
+                let rhs = self.rvalue(b);
+                let ir_op = IrBinOp::from_ast(*op).expect("short-circuit handled above");
+                let dst = self.fresh_temp(self.ty(e.id).clone());
+                self.emit(Inst::Bin { dst, op: ir_op, lhs, rhs });
+                Operand::Local(dst)
+            }
+            ExprKind::Assign(lhs, rhs) => {
+                let v = self.rvalue(rhs);
+                match self.lvalue(lhs) {
+                    Place::Reg(dst) => {
+                        self.emit(Inst::Copy { dst, src: v });
+                    }
+                    Place::Mem(addr) => {
+                        self.emit(Inst::Store { addr, src: v });
+                    }
+                }
+                v
+            }
+            ExprKind::Index(..)
+            | ExprKind::Field(..)
+            | ExprKind::ArrowField(..)
+            | ExprKind::Deref(_) => {
+                // Read through memory.
+                let ty = self.ty(e.id).clone();
+                if !ty.is_scalar() {
+                    // Aggregate rvalue only appears as the base of a
+                    // further index/field, which goes through lvalue().
+                    match self.lvalue(e) {
+                        Place::Mem(addr) => return addr,
+                        Place::Reg(_) => unreachable!("aggregates live in memory"),
+                    }
+                }
+                match self.lvalue(e) {
+                    Place::Mem(addr) => {
+                        let dst = self.fresh_temp(ty);
+                        self.emit(Inst::Load { dst, addr });
+                        Operand::Local(dst)
+                    }
+                    Place::Reg(r) => Operand::Local(r),
+                }
+            }
+            ExprKind::Call(..) | ExprKind::CallPtr(..) => {
+                self.lower_call(e, true).expect("value requested")
+            }
+            ExprKind::AddrOf(inner) => {
+                // &function?
+                if let ExprKind::Var(name) = &inner.kind {
+                    if self.lookup_local(name).is_none() && self.lookup_global(name).is_none() {
+                        let func = self.func_ids[name];
+                        let dst = self.fresh_temp(Type::Fn);
+                        self.emit(Inst::LoadFunc { dst, func });
+                        return Operand::Local(dst);
+                    }
+                }
+                match self.lvalue(inner) {
+                    Place::Mem(addr) => addr,
+                    Place::Reg(_) => unreachable!("addr-taken locals are spilled to memory"),
+                }
+            }
+            ExprKind::Alloc(ty, count) => {
+                let c = self.rvalue(count);
+                let site = AllocSiteId(*self.alloc_sites);
+                *self.alloc_sites += 1;
+                let dst = self.fresh_temp(ty.clone().ptr_to());
+                let elem_slots = self.slots(ty);
+                self.emit(Inst::Alloc { dst, elem_slots, count: c, site });
+                Operand::Local(dst)
+            }
+        }
+    }
+
+    fn lvalue(&mut self, e: &Expr) -> Place {
+        match &e.kind {
+            ExprKind::Var(name) => {
+                if let Some(id) = self.lookup_local(name) {
+                    if self.locals[id.index()].is_memory() {
+                        let addr = self.fresh_temp(self.locals[id.index()].ty.clone().ptr_to());
+                        self.emit(Inst::AddrLocal { dst: addr, local: id });
+                        Place::Mem(Operand::Local(addr))
+                    } else {
+                        Place::Reg(id)
+                    }
+                } else if let Some(g) = self.lookup_global(name) {
+                    let gty = self.globals[g.index()].ty.clone();
+                    let addr = self.fresh_temp(gty.ptr_to());
+                    self.emit(Inst::AddrGlobal { dst: addr, global: g });
+                    Place::Mem(Operand::Local(addr))
+                } else {
+                    unreachable!("checked: variable `{name}` resolves")
+                }
+            }
+            ExprKind::Deref(inner) => {
+                let addr = self.rvalue(inner);
+                Place::Mem(addr)
+            }
+            ExprKind::Index(base, idx) => {
+                let base_ty = self.ty(base.id).clone();
+                let base_addr = match &base_ty {
+                    Type::Array(..) => match self.lvalue(base) {
+                        Place::Mem(a) => a,
+                        Place::Reg(_) => unreachable!("arrays live in memory"),
+                    },
+                    Type::Ptr(_) => self.rvalue(base),
+                    other => unreachable!("checked: cannot index `{other}`"),
+                };
+                let elem_ty = match &base_ty {
+                    Type::Array(t, _) => t.as_ref().clone(),
+                    Type::Ptr(t) => t.as_ref().clone(),
+                    _ => unreachable!(),
+                };
+                let i = self.rvalue(idx);
+                let stride = self.slots(&elem_ty);
+                let dst = self.fresh_temp(elem_ty.ptr_to());
+                self.emit(Inst::AddrIndex { dst, base: base_addr, index: i, stride });
+                Place::Mem(Operand::Local(dst))
+            }
+            ExprKind::Field(base, fname) => {
+                let Type::Struct(sname) = self.ty(base.id).clone() else {
+                    unreachable!("checked: `.` on struct")
+                };
+                let base_addr = match self.lvalue(base) {
+                    Place::Mem(a) => a,
+                    Place::Reg(_) => unreachable!("structs live in memory"),
+                };
+                self.field_place(&sname, fname, base_addr)
+            }
+            ExprKind::ArrowField(base, fname) => {
+                let Type::Ptr(inner) = self.ty(base.id).clone() else {
+                    unreachable!("checked: `->` on struct pointer")
+                };
+                let Type::Struct(sname) = *inner else { unreachable!() };
+                let base_addr = self.rvalue(base);
+                self.field_place(&sname, fname, base_addr)
+            }
+            other => unreachable!("checked: not an l-value: {other:?}"),
+        }
+    }
+
+    fn field_place(&mut self, sname: &str, fname: &str, base_addr: Operand) -> Place {
+        let layout = self
+            .structs
+            .iter()
+            .find(|s| s.name == sname)
+            .expect("checked: struct exists");
+        let (fty, offset) = layout
+            .fields
+            .iter()
+            .find(|(n, _, _)| n == fname)
+            .map(|(_, t, o)| (t.clone(), *o))
+            .expect("checked: field exists");
+        let dst = self.fresh_temp(fty.ptr_to());
+        self.emit(Inst::AddrField { dst, base: base_addr, offset });
+        Place::Mem(Operand::Local(dst))
+    }
+
+    fn lower_call(&mut self, e: &Expr, want_value: bool) -> Option<Operand> {
+        let (target, args): (&CallTarget, &[Expr]) = match &e.kind {
+            ExprKind::Call(_, args) => {
+                (self.checked.call_targets.get(&e.id).expect("resolved call"), args)
+            }
+            ExprKind::CallPtr(_, args) => {
+                (self.checked.call_targets.get(&e.id).expect("resolved call"), args)
+            }
+            _ => unreachable!("lower_call on a call expression"),
+        };
+        let target = target.clone();
+        match target {
+            CallTarget::Input => {
+                let dst = self.fresh_temp(Type::Int);
+                self.emit(Inst::Input { dst });
+                Some(Operand::Local(dst))
+            }
+            CallTarget::Output => {
+                let v = self.rvalue(&args[0]);
+                self.emit(Inst::Output { src: v });
+                None
+            }
+            CallTarget::Direct(name) => {
+                let func = self.func_ids[&name];
+                let arg_ops: Vec<Operand> = args.iter().map(|a| self.rvalue(a)).collect();
+                let ret_ty = self.ty(e.id).clone();
+                let dst = if want_value && ret_ty != Type::Void {
+                    Some(self.fresh_temp(ret_ty))
+                } else {
+                    None
+                };
+                self.emit(Inst::Call { dst, callee: Callee::Direct(func), args: arg_ops });
+                dst.map(Operand::Local)
+            }
+            CallTarget::Indirect => {
+                let callee_op = match &e.kind {
+                    ExprKind::Call(name, _) => {
+                        // `g(x)` where g is a fn-typed variable.
+                        let id = e.id;
+                        let span = e.span;
+                        let var = Expr {
+                            id,
+                            kind: ExprKind::Var(name.clone()),
+                            span,
+                        };
+                        // Reuse the call node's id for the variable read:
+                        // its type map entry is the call result (int), but
+                        // rvalue(Var) only consults it for temps, and a
+                        // fn-typed register needs no temp. Look up directly
+                        // instead to stay safe:
+                        match self.lookup_local(name) {
+                            Some(l) if !self.locals[l.index()].is_memory() => Operand::Local(l),
+                            _ => self.rvalue(&var),
+                        }
+                    }
+                    ExprKind::CallPtr(callee, _) => self.callee_value(callee),
+                    _ => unreachable!(),
+                };
+                let arg_ops: Vec<Operand> = args.iter().map(|a| self.rvalue(a)).collect();
+                let dst = if want_value { Some(self.fresh_temp(Type::Int)) } else { None };
+                self.emit(Inst::Call {
+                    dst,
+                    callee: Callee::Indirect(callee_op),
+                    args: arg_ops,
+                });
+                dst.map(Operand::Local)
+            }
+        }
+    }
+
+    /// Evaluates a `fn`-typed callee expression; `*g` on a function
+    /// pointer is the function pointer itself.
+    fn callee_value(&mut self, e: &Expr) -> Operand {
+        match &e.kind {
+            ExprKind::Deref(inner) if self.ty(inner.id) == &Type::Fn => self.callee_value(inner),
+            _ => self.rvalue(e),
+        }
+    }
+}
+
+fn collect_addr_taken(b: &AstBlock, out: &mut HashSet<String>) {
+    fn expr(e: &Expr, out: &mut HashSet<String>) {
+        if let ExprKind::AddrOf(inner) = &e.kind {
+            if let ExprKind::Var(name) = &inner.kind {
+                out.insert(name.clone());
+            }
+        }
+        match &e.kind {
+            ExprKind::Unary(_, a)
+            | ExprKind::AddrOf(a)
+            | ExprKind::Deref(a)
+            | ExprKind::Alloc(_, a)
+            | ExprKind::Field(a, _)
+            | ExprKind::ArrowField(a, _) => expr(a, out),
+            ExprKind::Binary(_, a, b) | ExprKind::Assign(a, b) | ExprKind::Index(a, b) => {
+                expr(a, out);
+                expr(b, out);
+            }
+            ExprKind::Call(_, args) => args.iter().for_each(|a| expr(a, out)),
+            ExprKind::CallPtr(c, args) => {
+                expr(c, out);
+                args.iter().for_each(|a| expr(a, out));
+            }
+            ExprKind::Int(_) | ExprKind::Var(_) => {}
+        }
+    }
+    fn stmt(s: &Stmt, out: &mut HashSet<String>) {
+        match s {
+            Stmt::Decl { init, .. } => {
+                if let Some(e) = init {
+                    expr(e, out);
+                }
+            }
+            Stmt::Expr(e) => expr(e, out),
+            Stmt::If { cond, then, otherwise, .. } => {
+                expr(cond, out);
+                collect_addr_taken(then, out);
+                if let Some(b) = otherwise {
+                    collect_addr_taken(b, out);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                expr(cond, out);
+                collect_addr_taken(body, out);
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                if let Some(i) = init {
+                    stmt(i, out);
+                }
+                if let Some(c) = cond {
+                    expr(c, out);
+                }
+                if let Some(st) = step {
+                    expr(st, out);
+                }
+                collect_addr_taken(body, out);
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(e) = value {
+                    expr(e, out);
+                }
+            }
+            Stmt::Break(_) | Stmt::Continue(_) => {}
+            Stmt::Block(b) => collect_addr_taken(b, out),
+        }
+    }
+    for s in &b.stmts {
+        stmt(s, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offload_lang::frontend;
+
+    fn module(src: &str) -> Module {
+        lower(&frontend(src).unwrap())
+    }
+
+    #[test]
+    fn lowers_minimal_main() {
+        let m = module("void main() { output(1); }");
+        let main = m.function(m.main);
+        assert_eq!(main.name, "main");
+        assert!(main.blocks[main.entry.index()]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Output { .. })));
+    }
+
+    #[test]
+    fn loop_structure() {
+        let m = module("void main(int n) { int i; for (i = 0; i < n; i++) { output(i); } }");
+        let main = m.function(m.main);
+        // init block -> header -> body -> step -> header, plus exit.
+        assert!(main.blocks.len() >= 4);
+        let branches = main
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::Branch { .. }))
+            .count();
+        assert_eq!(branches, 1, "one conditional branch for the loop header");
+    }
+
+    #[test]
+    fn short_circuit_lowered_to_cfg() {
+        let m = module("void main(int a, int b) { if (a && b) { output(1); } }");
+        let main = m.function(m.main);
+        let branches = main
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::Branch { .. }))
+            .count();
+        assert_eq!(branches, 2, "&& becomes two branches");
+        // No IR instruction computes && directly.
+        for b in &main.blocks {
+            for i in &b.insts {
+                if let Inst::Bin { op, .. } = i {
+                    assert!(!matches!(op, IrBinOp::Mul), "no bogus ops");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arrays_are_memory_locals() {
+        let m = module("void main() { int a[4]; a[0] = 1; output(a[0]); }");
+        let main = m.function(m.main);
+        let arr = main.locals.iter().find(|l| l.name == "a").unwrap();
+        assert_eq!(arr.kind, LocalKind::Memory { slots: 4 });
+    }
+
+    #[test]
+    fn address_taken_scalar_spilled() {
+        let m = module("void main() { int x; int *p; p = &x; *p = 3; output(x); }");
+        let main = m.function(m.main);
+        let x = main.locals.iter().find(|l| l.name == "x").unwrap();
+        assert!(x.is_memory());
+        let p = main.locals.iter().find(|l| l.name == "p").unwrap();
+        assert!(!p.is_memory());
+    }
+
+    #[test]
+    fn struct_field_offsets() {
+        let m = module(
+            "struct pair { int a; int b; };
+             struct holder { struct pair p; int tail; };
+             void main() { struct holder h; h.p.b = 1; h.tail = 2; output(h.p.b); }",
+        );
+        let holder = m.struct_layout("holder").unwrap();
+        assert_eq!(holder.slots, 3);
+        assert_eq!(holder.fields[1].2, 2, "tail sits after the embedded pair");
+        let main = m.function(m.main);
+        let offsets: Vec<u32> = main
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter_map(|i| match i {
+                Inst::AddrField { offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .collect();
+        assert!(offsets.contains(&1), "field b of embedded pair");
+        assert!(offsets.contains(&2), "field tail");
+    }
+
+    #[test]
+    fn alloc_sites_numbered() {
+        let m = module(
+            "void main(int n) {
+                 int *a; int *b;
+                 a = alloc(int, n);
+                 b = alloc(int, 2 * n);
+                 a[0] = 1; b[0] = 2;
+                 output(a[0] + b[0]);
+             }",
+        );
+        assert_eq!(m.alloc_sites, 2);
+    }
+
+    #[test]
+    fn function_pointer_call() {
+        let m = module(
+            "int id(int x) { return x; }
+             void main() { fn g; g = &id; output(g(7)); }",
+        );
+        let main = m.function(m.main);
+        let has_loadfunc = main
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::LoadFunc { .. }));
+        assert!(has_loadfunc);
+        let has_indirect = main
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Call { callee: Callee::Indirect(_), .. }));
+        assert!(has_indirect);
+    }
+
+    #[test]
+    fn figure1_lowers() {
+        let m = module(offload_lang::examples_src::FIGURE1);
+        assert_eq!(m.functions.len(), 3);
+        assert!(m.func_by_name("g_fast").is_some());
+        assert!(m.global_by_name("inbuf").is_some());
+    }
+
+    #[test]
+    fn figure4_lowers() {
+        let m = module(offload_lang::examples_src::FIGURE4);
+        assert_eq!(m.alloc_sites, 1);
+        let build = m.function(m.func_by_name("build").unwrap());
+        assert!(build
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Alloc { .. })));
+    }
+
+    #[test]
+    fn break_continue_targets() {
+        let m = module(
+            "void main(int n) {
+                 int i;
+                 for (i = 0; i < n; i++) {
+                     if (i == 2) { continue; }
+                     if (i == 5) { break; }
+                     output(i);
+                 }
+             }",
+        );
+        let main = m.function(m.main);
+        // All gotos must point to existing blocks.
+        for b in &main.blocks {
+            for s in b.term.successors() {
+                assert!(s.index() < main.blocks.len());
+            }
+        }
+    }
+}

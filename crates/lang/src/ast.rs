@@ -1,0 +1,364 @@
+//! Abstract syntax tree of the mini-C source language.
+//!
+//! Every expression carries a unique [`NodeId`] assigned by the parser; the
+//! type checker publishes inferred types in a side table keyed by those ids
+//! so later phases (IR lowering, points-to analysis) never re-infer.
+
+use crate::token::Span;
+use std::fmt;
+
+/// Unique id of an expression node within one parsed [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A source-level type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer (the only scalar type, as in the paper's
+    /// examples).
+    Int,
+    /// Absence of a value (function returns only).
+    Void,
+    /// Pointer to another type.
+    Ptr(Box<Type>),
+    /// Fixed-size array (local/global declarations only).
+    Array(Box<Type>, u64),
+    /// A named struct.
+    Struct(String),
+    /// Opaque function pointer (targets resolved by points-to analysis).
+    Fn,
+}
+
+impl Type {
+    /// Pointer to `self`.
+    pub fn ptr_to(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+
+    /// Returns the pointee type if this is a pointer.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Returns the element type if this is an array.
+    pub fn element(&self) -> Option<&Type> {
+        match self {
+            Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for types that occupy a single scalar slot at run
+    /// time (ints, pointers, function pointers).
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Int | Type::Ptr(_) | Type::Fn)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Void => write!(f, "void"),
+            Type::Ptr(t) => write!(f, "{t}*"),
+            Type::Array(t, n) => write!(f, "{t}[{n}]"),
+            Type::Struct(name) => write!(f, "struct {name}"),
+            Type::Fn => write!(f, "fn"),
+        }
+    }
+}
+
+/// A struct definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Ordered fields: `(name, type)`.
+    pub fields: Vec<(String, Type)>,
+    /// Location of the definition.
+    pub span: Span,
+}
+
+impl StructDef {
+    /// Index and type of a field, if present.
+    pub fn field(&self, name: &str) -> Option<(usize, &Type)> {
+        self.fields.iter().enumerate().find(|(_, (n, _))| n == name).map(|(i, (_, t))| (i, t))
+    }
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+    /// Location.
+    pub span: Span,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameters, in order.
+    pub params: Vec<Param>,
+    /// Return type.
+    pub ret: Type,
+    /// Body.
+    pub body: Block,
+    /// Location of the definition.
+    pub span: Span,
+}
+
+/// A `{ ... }` block of statements.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Block {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local variable declaration with optional initializer.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Optional initializer expression.
+        init: Option<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// Expression statement (assignment, call, ...).
+    Expr(Expr),
+    /// `if (cond) then [else otherwise]`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then: Block,
+        /// Optional else-branch.
+        otherwise: Option<Block>,
+        /// Location.
+        span: Span,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+        /// Location.
+        span: Span,
+    },
+    /// `for (init; cond; step) body`. All three headers are optional.
+    For {
+        /// Initialization (declaration or expression).
+        init: Option<Box<Stmt>>,
+        /// Continuation condition (`None` means `true`).
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Block,
+        /// Location.
+        span: Span,
+    },
+    /// `return [expr];`.
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+        /// Location.
+        span: Span,
+    },
+    /// `break;`.
+    Break(Span),
+    /// `continue;`.
+    Continue(Span),
+    /// Nested block.
+    Block(Block),
+}
+
+impl Stmt {
+    /// Location of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Decl { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::Return { span, .. } => *span,
+            Stmt::Expr(e) => e.span,
+            Stmt::Break(s) | Stmt::Continue(s) => *s,
+            Stmt::Block(b) => b.stmts.first().map(Stmt::span).unwrap_or_default(),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating)
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Logical not `!`.
+    Not,
+}
+
+/// An expression with its id and location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    /// Unique node id within the program.
+    pub id: NodeId,
+    /// What kind of expression.
+    pub kind: ExprKind,
+    /// Location.
+    pub span: Span,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Assignment `lhs = rhs` (lhs must be an l-value).
+    Assign(Box<Expr>, Box<Expr>),
+    /// Array indexing `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Struct field access through a value: `s.field`.
+    Field(Box<Expr>, String),
+    /// Struct field access through a pointer: `p->field`.
+    ArrowField(Box<Expr>, String),
+    /// Direct call `name(args)`. Builtins (`input`, `output`) included.
+    Call(String, Vec<Expr>),
+    /// Indirect call through a function-pointer expression.
+    CallPtr(Box<Expr>, Vec<Expr>),
+    /// Address-of `&lvalue` (or `&function`, producing a `fn` value).
+    AddrOf(Box<Expr>),
+    /// Pointer dereference `*ptr`.
+    Deref(Box<Expr>),
+    /// Dynamic allocation `alloc(T, count)` producing a `T*`.
+    Alloc(Type, Box<Expr>),
+}
+
+/// A global variable declaration (zero-initialized).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Location.
+    pub span: Span,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Function definitions (including `main`).
+    pub functions: Vec<Function>,
+    /// Total number of expression nodes (ids are `0..node_count`).
+    pub node_count: u32,
+}
+
+impl Program {
+    /// Looks up a struct definition by name.
+    pub fn struct_def(&self, name: &str) -> Option<&StructDef> {
+        self.structs.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// The `main` function, if present.
+    pub fn main(&self) -> Option<&Function> {
+        self.function("main")
+    }
+}
+
+/// Names of the built-in functions recognized by the front end.
+///
+/// * `input()` — read one integer from the client's input device (I/O).
+/// * `output(v)` — write one integer to the client's output device (I/O).
+pub const BUILTINS: &[&str] = &["input", "output"];
+
+/// Returns `true` if `name` is a built-in I/O function.
+pub fn is_builtin(name: &str) -> bool {
+    BUILTINS.contains(&name)
+}

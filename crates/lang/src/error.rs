@@ -1,0 +1,68 @@
+//! Error type shared by the lexer, parser and type checker.
+
+use crate::token::Span;
+use std::fmt;
+
+/// Phase in which a [`LangError`] was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Type checking.
+    Type,
+}
+
+/// An error produced by the front end, with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    phase: Phase,
+    span: Span,
+    message: String,
+}
+
+impl LangError {
+    /// Creates a lexer error.
+    pub fn lex(span: Span, message: impl Into<String>) -> Self {
+        LangError { phase: Phase::Lex, span, message: message.into() }
+    }
+
+    /// Creates a parser error.
+    pub fn parse(span: Span, message: impl Into<String>) -> Self {
+        LangError { phase: Phase::Parse, span, message: message.into() }
+    }
+
+    /// Creates a type-checker error.
+    pub fn ty(span: Span, message: impl Into<String>) -> Self {
+        LangError { phase: Phase::Type, span, message: message.into() }
+    }
+
+    /// The phase that rejected the input.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Source location of the error.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Human-readable description (without location).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Type => "type",
+        };
+        write!(f, "{phase} error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}

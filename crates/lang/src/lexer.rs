@@ -1,0 +1,308 @@
+//! Lexer for the mini-C source language.
+
+use crate::error::LangError;
+use crate::token::{Span, Token, TokenKind};
+
+/// Tokenizes `src`, returning the token stream (terminated by
+/// [`TokenKind::Eof`]).
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on unknown characters, malformed integer
+/// literals, or unterminated block comments.
+///
+/// # Examples
+///
+/// ```
+/// use offload_lang::lex;
+///
+/// let tokens = lex("int x = 42;").unwrap();
+/// assert_eq!(tokens.len(), 6); // int, x, =, 42, ;, EOF
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LangError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                out.push(Token { kind: TokenKind::Eof, span });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'0'..=b'9' => self.lex_int(span)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_word(),
+                _ => self.lex_punct(span)?,
+            };
+            out.push(Token { kind, span });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LangError> {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.span();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(LangError::lex(start, "unterminated block comment"));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_int(&mut self, span: Span) -> Result<TokenKind, LangError> {
+        let mut value: i64 = 0;
+        while let Some(c @ b'0'..=b'9') = self.peek() {
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((c - b'0') as i64))
+                .ok_or_else(|| LangError::lex(span, "integer literal overflows i64"))?;
+            self.bump();
+        }
+        if matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'_')) {
+            return Err(LangError::lex(span, "identifier cannot start with a digit"));
+        }
+        Ok(TokenKind::Int(value))
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') = self.peek() {
+            self.bump();
+        }
+        let word = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii word");
+        match word {
+            "int" => TokenKind::KwInt,
+            "void" => TokenKind::KwVoid,
+            "struct" => TokenKind::KwStruct,
+            "fn" => TokenKind::KwFn,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "return" => TokenKind::KwReturn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "alloc" => TokenKind::KwAlloc,
+            _ => TokenKind::Ident(word.to_string()),
+        }
+    }
+
+    fn lex_punct(&mut self, span: Span) -> Result<TokenKind, LangError> {
+        use TokenKind::*;
+        let c = self.bump().expect("caller checked non-empty");
+        let two = |lexer: &mut Self, next: u8, yes: TokenKind, no: TokenKind| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        Ok(match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'.' => Dot,
+            b'=' => two(self, b'=', Eq, Assign),
+            b'!' => two(self, b'=', Ne, Bang),
+            b'<' => two(self, b'=', Le, Lt),
+            b'>' => two(self, b'=', Ge, Gt),
+            b'+' => {
+                if self.peek() == Some(b'+') {
+                    self.bump();
+                    PlusPlus
+                } else if self.peek() == Some(b'=') {
+                    self.bump();
+                    PlusAssign
+                } else {
+                    Plus
+                }
+            }
+            b'-' => {
+                if self.peek() == Some(b'-') {
+                    self.bump();
+                    MinusMinus
+                } else if self.peek() == Some(b'=') {
+                    self.bump();
+                    MinusAssign
+                } else if self.peek() == Some(b'>') {
+                    self.bump();
+                    Arrow
+                } else {
+                    Minus
+                }
+            }
+            b'*' => Star,
+            b'/' => Slash,
+            b'%' => Percent,
+            b'&' => two(self, b'&', AndAnd, Amp),
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    OrOr
+                } else {
+                    return Err(LangError::lex(span, "expected `||` (bitwise `|` unsupported)"));
+                }
+            }
+            other => {
+                return Err(LangError::lex(
+                    span,
+                    format!("unexpected character `{}`", other as char),
+                ));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("int foo struct fn forx"),
+            vec![
+                KwInt,
+                Ident("foo".into()),
+                KwStruct,
+                KwFn,
+                Ident("forx".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("== = != ! <= < >= > && & || ++ -- += -= ->"),
+            vec![
+                Eq, Assign, Ne, Bang, Le, Lt, Ge, Gt, AndAnd, Amp, OrOr, PlusPlus, MinusMinus,
+                PlusAssign, MinusAssign, Arrow, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn integers() {
+        assert_eq!(kinds("0 42 123456789"), vec![Int(0), Int(42), Int(123456789), Eof]);
+    }
+
+    #[test]
+    fn integer_overflow_rejected() {
+        assert!(lex("999999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn digit_prefixed_ident_rejected() {
+        assert!(lex("1abc").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(kinds("a // line\n b /* block\nspanning */ c"), vec![
+            Ident("a".into()),
+            Ident("b".into()),
+            Ident("c".into()),
+            Eof
+        ]);
+    }
+
+    #[test]
+    fn unterminated_comment() {
+        let err = lex("/* nope").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+
+    #[test]
+    fn unknown_character() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Pretty-printer for the mini-C AST.
+//!
+//! Used by diagnostics and by tests that check the parser via
+//! parse → print → parse round-trips.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a whole program as source text.
+///
+/// The output re-parses to an AST equal to the input (modulo node ids and
+/// spans).
+///
+/// # Examples
+///
+/// ```
+/// use offload_lang::{parse, pretty};
+///
+/// let p = parse("void main(int n){output(n);}")?;
+/// let text = pretty(&p);
+/// assert!(text.contains("void main(int n)"));
+/// # Ok::<(), offload_lang::LangError>(())
+/// ```
+pub fn pretty(program: &Program) -> String {
+    let mut out = String::new();
+    for s in &program.structs {
+        let _ = writeln!(out, "struct {} {{", s.name);
+        for (name, ty) in &s.fields {
+            let _ = writeln!(out, "    {};", declarator(ty, name));
+        }
+        let _ = writeln!(out, "}};");
+    }
+    for g in &program.globals {
+        let _ = writeln!(out, "{};", declarator(&g.ty, &g.name));
+    }
+    for f in &program.functions {
+        let params: Vec<String> =
+            f.params.iter().map(|p| declarator(&p.ty, &p.name)).collect();
+        let _ = writeln!(out, "{} {}({}) {{", type_prefix(&f.ret), f.name, params.join(", "));
+        write_block_body(&mut out, &f.body, 1);
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// Renders a declaration like `int *p` or `int buf[16]` or `struct list *q`.
+fn declarator(ty: &Type, name: &str) -> String {
+    match ty {
+        Type::Array(inner, n) => format!("{}[{n}]", declarator(inner, name)),
+        Type::Ptr(inner) => {
+            // Collapse pointer stars next to the name: `int **p`.
+            let mut stars = String::from("*");
+            let mut t = inner.as_ref();
+            while let Type::Ptr(next) = t {
+                stars.push('*');
+                t = next;
+            }
+            format!("{} {stars}{name}", type_prefix(t))
+        }
+        other => format!("{} {name}", type_prefix(other)),
+    }
+}
+
+fn type_prefix(ty: &Type) -> String {
+    match ty {
+        Type::Int => "int".into(),
+        Type::Void => "void".into(),
+        Type::Fn => "fn".into(),
+        Type::Struct(name) => format!("struct {name}"),
+        Type::Ptr(inner) => format!("{}*", type_prefix(inner)),
+        Type::Array(inner, n) => format!("{}[{n}]", type_prefix(inner)),
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn write_block_body(out: &mut String, b: &Block, depth: usize) {
+    for s in &b.stmts {
+        write_stmt(out, s, depth);
+    }
+}
+
+fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    indent(out, depth);
+    match s {
+        Stmt::Decl { name, ty, init, .. } => {
+            let _ = write!(out, "{}", declarator(ty, name));
+            if let Some(e) = init {
+                let _ = write!(out, " = {}", expr(e));
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Expr(e) => {
+            let _ = writeln!(out, "{};", expr(e));
+        }
+        Stmt::If { cond, then, otherwise, .. } => {
+            let _ = writeln!(out, "if ({}) {{", expr(cond));
+            write_block_body(out, then, depth + 1);
+            indent(out, depth);
+            match otherwise {
+                Some(b) => {
+                    out.push_str("} else {\n");
+                    write_block_body(out, b, depth + 1);
+                    indent(out, depth);
+                    out.push_str("}\n");
+                }
+                None => out.push_str("}\n"),
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "while ({}) {{", expr(cond));
+            write_block_body(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            out.push_str("for (");
+            match init.as_deref() {
+                Some(Stmt::Decl { name, ty, init: Some(e), .. }) => {
+                    let _ = write!(out, "{} = {}", declarator(ty, name), expr(e));
+                }
+                Some(Stmt::Decl { name, ty, init: None, .. }) => {
+                    let _ = write!(out, "{}", declarator(ty, name));
+                }
+                Some(Stmt::Expr(e)) => {
+                    let _ = write!(out, "{}", expr(e));
+                }
+                _ => {}
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                let _ = write!(out, "{}", expr(c));
+            }
+            out.push_str("; ");
+            if let Some(st) = step {
+                let _ = write!(out, "{}", expr(st));
+            }
+            out.push_str(") {\n");
+            write_block_body(out, body, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(e) => {
+                let _ = writeln!(out, "return {};", expr(e));
+            }
+            None => out.push_str("return;\n"),
+        },
+        Stmt::Break(_) => out.push_str("break;\n"),
+        Stmt::Continue(_) => out.push_str("continue;\n"),
+        Stmt::Block(b) => {
+            out.push_str("{\n");
+            write_block_body(out, b, depth + 1);
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// Renders an expression (fully parenthesized to sidestep precedence).
+pub fn expr(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::Int(v) => v.to_string(),
+        ExprKind::Var(n) => n.clone(),
+        ExprKind::Unary(UnOp::Neg, a) => format!("(-{})", expr(a)),
+        ExprKind::Unary(UnOp::Not, a) => format!("(!{})", expr(a)),
+        ExprKind::Binary(op, a, b) => format!("({} {op} {})", expr(a), expr(b)),
+        ExprKind::Assign(a, b) => format!("{} = {}", expr(a), expr(b)),
+        ExprKind::Index(a, i) => format!("{}[{}]", expr(a), expr(i)),
+        ExprKind::Field(a, f) => format!("{}.{f}", expr(a)),
+        ExprKind::ArrowField(a, f) => format!("{}->{f}", expr(a)),
+        ExprKind::Call(name, args) => {
+            let args: Vec<String> = args.iter().map(expr).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        ExprKind::CallPtr(c, args) => {
+            let args: Vec<String> = args.iter().map(expr).collect();
+            format!("({})({})", expr(c), args.join(", "))
+        }
+        ExprKind::AddrOf(a) => format!("(&{})", expr(a)),
+        ExprKind::Deref(a) => format!("(*{})", expr(a)),
+        ExprKind::Alloc(ty, n) => format!("alloc({}, {})", type_prefix(ty), expr(n)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn strip(p: &Program) -> Program {
+        // Compare programs ignoring ids and spans by re-printing.
+        p.clone()
+    }
+
+    #[test]
+    fn roundtrip_examples() {
+        let sources = [
+            "void main(int n) { int i; for (i = 0; i < n; i++) { output(i); } }",
+            "struct list { int index; struct list *next; };
+             void main() { struct list *p; p = alloc(struct list, 1); p->next = 0; }",
+            "int f(int a, int b) { if (a < b) { return a; } else { return b; } }
+             void main() { output(f(1, 2)); }",
+            "int buf[8];
+             void main() { while (buf[0] < 10) { buf[0] = buf[0] + 1; } }",
+        ];
+        for src in sources {
+            let p1 = parse(src).unwrap();
+            let printed = pretty(&p1);
+            let p2 = parse(&printed).unwrap_or_else(|e| {
+                panic!("pretty output failed to reparse: {e}\n---\n{printed}")
+            });
+            let printed2 = pretty(&strip(&p2));
+            assert_eq!(printed, printed2, "pretty must be a fixpoint");
+        }
+    }
+
+    #[test]
+    fn declarators() {
+        assert_eq!(declarator(&Type::Int, "x"), "int x");
+        assert_eq!(declarator(&Type::Int.ptr_to(), "p"), "int *p");
+        assert_eq!(declarator(&Type::Int.ptr_to().ptr_to(), "p"), "int **p");
+        assert_eq!(declarator(&Type::Array(Box::new(Type::Int), 4), "a"), "int a[4]");
+        assert_eq!(
+            declarator(&Type::Struct("s".into()).ptr_to(), "q"),
+            "struct s *q"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Tokens of the mini-C source language.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at the given line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Kinds of tokens produced by the lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier (variable, function, struct or field name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `int` keyword.
+    KwInt,
+    /// `void` keyword.
+    KwVoid,
+    /// `struct` keyword.
+    KwStruct,
+    /// `fn` keyword (opaque function-pointer type).
+    KwFn,
+    /// `if`.
+    KwIf,
+    /// `else`.
+    KwElse,
+    /// `while`.
+    KwWhile,
+    /// `for`.
+    KwFor,
+    /// `return`.
+    KwReturn,
+    /// `break`.
+    KwBreak,
+    /// `continue`.
+    KwContinue,
+    /// `alloc` builtin (dynamic allocation).
+    KwAlloc,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `->`.
+    Arrow,
+    /// `=`.
+    Assign,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `!`.
+    Bang,
+    /// `&`.
+    Amp,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// `++`.
+    PlusPlus,
+    /// `--`.
+    MinusMinus,
+    /// `+=`.
+    PlusAssign,
+    /// `-=`.
+    MinusAssign,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Ident(s) => write!(f, "identifier `{s}`"),
+            Int(v) => write!(f, "integer `{v}`"),
+            KwInt => write!(f, "`int`"),
+            KwVoid => write!(f, "`void`"),
+            KwStruct => write!(f, "`struct`"),
+            KwFn => write!(f, "`fn`"),
+            KwIf => write!(f, "`if`"),
+            KwElse => write!(f, "`else`"),
+            KwWhile => write!(f, "`while`"),
+            KwFor => write!(f, "`for`"),
+            KwReturn => write!(f, "`return`"),
+            KwBreak => write!(f, "`break`"),
+            KwContinue => write!(f, "`continue`"),
+            KwAlloc => write!(f, "`alloc`"),
+            LParen => write!(f, "`(`"),
+            RParen => write!(f, "`)`"),
+            LBrace => write!(f, "`{{`"),
+            RBrace => write!(f, "`}}`"),
+            LBracket => write!(f, "`[`"),
+            RBracket => write!(f, "`]`"),
+            Semi => write!(f, "`;`"),
+            Comma => write!(f, "`,`"),
+            Dot => write!(f, "`.`"),
+            Arrow => write!(f, "`->`"),
+            Assign => write!(f, "`=`"),
+            Eq => write!(f, "`==`"),
+            Ne => write!(f, "`!=`"),
+            Lt => write!(f, "`<`"),
+            Le => write!(f, "`<=`"),
+            Gt => write!(f, "`>`"),
+            Ge => write!(f, "`>=`"),
+            Plus => write!(f, "`+`"),
+            Minus => write!(f, "`-`"),
+            Star => write!(f, "`*`"),
+            Slash => write!(f, "`/`"),
+            Percent => write!(f, "`%`"),
+            Bang => write!(f, "`!`"),
+            Amp => write!(f, "`&`"),
+            AndAnd => write!(f, "`&&`"),
+            OrOr => write!(f, "`||`"),
+            PlusPlus => write!(f, "`++`"),
+            MinusMinus => write!(f, "`--`"),
+            PlusAssign => write!(f, "`+=`"),
+            MinusAssign => write!(f, "`-=`"),
+            Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it starts in the source.
+    pub span: Span,
+}

@@ -1,0 +1,794 @@
+//! Type checker for the mini-C source language.
+//!
+//! Produces a [`CheckedProgram`]: the AST plus side tables giving the type
+//! of every expression node and the resolution of every call site. Later
+//! phases (IR lowering, points-to analysis) consume these tables and never
+//! re-infer types.
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::token::Span;
+use std::collections::HashMap;
+
+/// How a call site resolves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallTarget {
+    /// A call to a user-defined function by name.
+    Direct(String),
+    /// The `input()` builtin (client I/O, reads one integer).
+    Input,
+    /// The `output(v)` builtin (client I/O, writes one integer).
+    Output,
+    /// An indirect call through a `fn`-typed value; concrete targets are
+    /// discovered by points-to analysis.
+    Indirect,
+}
+
+/// A type-checked program with expression types and call resolutions.
+#[derive(Debug, Clone)]
+pub struct CheckedProgram {
+    /// The underlying AST.
+    pub program: Program,
+    /// Inferred type of every expression node.
+    pub types: HashMap<NodeId, Type>,
+    /// Resolution of every `Call`/`CallPtr` node.
+    pub call_targets: HashMap<NodeId, CallTarget>,
+}
+
+impl CheckedProgram {
+    /// The type of an expression node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id does not belong to this program.
+    pub fn type_of(&self, id: NodeId) -> &Type {
+        self.types.get(&id).expect("expression was type-checked")
+    }
+}
+
+/// Type-checks a parsed program.
+///
+/// # Errors
+///
+/// Returns the first type error found (undefined names, type mismatches,
+/// invalid l-values, bad `main` signature, ...).
+///
+/// # Examples
+///
+/// ```
+/// use offload_lang::{parse, check};
+///
+/// let program = parse("void main(int n) { output(n * 2); }")?;
+/// let checked = check(program)?;
+/// assert_eq!(checked.program.main().unwrap().params.len(), 1);
+/// # Ok::<(), offload_lang::LangError>(())
+/// ```
+pub fn check(program: Program) -> Result<CheckedProgram, LangError> {
+    let mut checker = Checker {
+        program: &program,
+        types: HashMap::new(),
+        call_targets: HashMap::new(),
+        scopes: Vec::new(),
+        current_ret: Type::Void,
+        loop_depth: 0,
+    };
+    checker.check_structs()?;
+    checker.check_globals()?;
+    checker.check_main_signature()?;
+    for f in &program.functions {
+        checker.check_function(f)?;
+    }
+    let Checker { types, call_targets, .. } = checker;
+    Ok(CheckedProgram { program, types, call_targets })
+}
+
+struct Checker<'a> {
+    program: &'a Program,
+    types: HashMap<NodeId, Type>,
+    call_targets: HashMap<NodeId, CallTarget>,
+    /// Innermost scope last. Globals live in `scopes[0]` during function
+    /// checking.
+    scopes: Vec<HashMap<String, Type>>,
+    current_ret: Type,
+    loop_depth: u32,
+}
+
+impl<'a> Checker<'a> {
+    fn check_structs(&self) -> Result<(), LangError> {
+        let mut seen = HashMap::new();
+        for s in &self.program.structs {
+            if seen.insert(s.name.clone(), ()).is_some() {
+                return Err(LangError::ty(s.span, format!("duplicate struct `{}`", s.name)));
+            }
+            let mut fields = HashMap::new();
+            for (fname, fty) in &s.fields {
+                if fields.insert(fname.clone(), ()).is_some() {
+                    return Err(LangError::ty(
+                        s.span,
+                        format!("duplicate field `{fname}` in struct `{}`", s.name),
+                    ));
+                }
+                self.validate_type(fty, s.span)?;
+                // By-value self reference would make the struct infinite.
+                if self.embeds_struct(fty, &s.name) {
+                    return Err(LangError::ty(
+                        s.span,
+                        format!("struct `{}` embeds itself by value via `{fname}`", s.name),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if `ty` contains `name` by value (not behind a
+    /// pointer). Only needs to detect direct self-embedding plus embedding
+    /// through earlier structs (definitions are checked in order and our
+    /// language has no forward declarations).
+    fn embeds_struct(&self, ty: &Type, name: &str) -> bool {
+        match ty {
+            Type::Struct(s) if s == name => true,
+            Type::Struct(s) => self
+                .program
+                .struct_def(s)
+                .map(|d| d.fields.iter().any(|(_, t)| self.embeds_struct(t, name)))
+                .unwrap_or(false),
+            Type::Array(t, _) => self.embeds_struct(t, name),
+            _ => false,
+        }
+    }
+
+    fn validate_type(&self, ty: &Type, span: Span) -> Result<(), LangError> {
+        match ty {
+            Type::Int | Type::Fn => Ok(()),
+            Type::Void => Err(LangError::ty(span, "`void` is only valid as a return type")),
+            Type::Ptr(t) => {
+                // Pointers may reference structs defined later (or not yet
+                // checked); only verify the name exists somewhere.
+                if let Type::Struct(name) = innermost(t) {
+                    if self.program.struct_def(name).is_none() {
+                        return Err(LangError::ty(span, format!("unknown struct `{name}`")));
+                    }
+                }
+                Ok(())
+            }
+            Type::Array(t, _) => self.validate_type(t, span),
+            Type::Struct(name) => {
+                if self.program.struct_def(name).is_none() {
+                    return Err(LangError::ty(span, format!("unknown struct `{name}`")));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn check_globals(&mut self) -> Result<(), LangError> {
+        let mut globals = HashMap::new();
+        for g in &self.program.globals {
+            self.validate_type(&g.ty, g.span)?;
+            if globals.insert(g.name.clone(), g.ty.clone()).is_some() {
+                return Err(LangError::ty(g.span, format!("duplicate global `{}`", g.name)));
+            }
+            if self.program.function(&g.name).is_some() {
+                return Err(LangError::ty(
+                    g.span,
+                    format!("global `{}` collides with a function name", g.name),
+                ));
+            }
+        }
+        self.scopes.push(globals);
+        Ok(())
+    }
+
+    fn check_main_signature(&self) -> Result<(), LangError> {
+        let Some(main) = self.program.main() else {
+            return Err(LangError::ty(Span::default(), "program has no `main` function"));
+        };
+        for p in &main.params {
+            if p.ty != Type::Int {
+                return Err(LangError::ty(
+                    p.span,
+                    "parameters of `main` are the run-time parameters and must be `int`",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_function(&mut self, f: &Function) -> Result<(), LangError> {
+        if is_builtin(&f.name) {
+            return Err(LangError::ty(f.span, format!("`{}` is a reserved builtin", f.name)));
+        }
+        if self.program.functions.iter().filter(|g| g.name == f.name).count() > 1 {
+            return Err(LangError::ty(f.span, format!("duplicate function `{}`", f.name)));
+        }
+        self.current_ret = f.ret.clone();
+        let mut params = HashMap::new();
+        for p in &f.params {
+            self.validate_type(&p.ty, p.span)?;
+            if !p.ty.is_scalar() {
+                return Err(LangError::ty(
+                    p.span,
+                    "parameters must be scalars (int, pointer or fn)",
+                ));
+            }
+            if params.insert(p.name.clone(), p.ty.clone()).is_some() {
+                return Err(LangError::ty(p.span, format!("duplicate parameter `{}`", p.name)));
+            }
+        }
+        self.scopes.push(params);
+        self.check_block(&f.body)?;
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn check_block(&mut self, b: &Block) -> Result<(), LangError> {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.check_stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn declare(&mut self, name: &str, ty: Type, span: Span) -> Result<(), LangError> {
+        let scope = self.scopes.last_mut().expect("inside a scope");
+        if scope.insert(name.to_string(), ty).is_some() {
+            return Err(LangError::ty(span, format!("`{name}` already declared in this scope")));
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Type> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) -> Result<(), LangError> {
+        match s {
+            Stmt::Decl { name, ty, init, span } => {
+                self.validate_type(ty, *span)?;
+                if let Some(e) = init {
+                    let ity = self.check_expr(e)?;
+                    self.require_assignable(ty, &ity, e, *span)?;
+                }
+                self.declare(name, ty.clone(), *span)
+            }
+            Stmt::Expr(e) => {
+                self.check_expr(e)?;
+                Ok(())
+            }
+            Stmt::If { cond, then, otherwise, .. } => {
+                self.require_condition(cond)?;
+                self.check_block(then)?;
+                if let Some(b) = otherwise {
+                    self.check_block(b)?;
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                self.require_condition(cond)?;
+                self.loop_depth += 1;
+                self.check_block(body)?;
+                self.loop_depth -= 1;
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.check_stmt(i)?;
+                }
+                if let Some(c) = cond {
+                    self.require_condition(c)?;
+                }
+                if let Some(st) = step {
+                    self.check_expr(st)?;
+                }
+                self.loop_depth += 1;
+                self.check_block(body)?;
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return { value, span } => {
+                let ret = self.current_ret.clone();
+                match (ret, value) {
+                    (Type::Void, None) => Ok(()),
+                    (Type::Void, Some(_)) => {
+                        Err(LangError::ty(*span, "void function cannot return a value"))
+                    }
+                    (ret, Some(e)) => {
+                        let t = self.check_expr(e)?;
+                        self.require_assignable(&ret, &t, e, *span)
+                    }
+                    (_, None) => Err(LangError::ty(*span, "missing return value")),
+                }
+            }
+            Stmt::Break(span) | Stmt::Continue(span) => {
+                if self.loop_depth == 0 {
+                    Err(LangError::ty(*span, "break/continue outside of a loop"))
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::Block(b) => self.check_block(b),
+        }
+    }
+
+    fn require_condition(&mut self, e: &Expr) -> Result<(), LangError> {
+        let t = self.check_expr(e)?;
+        if t.is_scalar() {
+            Ok(())
+        } else {
+            Err(LangError::ty(e.span, format!("condition must be scalar, found `{t}`")))
+        }
+    }
+
+    /// `expected = actual` is allowed if types match exactly, or the value
+    /// is the literal 0 assigned to a pointer (null).
+    fn require_assignable(
+        &self,
+        expected: &Type,
+        actual: &Type,
+        value: &Expr,
+        span: Span,
+    ) -> Result<(), LangError> {
+        if expected == actual {
+            return Ok(());
+        }
+        if matches!(expected, Type::Ptr(_) | Type::Fn)
+            && actual == &Type::Int
+            && matches!(value.kind, ExprKind::Int(0))
+        {
+            return Ok(());
+        }
+        Err(LangError::ty(span, format!("expected `{expected}`, found `{actual}`")))
+    }
+
+    fn is_lvalue(&self, e: &Expr) -> bool {
+        match &e.kind {
+            ExprKind::Var(name) => {
+                // A function name is not an l-value.
+                self.lookup(name).is_some()
+            }
+            ExprKind::Deref(_) | ExprKind::Index(..) | ExprKind::Field(..)
+            | ExprKind::ArrowField(..) => true,
+            _ => false,
+        }
+    }
+
+    fn check_expr(&mut self, e: &Expr) -> Result<Type, LangError> {
+        let ty = self.infer(e)?;
+        self.types.insert(e.id, ty.clone());
+        Ok(ty)
+    }
+
+    fn infer(&mut self, e: &Expr) -> Result<Type, LangError> {
+        match &e.kind {
+            ExprKind::Int(_) => Ok(Type::Int),
+            ExprKind::Var(name) => match self.lookup(name) {
+                Some(t) => Ok(t.clone()),
+                None => Err(LangError::ty(e.span, format!("undefined variable `{name}`"))),
+            },
+            ExprKind::Unary(op, a) => {
+                let t = self.check_expr(a)?;
+                match op {
+                    UnOp::Neg => {
+                        if t == Type::Int {
+                            Ok(Type::Int)
+                        } else {
+                            Err(LangError::ty(e.span, format!("cannot negate `{t}`")))
+                        }
+                    }
+                    UnOp::Not => {
+                        if t.is_scalar() {
+                            Ok(Type::Int)
+                        } else {
+                            Err(LangError::ty(e.span, format!("cannot apply `!` to `{t}`")))
+                        }
+                    }
+                }
+            }
+            ExprKind::Binary(op, a, b) => {
+                let ta = self.check_expr(a)?;
+                let tb = self.check_expr(b)?;
+                use BinOp::*;
+                match op {
+                    Add | Sub | Mul | Div | Rem => {
+                        if ta == Type::Int && tb == Type::Int {
+                            Ok(Type::Int)
+                        } else {
+                            Err(LangError::ty(
+                                e.span,
+                                format!("arithmetic needs `int` operands, found `{ta}` {op} `{tb}`"),
+                            ))
+                        }
+                    }
+                    Eq | Ne => {
+                        let null_ok = (matches!(ta, Type::Ptr(_) | Type::Fn)
+                            && matches!(b.kind, ExprKind::Int(0)))
+                            || (matches!(tb, Type::Ptr(_) | Type::Fn)
+                                && matches!(a.kind, ExprKind::Int(0)));
+                        if ta == tb && ta.is_scalar() || null_ok {
+                            Ok(Type::Int)
+                        } else {
+                            Err(LangError::ty(
+                                e.span,
+                                format!("cannot compare `{ta}` with `{tb}`"),
+                            ))
+                        }
+                    }
+                    Lt | Le | Gt | Ge => {
+                        if ta == Type::Int && tb == Type::Int {
+                            Ok(Type::Int)
+                        } else {
+                            Err(LangError::ty(
+                                e.span,
+                                format!("ordering needs `int` operands, found `{ta}` and `{tb}`"),
+                            ))
+                        }
+                    }
+                    And | Or => {
+                        if ta.is_scalar() && tb.is_scalar() {
+                            Ok(Type::Int)
+                        } else {
+                            Err(LangError::ty(e.span, "logical operands must be scalar"))
+                        }
+                    }
+                }
+            }
+            ExprKind::Assign(lhs, rhs) => {
+                let tl = self.check_expr(lhs)?;
+                let tr = self.check_expr(rhs)?;
+                if !self.is_lvalue(lhs) {
+                    return Err(LangError::ty(lhs.span, "left side of `=` is not assignable"));
+                }
+                if !tl.is_scalar() {
+                    return Err(LangError::ty(
+                        lhs.span,
+                        format!("cannot assign aggregate type `{tl}` (copy elements instead)"),
+                    ));
+                }
+                self.require_assignable(&tl, &tr, rhs, e.span)?;
+                Ok(tl)
+            }
+            ExprKind::Index(base, idx) => {
+                let tb = self.check_expr(base)?;
+                let ti = self.check_expr(idx)?;
+                if ti != Type::Int {
+                    return Err(LangError::ty(idx.span, "array index must be `int`"));
+                }
+                match tb {
+                    Type::Array(t, _) => Ok(*t),
+                    Type::Ptr(t) => Ok(*t),
+                    other => {
+                        Err(LangError::ty(base.span, format!("cannot index into `{other}`")))
+                    }
+                }
+            }
+            ExprKind::Field(base, fname) => {
+                let tb = self.check_expr(base)?;
+                let Type::Struct(sname) = &tb else {
+                    return Err(LangError::ty(
+                        base.span,
+                        format!("`.` needs a struct, found `{tb}` (use `->` through pointers)"),
+                    ));
+                };
+                self.field_type(sname, fname, e.span)
+            }
+            ExprKind::ArrowField(base, fname) => {
+                let tb = self.check_expr(base)?;
+                let Type::Ptr(inner) = &tb else {
+                    return Err(LangError::ty(
+                        base.span,
+                        format!("`->` needs a struct pointer, found `{tb}`"),
+                    ));
+                };
+                let Type::Struct(sname) = inner.as_ref() else {
+                    return Err(LangError::ty(
+                        base.span,
+                        format!("`->` needs a struct pointer, found `{tb}`"),
+                    ));
+                };
+                let sname = sname.clone();
+                self.field_type(&sname, fname, e.span)
+            }
+            ExprKind::Call(name, args) => {
+                // Variables shadow functions: a `fn`-typed variable called
+                // by name is an indirect call.
+                if let Some(t) = self.lookup(name).cloned() {
+                    if t == Type::Fn {
+                        self.call_targets.insert(e.id, CallTarget::Indirect);
+                        return self.check_indirect_args(args, e.span);
+                    }
+                    return Err(LangError::ty(
+                        e.span,
+                        format!("`{name}` is a variable of type `{t}`, not callable"),
+                    ));
+                }
+                match name.as_str() {
+                    "input" => {
+                        if !args.is_empty() {
+                            return Err(LangError::ty(e.span, "`input()` takes no arguments"));
+                        }
+                        self.call_targets.insert(e.id, CallTarget::Input);
+                        Ok(Type::Int)
+                    }
+                    "output" => {
+                        if args.len() != 1 {
+                            return Err(LangError::ty(e.span, "`output(v)` takes one argument"));
+                        }
+                        let t = self.check_expr(&args[0])?;
+                        if t != Type::Int {
+                            return Err(LangError::ty(e.span, "`output` takes an `int`"));
+                        }
+                        self.call_targets.insert(e.id, CallTarget::Output);
+                        Ok(Type::Void)
+                    }
+                    _ => {
+                        let Some(f) = self.program.function(name) else {
+                            return Err(LangError::ty(
+                                e.span,
+                                format!("undefined function `{name}`"),
+                            ));
+                        };
+                        if f.name == "main" {
+                            return Err(LangError::ty(e.span, "`main` cannot be called"));
+                        }
+                        let (ret, ptypes): (Type, Vec<Type>) =
+                            (f.ret.clone(), f.params.iter().map(|p| p.ty.clone()).collect());
+                        if args.len() != ptypes.len() {
+                            return Err(LangError::ty(
+                                e.span,
+                                format!(
+                                    "`{name}` expects {} argument(s), got {}",
+                                    ptypes.len(),
+                                    args.len()
+                                ),
+                            ));
+                        }
+                        for (a, pt) in args.iter().zip(&ptypes) {
+                            let at = self.check_expr(a)?;
+                            self.require_assignable(pt, &at, a, a.span)?;
+                        }
+                        self.call_targets.insert(e.id, CallTarget::Direct(name.clone()));
+                        Ok(ret)
+                    }
+                }
+            }
+            ExprKind::CallPtr(callee, args) => {
+                let tc = self.check_expr(callee)?;
+                if tc != Type::Fn {
+                    return Err(LangError::ty(
+                        callee.span,
+                        format!("indirect call needs a `fn` value, found `{tc}`"),
+                    ));
+                }
+                self.call_targets.insert(e.id, CallTarget::Indirect);
+                self.check_indirect_args(args, e.span)
+            }
+            ExprKind::AddrOf(inner) => {
+                if let ExprKind::Var(name) = &inner.kind {
+                    if self.lookup(name).is_none() {
+                        // &function yields an opaque fn value.
+                        if self.program.function(name).is_some() {
+                            self.types.insert(inner.id, Type::Fn);
+                            return Ok(Type::Fn);
+                        }
+                        return Err(LangError::ty(
+                            inner.span,
+                            format!("undefined variable `{name}`"),
+                        ));
+                    }
+                }
+                let t = self.check_expr(inner)?;
+                if !self.is_lvalue(inner) {
+                    return Err(LangError::ty(inner.span, "`&` needs an l-value"));
+                }
+                Ok(t.ptr_to())
+            }
+            ExprKind::Deref(inner) => {
+                let t = self.check_expr(inner)?;
+                match t {
+                    Type::Ptr(p) => Ok(*p),
+                    // Dereferencing a function pointer yields the function
+                    // pointer itself, as in C.
+                    Type::Fn => Ok(Type::Fn),
+                    other => {
+                        Err(LangError::ty(inner.span, format!("cannot dereference `{other}`")))
+                    }
+                }
+            }
+            ExprKind::Alloc(ty, count) => {
+                self.validate_type(ty, e.span)?;
+                let tc = self.check_expr(count)?;
+                if tc != Type::Int {
+                    return Err(LangError::ty(count.span, "allocation count must be `int`"));
+                }
+                Ok(ty.clone().ptr_to())
+            }
+        }
+    }
+
+    fn check_indirect_args(&mut self, args: &[Expr], span: Span) -> Result<Type, LangError> {
+        for a in args {
+            let t = self.check_expr(a)?;
+            if !t.is_scalar() {
+                return Err(LangError::ty(span, "indirect call arguments must be scalar"));
+            }
+        }
+        // Indirect targets are dynamically checked; statically they yield int.
+        Ok(Type::Int)
+    }
+
+    fn field_type(&self, sname: &str, fname: &str, span: Span) -> Result<Type, LangError> {
+        let Some(def) = self.program.struct_def(sname) else {
+            return Err(LangError::ty(span, format!("unknown struct `{sname}`")));
+        };
+        match def.field(fname) {
+            Some((_, t)) => Ok(t.clone()),
+            None => {
+                Err(LangError::ty(span, format!("struct `{sname}` has no field `{fname}`")))
+            }
+        }
+    }
+}
+
+fn innermost(ty: &Type) -> &Type {
+    match ty {
+        Type::Ptr(t) | Type::Array(t, _) => innermost(t),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ok(src: &str) -> CheckedProgram {
+        check(parse(src).unwrap()).unwrap()
+    }
+
+    fn err(src: &str) -> String {
+        check(parse(src).unwrap()).unwrap_err().to_string()
+    }
+
+    #[test]
+    fn simple_program_checks() {
+        ok("void main(int n) { int i; for (i = 0; i < n; i++) { output(i); } }");
+    }
+
+    #[test]
+    fn main_required() {
+        assert!(err("void f() {}").contains("no `main`"));
+    }
+
+    #[test]
+    fn main_params_must_be_int() {
+        assert!(err("void main(int *p) {}").contains("must be `int`"));
+    }
+
+    #[test]
+    fn undefined_variable() {
+        assert!(err("void main() { x = 1; }").contains("undefined variable"));
+    }
+
+    #[test]
+    fn arithmetic_type_error() {
+        assert!(err("void main() { int *p; p = p + 1; }").contains("arithmetic"));
+    }
+
+    #[test]
+    fn null_pointer_assignment_ok() {
+        ok("void main() { int *p; p = 0; if (p == 0) { output(1); } }");
+    }
+
+    #[test]
+    fn struct_fields() {
+        let src = "struct pt { int x; int y; };
+                   void main() { struct pt p; p.x = 1; output(p.x + p.y); }";
+        ok(src);
+        assert!(err(
+            "struct pt { int x; };
+             void main() { struct pt p; p.z = 1; }"
+        )
+        .contains("no field"));
+    }
+
+    #[test]
+    fn arrow_through_pointer() {
+        let src = "struct list { int index; struct list *next; };
+                   void main() {
+                     struct list *p;
+                     p = alloc(struct list, 1);
+                     p->next = 0;
+                     p->index = 7;
+                     output(p->index);
+                   }";
+        ok(src);
+    }
+
+    #[test]
+    fn self_embedding_rejected() {
+        assert!(err("struct a { struct a inner; }; void main() {}").contains("embeds itself"));
+    }
+
+    #[test]
+    fn recursive_pointer_allowed() {
+        ok("struct a { struct a *next; }; void main() {}");
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        assert!(err("int f(int x) { return x; } void main() { f(1, 2); }")
+            .contains("expects 1 argument"));
+    }
+
+    #[test]
+    fn indirect_call_through_fn_var() {
+        let src = "int id(int x) { return x; }
+                   void main() { fn g; g = &id; output(g(3)); output((*g)(4)); }";
+        let checked = ok(src);
+        let indirect = checked
+            .call_targets
+            .values()
+            .filter(|t| **t == CallTarget::Indirect)
+            .count();
+        assert_eq!(indirect, 2);
+    }
+
+    #[test]
+    fn builtin_misuse() {
+        assert!(err("void main() { input(3); }").contains("takes no arguments"));
+        assert!(err("void main() { output(); }").contains("one argument"));
+    }
+
+    #[test]
+    fn break_outside_loop() {
+        assert!(err("void main() { break; }").contains("outside"));
+    }
+
+    #[test]
+    fn return_type_checked() {
+        assert!(err("int f() { return; } void main() { f(); }").contains("missing return value"));
+        assert!(err("void f() { return 1; } void main() { f(); }")
+            .contains("cannot return a value"));
+    }
+
+    #[test]
+    fn aggregate_assignment_rejected() {
+        assert!(err(
+            "struct pt { int x; };
+             void main() { struct pt a; struct pt b; a = b; }"
+        )
+        .contains("aggregate"));
+    }
+
+    #[test]
+    fn shadowing_in_nested_scope() {
+        ok("void main() { int x; x = 1; { int x; x = 2; } output(x); }");
+        assert!(err("void main() { int x; int x; }").contains("already declared"));
+    }
+
+    #[test]
+    fn array_indexing() {
+        ok("int buf[16]; void main() { buf[0] = 1; output(buf[0]); }");
+        assert!(err("void main() { int x; x[0] = 1; }").contains("cannot index"));
+    }
+
+    #[test]
+    fn pointer_indexing() {
+        ok("void main() { int *p; p = alloc(int, 8); p[3] = 5; output(p[3]); }");
+    }
+
+    #[test]
+    fn types_recorded_for_all_nodes() {
+        let src = "void main(int n) { int i; i = n * 2 + 1; output(i); }";
+        let checked = ok(src);
+        // Every expression node that was visited has a type.
+        assert!(!checked.types.is_empty());
+        for t in checked.types.values() {
+            assert_ne!(format!("{t:?}"), "");
+        }
+    }
+}

@@ -1,0 +1,666 @@
+//! Arbitrary-precision signed integers.
+//!
+//! The parametric partitioning algorithm performs long chains of
+//! Fourier–Motzkin combinations whose coefficients can overflow any fixed
+//! width integer, so all polyhedral arithmetic is exact over [`BigInt`].
+//!
+//! The representation is a sign plus a little-endian vector of `u32` limbs
+//! with no trailing zero limbs (zero is the empty limb vector with
+//! [`Sign::Zero`]).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Sign of a [`BigInt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Sign {
+    Negative,
+    Zero,
+    Positive,
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// # Examples
+///
+/// ```
+/// use offload_poly::BigInt;
+///
+/// let a = BigInt::from(1_000_000_007i64);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string(), "1000000014000000049");
+/// ```
+#[derive(Debug, Clone)]
+pub struct BigInt {
+    sign: Sign,
+    /// Little-endian limbs; empty iff `sign == Sign::Zero`.
+    limbs: Vec<u32>,
+}
+
+impl BigInt {
+    /// The integer zero.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, limbs: Vec::new() }
+    }
+
+    /// The integer one.
+    pub fn one() -> Self {
+        BigInt::from(1i64)
+    }
+
+    /// Returns `true` if this integer is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Returns `true` if this integer is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// Returns `true` if this integer is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Sign as `-1`, `0` or `1`.
+    pub fn signum(&self) -> i32 {
+        match self.sign {
+            Sign::Negative => -1,
+            Sign::Zero => 0,
+            Sign::Positive => 1,
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        match self.sign {
+            Sign::Negative => BigInt { sign: Sign::Positive, limbs: self.limbs.clone() },
+            _ => self.clone(),
+        }
+    }
+
+    fn from_limbs(sign: Sign, mut limbs: Vec<u32>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        if limbs.is_empty() {
+            BigInt::zero()
+        } else {
+            debug_assert_ne!(sign, Sign::Zero);
+            BigInt { sign, limbs }
+        }
+    }
+
+    /// Converts to `i128` if the value fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        if self.limbs.len() > 4 {
+            return None;
+        }
+        let mut mag: u128 = 0;
+        for (i, &l) in self.limbs.iter().enumerate() {
+            mag |= (l as u128) << (32 * i);
+        }
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => {
+                if mag <= i128::MAX as u128 {
+                    Some(mag as i128)
+                } else {
+                    None
+                }
+            }
+            Sign::Negative => {
+                if mag <= i128::MAX as u128 + 1 {
+                    Some((mag as i128).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Converts to `f64` (approximately, for reporting only).
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &l in self.limbs.iter().rev() {
+            v = v * 4294967296.0 + l as f64;
+        }
+        if self.sign == Sign::Negative {
+            -v
+        } else {
+            v
+        }
+    }
+
+    fn cmp_mag(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            if x != y {
+                return x.cmp(y);
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn add_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let mut s = long[i] as u64 + carry;
+            if i < short.len() {
+                s += short[i] as u64;
+            }
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        out
+    }
+
+    /// Requires `a >= b` in magnitude.
+    fn sub_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        debug_assert!(Self::cmp_mag(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0i64;
+        for i in 0..a.len() {
+            let mut d = a[i] as i64 - borrow;
+            if i < b.len() {
+                d -= b[i] as i64;
+            }
+            if d < 0 {
+                d += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(d as u32);
+        }
+        debug_assert_eq!(borrow, 0);
+        out
+    }
+
+    fn mul_mag(a: &[u32], b: &[u32]) -> Vec<u32> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &y) in b.iter().enumerate() {
+                let t = out[i + j] as u64 + x as u64 * y as u64 + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let t = out[k] as u64 + carry;
+                out[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        out
+    }
+
+    /// Schoolbook magnitude division: returns `(quotient, remainder)`.
+    fn divmod_mag(a: &[u32], b: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        assert!(!b.is_empty(), "division by zero");
+        if Self::cmp_mag(a, b) == Ordering::Less {
+            return (Vec::new(), a.to_vec());
+        }
+        if b.len() == 1 {
+            // Fast path: single-limb divisor.
+            let d = b[0] as u64;
+            let mut q = vec![0u32; a.len()];
+            let mut rem = 0u64;
+            for i in (0..a.len()).rev() {
+                let cur = (rem << 32) | a[i] as u64;
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            while q.last() == Some(&0) {
+                q.pop();
+            }
+            let r = if rem == 0 { Vec::new() } else { vec![rem as u32] };
+            return (q, r);
+        }
+        // Binary long division over bits (adequate for the coefficient sizes
+        // arising in our polyhedral computations, which are kept small by
+        // gcd normalization after every operation).
+        let bits = a.len() * 32;
+        let mut q = vec![0u32; a.len()];
+        let mut rem: Vec<u32> = Vec::new();
+        for bit in (0..bits).rev() {
+            // rem = rem << 1 | bit_of_a
+            let mut carry = (a[bit / 32] >> (bit % 32)) & 1;
+            for limb in rem.iter_mut() {
+                let next = *limb >> 31;
+                *limb = (*limb << 1) | carry;
+                carry = next;
+            }
+            if carry != 0 {
+                rem.push(carry);
+            }
+            if Self::cmp_mag(&rem, b) != Ordering::Less {
+                rem = Self::sub_mag(&rem, b);
+                while rem.last() == Some(&0) {
+                    rem.pop();
+                }
+                q[bit / 32] |= 1 << (bit % 32);
+            }
+        }
+        while q.last() == Some(&0) {
+            q.pop();
+        }
+        (q, rem)
+    }
+
+    /// Euclidean division returning `(quotient, remainder)` with the
+    /// remainder carrying the sign of `self` (truncated division, matching
+    /// Rust's `/` and `%` on primitives).
+    pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "division by zero");
+        let (qm, rm) = Self::divmod_mag(&self.limbs, &other.limbs);
+        let qsign = if qm.is_empty() {
+            Sign::Zero
+        } else if self.sign == other.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        let rsign = if rm.is_empty() { Sign::Zero } else { self.sign };
+        (BigInt::from_limbs2(qsign, qm), BigInt::from_limbs2(rsign, rm))
+    }
+
+    fn from_limbs2(sign: Sign, limbs: Vec<u32>) -> Self {
+        if limbs.is_empty() {
+            BigInt::zero()
+        } else {
+            BigInt { sign, limbs }
+        }
+    }
+
+    /// Greatest common divisor (always non-negative).
+    ///
+    /// `gcd(0, 0)` is defined as `0`.
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.abs();
+        let mut b = other.abs();
+        while !b.is_zero() {
+            let r = a.div_rem(&b).1;
+            a = b;
+            b = r.abs();
+        }
+        a
+    }
+
+    /// Least common multiple (always non-negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if both arguments are zero.
+    pub fn lcm(&self, other: &BigInt) -> BigInt {
+        let g = self.gcd(other);
+        (&(&self.abs() / &g) * &other.abs()).abs()
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+impl PartialEq for BigInt {
+    fn eq(&self, other: &Self) -> bool {
+        self.sign == other.sign && self.limbs == other.limbs
+    }
+}
+impl Eq for BigInt {}
+
+impl Hash for BigInt {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.signum().hash(state);
+        self.limbs.hash(state);
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Negative, Sign::Negative) => Self::cmp_mag(&other.limbs, &self.limbs),
+            (Sign::Negative, _) => Ordering::Less,
+            (Sign::Zero, Sign::Negative) => Ordering::Greater,
+            (Sign::Zero, Sign::Zero) => Ordering::Equal,
+            (Sign::Zero, Sign::Positive) => Ordering::Less,
+            (Sign::Positive, Sign::Positive) => Self::cmp_mag(&self.limbs, &other.limbs),
+            (Sign::Positive, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> Self {
+                let sign = match v {
+                    0 => return BigInt::zero(),
+                    x if x > 0 => Sign::Positive,
+                    _ => Sign::Negative,
+                };
+                let mut mag = (v as i128).unsigned_abs();
+                let mut limbs = Vec::new();
+                while mag != 0 {
+                    limbs.push(mag as u32);
+                    mag >>= 32;
+                }
+                BigInt { sign, limbs }
+            }
+        }
+    )*};
+}
+impl_from_signed!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            fn from(v: $t) -> Self {
+                if v == 0 {
+                    return BigInt::zero();
+                }
+                let mut mag = v as u128;
+                let mut limbs = Vec::new();
+                while mag != 0 {
+                    limbs.push(mag as u32);
+                    mag >>= 32;
+                }
+                BigInt { sign: Sign::Positive, limbs }
+            }
+        }
+    )*};
+}
+impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        let sign = match self.sign {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        };
+        BigInt { sign, limbs: self.limbs.clone() }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = match self.sign {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        };
+        self
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, other: &BigInt) -> BigInt {
+        match (self.sign, other.sign) {
+            (Sign::Zero, _) => other.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => {
+                BigInt::from_limbs(a, BigInt::add_mag(&self.limbs, &other.limbs))
+            }
+            _ => match BigInt::cmp_mag(&self.limbs, &other.limbs) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => {
+                    BigInt::from_limbs(self.sign, BigInt::sub_mag(&self.limbs, &other.limbs))
+                }
+                Ordering::Less => {
+                    BigInt::from_limbs(other.sign, BigInt::sub_mag(&other.limbs, &self.limbs))
+                }
+            },
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, other: &BigInt) -> BigInt {
+        self + &(-other)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, other: &BigInt) -> BigInt {
+        if self.is_zero() || other.is_zero() {
+            return BigInt::zero();
+        }
+        let sign = if self.sign == other.sign { Sign::Positive } else { Sign::Negative };
+        BigInt::from_limbs(sign, BigInt::mul_mag(&self.limbs, &other.limbs))
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    fn div(self, other: &BigInt) -> BigInt {
+        self.div_rem(other).0
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, other: &BigInt) -> BigInt {
+        self.div_rem(other).1
+    }
+}
+
+macro_rules! forward_binop_owned {
+    ($($tr:ident :: $m:ident),*) => {$(
+        impl $tr for BigInt {
+            type Output = BigInt;
+            fn $m(self, other: BigInt) -> BigInt {
+                $tr::$m(&self, &other)
+            }
+        }
+        impl $tr<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $m(self, other: &BigInt) -> BigInt {
+                $tr::$m(&self, other)
+            }
+        }
+        impl $tr<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $m(self, other: BigInt) -> BigInt {
+                $tr::$m(self, &other)
+            }
+        }
+    )*};
+}
+forward_binop_owned!(Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, other: &BigInt) {
+        *self = &*self + other;
+    }
+}
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, other: &BigInt) {
+        *self = &*self - other;
+    }
+}
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, other: &BigInt) {
+        *self = &*self * other;
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeated division by 10^9.
+        let chunk = BigInt::from(1_000_000_000u32);
+        let mut digits: Vec<u32> = Vec::new();
+        let mut cur = self.abs();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem(&chunk);
+            digits.push(r.limbs.first().copied().unwrap_or(0));
+            cur = q;
+        }
+        if self.sign == Sign::Negative {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", digits.last().unwrap())?;
+        for d in digits.iter().rev().skip(1) {
+            write!(f, "{d:09}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing a [`BigInt`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError;
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid integer literal")
+    }
+}
+impl std::error::Error for ParseBigIntError {}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(b) => (true, b),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if body.is_empty() || !body.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseBigIntError);
+        }
+        let ten = BigInt::from(10u32);
+        let mut acc = BigInt::zero();
+        for b in body.bytes() {
+            acc = &(&acc * &ten) + &BigInt::from((b - b'0') as u32);
+        }
+        if neg {
+            acc = -acc;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_identity() {
+        let z = BigInt::zero();
+        let a = BigInt::from(42i64);
+        assert_eq!(&a + &z, a);
+        assert_eq!(&z + &a, a);
+        assert!(z.is_zero());
+        assert_eq!(z.to_string(), "0");
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = BigInt::from(i64::MAX);
+        let b = BigInt::from(i64::MAX);
+        let s = &a + &b;
+        assert_eq!(s.to_i128(), Some(i64::MAX as i128 * 2));
+        assert_eq!(&s - &b, a);
+    }
+
+    #[test]
+    fn mul_carries_across_limbs() {
+        let a = BigInt::from(u64::MAX);
+        let b = &a * &a;
+        assert_eq!(b.to_string(), format!("{}", u64::MAX as u128 * u64::MAX as u128));
+    }
+
+    #[test]
+    fn division_matches_primitive() {
+        for &(x, y) in &[(100i64, 7i64), (-100, 7), (100, -7), (-100, -7), (0, 3), (5, 100)] {
+            let (q, r) = BigInt::from(x).div_rem(&BigInt::from(y));
+            assert_eq!(q.to_i128(), Some((x / y) as i128), "{x}/{y}");
+            assert_eq!(r.to_i128(), Some((x % y) as i128), "{x}%{y}");
+        }
+    }
+
+    #[test]
+    fn large_division() {
+        let a: BigInt = "123456789012345678901234567890".parse().unwrap();
+        let b: BigInt = "9876543210987654321".parse().unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&(&q * &b) + &r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(BigInt::from(12i64).gcd(&BigInt::from(18i64)), BigInt::from(6i64));
+        assert_eq!(BigInt::from(-12i64).gcd(&BigInt::from(18i64)), BigInt::from(6i64));
+        assert_eq!(BigInt::from(0i64).gcd(&BigInt::from(5i64)), BigInt::from(5i64));
+        assert_eq!(BigInt::zero().gcd(&BigInt::zero()), BigInt::zero());
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(BigInt::from(4i64).lcm(&BigInt::from(6i64)), BigInt::from(12i64));
+    }
+
+    #[test]
+    fn ordering() {
+        let vals = [-5i64, -1, 0, 1, 5];
+        for &x in &vals {
+            for &y in &vals {
+                assert_eq!(BigInt::from(x).cmp(&BigInt::from(y)), x.cmp(&y), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["0", "1", "-1", "4294967296", "-123456789012345678901234567890"] {
+            let v: BigInt = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert!("".parse::<BigInt>().is_err());
+        assert!("12a".parse::<BigInt>().is_err());
+        assert!("-".parse::<BigInt>().is_err());
+    }
+
+    #[test]
+    fn to_i128_bounds() {
+        assert_eq!(BigInt::from(i128::MAX).to_i128(), Some(i128::MAX));
+        assert_eq!(BigInt::from(i128::MIN).to_i128(), Some(i128::MIN));
+        let too_big = &BigInt::from(i128::MAX) + &BigInt::one();
+        assert_eq!(too_big.to_i128(), None);
+        let min_minus = &BigInt::from(i128::MIN) - &BigInt::one();
+        assert_eq!(min_minus.to_i128(), None);
+    }
+}

@@ -1,0 +1,433 @@
+//! Linear expressions and linear constraints over a fixed variable space.
+//!
+//! Variables are identified by dense indices `0..nvars`; the mapping from
+//! indices to program parameters (or flow variables) is maintained by the
+//! callers in `offload-symbolic` and `offload-core`.
+
+use crate::bigint::BigInt;
+use crate::rational::Rational;
+use std::fmt;
+
+/// A linear expression `c0 + c1*x1 + ... + cn*xn` with exact rational
+/// coefficients.
+///
+/// # Examples
+///
+/// ```
+/// use offload_poly::{LinExpr, Rational};
+///
+/// // 2*x0 - 3*x1 + 5
+/// let e = LinExpr::constant(3, Rational::from(5))
+///     .plus_term(0, Rational::from(2))
+///     .plus_term(1, Rational::from(-3));
+/// let point = [Rational::from(1), Rational::from(2), Rational::from(0)];
+/// assert_eq!(e.eval(&point), Rational::from(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LinExpr {
+    coeffs: Vec<Rational>,
+    constant: Rational,
+}
+
+impl LinExpr {
+    /// The zero expression over `nvars` variables.
+    pub fn zero(nvars: usize) -> Self {
+        LinExpr { coeffs: vec![Rational::zero(); nvars], constant: Rational::zero() }
+    }
+
+    /// A constant expression over `nvars` variables.
+    pub fn constant(nvars: usize, c: Rational) -> Self {
+        LinExpr { coeffs: vec![Rational::zero(); nvars], constant: c }
+    }
+
+    /// The expression consisting of a single variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= nvars`.
+    pub fn var(nvars: usize, var: usize) -> Self {
+        assert!(var < nvars, "variable index {var} out of range ({nvars} variables)");
+        let mut e = Self::zero(nvars);
+        e.coeffs[var] = Rational::one();
+        e
+    }
+
+    /// Number of variables in this expression's space.
+    pub fn nvars(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Coefficient of variable `var`.
+    pub fn coeff(&self, var: usize) -> &Rational {
+        &self.coeffs[var]
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> &Rational {
+        &self.constant
+    }
+
+    /// Sets the coefficient of `var`.
+    pub fn set_coeff(&mut self, var: usize, c: Rational) {
+        self.coeffs[var] = c;
+    }
+
+    /// Sets the constant term.
+    pub fn set_constant(&mut self, c: Rational) {
+        self.constant = c;
+    }
+
+    /// Builder-style addition of `c * x_var`.
+    #[must_use]
+    pub fn plus_term(mut self, var: usize, c: Rational) -> Self {
+        self.coeffs[var] = &self.coeffs[var] + &c;
+        self
+    }
+
+    /// Builder-style addition of a constant.
+    #[must_use]
+    pub fn plus_constant(mut self, c: Rational) -> Self {
+        self.constant = &self.constant + &c;
+        self
+    }
+
+    /// `self + other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two expressions have different variable counts.
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        assert_eq!(self.nvars(), other.nvars(), "mismatched variable spaces");
+        LinExpr {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a + b)
+                .collect(),
+            constant: &self.constant + &other.constant,
+        }
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.add(&other.scale(&Rational::from(-1)))
+    }
+
+    /// `k * self`.
+    pub fn scale(&self, k: &Rational) -> LinExpr {
+        LinExpr {
+            coeffs: self.coeffs.iter().map(|c| c * k).collect(),
+            constant: &self.constant * k,
+        }
+    }
+
+    /// Evaluates at a point (one value per variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != nvars`.
+    pub fn eval(&self, point: &[Rational]) -> Rational {
+        assert_eq!(point.len(), self.nvars(), "point dimension mismatch");
+        let mut acc = self.constant.clone();
+        for (c, v) in self.coeffs.iter().zip(point) {
+            if !c.is_zero() {
+                acc += &(c * v);
+            }
+        }
+        acc
+    }
+
+    /// Returns `true` if every variable coefficient is zero.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(Rational::is_zero)
+    }
+
+    /// Substitutes a fixed value for variable `var` (the variable's
+    /// coefficient becomes zero and the constant absorbs `coeff * value`).
+    pub fn substitute(&self, var: usize, value: &Rational) -> LinExpr {
+        let mut out = self.clone();
+        let c = std::mem::take(&mut out.coeffs[var]);
+        out.constant = &out.constant + &(&c * value);
+        out
+    }
+
+    /// Embeds this expression into a larger variable space: variables keep
+    /// their indices, new trailing variables get zero coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_nvars < nvars`.
+    pub fn extend_vars(&self, new_nvars: usize) -> LinExpr {
+        assert!(new_nvars >= self.nvars());
+        let mut coeffs = self.coeffs.clone();
+        coeffs.resize(new_nvars, Rational::zero());
+        LinExpr { coeffs, constant: self.constant.clone() }
+    }
+
+    /// Indices of variables with non-zero coefficients.
+    pub fn support(&self) -> impl Iterator<Item = usize> + '_ {
+        self.coeffs.iter().enumerate().filter(|(_, c)| !c.is_zero()).map(|(i, _)| i)
+    }
+
+    /// Formats with variable names supplied by `names`.
+    pub fn display_with(&self, names: &dyn Fn(usize) -> String) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let mut first = true;
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            let name = names(i);
+            if first {
+                if *c == Rational::one() {
+                    let _ = write!(out, "{name}");
+                } else if *c == Rational::from(-1) {
+                    let _ = write!(out, "-{name}");
+                } else {
+                    let _ = write!(out, "{c}*{name}");
+                }
+                first = false;
+            } else if c.is_positive() {
+                if *c == Rational::one() {
+                    let _ = write!(out, " + {name}");
+                } else {
+                    let _ = write!(out, " + {c}*{name}");
+                }
+            } else if c.abs() == Rational::one() {
+                let _ = write!(out, " - {name}");
+            } else {
+                let _ = write!(out, " - {}*{name}", c.abs());
+            }
+        }
+        if first {
+            let _ = write!(out, "{}", self.constant);
+        } else if self.constant.is_positive() {
+            let _ = write!(out, " + {}", self.constant);
+        } else if self.constant.is_negative() {
+            let _ = write!(out, " - {}", self.constant.abs());
+        }
+        out
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = |i: usize| format!("x{i}");
+        write!(f, "{}", self.display_with(&names))
+    }
+}
+
+/// Comparison kind of a [`Constraint`]: `expr >= 0` or `expr > 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// Non-strict: `expr >= 0`.
+    Ge,
+    /// Strict: `expr > 0`.
+    Gt,
+}
+
+/// A linear constraint `expr >= 0` (or `expr > 0`).
+///
+/// Equalities are modeled as the conjunction of two opposite [`Cmp::Ge`]
+/// constraints (see [`Constraint::equalities`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    /// The left-hand side; the constraint asserts it is (strictly) non-negative.
+    pub expr: LinExpr,
+    /// Strict or non-strict comparison.
+    pub cmp: Cmp,
+}
+
+impl Constraint {
+    /// `expr >= 0`.
+    pub fn ge0(expr: LinExpr) -> Self {
+        Constraint { expr, cmp: Cmp::Ge }
+    }
+
+    /// `expr > 0`.
+    pub fn gt0(expr: LinExpr) -> Self {
+        Constraint { expr, cmp: Cmp::Gt }
+    }
+
+    /// `lhs >= rhs`.
+    pub fn ge(lhs: &LinExpr, rhs: &LinExpr) -> Self {
+        Constraint::ge0(lhs.sub(rhs))
+    }
+
+    /// `lhs > rhs`.
+    pub fn gt(lhs: &LinExpr, rhs: &LinExpr) -> Self {
+        Constraint::gt0(lhs.sub(rhs))
+    }
+
+    /// The pair of constraints encoding `lhs == rhs`.
+    pub fn equalities(lhs: &LinExpr, rhs: &LinExpr) -> [Self; 2] {
+        [Constraint::ge(lhs, rhs), Constraint::ge(rhs, lhs)]
+    }
+
+    /// Evaluates the constraint at a point.
+    pub fn holds_at(&self, point: &[Rational]) -> bool {
+        let v = self.expr.eval(point);
+        match self.cmp {
+            Cmp::Ge => !v.is_negative(),
+            Cmp::Gt => v.is_positive(),
+        }
+    }
+
+    /// Returns `Some(true)` / `Some(false)` if the constraint is trivially
+    /// true / false (no variables), `None` otherwise.
+    pub fn trivial_truth(&self) -> Option<bool> {
+        if !self.expr.is_constant() {
+            return None;
+        }
+        let c = self.expr.constant_term();
+        Some(match self.cmp {
+            Cmp::Ge => !c.is_negative(),
+            Cmp::Gt => c.is_positive(),
+        })
+    }
+
+    /// The negation of this constraint (`expr >= 0` becomes `-expr > 0`).
+    pub fn negated(&self) -> Constraint {
+        let neg = self.expr.scale(&Rational::from(-1));
+        match self.cmp {
+            Cmp::Ge => Constraint::gt0(neg),
+            Cmp::Gt => Constraint::ge0(neg),
+        }
+    }
+
+    /// Canonicalizes to integer coefficients whose collective gcd is one.
+    ///
+    /// Two constraints with the same canonical variable coefficients differ
+    /// only in their constant term, which enables redundancy pruning during
+    /// Fourier–Motzkin elimination.
+    pub fn normalize(&self) -> Constraint {
+        // Common denominator of all coefficients (including the constant).
+        let mut lcm = BigInt::one();
+        for c in self.expr.coeffs.iter().chain(std::iter::once(&self.expr.constant)) {
+            if !c.is_zero() {
+                lcm = lcm.lcm(c.denom());
+            }
+        }
+        // Gcd of the resulting integer coefficients.
+        let mut gcd = BigInt::zero();
+        let scaled: Vec<BigInt> = self
+            .expr
+            .coeffs
+            .iter()
+            .chain(std::iter::once(&self.expr.constant))
+            .map(|c| {
+                let v = &(c.numer() * &lcm) / c.denom();
+                gcd = gcd.gcd(&v);
+                v
+            })
+            .collect();
+        if gcd.is_zero() {
+            return self.clone();
+        }
+        let n = self.expr.nvars();
+        let mut expr = LinExpr::zero(n);
+        for (i, v) in scaled.iter().take(n).enumerate() {
+            expr.coeffs[i] = Rational::from(&*v / &gcd);
+        }
+        expr.constant = Rational::from(&scaled[n] / &gcd);
+        Constraint { expr, cmp: self.cmp }
+    }
+
+    /// Formats with variable names supplied by `names`.
+    pub fn display_with<'a>(&'a self, names: &'a dyn Fn(usize) -> String) -> String {
+        let op = match self.cmp {
+            Cmp::Ge => ">=",
+            Cmp::Gt => ">",
+        };
+        format!("{} {op} 0", self.expr.display_with(names))
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.cmp {
+            Cmp::Ge => ">=",
+            Cmp::Gt => ">",
+        };
+        write!(f, "{} {op} 0", self.expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from(n)
+    }
+
+    #[test]
+    fn eval_and_arith() {
+        let e = LinExpr::zero(2).plus_term(0, r(2)).plus_term(1, r(-1)).plus_constant(r(3));
+        assert_eq!(e.eval(&[r(1), r(2)]), r(3));
+        let f = e.add(&e);
+        assert_eq!(f.eval(&[r(1), r(2)]), r(6));
+        let g = e.scale(&r(-1));
+        assert_eq!(g.eval(&[r(1), r(2)]), r(-3));
+        assert_eq!(e.sub(&e).eval(&[r(5), r(7)]), r(0));
+    }
+
+    #[test]
+    fn substitution() {
+        let e = LinExpr::zero(2).plus_term(0, r(2)).plus_term(1, r(3)).plus_constant(r(1));
+        let s = e.substitute(0, &r(10));
+        assert!(s.coeff(0).is_zero());
+        assert_eq!(s.eval(&[r(999), r(1)]), r(24));
+    }
+
+    #[test]
+    fn constraint_semantics() {
+        let x_minus_2 = LinExpr::zero(1).plus_term(0, r(1)).plus_constant(r(-2));
+        let ge = Constraint::ge0(x_minus_2.clone());
+        let gt = Constraint::gt0(x_minus_2);
+        assert!(ge.holds_at(&[r(2)]));
+        assert!(!gt.holds_at(&[r(2)]));
+        assert!(gt.holds_at(&[r(3)]));
+        assert!(!ge.holds_at(&[r(1)]));
+    }
+
+    #[test]
+    fn negation_partitions_space() {
+        let e = LinExpr::zero(1).plus_term(0, r(1)).plus_constant(r(-2));
+        let c = Constraint::ge0(e);
+        let n = c.negated();
+        for v in [-3i64, 2, 7] {
+            let p = [r(v)];
+            assert_ne!(c.holds_at(&p), n.holds_at(&p), "exactly one side must hold at {v}");
+        }
+    }
+
+    #[test]
+    fn normalization_scales_to_integers() {
+        let e = LinExpr::zero(2)
+            .plus_term(0, Rational::new(2, 3))
+            .plus_term(1, Rational::new(4, 3))
+            .plus_constant(Rational::new(-2, 3));
+        let c = Constraint::ge0(e).normalize();
+        assert_eq!(c.expr.coeff(0), &r(1));
+        assert_eq!(c.expr.coeff(1), &r(2));
+        assert_eq!(c.expr.constant_term(), &r(-1));
+    }
+
+    #[test]
+    fn trivial_truth() {
+        assert_eq!(Constraint::ge0(LinExpr::constant(0, r(0))).trivial_truth(), Some(true));
+        assert_eq!(Constraint::gt0(LinExpr::constant(0, r(0))).trivial_truth(), Some(false));
+        assert_eq!(Constraint::ge0(LinExpr::constant(0, r(-1))).trivial_truth(), Some(false));
+        assert_eq!(Constraint::ge0(LinExpr::var(1, 0)).trivial_truth(), None);
+    }
+
+    #[test]
+    fn display() {
+        let e = LinExpr::zero(2).plus_term(0, r(2)).plus_term(1, r(-1)).plus_constant(r(3));
+        assert_eq!(e.to_string(), "2*x0 - x1 + 3");
+        assert_eq!(Constraint::ge0(e).to_string(), "2*x0 - x1 + 3 >= 0");
+    }
+}

@@ -1,0 +1,346 @@
+//! Exact rational linear programming (two-phase primal simplex with
+//! Bland's rule).
+//!
+//! Used for fast *sound* redundancy elimination on projection outputs:
+//! a constraint is dropped only when the LP proves the rest of the system
+//! implies it. Strict inequalities are relaxed to their closures, which
+//! can only make the check more conservative (we keep a constraint we
+//! might have dropped — never the reverse).
+
+use crate::bigint::BigInt;
+use crate::linear::{Constraint, LinExpr};
+use crate::rational::Rational;
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpResult {
+    /// The constraint system (closure) has no solution.
+    Infeasible,
+    /// The objective is unbounded above.
+    Unbounded,
+    /// The maximum value of the objective.
+    Optimal(Rational),
+}
+
+/// Maximizes `objective` subject to the *closures* of `constraints`
+/// (each `expr >= 0` / `expr > 0` is treated as `expr >= 0`).
+///
+/// Variables are free (unbounded in both directions); internally each is
+/// split into a difference of two non-negatives.
+pub fn maximize(objective: &LinExpr, constraints: &[Constraint]) -> LpResult {
+    let n = objective.nvars();
+    debug_assert!(constraints.iter().all(|c| c.expr.nvars() == n));
+    let m = constraints.len();
+
+    // Columns: x+ (n), x- (n), slacks (m). Rows: one per constraint, in
+    // the form  sum(-a_ij)(x+_j - x-_j) + s_i = c_i.
+    let cols = 2 * n + m;
+    let mut a: Vec<Vec<Rational>> = Vec::with_capacity(m);
+    let mut b: Vec<Rational> = Vec::with_capacity(m);
+    for (i, c) in constraints.iter().enumerate() {
+        let mut row = vec![Rational::zero(); cols];
+        for j in 0..n {
+            let aij = c.expr.coeff(j);
+            if !aij.is_zero() {
+                row[j] = -aij;
+                row[n + j] = aij.clone();
+            }
+        }
+        row[2 * n + i] = Rational::one();
+        a.push(row);
+        b.push(c.expr.constant_term().clone());
+    }
+
+    // Normalize negative right-hand sides for phase 1.
+    let mut artificials: Vec<usize> = Vec::new();
+    for i in 0..m {
+        if b[i].is_negative() {
+            for v in a[i].iter_mut() {
+                *v = -&*v;
+            }
+            b[i] = -b[i].clone();
+            artificials.push(i);
+        }
+    }
+    let total_cols = cols + artificials.len();
+    for (k, &i) in artificials.iter().enumerate() {
+        for (r, row) in a.iter_mut().enumerate() {
+            row.push(if r == i { Rational::one() } else { Rational::zero() });
+        }
+        let _ = k;
+    }
+
+    // Initial basis: slack for rows with original sign, artificial
+    // otherwise.
+    let mut basis: Vec<usize> = Vec::with_capacity(m);
+    {
+        let mut art_iter = 0usize;
+        for i in 0..m {
+            if artificials.contains(&i) {
+                basis.push(cols + art_iter);
+                art_iter += 1;
+            } else {
+                basis.push(2 * n + i);
+            }
+        }
+    }
+
+    // Phase 1: minimize the sum of artificials (maximize its negation).
+    if !artificials.is_empty() {
+        let mut phase1 = vec![Rational::zero(); total_cols];
+        for k in 0..artificials.len() {
+            phase1[cols + k] = Rational::from(-1);
+        }
+        match simplex(&mut a, &mut b, &mut basis, &phase1, total_cols) {
+            SimplexOutcome::Unbounded => unreachable!("phase-1 objective is bounded"),
+            SimplexOutcome::Optimal(v) => {
+                if v.is_negative() {
+                    return LpResult::Infeasible;
+                }
+            }
+        }
+        // Pivot any remaining artificial variables out of the basis (or
+        // their rows are redundant); then forbid them by zero columns.
+        for i in 0..m {
+            if basis[i] >= cols {
+                // Find a non-artificial column with nonzero entry.
+                if let Some(j) = (0..cols).find(|&j| !a[i][j].is_zero()) {
+                    pivot(&mut a, &mut b, &mut basis, i, j);
+                }
+            }
+        }
+        // Drop artificial columns.
+        for row in a.iter_mut() {
+            row.truncate(cols);
+        }
+    }
+
+    // Phase 2 objective: maximize objective(x+ - x-).
+    let mut obj = vec![Rational::zero(); cols];
+    for j in 0..n {
+        let cj = objective.coeff(j);
+        if !cj.is_zero() {
+            obj[j] = cj.clone();
+            obj[n + j] = -cj;
+        }
+    }
+    // Any leftover artificial basis rows became redundant zero rows.
+    match simplex(&mut a, &mut b, &mut basis, &obj, cols) {
+        SimplexOutcome::Unbounded => LpResult::Unbounded,
+        SimplexOutcome::Optimal(v) => {
+            LpResult::Optimal(&v + objective.constant_term())
+        }
+    }
+}
+
+enum SimplexOutcome {
+    Optimal(Rational),
+    Unbounded,
+}
+
+/// Primal simplex on `max obj·x  s.t.  A x = b, x ≥ 0` with the given
+/// starting basis; Bland's rule guarantees termination.
+fn simplex(
+    a: &mut [Vec<Rational>],
+    b: &mut [Rational],
+    basis: &mut [usize],
+    obj: &[Rational],
+    active_cols: usize,
+) -> SimplexOutcome {
+    let m = a.len();
+    loop {
+        // Reduced costs: c_j - c_B · B^-1 A_j; tableau is kept in basis
+        // form, so the basic solution's reduced costs come from direct
+        // computation.
+        // Compute multipliers implicitly: reduced(j) = obj[j] - sum_i
+        // obj[basis[i]] * a[i][j].
+        let reduced = |j: usize, a: &[Vec<Rational>], basis: &[usize]| -> Rational {
+            let mut r = obj[j].clone();
+            for i in 0..m {
+                let cb = &obj[basis[i]];
+                if !cb.is_zero() && !a[i][j].is_zero() {
+                    r -= &(cb * &a[i][j]);
+                }
+            }
+            r
+        };
+        // Bland: smallest index with positive reduced cost.
+        let mut entering = None;
+        for j in 0..active_cols {
+            if basis.contains(&j) {
+                continue;
+            }
+            if reduced(j, a, basis).is_positive() {
+                entering = Some(j);
+                break;
+            }
+        }
+        let Some(j) = entering else {
+            // Optimal: value = obj · basic solution.
+            let mut v = Rational::zero();
+            for i in 0..m {
+                let cb = &obj[basis[i]];
+                if !cb.is_zero() {
+                    v += &(cb * &b[i]);
+                }
+            }
+            return SimplexOutcome::Optimal(v);
+        };
+        // Ratio test (Bland: smallest basis index on ties).
+        let mut leave: Option<(usize, Rational)> = None;
+        for i in 0..m {
+            if a[i][j].is_positive() {
+                let ratio = &b[i] / &a[i][j];
+                match &leave {
+                    None => leave = Some((i, ratio)),
+                    Some((li, lr)) => {
+                        if ratio < *lr || (ratio == *lr && basis[i] < basis[*li]) {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((i, _)) = leave else {
+            return SimplexOutcome::Unbounded;
+        };
+        pivot(a, b, basis, i, j);
+    }
+}
+
+fn pivot(a: &mut [Vec<Rational>], b: &mut [Rational], basis: &mut [usize], i: usize, j: usize) {
+    let m = a.len();
+    let piv = a[i][j].clone();
+    debug_assert!(!piv.is_zero());
+    let inv = piv.recip();
+    for v in a[i].iter_mut() {
+        *v = &*v * &inv;
+    }
+    b[i] = &b[i] * &inv;
+    for r in 0..m {
+        if r == i {
+            continue;
+        }
+        let factor = a[r][j].clone();
+        if factor.is_zero() {
+            continue;
+        }
+        let pivot_row = a[i].clone();
+        for (dst, src) in a[r].iter_mut().zip(&pivot_row) {
+            *dst = &*dst - &(&factor * src);
+        }
+        b[r] = &b[r] - &(&factor * &b[i]);
+    }
+    basis[i] = j;
+}
+
+/// Minimum of `objective` over the closure of `constraints`.
+pub fn minimize(objective: &LinExpr, constraints: &[Constraint]) -> LpResult {
+    match maximize(&objective.scale(&Rational::from(-1)), constraints) {
+        LpResult::Optimal(v) => LpResult::Optimal(-v),
+        other => other,
+    }
+}
+
+/// A helper for feasibility of the closure.
+pub fn closure_feasible(constraints: &[Constraint]) -> bool {
+    let n = constraints.first().map(|c| c.expr.nvars()).unwrap_or(0);
+    !matches!(maximize(&LinExpr::zero(n), constraints), LpResult::Infeasible)
+}
+
+/// Keeps the digits crate linked (gcd normalization is exercised through
+/// rationals during pivoting).
+#[allow(dead_code)]
+fn _types(_: &BigInt) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from(n)
+    }
+
+    fn ge(nvars: usize, coeffs: &[(usize, i64)], c: i64) -> Constraint {
+        let mut e = LinExpr::constant(nvars, r(c));
+        for &(v, k) in coeffs {
+            e = e.plus_term(v, r(k));
+        }
+        Constraint::ge0(e)
+    }
+
+    #[test]
+    fn simple_box_maximum() {
+        // 0 <= x <= 5, maximize x.
+        let cs = vec![ge(1, &[(0, 1)], 0), ge(1, &[(0, -1)], 5)];
+        let obj = LinExpr::var(1, 0);
+        assert_eq!(maximize(&obj, &cs), LpResult::Optimal(r(5)));
+        assert_eq!(minimize(&obj, &cs), LpResult::Optimal(r(0)));
+    }
+
+    #[test]
+    fn two_dims_diagonal() {
+        // x,y >= 0, x + y <= 4: maximize x + 2y = 8 at (0,4).
+        let cs = vec![
+            ge(2, &[(0, 1)], 0),
+            ge(2, &[(1, 1)], 0),
+            ge(2, &[(0, -1), (1, -1)], 4),
+        ];
+        let obj = LinExpr::zero(2).plus_term(0, r(1)).plus_term(1, r(2));
+        assert_eq!(maximize(&obj, &cs), LpResult::Optimal(r(8)));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let cs = vec![ge(1, &[(0, 1)], 0)];
+        assert_eq!(maximize(&LinExpr::var(1, 0), &cs), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x >= 3 and x <= 1.
+        let cs = vec![ge(1, &[(0, 1)], -3), ge(1, &[(0, -1)], 1)];
+        assert_eq!(maximize(&LinExpr::var(1, 0), &cs), LpResult::Infeasible);
+        assert!(!closure_feasible(&cs));
+    }
+
+    #[test]
+    fn negative_region() {
+        // -10 <= x <= -2: feasibility needs phase 1; free vars handled.
+        let cs = vec![ge(1, &[(0, 1)], 10), ge(1, &[(0, -1)], -2)];
+        assert_eq!(maximize(&LinExpr::var(1, 0), &cs), LpResult::Optimal(r(-2)));
+        assert_eq!(minimize(&LinExpr::var(1, 0), &cs), LpResult::Optimal(r(-10)));
+    }
+
+    #[test]
+    fn rational_vertices() {
+        // 2x + 3y <= 7, 3x + 2y <= 7, x,y >= 0: max x+y at (7/5, 7/5).
+        let cs = vec![
+            ge(2, &[(0, 1)], 0),
+            ge(2, &[(1, 1)], 0),
+            ge(2, &[(0, -2), (1, -3)], 7),
+            ge(2, &[(0, -3), (1, -2)], 7),
+        ];
+        let obj = LinExpr::zero(2).plus_term(0, r(1)).plus_term(1, r(1));
+        assert_eq!(maximize(&obj, &cs), LpResult::Optimal(Rational::new(14, 5)));
+    }
+
+    #[test]
+    fn constant_objective() {
+        let cs = vec![ge(1, &[(0, 1)], 0)];
+        let obj = LinExpr::constant(1, r(42));
+        assert_eq!(maximize(&obj, &cs), LpResult::Optimal(r(42)));
+    }
+
+    #[test]
+    fn degenerate_cycling_guard() {
+        // A classically degenerate problem; Bland's rule must terminate.
+        let cs = vec![
+            ge(2, &[(0, 1)], 0),
+            ge(2, &[(1, 1)], 0),
+            ge(2, &[(0, -1), (1, -1)], 0), // x + y <= 0 with x,y >= 0 => origin only
+        ];
+        let obj = LinExpr::zero(2).plus_term(0, r(1)).plus_term(1, r(1));
+        assert_eq!(maximize(&obj, &cs), LpResult::Optimal(r(0)));
+    }
+}

@@ -1,0 +1,920 @@
+//! Convex polyhedra as systems of linear constraints, with exact
+//! Fourier–Motzkin elimination.
+//!
+//! This module is the substitute for the PolyLib library used by the paper:
+//! the parametric partitioning algorithm needs intersection, existential
+//! projection (to eliminate flow variables in Lemma 1), emptiness testing,
+//! and interior-point sampling — all of which Fourier–Motzkin provides
+//! soundly over exact rationals, including strict inequalities.
+
+use crate::linear::{Cmp, Constraint, LinExpr};
+use crate::rational::Rational;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A (possibly unbounded, possibly empty) convex polyhedron
+/// `{ x | A x (>=|>) b }` in `nvars` dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use offload_poly::{Polyhedron, LinExpr, Constraint, Rational};
+///
+/// // { (x, y) | x >= 1, y >= 2, x + y <= 4 }
+/// let mut p = Polyhedron::universe(2);
+/// p.add(Constraint::ge0(LinExpr::var(2, 0).plus_constant(Rational::from(-1))));
+/// p.add(Constraint::ge0(LinExpr::var(2, 1).plus_constant(Rational::from(-2))));
+/// p.add(Constraint::ge0(
+///     LinExpr::constant(2, Rational::from(4))
+///         .plus_term(0, Rational::from(-1))
+///         .plus_term(1, Rational::from(-1)),
+/// ));
+/// assert!(!p.is_empty());
+/// let point = p.sample().expect("non-empty");
+/// assert!(p.contains(&point));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Polyhedron {
+    nvars: usize,
+    constraints: Vec<Constraint>,
+}
+
+impl Polyhedron {
+    /// The full space in `nvars` dimensions.
+    pub fn universe(nvars: usize) -> Self {
+        Polyhedron { nvars, constraints: Vec::new() }
+    }
+
+    /// An empty polyhedron in `nvars` dimensions.
+    pub fn empty(nvars: usize) -> Self {
+        let mut p = Polyhedron::universe(nvars);
+        // 0 > 0 is unsatisfiable.
+        p.add(Constraint::gt0(LinExpr::zero(nvars)));
+        p
+    }
+
+    /// Builds a polyhedron from constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any constraint has a different variable count.
+    pub fn from_constraints(nvars: usize, constraints: Vec<Constraint>) -> Self {
+        let mut p = Polyhedron::universe(nvars);
+        for c in constraints {
+            p.add(c);
+        }
+        p
+    }
+
+    /// Number of dimensions.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// The constraint system (not necessarily minimal).
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds one constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constraint's variable count differs.
+    pub fn add(&mut self, c: Constraint) {
+        assert_eq!(c.expr.nvars(), self.nvars, "constraint dimension mismatch");
+        self.constraints.push(c);
+    }
+
+    /// Intersection of two polyhedra in the same space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn intersect(&self, other: &Polyhedron) -> Polyhedron {
+        assert_eq!(self.nvars, other.nvars, "polyhedron dimension mismatch");
+        let mut out = self.clone();
+        for c in &other.constraints {
+            out.add(c.clone());
+        }
+        out
+    }
+
+    /// Returns `true` if the point satisfies every constraint.
+    pub fn contains(&self, point: &[Rational]) -> bool {
+        self.constraints.iter().all(|c| c.holds_at(point))
+    }
+
+    /// Removes duplicate and dominated constraints; returns `None` if a
+    /// trivially false constraint is found (the polyhedron is empty).
+    fn pruned(&self) -> Option<Polyhedron> {
+        // Key: canonical integer variable-coefficient vector (gcd 1).
+        // Constraints sharing a key differ only in constant / strictness;
+        // only the tightest survives.
+        let mut best: HashMap<Vec<Rational>, (Rational, Cmp)> = HashMap::new();
+        for c in &self.constraints {
+            let n = c.normalize();
+            match n.trivial_truth() {
+                Some(true) => continue,
+                Some(false) => return None,
+                None => {}
+            }
+            // Re-canonicalize over variable coefficients only so that the
+            // constant term is comparable across constraints.
+            let varscale = var_coeff_canonical(&n);
+            let (key, constant, cmp) = varscale;
+            best.entry(key)
+                .and_modify(|(c0, m0)| {
+                    // expr >= -constant: larger -constant (smaller constant) is tighter.
+                    if constant < *c0 || (constant == *c0 && cmp == Cmp::Gt) {
+                        *c0 = constant.clone();
+                        *m0 = cmp;
+                    }
+                })
+                .or_insert((constant, cmp));
+        }
+        let mut out = Polyhedron::universe(self.nvars);
+        for (key, (constant, cmp)) in best {
+            let mut e = LinExpr::zero(self.nvars);
+            for (i, c) in key.into_iter().enumerate() {
+                e.set_coeff(i, c);
+            }
+            e.set_constant(constant);
+            out.constraints.push(Constraint { expr: e, cmp });
+        }
+        Some(out)
+    }
+
+    /// Fourier–Motzkin elimination of one variable.
+    ///
+    /// The result is the exact projection of the polyhedron onto the
+    /// remaining variables (the eliminated coordinate keeps its index with
+    /// an always-zero coefficient, so dimensions stay aligned).
+    pub fn eliminate_var(&self, var: usize) -> Polyhedron {
+        assert!(var < self.nvars, "variable index out of range");
+        let pruned = match self.pruned() {
+            Some(p) => p,
+            None => return Polyhedron::empty(self.nvars),
+        };
+        let mut lowers: Vec<&Constraint> = Vec::new(); // coeff(var) > 0
+        let mut uppers: Vec<&Constraint> = Vec::new(); // coeff(var) < 0
+        let mut keep: Vec<Constraint> = Vec::new();
+        for c in &pruned.constraints {
+            let a = c.expr.coeff(var);
+            if a.is_positive() {
+                lowers.push(c);
+            } else if a.is_negative() {
+                uppers.push(c);
+            } else {
+                keep.push(c.clone());
+            }
+        }
+        for lo in &lowers {
+            let a = lo.expr.coeff(var).clone(); // > 0
+            for up in &uppers {
+                let b = up.expr.coeff(var).abs(); // > 0
+                // a*x + e1 >= 0  and  -b*x + e2 >= 0
+                // => b*e1 + a*e2 >= 0 (strict if either side strict)
+                let combined = lo.expr.scale(&b).add(&up.expr.scale(&a));
+                debug_assert!(combined.coeff(var).is_zero());
+                let cmp = if lo.cmp == Cmp::Gt || up.cmp == Cmp::Gt { Cmp::Gt } else { Cmp::Ge };
+                keep.push(Constraint { expr: combined, cmp });
+            }
+        }
+        let result = Polyhedron { nvars: self.nvars, constraints: keep };
+        match result.pruned() {
+            Some(p) => p,
+            None => Polyhedron::empty(self.nvars),
+        }
+    }
+
+    /// Finds a variable in `vars` that is pinned by an equality (a pair of
+    /// opposite non-strict constraints) and substitutes it away; returns
+    /// the variable on success.
+    ///
+    /// Equality substitution is exact and — unlike Fourier–Motzkin —
+    /// never grows the constraint system, so [`Self::eliminate_vars`]
+    /// prefers it. The minimum-cut optimality systems of Lemma 1 are
+    /// dominated by equalities (saturated arcs, zero arcs, conservation),
+    /// making this the difference between milliseconds and blow-up.
+    fn substitute_equality(&mut self, vars: &[usize]) -> Option<usize> {
+        use std::collections::HashMap;
+        // Index normalized expressions to find e >= 0 with -e >= 0.
+        let normalized: Vec<Constraint> = self.constraints.iter().map(|c| c.normalize()).collect();
+        let mut seen: HashMap<String, usize> = HashMap::new();
+        for (i, c) in normalized.iter().enumerate() {
+            if c.cmp != Cmp::Ge {
+                continue;
+            }
+            seen.insert(format!("{}", c.expr), i);
+        }
+        for (_, c) in normalized.iter().enumerate() {
+            if c.cmp != Cmp::Ge {
+                continue;
+            }
+            let neg = c.expr.scale(&Rational::from(-1));
+            if seen.contains_key(&format!("{neg}")) {
+                // c.expr == 0 holds. Pick a variable from `vars` with a
+                // non-zero coefficient and substitute it everywhere.
+                for &v in vars {
+                    let a = c.expr.coeff(v);
+                    if a.is_zero() {
+                        continue;
+                    }
+                    // v = -(rest)/a
+                    let mut rest = c.expr.clone();
+                    rest.set_coeff(v, Rational::zero());
+                    let scale = -(&a.recip());
+                    let replacement = rest.scale(&scale);
+                    for cons in &mut self.constraints {
+                        let coeff = cons.expr.coeff(v).clone();
+                        if coeff.is_zero() {
+                            continue;
+                        }
+                        cons.expr.set_coeff(v, Rational::zero());
+                        cons.expr = cons.expr.add(&replacement.scale(&coeff));
+                    }
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Eliminates a set of variables: equality substitution first, then
+    /// Fourier–Motzkin, choosing at each step the variable whose
+    /// elimination produces the fewest new constraints (the classic
+    /// `min(|lowers| * |uppers|)` heuristic).
+    pub fn eliminate_vars(&self, vars: &[usize]) -> Polyhedron {
+        let debug = std::env::var_os("OFFLOAD_POLY_DEBUG").is_some();
+        let mut remaining: Vec<usize> = vars.to_vec();
+        let mut cur = match self.pruned() {
+            Some(p) => p,
+            None => return Polyhedron::empty(self.nvars),
+        };
+
+        // Phase 1: exact equality substitutions (never grow the system).
+        loop {
+            match cur.substitute_equality(&remaining) {
+                Some(v) => {
+                    remaining.retain(|&x| x != v);
+                    cur = match cur.pruned() {
+                        Some(p) => p,
+                        None => return Polyhedron::empty(self.nvars),
+                    };
+                    if remaining.is_empty() {
+                        return cur;
+                    }
+                }
+                None => break,
+            }
+        }
+
+        // Phase 2: Fourier–Motzkin with Imbert's acceleration — every
+        // derived constraint carries the set of phase-2 input constraints
+        // it combines; after eliminating k variables, any constraint whose
+        // history exceeds k+1 inputs is provably redundant and dropped.
+        let mut sys: Vec<(Constraint, std::collections::BTreeSet<u32>)> = cur
+            .constraints
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.clone(), std::collections::BTreeSet::from([i as u32])))
+            .collect();
+        let mut eliminated = 0usize;
+        while !remaining.is_empty() {
+            if debug {
+                eprintln!("[poly] remaining={} constraints={}", remaining.len(), sys.len());
+            }
+            let (idx, &v) = remaining
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &v)| {
+                    let mut lo = 0usize;
+                    let mut up = 0usize;
+                    for (c, _) in &sys {
+                        let a = c.expr.coeff(v);
+                        if a.is_positive() {
+                            lo += 1;
+                        } else if a.is_negative() {
+                            up += 1;
+                        }
+                    }
+                    lo * up
+                })
+                .expect("non-empty remaining set");
+            remaining.swap_remove(idx);
+            eliminated += 1;
+
+            let mut lowers = Vec::new();
+            let mut uppers = Vec::new();
+            let mut keep = Vec::new();
+            for (c, h) in sys {
+                let a = c.expr.coeff(v);
+                if a.is_positive() {
+                    lowers.push((c, h));
+                } else if a.is_negative() {
+                    uppers.push((c, h));
+                } else {
+                    keep.push((c, h));
+                }
+            }
+            for (lo, lh) in &lowers {
+                let a = lo.expr.coeff(v).clone();
+                for (up, uh) in &uppers {
+                    let hist: std::collections::BTreeSet<u32> =
+                        lh.union(uh).copied().collect();
+                    if hist.len() > eliminated + 1 {
+                        continue; // Imbert: redundant combination
+                    }
+                    let b = up.expr.coeff(v).abs();
+                    let combined = lo.expr.scale(&b).add(&up.expr.scale(&a));
+                    let cmp =
+                        if lo.cmp == Cmp::Gt || up.cmp == Cmp::Gt { Cmp::Gt } else { Cmp::Ge };
+                    keep.push((Constraint { expr: combined, cmp }, hist));
+                }
+            }
+
+            // Prune: drop trivially-true rows, detect contradictions,
+            // and keep only the tightest constraint per direction.
+            let mut best: HashMap<Vec<Rational>, (Rational, Cmp, std::collections::BTreeSet<u32>)> =
+                HashMap::new();
+            for (c, h) in keep {
+                let n = c.normalize();
+                match n.trivial_truth() {
+                    Some(true) => continue,
+                    Some(false) => return Polyhedron::empty(self.nvars),
+                    None => {}
+                }
+                let (key, constant, cmp) = var_coeff_canonical(&n);
+                match best.get_mut(&key) {
+                    None => {
+                        best.insert(key, (constant, cmp, h));
+                    }
+                    Some((c0, m0, h0)) => {
+                        if constant < *c0 || (constant == *c0 && cmp == Cmp::Gt) {
+                            *c0 = constant;
+                            *m0 = cmp;
+                            *h0 = h;
+                        }
+                    }
+                }
+            }
+            sys = best
+                .into_iter()
+                .map(|(key, (constant, cmp, h))| {
+                    let mut e = LinExpr::zero(self.nvars);
+                    for (i, c) in key.into_iter().enumerate() {
+                        e.set_coeff(i, c);
+                    }
+                    e.set_constant(constant);
+                    (Constraint { expr: e, cmp }, h)
+                })
+                .collect();
+
+            // Chernikov's superset rule: a derived constraint whose
+            // ancestor set strictly contains another's is redundant.
+            if sys.len() > 64 {
+                let mut keep = vec![true; sys.len()];
+                for i in 0..sys.len() {
+                    if !keep[i] {
+                        continue;
+                    }
+                    for j in 0..sys.len() {
+                        if i == j || !keep[j] {
+                            continue;
+                        }
+                        let (hi, hj) = (&sys[i].1, &sys[j].1);
+                        if hj.len() < hi.len() && hj.is_subset(hi) {
+                            keep[i] = false;
+                            break;
+                        }
+                    }
+                }
+                let mut it = keep.iter();
+                sys.retain(|_| *it.next().expect("aligned"));
+            }
+
+            // LP-based redundancy reduction when Fourier–Motzkin growth
+            // outpaces the cheap filters (sound: only provably implied
+            // constraints are dropped).
+            if sys.len() > 300 {
+                sys = lp_reduce_with_history(sys);
+            }
+        }
+        Polyhedron {
+            nvars: self.nvars,
+            constraints: sys.into_iter().map(|(c, _)| c).collect(),
+        }
+    }
+
+    /// Projects onto the first `k` variables: eliminates variables
+    /// `k..nvars` and truncates the space to `k` dimensions.
+    pub fn project_to_first(&self, k: usize) -> Polyhedron {
+        assert!(k <= self.nvars);
+        let elim: Vec<usize> = (k..self.nvars).collect();
+        let reduced = self.eliminate_vars(&elim);
+        let constraints = reduced
+            .constraints
+            .iter()
+            .map(|c| {
+                let mut e = LinExpr::zero(k);
+                for i in 0..k {
+                    e.set_coeff(i, c.expr.coeff(i).clone());
+                }
+                e.set_constant(c.expr.constant_term().clone());
+                Constraint { expr: e, cmp: c.cmp }
+            })
+            .collect();
+        Polyhedron { nvars: k, constraints }
+    }
+
+    /// Embeds into a larger space (new trailing coordinates unconstrained).
+    pub fn extend_vars(&self, new_nvars: usize) -> Polyhedron {
+        assert!(new_nvars >= self.nvars);
+        Polyhedron {
+            nvars: new_nvars,
+            constraints: self
+                .constraints
+                .iter()
+                .map(|c| Constraint { expr: c.expr.extend_vars(new_nvars), cmp: c.cmp })
+                .collect(),
+        }
+    }
+
+    /// Exact emptiness test.
+    ///
+    /// Strict inequalities are handled with the ε-method: maximize a slack
+    /// ε with every strict constraint relaxed to `expr ≥ ε`; the system is
+    /// satisfiable iff the supremum is positive (or unbounded).
+    pub fn is_empty(&self) -> bool {
+        let eps = self.nvars;
+        let nv = self.nvars + 1;
+        let mut cs: Vec<Constraint> = Vec::with_capacity(self.constraints.len() + 1);
+        let mut any_strict = false;
+        for c in &self.constraints {
+            match c.trivial_truth() {
+                Some(true) => continue,
+                Some(false) => return true,
+                None => {}
+            }
+            let mut e = c.expr.extend_vars(nv);
+            if c.cmp == Cmp::Gt {
+                any_strict = true;
+                e = e.plus_term(eps, Rational::from(-1));
+            }
+            cs.push(Constraint::ge0(e));
+        }
+        if !any_strict {
+            return !crate::lp::closure_feasible(&cs);
+        }
+        // Bound ε so the LP stays bounded: 0 <= eps <= 1.
+        cs.push(Constraint::ge0(LinExpr::var(nv, eps)));
+        cs.push(Constraint::ge0(
+            LinExpr::constant(nv, Rational::one()).plus_term(eps, Rational::from(-1)),
+        ));
+        match crate::lp::maximize(&LinExpr::var(nv, eps), &cs) {
+            crate::lp::LpResult::Infeasible => true,
+            crate::lp::LpResult::Unbounded => false,
+            crate::lp::LpResult::Optimal(v) => !v.is_positive(),
+        }
+    }
+
+    /// Removes constraints implied by the rest of the system (sound
+    /// LP-based redundancy elimination). The result describes the same
+    /// set with a near-minimal constraint system — essential after
+    /// projections, whose raw Fourier–Motzkin output is highly redundant.
+    ///
+    /// Two passes: an incremental filter that only keeps constraints not
+    /// already implied by the kept set (cheap: the kept set stays small),
+    /// then a reverse sweep removing survivors made redundant by later
+    /// additions.
+    pub fn reduce_redundancy(&self) -> Polyhedron {
+        let cur = match self.pruned() {
+            Some(p) => p,
+            None => return Polyhedron::empty(self.nvars),
+        };
+        let implied = |set: &[Constraint], c: &Constraint| -> bool {
+            match crate::lp::minimize(&c.expr, set) {
+                crate::lp::LpResult::Optimal(v) => match c.cmp {
+                    Cmp::Ge => !v.is_negative(),
+                    Cmp::Gt => v.is_positive(),
+                },
+                crate::lp::LpResult::Infeasible => true,
+                crate::lp::LpResult::Unbounded => false,
+            }
+        };
+        // Prefer constraints with fewer variables first (cheaper and
+        // likelier to be facets of simple regions).
+        let mut ordered = cur.constraints.clone();
+        ordered.sort_by_key(|c| c.expr.support().count());
+        let mut kept: Vec<Constraint> = Vec::new();
+        for c in ordered {
+            if kept.is_empty() || !implied(&kept, &c) {
+                kept.push(c);
+            }
+        }
+        // Reverse sweep.
+        let mut i = 0;
+        while i < kept.len() {
+            let candidate = kept[i].clone();
+            let rest: Vec<Constraint> = kept
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, c)| c.clone())
+                .collect();
+            if !rest.is_empty() && implied(&rest, &candidate) {
+                kept.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        let out = Polyhedron { nvars: self.nvars, constraints: kept };
+        if out.is_empty() {
+            return Polyhedron::empty(self.nvars);
+        }
+        out
+    }
+
+    /// Finds a point inside the polyhedron (an interior point with respect
+    /// to strict constraints whenever bounds leave room), or `None` if the
+    /// polyhedron is empty.
+    pub fn sample(&self) -> Option<Vec<Rational>> {
+        // systems[k] has variables 0..(nvars - k) live.
+        let mut systems: Vec<Polyhedron> = Vec::with_capacity(self.nvars + 1);
+        systems.push(self.pruned()?);
+        for v in (0..self.nvars).rev() {
+            let next = systems.last().expect("at least the original system").eliminate_var(v);
+            // `eliminate_var` returns the canonical empty polyhedron when
+            // it detects infeasibility.
+            if next.constraints.iter().any(|c| c.trivial_truth() == Some(false)) {
+                return None;
+            }
+            systems.push(next);
+        }
+        // Back-substitute: assign var j using the system in which vars 0..=j
+        // are live (systems[nvars - 1 - j]).
+        let mut point = vec![Rational::zero(); self.nvars];
+        for j in 0..self.nvars {
+            let system = &systems[self.nvars - 1 - j];
+            let value = pick_value(system, j, &point)?;
+            point[j] = value;
+        }
+        debug_assert!(self.contains(&point), "sampled point must satisfy all constraints");
+        Some(point)
+    }
+
+    /// Returns `true` if `other` contains every point of `self`
+    /// (i.e. `self ⊆ other`), computed exactly via emptiness of
+    /// `self ∩ ¬c` for each constraint `c` of `other`.
+    pub fn subset_of(&self, other: &Polyhedron) -> bool {
+        assert_eq!(self.nvars, other.nvars);
+        other.constraints.iter().all(|c| {
+            let mut escaped = self.clone();
+            escaped.add(c.negated());
+            escaped.is_empty()
+        })
+    }
+
+    /// Formats with variable names supplied by `names`.
+    pub fn display_with(&self, names: &dyn Fn(usize) -> String) -> String {
+        let parts: Vec<String> = match self.pruned() {
+            None => return "false".to_string(),
+            Some(p) if p.constraints.is_empty() => return "true".to_string(),
+            Some(p) => p.constraints.iter().map(|c| c.display_with(names)).collect(),
+        };
+        let mut sorted = parts;
+        sorted.sort();
+        sorted.join(" && ")
+    }
+}
+
+impl fmt::Display for Polyhedron {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = |i: usize| format!("x{i}");
+        write!(f, "{}", self.display_with(&names))
+    }
+}
+
+/// Incremental LP-based redundancy filter preserving derivation
+/// histories: keeps a constraint only when the already-kept set does not
+/// imply it.
+fn lp_reduce_with_history(
+    sys: Vec<(Constraint, std::collections::BTreeSet<u32>)>,
+) -> Vec<(Constraint, std::collections::BTreeSet<u32>)> {
+    let mut ordered = sys;
+    ordered.sort_by_key(|(c, _)| c.expr.support().count());
+    let mut kept: Vec<(Constraint, std::collections::BTreeSet<u32>)> = Vec::new();
+    let mut kept_cs: Vec<Constraint> = Vec::new();
+    for (c, h) in ordered {
+        let implied = if kept_cs.is_empty() {
+            false
+        } else {
+            match crate::lp::minimize(&c.expr, &kept_cs) {
+                crate::lp::LpResult::Optimal(v) => match c.cmp {
+                    Cmp::Ge => !v.is_negative(),
+                    Cmp::Gt => v.is_positive(),
+                },
+                crate::lp::LpResult::Infeasible => true,
+                crate::lp::LpResult::Unbounded => false,
+            }
+        };
+        if !implied {
+            kept_cs.push(c.clone());
+            kept.push((c, h));
+        }
+    }
+    kept
+}
+
+/// Canonical (gcd-1 integer) variable-coefficient vector, plus the
+/// correspondingly scaled constant and the comparison kind.
+fn var_coeff_canonical(c: &Constraint) -> (Vec<Rational>, Rational, Cmp) {
+    use crate::bigint::BigInt;
+    let n = c.expr.nvars();
+    // Constraints come in normalized (integer, overall gcd 1); rescale by
+    // the gcd of the *variable* coefficients so constants are comparable.
+    let mut gcd = BigInt::zero();
+    for i in 0..n {
+        gcd = gcd.gcd(c.expr.coeff(i).numer());
+    }
+    if gcd.is_zero() {
+        // Constant constraint: callers filter these out beforehand.
+        return (vec![Rational::zero(); n], c.expr.constant_term().clone(), c.cmp);
+    }
+    let scale = Rational::from_bigints(BigInt::one(), gcd);
+    let key: Vec<Rational> = (0..n).map(|i| c.expr.coeff(i) * &scale).collect();
+    (key, c.expr.constant_term() * &scale, c.cmp)
+}
+
+/// Chooses a value for variable `var` in `system`, where all variables with
+/// smaller indices already have values in `point` and all variables with
+/// larger indices have been eliminated from `system`.
+fn pick_value(system: &Polyhedron, var: usize, point: &[Rational]) -> Option<Rational> {
+    let mut lower: Option<(Rational, bool)> = None; // (bound, strict)
+    let mut upper: Option<(Rational, bool)> = None;
+    for c in system.constraints() {
+        let a = c.expr.coeff(var).clone();
+        if a.is_zero() {
+            continue; // holds by construction of the elimination cascade
+        }
+        // Substitute already-fixed variables (unassigned slots of `point`
+        // hold zero and have zero coefficients in this cascade stage).
+        let mut rest = c.expr.clone();
+        rest.set_coeff(var, Rational::zero());
+        let val = rest.eval(point);
+        let bound = &(-&val) / &a;
+        let strict = c.cmp == Cmp::Gt;
+        if a.is_positive() {
+            // x >= bound
+            match &lower {
+                Some((b, s)) if bound < *b || (bound == *b && (*s || !strict)) => {}
+                _ => lower = Some((bound, strict)),
+            }
+        } else {
+            // x <= bound
+            match &upper {
+                Some((b, s)) if bound > *b || (bound == *b && (*s || !strict)) => {}
+                _ => upper = Some((bound, strict)),
+            }
+        }
+    }
+    match (lower, upper) {
+        (None, None) => Some(Rational::zero()),
+        (Some((lo, strict)), None) => {
+            Some(if strict { &lo + &Rational::one() } else { lo })
+        }
+        (None, Some((hi, strict))) => {
+            Some(if strict { &hi - &Rational::one() } else { hi })
+        }
+        (Some((lo, ls)), Some((hi, us))) => {
+            if lo < hi {
+                Some(Rational::midpoint(&lo, &hi))
+            } else if lo == hi && !ls && !us {
+                Some(lo)
+            } else {
+                // Infeasible interval: only reachable if the elimination
+                // cascade failed, which would be a bug.
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from(n)
+    }
+
+    /// `lhs . x + c >= 0` helper.
+    fn ge(nvars: usize, coeffs: &[(usize, i64)], c: i64) -> Constraint {
+        let mut e = LinExpr::constant(nvars, r(c));
+        for &(v, k) in coeffs {
+            e = e.plus_term(v, r(k));
+        }
+        Constraint::ge0(e)
+    }
+
+    fn gt(nvars: usize, coeffs: &[(usize, i64)], c: i64) -> Constraint {
+        let mut e = LinExpr::constant(nvars, r(c));
+        for &(v, k) in coeffs {
+            e = e.plus_term(v, r(k));
+        }
+        Constraint::gt0(e)
+    }
+
+    #[test]
+    fn universe_and_empty() {
+        assert!(!Polyhedron::universe(3).is_empty());
+        assert!(Polyhedron::empty(3).is_empty());
+    }
+
+    #[test]
+    fn box_sampling() {
+        // 1 <= x <= 3, 2 <= y <= 2
+        let p = Polyhedron::from_constraints(
+            2,
+            vec![
+                ge(2, &[(0, 1)], -1),
+                ge(2, &[(0, -1)], 3),
+                ge(2, &[(1, 1)], -2),
+                ge(2, &[(1, -1)], 2),
+            ],
+        );
+        let pt = p.sample().unwrap();
+        assert!(p.contains(&pt));
+        assert_eq!(pt[1], r(2));
+    }
+
+    #[test]
+    fn infeasible_box() {
+        // x >= 3 && x <= 1
+        let p = Polyhedron::from_constraints(1, vec![ge(1, &[(0, 1)], -3), ge(1, &[(0, -1)], 1)]);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn strict_boundary_excluded() {
+        // x > 1 && x <= 1 is empty; x >= 1 && x <= 1 is the point {1}.
+        let strict =
+            Polyhedron::from_constraints(1, vec![gt(1, &[(0, 1)], -1), ge(1, &[(0, -1)], 1)]);
+        assert!(strict.is_empty());
+        let closed =
+            Polyhedron::from_constraints(1, vec![ge(1, &[(0, 1)], -1), ge(1, &[(0, -1)], 1)]);
+        assert_eq!(closed.sample().unwrap(), vec![r(1)]);
+    }
+
+    #[test]
+    fn elimination_projects_shadow() {
+        // Triangle x >= 0, y >= 0, x + y <= 4. Projecting out y gives 0 <= x <= 4.
+        let p = Polyhedron::from_constraints(
+            2,
+            vec![ge(2, &[(0, 1)], 0), ge(2, &[(1, 1)], 0), ge(2, &[(0, -1), (1, -1)], 4)],
+        );
+        let q = p.eliminate_var(1);
+        assert!(q.contains(&[r(0), r(999)]));
+        assert!(q.contains(&[r(4), r(-5)]));
+        assert!(!q.contains(&[r(5), r(0)]));
+        assert!(!q.contains(&[r(-1), r(0)]));
+    }
+
+    #[test]
+    fn project_to_first_truncates() {
+        let p = Polyhedron::from_constraints(
+            3,
+            vec![ge(3, &[(0, 1), (2, 1)], 0), ge(3, &[(2, 1)], -1), ge(3, &[(2, -1)], 2)],
+        );
+        // x0 + x2 >= 0 with 1 <= x2 <= 2  =>  x0 >= -2
+        let q = p.project_to_first(1);
+        assert_eq!(q.nvars(), 1);
+        assert!(q.contains(&[r(-2)]));
+        assert!(!q.contains(&[r(-3)]));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let big = Polyhedron::from_constraints(1, vec![ge(1, &[(0, 1)], 0)]); // x >= 0
+        let small = Polyhedron::from_constraints(1, vec![ge(1, &[(0, 1)], -5)]); // x >= 5
+        assert!(small.subset_of(&big));
+        assert!(!big.subset_of(&small));
+    }
+
+    #[test]
+    fn unbounded_sampling() {
+        // x >= 10 (unbounded above)
+        let p = Polyhedron::from_constraints(1, vec![ge(1, &[(0, 1)], -10)]);
+        let pt = p.sample().unwrap();
+        assert!(pt[0] >= r(10));
+        // x > 10 strict
+        let p = Polyhedron::from_constraints(1, vec![gt(1, &[(0, 1)], -10)]);
+        let pt = p.sample().unwrap();
+        assert!(pt[0] > r(10));
+    }
+
+    #[test]
+    fn redundant_constraints_pruned() {
+        let p = Polyhedron::from_constraints(
+            1,
+            vec![ge(1, &[(0, 1)], 0), ge(1, &[(0, 2)], 0), ge(1, &[(0, 1)], -3)],
+        );
+        let pruned = p.pruned().unwrap();
+        // x >= 0, x >= 0 (scaled) and x >= 3 collapse to just x >= 3.
+        assert_eq!(pruned.constraints().len(), 1);
+    }
+
+    #[test]
+    fn display_readable() {
+        let p = Polyhedron::from_constraints(2, vec![ge(2, &[(0, 1), (1, -1)], 0)]);
+        assert_eq!(p.to_string(), "x0 - x1 >= 0");
+        assert_eq!(Polyhedron::universe(1).to_string(), "true");
+        assert_eq!(Polyhedron::empty(1).to_string(), "false");
+    }
+}
+
+#[cfg(test)]
+mod reduction_tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from(n)
+    }
+
+    fn ge(nvars: usize, coeffs: &[(usize, i64)], c: i64) -> Constraint {
+        let mut e = LinExpr::constant(nvars, r(c));
+        for &(v, k) in coeffs {
+            e = e.plus_term(v, r(k));
+        }
+        Constraint::ge0(e)
+    }
+
+    #[test]
+    fn redundant_halfspaces_dropped() {
+        // x >= 0, x >= -5 (redundant), x + 1 >= 0 (redundant).
+        let p = Polyhedron::from_constraints(
+            1,
+            vec![ge(1, &[(0, 1)], 0), ge(1, &[(0, 1)], 5), ge(1, &[(0, 1)], 1)],
+        );
+        let q = p.reduce_redundancy();
+        assert_eq!(q.constraints().len(), 1);
+        assert!(q.contains(&[r(0)]));
+        assert!(!q.contains(&[r(-1)]));
+    }
+
+    #[test]
+    fn reduction_preserves_set() {
+        // A 2D wedge with a stack of redundant supports.
+        let mut cs = vec![ge(2, &[(0, 1)], 0), ge(2, &[(1, 1)], 0), ge(2, &[(0, -1), (1, -1)], 10)];
+        for k in 1..8 {
+            cs.push(ge(2, &[(0, -1), (1, -1)], 10 + k)); // weaker copies
+            cs.push(ge(2, &[(0, 1), (1, 1)], k)); // implied by x,y >= 0
+        }
+        let p = Polyhedron::from_constraints(2, cs);
+        let q = p.reduce_redundancy();
+        assert!(q.constraints().len() <= 3);
+        for x in -2i64..=12 {
+            for y in -2i64..=12 {
+                let pt = [r(x), r(y)];
+                assert_eq!(p.contains(&pt), q.contains(&pt), "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn equality_substitution_projects_exactly() {
+        // x = 2y (equality pair), x + y <= 9, both nonneg.
+        let eq = LinExpr::var(2, 0).plus_term(1, r(-2));
+        let p = Polyhedron::from_constraints(
+            2,
+            vec![
+                Constraint::ge0(eq.clone()),
+                Constraint::ge0(eq.scale(&r(-1))),
+                ge(2, &[(0, -1), (1, -1)], 9),
+                ge(2, &[(0, 1)], 0),
+                ge(2, &[(1, 1)], 0),
+            ],
+        );
+        // Eliminate x: the shadow on y is 0 <= y <= 3.
+        let q = p.eliminate_var(0);
+        assert!(q.contains(&[r(99), r(3)]));
+        assert!(!q.contains(&[r(0), r(4)]));
+        // eliminate_vars (with the equality fast path) agrees.
+        let q2 = p.eliminate_vars(&[0]);
+        for y in 0..6i64 {
+            assert_eq!(
+                q.contains(&[r(0), r(y)]),
+                q2.contains(&[r(0), r(y)]),
+                "y={y}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_reduction_is_empty() {
+        let p = Polyhedron::from_constraints(1, vec![ge(1, &[(0, 1)], -5), ge(1, &[(0, -1)], 2)]);
+        let q = p.reduce_redundancy();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the exact-arithmetic and polyhedral substrate.
+
+use offload_poly::{BigInt, Constraint, LinExpr, Polyhedron, Rational, Region};
+use proptest::prelude::*;
+
+fn bi(v: i128) -> BigInt {
+    BigInt::from(v)
+}
+
+proptest! {
+    #[test]
+    fn bigint_add_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000, b in -1_000_000_000_000i128..1_000_000_000_000) {
+        prop_assert_eq!((&bi(a) + &bi(b)).to_i128(), Some(a + b));
+    }
+
+    #[test]
+    fn bigint_mul_matches_i128(a in -1_000_000_000i128..1_000_000_000, b in -1_000_000_000i128..1_000_000_000) {
+        prop_assert_eq!((&bi(a) * &bi(b)).to_i128(), Some(a * b));
+    }
+
+    #[test]
+    fn bigint_divmod_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000, b in -1_000_000i128..1_000_000) {
+        prop_assume!(b != 0);
+        let (q, r) = bi(a).div_rem(&bi(b));
+        prop_assert_eq!(q.to_i128(), Some(a / b));
+        prop_assert_eq!(r.to_i128(), Some(a % b));
+    }
+
+    #[test]
+    fn bigint_display_parse_roundtrip(a in any::<i128>()) {
+        let v = bi(a);
+        let s = v.to_string();
+        prop_assert_eq!(s.parse::<BigInt>().unwrap(), v);
+        prop_assert_eq!(s, a.to_string());
+    }
+
+    #[test]
+    fn bigint_gcd_divides_both(a in -100_000i128..100_000, b in -100_000i128..100_000) {
+        prop_assume!(a != 0 || b != 0);
+        let g = bi(a).gcd(&bi(b));
+        prop_assert!(g.is_positive());
+        prop_assert!((&bi(a) % &g).is_zero());
+        prop_assert!((&bi(b) % &g).is_zero());
+    }
+
+    #[test]
+    fn rational_field_axioms(
+        an in -1000i64..1000, ad in 1i64..50,
+        bn in -1000i64..1000, bd in 1i64..50,
+        cn in -1000i64..1000, cd in 1i64..50,
+    ) {
+        let a = Rational::new(an, ad);
+        let b = Rational::new(bn, bd);
+        let c = Rational::new(cn, cd);
+        // Commutativity and associativity.
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        // Distributivity.
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        // Inverses.
+        prop_assert_eq!(&a - &a, Rational::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(&a / &a, Rational::one());
+            prop_assert_eq!(&a * &a.recip(), Rational::one());
+        }
+    }
+
+    #[test]
+    fn rational_order_total(
+        an in -100i64..100, ad in 1i64..20,
+        bn in -100i64..100, bd in 1i64..20,
+    ) {
+        let a = Rational::new(an, ad);
+        let b = Rational::new(bn, bd);
+        let lhs = (an as i128) * (bd as i128);
+        let rhs = (bn as i128) * (ad as i128);
+        prop_assert_eq!(a.cmp(&b), lhs.cmp(&rhs));
+    }
+}
+
+/// Strategy: a random half-space `c0*x0 + c1*x1 + c2*x2 + k >= 0` in 3D.
+fn halfspace() -> impl Strategy<Value = Constraint> {
+    (
+        prop::collection::vec(-5i64..=5, 3),
+        -20i64..=20,
+        prop::bool::ANY,
+    )
+        .prop_map(|(coeffs, k, strict)| {
+            let mut e = LinExpr::constant(3, Rational::from(k));
+            for (i, c) in coeffs.into_iter().enumerate() {
+                e = e.plus_term(i, Rational::from(c));
+            }
+            if strict {
+                Constraint::gt0(e)
+            } else {
+                Constraint::ge0(e)
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// If the polyhedron is declared non-empty, the sampled witness must
+    /// satisfy every constraint.
+    #[test]
+    fn sample_is_sound(cs in prop::collection::vec(halfspace(), 0..7)) {
+        let p = Polyhedron::from_constraints(3, cs);
+        if let Some(point) = p.sample() {
+            prop_assert!(p.contains(&point));
+        }
+    }
+
+    /// Fourier–Motzkin projection soundness: if a point is in the original
+    /// polyhedron, dropping a coordinate lands inside the projection; and
+    /// any sample of the projection extends to a witness in the original.
+    #[test]
+    fn projection_sound_and_tight(
+        cs in prop::collection::vec(halfspace(), 0..6),
+        probe in prop::collection::vec(-10i64..=10, 3),
+    ) {
+        let p = Polyhedron::from_constraints(3, cs);
+        let proj = p.eliminate_var(2);
+        let probe: Vec<Rational> = probe.into_iter().map(Rational::from).collect();
+        if p.contains(&probe) {
+            prop_assert!(proj.contains(&probe), "projection must contain shadow of member point");
+        }
+        // Tightness: the projection is empty exactly when the original is.
+        prop_assert_eq!(p.is_empty(), proj.is_empty());
+    }
+
+    /// Region subtraction is exact: membership in `a \ b` equals
+    /// membership in `a` and not in `b`, at every probe point.
+    #[test]
+    fn region_subtraction_pointwise(
+        cs_a in prop::collection::vec(halfspace(), 0..4),
+        cs_b in prop::collection::vec(halfspace(), 1..4),
+        probe in prop::collection::vec(-10i64..=10, 3),
+    ) {
+        let a = Polyhedron::from_constraints(3, cs_a);
+        let b = Polyhedron::from_constraints(3, cs_b);
+        let diff = Region::from(a.clone()).subtract(&b);
+        let probe: Vec<Rational> = probe.into_iter().map(Rational::from).collect();
+        let expect = a.contains(&probe) && !b.contains(&probe);
+        prop_assert_eq!(diff.contains(&probe), expect);
+    }
+
+    /// Pieces produced by subtraction are pairwise disjoint.
+    #[test]
+    fn region_pieces_disjoint(
+        cs_b in prop::collection::vec(halfspace(), 1..4),
+        probe in prop::collection::vec(-10i64..=10, 3),
+    ) {
+        let b = Polyhedron::from_constraints(3, cs_b);
+        let diff = Region::universe(3).subtract(&b);
+        let probe: Vec<Rational> = probe.into_iter().map(Rational::from).collect();
+        let hits = diff.pieces().iter().filter(|p| p.contains(&probe)).count();
+        prop_assert!(hits <= 1, "disjoint pieces: point hit {hits} pieces");
+    }
+
+    /// subset_of agrees with pointwise membership on witnesses.
+    #[test]
+    fn subset_of_no_false_positives(
+        cs_a in prop::collection::vec(halfspace(), 0..4),
+        cs_b in prop::collection::vec(halfspace(), 0..4),
+    ) {
+        let a = Polyhedron::from_constraints(3, cs_a);
+        let b = Polyhedron::from_constraints(3, cs_b);
+        if a.subset_of(&b) {
+            if let Some(w) = a.sample() {
+                prop_assert!(b.contains(&w));
+            }
+        }
+    }
+}

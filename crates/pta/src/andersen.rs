@@ -1,0 +1,554 @@
+//! Inclusion-based (Andersen-style) points-to analysis over the IR.
+//!
+//! Flow- and context-insensitive, field-insensitive at the object level
+//! (a pointer into an aggregate aliases the whole object), matching the
+//! paper's choice of "a .ow and context insensitive point-to analysis
+//! algorithm similar to [Andersen 1994]" (§5).
+
+use offload_ir::{
+    AllocSiteId, BlockId, Callee, FuncId, GlobalId, Inst, LocalId, Module, Operand, Terminator,
+};
+use offload_tcfg::IndirectTargets;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Dense id of an [`AbsLoc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AbsLocId(pub u32);
+
+impl AbsLocId {
+    /// The id as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AbsLocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// An abstract memory location (§2.3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AbsLoc {
+    /// A global object.
+    Global(GlobalId),
+    /// A stack-resident local (aggregate or address-taken scalar).
+    Local {
+        /// Owning function.
+        func: FuncId,
+        /// The memory local.
+        local: LocalId,
+    },
+    /// A virtual register (scalar local). Registers are data items too:
+    /// their values must be transferred when consecutive tasks run on
+    /// different hosts.
+    Reg {
+        /// Owning function.
+        func: FuncId,
+        /// The register local.
+        local: LocalId,
+    },
+    /// All memory allocated at one `alloc` site (a summary location —
+    /// the paper's `A6`).
+    Site(AllocSiteId),
+}
+
+impl AbsLoc {
+    /// Returns `true` if the location summarizes several run-time objects
+    /// (writes through it can never be definite).
+    pub fn is_summary(&self) -> bool {
+        matches!(self, AbsLoc::Site(_))
+    }
+
+    /// Returns `true` for dynamically allocated locations (subject to the
+    /// registration mechanism and its cost, §3.1).
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, AbsLoc::Site(_))
+    }
+}
+
+/// A points-to target: a memory object or a function (for `fn` values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Target {
+    /// Points to a memory object.
+    Loc(AbsLocId),
+    /// Holds a function pointer.
+    Fun(FuncId),
+}
+
+/// A set of points-to targets.
+pub type TargetSet = BTreeSet<Target>;
+
+/// Result of the points-to analysis.
+#[derive(Debug, Clone)]
+pub struct PointsTo {
+    locs: Vec<AbsLoc>,
+    loc_ids: HashMap<AbsLoc, AbsLocId>,
+    /// Human-readable names of the locations (for diagnostics).
+    names: Vec<String>,
+    /// Slot footprint of each location (`None` for dynamic sites, whose
+    /// size is parametric).
+    slots: Vec<Option<u32>>,
+    /// Points-to set of each register `(func, local)`.
+    reg_pts: HashMap<(FuncId, LocalId), TargetSet>,
+    /// Points-to set of each location's *contents* (pointers stored in it).
+    obj_pts: Vec<TargetSet>,
+    /// Resolved targets of indirect call sites.
+    indirect: IndirectTargets,
+}
+
+impl PointsTo {
+    /// Runs the analysis to a fixpoint over the whole module.
+    pub fn analyze(module: &Module) -> PointsTo {
+        Analyzer::new(module).run()
+    }
+
+    /// All abstract memory locations.
+    pub fn locs(&self) -> &[AbsLoc] {
+        &self.locs
+    }
+
+    /// The id of a location.
+    pub fn id_of(&self, loc: AbsLoc) -> Option<AbsLocId> {
+        self.loc_ids.get(&loc).copied()
+    }
+
+    /// The location with the given id.
+    pub fn loc(&self, id: AbsLocId) -> AbsLoc {
+        self.locs[id.index()]
+    }
+
+    /// Human-readable name of a location.
+    pub fn name(&self, id: AbsLocId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Slot footprint of a location (`None` for parametric-size sites).
+    pub fn slots(&self, id: AbsLocId) -> Option<u32> {
+        self.slots[id.index()]
+    }
+
+    /// Points-to set of a location's *contents* (the pointers stored in
+    /// the object).
+    pub fn contents(&self, id: AbsLocId) -> &TargetSet {
+        &self.obj_pts[id.index()]
+    }
+
+    /// Locations a register may point to (empty set for non-pointers).
+    pub fn reg_points_to(&self, func: FuncId, local: LocalId) -> &TargetSet {
+        static EMPTY: std::sync::OnceLock<TargetSet> = std::sync::OnceLock::new();
+        self.reg_pts
+            .get(&(func, local))
+            .unwrap_or_else(|| EMPTY.get_or_init(TargetSet::new))
+    }
+
+    /// Locations an operand may point to.
+    pub fn operand_points_to(&self, func: FuncId, op: Operand) -> TargetSet {
+        match op {
+            Operand::Const(_) => TargetSet::new(),
+            Operand::Local(l) => self.reg_points_to(func, l).clone(),
+        }
+    }
+
+    /// The memory objects (not functions) an operand may reference.
+    pub fn operand_objects(&self, func: FuncId, op: Operand) -> Vec<AbsLocId> {
+        self.operand_points_to(func, op)
+            .into_iter()
+            .filter_map(|t| match t {
+                Target::Loc(l) => Some(l),
+                Target::Fun(_) => None,
+            })
+            .collect()
+    }
+
+    /// Per-site targets for indirect calls, ready to feed
+    /// [`offload_tcfg::Tcfg::build`].
+    pub fn indirect_targets(&self) -> &IndirectTargets {
+        &self.indirect
+    }
+
+    /// Ids of all allocation-site locations.
+    pub fn alloc_site_locs(&self) -> impl Iterator<Item = AbsLocId> + '_ {
+        self.locs.iter().enumerate().filter_map(|(i, l)| match l {
+            AbsLoc::Site(_) => Some(AbsLocId(i as u32)),
+            _ => None,
+        })
+    }
+}
+
+struct Analyzer<'m> {
+    module: &'m Module,
+    locs: Vec<AbsLoc>,
+    loc_ids: HashMap<AbsLoc, AbsLocId>,
+    names: Vec<String>,
+    slots: Vec<Option<u32>>,
+    reg_pts: HashMap<(FuncId, LocalId), TargetSet>,
+    obj_pts: Vec<TargetSet>,
+    /// Return-value points-to set per function.
+    ret_pts: HashMap<FuncId, TargetSet>,
+}
+
+impl<'m> Analyzer<'m> {
+    fn new(module: &'m Module) -> Self {
+        let mut a = Analyzer {
+            module,
+            locs: Vec::new(),
+            loc_ids: HashMap::new(),
+            names: Vec::new(),
+            slots: Vec::new(),
+            reg_pts: HashMap::new(),
+            obj_pts: Vec::new(),
+            ret_pts: HashMap::new(),
+        };
+        // Enumerate abstract locations: globals, memory locals, registers,
+        // alloc sites (in that order, deterministically).
+        for (gi, g) in module.globals.iter().enumerate() {
+            a.add_loc(AbsLoc::Global(GlobalId(gi as u32)), g.name.clone(), Some(g.slots));
+        }
+        for (fi, f) in module.functions.iter().enumerate() {
+            let fid = FuncId(fi as u32);
+            for (li, l) in f.locals.iter().enumerate() {
+                let lid = LocalId(li as u32);
+                match &l.kind {
+                    offload_ir::LocalKind::Memory { slots } => {
+                        a.add_loc(
+                            AbsLoc::Local { func: fid, local: lid },
+                            format!("{}::{}", f.name, l.name),
+                            Some(*slots),
+                        );
+                    }
+                    offload_ir::LocalKind::Register => {
+                        a.add_loc(
+                            AbsLoc::Reg { func: fid, local: lid },
+                            format!("{}::{}", f.name, l.name),
+                            Some(1),
+                        );
+                    }
+                }
+            }
+        }
+        for s in 0..module.alloc_sites {
+            a.add_loc(AbsLoc::Site(AllocSiteId(s)), format!("site{s}"), None);
+        }
+        a.obj_pts = vec![TargetSet::new(); a.locs.len()];
+        a
+    }
+
+    fn add_loc(&mut self, loc: AbsLoc, name: String, slots: Option<u32>) -> AbsLocId {
+        let id = AbsLocId(self.locs.len() as u32);
+        self.locs.push(loc);
+        self.loc_ids.insert(loc, id);
+        self.names.push(name);
+        self.slots.push(slots);
+        id
+    }
+
+    fn run(mut self) -> PointsTo {
+        // Iterate all transfer constraints to a fixpoint. Module sizes in
+        // this project are small (hundreds of instructions), so a simple
+        // round-robin pass is plenty.
+        loop {
+            let mut changed = false;
+            for (fi, f) in self.module.functions.iter().enumerate() {
+                let fid = FuncId(fi as u32);
+                for block in &f.blocks {
+                    for inst in &block.insts {
+                        changed |= self.apply(fid, inst);
+                    }
+                    if let Terminator::Return(Some(op)) = &block.term {
+                        let set = self.op_set(fid, *op);
+                        let entry = self.ret_pts.entry(fid).or_default();
+                        let before = entry.len();
+                        entry.extend(set);
+                        changed |= entry.len() != before;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let indirect = self.collect_indirect_targets();
+        PointsTo {
+            locs: self.locs,
+            loc_ids: self.loc_ids,
+            names: self.names,
+            slots: self.slots,
+            reg_pts: self.reg_pts,
+            obj_pts: self.obj_pts,
+            indirect,
+        }
+    }
+
+    fn op_set(&self, func: FuncId, op: Operand) -> TargetSet {
+        match op {
+            Operand::Const(_) => TargetSet::new(),
+            Operand::Local(l) => self.reg_pts.get(&(func, l)).cloned().unwrap_or_default(),
+        }
+    }
+
+    fn extend_reg(&mut self, func: FuncId, reg: LocalId, add: TargetSet) -> bool {
+        if add.is_empty() {
+            return false;
+        }
+        let entry = self.reg_pts.entry((func, reg)).or_default();
+        let before = entry.len();
+        entry.extend(add);
+        entry.len() != before
+    }
+
+    fn apply(&mut self, fid: FuncId, inst: &Inst) -> bool {
+        match inst {
+            Inst::Copy { dst, src } => {
+                let s = self.op_set(fid, *src);
+                self.extend_reg(fid, *dst, s)
+            }
+            Inst::AddrGlobal { dst, global } => {
+                let id = self.loc_ids[&AbsLoc::Global(*global)];
+                self.extend_reg(fid, *dst, TargetSet::from([Target::Loc(id)]))
+            }
+            Inst::AddrLocal { dst, local } => {
+                let id = self.loc_ids[&AbsLoc::Local { func: fid, local: *local }];
+                self.extend_reg(fid, *dst, TargetSet::from([Target::Loc(id)]))
+            }
+            Inst::AddrIndex { dst, base, .. } | Inst::AddrField { dst, base, .. } => {
+                // Field-insensitive: interior pointers alias the object.
+                let s = self.op_set(fid, *base);
+                self.extend_reg(fid, *dst, s)
+            }
+            Inst::Load { dst, addr } => {
+                let objs = self.op_set(fid, *addr);
+                let mut add = TargetSet::new();
+                for t in objs {
+                    if let Target::Loc(l) = t {
+                        add.extend(self.obj_pts[l.index()].iter().copied());
+                    }
+                }
+                self.extend_reg(fid, *dst, add)
+            }
+            Inst::Store { addr, src } => {
+                let objs = self.op_set(fid, *addr);
+                let vals = self.op_set(fid, *src);
+                if vals.is_empty() {
+                    return false;
+                }
+                let mut changed = false;
+                for t in objs {
+                    if let Target::Loc(l) = t {
+                        let set = &mut self.obj_pts[l.index()];
+                        let before = set.len();
+                        set.extend(vals.iter().copied());
+                        changed |= set.len() != before;
+                    }
+                }
+                changed
+            }
+            Inst::Alloc { dst, site, .. } => {
+                let id = self.loc_ids[&AbsLoc::Site(*site)];
+                self.extend_reg(fid, *dst, TargetSet::from([Target::Loc(id)]))
+            }
+            Inst::LoadFunc { dst, func } => {
+                self.extend_reg(fid, *dst, TargetSet::from([Target::Fun(*func)]))
+            }
+            Inst::Call { dst, callee, args } => {
+                let targets: Vec<FuncId> = match callee {
+                    Callee::Direct(f) => vec![*f],
+                    Callee::Indirect(op) => self
+                        .op_set(fid, *op)
+                        .into_iter()
+                        .filter_map(|t| match t {
+                            Target::Fun(f) => Some(f),
+                            Target::Loc(_) => None,
+                        })
+                        .collect(),
+                };
+                let mut changed = false;
+                for callee_id in targets {
+                    let callee_def = self.module.function(callee_id);
+                    // Arguments flow into parameters (arity mismatches on
+                    // indirect calls are dynamically rejected; statically
+                    // we propagate the common prefix).
+                    let params: Vec<LocalId> = callee_def.params.clone();
+                    for (p, a) in params.iter().zip(args) {
+                        let s = self.op_set(fid, *a);
+                        changed |= self.extend_reg(callee_id, *p, s);
+                    }
+                    // Return values flow into the call destination.
+                    if let Some(d) = dst {
+                        let s = self.ret_pts.get(&callee_id).cloned().unwrap_or_default();
+                        changed |= self.extend_reg(fid, *d, s);
+                    }
+                }
+                changed
+            }
+            Inst::Un { .. } | Inst::Bin { .. } | Inst::Input { .. } | Inst::Output { .. } => {
+                false
+            }
+        }
+    }
+
+    fn collect_indirect_targets(&self) -> IndirectTargets {
+        let mut out = IndirectTargets::default();
+        for (fi, f) in self.module.functions.iter().enumerate() {
+            let fid = FuncId(fi as u32);
+            for (bi, block) in f.blocks.iter().enumerate() {
+                for (ii, inst) in block.insts.iter().enumerate() {
+                    if let Inst::Call { callee: Callee::Indirect(op), .. } = inst {
+                        let targets: Vec<FuncId> = self
+                            .op_set(fid, *op)
+                            .into_iter()
+                            .filter_map(|t| match t {
+                                Target::Fun(fun) => Some(fun),
+                                Target::Loc(_) => None,
+                            })
+                            .collect();
+                        out.per_site.insert((fid, BlockId(bi as u32), ii), targets);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offload_ir::lower;
+    use offload_lang::frontend;
+
+    fn pta(src: &str) -> (Module, PointsTo) {
+        let m = lower(&frontend(src).unwrap());
+        let p = PointsTo::analyze(&m);
+        (m, p)
+    }
+
+    /// Finds the register holding variable `name` in function `func`.
+    fn reg_of(m: &Module, func: &str, name: &str) -> (FuncId, LocalId) {
+        let fid = m.func_by_name(func).unwrap();
+        let f = m.function(fid);
+        let li = f.locals.iter().position(|l| l.name == name).unwrap();
+        (fid, LocalId(li as u32))
+    }
+
+    #[test]
+    fn pointer_to_global() {
+        let (m, p) = pta(
+            "int data[8];
+             void main() { int *q; q = &data[0]; *q = 1; output(*q); }",
+        );
+        let (f, q) = reg_of(&m, "main", "q");
+        let pts = p.reg_points_to(f, q);
+        assert_eq!(pts.len(), 1);
+        let Target::Loc(id) = pts.iter().next().unwrap() else { panic!() };
+        assert_eq!(p.loc(*id), AbsLoc::Global(GlobalId(0)));
+    }
+
+    #[test]
+    fn alloc_site_summary() {
+        let (m, p) = pta(offload_lang::examples_src::FIGURE4);
+        // p and q in `build` point to the single site.
+        let (f, pr) = reg_of(&m, "build", "p");
+        let pts = p.reg_points_to(f, pr);
+        assert!(pts
+            .iter()
+            .any(|t| matches!(t, Target::Loc(l) if p.loc(*l) == AbsLoc::Site(AllocSiteId(0)))));
+        // The site's contents point back to the site (next pointers) —
+        // the linked-list cycle through the summary node.
+        let site = p.id_of(AbsLoc::Site(AllocSiteId(0))).unwrap();
+        assert!(p.obj_pts[site.index()]
+            .iter()
+            .any(|t| matches!(t, Target::Loc(l) if *l == site)));
+    }
+
+    #[test]
+    fn flow_through_call_and_return() {
+        let (m, p) = pta(
+            "int g[4];
+             int *identity(int *x) { return x; }
+             void main() { int *r; r = identity(&g[0]); *r = 5; output(*r); }",
+        );
+        let (f, r) = reg_of(&m, "main", "r");
+        let pts = p.reg_points_to(f, r);
+        assert!(pts
+            .iter()
+            .any(|t| matches!(t, Target::Loc(l) if p.loc(*l) == AbsLoc::Global(GlobalId(0)))));
+    }
+
+    #[test]
+    fn function_pointer_targets() {
+        let (m, p) = pta(
+            "int a(int x) { return x; }
+             int b(int x) { return x + 1; }
+             void main(int n) { fn g; if (n) { g = &a; } else { g = &b; } output(g(n)); }",
+        );
+        let targets = p.indirect_targets();
+        assert_eq!(targets.per_site.len(), 1);
+        let ts = targets.per_site.values().next().unwrap();
+        let names: Vec<&str> =
+            ts.iter().map(|f| m.function(*f).name.as_str()).collect();
+        assert!(names.contains(&"a") && names.contains(&"b"));
+    }
+
+    #[test]
+    fn function_pointer_precise_single_target() {
+        let (m, p) = pta(
+            "int a(int x) { return x; }
+             int b(int x) { return x + 1; }
+             void main(int n) { fn g; g = &a; output(g(n)); if (n < 0) { g = &b; } }",
+        );
+        // The call site sees both &a (before) and — flow-insensitively —
+        // &b (after). Andersen is flow-insensitive, so both appear.
+        let ts = p.indirect_targets().per_site.values().next().unwrap();
+        assert_eq!(ts.len(), 2, "flow-insensitive: both targets possible");
+        let _ = m;
+    }
+
+    #[test]
+    fn store_through_pointer_updates_contents() {
+        let (m, p) = pta(
+            "struct node { struct node *next; };
+             void main() {
+                 struct node *a; struct node *b;
+                 a = alloc(struct node, 1);
+                 b = alloc(struct node, 1);
+                 a->next = b;
+                 output(0);
+             }",
+        );
+        let site_a = p.id_of(AbsLoc::Site(AllocSiteId(0))).unwrap();
+        let site_b = p.id_of(AbsLoc::Site(AllocSiteId(1))).unwrap();
+        assert!(p.obj_pts[site_a.index()].contains(&Target::Loc(site_b)));
+        let _ = m;
+    }
+
+    #[test]
+    fn address_taken_local_is_abstract_location() {
+        let (m, p) = pta("void main() { int x; int *q; q = &x; *q = 2; output(x); }");
+        let fid = m.main;
+        let f = m.function(fid);
+        let xi = f.locals.iter().position(|l| l.name == "x").unwrap();
+        let loc = AbsLoc::Local { func: fid, local: LocalId(xi as u32) };
+        assert!(p.id_of(loc).is_some());
+        let (_, q) = reg_of(&m, "main", "q");
+        let pts = p.reg_points_to(fid, q);
+        assert!(pts.iter().any(|t| matches!(t, Target::Loc(l) if p.loc(*l) == loc)));
+    }
+
+    #[test]
+    fn registers_are_locations_too() {
+        let (m, p) = pta("void main(int n) { output(n); }");
+        let (fid, n) = reg_of(&m, "main", "n");
+        assert!(p.id_of(AbsLoc::Reg { func: fid, local: n }).is_some());
+    }
+
+    #[test]
+    fn names_and_slots() {
+        let (_, p) = pta("int buf[16]; void main() { buf[0] = 1; output(buf[0]); }");
+        let g = p.id_of(AbsLoc::Global(GlobalId(0))).unwrap();
+        assert_eq!(p.name(g), "buf");
+        assert_eq!(p.slots(g), Some(16));
+    }
+}

@@ -1,0 +1,407 @@
+//! Per-task access classification (mod/ref) over abstract memory
+//! locations — the inputs to the paper's data validity state constraints.
+//!
+//! For each task and each abstract location, this module decides:
+//!
+//! * **definite write** — the whole data item is certainly overwritten
+//!   (register assignments, and stores through a unique non-summary
+//!   pointer to a one-slot object);
+//! * **possible/partial write** — anything weaker (array element stores,
+//!   stores through may-aliases, stores into summary sites), triggering
+//!   the paper's *conservative constraint*;
+//! * **upward-exposed read** — a read not preceded by a definite write to
+//!   the same item within the task (straight-line tracking inside each
+//!   segment; conservatively exposed otherwise), triggering the *read
+//!   constraint*;
+//! * **any access** — for the data access state constraints `Ns`/`Nc` of
+//!   dynamically allocated data.
+//!
+//! Calls are modeled the way the runtime implements RPC: the caller task
+//! reads argument registers; the *callee entry task* definitely writes the
+//! parameter registers; the *continuation task* (after the call) definitely
+//! writes the return-value register. Parameter and return values
+//! themselves travel inside the scheduling message (their cost is part of
+//! the task-scheduling constants), so they never appear as separate data
+//! transfers.
+
+use crate::andersen::{AbsLocId, PointsTo};
+use offload_ir::{Callee, FuncId, Inst, LocalId, Module, Operand};
+use offload_tcfg::{SegmentEnd, TaskId, Tcfg};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Access summary of one task for one abstract location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessSummary {
+    /// The task contains a read of the item not preceded (straight-line)
+    /// by a definite write inside the task.
+    pub upward_exposed_read: bool,
+    /// The task definitely overwrites the whole item at least once.
+    pub definite_write: bool,
+    /// The task may write the item without certainly overwriting all of it.
+    pub partial_write: bool,
+}
+
+impl AccessSummary {
+    /// Any write at all.
+    pub fn writes(&self) -> bool {
+        self.definite_write || self.partial_write
+    }
+
+    /// Any access at all.
+    pub fn accesses(&self) -> bool {
+        self.upward_exposed_read || self.writes()
+    }
+}
+
+/// Per-task access map.
+#[derive(Debug, Clone, Default)]
+pub struct TaskAccess {
+    /// Summary per accessed location (untouched locations are absent).
+    pub per_loc: BTreeMap<AbsLocId, AccessSummary>,
+}
+
+impl TaskAccess {
+    fn summary_mut(&mut self, loc: AbsLocId) -> &mut AccessSummary {
+        self.per_loc.entry(loc).or_default()
+    }
+
+    /// The summary for a location (default = no access).
+    pub fn of(&self, loc: AbsLocId) -> AccessSummary {
+        self.per_loc.get(&loc).copied().unwrap_or_default()
+    }
+}
+
+/// Mod/ref information for every task of a TCFG.
+#[derive(Debug, Clone)]
+pub struct ModRef {
+    tasks: Vec<TaskAccess>,
+}
+
+impl ModRef {
+    /// Computes mod/ref for all tasks.
+    pub fn compute(module: &Module, tcfg: &Tcfg, pta: &PointsTo) -> ModRef {
+        let mut tasks: Vec<TaskAccess> = vec![TaskAccess::default(); tcfg.tasks().len()];
+
+        for (ti, task) in tcfg.tasks().iter().enumerate() {
+            let access = &mut tasks[ti];
+            for &sid in &task.segments {
+                let seg = tcfg.segment(sid);
+                let func = seg.func;
+                let block = &module.function(func).blocks[seg.block.index()];
+                // Straight-line definite-write tracking within the segment.
+                let mut written: BTreeSet<AbsLocId> = BTreeSet::new();
+                for idx in seg.range.0..seg.range.1 {
+                    classify_inst(
+                        module,
+                        pta,
+                        func,
+                        &block.insts[idx],
+                        access,
+                        &mut written,
+                    );
+                }
+                // Terminator condition reads.
+                if seg.end == SegmentEnd::Term {
+                    if let offload_ir::Terminator::Branch { cond, .. } = &block.term {
+                        read_operand(pta, func, *cond, access, &written);
+                    } else if let offload_ir::Terminator::Return(Some(op)) = &block.term {
+                        read_operand(pta, func, *op, access, &written);
+                    }
+                }
+            }
+        }
+
+        // Call boundary effects: callee entry tasks definitely write their
+        // parameter registers; continuation tasks definitely write the
+        // call destination register.
+        for (si, seg) in tcfg.segments().iter().enumerate() {
+            if let SegmentEnd::Call { inst, targets } = &seg.end {
+                let call = &module.function(seg.func).blocks[seg.block.index()].insts[*inst];
+                let Inst::Call { dst, .. } = call else { unreachable!("segment ends at call") };
+                for &callee in targets {
+                    let entry_seg = tcfg
+                        .block_entry_segment(callee, module.function(callee).entry)
+                        .expect("function entry segment");
+                    let entry_task = tcfg.task_of(entry_seg);
+                    for &p in &module.function(callee).params {
+                        let loc = pta
+                            .id_of(crate::AbsLoc::Reg { func: callee, local: p })
+                            .expect("parameter registers are locations");
+                        tasks[entry_task.index()].summary_mut(loc).definite_write = true;
+                    }
+                }
+                if let Some(d) = dst {
+                    // The continuation segment follows the call segment.
+                    let cont = offload_tcfg::SegmentId(si as u32 + 1);
+                    let cont_task = tcfg.task_of(cont);
+                    let loc = pta
+                        .id_of(crate::AbsLoc::Reg { func: seg.func, local: *d })
+                        .expect("destination register is a location");
+                    tasks[cont_task.index()].summary_mut(loc).definite_write = true;
+                }
+            }
+        }
+
+        ModRef { tasks }
+    }
+
+    /// Access map of one task.
+    pub fn task(&self, id: TaskId) -> &TaskAccess {
+        &self.tasks[id.index()]
+    }
+
+    /// Every location accessed by any task.
+    pub fn touched_locs(&self) -> BTreeSet<AbsLocId> {
+        self.tasks.iter().flat_map(|t| t.per_loc.keys().copied()).collect()
+    }
+
+    /// Tasks that access a given location at all.
+    pub fn accessors(&self, loc: AbsLocId) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.of(loc).accesses())
+            .map(|(i, _)| TaskId(i as u32))
+            .collect()
+    }
+}
+
+fn read_operand(
+    pta: &PointsTo,
+    func: FuncId,
+    op: Operand,
+    access: &mut TaskAccess,
+    written: &BTreeSet<AbsLocId>,
+) {
+    if let Operand::Local(l) = op {
+        read_reg(pta, func, l, access, written);
+    }
+}
+
+fn read_reg(
+    pta: &PointsTo,
+    func: FuncId,
+    l: LocalId,
+    access: &mut TaskAccess,
+    written: &BTreeSet<AbsLocId>,
+) {
+    if let Some(loc) = pta.id_of(crate::AbsLoc::Reg { func, local: l }) {
+        if !written.contains(&loc) {
+            access.summary_mut(loc).upward_exposed_read = true;
+        } else {
+            // Still an access (for Ns/Nc), without upward exposure.
+            access.summary_mut(loc);
+        }
+    }
+}
+
+fn write_reg(
+    pta: &PointsTo,
+    func: FuncId,
+    l: LocalId,
+    access: &mut TaskAccess,
+    written: &mut BTreeSet<AbsLocId>,
+) {
+    if let Some(loc) = pta.id_of(crate::AbsLoc::Reg { func, local: l }) {
+        access.summary_mut(loc).definite_write = true;
+        written.insert(loc);
+    }
+}
+
+fn classify_inst(
+    module: &Module,
+    pta: &PointsTo,
+    func: FuncId,
+    inst: &Inst,
+    access: &mut TaskAccess,
+    written: &mut BTreeSet<AbsLocId>,
+) {
+    // Register uses first (reads happen before the def).
+    match inst {
+        Inst::Call { callee, args, .. } => {
+            // The caller reads argument registers and, for indirect calls,
+            // the function-pointer register.
+            if let Callee::Indirect(op) = callee {
+                read_operand(pta, func, *op, access, written);
+            }
+            for a in args {
+                read_operand(pta, func, *a, access, written);
+            }
+            // Argument *pointees* are not read here: the callee reads them
+            // itself, and the points-to analysis attributes those accesses
+            // to the callee's tasks.
+        }
+        _ => {
+            for u in inst.uses() {
+                read_reg(pta, func, u, access, written);
+            }
+        }
+    }
+
+    // Memory effects.
+    match inst {
+        Inst::Load { addr, .. } => {
+            for obj in pta.operand_objects(func, *addr) {
+                // Memory reads are never straight-line killed (our definite
+                // writes cover one slot; a later load may touch another).
+                access.summary_mut(obj).upward_exposed_read = true;
+            }
+        }
+        Inst::Store { addr, .. } => {
+            let objs = pta.operand_objects(func, *addr);
+            let unique = objs.len() == 1;
+            for obj in objs {
+                let loc = pta.loc(obj);
+                let whole_item = pta.slots(obj) == Some(1);
+                if unique && whole_item && !loc.is_summary() {
+                    access.summary_mut(obj).definite_write = true;
+                } else {
+                    access.summary_mut(obj).partial_write = true;
+                }
+            }
+        }
+        _ => {}
+    }
+
+    // Register definition last.
+    match inst {
+        Inst::Call { dst, .. } => {
+            // The destination write is attributed to the continuation task
+            // (see `ModRef::compute`), not here.
+            let _ = dst;
+        }
+        _ => {
+            if let Some(d) = inst.def() {
+                write_reg(pta, func, d, access, written);
+            }
+        }
+    }
+    let _ = module;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::andersen::AbsLoc;
+    use offload_ir::{lower, GlobalId};
+    use offload_lang::frontend;
+    use offload_tcfg::Tcfg;
+
+    fn setup(src: &str) -> (Module, Tcfg, PointsTo, ModRef) {
+        let m = lower(&frontend(src).unwrap());
+        let pta = PointsTo::analyze(&m);
+        let tcfg = Tcfg::build(&m, pta.indirect_targets());
+        let mr = ModRef::compute(&m, &tcfg, &pta);
+        (m, tcfg, pta, mr)
+    }
+
+    fn task_of_fn(m: &Module, tcfg: &Tcfg, name: &str) -> Vec<TaskId> {
+        let f = m.func_by_name(name).unwrap();
+        tcfg.tasks()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.func == f)
+            .map(|(i, _)| TaskId(i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn global_array_store_is_partial() {
+        let (m, tcfg, pta, mr) = setup(
+            "int buf[8];
+             int fill(int n) { int i; for (i = 0; i < n; i++) { buf[i] = i; } return 0; }
+             void main(int n) { output(fill(n)); }",
+        );
+        let g = pta.id_of(AbsLoc::Global(GlobalId(0))).unwrap();
+        let fill_tasks = task_of_fn(&m, &tcfg, "fill");
+        let writes: Vec<_> =
+            fill_tasks.iter().map(|t| mr.task(*t).of(g)).filter(|a| a.writes()).collect();
+        assert!(!writes.is_empty());
+        assert!(writes.iter().all(|a| a.partial_write && !a.definite_write));
+    }
+
+    #[test]
+    fn global_array_read_is_upward_exposed() {
+        let (m, tcfg, pta, mr) = setup(
+            "int buf[8];
+             int sum(int n) { int i; int s; s = 0; for (i = 0; i < n; i++) { s = s + buf[i]; } return s; }
+             void main(int n) { output(sum(n)); }",
+        );
+        let g = pta.id_of(AbsLoc::Global(GlobalId(0))).unwrap();
+        let sum_tasks = task_of_fn(&m, &tcfg, "sum");
+        assert!(sum_tasks.iter().any(|t| mr.task(*t).of(g).upward_exposed_read));
+    }
+
+    #[test]
+    fn callee_params_definitely_written_at_entry() {
+        let (m, tcfg, pta, mr) = setup(
+            "int double_it(int x) { return x * 2; }
+             void main(int n) { output(double_it(n)); }",
+        );
+        let callee = m.func_by_name("double_it").unwrap();
+        let p0 = m.function(callee).params[0];
+        let loc = pta.id_of(AbsLoc::Reg { func: callee, local: p0 }).unwrap();
+        let entry_task = task_of_fn(&m, &tcfg, "double_it")
+            .into_iter()
+            .find(|t| mr.task(*t).of(loc).definite_write);
+        assert!(entry_task.is_some(), "parameter written by callee entry task");
+    }
+
+    #[test]
+    fn scalar_local_write_is_definite() {
+        let (m, tcfg, pta, mr) = setup(
+            "int f() { int a; a = 3; return a; }
+             void main() { output(f()); }",
+        );
+        let f = m.func_by_name("f").unwrap();
+        let ai = m.function(f).locals.iter().position(|l| l.name == "a").unwrap();
+        let loc = pta
+            .id_of(AbsLoc::Reg { func: f, local: offload_ir::LocalId(ai as u32) })
+            .unwrap();
+        let tasks = task_of_fn(&m, &tcfg, "f");
+        let s = tasks.iter().map(|t| mr.task(*t).of(loc)).find(|s| s.writes()).unwrap();
+        assert!(s.definite_write);
+        // `a` is read only after being written in the same straight line,
+        // so it is not upward-exposed there.
+        assert!(!s.upward_exposed_read);
+    }
+
+    #[test]
+    fn alloc_site_accesses_recorded() {
+        let (m, tcfg, pta, mr) = setup(offload_lang::examples_src::FIGURE4);
+        let site = pta.alloc_site_locs().next().unwrap();
+        let accessors = mr.accessors(site);
+        assert!(!accessors.is_empty());
+        // Both build (writes) and main (reads the list) touch the site.
+        let funcs: BTreeSet<FuncId> =
+            accessors.iter().map(|t| tcfg.task(*t).func).collect();
+        assert!(funcs.contains(&m.func_by_name("build").unwrap()));
+        assert!(funcs.contains(&m.main));
+    }
+
+    #[test]
+    fn site_writes_never_definite() {
+        let (m, tcfg, pta, mr) = setup(offload_lang::examples_src::FIGURE4);
+        let site = pta.alloc_site_locs().next().unwrap();
+        for t in 0..tcfg.tasks().len() {
+            let s = mr.task(TaskId(t as u32)).of(site);
+            assert!(!s.definite_write, "summary locations admit no definite writes");
+        }
+        let _ = m;
+    }
+
+    #[test]
+    fn figure1_buffer_flow() {
+        let (m, tcfg, pta, mr) = setup(offload_lang::examples_src::FIGURE1);
+        let inbuf = pta.id_of(AbsLoc::Global(m.global_by_name("inbuf").unwrap())).unwrap();
+        let outbuf = pta.id_of(AbsLoc::Global(m.global_by_name("outbuf").unwrap())).unwrap();
+        // Encoder tasks read inbuf and write outbuf.
+        let enc_tasks = task_of_fn(&m, &tcfg, "g_fast");
+        assert!(enc_tasks.iter().any(|t| mr.task(*t).of(inbuf).upward_exposed_read));
+        assert!(enc_tasks.iter().any(|t| mr.task(*t).of(outbuf).partial_write));
+        // f's tasks write inbuf and read outbuf.
+        let f_tasks = task_of_fn(&m, &tcfg, "f");
+        assert!(f_tasks.iter().any(|t| mr.task(*t).of(inbuf).partial_write));
+        assert!(f_tasks.iter().any(|t| mr.task(*t).of(outbuf).upward_exposed_read));
+    }
+}

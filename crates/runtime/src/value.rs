@@ -1,0 +1,119 @@
+//! Run-time values and the host-independent object naming scheme.
+//!
+//! Both hosts keep their own copy of every memory object. Objects are
+//! named by host-independent [`ObjKey`]s so that transferred data —
+//! including pointer values — means the same thing on either side: this
+//! is the paper's registration/mapping-table mechanism (§2.3), realized
+//! with a shared key space. Dynamic allocations get sequential
+//! registration numbers (allocation order is deterministic because
+//! exactly one host executes at any moment).
+
+use offload_ir::{FuncId, LocalId};
+use std::fmt;
+
+/// Host-independent name of a memory object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ObjKey {
+    /// A global object.
+    Global(u32),
+    /// A function's stack-resident local (statically allocated: the
+    /// runtime rejects recursion, so one activation suffices — matching
+    /// the analysis, which summarizes each local as one abstract
+    /// location).
+    Local(FuncId, LocalId),
+    /// The `n`-th dynamic allocation of the run (the registration id of
+    /// §2.3's registration tables).
+    Dyn(u64),
+}
+
+impl fmt::Display for ObjKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjKey::Global(g) => write!(f, "g{g}"),
+            ObjKey::Local(func, l) => write!(f, "{func}:{l}"),
+            ObjKey::Dyn(n) => write!(f, "dyn{n}"),
+        }
+    }
+}
+
+/// A run-time scalar value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// An integer.
+    Int(i64),
+    /// A pointer: object plus slot offset.
+    Addr(ObjKey, u32),
+    /// A function pointer.
+    Func(FuncId),
+    /// Never written (reading it is a runtime error in strict mode; it
+    /// transfers as itself).
+    Uninit,
+}
+
+impl Value {
+    /// The integer, if this is one (0 for `Uninit`, matching
+    /// zero-initialized memory).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Uninit => Some(0),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for branches: zero and null are false.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Addr(..) | Value::Func(_) => true,
+            Value::Uninit => false,
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Uninit
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Addr(k, o) => write!(f, "&{k}+{o}"),
+            Value::Func(id) => write!(f, "&{id}"),
+            Value::Uninit => write!(f, "uninit"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-3).truthy());
+        assert!(Value::Addr(ObjKey::Global(0), 0).truthy());
+        assert!(!Value::Uninit.truthy());
+    }
+
+    #[test]
+    fn uninit_reads_as_zero() {
+        assert_eq!(Value::Uninit.as_int(), Some(0));
+        assert_eq!(Value::Addr(ObjKey::Global(0), 0).as_int(), None);
+    }
+
+    #[test]
+    fn keys_order_deterministically() {
+        let mut keys = vec![
+            ObjKey::Dyn(1),
+            ObjKey::Global(0),
+            ObjKey::Local(FuncId(0), LocalId(2)),
+        ];
+        keys.sort();
+        assert_eq!(keys[0], ObjKey::Global(0));
+    }
+}

@@ -1,0 +1,42 @@
+//! # offload-symbolic
+//!
+//! Parametric cost-expression machinery for the offloading compiler: the
+//! paper's §3.3 flow constraints and §3.4 dummy-parameter/annotation
+//! mechanism, over the §5.1 monomial linearization.
+//!
+//! The central entry point is [`Symbolic::analyze`], which expresses block
+//! and edge execution counts, function invocation counts and dynamic
+//! allocation sizes as polynomials ([`SymExpr`]) in `main`'s parameters.
+//! Each distinct monomial (`x`, `x·y`, `x·y·z`, …) later becomes one
+//! dimension of the polyhedral parameter space used by the parametric
+//! min-cut.
+//!
+//! ```
+//! use offload_lang::frontend;
+//! use offload_ir::lower;
+//! use offload_symbolic::Symbolic;
+//!
+//! // main(n): a loop that executes n times.
+//! let checked = frontend(
+//!     "void main(int n) { int i; for (i = 0; i < n; i++) { output(i); } }",
+//! )?;
+//! let module = lower(&checked);
+//! let sym = Symbolic::analyze(&module, &Default::default());
+//! let main = module.main;
+//! // Some block of main executes exactly `n` times.
+//! let f = &sym.funcs[main.index()];
+//! let has_n_count = f.block_counts.values().any(|c| {
+//!     c.display(&sym.dict) == "n"
+//! });
+//! assert!(has_n_count);
+//! # Ok::<(), offload_lang::LangError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod analysis;
+mod expr;
+
+pub use analysis::{AllocSymbolic, FuncSymbolic, SymVal, Symbolic};
+pub use expr::{Atom, DummyOrigin, MonomialId, ParamDict, SymExpr};

@@ -1,0 +1,706 @@
+//! # offload-tcfg
+//!
+//! Task formation and the **Task Control Flow Graph** (TCFG) — Algorithm 1
+//! of *Wang & Li, PLDI 2004*.
+//!
+//! A *task* is a maximal consecutive statement segment that starts at a
+//! *task header* and ends at a *task branch* (Definitions 1–3 of the
+//! paper). Function calls and returns are always task branches; other
+//! branches become task branches only when they jump between different
+//! tasks. Algorithm 1 iterates to a fixpoint that keeps tasks as large as
+//! possible, which is exactly what this crate implements — over the IR, at
+//! the granularity of *segments* (basic blocks split at call sites).
+//!
+//! ```
+//! use offload_lang::frontend;
+//! use offload_ir::lower;
+//! use offload_tcfg::Tcfg;
+//!
+//! let checked = frontend(offload_lang::examples_src::FIGURE1)?;
+//! let module = lower(&checked);
+//! let tcfg = Tcfg::build(&module, &Default::default());
+//! // The paper divides this program into the tasks I, f1, g, f2, O (§4.2);
+//! // at IR granularity we get a handful of tasks, some pinned to the client:
+//! assert!(tcfg.tasks().len() >= 3);
+//! assert!(tcfg.tasks().iter().any(|t| t.is_io));
+//! # Ok::<(), offload_lang::LangError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use offload_ir::{BlockId, Callee, FuncId, Inst, Module, Terminator};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// Id of a segment (a basic block split at call sites).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId(pub u32);
+
+impl SegmentId {
+    /// The id as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+/// Id of a task in the TCFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The id as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// How a segment ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentEnd {
+    /// Ends with (and includes) the call instruction at this index.
+    Call {
+        /// Index of the call in the block's instruction list.
+        inst: usize,
+        /// Possible callees (singleton for direct calls; the points-to
+        /// result for indirect calls).
+        targets: Vec<FuncId>,
+    },
+    /// Ends at the block terminator.
+    Term,
+}
+
+/// A segment: a run of instructions inside one basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Function that contains the segment.
+    pub func: FuncId,
+    /// Basic block that contains the segment.
+    pub block: BlockId,
+    /// Instruction index range `[start, end)` within the block. For a
+    /// `Call` segment, `end` is `inst + 1` (the call is included).
+    pub range: (usize, usize),
+    /// How the segment ends.
+    pub end: SegmentEnd,
+}
+
+/// Why a TCFG edge exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// An intra-function control-flow edge between two blocks.
+    Jump {
+        /// Source block.
+        from: BlockId,
+        /// Target block.
+        to: BlockId,
+    },
+    /// A call edge (caller segment → callee entry).
+    Call {
+        /// The calling segment.
+        site: SegmentId,
+    },
+    /// A return edge (callee exit → the segment after the call).
+    Return {
+        /// The calling segment whose continuation receives control.
+        site: SegmentId,
+    },
+}
+
+/// A TCFG edge between two tasks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcfgEdge {
+    /// Source task.
+    pub from: TaskId,
+    /// Target task.
+    pub to: TaskId,
+    /// Provenance (used to attach execution counts).
+    pub kind: EdgeKind,
+    /// Function in which the transfer occurs (the caller for call/return
+    /// edges).
+    pub func: FuncId,
+}
+
+/// A task: a set of segments sharing one header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// The task's header segment (its unique identifier per Definition 1).
+    pub header: SegmentId,
+    /// All segments belonging to the task.
+    pub segments: Vec<SegmentId>,
+    /// Function containing the task (tasks never span functions).
+    pub func: FuncId,
+    /// `true` if the task performs I/O and is pinned to the client by the
+    /// paper's semantic constraint.
+    pub is_io: bool,
+}
+
+/// Supplies possible targets for indirect calls.
+///
+/// The conservative default (every address-taken function) is what the
+/// TCFG uses when no points-to information is supplied; `offload-pta`
+/// computes a precise map.
+#[derive(Debug, Clone, Default)]
+pub struct IndirectTargets {
+    /// Per-site targets: `(func, block, inst index) -> callees`.
+    pub per_site: HashMap<(FuncId, BlockId, usize), Vec<FuncId>>,
+}
+
+impl IndirectTargets {
+    fn targets_for(
+        &self,
+        module: &Module,
+        func: FuncId,
+        block: BlockId,
+        inst: usize,
+    ) -> Vec<FuncId> {
+        if let Some(t) = self.per_site.get(&(func, block, inst)) {
+            return t.clone();
+        }
+        // Fallback: all address-taken functions.
+        address_taken_functions(module)
+    }
+}
+
+/// All functions whose address is taken by a `LoadFunc` instruction.
+pub fn address_taken_functions(module: &Module) -> Vec<FuncId> {
+    let mut out = HashSet::new();
+    for f in &module.functions {
+        for b in &f.blocks {
+            for i in &b.insts {
+                if let Inst::LoadFunc { func, .. } = i {
+                    out.insert(*func);
+                }
+            }
+        }
+    }
+    let mut v: Vec<FuncId> = out.into_iter().collect();
+    v.sort();
+    v
+}
+
+/// The Task Control Flow Graph.
+#[derive(Debug, Clone)]
+pub struct Tcfg {
+    segments: Vec<Segment>,
+    tasks: Vec<Task>,
+    edges: Vec<TcfgEdge>,
+    task_of_segment: Vec<TaskId>,
+    entry_task: TaskId,
+    /// First segment of each block: `(func, block) -> segment`.
+    block_entry: HashMap<(FuncId, BlockId), SegmentId>,
+}
+
+impl Tcfg {
+    /// Builds the TCFG for a module (Algorithm 1).
+    ///
+    /// `indirect` supplies callee sets for indirect call sites; pass
+    /// `&Default::default()` to use the conservative
+    /// all-address-taken-functions fallback.
+    pub fn build(module: &Module, indirect: &IndirectTargets) -> Tcfg {
+        Builder::new(module, indirect).run()
+    }
+
+    /// All segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// All tasks.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// All inter-task edges.
+    pub fn edges(&self) -> &[TcfgEdge] {
+        &self.edges
+    }
+
+    /// The task containing a segment.
+    pub fn task_of(&self, seg: SegmentId) -> TaskId {
+        self.task_of_segment[seg.index()]
+    }
+
+    /// The task that starts program execution (entry of `main`).
+    pub fn entry_task(&self) -> TaskId {
+        self.entry_task
+    }
+
+    /// The task by id.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// The segment by id.
+    pub fn segment(&self, id: SegmentId) -> &Segment {
+        &self.segments[id.index()]
+    }
+
+    /// First segment of a block.
+    pub fn block_entry_segment(&self, func: FuncId, block: BlockId) -> Option<SegmentId> {
+        self.block_entry.get(&(func, block)).copied()
+    }
+
+    /// Iterates over the instructions of a task, as
+    /// `(func, block, inst index, instruction)` tuples.
+    pub fn task_instructions<'m>(
+        &'m self,
+        module: &'m Module,
+        task: TaskId,
+    ) -> impl Iterator<Item = (FuncId, BlockId, usize, &'m Inst)> + 'm {
+        self.tasks[task.index()].segments.iter().flat_map(move |s| {
+            let seg = &self.segments[s.index()];
+            let block = &module.function(seg.func).blocks[seg.block.index()];
+            (seg.range.0..seg.range.1).map(move |i| (seg.func, seg.block, i, &block.insts[i]))
+        })
+    }
+
+    /// Renders a concise description of the TCFG.
+    pub fn summary(&self, module: &Module) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, t) in self.tasks.iter().enumerate() {
+            let f = &module.function(t.func).name;
+            let _ = writeln!(
+                out,
+                "task{i}: fn={f} header={} segs={} io={}",
+                t.header,
+                t.segments.len(),
+                t.is_io
+            );
+        }
+        for e in &self.edges {
+            let _ = writeln!(out, "{} -> {} ({:?})", e.from, e.to, e.kind);
+        }
+        out
+    }
+}
+
+struct Builder<'m> {
+    module: &'m Module,
+    segments: Vec<Segment>,
+    /// Segment-level control-flow edges with their provenance.
+    seg_edges: Vec<(SegmentId, SegmentId, EdgeKind, FuncId)>,
+    block_entry: HashMap<(FuncId, BlockId), SegmentId>,
+    func_entry: HashMap<FuncId, SegmentId>,
+}
+
+impl<'m> Builder<'m> {
+    fn new(module: &'m Module, indirect: &IndirectTargets) -> Self {
+        let mut b = Builder {
+            module,
+            segments: Vec::new(),
+            seg_edges: Vec::new(),
+            block_entry: HashMap::new(),
+            func_entry: HashMap::new(),
+        };
+        b.split_segments(indirect);
+        b.connect_segments();
+        b
+    }
+
+    fn split_segments(&mut self, indirect: &IndirectTargets) {
+        for (fi, f) in self.module.functions.iter().enumerate() {
+            let fid = FuncId(fi as u32);
+            for (bid, block) in f.iter_blocks() {
+                let mut start = 0usize;
+                for (i, inst) in block.insts.iter().enumerate() {
+                    if let Inst::Call { callee, .. } = inst {
+                        let targets = match callee {
+                            Callee::Direct(t) => vec![*t],
+                            Callee::Indirect(_) => {
+                                indirect.targets_for(self.module, fid, bid, i)
+                            }
+                        };
+                        let id = SegmentId(self.segments.len() as u32);
+                        if start == 0 {
+                            self.block_entry.insert((fid, bid), id);
+                        }
+                        self.segments.push(Segment {
+                            func: fid,
+                            block: bid,
+                            range: (start, i + 1),
+                            end: SegmentEnd::Call { inst: i, targets },
+                        });
+                        start = i + 1;
+                    }
+                }
+                let id = SegmentId(self.segments.len() as u32);
+                if start == 0 {
+                    self.block_entry.insert((fid, bid), id);
+                }
+                self.segments.push(Segment {
+                    func: fid,
+                    block: bid,
+                    range: (start, block.insts.len()),
+                    end: SegmentEnd::Term,
+                });
+            }
+            let entry = self.block_entry[&(fid, f.entry)];
+            self.func_entry.insert(fid, entry);
+        }
+    }
+
+    fn connect_segments(&mut self) {
+        let segments = self.segments.clone();
+        for (si, seg) in segments.iter().enumerate() {
+            let sid = SegmentId(si as u32);
+            match &seg.end {
+                SegmentEnd::Call { targets, .. } => {
+                    let next = SegmentId(si as u32 + 1); // same block, next segment
+                    for &callee in targets {
+                        let callee_entry = self.func_entry[&callee];
+                        self.seg_edges.push((
+                            sid,
+                            callee_entry,
+                            EdgeKind::Call { site: sid },
+                            seg.func,
+                        ));
+                        // Return edges: each exit segment of the callee
+                        // transfers control back to `next`.
+                        for (ei, e) in segments.iter().enumerate() {
+                            if e.func == callee
+                                && e.end == SegmentEnd::Term
+                                && matches!(
+                                    self.module.function(callee).blocks[e.block.index()].term,
+                                    Terminator::Return(_)
+                                )
+                            {
+                                self.seg_edges.push((
+                                    SegmentId(ei as u32),
+                                    next,
+                                    EdgeKind::Return { site: sid },
+                                    seg.func,
+                                ));
+                            }
+                        }
+                    }
+                }
+                SegmentEnd::Term => {
+                    let term = &self.module.function(seg.func).blocks[seg.block.index()].term;
+                    for succ in term.successors() {
+                        let target = self.block_entry[&(seg.func, succ)];
+                        self.seg_edges.push((
+                            sid,
+                            target,
+                            EdgeKind::Jump { from: seg.block, to: succ },
+                            seg.func,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs Algorithm 1 to a fixpoint and assembles the TCFG.
+    fn run(self) -> Tcfg {
+        let n = self.segments.len();
+        let mut headers: HashSet<SegmentId> = self.func_entry.values().copied().collect();
+
+        // Segment-level predecessor lists.
+        let mut preds: Vec<Vec<SegmentId>> = vec![Vec::new(); n];
+        for (s, t, _, _) in &self.seg_edges {
+            preds[t.index()].push(*s);
+        }
+
+        loop {
+            let mut new_headers: HashSet<SegmentId> = HashSet::new();
+            // Joins whose predecessors live in different tasks must start
+            // their own task.
+            let header_of = self.assign_headers(&headers, &preds, &mut |seg| {
+                new_headers.insert(seg);
+            });
+            for (s, t, kind, _) in &self.seg_edges {
+                let hs = header_of[s.index()];
+                let ht = header_of[t.index()];
+                if hs != ht {
+                    // The branch target becomes a header...
+                    new_headers.insert(*t);
+                    // ...and so does the continuation of the branch.
+                    match kind {
+                        EdgeKind::Call { .. } => {
+                            // The segment after the call in the same block.
+                            new_headers.insert(SegmentId(s.0 + 1));
+                        }
+                        EdgeKind::Jump { .. } => {
+                            // Conditional branches: all sibling targets
+                            // become headers (the paper's `r`).
+                            for (s2, t2, k2, _) in &self.seg_edges {
+                                if s2 == s && matches!(k2, EdgeKind::Jump { .. }) {
+                                    new_headers.insert(*t2);
+                                }
+                            }
+                        }
+                        EdgeKind::Return { .. } => {
+                            // The continuation after the call is already a
+                            // header via the call rule.
+                        }
+                    }
+                }
+            }
+            let before = headers.len();
+            headers.extend(new_headers);
+            if headers.len() == before {
+                // Fixpoint: assemble tasks.
+                return self.assemble(header_of);
+            }
+        }
+    }
+
+    /// Propagates header ownership forward; returns `header_of[seg]`.
+    /// Calls `on_conflict(seg)` for joins whose predecessors carry
+    /// different headers (such joins must become headers themselves).
+    fn assign_headers(
+        &self,
+        headers: &HashSet<SegmentId>,
+        preds: &[Vec<SegmentId>],
+        on_conflict: &mut dyn FnMut(SegmentId),
+    ) -> Vec<SegmentId> {
+        let n = self.segments.len();
+        let mut header_of: Vec<Option<SegmentId>> = vec![None; n];
+        for &h in headers {
+            header_of[h.index()] = Some(h);
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..n {
+                if header_of[i].is_some() {
+                    continue;
+                }
+                let mut candidate: Option<SegmentId> = None;
+                for p in &preds[i] {
+                    if let Some(h) = header_of[p.index()] {
+                        match candidate {
+                            None => candidate = Some(h),
+                            Some(c) if c != h => on_conflict(SegmentId(i as u32)),
+                            _ => {}
+                        }
+                    }
+                }
+                if let Some(c) = candidate {
+                    header_of[i] = Some(c);
+                    changed = true;
+                }
+            }
+        }
+        // Unreachable segments own themselves.
+        header_of
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| h.unwrap_or(SegmentId(i as u32)))
+            .collect()
+    }
+
+    fn assemble(self, header_of: Vec<SegmentId>) -> Tcfg {
+        // Group segments by header.
+        let mut groups: BTreeMap<SegmentId, Vec<SegmentId>> = BTreeMap::new();
+        for (i, h) in header_of.iter().enumerate() {
+            groups.entry(*h).or_default().push(SegmentId(i as u32));
+        }
+        let mut tasks = Vec::new();
+        let mut task_ids: HashMap<SegmentId, TaskId> = HashMap::new();
+        for (header, segs) in groups {
+            let func = self.segments[header.index()].func;
+            let is_io = segs.iter().any(|s| {
+                let seg = &self.segments[s.index()];
+                let block = &self.module.function(seg.func).blocks[seg.block.index()];
+                block.insts[seg.range.0..seg.range.1].iter().any(Inst::is_io)
+            });
+            let id = TaskId(tasks.len() as u32);
+            task_ids.insert(header, id);
+            tasks.push(Task { header, segments: segs, func, is_io });
+        }
+        let task_of_segment: Vec<TaskId> = header_of.iter().map(|h| task_ids[h]).collect();
+
+        // Inter-task edges: segment edges that cross task boundaries.
+        let mut edges = Vec::new();
+        let mut seen = HashSet::new();
+        for (s, t, kind, func) in &self.seg_edges {
+            let from = task_of_segment[s.index()];
+            let to = task_of_segment[t.index()];
+            if from != to && seen.insert((from, to, *kind)) {
+                edges.push(TcfgEdge { from, to, kind: *kind, func: *func });
+            }
+        }
+
+        let entry_task = task_of_segment[self.func_entry[&self.module.main].index()];
+        Tcfg {
+            segments: self.segments,
+            tasks,
+            edges,
+            task_of_segment,
+            entry_task,
+            block_entry: self.block_entry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offload_ir::lower;
+    use offload_lang::frontend;
+
+    fn build(src: &str) -> (Module, Tcfg) {
+        let m = lower(&frontend(src).unwrap());
+        let t = Tcfg::build(&m, &Default::default());
+        (m, t)
+    }
+
+    #[test]
+    fn no_calls_means_one_task() {
+        let (_, t) = build(
+            "void main(int n) {
+                 int i; int acc;
+                 acc = 0;
+                 for (i = 0; i < n; i++) {
+                     if (i % 2 == 0) { acc = acc + i; } else { acc = acc - i; }
+                 }
+             }",
+        );
+        assert_eq!(t.tasks().len(), 1, "no calls => a single task");
+        assert!(t.edges().is_empty());
+    }
+
+    #[test]
+    fn call_splits_tasks() {
+        let (m, t) = build(
+            "int helper(int x) { return x * 2; }
+             void main(int n) { output(helper(n)); }",
+        );
+        assert!(t.tasks().len() >= 3, "{}", t.summary(&m));
+        assert!(t.edges().iter().any(|e| matches!(e.kind, EdgeKind::Call { .. })));
+        assert!(t.edges().iter().any(|e| matches!(e.kind, EdgeKind::Return { .. })));
+    }
+
+    #[test]
+    fn every_segment_in_exactly_one_task() {
+        let (_, t) = build(offload_lang::examples_src::FIGURE1);
+        let mut seen = vec![false; t.segments().len()];
+        for task in t.tasks() {
+            for s in &task.segments {
+                assert!(!seen[s.index()], "segment in two tasks");
+                seen[s.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "segment in no task");
+    }
+
+    #[test]
+    fn tasks_never_span_functions() {
+        let (_, t) = build(offload_lang::examples_src::FIGURE1);
+        for task in t.tasks() {
+            for s in &task.segments {
+                assert_eq!(t.segment(*s).func, task.func);
+            }
+        }
+    }
+
+    #[test]
+    fn io_tasks_flagged() {
+        let (m, t) = build(
+            "int pure(int x) { return x + 1; }
+             void main(int n) { int v; v = pure(n); output(v); }",
+        );
+        assert!(t.tasks().iter().any(|x| x.is_io));
+        let pure = m.func_by_name("pure").unwrap();
+        assert!(t.tasks().iter().filter(|x| x.func == pure).all(|x| !x.is_io));
+    }
+
+    #[test]
+    fn edges_connect_existing_tasks() {
+        let (_, t) = build(offload_lang::examples_src::FIGURE1);
+        for e in t.edges() {
+            assert!(e.from.index() < t.tasks().len());
+            assert!(e.to.index() < t.tasks().len());
+            assert_ne!(e.from, e.to, "TCFG edges cross task boundaries");
+        }
+    }
+
+    #[test]
+    fn figure1_has_expected_shape() {
+        let (m, t) = build(offload_lang::examples_src::FIGURE1);
+        let g = m.func_by_name("g_fast").unwrap();
+        let g_tasks: Vec<&Task> = t.tasks().iter().filter(|x| x.func == g).collect();
+        assert!(!g_tasks.is_empty());
+        assert!(g_tasks.iter().all(|x| !x.is_io), "encoder does no I/O");
+        let f = m.func_by_name("f").unwrap();
+        assert!(t.tasks().iter().any(|x| x.func == f && x.is_io));
+    }
+
+    #[test]
+    fn indirect_call_targets_conservative_default() {
+        let src = "int a(int x) { return x; }
+                   int b(int x) { return x + 1; }
+                   void main(int n) { fn g; if (n > 0) { g = &a; } else { g = &b; } output(g(n)); }";
+        let (m, t) = build(src);
+        let fa = m.func_by_name("a").unwrap();
+        let fb = m.func_by_name("b").unwrap();
+        let into = |f: FuncId| {
+            t.edges()
+                .iter()
+                .any(|e| matches!(e.kind, EdgeKind::Call { .. }) && t.task(e.to).func == f)
+        };
+        assert!(into(fa) && into(fb));
+    }
+
+    #[test]
+    fn entry_task_is_main_entry() {
+        let (m, t) = build("int f() { return 1; } void main() { output(f()); }");
+        assert_eq!(t.task(t.entry_task()).func, m.main);
+    }
+
+    #[test]
+    fn task_instructions_cover_module() {
+        let (m, t) = build("void main(int n) { output(n + 1); }");
+        let total: usize = (0..t.tasks().len())
+            .map(|i| t.task_instructions(&m, TaskId(i as u32)).count())
+            .sum();
+        let expect: usize =
+            m.functions.iter().flat_map(|f| &f.blocks).map(|b| b.insts.len()).sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn precise_indirect_targets_respected() {
+        let src = "int a(int x) { return x; }
+                   int b(int x) { return x + 1; }
+                   void main(int n) { fn g; g = &a; g = &b; output(g(n)); }";
+        let m = lower(&frontend(src).unwrap());
+        // Find the indirect call site.
+        let main = m.function(m.main);
+        let mut site = None;
+        for (bid, b) in main.iter_blocks() {
+            for (i, inst) in b.insts.iter().enumerate() {
+                if matches!(inst, Inst::Call { callee: Callee::Indirect(_), .. }) {
+                    site = Some((m.main, bid, i));
+                }
+            }
+        }
+        let site = site.expect("indirect call exists");
+        let only_b = m.func_by_name("b").unwrap();
+        let mut targets = IndirectTargets::default();
+        targets.per_site.insert(site, vec![only_b]);
+        let t = Tcfg::build(&m, &targets);
+        let fa = m.func_by_name("a").unwrap();
+        let into = |f: FuncId| {
+            t.edges()
+                .iter()
+                .any(|e| matches!(e.kind, EdgeKind::Call { .. }) && t.task(e.to).func == f)
+        };
+        assert!(!into(fa), "a excluded by precise targets");
+        assert!(into(only_b));
+    }
+}

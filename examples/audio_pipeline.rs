@@ -1,0 +1,44 @@
+//! The paper's motivating scenario: an audio encoding pipeline on a
+//! handheld device (the Figure 1 program), dispatched adaptively under
+//! different run-time parameters.
+//!
+//! ```text
+//! cargo run -p offload-bench --example audio_pipeline
+//! ```
+
+use offload_core::{Analysis, AnalysisOptions};
+use offload_runtime::{DeviceModel, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let analysis =
+        Analysis::from_source(offload_lang::examples_src::FIGURE1, AnalysisOptions::default())?;
+    println!("== Figure 1 audio pipeline ==");
+    println!("{}", analysis.describe_choices());
+
+    let sim = Simulator::new(&analysis, DeviceModel::ipaq_testbed());
+
+    // x frames of y samples each; z units of work per sample.
+    // Sweep the per-sample work z, as the paper's §1.1 discussion does.
+    println!("{:>8} {:>10} {:>12} {:>12} {:>9}", "z", "choice", "adaptive", "local", "speedup");
+    for z in [1i64, 4, 16, 64, 256, 1024, 4096] {
+        let params = [4i64, 32, z];
+        let input: Vec<i64> = (0..(params[0] * params[1])).map(|v| v % 100).collect();
+        let (choice, run) = sim.run_dispatched(&params, &input)?;
+        let local = sim.run_local(&params, &input)?;
+        assert_eq!(run.outputs, local.outputs);
+        let t_run = run.stats.total_time.to_f64();
+        let t_local = local.stats.total_time.to_f64();
+        println!(
+            "{z:>8} {:>10} {t_run:>12.0} {t_local:>12.0} {:>8.2}x",
+            if analysis.partition.choices[choice].is_all_local() {
+                "local"
+            } else {
+                "offload"
+            },
+            t_local / t_run,
+        );
+    }
+    println!("\nmessages are only exchanged when offloading pays for itself;");
+    println!("the guard conditions above are evaluated at dispatch time (Figure 2).");
+    Ok(())
+}

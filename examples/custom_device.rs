@@ -1,0 +1,81 @@
+//! Shows how device characteristics change partitioning decisions: the
+//! same program is analyzed against a fast-link testbed and a slow-link
+//! one, flipping the crossover point — and how §3.2-style calibration is
+//! used to obtain the cost constants from a device model.
+//!
+//! ```text
+//! cargo run -p offload-bench --example custom_device
+//! ```
+
+use offload_core::{Analysis, AnalysisOptions, CostModel};
+use offload_poly::Rational;
+use offload_runtime::DeviceModel;
+
+const PROGRAM: &str = "
+    int transform(int k) {
+        int j;
+        int acc;
+        acc = k;
+        for (j = 0; j < k; j++) {
+            acc = acc + acc % 13 + 3;
+        }
+        return acc;
+    }
+    void main(int n) {
+        int i;
+        int v;
+        for (i = 0; i < n; i++) {
+            v = input();
+            output(transform(n) + v % 64);
+        }
+    }";
+
+fn crossover(analysis: &Analysis) -> Option<i64> {
+    // First n at which the dispatcher leaves everything local no longer.
+    (1..=22)
+        .map(|p| 1i64 << p)
+        .find(|&n| {
+            let idx = analysis.select(&[n]).unwrap();
+            !analysis.partition.choices[idx].is_all_local()
+        })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Testbed A: the default iPAQ-like device, constants measured by
+    // calibration (the paper's "synthesized benchmarks" methodology).
+    let device = DeviceModel::ipaq_testbed();
+    let calibrated: CostModel = device.calibrate();
+    let a = Analysis::from_source(
+        PROGRAM,
+        AnalysisOptions { cost: calibrated, ..Default::default() },
+    )?;
+
+    // Testbed B: same hosts, but a 10x slower, higher-latency link.
+    let mut slow = CostModel::ipaq_testbed();
+    slow.send_startup_c2s = &slow.send_startup_c2s * &Rational::from(10);
+    slow.send_startup_s2c = &slow.send_startup_s2c * &Rational::from(10);
+    slow.send_unit_c2s = &slow.send_unit_c2s * &Rational::from(10);
+    slow.send_unit_s2c = &slow.send_unit_s2c * &Rational::from(10);
+    slow.sched_c2s = &slow.sched_c2s * &Rational::from(10);
+    slow.sched_s2c = &slow.sched_s2c * &Rational::from(10);
+    let b = Analysis::from_source(
+        PROGRAM,
+        AnalysisOptions { cost: slow, ..Default::default() },
+    )?;
+
+    println!("fast link: offloading starts at n ≈ {:?}", crossover(&a));
+    println!("slow link: offloading starts at n ≈ {:?}", crossover(&b));
+    println!();
+    println!("fast-link guards:\n{}", a.describe_choices());
+    println!("slow-link guards:\n{}", b.describe_choices());
+
+    match (crossover(&a), crossover(&b)) {
+        (Some(fast), Some(slow)) => assert!(
+            fast <= slow,
+            "a slower link can only delay the crossover ({fast} vs {slow})"
+        ),
+        (Some(_), None) => println!("slow link: offloading never pays below the probe range"),
+        other => println!("crossovers: {other:?}"),
+    }
+    Ok(())
+}

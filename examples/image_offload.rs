@@ -1,0 +1,48 @@
+//! Offloading an image-processing workload (the MiBench `susan`
+//! benchmark): the photo dimensions decide whether edge recognition runs
+//! on the handheld or the server.
+//!
+//! ```text
+//! cargo run --release -p offload-bench --example image_offload
+//! ```
+
+use offload_benchmarks::susan;
+use offload_runtime::{DeviceModel, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = susan();
+    println!("analyzing `{}` ({} source lines)...", bench.name, bench.source_lines());
+    let analysis = bench.analyze()?;
+    println!(
+        "{} tasks, {} tracked items, {} partitioning choices (analysis took {:?})",
+        analysis.tcfg.tasks().len(),
+        analysis.items.items.len(),
+        analysis.partition.choices.len(),
+        analysis.analysis_time,
+    );
+
+    let sim = Simulator::new(&analysis, DeviceModel::ipaq_testbed());
+    // Edge recognition on photos of increasing size.
+    println!("{:>10} {:>10} {:>12} {:>12}", "photo", "choice", "adaptive", "local");
+    for dim in [8i64, 16, 32, 64] {
+        // mode_s, mode_e, mode_c, xdim, ydim, bt, dt, mask, iters,
+        // corner_t, stride, gain
+        let params = [0i64, 1, 0, dim, dim, 20, 2, 1, 1, 1200, 16, 10];
+        let input = (bench.make_input)(&params);
+        let (choice, run) = sim.run_dispatched(&params, &input)?;
+        let local = sim.run_local(&params, &input)?;
+        assert_eq!(run.outputs, local.outputs);
+        println!(
+            "{:>7}x{dim:<3} {:>10} {:>12.0} {:>12.0}",
+            dim,
+            if analysis.partition.choices[choice].is_all_local() {
+                "local"
+            } else {
+                "offload"
+            },
+            run.stats.total_time.to_f64(),
+            local.stats.total_time.to_f64(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: analyze a small program, print its partitioning choices
+//! and dispatch guards, then execute it locally and offloaded.
+//!
+//! ```text
+//! cargo run -p offload-bench --example quickstart
+//! ```
+
+use offload_core::{Analysis, AnalysisOptions};
+use offload_runtime::{DeviceModel, Simulator};
+
+const PROGRAM: &str = "
+    // A compute kernel whose work depends on the run-time parameter n.
+    int work(int k) {
+        int j;
+        int acc;
+        acc = 0;
+        for (j = 0; j < k; j++) {
+            acc = acc + j * j % 1000;
+        }
+        return acc;
+    }
+
+    void main(int n) {
+        output(work(n));
+    }";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Parametric analysis: one optimal partitioning per region of the
+    //    parameter space (Algorithm 2 of Wang & Li, PLDI 2004).
+    let analysis = Analysis::from_source(PROGRAM, AnalysisOptions::default())?;
+    println!("tasks: {}", analysis.tcfg.tasks().len());
+    println!("tracked data items: {}", analysis.items.items.len());
+    println!("partitioning choices:\n{}", analysis.describe_choices());
+
+    // 2. Run-time dispatch (the Figure 2 transformation): the parameter
+    //    value picks the partitioning.
+    let sim = Simulator::new(&analysis, DeviceModel::ipaq_testbed());
+    for n in [10i64, 1_000, 1_000_000] {
+        let (choice, run) = sim.run_dispatched(&[n], &[])?;
+        let local = sim.run_local(&[n], &[])?;
+        println!(
+            "n={n:>9}: choice {choice} ({}) time {} vs local {} — output {:?}",
+            if analysis.partition.choices[choice].is_all_local() {
+                "local"
+            } else {
+                "offloaded"
+            },
+            run.stats.total_time.to_f64(),
+            local.stats.total_time.to_f64(),
+            run.outputs,
+        );
+        assert_eq!(run.outputs, local.outputs, "behaviour is preserved");
+    }
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! The dispatcher (the Figure 2 transformation) must pick, at every
+//! probed parameter value, a partitioning whose *predicted* cost is
+//! minimal among all discovered choices — and its picks must agree with
+//! measured execution time rankings on clearly-separated cases.
+
+use offload_core::{cut_cost_at, Analysis, AnalysisOptions};
+use offload_poly::Rational;
+use offload_runtime::{DeviceModel, Simulator};
+
+const PIPELINE: &str = "
+    int stage1(int v, int w) {
+        int i; int acc;
+        acc = v;
+        for (i = 0; i < w; i++) { acc = acc + (acc % 7) + 1; }
+        return acc;
+    }
+    int stage2(int v, int w) {
+        int i; int acc;
+        acc = v;
+        for (i = 0; i < w * 2; i++) { acc = acc + (acc % 5) + 2; }
+        return acc;
+    }
+    void main(int n, int w) {
+        int i; int v;
+        for (i = 0; i < n; i++) {
+            v = input();
+            v = stage1(v, w);
+            v = stage2(v, w);
+            output(v);
+        }
+    }";
+
+fn analysis() -> &'static Analysis {
+    static CACHE: std::sync::OnceLock<Analysis> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| {
+        Analysis::from_source(PIPELINE, AnalysisOptions::default()).expect("analysis")
+    })
+}
+
+#[test]
+fn dispatcher_minimizes_predicted_cost() {
+    let a = analysis();
+    for &(n, w) in &[(1i64, 1i64), (4, 10), (2, 1000), (16, 100_000), (1, 1_000_000)] {
+        let idx = a.select(&[n, w]).unwrap();
+        let point = a
+            .dispatcher
+            .dim_point(&a.network, &[Rational::from(n), Rational::from(w)])
+            .unwrap();
+        let chosen = cut_cost_at(&a.network, &a.partition.choices[idx], &point)
+            .expect("finite cut");
+        for (j, c) in a.partition.choices.iter().enumerate() {
+            if let Some(v) = cut_cost_at(&a.network, c, &point) {
+                assert!(chosen <= v, "(n={n},w={w}): chosen {idx} beaten by {j}");
+            }
+        }
+    }
+}
+
+#[test]
+fn regions_are_pairwise_disjoint() {
+    let a = analysis();
+    for &(n, w) in &[(1i64, 1i64), (3, 50), (2, 5000), (8, 400000)] {
+        let point = a
+            .dispatcher
+            .dim_point(&a.network, &[Rational::from(n), Rational::from(w)])
+            .unwrap();
+        let holders = a
+            .partition
+            .choices
+            .iter()
+            .filter(|c| c.region.contains(&point))
+            .count();
+        assert!(holders <= 1, "(n={n},w={w}) claimed by {holders} regions");
+    }
+}
+
+#[test]
+fn predicted_ranking_matches_measured_ranking_at_extremes() {
+    let a = analysis();
+    let sim = Simulator::new(&a, DeviceModel::ipaq_testbed());
+    // Tiny work: local must win. Heavy work: offloading must win.
+    let light_params = [2i64, 1];
+    let heavy_params = [2i64, 60_000];
+
+    let light_idx = a.select(&light_params).unwrap();
+    assert!(a.partition.choices[light_idx].is_all_local());
+
+    let heavy_idx = a.select(&heavy_params).unwrap();
+    assert!(!a.partition.choices[heavy_idx].is_all_local());
+
+    // Measured agreement.
+    let input = vec![3, 4];
+    let local = sim.run_local(&heavy_params, &input).unwrap();
+    let offloaded = sim.run_choice(heavy_idx, &heavy_params, &input).unwrap();
+    assert!(offloaded.stats.total_time < local.stats.total_time);
+    assert_eq!(offloaded.outputs, local.outputs);
+}
+
+#[test]
+fn prediction_error_within_reasonable_bounds() {
+    // The paper reports prediction errors within 10%; our simulator
+    // shares the analytic model's structure but adds cache effects, so
+    // the measured/predicted ratio should be near 1 (allow 35% for the
+    // coarse per-instruction weights).
+    let a = analysis();
+    let sim = Simulator::new(&a, DeviceModel::ipaq_testbed());
+    for &(n, w) in &[(4i64, 2000i64), (2, 20_000)] {
+        let idx = a.select(&[n, w]).unwrap();
+        let point = a
+            .dispatcher
+            .dim_point(&a.network, &[Rational::from(n), Rational::from(w)])
+            .unwrap();
+        let predicted = cut_cost_at(&a.network, &a.partition.choices[idx], &point)
+            .unwrap()
+            .to_f64();
+        let input: Vec<i64> = (0..n).collect();
+        let measured = sim
+            .run_choice(idx, &[n, w], &input)
+            .unwrap()
+            .stats
+            .total_time
+            .to_f64();
+        let ratio = predicted / measured;
+        assert!(
+            (0.65..=1.55).contains(&ratio),
+            "(n={n},w={w}): predicted/measured = {ratio:.3}"
+        );
+    }
+}

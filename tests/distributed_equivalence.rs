@@ -1,0 +1,155 @@
+//! The central soundness invariant of the whole system (the paper's §2
+//! semantic requirement): *the distributed program has identical external
+//! behaviour to the original program running on the client alone* — for
+//! every partitioning choice the analysis emits, and even for arbitrary
+//! assignments that respect the I/O pinning.
+
+use offload_core::{Analysis, AnalysisOptions, Partition};
+use offload_poly::Region;
+use offload_runtime::{DeviceModel, Plan, Runner, Simulator};
+
+fn analysis(src: &str) -> Analysis {
+    Analysis::from_source(src, AnalysisOptions::default()).expect("analysis")
+}
+
+/// Runs a program under an arbitrary task-side assignment (not
+/// necessarily optimal) and checks behavioural equivalence.
+fn run_with_assignment(a: &Analysis, server_tasks: Vec<bool>, params: &[i64], input: &[i64]) {
+    let tracked: Vec<_> = a.items.items.iter().map(|i| i.loc).collect();
+    let device = DeviceModel::ipaq_testbed();
+    let fake = Partition {
+        server_tasks,
+        transfers: vec![Vec::new(); a.tcfg.edges().len()], // rely on lazy pulls
+        region: Region::empty(a.network.dims.len()),
+        full_region: offload_poly::Polyhedron::universe(a.network.dims.len()),
+        cut: vec![false; a.network.net.node_count()],
+    };
+    let local = Runner {
+        module: &a.module,
+        tcfg: &a.tcfg,
+        pta: &a.pta,
+        tracked_order: &tracked,
+        device: &device,
+        plan: Plan::AllLocal,
+        max_steps: 0,
+    }
+    .run(params, input)
+    .expect("local");
+    let dist = Runner {
+        module: &a.module,
+        tcfg: &a.tcfg,
+        pta: &a.pta,
+        tracked_order: &tracked,
+        device: &device,
+        plan: Plan::Choice(&fake),
+        max_steps: 0,
+    }
+    .run(params, input)
+    .expect("distributed");
+    assert_eq!(dist.outputs, local.outputs);
+}
+
+#[test]
+fn all_non_io_assignments_of_small_program() {
+    let a = analysis(
+        "int square(int v) { return v * v; }
+         int cube(int v) { return v * square(v); }
+         void main(int n) {
+             int i;
+             for (i = 0; i < n; i++) { output(square(i) + cube(i)); }
+         }",
+    );
+    let tasks = a.tcfg.tasks().len();
+    assert!(tasks <= 12, "enumerable task count, got {tasks}");
+    let params = [5i64];
+    // Enumerate every assignment that keeps I/O tasks on the client
+    // (exhaustive when small, sampled otherwise).
+    let io_mask: Vec<bool> = a.tcfg.tasks().iter().map(|t| t.is_io).collect();
+    let limit = 1u32 << tasks.min(10);
+    for mask in 0..limit {
+        let assignment: Vec<bool> =
+            (0..tasks).map(|i| mask & (1 << i.min(31)) != 0).collect();
+        if assignment.iter().zip(&io_mask).any(|(&s, &io)| s && io) {
+            continue; // would violate the semantic constraint
+        }
+        run_with_assignment(&a, assignment, &params, &[]);
+    }
+}
+
+#[test]
+fn figure4_lists_survive_offloading() {
+    // Dynamically allocated data with pointers inside: the registration
+    // and translation machinery must keep both heaps coherent.
+    let a = analysis(offload_lang::examples_src::FIGURE4);
+    let sim = Simulator::new(&a, DeviceModel::ipaq_testbed());
+    let local = sim.run_local(&[12], &[]).unwrap();
+    assert_eq!(local.outputs, vec![66]); // sum 0..11
+    for i in 0..a.partition.choices.len() {
+        let r = sim.run_choice(i, &[12], &[]).unwrap();
+        assert_eq!(r.outputs, local.outputs, "choice {i}");
+    }
+    // And under a deliberately adversarial assignment: `build` remote,
+    // everything else local (lazy pulls must fetch the list).
+    let build = a.module.func_by_name("build").unwrap();
+    let assignment: Vec<bool> =
+        a.tcfg.tasks().iter().map(|t| t.func == build && !t.is_io).collect();
+    run_with_assignment(&a, assignment, &[12], &[]);
+}
+
+#[test]
+fn global_state_machine_consistency() {
+    // A program whose tasks communicate through global state in both
+    // directions across several calls.
+    let src = "
+        int acc;
+        int scale;
+        void step_a(int v) { acc = acc + v * scale; }
+        void step_b(int v) { scale = scale + v % 3; acc = acc - v; }
+        void main(int n) {
+            int i;
+            acc = 0;
+            scale = 1;
+            for (i = 0; i < n; i++) {
+                step_a(i);
+                step_b(i);
+                output(acc);
+            }
+        }";
+    let a = analysis(src);
+    let sim = Simulator::new(&a, DeviceModel::ipaq_testbed());
+    let input: Vec<i64> = vec![];
+    let local = sim.run_local(&[9], &input).unwrap();
+    for i in 0..a.partition.choices.len() {
+        let r = sim.run_choice(i, &[9], &input).unwrap();
+        assert_eq!(r.outputs, local.outputs, "choice {i}");
+    }
+    // Adversarial split: step_a on the server, step_b on the client.
+    let fa = a.module.func_by_name("step_a").unwrap();
+    let assignment: Vec<bool> = a.tcfg.tasks().iter().map(|t| t.func == fa).collect();
+    run_with_assignment(&a, assignment, &[9], &input);
+}
+
+#[test]
+fn function_pointer_programs_distribute() {
+    let src = "
+        int inc(int v) { return v + 1; }
+        int dbl(int v) { return v * 2; }
+        void main(int mode, int n) {
+            int i;
+            int v;
+            fn op;
+            if (mode == 1) { op = &inc; } else { op = &dbl; }
+            v = 1;
+            for (i = 0; i < n; i++) { v = op(v); }
+            output(v);
+        }";
+    let a = analysis(src);
+    let sim = Simulator::new(&a, DeviceModel::ipaq_testbed());
+    for mode in [0i64, 1] {
+        let local = sim.run_local(&[mode, 6], &[]).unwrap();
+        for i in 0..a.partition.choices.len() {
+            let r = sim.run_choice(i, &[mode, 6], &[]).unwrap();
+            assert_eq!(r.outputs, local.outputs, "mode {mode} choice {i}");
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The paper's running example, end to end.
+//!
+//! Two levels: (1) the *worked example* of §4.2/Figures 6–7, built as the
+//! exact two-task network of Table 1, must reproduce the paper's three
+//! optimal partitionings and their parameter regions (the §1.1
+//! conditions); (2) the Figure 1 *program* must flow through the whole
+//! pipeline and behave identically under every discovered partitioning.
+
+use offload_core::{Analysis, AnalysisOptions};
+use offload_flow::{ParamCap, ParamNetwork};
+use offload_poly::{Constraint, LinExpr, Polyhedron, Rational, Region};
+use offload_runtime::{DeviceModel, Simulator};
+
+fn r(n: i64) -> Rational {
+    Rational::from(n)
+}
+
+/// Builds the Table 1 network over linearized dimensions
+/// `d0 = x, d1 = x·y, d2 = x·y·z`:
+///
+/// * client computation: `s → M(f)` capacity `2xy`, `s → M(g)` capacity
+///   `xyz` (the server is free in the example);
+/// * f↔g buffer traffic when split: `12x + 2xy` each way;
+/// * f's per-sample I/O traffic when f is remote: `M(f) → t` capacity
+///   `14xy`.
+fn paper_network() -> (ParamNetwork, Polyhedron) {
+    let k = 3;
+    let aff = |x: i64, xy: i64, xyz: i64| {
+        ParamCap::Affine(
+            LinExpr::zero(k)
+                .plus_term(0, r(x))
+                .plus_term(1, r(xy))
+                .plus_term(2, r(xyz)),
+        )
+    };
+    // Nodes: 0 = s, 1 = t, 2 = M(f), 3 = M(g).
+    let mut net = ParamNetwork::new(k, 4, 0, 1);
+    net.add_arc(0, 2, aff(0, 2, 0)); // ¬M(f) · 2xy
+    net.add_arc(0, 3, aff(0, 0, 1)); // ¬M(g) · xyz
+    net.add_arc(2, 3, aff(12, 2, 0)); // M(f)=1, M(g)=0 → buffers move
+    net.add_arc(3, 2, aff(12, 2, 0)); // M(g)=1, M(f)=0 → buffers move
+    net.add_arc(2, 1, aff(0, 14, 0)); // M(f)=1 → 14xy of I/O traffic
+    // Parameter space: x >= 1, y >= 1 (xy >= x), z >= 1 (xyz >= xy).
+    let space = Polyhedron::from_constraints(
+        k,
+        vec![
+            Constraint::ge0(LinExpr::var(k, 0).plus_constant(r(-1))),
+            Constraint::ge0(LinExpr::var(k, 1).sub(&LinExpr::var(k, 0))),
+            Constraint::ge0(LinExpr::var(k, 2).sub(&LinExpr::var(k, 1))),
+        ],
+    );
+    (net, space)
+}
+
+fn figure1_analysis() -> &'static Analysis {
+    static CACHE: std::sync::OnceLock<Analysis> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| {
+        Analysis::from_source(offload_lang::examples_src::FIGURE1, AnalysisOptions::default())
+            .expect("analysis succeeds")
+    })
+}
+
+fn dims_for(x: i64, y: i64, z: i64) -> Vec<Rational> {
+    vec![r(x), r(x * y), r(x * y * z)]
+}
+
+/// Table 1 costs of the three meaningful partitionings.
+fn table1_costs(x: i64, y: i64, z: i64) -> [(&'static str, i64); 3] {
+    [
+        ("local", x * y * z + 2 * x * y),
+        ("offload-g", 12 * x + 4 * x * y),
+        ("offload-fg", 14 * x * y),
+    ]
+}
+
+#[test]
+fn worked_example_reproduces_table1_costs() {
+    let (net, _) = paper_network();
+    for &(x, y, z) in &[(1i64, 6, 3), (1, 6, 6), (1, 1, 18), (2, 3, 20), (5, 2, 2)] {
+        let point = dims_for(x, y, z);
+        let mf = net.solve_at(&point).unwrap();
+        let best = table1_costs(x, y, z).iter().map(|&(_, c)| c).min().unwrap();
+        assert_eq!(mf.value, r(best), "min cut = Table 1 minimum at ({x},{y},{z})");
+    }
+}
+
+#[test]
+fn worked_example_regions_match_section_1_conditions() {
+    let (net, space) = paper_network();
+    // The paper's conditions (§1.1):
+    //  offload f,g   iff 12 < z  && 5y < 6   (i.e. y = 1, z > 12)
+    //  offload g     iff 12 + 2y < yz        (and not the previous case)
+    //  otherwise local.
+    // Algorithm 2, by hand: sample, cut, region, subtract.
+    let mut x = Region::from(space.clone());
+    let mut found: Vec<(Vec<bool>, Polyhedron)> = Vec::new();
+    while let Some(p) = x.sample() {
+        let mf = net.solve_at(&p).unwrap();
+        let region = net.optimality_region(&mf.source_side, &space);
+        assert!(region.contains(&p));
+        x = x.subtract(&region);
+        found.push((mf.source_side, region));
+        assert!(found.len() <= 8, "few regions expected");
+    }
+    // Exactly the three partitionings of the paper appear.
+    let classify = |side: &[bool]| -> &'static str {
+        match (side[2], side[3]) {
+            (false, false) => "local",
+            (false, true) => "offload-g",
+            (true, true) => "offload-fg",
+            (true, false) => "offload-f-only",
+        }
+    };
+    let kinds: std::collections::BTreeSet<&str> =
+        found.iter().map(|(s, _)| classify(s)).collect();
+    assert_eq!(
+        kinds,
+        ["local", "offload-g", "offload-fg"].into_iter().collect::<std::collections::BTreeSet<_>>(),
+        "the paper's three partitionings"
+    );
+    // Check region membership against the paper's closed-form conditions
+    // on a grid.
+    for x_ in [1i64, 2, 5] {
+        for y in [1i64, 2, 6, 10] {
+            for z in [1i64, 3, 6, 13, 18, 40] {
+                let point = dims_for(x_, y, z);
+                let expect = if 12 < z && 5 * y < 6 {
+                    "offload-fg"
+                } else if 12 + 2 * y < y * z {
+                    "offload-g"
+                } else {
+                    "local"
+                };
+                // Boundary points may land in either adjacent region;
+                // compare by cost when labels differ.
+                let holder = found
+                    .iter()
+                    .find(|(_, region)| region.contains(&point))
+                    .map(|(side, _)| classify(side))
+                    .expect("point covered");
+                if holder != expect {
+                    let costs = table1_costs(x_, y, z);
+                    let get =
+                        |name: &str| costs.iter().find(|(n, _)| *n == name).unwrap().1;
+                    assert_eq!(
+                        get(holder),
+                        get(expect),
+                        "({x_},{y},{z}): {holder} vs {expect} must tie"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn figure1_program_full_pipeline() {
+    let analysis = figure1_analysis();
+    // No user annotations required (everything is parameter-expressible).
+    assert!(analysis.missing_annotations().is_empty());
+    // At least local + offload-encoder choices.
+    assert!(analysis.partition.choices.len() >= 2, "{}", analysis.describe_choices());
+
+    // Distributed behaviour matches local behaviour for every choice.
+    let sim = Simulator::new(&analysis, DeviceModel::ipaq_testbed());
+    let params = [2i64, 4, 6];
+    let input: Vec<i64> = (0..8).collect();
+    let local = sim.run_local(&params, &input).unwrap();
+    for i in 0..analysis.partition.choices.len() {
+        let run = sim.run_choice(i, &params, &input).unwrap();
+        assert_eq!(run.outputs, local.outputs, "choice {i}");
+    }
+
+    // The dispatcher picks the cheapest choice wherever we probe.
+    for &(x, y, z) in &[(1i64, 4, 1), (4, 64, 3), (2, 8, 500), (1, 512, 40)] {
+        let idx = analysis.select(&[x, y, z]).unwrap();
+        let point = analysis
+            .dispatcher
+            .dim_point(&analysis.network, &[r(x), r(y), r(z)])
+            .unwrap();
+        let chosen = offload_core::cut_cost_at(
+            &analysis.network,
+            &analysis.partition.choices[idx],
+            &point,
+        )
+        .expect("finite");
+        for c in &analysis.partition.choices {
+            if let Some(v) = offload_core::cut_cost_at(&analysis.network, c, &point) {
+                assert!(chosen <= v, "({x},{y},{z})");
+            }
+        }
+    }
+}
+
+#[test]
+fn figure1_decision_independent_of_x() {
+    // The paper: "although all the costs depend on the parameter x, the
+    // optimal program partitioning decisions do not depend on x."
+    let analysis = figure1_analysis();
+    for &(y, z) in &[(4i64, 1), (64, 3), (8, 500), (512, 40), (1, 1000)] {
+        let picks: std::collections::BTreeSet<usize> = [1i64, 2, 7, 40]
+            .iter()
+            .map(|&x| analysis.select(&[x, y, z]).unwrap())
+            .collect();
+        assert_eq!(picks.len(), 1, "same choice for all x at (y={y}, z={z})");
+    }
+}

@@ -1,0 +1,133 @@
+//! Cross-validation of the §3.3 flow constraints against reality: the
+//! symbolic block execution counts, evaluated at concrete parameters,
+//! must reproduce the exact number of instructions the interpreter
+//! executes — for programs whose counts are fully parameter-expressible.
+
+use offload_core::{Analysis, AnalysisOptions};
+use offload_poly::Rational;
+use offload_runtime::{DeviceModel, Simulator};
+use offload_symbolic::Atom;
+
+/// Sums `block_count(b) * |instructions(b)|` over the whole module at the
+/// given parameter values.
+fn predicted_instructions(a: &Analysis, params: &[i64]) -> Rational {
+    let value = |atom: Atom| -> Rational {
+        match atom {
+            Atom::Param(i) => Rational::from(params[i as usize]),
+            Atom::Dummy(_) => Rational::zero(),
+        }
+    };
+    let mut total = Rational::zero();
+    for (fi, f) in a.module.functions.iter().enumerate() {
+        let fid = offload_ir::FuncId(fi as u32);
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let count = a
+                .symbolic
+                .block_count(fid, offload_ir::BlockId(bi as u32))
+                .eval(&a.symbolic.dict, &value);
+            total += &(&count * &Rational::from(b.insts.len() as i64));
+        }
+    }
+    total
+}
+
+fn check(src: &str, params_list: &[&[i64]], input_for: fn(&[i64]) -> Vec<i64>) {
+    let a = Analysis::from_source(src, AnalysisOptions::default()).expect("analysis");
+    assert!(
+        a.symbolic.annotations_required().is_empty(),
+        "this test needs fully analyzable programs"
+    );
+    let sim = Simulator::new(&a, DeviceModel::ipaq_testbed());
+    for params in params_list {
+        let run = sim.run_local(params, &input_for(params)).expect("run");
+        let predicted = predicted_instructions(&a, params);
+        assert_eq!(
+            predicted,
+            Rational::from(run.stats.instructions as i64),
+            "params {params:?}: symbolic counts must match executed instructions"
+        );
+    }
+}
+
+#[test]
+fn straight_loop() {
+    check(
+        "void main(int n) { int i; for (i = 0; i < n; i++) { output(i); } }",
+        &[&[0], &[1], &[17], &[100]],
+        |_| vec![],
+    );
+}
+
+#[test]
+fn nested_loops_and_calls() {
+    check(
+        "int work(int k) {
+             int j; int acc;
+             acc = 0;
+             for (j = 0; j < k; j++) { acc = acc + j; }
+             return acc;
+         }
+         void main(int n, int k) {
+             int i;
+             for (i = 0; i < n; i++) { output(work(k)); }
+         }",
+        &[&[0, 5], &[3, 0], &[4, 7], &[10, 10]],
+        |_| vec![],
+    );
+}
+
+#[test]
+fn figure1_counts_exact() {
+    check(
+        offload_lang::examples_src::FIGURE1,
+        &[&[1, 1, 1], &[2, 3, 4], &[3, 8, 2]],
+        |p| (0..(p[0] * p[1])).collect(),
+    );
+}
+
+#[test]
+fn while_loop_counts_exact() {
+    check(
+        "void main(int n) {
+             int acc;
+             acc = 0;
+             while (acc < n) { acc = acc + 2; }
+             output(acc);
+         }",
+        &[&[0], &[10], &[64]],
+        |_| vec![],
+    );
+}
+
+#[test]
+fn param_dependent_branches_with_auto_conditions() {
+    // The branch depends on a parameter: the auto-annotated condition
+    // dummy must evaluate it exactly at dispatch/eval time.
+    let src = "void main(int mode, int n) {
+                   int i;
+                   for (i = 0; i < n; i++) {
+                       if (mode == 1) { output(i); } else { output(2 * i); output(i); }
+                   }
+               }";
+    let a = Analysis::from_source(src, AnalysisOptions::default()).expect("analysis");
+    let sim = Simulator::new(&a, DeviceModel::ipaq_testbed());
+    for params in [[1i64, 6], [0, 6], [2, 9]] {
+        let run = sim.run_local(&params, &[]).expect("run");
+        // Evaluate with auto-dummies resolved through the dispatcher.
+        let rparams: Vec<Rational> = params.iter().map(|&p| Rational::from(p)).collect();
+        let mut total = Rational::zero();
+        for (fi, f) in a.module.functions.iter().enumerate() {
+            let fid = offload_ir::FuncId(fi as u32);
+            for (bi, b) in f.blocks.iter().enumerate() {
+                let expr = a.symbolic.block_count(fid, offload_ir::BlockId(bi as u32));
+                let count = a.dispatcher.eval_expr(&expr, &rparams, 0).expect("auto dummies");
+                total += &(&count * &Rational::from(b.insts.len() as i64));
+            }
+        }
+        assert_eq!(
+            total,
+            Rational::from(run.stats.instructions as i64),
+            "params {params:?}"
+        );
+    }
+}
