@@ -9,7 +9,7 @@
 #![forbid(unsafe_code)]
 
 use offload_benchmarks::Benchmark;
-use offload_core::Analysis;
+use offload_core::{Analysis, Plan};
 use offload_runtime::{DeviceModel, SimError, Simulator};
 
 /// Result of running one parameter setting under local execution and
@@ -61,16 +61,16 @@ pub fn run_setting(
 ) -> Result<SettingRow, SimError> {
     let sim = Simulator::new(analysis, DeviceModel::ipaq_testbed());
     let input = (bench.make_input)(params);
-    let local = sim.run_local(params, &input)?;
+    let local = sim.run(Plan::AllLocal, params, &input)?;
     let mut choice_times = Vec::new();
     let mut choice_energy = Vec::new();
     for i in 0..analysis.partition.choices.len() {
-        let r = sim.run_choice(i, params, &input)?;
+        let r = sim.run(Plan::Remote(i), params, &input)?;
         assert_eq!(r.outputs, local.outputs, "behaviour preserved under choice {i}");
         choice_times.push(r.stats.total_time.to_f64());
         choice_energy.push(r.stats.energy.to_f64());
     }
-    let dispatched = analysis.select(params)?;
+    let (dispatched, _) = analysis.plan_for(params)?;
     Ok(SettingRow {
         label: label.into(),
         local_time: local.stats.total_time.to_f64(),

@@ -63,20 +63,18 @@ impl Benchmark {
     ///
     /// Propagates analysis failures.
     pub fn analyze(&self) -> Result<Analysis, AnalyzeError> {
-        let mut options = AnalysisOptions {
-            bounds: self.bounds.clone(),
-            annotate: Some(self.annotate),
-            ..Default::default()
-        };
+        let mut builder = AnalysisOptions::builder()
+            .bounds(self.bounds.clone())
+            .annotate_with(self.annotate);
         // The G.721 codecs, fft and susan produce networks of the size
         // for which the paper's exact region computation took thousands
         // of seconds; use the dominance-probing strategy there (see
         // `RegionStrategy::Dominance`). The ADPCM programs stay on the
         // exact Lemma 1 path.
         if matches!(self.name, "encode" | "decode" | "susan" | "fft") {
-            options.solve.region_strategy = offload_core::RegionStrategy::Dominance;
+            builder = builder.region_strategy(offload_core::RegionStrategy::Dominance);
         }
-        Analysis::from_source(&self.source, options)
+        Analysis::from_source(&self.source, builder.build())
     }
 }
 

@@ -234,6 +234,33 @@ impl Dispatcher {
         Ok(best.map(|(i, _)| i).unwrap_or(0))
     }
 
+    /// Reusable region test: does `choice`'s optimality region contain the
+    /// point induced by the concrete parameter values? This is the guard
+    /// of Figure 2 evaluated directly, exposed so other executors (the TCP
+    /// engine, external harnesses) can re-run the dispatcher's test for a
+    /// *specific* choice without reimplementing monomial evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DispatchError`] for missing annotations or wrong
+    /// arity.
+    pub fn region_contains(
+        &self,
+        pnet: &PartitionNetwork,
+        choice: &Partition,
+        params: &[i64],
+    ) -> Result<bool, DispatchError> {
+        if params.len() != self.dict.param_count() {
+            return Err(DispatchError::ArityMismatch {
+                expected: self.dict.param_count(),
+                got: params.len(),
+            });
+        }
+        let params: Vec<Rational> = params.iter().map(|&v| Rational::from(v)).collect();
+        let point = self.dim_point(pnet, &params)?;
+        Ok(choice.region.contains(&point))
+    }
+
     /// Renders the guard condition of a choice in the style of Figure 2,
     /// e.g. `(z - 12 > 0) && (6 - 5*y > 0)`.
     pub fn guard_text(&self, pnet: &PartitionNetwork, choice: &Partition) -> String {

@@ -53,8 +53,8 @@ pub use dispatch::{dummies_in_solution, AnnotationRule, Annotations, DispatchErr
 pub use items::{ItemTable, TrackedItem};
 pub use netbuild::{NetBuilder, ParamBounds, PartitionNetwork, Term, ValidityModel};
 pub use parametric::{
-    cut_cost_at, solve, Direction, ParametricPartition, Partition, RegionStrategy, SolveError,
-    SolveOptions, SolveStats,
+    cut_cost_at, solve, Direction, ParametricPartition, Partition, Plan, RegionStrategy,
+    SolveError, SolveOptions, SolveStats,
 };
 
 use offload_ir::Module;
@@ -62,10 +62,30 @@ use offload_pta::{ModRef, PointsTo};
 use offload_symbolic::Symbolic;
 use offload_tcfg::Tcfg;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// An annotation hook: builds [`Annotations`] from the discovered dummies.
+///
+/// Dummy ids only exist after the symbolic analysis runs, so callers that
+/// want to annotate supply a hook instead of a fixed table.
+pub type AnnotateFn = dyn Fn(&Symbolic) -> Annotations + Send + Sync;
+
 /// Options for a whole-program analysis.
-#[derive(Debug, Clone, Default)]
+///
+/// Construct via [`AnalysisOptions::builder`] (preferred), or field-by-field
+/// from [`Default`] — both remain supported:
+///
+/// ```
+/// use offload_core::{AnalysisOptions, RegionStrategy};
+///
+/// let opts = AnalysisOptions::builder()
+///     .region_strategy(RegionStrategy::Dominance)
+///     .annotate_with(|_sym| offload_core::Annotations::default())
+///     .build();
+/// # let _ = opts;
+/// ```
+#[derive(Clone, Default)]
 pub struct AnalysisOptions {
     /// Cost constants (defaults to the iPAQ-like testbed).
     pub cost: CostModel,
@@ -78,11 +98,107 @@ pub struct AnalysisOptions {
     /// supply a function instead of a fixed table). Takes precedence over
     /// `annotations` when set.
     pub annotate: Option<fn(&Symbolic) -> Annotations>,
+    /// Closure form of [`AnalysisOptions::annotate`]; set via the builder's
+    /// [`AnalysisOptionsBuilder::annotate_with`]. Takes precedence over both
+    /// `annotate` and `annotations` when set.
+    pub annotate_with: Option<Arc<AnnotateFn>>,
     /// Data-transfer model: the paper's validity states (default) or the
     /// traditional per-DU-chain charging it improves upon (§2.2 ablation).
     pub validity_model: ValidityModel,
     /// Solver options (simplification, degeneracy reduction).
     pub solve: SolveOptions,
+}
+
+impl fmt::Debug for AnalysisOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnalysisOptions")
+            .field("cost", &self.cost)
+            .field("bounds", &self.bounds)
+            .field("annotations", &self.annotations)
+            .field("annotate", &self.annotate.map(|_| "fn"))
+            .field("annotate_with", &self.annotate_with.as_ref().map(|_| "closure"))
+            .field("validity_model", &self.validity_model)
+            .field("solve", &self.solve)
+            .finish()
+    }
+}
+
+impl AnalysisOptions {
+    /// Starts a builder with all-default options.
+    pub fn builder() -> AnalysisOptionsBuilder {
+        AnalysisOptionsBuilder { opts: AnalysisOptions::default() }
+    }
+
+    /// Resolves the effective annotations for an analyzed program, honoring
+    /// the precedence `annotate_with` > `annotate` > `annotations`.
+    fn resolve_annotations(&self, symbolic: &Symbolic) -> Annotations {
+        if let Some(f) = &self.annotate_with {
+            f(symbolic)
+        } else if let Some(f) = self.annotate {
+            f(symbolic)
+        } else {
+            self.annotations.clone()
+        }
+    }
+}
+
+/// Fluent constructor for [`AnalysisOptions`].
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisOptionsBuilder {
+    opts: AnalysisOptions,
+}
+
+impl AnalysisOptionsBuilder {
+    /// Sets the cost constants.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.opts.cost = cost;
+        self
+    }
+
+    /// Sets the declared parameter bounds.
+    pub fn bounds(mut self, bounds: ParamBounds) -> Self {
+        self.opts.bounds = bounds;
+        self
+    }
+
+    /// Sets a fixed annotation table.
+    pub fn annotations(mut self, annotations: Annotations) -> Self {
+        self.opts.annotations = annotations;
+        self
+    }
+
+    /// Sets a closure that builds annotations from the discovered dummies
+    /// (runs after symbolic analysis; overrides `annotations`).
+    pub fn annotate_with<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&Symbolic) -> Annotations + Send + Sync + 'static,
+    {
+        self.opts.annotate_with = Some(Arc::new(f));
+        self
+    }
+
+    /// Sets the data-transfer charging model.
+    pub fn validity_model(mut self, model: ValidityModel) -> Self {
+        self.opts.validity_model = model;
+        self
+    }
+
+    /// Sets the full solver option block.
+    pub fn solve(mut self, solve: SolveOptions) -> Self {
+        self.opts.solve = solve;
+        self
+    }
+
+    /// Convenience: sets just the region strategy within the solver options.
+    pub fn region_strategy(mut self, strategy: RegionStrategy) -> Self {
+        self.opts.solve.region_strategy = strategy;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> AnalysisOptions {
+        self.opts
+    }
 }
 
 /// Errors from [`Analysis::from_source`].
@@ -262,10 +378,7 @@ impl Analysis {
         // never becomes a polyhedral dimension. Function-rule annotations
         // (e.g. log2 trip counts) stay as dimensions and are evaluated at
         // dispatch time.
-        let annotations = match options.annotate {
-            Some(f) => f(&symbolic),
-            None => options.annotations.clone(),
-        };
+        let annotations = options.resolve_annotations(&symbolic);
         for (d, rule) in annotations.exprs.clone() {
             if let AnnotationRule::Expr(e) = rule {
                 symbolic.substitute_dummy(d, &e);
@@ -317,6 +430,27 @@ impl Analysis {
     /// Returns [`DispatchError`] for missing annotations or wrong arity.
     pub fn select(&self, params: &[i64]) -> Result<usize, DispatchError> {
         self.dispatcher.select(&self.network, &self.partition, params)
+    }
+
+    /// Selects the partitioning choice for concrete parameter values and
+    /// returns it as an executable [`Plan`] alongside the choice index.
+    ///
+    /// This is the one-call bridge from analysis to execution: the result
+    /// feeds directly into the simulator's and the TCP engine's `run`
+    /// entry points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DispatchError`] for missing annotations or wrong arity.
+    pub fn plan_for(&self, params: &[i64]) -> Result<(usize, Plan<'_>), DispatchError> {
+        let choice = self.select(params)?;
+        let partition = &self.partition.choices[choice];
+        let plan = if partition.is_all_local() {
+            Plan::AllLocal
+        } else {
+            Plan::Partitioned(partition)
+        };
+        Ok((choice, plan))
     }
 
     /// The Figure 2-style guard text of each choice.

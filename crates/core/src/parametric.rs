@@ -58,6 +58,49 @@ impl Partition {
     }
 }
 
+/// What to execute: the single plan vocabulary shared by the simulator
+/// (`offload_runtime`), the TCP engine (`offload-net`) and the experiment
+/// harness (`offload-bench`).
+///
+/// `Remote` names a partitioning choice by index without borrowing it, so
+/// it can travel through configuration and over the wire; call
+/// [`Plan::resolve`] against the [`ParametricPartition`] before handing it
+/// to an executor.
+#[derive(Debug, Clone, Copy)]
+pub enum Plan<'a> {
+    /// Everything on the client (the paper's normalization baseline).
+    AllLocal,
+    /// Run under a specific partitioning choice.
+    Partitioned(&'a Partition),
+    /// Partitioning choice `i` of the analysis (an index into
+    /// [`ParametricPartition::choices`]), not yet resolved to a borrow.
+    Remote(usize),
+}
+
+impl<'a> Plan<'a> {
+    /// Resolves [`Plan::Remote`] to [`Plan::Partitioned`] against the
+    /// analysis' choice table; other variants pass through unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Remote` index is out of range.
+    pub fn resolve(self, partition: &'a ParametricPartition) -> Plan<'a> {
+        match self {
+            Plan::Remote(i) => Plan::Partitioned(&partition.choices[i]),
+            other => other,
+        }
+    }
+
+    /// `true` if this plan keeps every task on the client.
+    pub fn is_all_local(&self) -> bool {
+        match self {
+            Plan::AllLocal => true,
+            Plan::Partitioned(p) => p.is_all_local(),
+            Plan::Remote(_) => false,
+        }
+    }
+}
+
 /// Statistics of a parametric solve.
 #[derive(Debug, Clone, Default)]
 pub struct SolveStats {

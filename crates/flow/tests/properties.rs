@@ -1,24 +1,57 @@
 //! Property tests: max-flow/min-cut duality on random graphs, and
 //! soundness of the Lemma-1 optimality regions against brute-force
 //! minimum cuts.
+//!
+//! Randomized with a local xorshift generator instead of `proptest` (the
+//! offline build environment cannot fetch crates), so every run draws the
+//! same deterministic case set.
 
 use offload_flow::{Capacity, FlowNetwork, ParamCap, ParamNetwork};
 use offload_poly::{Constraint, LinExpr, Polyhedron, Rational};
-use proptest::prelude::*;
+
+/// Deterministic xorshift64* generator for the property loops.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo + 1) as u64) as usize
+    }
+
+    fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo + 1) as u64) as i64
+    }
+}
 
 fn r(n: i64) -> Rational {
     Rational::from(n)
 }
 
-/// Random small graph: 4-7 nodes, arcs with capacities 0..20.
-fn random_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize, i64)>)> {
-    (4usize..=7).prop_flat_map(|n| {
-        let arcs = prop::collection::vec(
-            (0..n, 0..n, 0i64..=20).prop_filter("no self arcs", |(f, t, _)| f != t),
-            1..=16,
-        );
-        (Just(n), arcs)
-    })
+/// Random small graph: 4-7 nodes, 1-16 arcs with capacities 0..20, no
+/// self-arcs.
+fn random_graph(rng: &mut Rng) -> (usize, Vec<(usize, usize, i64)>) {
+    let n = rng.usize_in(4, 7);
+    let mut arcs = Vec::new();
+    let count = rng.usize_in(1, 16);
+    while arcs.len() < count {
+        let f = rng.usize_in(0, n - 1);
+        let t = rng.usize_in(0, n - 1);
+        if f == t {
+            continue;
+        }
+        arcs.push((f, t, rng.i64_in(0, 20)));
+    }
+    (n, arcs)
 }
 
 /// Brute-force minimum cut by enumerating all side assignments.
@@ -38,89 +71,96 @@ fn brute_min_cut(n: usize, arcs: &[(usize, usize, i64)], s: usize, t: usize) -> 
     r(best.expect("at least the trivial cut"))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    #[test]
-    fn maxflow_equals_brute_force_mincut((n, arcs) in random_graph()) {
+#[test]
+fn maxflow_equals_brute_force_mincut() {
+    let mut rng = Rng::new(0xF10_1);
+    for _ in 0..CASES {
+        let (n, arcs) = random_graph(&mut rng);
         let (s, t) = (0, n - 1);
         let mut net = FlowNetwork::new(n, s, t);
         for &(f, to, c) in &arcs {
             net.add_arc(f, to, Capacity::Finite(r(c)));
         }
         let mf = net.max_flow().unwrap();
-        prop_assert_eq!(mf.value, brute_min_cut(n, &arcs, s, t));
+        assert_eq!(mf.value, brute_min_cut(n, &arcs, s, t));
     }
+}
 
-    #[test]
-    fn reported_cut_achieves_flow_value((n, arcs) in random_graph()) {
+#[test]
+fn reported_cut_achieves_flow_value() {
+    let mut rng = Rng::new(0xF10_2);
+    for _ in 0..CASES {
+        let (n, arcs) = random_graph(&mut rng);
         let (s, t) = (0, n - 1);
         let mut net = FlowNetwork::new(n, s, t);
         for &(f, to, c) in &arcs {
             net.add_arc(f, to, Capacity::Finite(r(c)));
         }
         let mf = net.max_flow().unwrap();
-        prop_assert!(mf.source_side[s]);
-        prop_assert!(!mf.source_side[t]);
+        assert!(mf.source_side[s]);
+        assert!(!mf.source_side[t]);
         let cut: Rational = net
             .arcs()
             .iter()
             .filter(|(f, to, _)| mf.source_side[*f] && !mf.source_side[*to])
             .map(|(_, _, c)| c.as_finite().unwrap().clone())
             .fold(Rational::zero(), |a, b| &a + &b);
-        prop_assert_eq!(mf.value, cut);
+        assert_eq!(mf.value, cut);
     }
+}
 
-    /// Parametric regions: at every integer point of a small range, a cut
-    /// whose region contains the point must achieve the true minimum there.
-    #[test]
-    fn optimality_regions_sound(
-        (n, arcs) in random_graph(),
-        slopes in prop::collection::vec(0i64..=3, 16),
-    ) {
+/// Parametric regions: at every integer point of a small range, a cut
+/// whose region contains the point must achieve the true minimum there.
+#[test]
+fn optimality_regions_sound() {
+    let mut rng = Rng::new(0xF10_3);
+    for _ in 0..CASES {
+        let (n, arcs) = random_graph(&mut rng);
         let (s, t) = (0, n - 1);
         let mut net = ParamNetwork::new(1, n, s, t);
-        for (i, &(f, to, c)) in arcs.iter().enumerate() {
-            let slope = slopes[i % slopes.len()];
+        for &(f, to, c) in &arcs {
+            let slope = rng.i64_in(0, 3);
             net.add_arc(
                 f,
                 to,
-                ParamCap::Affine(
-                    LinExpr::constant(1, r(c)).plus_term(0, r(slope)),
-                ),
+                ParamCap::Affine(LinExpr::constant(1, r(c)).plus_term(0, r(slope))),
             );
         }
-        let space = Polyhedron::from_constraints(1, vec![
-            Constraint::ge0(LinExpr::var(1, 0)),
-            Constraint::ge0(LinExpr::constant(1, r(8)).plus_term(0, r(-1))),
-        ]);
+        let space = Polyhedron::from_constraints(
+            1,
+            vec![
+                Constraint::ge0(LinExpr::var(1, 0)),
+                Constraint::ge0(LinExpr::constant(1, r(8)).plus_term(0, r(-1))),
+            ],
+        );
         // Solve at x = 2, get a cut, compute its region.
         let probe = [r(2)];
         let mf = net.solve_at(&probe).unwrap();
         let region = net.optimality_region(&mf.source_side, &space);
-        prop_assert!(region.contains(&probe), "cut must be optimal where it was found");
+        assert!(region.contains(&probe), "cut must be optimal where it was found");
         for x in 0..=8i64 {
             let p = [r(x)];
             if region.contains(&p) {
                 let best = net.solve_at(&p).unwrap().value;
                 let this = match net.cut_value_at(&mf.source_side, &p) {
                     Capacity::Finite(v) => v,
-                    Capacity::Infinite => {
-                        prop_assert!(false, "finite cut expected");
-                        unreachable!()
-                    }
+                    Capacity::Infinite => panic!("finite cut expected"),
                 };
-                prop_assert_eq!(this, best, "region over-claims at x={}", x);
+                assert_eq!(this, best, "region over-claims at x={x}");
             }
         }
     }
+}
 
-    /// Simplification never changes the min-cut value.
-    #[test]
-    fn simplification_value_preserving(
-        (n, arcs) in random_graph(),
-        inf_mask in any::<u16>(),
-    ) {
+/// Simplification never changes the min-cut value.
+#[test]
+fn simplification_value_preserving() {
+    let mut rng = Rng::new(0xF10_4);
+    for _ in 0..CASES {
+        let (n, arcs) = random_graph(&mut rng);
+        let inf_mask = rng.next() as u16;
         let (s, t) = (0, n - 1);
         let mut net = ParamNetwork::new(1, n, s, t);
         for (i, &(f, to, c)) in arcs.iter().enumerate() {
@@ -131,15 +171,20 @@ proptest! {
             };
             net.add_arc(f, to, cap);
         }
-        let space = Polyhedron::from_constraints(1, vec![Constraint::ge0(LinExpr::var(1, 0))]);
+        let space =
+            Polyhedron::from_constraints(1, vec![Constraint::ge0(LinExpr::var(1, 0))]);
         let (simplified, _) = net.simplify(&space);
         for x in [0i64, 3, 9] {
             let v1 = net.solve_at(&[r(x)]);
             let v2 = simplified.solve_at(&[r(x)]);
             match (v1, v2) {
-                (Ok(a), Ok(b)) => prop_assert_eq!(a.value, b.value),
+                (Ok(a), Ok(b)) => assert_eq!(a.value, b.value),
                 (Err(_), Err(_)) => {}
-                (a, b) => prop_assert!(false, "bounded/unbounded mismatch: {:?} vs {:?}", a.map(|m| m.value), b.map(|m| m.value)),
+                (a, b) => panic!(
+                    "bounded/unbounded mismatch: {:?} vs {:?}",
+                    a.map(|m| m.value),
+                    b.map(|m| m.value)
+                ),
             }
         }
     }

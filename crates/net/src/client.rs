@@ -1,0 +1,300 @@
+//! The client engine: the dispatcher loop over a real socket, with
+//! bounded retries, per-request deadlines, and graceful degradation to
+//! the all-local plan when the server is unreachable or dies mid-run.
+
+use crate::error::NetError;
+use crate::link::{serve, Conn, Served, TcpPeer};
+use crate::protocol::{fingerprint, WireMsg};
+use offload_core::{Analysis, Plan};
+use offload_pta::AbsLocId;
+use offload_runtime::{
+    ControlMsg, DeviceModel, Host, Machine, Outcome, RunResult, Runner, RuntimeError,
+};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Bounded, deterministic (jitter-free) exponential backoff, so tests
+/// and reproductions observe identical retry schedules.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total connection attempts (1 = no retry).
+    pub max_attempts: u32,
+    /// Delay before the second attempt; doubles each further attempt.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A single attempt, no waiting.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// The deterministic delay before attempt `n` (1-based; attempt 1 is
+    /// immediate): `min(base · 2^(n-2), max)`.
+    pub fn delay_before(&self, attempt: u32) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let factor = 1u32 << (attempt - 2).min(20);
+        (self.base_delay * factor).min(self.max_delay)
+    }
+}
+
+/// Client engine configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address, e.g. `"127.0.0.1:7070"`.
+    pub server: String,
+    /// Deadline for establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Per-request socket deadline (also bounds how long the client
+    /// waits for the server's turn to complete).
+    pub request_timeout: Duration,
+    /// Connection retry schedule.
+    pub retry: RetryPolicy,
+    /// Step budget forwarded to both halves (0 = executor default).
+    pub max_steps: u64,
+}
+
+impl ClientConfig {
+    /// Sensible defaults against the given server address.
+    pub fn new(server: impl Into<String>) -> Self {
+        ClientConfig {
+            server: server.into(),
+            connect_timeout: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(30),
+            retry: RetryPolicy::default(),
+            max_steps: 0,
+        }
+    }
+}
+
+/// What one adaptive run did, and how.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The partitioning choice the dispatcher selected.
+    pub choice: usize,
+    /// Outputs and virtual-cost statistics.
+    pub result: RunResult,
+    /// Whether the run actually executed over the network.
+    pub offloaded: bool,
+    /// Whether the engine degraded to the all-local plan.
+    pub fell_back: bool,
+    /// Why it degraded, when it did.
+    pub fallback_reason: Option<String>,
+    /// TCP connection attempts spent (0 when no connection was needed).
+    pub connect_attempts: u32,
+}
+
+/// The adaptive offloading engine: dispatch on the parameters, execute
+/// the chosen plan over TCP, fall back to all-local on transport
+/// failure.
+pub struct OffloadEngine<'a> {
+    analysis: &'a Analysis,
+    device: DeviceModel,
+    config: ClientConfig,
+    tracked: Vec<AbsLocId>,
+}
+
+impl<'a> OffloadEngine<'a> {
+    /// Creates an engine for one compiled analysis.
+    pub fn new(analysis: &'a Analysis, device: DeviceModel, config: ClientConfig) -> Self {
+        let tracked = analysis.items.items.iter().map(|i| i.loc).collect();
+        OffloadEngine { analysis, device, config, tracked }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Executes `main(params)` adaptively.
+    ///
+    /// Selects the partitioning choice for the parameter values (the
+    /// Figure 2 dispatch), then:
+    ///
+    /// * all-local choice → run locally, no connection;
+    /// * partitioned choice → run the client half here and the server
+    ///   half on the remote daemon, turn by turn over the socket.
+    ///
+    /// Transport failures — connect refusals after the retry budget,
+    /// deadline expiries, the server dying mid-run — degrade gracefully:
+    /// the run restarts under the all-local plan (the program is
+    /// deterministic and I/O is buffered, so re-execution is safe) and
+    /// the report records `fell_back = true` with the reason. Program
+    /// faults and server-reported runtime errors are *not* healed; they
+    /// propagate.
+    ///
+    /// # Errors
+    ///
+    /// Dispatch failures, program faults, and non-transport protocol
+    /// errors.
+    pub fn run(&self, params: &[i64], input: &[i64]) -> Result<RunReport, NetError> {
+        let (choice, plan) = self.analysis.plan_for(params)?;
+        let Plan::Partitioned(partition) = plan else {
+            let result = self.run_plan(Plan::AllLocal, params, input)?;
+            return Ok(RunReport {
+                choice,
+                result,
+                offloaded: false,
+                fell_back: false,
+                fallback_reason: None,
+                connect_attempts: 0,
+            });
+        };
+        match self.try_remote(choice, partition, params, input) {
+            Ok((result, connect_attempts)) => Ok(RunReport {
+                choice,
+                result,
+                offloaded: true,
+                fell_back: false,
+                fallback_reason: None,
+                connect_attempts,
+            }),
+            Err((e, connect_attempts)) if e.is_transport() => {
+                let result = self.run_plan(Plan::AllLocal, params, input)?;
+                Ok(RunReport {
+                    choice,
+                    result,
+                    offloaded: false,
+                    fell_back: true,
+                    fallback_reason: Some(e.to_string()),
+                    connect_attempts,
+                })
+            }
+            Err((e, _)) => Err(e),
+        }
+    }
+
+    fn runner<'b>(&'b self, plan: Plan<'b>) -> Runner<'b> {
+        Runner {
+            module: &self.analysis.module,
+            tcfg: &self.analysis.tcfg,
+            pta: &self.analysis.pta,
+            tracked_order: &self.tracked,
+            device: &self.device,
+            plan,
+            max_steps: self.config.max_steps,
+        }
+    }
+
+    /// In-process execution under a plan (the fallback path, and the
+    /// all-local fast path).
+    fn run_plan(
+        &self,
+        plan: Plan<'_>,
+        params: &[i64],
+        input: &[i64],
+    ) -> Result<RunResult, NetError> {
+        Ok(self.runner(plan).run(params, input)?)
+    }
+
+    /// Connects with the bounded deterministic retry schedule.
+    fn connect(&self) -> Result<(TcpStream, u32), (NetError, u32)> {
+        let addrs: Vec<SocketAddr> = match self.config.server.to_socket_addrs() {
+            Ok(a) => a.collect(),
+            Err(e) => return Err((NetError::io("resolving server address", e), 0)),
+        };
+        if addrs.is_empty() {
+            return Err((NetError::protocol("server address resolved to nothing"), 0));
+        }
+        let mut last: Option<std::io::Error> = None;
+        let mut attempts = 0;
+        for attempt in 1..=self.config.retry.max_attempts {
+            std::thread::sleep(self.config.retry.delay_before(attempt));
+            attempts = attempt;
+            match TcpStream::connect_timeout(&addrs[0], self.config.connect_timeout) {
+                Ok(s) => return Ok((s, attempts)),
+                Err(e) => last = Some(e),
+            }
+        }
+        let e = last.unwrap_or_else(|| std::io::Error::other("no attempt made"));
+        Err((
+            NetError::io(
+                format!("connecting to {} ({attempts} attempts)", self.config.server),
+                e,
+            ),
+            attempts,
+        ))
+    }
+
+    /// The full remote run: handshake, then the turn-taking loop.
+    fn try_remote(
+        &self,
+        choice: usize,
+        partition: &offload_core::Partition,
+        params: &[i64],
+        input: &[i64],
+    ) -> Result<(RunResult, u32), (NetError, u32)> {
+        let (stream, attempts) = self.connect()?;
+        let fail = |e: NetError| (e, attempts);
+        let mut conn =
+            Conn::new(stream, Some(self.config.request_timeout)).map_err(fail)?;
+
+        // Handshake: agree on program, plan and parameters.
+        let id = conn
+            .send(WireMsg::Hello {
+                fingerprint: fingerprint(self.analysis),
+                choice: choice as u32,
+                params: params.to_vec(),
+                max_steps: self.config.max_steps,
+            })
+            .map_err(fail)?;
+        let ack = conn.recv().map_err(fail)?;
+        match ack.msg {
+            WireMsg::HelloAck if ack.request_id == id => {}
+            WireMsg::Error(m) => return Err(fail(NetError::HandshakeRefused(m))),
+            other => {
+                return Err(fail(NetError::protocol(format!(
+                    "expected HelloAck, got {}",
+                    other.kind()
+                ))))
+            }
+        }
+
+        // The client half of the executor; the server built its twin from
+        // the Hello.
+        let runner = self.runner(Plan::Partitioned(partition));
+        let mut machine = Machine::new(&runner, Host::Client, params, input);
+        let mut msg = ControlMsg::start();
+        loop {
+            let mut peer = TcpPeer::new(&mut conn);
+            match machine.run_turn(msg, &mut peer) {
+                Ok(Outcome::Yield(out)) => {
+                    conn.send(WireMsg::Control(Box::new(out))).map_err(fail)?;
+                    match serve(&mut machine, &mut conn).map_err(fail)? {
+                        Served::Control(back) => msg = back,
+                        Served::Bye => {
+                            return Err(fail(NetError::protocol(
+                                "server ended the session mid-run",
+                            )))
+                        }
+                    }
+                }
+                Ok(Outcome::Done) => {
+                    // Orderly teardown; the result no longer depends on
+                    // the socket, so send errors are ignored.
+                    let _ = conn.send(WireMsg::Bye);
+                    return Ok((machine.into_result(), attempts));
+                }
+                Err(e @ RuntimeError::HostLink(_)) => return Err(fail(e.into())),
+                Err(e) => {
+                    let _ = conn.send(WireMsg::Error(e.to_string()));
+                    return Err(fail(e.into()));
+                }
+            }
+        }
+    }
+}

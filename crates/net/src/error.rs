@@ -1,0 +1,124 @@
+//! One `?`-friendly error for the whole client/server engine, with
+//! manual `std::error::Error` impls that chain causes via `source()`.
+
+use offload_core::DispatchError;
+use offload_runtime::{RuntimeError, SimError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the TCP offload engine.
+#[derive(Debug)]
+pub enum NetError {
+    /// A socket operation failed (connect, read, write, deadline expiry).
+    Io {
+        /// What the engine was doing.
+        context: String,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+    /// The peer sent bytes that do not parse as the protocol.
+    Protocol(String),
+    /// Client and server speak different protocol versions.
+    VersionMismatch {
+        /// Our version.
+        ours: u8,
+        /// The peer's version.
+        theirs: u8,
+    },
+    /// Client and server loaded different compiled analyses.
+    FingerprintMismatch {
+        /// Our fingerprint.
+        ours: u64,
+        /// The peer's fingerprint.
+        theirs: u64,
+    },
+    /// The server refused the session up front (mismatched program,
+    /// unknown choice): nothing was executed remotely, so the client may
+    /// heal by running locally.
+    HandshakeRefused(String),
+    /// The server reported a failure of its half of the run.
+    Remote(String),
+    /// The local half of the run failed (a program fault, not transport).
+    Runtime(RuntimeError),
+    /// Selecting a partitioning choice failed.
+    Dispatch(DispatchError),
+}
+
+impl NetError {
+    /// Wraps an I/O failure with context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> NetError {
+        NetError::Io { context: context.into(), source }
+    }
+
+    /// A malformed-bytes failure.
+    pub fn protocol(msg: impl Into<String>) -> NetError {
+        NetError::Protocol(msg.into())
+    }
+
+    /// True for failures of the *transport* (as opposed to the program or
+    /// the dispatch): exactly the class the client engine may heal by
+    /// re-executing with the all-local plan.
+    pub fn is_transport(&self) -> bool {
+        match self {
+            NetError::Io { .. }
+            | NetError::Protocol(_)
+            | NetError::VersionMismatch { .. }
+            | NetError::FingerprintMismatch { .. }
+            | NetError::HandshakeRefused(_) => true,
+            NetError::Runtime(RuntimeError::HostLink(_)) => true,
+            NetError::Remote(_) | NetError::Runtime(_) | NetError::Dispatch(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io { context, source } => write!(f, "i/o while {context}: {source}"),
+            NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            NetError::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours v{ours}, peer v{theirs}")
+            }
+            NetError::FingerprintMismatch { ours, theirs } => write!(
+                f,
+                "program fingerprint mismatch: ours {ours:#018x}, peer {theirs:#018x}"
+            ),
+            NetError::HandshakeRefused(m) => write!(f, "server refused the session: {m}"),
+            NetError::Remote(m) => write!(f, "server-side failure: {m}"),
+            NetError::Runtime(e) => write!(f, "runtime failure: {e}"),
+            NetError::Dispatch(e) => write!(f, "dispatch failure: {e}"),
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetError::Io { source, .. } => Some(source),
+            NetError::Runtime(e) => Some(e),
+            NetError::Dispatch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for NetError {
+    fn from(e: RuntimeError) -> Self {
+        NetError::Runtime(e)
+    }
+}
+
+impl From<DispatchError> for NetError {
+    fn from(e: DispatchError) -> Self {
+        NetError::Dispatch(e)
+    }
+}
+
+impl From<SimError> for NetError {
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::Runtime(e) => NetError::Runtime(e),
+            SimError::Dispatch(e) => NetError::Dispatch(e),
+        }
+    }
+}

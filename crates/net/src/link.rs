@@ -1,0 +1,180 @@
+//! The shared connection layer: framed streams, the request/response
+//! peer link the active machine drives, and the serve loop the passive
+//! machine answers with.
+
+use crate::error::NetError;
+use crate::protocol::{read_frame, write_frame, WireFrame, WireMsg};
+use offload_pta::AbsLocId;
+use offload_runtime::{ControlMsg, ExecHost, HostError, ItemPayload, Machine};
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A framed, request-counting TCP connection.
+pub struct Conn {
+    stream: TcpStream,
+    next_id: u64,
+    /// Fault injection: abort the connection after this many more frames
+    /// (sent + received). Used by tests to kill a server mid-run.
+    frame_budget: Option<u64>,
+}
+
+impl Conn {
+    /// Wraps a connected stream with per-request deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Socket-option failures.
+    pub fn new(stream: TcpStream, deadline: Option<Duration>) -> Result<Conn, NetError> {
+        stream.set_nodelay(true).map_err(|e| NetError::io("setting nodelay", e))?;
+        stream
+            .set_read_timeout(deadline)
+            .map_err(|e| NetError::io("setting read deadline", e))?;
+        stream
+            .set_write_timeout(deadline)
+            .map_err(|e| NetError::io("setting write deadline", e))?;
+        Ok(Conn { stream, next_id: 0, frame_budget: None })
+    }
+
+    /// Arms fault injection: after `n` more frames the connection
+    /// pretends to die abruptly.
+    pub fn fail_after_frames(&mut self, n: u64) {
+        self.frame_budget = Some(n);
+    }
+
+    fn spend_frame(&mut self) -> Result<(), NetError> {
+        if let Some(budget) = &mut self.frame_budget {
+            if *budget == 0 {
+                // Shut down the socket so the peer observes a dead
+                // connection, exactly like a crashed process.
+                let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                return Err(NetError::io(
+                    "fault injection",
+                    io::Error::new(io::ErrorKind::ConnectionAborted, "injected crash"),
+                ));
+            }
+            *budget -= 1;
+        }
+        Ok(())
+    }
+
+    /// Sends a message under a fresh request id; returns the id.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn send(&mut self, msg: WireMsg) -> Result<u64, NetError> {
+        self.spend_frame()?;
+        self.next_id += 1;
+        let id = self.next_id;
+        write_frame(&mut self.stream, &WireFrame { request_id: id, msg })?;
+        Ok(id)
+    }
+
+    /// Sends a reply echoing the request id it answers.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn reply(&mut self, request_id: u64, msg: WireMsg) -> Result<(), NetError> {
+        self.spend_frame()?;
+        write_frame(&mut self.stream, &WireFrame { request_id, msg })
+    }
+
+    /// Receives the next frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, deadline expiry, malformed frames.
+    pub fn recv(&mut self) -> Result<WireFrame, NetError> {
+        self.spend_frame()?;
+        read_frame(&mut self.stream)
+    }
+}
+
+/// The active side's view of the remote host: item fetches and pushes as
+/// request/response round trips on the framed connection.
+pub struct TcpPeer<'c> {
+    conn: &'c mut Conn,
+}
+
+impl<'c> TcpPeer<'c> {
+    /// Wraps a connection for the duration of one turn.
+    pub fn new(conn: &'c mut Conn) -> Self {
+        TcpPeer { conn }
+    }
+
+    fn round_trip(&mut self, msg: WireMsg) -> Result<WireMsg, NetError> {
+        let id = self.conn.send(msg)?;
+        let frame = self.conn.recv()?;
+        if frame.request_id != id {
+            return Err(NetError::protocol(format!(
+                "reply id {} does not match request id {id}",
+                frame.request_id
+            )));
+        }
+        Ok(frame.msg)
+    }
+}
+
+impl ExecHost for TcpPeer<'_> {
+    fn fetch_item(&mut self, item: AbsLocId) -> Result<ItemPayload, HostError> {
+        match self.round_trip(WireMsg::FetchItem { item: item.index() as u32 }) {
+            Ok(WireMsg::ItemData(payload)) => Ok(payload),
+            Ok(other) => Err(HostError(format!("expected ItemData, got {}", other.kind()))),
+            Err(e) => Err(HostError(e.to_string())),
+        }
+    }
+
+    fn push_item(&mut self, item: AbsLocId, payload: ItemPayload) -> Result<(), HostError> {
+        match self.round_trip(WireMsg::PushItem { item: item.index() as u32, payload }) {
+            Ok(WireMsg::PushAck) => Ok(()),
+            Ok(other) => Err(HostError(format!("expected PushAck, got {}", other.kind()))),
+            Err(e) => Err(HostError(e.to_string())),
+        }
+    }
+}
+
+/// How a passive serve loop ended.
+pub enum Served {
+    /// The peer handed control over.
+    Control(ControlMsg),
+    /// The peer closed the session (client-initiated `Bye`).
+    Bye,
+}
+
+/// Runs the passive side: answer the active host's item traffic against
+/// the local machine until control (or the session end) arrives.
+///
+/// # Errors
+///
+/// Transport failures, and [`NetError::Remote`] if the peer reports its
+/// half of the run failed.
+pub fn serve(machine: &mut Machine<'_>, conn: &mut Conn) -> Result<Served, NetError> {
+    loop {
+        let frame = conn.recv()?;
+        match frame.msg {
+            WireMsg::FetchItem { item } => {
+                let payload = machine
+                    .fetch_item(AbsLocId(item))
+                    .map_err(|e| NetError::protocol(e.0))?;
+                conn.reply(frame.request_id, WireMsg::ItemData(payload))?;
+            }
+            WireMsg::PushItem { item, payload } => {
+                machine
+                    .push_item(AbsLocId(item), payload)
+                    .map_err(|e| NetError::protocol(e.0))?;
+                conn.reply(frame.request_id, WireMsg::PushAck)?;
+            }
+            WireMsg::Control(m) => return Ok(Served::Control(*m)),
+            WireMsg::Error(m) => return Err(NetError::Remote(m)),
+            WireMsg::Bye => return Ok(Served::Bye),
+            other => {
+                return Err(NetError::protocol(format!(
+                    "unexpected {} while serving",
+                    other.kind()
+                )))
+            }
+        }
+    }
+}

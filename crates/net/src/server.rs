@@ -1,0 +1,182 @@
+//! The server daemon: loads a compiled [`Analysis`], listens for client
+//! sessions, and executes the server half of each partitioned run.
+
+use crate::error::NetError;
+use crate::link::{serve, Conn, Served, TcpPeer};
+use crate::protocol::{fingerprint, WireMsg};
+use offload_core::{Analysis, Plan};
+use offload_pta::AbsLocId;
+use offload_runtime::{DeviceModel, Host, Machine, Outcome, Runner};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-request socket deadline; `None` blocks indefinitely (the
+    /// server legitimately idles while the client computes).
+    pub request_timeout: Option<Duration>,
+    /// Fault injection for tests: each session's connection dies abruptly
+    /// after this many frames.
+    pub fail_after_frames: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { request_timeout: Some(Duration::from_secs(60)), fail_after_frames: None }
+    }
+}
+
+/// The offload server daemon.
+pub struct OffloadServer;
+
+impl OffloadServer {
+    /// Binds a listener (use port 0 for an OS-assigned port), spawns the
+    /// accept loop, and returns a handle for address discovery and
+    /// shutdown. Each accepted connection is served on its own thread.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        analysis: Arc<Analysis>,
+        device: DeviceModel,
+        config: ServerConfig,
+    ) -> Result<ServerHandle, NetError> {
+        let listener = TcpListener::bind(addr).map_err(|e| NetError::io("binding listener", e))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| NetError::io("reading bound address", e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NetError::io("setting listener nonblocking", e))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = stop.clone();
+        let accept = std::thread::spawn(move || {
+            while !stop_accept.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let analysis = analysis.clone();
+                        let device = device.clone();
+                        let config = config.clone();
+                        std::thread::spawn(move || {
+                            // A failed session must not take the daemon
+                            // down; the client heals by falling back.
+                            let _ = handle_session(stream, &analysis, &device, &config);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        });
+        Ok(ServerHandle { addr: local, stop, accept: Some(accept) })
+    }
+}
+
+/// A running server: its address and a shutdown switch.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept loop. Sessions
+    /// already in flight run to completion on their own threads.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One client session: handshake, then alternate between serving the
+/// active client and running our own turns.
+fn handle_session(
+    stream: TcpStream,
+    analysis: &Analysis,
+    device: &DeviceModel,
+    config: &ServerConfig,
+) -> Result<(), NetError> {
+    let mut conn = Conn::new(stream, config.request_timeout)?;
+    if let Some(n) = config.fail_after_frames {
+        conn.fail_after_frames(n);
+    }
+
+    // Handshake.
+    let hello = conn.recv()?;
+    let (choice, params, max_steps) = match hello.msg {
+        WireMsg::Hello { fingerprint: fp, choice, params, max_steps } => {
+            let ours = fingerprint(analysis);
+            if fp != ours {
+                let e = NetError::FingerprintMismatch { ours, theirs: fp };
+                let _ = conn.reply(hello.request_id, WireMsg::Error(e.to_string()));
+                return Err(e);
+            }
+            if choice as usize >= analysis.partition.choices.len() {
+                let msg = format!("choice {choice} out of range");
+                let _ = conn.reply(hello.request_id, WireMsg::Error(msg.clone()));
+                return Err(NetError::protocol(msg));
+            }
+            (choice as usize, params, max_steps)
+        }
+        other => {
+            return Err(NetError::protocol(format!("expected Hello, got {}", other.kind())))
+        }
+    };
+    conn.reply(hello.request_id, WireMsg::HelloAck)?;
+
+    // The server half of the executor, configured identically to the
+    // client's (same analysis, same plan, same device constants).
+    let tracked: Vec<AbsLocId> = analysis.items.items.iter().map(|i| i.loc).collect();
+    let runner = Runner {
+        module: &analysis.module,
+        tcfg: &analysis.tcfg,
+        pta: &analysis.pta,
+        tracked_order: &tracked,
+        device,
+        plan: Plan::Partitioned(&analysis.partition.choices[choice]),
+        max_steps,
+    };
+    let mut machine = Machine::new(&runner, Host::Server, &params, &[]);
+
+    loop {
+        match serve(&mut machine, &mut conn)? {
+            Served::Bye => return Ok(()),
+            Served::Control(msg) => {
+                let mut peer = TcpPeer::new(&mut conn);
+                match machine.run_turn(msg, &mut peer) {
+                    Ok(Outcome::Yield(back)) => {
+                        conn.send(WireMsg::Control(Box::new(back)))?;
+                    }
+                    // The run never terminates on the server: an empty
+                    // stack yields a `Finish` control home instead.
+                    Ok(Outcome::Done) => return Ok(()),
+                    Err(e) => {
+                        let _ = conn.send(WireMsg::Error(e.to_string()));
+                        return Err(e.into());
+                    }
+                }
+            }
+        }
+    }
+}

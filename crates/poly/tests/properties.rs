@@ -1,176 +1,226 @@
 //! Property-based tests for the exact-arithmetic and polyhedral substrate.
+//!
+//! Randomized with a local xorshift generator instead of `proptest` (the
+//! offline build environment cannot fetch crates), so every run draws the
+//! same deterministic case set.
 
 use offload_poly::{BigInt, Constraint, LinExpr, Polyhedron, Rational, Region};
-use proptest::prelude::*;
+
+/// Deterministic xorshift64* generator for the property loops.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive).
+    fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next() % span) as i64
+    }
+
+    fn i128_in(&mut self, lo: i128, hi: i128) -> i128 {
+        let span = hi.wrapping_sub(lo) as u128;
+        let raw = (self.next() as u128) << 64 | self.next() as u128;
+        if span == u128::MAX {
+            return raw as i128;
+        }
+        lo.wrapping_add((raw % (span + 1)) as i128)
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
 
 fn bi(v: i128) -> BigInt {
     BigInt::from(v)
 }
 
-proptest! {
-    #[test]
-    fn bigint_add_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000, b in -1_000_000_000_000i128..1_000_000_000_000) {
-        prop_assert_eq!((&bi(a) + &bi(b)).to_i128(), Some(a + b));
-    }
+const CASES: usize = 256;
 
-    #[test]
-    fn bigint_mul_matches_i128(a in -1_000_000_000i128..1_000_000_000, b in -1_000_000_000i128..1_000_000_000) {
-        prop_assert_eq!((&bi(a) * &bi(b)).to_i128(), Some(a * b));
-    }
-
-    #[test]
-    fn bigint_divmod_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000, b in -1_000_000i128..1_000_000) {
-        prop_assume!(b != 0);
-        let (q, r) = bi(a).div_rem(&bi(b));
-        prop_assert_eq!(q.to_i128(), Some(a / b));
-        prop_assert_eq!(r.to_i128(), Some(a % b));
-    }
-
-    #[test]
-    fn bigint_display_parse_roundtrip(a in any::<i128>()) {
-        let v = bi(a);
-        let s = v.to_string();
-        prop_assert_eq!(s.parse::<BigInt>().unwrap(), v);
-        prop_assert_eq!(s, a.to_string());
-    }
-
-    #[test]
-    fn bigint_gcd_divides_both(a in -100_000i128..100_000, b in -100_000i128..100_000) {
-        prop_assume!(a != 0 || b != 0);
-        let g = bi(a).gcd(&bi(b));
-        prop_assert!(g.is_positive());
-        prop_assert!((&bi(a) % &g).is_zero());
-        prop_assert!((&bi(b) % &g).is_zero());
-    }
-
-    #[test]
-    fn rational_field_axioms(
-        an in -1000i64..1000, ad in 1i64..50,
-        bn in -1000i64..1000, bd in 1i64..50,
-        cn in -1000i64..1000, cd in 1i64..50,
-    ) {
-        let a = Rational::new(an, ad);
-        let b = Rational::new(bn, bd);
-        let c = Rational::new(cn, cd);
-        // Commutativity and associativity.
-        prop_assert_eq!(&a + &b, &b + &a);
-        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
-        prop_assert_eq!(&a * &b, &b * &a);
-        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
-        // Distributivity.
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
-        // Inverses.
-        prop_assert_eq!(&a - &a, Rational::zero());
-        if !a.is_zero() {
-            prop_assert_eq!(&a / &a, Rational::one());
-            prop_assert_eq!(&a * &a.recip(), Rational::one());
+#[test]
+fn bigint_arithmetic_matches_i128() {
+    let mut rng = Rng::new(0xB16_1);
+    for _ in 0..CASES {
+        let a = rng.i128_in(-1_000_000_000_000, 1_000_000_000_000);
+        let b = rng.i128_in(-1_000_000_000_000, 1_000_000_000_000);
+        assert_eq!((&bi(a) + &bi(b)).to_i128(), Some(a + b));
+        let am = rng.i128_in(-1_000_000_000, 1_000_000_000);
+        let bm = rng.i128_in(-1_000_000_000, 1_000_000_000);
+        assert_eq!((&bi(am) * &bi(bm)).to_i128(), Some(am * bm));
+        let d = rng.i128_in(-1_000_000, 1_000_000);
+        if d != 0 {
+            let (q, r) = bi(a).div_rem(&bi(d));
+            assert_eq!(q.to_i128(), Some(a / d));
+            assert_eq!(r.to_i128(), Some(a % d));
         }
     }
+}
 
-    #[test]
-    fn rational_order_total(
-        an in -100i64..100, ad in 1i64..20,
-        bn in -100i64..100, bd in 1i64..20,
-    ) {
+#[test]
+fn bigint_display_parse_roundtrip() {
+    let mut rng = Rng::new(0xB16_2);
+    for _ in 0..CASES {
+        let a = rng.i128_in(i128::MIN + 1, i128::MAX);
+        let v = bi(a);
+        let s = v.to_string();
+        assert_eq!(s.parse::<BigInt>().unwrap(), v);
+        assert_eq!(s, a.to_string());
+    }
+}
+
+#[test]
+fn bigint_gcd_divides_both() {
+    let mut rng = Rng::new(0xB16_3);
+    for _ in 0..CASES {
+        let a = rng.i128_in(-100_000, 100_000);
+        let b = rng.i128_in(-100_000, 100_000);
+        if a == 0 && b == 0 {
+            continue;
+        }
+        let g = bi(a).gcd(&bi(b));
+        assert!(g.is_positive());
+        assert!((&bi(a) % &g).is_zero());
+        assert!((&bi(b) % &g).is_zero());
+    }
+}
+
+#[test]
+fn rational_field_axioms() {
+    let mut rng = Rng::new(0xA710);
+    for _ in 0..CASES {
+        let a = Rational::new(rng.i64_in(-1000, 1000), rng.i64_in(1, 50));
+        let b = Rational::new(rng.i64_in(-1000, 1000), rng.i64_in(1, 50));
+        let c = Rational::new(rng.i64_in(-1000, 1000), rng.i64_in(1, 50));
+        // Commutativity and associativity.
+        assert_eq!(&a + &b, &b + &a);
+        assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        assert_eq!(&a * &b, &b * &a);
+        assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        // Distributivity.
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        // Inverses.
+        assert_eq!(&a - &a, Rational::zero());
+        if !a.is_zero() {
+            assert_eq!(&a / &a, Rational::one());
+            assert_eq!(&a * &a.recip(), Rational::one());
+        }
+    }
+}
+
+#[test]
+fn rational_order_total() {
+    let mut rng = Rng::new(0xA711);
+    for _ in 0..CASES {
+        let (an, ad) = (rng.i64_in(-100, 100), rng.i64_in(1, 20));
+        let (bn, bd) = (rng.i64_in(-100, 100), rng.i64_in(1, 20));
         let a = Rational::new(an, ad);
         let b = Rational::new(bn, bd);
         let lhs = (an as i128) * (bd as i128);
         let rhs = (bn as i128) * (ad as i128);
-        prop_assert_eq!(a.cmp(&b), lhs.cmp(&rhs));
+        assert_eq!(a.cmp(&b), lhs.cmp(&rhs));
     }
 }
 
-/// Strategy: a random half-space `c0*x0 + c1*x1 + c2*x2 + k >= 0` in 3D.
-fn halfspace() -> impl Strategy<Value = Constraint> {
-    (
-        prop::collection::vec(-5i64..=5, 3),
-        -20i64..=20,
-        prop::bool::ANY,
-    )
-        .prop_map(|(coeffs, k, strict)| {
-            let mut e = LinExpr::constant(3, Rational::from(k));
-            for (i, c) in coeffs.into_iter().enumerate() {
-                e = e.plus_term(i, Rational::from(c));
-            }
-            if strict {
-                Constraint::gt0(e)
-            } else {
-                Constraint::ge0(e)
-            }
-        })
+/// A random half-space `c0*x0 + c1*x1 + c2*x2 + k >= 0` (or `> 0`) in 3D.
+fn halfspace(rng: &mut Rng) -> Constraint {
+    let mut e = LinExpr::constant(3, Rational::from(rng.i64_in(-20, 20)));
+    for i in 0..3 {
+        e = e.plus_term(i, Rational::from(rng.i64_in(-5, 5)));
+    }
+    if rng.bool() {
+        Constraint::gt0(e)
+    } else {
+        Constraint::ge0(e)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn halfspaces(rng: &mut Rng, lo: usize, hi: usize) -> Vec<Constraint> {
+    let n = rng.i64_in(lo as i64, hi as i64) as usize;
+    (0..n).map(|_| halfspace(rng)).collect()
+}
 
-    /// If the polyhedron is declared non-empty, the sampled witness must
-    /// satisfy every constraint.
-    #[test]
-    fn sample_is_sound(cs in prop::collection::vec(halfspace(), 0..7)) {
-        let p = Polyhedron::from_constraints(3, cs);
+fn probe3(rng: &mut Rng) -> Vec<Rational> {
+    (0..3).map(|_| Rational::from(rng.i64_in(-10, 10))).collect()
+}
+
+/// If the polyhedron is declared non-empty, the sampled witness must
+/// satisfy every constraint.
+#[test]
+fn sample_is_sound() {
+    let mut rng = Rng::new(0x5A3);
+    for _ in 0..64 {
+        let p = Polyhedron::from_constraints(3, halfspaces(&mut rng, 0, 6));
         if let Some(point) = p.sample() {
-            prop_assert!(p.contains(&point));
+            assert!(p.contains(&point));
         }
     }
+}
 
-    /// Fourier–Motzkin projection soundness: if a point is in the original
-    /// polyhedron, dropping a coordinate lands inside the projection; and
-    /// any sample of the projection extends to a witness in the original.
-    #[test]
-    fn projection_sound_and_tight(
-        cs in prop::collection::vec(halfspace(), 0..6),
-        probe in prop::collection::vec(-10i64..=10, 3),
-    ) {
-        let p = Polyhedron::from_constraints(3, cs);
+/// Fourier–Motzkin projection soundness: if a point is in the original
+/// polyhedron, dropping a coordinate lands inside the projection; and
+/// the projection is empty exactly when the original is.
+#[test]
+fn projection_sound_and_tight() {
+    let mut rng = Rng::new(0x5A4);
+    for _ in 0..64 {
+        let p = Polyhedron::from_constraints(3, halfspaces(&mut rng, 0, 5));
         let proj = p.eliminate_var(2);
-        let probe: Vec<Rational> = probe.into_iter().map(Rational::from).collect();
+        let probe = probe3(&mut rng);
         if p.contains(&probe) {
-            prop_assert!(proj.contains(&probe), "projection must contain shadow of member point");
+            assert!(proj.contains(&probe), "projection must contain shadow of member point");
         }
-        // Tightness: the projection is empty exactly when the original is.
-        prop_assert_eq!(p.is_empty(), proj.is_empty());
+        assert_eq!(p.is_empty(), proj.is_empty());
     }
+}
 
-    /// Region subtraction is exact: membership in `a \ b` equals
-    /// membership in `a` and not in `b`, at every probe point.
-    #[test]
-    fn region_subtraction_pointwise(
-        cs_a in prop::collection::vec(halfspace(), 0..4),
-        cs_b in prop::collection::vec(halfspace(), 1..4),
-        probe in prop::collection::vec(-10i64..=10, 3),
-    ) {
-        let a = Polyhedron::from_constraints(3, cs_a);
-        let b = Polyhedron::from_constraints(3, cs_b);
+/// Region subtraction is exact: membership in `a \ b` equals membership
+/// in `a` and not in `b`, at every probe point.
+#[test]
+fn region_subtraction_pointwise() {
+    let mut rng = Rng::new(0x5A5);
+    for _ in 0..64 {
+        let a = Polyhedron::from_constraints(3, halfspaces(&mut rng, 0, 3));
+        let b = Polyhedron::from_constraints(3, halfspaces(&mut rng, 1, 3));
         let diff = Region::from(a.clone()).subtract(&b);
-        let probe: Vec<Rational> = probe.into_iter().map(Rational::from).collect();
+        let probe = probe3(&mut rng);
         let expect = a.contains(&probe) && !b.contains(&probe);
-        prop_assert_eq!(diff.contains(&probe), expect);
+        assert_eq!(diff.contains(&probe), expect);
     }
+}
 
-    /// Pieces produced by subtraction are pairwise disjoint.
-    #[test]
-    fn region_pieces_disjoint(
-        cs_b in prop::collection::vec(halfspace(), 1..4),
-        probe in prop::collection::vec(-10i64..=10, 3),
-    ) {
-        let b = Polyhedron::from_constraints(3, cs_b);
+/// Pieces produced by subtraction are pairwise disjoint.
+#[test]
+fn region_pieces_disjoint() {
+    let mut rng = Rng::new(0x5A6);
+    for _ in 0..64 {
+        let b = Polyhedron::from_constraints(3, halfspaces(&mut rng, 1, 3));
         let diff = Region::universe(3).subtract(&b);
-        let probe: Vec<Rational> = probe.into_iter().map(Rational::from).collect();
+        let probe = probe3(&mut rng);
         let hits = diff.pieces().iter().filter(|p| p.contains(&probe)).count();
-        prop_assert!(hits <= 1, "disjoint pieces: point hit {hits} pieces");
+        assert!(hits <= 1, "disjoint pieces: point hit {hits} pieces");
     }
+}
 
-    /// subset_of agrees with pointwise membership on witnesses.
-    #[test]
-    fn subset_of_no_false_positives(
-        cs_a in prop::collection::vec(halfspace(), 0..4),
-        cs_b in prop::collection::vec(halfspace(), 0..4),
-    ) {
-        let a = Polyhedron::from_constraints(3, cs_a);
-        let b = Polyhedron::from_constraints(3, cs_b);
+/// subset_of agrees with pointwise membership on witnesses.
+#[test]
+fn subset_of_no_false_positives() {
+    let mut rng = Rng::new(0x5A7);
+    for _ in 0..64 {
+        let a = Polyhedron::from_constraints(3, halfspaces(&mut rng, 0, 3));
+        let b = Polyhedron::from_constraints(3, halfspaces(&mut rng, 0, 3));
         if a.subset_of(&b) {
             if let Some(w) = a.sample() {
-                prop_assert!(b.contains(&w));
+                assert!(b.contains(&w));
             }
         }
     }

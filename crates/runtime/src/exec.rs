@@ -13,19 +13,22 @@
 //! pull (a costed round trip). Output correctness therefore never depends
 //! on the quality of the static transfer schedule — only performance
 //! does, exactly like a real system.
+//!
+//! The interpreter itself lives in [`crate::host`]: one [`Machine`] per
+//! host, talking to its peer through the [`ExecHost`] link. [`Runner`]
+//! is the in-process wiring — both machines in one address space, the
+//! peer link a direct method call. `offload-net` reuses the identical
+//! machines over a TCP link.
 
 use crate::device::DeviceModel;
-use crate::value::{ObjKey, Value};
-use offload_core::{Direction, Partition};
-use offload_ir::{
-    AllocSiteId, BlockId, Callee, FuncId, Inst, IrBinOp, LocalId, LocalKind, Module, Operand,
-    Terminator,
-};
+use crate::host::{ControlMsg, HostError, Machine, Outcome};
+use offload_ir::Module;
+use offload_pta::{AbsLocId, PointsTo};
 use offload_poly::Rational;
-use offload_pta::{AbsLoc, AbsLocId, PointsTo};
-use offload_tcfg::{EdgeKind, SegmentId, TaskId, Tcfg};
-use std::collections::{HashMap, HashSet};
+use offload_tcfg::Tcfg;
 use std::fmt;
+
+pub use offload_core::Plan;
 
 /// Which host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,14 +40,16 @@ pub enum Host {
 }
 
 impl Host {
-    fn index(self) -> usize {
+    /// Index into `[client, server]` state pairs.
+    pub fn index(self) -> usize {
         match self {
             Host::Client => 0,
             Host::Server => 1,
         }
     }
 
-    fn other(self) -> Host {
+    /// The opposite host.
+    pub fn other(self) -> Host {
         match self {
             Host::Client => Host::Server,
             Host::Server => Host::Client,
@@ -53,7 +58,7 @@ impl Host {
 }
 
 /// A run's measured statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Total elapsed (virtual) time.
     pub total_time: Rational,
@@ -107,6 +112,13 @@ pub enum RuntimeError {
     Recursion(String),
     /// An I/O instruction executed on the server (plan violation).
     ServerIo,
+    /// The peer link failed mid-run (transport fault; only a real
+    /// network link can produce it, and the TCP client engine treats it
+    /// as the trigger for all-local fallback).
+    HostLink(String),
+    /// A [`Plan::Remote`] index reached the executor without being
+    /// resolved against the analysis' choice table.
+    UnresolvedPlan(usize),
 }
 
 impl fmt::Display for RuntimeError {
@@ -119,18 +131,19 @@ impl fmt::Display for RuntimeError {
             RuntimeError::StepLimit(n) => write!(f, "exceeded step limit of {n}"),
             RuntimeError::Recursion(s) => write!(f, "recursion into `{s}` is unsupported"),
             RuntimeError::ServerIo => write!(f, "I/O attempted on the server"),
+            RuntimeError::HostLink(s) => write!(f, "host link failed: {s}"),
+            RuntimeError::UnresolvedPlan(i) => {
+                write!(f, "Plan::Remote({i}) must be resolved before execution")
+            }
         }
     }
 }
 impl std::error::Error for RuntimeError {}
 
-/// The partitioning plan to execute under.
-#[derive(Debug, Clone, Copy)]
-pub enum Plan<'a> {
-    /// Everything on the client (the baseline the paper normalizes to).
-    AllLocal,
-    /// A partitioning choice from the parametric analysis.
-    Choice(&'a Partition),
+impl From<HostError> for RuntimeError {
+    fn from(e: HostError) -> Self {
+        RuntimeError::HostLink(e.0)
+    }
 }
 
 /// Configuration of one run.
@@ -153,793 +166,29 @@ pub struct Runner<'a> {
 }
 
 impl<'a> Runner<'a> {
-    /// Executes `main(params)` with the given input stream.
+    /// Executes `main(params)` with the given input stream: both host
+    /// machines in-process, turn-taking over direct control transfers.
     ///
     /// # Errors
     ///
     /// See [`RuntimeError`].
     pub fn run(&self, params: &[i64], input: &[i64]) -> Result<RunResult, RuntimeError> {
-        let mut exec = Exec::new(self, params, input)?;
-        exec.run()?;
-        Ok(RunResult { outputs: std::mem::take(&mut exec.outputs), stats: exec.finish() })
-    }
-}
-
-struct HostState {
-    mem: HashMap<ObjKey, Vec<Value>>,
-    regs: HashMap<FuncId, Vec<Value>>,
-}
-
-impl HostState {
-    fn new() -> Self {
-        HostState { mem: HashMap::new(), regs: HashMap::new() }
-    }
-}
-
-struct Frame {
-    func: FuncId,
-    block: BlockId,
-    inst: usize,
-    /// Segment containing the current position.
-    segment: SegmentId,
-    /// Register receiving the callee's return value.
-    ret_dst: Option<LocalId>,
-}
-
-struct Exec<'a> {
-    r: &'a Runner<'a>,
-    tracked: HashSet<AbsLocId>,
-    hosts: [HostState; 2],
-    /// Validity per tracked item: `[client, server]`.
-    valid: HashMap<AbsLocId, [bool; 2]>,
-    /// Site of each dynamic object (shared registration knowledge).
-    dyn_site: HashMap<ObjKey, AllocSiteId>,
-    dyn_count: u64,
-    cur: Host,
-    clock: Rational,
-    client_busy: Rational,
-    server_busy: Rational,
-    comm: Rational,
-    stats: RunStats,
-    outputs: Vec<i64>,
-    input: &'a [i64],
-    input_pos: usize,
-    /// Call stack (active function last).
-    stack: Vec<Frame>,
-    /// Functions currently on the stack (recursion detector).
-    active_funcs: HashSet<FuncId>,
-    /// `(func, block) -> [(start, end, segment)]`.
-    seg_index: HashMap<(FuncId, BlockId), Vec<(usize, usize, SegmentId)>>,
-    /// `(from task, to task, kind) -> TCFG edge index`.
-    edge_index: HashMap<(TaskId, TaskId, EdgeKind), usize>,
-    steps: u64,
-    max_steps: u64,
-}
-
-impl<'a> Exec<'a> {
-    fn new(r: &'a Runner<'a>, params: &[i64], input: &'a [i64]) -> Result<Self, RuntimeError> {
-        let mut seg_index: HashMap<(FuncId, BlockId), Vec<(usize, usize, SegmentId)>> =
-            HashMap::new();
-        for (si, seg) in r.tcfg.segments().iter().enumerate() {
-            seg_index
-                .entry((seg.func, seg.block))
-                .or_default()
-                .push((seg.range.0, seg.range.1, SegmentId(si as u32)));
+        if let Plan::Remote(i) = self.plan {
+            return Err(RuntimeError::UnresolvedPlan(i));
         }
-        let mut edge_index = HashMap::new();
-        for (ei, e) in r.tcfg.edges().iter().enumerate() {
-            edge_index.insert((e.from, e.to, e.kind), ei);
-        }
-        let mut exec = Exec {
-            r,
-            tracked: r.tracked_order.iter().copied().collect(),
-            hosts: [HostState::new(), HostState::new()],
-            valid: HashMap::new(),
-            dyn_site: HashMap::new(),
-            dyn_count: 0,
-            cur: Host::Client,
-            clock: Rational::zero(),
-            client_busy: Rational::zero(),
-            server_busy: Rational::zero(),
-            comm: Rational::zero(),
-            stats: RunStats::default(),
-            outputs: Vec::new(),
-            input,
-            input_pos: 0,
-            stack: Vec::new(),
-            active_funcs: HashSet::new(),
-            seg_index,
-            edge_index,
-            steps: 0,
-            max_steps: if r.max_steps == 0 { 500_000_000 } else { r.max_steps },
-        };
-        exec.init_memory(params)?;
-        Ok(exec)
-    }
-
-    fn init_memory(&mut self, params: &[i64]) -> Result<(), RuntimeError> {
-        // Globals: zero-initialized identically on both hosts.
-        for (gi, g) in self.r.module.globals.iter().enumerate() {
-            for host in [0usize, 1] {
-                self.hosts[host]
-                    .mem
-                    .insert(ObjKey::Global(gi as u32), vec![Value::Int(0); g.slots as usize]);
-            }
-        }
-        // Static locals and register files.
-        for (fi, f) in self.r.module.functions.iter().enumerate() {
-            let fid = FuncId(fi as u32);
-            for host in [0usize, 1] {
-                self.hosts[host].regs.insert(fid, vec![Value::Uninit; f.locals.len()]);
-                for (li, l) in f.locals.iter().enumerate() {
-                    if let LocalKind::Memory { slots } = &l.kind {
-                        self.hosts[host].mem.insert(
-                            ObjKey::Local(fid, LocalId(li as u32)),
-                            vec![Value::Int(0); *slots as usize],
-                        );
-                    }
-                }
-            }
-        }
-        // main's parameters: valid on both hosts (broadcast at startup).
-        let main = self.r.module.function(self.r.module.main);
-        for (pi, &p) in main.params.iter().enumerate() {
-            let v = Value::Int(params.get(pi).copied().unwrap_or(0));
-            for host in [0usize, 1] {
-                self.hosts[host].regs.get_mut(&self.r.module.main).expect("regs")[p.index()] = v;
-            }
-        }
-        Ok(())
-    }
-
-    // ---- cost accounting ----
-
-    fn busy(&mut self, host: Host, t: Rational) {
-        self.clock += &t;
-        match host {
-            Host::Client => self.client_busy += &t,
-            Host::Server => self.server_busy += &t,
-        }
-    }
-
-    fn message(&mut self, t: Rational) {
-        self.clock += &t;
-        self.comm += &t;
-        self.stats.messages += 1;
-    }
-
-    fn compute_cost(&mut self, inst: &Inst) {
-        let w = self.r.device.cost.inst_weight(inst) as i64;
-        let unit = match self.cur {
-            Host::Client => self.r.device.cost.client_unit.clone(),
-            Host::Server => self.r.device.cost.server_unit.clone(),
-        };
-        self.busy(self.cur, &Rational::from(w) * &unit);
-    }
-
-    /// Extra client time for accesses to over-cache objects (modeled only
-    /// in the simulator, not in the analysis — a realistic source of
-    /// prediction error).
-    fn cache_penalty(&mut self, key: ObjKey) {
-        if self.cur != Host::Client {
-            return;
-        }
-        let size =
-            self.hosts[0].mem.get(&key).map(|v| v.len()).unwrap_or(0) as u32;
-        if size > self.r.device.cache_slots {
-            let p = self.r.device.cache_miss_penalty.clone();
-            self.busy(Host::Client, p);
-        }
-    }
-
-    // ---- item identity and validity ----
-
-    fn item_of_obj(&self, key: ObjKey) -> Option<AbsLocId> {
-        let loc = match key {
-            ObjKey::Global(g) => AbsLoc::Global(offload_ir::GlobalId(g)),
-            ObjKey::Local(f, l) => AbsLoc::Local { func: f, local: l },
-            ObjKey::Dyn(_) => AbsLoc::Site(*self.dyn_site.get(&key)?),
-        };
-        self.r.pta.id_of(loc)
-    }
-
-    fn item_of_reg(&self, func: FuncId, reg: LocalId) -> Option<AbsLocId> {
-        self.r.pta.id_of(AbsLoc::Reg { func, local: reg })
-    }
-
-    fn is_tracked(&self, item: AbsLocId) -> bool {
-        self.tracked.contains(&item)
-    }
-
-    fn validity(&mut self, item: AbsLocId) -> &mut [bool; 2] {
-        self.valid.entry(item).or_insert([true, true])
-    }
-
-    /// Ensures `item` is valid on the current host, pulling it lazily
-    /// from the other host if necessary.
-    fn ensure_valid(&mut self, item: AbsLocId) {
-        if !self.is_tracked(item) {
-            return;
-        }
-        let cur = self.cur;
-        if self.validity(item)[cur.index()] {
-            return;
-        }
-        // Lazy pull: request + response messages.
-        self.stats.lazy_pulls += 1;
-        let req = match cur {
-            Host::Client => self.r.device.cost.send_startup_c2s.clone(),
-            Host::Server => self.r.device.cost.send_startup_s2c.clone(),
-        };
-        self.message(req);
-        self.transfer_item(item, cur.other(), cur);
-    }
-
-    fn note_write(&mut self, item: AbsLocId) {
-        if !self.is_tracked(item) {
-            return;
-        }
-        let cur = self.cur;
-        let v = self.validity(item);
-        v[cur.index()] = true;
-        v[cur.other().index()] = false;
-    }
-
-    /// Copies an item's backing storage from one host to the other, with
-    /// message cost, and marks both copies valid.
-    fn transfer_item(&mut self, item: AbsLocId, from: Host, to: Host) {
-        let loc = self.r.pta.loc(item);
-        let keys: Vec<ObjKey> = match loc {
-            AbsLoc::Global(g) => vec![ObjKey::Global(g.0)],
-            AbsLoc::Local { func, local } => vec![ObjKey::Local(func, local)],
-            AbsLoc::Reg { .. } => vec![],
-            AbsLoc::Site(site) => self
-                .dyn_site
-                .iter()
-                .filter(|(_, s)| **s == site)
-                .map(|(k, _)| *k)
-                .collect(),
-        };
-        let mut slots = 0u64;
-        match loc {
-            AbsLoc::Reg { func, local } => {
-                let v = self.hosts[from.index()].regs[&func][local.index()];
-                self.hosts[to.index()].regs.get_mut(&func).expect("regs")[local.index()] = v;
-                slots = 1;
-            }
-            _ => {
-                for k in keys {
-                    let data = self.hosts[from.index()].mem.get(&k).cloned().unwrap_or_default();
-                    slots += data.len() as u64;
-                    self.hosts[to.index()].mem.insert(k, data);
-                }
-            }
-        }
-        let (startup, unit) = match to {
-            Host::Server => (
-                self.r.device.cost.send_startup_c2s.clone(),
-                self.r.device.cost.send_unit_c2s.clone(),
-            ),
-            Host::Client => (
-                self.r.device.cost.send_startup_s2c.clone(),
-                self.r.device.cost.send_unit_s2c.clone(),
-            ),
-        };
-        self.message(&startup + &(&Rational::from(slots as i64) * &unit));
-        self.stats.slots_transferred += slots;
-        let v = self.validity(item);
-        v[0] = true;
-        v[1] = true;
-    }
-
-    // ---- register and memory access ----
-
-    fn cur_func(&self) -> FuncId {
-        self.stack.last().expect("active frame").func
-    }
-
-    fn read_reg(&mut self, reg: LocalId) -> Value {
-        let func = self.cur_func();
-        if let Some(item) = self.item_of_reg(func, reg) {
-            self.ensure_valid(item);
-        }
-        self.hosts[self.cur.index()].regs[&func][reg.index()]
-    }
-
-    fn write_reg(&mut self, reg: LocalId, v: Value) {
-        let func = self.cur_func();
-        self.hosts[self.cur.index()].regs.get_mut(&func).expect("regs")[reg.index()] = v;
-        if let Some(item) = self.item_of_reg(func, reg) {
-            self.note_write(item);
-        }
-    }
-
-    fn operand(&mut self, op: Operand) -> Value {
-        match op {
-            Operand::Const(c) => Value::Int(c),
-            Operand::Local(l) => self.read_reg(l),
-        }
-    }
-
-    fn load(&mut self, addr: Value) -> Result<Value, RuntimeError> {
-        let Value::Addr(key, off) = addr else {
-            return Err(RuntimeError::BadAccess(format!("load through {addr}")));
-        };
-        if let Some(item) = self.item_of_obj(key) {
-            self.ensure_valid(item);
-        }
-        self.cache_penalty(key);
-        let obj = self.hosts[self.cur.index()]
-            .mem
-            .get(&key)
-            .ok_or_else(|| RuntimeError::BadAccess(format!("no object {key}")))?;
-        obj.get(off as usize)
-            .copied()
-            .ok_or_else(|| RuntimeError::BadAccess(format!("{key}+{off} out of bounds")))
-    }
-
-    fn store(&mut self, addr: Value, v: Value) -> Result<(), RuntimeError> {
-        let Value::Addr(key, off) = addr else {
-            return Err(RuntimeError::BadAccess(format!("store through {addr}")));
-        };
-        if let Some(item) = self.item_of_obj(key) {
-            // Partial writes require the destination copy to be valid
-            // first (the paper's conservative constraint, dynamically).
-            self.ensure_valid(item);
-        }
-        self.cache_penalty(key);
-        let obj = self.hosts[self.cur.index()]
-            .mem
-            .get_mut(&key)
-            .ok_or_else(|| RuntimeError::BadAccess(format!("no object {key}")))?;
-        let slot = obj
-            .get_mut(off as usize)
-            .ok_or_else(|| RuntimeError::BadAccess(format!("{key}+{off} out of bounds")))?;
-        *slot = v;
-        if let Some(item) = self.item_of_obj(key) {
-            self.note_write(item);
-        }
-        Ok(())
-    }
-
-    // ---- plan queries ----
-
-    fn host_of(&self, task: TaskId) -> Host {
-        match self.r.plan {
-            Plan::AllLocal => Host::Client,
-            Plan::Choice(p) => {
-                if p.server_tasks[task.index()] {
-                    Host::Server
-                } else {
-                    Host::Client
-                }
-            }
-        }
-    }
-
-    fn segment_at(&self, func: FuncId, block: BlockId, inst: usize) -> SegmentId {
-        let ranges = &self.seg_index[&(func, block)];
-        for (i, &(start, end, sid)) in ranges.iter().enumerate() {
-            let last = i + 1 == ranges.len();
-            // Instruction positions [start, end) belong to the segment;
-            // the block-final segment also owns the terminator position
-            // (inst >= end only happens for inst == block length).
-            if inst >= start && (inst < end || last) {
-                return sid;
-            }
-        }
-        unreachable!("position {func}:{block}:{inst} outside all segments")
-    }
-
-    /// Handles a control transfer between segments: host switch messages
-    /// and planned eager transfers.
-    fn cross(&mut self, from_seg: SegmentId, to_seg: SegmentId, kind: EdgeKind) {
-        let from_task = self.r.tcfg.task_of(from_seg);
-        let to_task = self.r.tcfg.task_of(to_seg);
-        if from_task == to_task {
-            return;
-        }
-        let from_host = self.host_of(from_task);
-        let to_host = self.host_of(to_task);
-        // Planned eager transfers ride along regardless of host switch
-        // (they can also prepay for later tasks).
-        if let Plan::Choice(p) = self.r.plan {
-            if let Some(&ei) = self.edge_index.get(&(from_task, to_task, kind)) {
-                let moves = p.transfers[ei].clone();
-                for (item_idx, dir) in moves {
-                    let item = self.tracked_item_by_index(item_idx);
-                    let (src, dst) = match dir {
-                        Direction::ClientToServer => (Host::Client, Host::Server),
-                        Direction::ServerToClient => (Host::Server, Host::Client),
-                    };
-                    if let Some(item) = item {
-                        // Only move if the source copy is actually valid
-                        // (dynamic state may differ from the static plan).
-                        if self.validity(item)[src.index()] && !self.validity(item)[dst.index()]
-                        {
-                            self.stats.eager_transfers += 1;
-                            self.transfer_item(item, src, dst);
-                        }
-                    }
-                }
-            }
-        }
-        if from_host != to_host {
-            let sched = match to_host {
-                Host::Server => self.r.device.cost.sched_c2s.clone(),
-                Host::Client => self.r.device.cost.sched_s2c.clone(),
+        let mut client = Machine::new(self, Host::Client, params, input);
+        let mut server = Machine::new(self, Host::Server, params, &[]);
+        let mut msg = ControlMsg::start();
+        loop {
+            let outcome = match msg.to {
+                Host::Client => client.run_turn(msg, &mut server)?,
+                Host::Server => server.run_turn(msg, &mut client)?,
             };
-            self.message(sched);
-            self.cur = to_host;
-        }
-    }
-
-    fn tracked_item_by_index(&self, idx: u32) -> Option<AbsLocId> {
-        // The plan's transfer lists index the analysis' item table, whose
-        // order matches `tracked` iteration order is NOT guaranteed; the
-        // runner passes the table order via `tracked_order`.
-        self.r.tracked_order.get(idx as usize).copied()
-    }
-
-    // ---- the interpreter loop ----
-
-    fn run(&mut self) -> Result<(), RuntimeError> {
-        let main = self.r.module.main;
-        let entry = self.r.module.function(main).entry;
-        let entry_seg = self.segment_at(main, entry, 0);
-        self.stack.push(Frame {
-            func: main,
-            block: entry,
-            inst: 0,
-            segment: entry_seg,
-            ret_dst: None,
-        });
-        self.active_funcs.insert(main);
-        // Initial host placement.
-        let entry_task = self.r.tcfg.task_of(entry_seg);
-        if self.host_of(entry_task) == Host::Server {
-            let sched = self.r.device.cost.sched_c2s.clone();
-            self.message(sched);
-            self.cur = Host::Server;
-        }
-
-        while !self.stack.is_empty() {
-            self.steps += 1;
-            if self.steps > self.max_steps {
-                return Err(RuntimeError::StepLimit(self.max_steps));
-            }
-            self.step()?;
-        }
-
-        // Control returns home to the client.
-        if self.cur == Host::Server {
-            let sched = self.r.device.cost.sched_s2c.clone();
-            self.message(sched);
-            self.cur = Host::Client;
-        }
-        Ok(())
-    }
-
-    fn step(&mut self) -> Result<(), RuntimeError> {
-        let frame = self.stack.last().expect("active frame");
-        let (func, block, inst_idx, seg) = (frame.func, frame.block, frame.inst, frame.segment);
-        let f = self.r.module.function(func);
-        let b = &f.blocks[block.index()];
-
-        if inst_idx < b.insts.len() {
-            let inst = b.insts[inst_idx].clone();
-            self.stats.instructions += 1;
-            self.compute_cost(&inst);
-            if let Inst::Call { .. } = &inst {
-                self.exec_call(inst, func, block, inst_idx, seg)?;
-            } else {
-                self.exec_simple(inst)?;
-                let frame = self.stack.last_mut().expect("active frame");
-                frame.inst += 1;
-                // Advance the segment when stepping past a call boundary
-                // is handled in exec_call; simple instructions stay in
-                // the same segment.
-            }
-            return Ok(());
-        }
-
-        // Terminator.
-        let term = b.term.clone();
-        match term {
-            Terminator::Goto(t) => self.jump(func, seg, block, t),
-            Terminator::Branch { cond, then, otherwise } => {
-                let v = self.operand(cond);
-                let target = if v.truthy() { then } else { otherwise };
-                self.jump(func, seg, block, target);
-            }
-            Terminator::Return(v) => {
-                let value = match v {
-                    Some(op) => Some(self.operand(op)),
-                    None => None,
-                };
-                self.exec_return(seg, value)?;
+            match outcome {
+                Outcome::Yield(next) => msg = next,
+                Outcome::Done => break,
             }
         }
-        Ok(())
-    }
-
-    fn jump(&mut self, func: FuncId, from_seg: SegmentId, from_block: BlockId, to: BlockId) {
-        let to_seg = self.segment_at(func, to, 0);
-        self.cross(from_seg, to_seg, EdgeKind::Jump { from: from_block, to });
-        let frame = self.stack.last_mut().expect("active frame");
-        frame.block = to;
-        frame.inst = 0;
-        frame.segment = to_seg;
-    }
-
-    fn exec_call(
-        &mut self,
-        inst: Inst,
-        func: FuncId,
-        block: BlockId,
-        inst_idx: usize,
-        seg: SegmentId,
-    ) -> Result<(), RuntimeError> {
-        let Inst::Call { dst, callee, args } = inst else { unreachable!() };
-        let target = match callee {
-            Callee::Direct(t) => t,
-            Callee::Indirect(op) => match self.operand(op) {
-                Value::Func(t) => t,
-                other => {
-                    return Err(RuntimeError::BadIndirectCall(format!(
-                        "callee evaluated to {other}"
-                    )))
-                }
-            },
-        };
-        let callee_def = self.r.module.function(target);
-        if callee_def.params.len() != args.len() {
-            return Err(RuntimeError::BadIndirectCall(format!(
-                "`{}` expects {} args, got {}",
-                callee_def.name,
-                callee_def.params.len(),
-                args.len()
-            )));
-        }
-        if self.active_funcs.contains(&target) {
-            return Err(RuntimeError::Recursion(callee_def.name.clone()));
-        }
-        // Evaluate arguments on the caller's host.
-        let arg_vals: Vec<Value> = args.iter().map(|a| self.operand(*a)).collect();
-
-        // Advance the caller past the call before switching.
-        let cont_seg = self.segment_at(func, block, inst_idx + 1);
-        {
-            let frame = self.stack.last_mut().expect("caller frame");
-            frame.inst = inst_idx + 1;
-            frame.ret_dst = dst;
-            frame.segment = cont_seg;
-        }
-
-        // Control moves to the callee's entry segment.
-        let callee_entry = callee_def.entry;
-        let entry_seg = self.segment_at(target, callee_entry, 0);
-        self.cross(seg, entry_seg, EdgeKind::Call { site: seg });
-
-        self.stack.push(Frame {
-            func: target,
-            block: callee_entry,
-            inst: 0,
-            segment: entry_seg,
-            ret_dst: None,
-        });
-        self.active_funcs.insert(target);
-
-        // Parameters are carried by the scheduling message and written on
-        // the callee's host.
-        let params = callee_def.params.clone();
-        for (p, v) in params.iter().zip(arg_vals) {
-            self.write_reg(*p, v);
-        }
-        Ok(())
-    }
-
-    fn exec_return(&mut self, seg: SegmentId, value: Option<Value>) -> Result<(), RuntimeError> {
-        let done = self.stack.pop().expect("returning frame");
-        self.active_funcs.remove(&done.func);
-        let Some(caller) = self.stack.last() else {
-            return Ok(()); // main returned
-        };
-        let cont_seg = caller.segment;
-        // The call segment is the one preceding the continuation.
-        let call_seg = SegmentId(cont_seg.0 - 1);
-        self.cross(seg, cont_seg, EdgeKind::Return { site: call_seg });
-        // The return value is carried by the message and written on the
-        // continuation's host.
-        let caller = self.stack.last().expect("caller frame");
-        if let (Some(d), Some(v)) = (caller.ret_dst, value) {
-            self.write_reg(d, v);
-        }
-        Ok(())
-    }
-
-    fn exec_simple(&mut self, inst: Inst) -> Result<(), RuntimeError> {
-        match inst {
-            Inst::Copy { dst, src } => {
-                let v = self.operand(src);
-                self.write_reg(dst, v);
-            }
-            Inst::Un { dst, op, src } => {
-                let v = self.operand(src);
-                let out = match op {
-                    offload_lang::UnOp::Neg => Value::Int(
-                        v.as_int()
-                            .ok_or_else(|| RuntimeError::BadAccess("negating pointer".into()))?
-                            .wrapping_neg(),
-                    ),
-                    offload_lang::UnOp::Not => Value::Int(!v.truthy() as i64),
-                };
-                self.write_reg(dst, out);
-            }
-            Inst::Bin { dst, op, lhs, rhs } => {
-                let a = self.operand(lhs);
-                let b = self.operand(rhs);
-                let out = eval_bin(op, a, b)?;
-                self.write_reg(dst, out);
-            }
-            Inst::AddrGlobal { dst, global } => {
-                self.write_reg(dst, Value::Addr(ObjKey::Global(global.0), 0));
-            }
-            Inst::AddrLocal { dst, local } => {
-                let func = self.cur_func();
-                self.write_reg(dst, Value::Addr(ObjKey::Local(func, local), 0));
-            }
-            Inst::AddrIndex { dst, base, index, stride } => {
-                let b = self.operand(base);
-                let i = self.operand(index);
-                let Value::Addr(key, off) = b else {
-                    return Err(RuntimeError::BadAccess(format!("indexing {b}")));
-                };
-                let i = i.as_int().ok_or_else(|| {
-                    RuntimeError::BadAccess("pointer used as index".into())
-                })?;
-                let new_off = off as i64 + i * stride as i64;
-                if new_off < 0 || new_off > u32::MAX as i64 {
-                    return Err(RuntimeError::BadAccess(format!("offset {new_off}")));
-                }
-                self.write_reg(dst, Value::Addr(key, new_off as u32));
-            }
-            Inst::AddrField { dst, base, offset } => {
-                let b = self.operand(base);
-                let Value::Addr(key, off) = b else {
-                    return Err(RuntimeError::BadAccess(format!("field of {b}")));
-                };
-                self.write_reg(dst, Value::Addr(key, off + offset));
-            }
-            Inst::Load { dst, addr } => {
-                let a = self.operand(addr);
-                let v = self.load(a)?;
-                self.write_reg(dst, v);
-            }
-            Inst::Store { addr, src } => {
-                let a = self.operand(addr);
-                let v = self.operand(src);
-                self.store(a, v)?;
-            }
-            Inst::Alloc { dst, elem_slots, count, site } => {
-                let c = self
-                    .operand(count)
-                    .as_int()
-                    .ok_or_else(|| RuntimeError::BadAccess("pointer alloc count".into()))?;
-                let slots = (elem_slots as i64).saturating_mul(c.max(0)) as usize;
-                let key = ObjKey::Dyn(self.dyn_count);
-                self.dyn_count += 1;
-                self.stats.registrations += 1;
-                // Registration: both hosts learn the id ↔ site binding;
-                // storage is materialized on both (zeroed), with the
-                // registration fee charged once.
-                self.dyn_site.insert(key, site);
-                for host in [0usize, 1] {
-                    self.hosts[host].mem.insert(key, vec![Value::Int(0); slots]);
-                }
-                let fee = self.r.device.cost.registration.clone();
-                let cur = self.cur;
-                self.busy(cur, fee);
-                self.write_reg(dst, Value::Addr(key, 0));
-                // The fresh object is valid where it was allocated.
-                if let Some(item) = self.item_of_obj(key) {
-                    self.note_write(item);
-                }
-            }
-            Inst::LoadFunc { dst, func } => {
-                self.write_reg(dst, Value::Func(func));
-            }
-            Inst::Input { dst } => {
-                if self.cur != Host::Client {
-                    return Err(RuntimeError::ServerIo);
-                }
-                let v = *self
-                    .input
-                    .get(self.input_pos)
-                    .ok_or(RuntimeError::InputExhausted)?;
-                self.input_pos += 1;
-                self.write_reg(dst, Value::Int(v));
-            }
-            Inst::Output { src } => {
-                if self.cur != Host::Client {
-                    return Err(RuntimeError::ServerIo);
-                }
-                let v = self
-                    .operand(src)
-                    .as_int()
-                    .ok_or_else(|| RuntimeError::BadAccess("output of pointer".into()))?;
-                self.outputs.push(v);
-            }
-            Inst::Call { .. } => unreachable!("calls handled by exec_call"),
-        }
-        Ok(())
-    }
-
-    fn finish(&mut self) -> RunStats {
-        let mut stats = std::mem::take(&mut self.stats);
-        stats.total_time = self.clock.clone();
-        stats.client_compute = self.client_busy.clone();
-        stats.server_compute = self.server_busy.clone();
-        stats.comm_time = self.comm.clone();
-        // Client energy: active while computing or exchanging messages,
-        // idle while the server computes.
-        let active = &self.client_busy + &self.comm;
-        let idle = &self.clock - &active;
-        stats.energy = &(&active * &self.r.device.client_active_power)
-            + &(&idle * &self.r.device.client_idle_power);
-        stats
-    }
-}
-
-fn eval_bin(op: IrBinOp, a: Value, b: Value) -> Result<Value, RuntimeError> {
-    // Pointer equality.
-    match (op, &a, &b) {
-        (IrBinOp::Eq, Value::Addr(..), _) | (IrBinOp::Eq, _, Value::Addr(..))
-        | (IrBinOp::Eq, Value::Func(_), _) | (IrBinOp::Eq, _, Value::Func(_)) => {
-            let eq = ptr_eq(&a, &b);
-            return Ok(Value::Int(eq as i64));
-        }
-        (IrBinOp::Ne, Value::Addr(..), _) | (IrBinOp::Ne, _, Value::Addr(..))
-        | (IrBinOp::Ne, Value::Func(_), _) | (IrBinOp::Ne, _, Value::Func(_)) => {
-            let eq = ptr_eq(&a, &b);
-            return Ok(Value::Int(!eq as i64));
-        }
-        _ => {}
-    }
-    let x = a.as_int().ok_or_else(|| RuntimeError::BadAccess("arith on pointer".into()))?;
-    let y = b.as_int().ok_or_else(|| RuntimeError::BadAccess("arith on pointer".into()))?;
-    Ok(Value::Int(match op {
-        IrBinOp::Add => x.wrapping_add(y),
-        IrBinOp::Sub => x.wrapping_sub(y),
-        IrBinOp::Mul => x.wrapping_mul(y),
-        IrBinOp::Div => {
-            if y == 0 {
-                return Err(RuntimeError::DivisionByZero);
-            }
-            x.wrapping_div(y)
-        }
-        IrBinOp::Rem => {
-            if y == 0 {
-                return Err(RuntimeError::DivisionByZero);
-            }
-            x.wrapping_rem(y)
-        }
-        IrBinOp::Eq => (x == y) as i64,
-        IrBinOp::Ne => (x != y) as i64,
-        IrBinOp::Lt => (x < y) as i64,
-        IrBinOp::Le => (x <= y) as i64,
-        IrBinOp::Gt => (x > y) as i64,
-        IrBinOp::Ge => (x >= y) as i64,
-    }))
-}
-
-fn ptr_eq(a: &Value, b: &Value) -> bool {
-    match (a, b) {
-        (Value::Addr(k1, o1), Value::Addr(k2, o2)) => k1 == k2 && o1 == o2,
-        (Value::Func(f1), Value::Func(f2)) => f1 == f2,
-        (Value::Addr(..), Value::Int(0)) | (Value::Int(0), Value::Addr(..)) => false,
-        (Value::Func(_), Value::Int(0)) | (Value::Int(0), Value::Func(_)) => false,
-        (Value::Uninit, Value::Int(0)) | (Value::Int(0), Value::Uninit) => true,
-        _ => false,
+        Ok(client.into_result())
     }
 }

@@ -1,0 +1,1161 @@
+//! The host-agnostic execution core.
+//!
+//! One [`Machine`] interprets the program on behalf of **one** host,
+//! holding only that host's authoritative memory image. The paper's
+//! turn-taking runtime (§2.1) maps onto two machines exchanging
+//! [`ControlMsg`]s: the active machine computes; at a host-crossing task
+//! boundary it packages its interpreter state into a message, charges the
+//! scheduling cost, and yields. Data items move separately through the
+//! [`ExecHost`] peer link — `fetch_item` for lazy pulls and plan-directed
+//! transfers toward the active host, `push_item` for transfers away from
+//! it.
+//!
+//! The same `Machine` runs unchanged under two peer links:
+//!
+//! * the in-process simulator ([`crate::Runner`]), where the peer is the
+//!   other `Machine` directly (every `Machine` implements [`ExecHost`]);
+//! * the TCP engine (`offload-net`), where the peer serializes payloads
+//!   over a socket to a remote daemon.
+//!
+//! Shared bookkeeping — validity states, the dynamic-allocation
+//! registration table, the global step counter and the cost ledger — rides
+//! the control message, so exactly one host owns it at any time. The
+//! simulator's observable behaviour (outputs *and* virtual-time stats) is
+//! bit-identical to the pre-split single-struct interpreter.
+
+use crate::device::DeviceModel;
+use crate::exec::{Host, Plan, RunResult, RunStats, Runner, RuntimeError};
+use crate::value::{ObjKey, Value};
+use offload_core::Direction;
+use offload_ir::{
+    AllocSiteId, BlockId, Callee, FuncId, Inst, IrBinOp, LocalId, LocalKind, Operand, Terminator,
+};
+use offload_poly::Rational;
+use offload_pta::{AbsLoc, AbsLocId};
+use offload_tcfg::{EdgeKind, SegmentId, TaskId};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A transport failure on the peer link.
+///
+/// The in-process simulator never produces one; the TCP link maps socket
+/// errors and deadline expiries here, and the client engine treats the
+/// resulting [`RuntimeError::HostLink`] as the trigger for all-local
+/// fallback.
+#[derive(Debug, Clone)]
+pub struct HostError(pub String);
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer link failure: {}", self.0)
+    }
+}
+impl std::error::Error for HostError {}
+
+/// The peer link: how the active machine reaches the passive host's data.
+///
+/// Implementors serve the *other* host's memory image. [`Machine`] itself
+/// implements the trait (the simulator wires two machines directly); the
+/// TCP engine implements it with request/response frames.
+pub trait ExecHost {
+    /// Collects the peer's copy of a tracked item.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; the in-process link is infallible.
+    fn fetch_item(&mut self, item: AbsLocId) -> Result<ItemPayload, HostError>;
+
+    /// Installs a payload into the peer's copy of a tracked item.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; the in-process link is infallible.
+    fn push_item(&mut self, item: AbsLocId, payload: ItemPayload) -> Result<(), HostError>;
+}
+
+/// The wire form of one tracked item's backing storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemPayload {
+    /// A register item: a single value.
+    Reg {
+        /// Owning function.
+        func: FuncId,
+        /// The register.
+        local: LocalId,
+        /// Its value.
+        value: Value,
+    },
+    /// A memory item: one or more whole objects.
+    Objects(Vec<ObjEntry>),
+}
+
+/// One object inside an [`ItemPayload::Objects`] payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjEntry {
+    /// The object's identity.
+    pub key: ObjKey,
+    /// For dynamic objects: the allocation site, so the receiver can
+    /// extend its registration table ahead of the next control sync.
+    pub site: Option<AllocSiteId>,
+    /// The slot contents.
+    pub data: Vec<Value>,
+}
+
+impl ItemPayload {
+    /// Total slots carried (the unit the cost model charges per).
+    pub fn slots(&self) -> u64 {
+        match self {
+            ItemPayload::Reg { .. } => 1,
+            ItemPayload::Objects(objs) => objs.iter().map(|o| o.data.len() as u64).sum(),
+        }
+    }
+}
+
+/// The single global cost account, owned by whichever host is active.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Ledger {
+    /// Elapsed virtual time.
+    pub clock: Rational,
+    /// Client compute time.
+    pub client_busy: Rational,
+    /// Server compute time.
+    pub server_busy: Rational,
+    /// Message time.
+    pub comm: Rational,
+    /// Event counters (time/energy fields are filled by [`Ledger::finish`]).
+    pub stats: RunStats,
+}
+
+impl Ledger {
+    fn busy(&mut self, host: Host, t: Rational) {
+        self.clock += &t;
+        match host {
+            Host::Client => self.client_busy += &t,
+            Host::Server => self.server_busy += &t,
+        }
+    }
+
+    fn message(&mut self, t: Rational) {
+        self.clock += &t;
+        self.comm += &t;
+        self.stats.messages += 1;
+    }
+
+    /// Closes the account: totals, and client energy from the device's
+    /// power draw (active while computing or communicating, idle while
+    /// the server computes).
+    pub fn finish(mut self, device: &DeviceModel) -> RunStats {
+        let mut stats = std::mem::take(&mut self.stats);
+        stats.total_time = self.clock.clone();
+        stats.client_compute = self.client_busy.clone();
+        stats.server_compute = self.server_busy.clone();
+        stats.comm_time = self.comm.clone();
+        let active = &self.client_busy + &self.comm;
+        let idle = &self.clock - &active;
+        stats.energy = &(&active * &device.client_active_power)
+            + &(&idle * &device.client_idle_power);
+        stats
+    }
+}
+
+/// One call-stack frame, in control-message form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// Executing function.
+    pub func: FuncId,
+    /// Current block.
+    pub block: BlockId,
+    /// Next instruction index within the block.
+    pub inst: usize,
+    /// Segment containing the current position.
+    pub segment: SegmentId,
+    /// Register receiving the callee's return value.
+    pub ret_dst: Option<LocalId>,
+}
+
+/// What the receiving host must do on arrival, before resuming the
+/// interpreter loop. Calls and returns transfer control *mid-operation*:
+/// the argument/return values are carried by the scheduling message and
+/// written on the receiving host (§2.1), so the receiver finishes the
+/// operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PendingAction {
+    /// Begin the run: push `main`'s entry frame (client only).
+    Start,
+    /// Plain resume (jumps, and the post-`Start` handoff).
+    Resume,
+    /// Finish a call: push the callee frame, then write its parameters.
+    PushFrame {
+        /// The callee.
+        func: FuncId,
+        /// Its entry block.
+        block: BlockId,
+        /// Entry segment.
+        segment: SegmentId,
+        /// Parameter registers and the argument values to write.
+        writes: Vec<(LocalId, Value)>,
+    },
+    /// Finish a return: write the value into the caller's destination.
+    WriteRet {
+        /// Destination register in the caller (already on top of stack).
+        dst: Option<LocalId>,
+        /// The returned value.
+        value: Option<Value>,
+    },
+    /// The run is over; the final ledger rides this message home.
+    Finish,
+}
+
+/// The turn-taking control transfer: full interpreter state minus the
+/// per-host memory images.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlMsg {
+    /// Host receiving control.
+    pub to: Host,
+    /// What to do on arrival.
+    pub action: PendingAction,
+    /// The call stack (active function last).
+    pub stack: Vec<Frame>,
+    /// Validity states `[client, server]` per tracked item.
+    pub valid: Vec<(AbsLocId, [bool; 2])>,
+    /// Registration table: every live dynamic object, its site and size.
+    /// The receiver materializes zeroed storage for objects it has not
+    /// seen yet — the deferred half of the paper's broadcast-on-allocate
+    /// registration.
+    pub dyn_table: Vec<(ObjKey, AllocSiteId, u32)>,
+    /// Next dynamic object id.
+    pub dyn_count: u64,
+    /// Global step counter (the budget spans both hosts).
+    pub steps: u64,
+    /// The cost account.
+    pub ledger: Ledger,
+}
+
+impl ControlMsg {
+    /// The message that boots a run on the client.
+    pub fn start() -> ControlMsg {
+        ControlMsg {
+            to: Host::Client,
+            action: PendingAction::Start,
+            stack: Vec::new(),
+            valid: Vec::new(),
+            dyn_table: Vec::new(),
+            dyn_count: 0,
+            steps: 0,
+            ledger: Ledger::default(),
+        }
+    }
+}
+
+/// What a turn produced.
+#[derive(Debug)]
+pub enum Outcome {
+    /// Control moves to the other host.
+    Yield(ControlMsg),
+    /// The run is complete (terminal only on the client).
+    Done,
+}
+
+struct HostState {
+    mem: HashMap<ObjKey, Vec<Value>>,
+    regs: HashMap<FuncId, Vec<Value>>,
+}
+
+/// The interpreter for one host.
+///
+/// Created by [`Machine::new`] from the same [`Runner`] configuration on
+/// both sides; driven by [`Machine::run_turn`].
+pub struct Machine<'a> {
+    r: &'a Runner<'a>,
+    host: Host,
+    state: HostState,
+    tracked: HashSet<AbsLocId>,
+    // Shared bookkeeping, authoritative only while this host is active.
+    valid: HashMap<AbsLocId, [bool; 2]>,
+    dyn_site: HashMap<ObjKey, (AllocSiteId, u32)>,
+    dyn_count: u64,
+    steps: u64,
+    ledger: Ledger,
+    stack: Vec<Frame>,
+    active_funcs: HashSet<FuncId>,
+    // Client-only I/O state (the server refuses I/O instructions).
+    input: &'a [i64],
+    input_pos: usize,
+    outputs: Vec<i64>,
+    // Derived indexes.
+    seg_index: HashMap<(FuncId, BlockId), Vec<(usize, usize, SegmentId)>>,
+    edge_index: HashMap<(TaskId, TaskId, EdgeKind), usize>,
+    max_steps: u64,
+}
+
+impl<'a> ExecHost for Machine<'a> {
+    fn fetch_item(&mut self, item: AbsLocId) -> Result<ItemPayload, HostError> {
+        Ok(self.collect_item(item))
+    }
+
+    fn push_item(&mut self, item: AbsLocId, payload: ItemPayload) -> Result<(), HostError> {
+        let _ = item;
+        self.install_item(payload);
+        Ok(())
+    }
+}
+
+impl<'a> Machine<'a> {
+    /// Builds the machine for one host: zero-initialized memory image,
+    /// with `main`'s parameters broadcast into the register file (both
+    /// hosts initialize identically at startup, §2.1).
+    pub fn new(r: &'a Runner<'a>, host: Host, params: &[i64], input: &'a [i64]) -> Machine<'a> {
+        let mut seg_index: HashMap<(FuncId, BlockId), Vec<(usize, usize, SegmentId)>> =
+            HashMap::new();
+        for (si, seg) in r.tcfg.segments().iter().enumerate() {
+            seg_index
+                .entry((seg.func, seg.block))
+                .or_default()
+                .push((seg.range.0, seg.range.1, SegmentId(si as u32)));
+        }
+        let mut edge_index = HashMap::new();
+        for (ei, e) in r.tcfg.edges().iter().enumerate() {
+            edge_index.insert((e.from, e.to, e.kind), ei);
+        }
+        let mut state = HostState { mem: HashMap::new(), regs: HashMap::new() };
+        for (gi, g) in r.module.globals.iter().enumerate() {
+            state.mem.insert(ObjKey::Global(gi as u32), vec![Value::Int(0); g.slots as usize]);
+        }
+        for (fi, f) in r.module.functions.iter().enumerate() {
+            let fid = FuncId(fi as u32);
+            state.regs.insert(fid, vec![Value::Uninit; f.locals.len()]);
+            for (li, l) in f.locals.iter().enumerate() {
+                if let LocalKind::Memory { slots } = &l.kind {
+                    state.mem.insert(
+                        ObjKey::Local(fid, LocalId(li as u32)),
+                        vec![Value::Int(0); *slots as usize],
+                    );
+                }
+            }
+        }
+        let main = r.module.function(r.module.main);
+        for (pi, &p) in main.params.iter().enumerate() {
+            let v = Value::Int(params.get(pi).copied().unwrap_or(0));
+            state.regs.get_mut(&r.module.main).expect("regs")[p.index()] = v;
+        }
+        Machine {
+            r,
+            host,
+            state,
+            tracked: r.tracked_order.iter().copied().collect(),
+            valid: HashMap::new(),
+            dyn_site: HashMap::new(),
+            dyn_count: 0,
+            steps: 0,
+            ledger: Ledger::default(),
+            stack: Vec::new(),
+            active_funcs: HashSet::new(),
+            input,
+            input_pos: 0,
+            outputs: Vec::new(),
+            seg_index,
+            edge_index,
+            max_steps: if r.max_steps == 0 { 500_000_000 } else { r.max_steps },
+        }
+    }
+
+    /// Which host this machine embodies.
+    pub fn host(&self) -> Host {
+        self.host
+    }
+
+    /// Consumes the client machine into a finished [`RunResult`].
+    pub fn into_result(self) -> RunResult {
+        let stats = self.ledger.finish(self.r.device);
+        RunResult { outputs: self.outputs, stats }
+    }
+
+    /// Accepts a control transfer and runs until control leaves this host
+    /// again or the program finishes.
+    ///
+    /// # Errors
+    ///
+    /// Program faults ([`RuntimeError`]) and peer-link failures
+    /// ([`RuntimeError::HostLink`]).
+    pub fn run_turn(
+        &mut self,
+        msg: ControlMsg,
+        peer: &mut dyn ExecHost,
+    ) -> Result<Outcome, RuntimeError> {
+        debug_assert_eq!(msg.to, self.host, "control delivered to the wrong host");
+        self.install(&msg);
+        match msg.action {
+            PendingAction::Finish => return Ok(Outcome::Done),
+            PendingAction::Start => {
+                let main = self.r.module.main;
+                let entry = self.r.module.function(main).entry;
+                let entry_seg = self.segment_at(main, entry, 0);
+                self.stack.push(Frame {
+                    func: main,
+                    block: entry,
+                    inst: 0,
+                    segment: entry_seg,
+                    ret_dst: None,
+                });
+                self.active_funcs.insert(main);
+                let entry_task = self.r.tcfg.task_of(entry_seg);
+                if self.host_of(entry_task) != self.host {
+                    let sched = self.r.device.cost.sched_c2s.clone();
+                    self.ledger.message(sched);
+                    return Ok(Outcome::Yield(
+                        self.package(self.host.other(), PendingAction::Resume),
+                    ));
+                }
+            }
+            PendingAction::Resume => {}
+            PendingAction::PushFrame { func, block, segment, writes } => {
+                self.stack.push(Frame { func, block, inst: 0, segment, ret_dst: None });
+                self.active_funcs.insert(func);
+                for (p, v) in writes {
+                    self.write_reg(p, v);
+                }
+            }
+            PendingAction::WriteRet { dst, value } => {
+                if let (Some(d), Some(v)) = (dst, value) {
+                    self.write_reg(d, v);
+                }
+            }
+        }
+
+        loop {
+            if self.stack.is_empty() {
+                if self.host == Host::Server {
+                    // Control returns home to the client.
+                    let sched = self.r.device.cost.sched_s2c.clone();
+                    self.ledger.message(sched);
+                    return Ok(Outcome::Yield(
+                        self.package(Host::Client, PendingAction::Finish),
+                    ));
+                }
+                return Ok(Outcome::Done);
+            }
+            self.steps += 1;
+            if self.steps > self.max_steps {
+                return Err(RuntimeError::StepLimit(self.max_steps));
+            }
+            if let Some(msg) = self.step(peer)? {
+                return Ok(Outcome::Yield(msg));
+            }
+        }
+    }
+
+    // ---- control-transfer plumbing ----
+
+    fn install(&mut self, msg: &ControlMsg) {
+        self.stack = msg.stack.clone();
+        self.active_funcs = self.stack.iter().map(|f| f.func).collect();
+        self.valid = msg.valid.iter().copied().collect();
+        for &(key, site, slots) in &msg.dyn_table {
+            self.dyn_site.insert(key, (site, slots));
+            // Deferred registration: materialize zeroed storage for
+            // objects allocated on the other host.
+            self.state.mem.entry(key).or_insert_with(|| vec![Value::Int(0); slots as usize]);
+        }
+        self.dyn_count = msg.dyn_count;
+        self.steps = msg.steps;
+        self.ledger = msg.ledger.clone();
+    }
+
+    fn package(&self, to: Host, action: PendingAction) -> ControlMsg {
+        let mut valid: Vec<(AbsLocId, [bool; 2])> =
+            self.valid.iter().map(|(k, v)| (*k, *v)).collect();
+        valid.sort_by_key(|(k, _)| k.index());
+        let mut dyn_table: Vec<(ObjKey, AllocSiteId, u32)> =
+            self.dyn_site.iter().map(|(k, (s, n))| (*k, *s, *n)).collect();
+        dyn_table.sort_by_key(|(k, _, _)| *k);
+        ControlMsg {
+            to,
+            action,
+            stack: self.stack.clone(),
+            valid,
+            dyn_table,
+            dyn_count: self.dyn_count,
+            steps: self.steps,
+            ledger: self.ledger.clone(),
+        }
+    }
+
+    // ---- cost accounting ----
+
+    fn compute_cost(&mut self, inst: &Inst) {
+        let w = self.r.device.cost.inst_weight(inst) as i64;
+        let unit = match self.host {
+            Host::Client => self.r.device.cost.client_unit.clone(),
+            Host::Server => self.r.device.cost.server_unit.clone(),
+        };
+        self.ledger.busy(self.host, &Rational::from(w) * &unit);
+    }
+
+    /// Extra client time for accesses to over-cache objects (modeled only
+    /// in the simulator, not in the analysis — a realistic source of
+    /// prediction error).
+    fn cache_penalty(&mut self, key: ObjKey) {
+        if self.host != Host::Client {
+            return;
+        }
+        let size = self.state.mem.get(&key).map(|v| v.len()).unwrap_or(0) as u32;
+        if size > self.r.device.cache_slots {
+            let p = self.r.device.cache_miss_penalty.clone();
+            self.ledger.busy(Host::Client, p);
+        }
+    }
+
+    // ---- item identity and validity ----
+
+    fn item_of_obj(&self, key: ObjKey) -> Option<AbsLocId> {
+        let loc = match key {
+            ObjKey::Global(g) => AbsLoc::Global(offload_ir::GlobalId(g)),
+            ObjKey::Local(f, l) => AbsLoc::Local { func: f, local: l },
+            ObjKey::Dyn(_) => AbsLoc::Site(self.dyn_site.get(&key)?.0),
+        };
+        self.r.pta.id_of(loc)
+    }
+
+    fn item_of_reg(&self, func: FuncId, reg: LocalId) -> Option<AbsLocId> {
+        self.r.pta.id_of(AbsLoc::Reg { func, local: reg })
+    }
+
+    fn is_tracked(&self, item: AbsLocId) -> bool {
+        self.tracked.contains(&item)
+    }
+
+    fn validity(&mut self, item: AbsLocId) -> &mut [bool; 2] {
+        self.valid.entry(item).or_insert([true, true])
+    }
+
+    /// Ensures `item` is valid on this host, pulling it lazily from the
+    /// peer if necessary.
+    fn ensure_valid(&mut self, item: AbsLocId, peer: &mut dyn ExecHost) -> Result<(), RuntimeError> {
+        if !self.is_tracked(item) {
+            return Ok(());
+        }
+        let here = self.host.index();
+        if self.validity(item)[here] {
+            return Ok(());
+        }
+        // Lazy pull: request + response messages.
+        self.ledger.stats.lazy_pulls += 1;
+        let req = match self.host {
+            Host::Client => self.r.device.cost.send_startup_c2s.clone(),
+            Host::Server => self.r.device.cost.send_startup_s2c.clone(),
+        };
+        self.ledger.message(req);
+        self.transfer_item(item, self.host.other(), self.host, peer)
+    }
+
+    fn note_write(&mut self, item: AbsLocId) {
+        if !self.is_tracked(item) {
+            return;
+        }
+        let host = self.host;
+        let v = self.validity(item);
+        v[host.index()] = true;
+        v[host.other().index()] = false;
+    }
+
+    /// Reads out one tracked item's backing storage on this host.
+    fn collect_item(&self, item: AbsLocId) -> ItemPayload {
+        match self.r.pta.loc(item) {
+            AbsLoc::Reg { func, local } => ItemPayload::Reg {
+                func,
+                local,
+                value: self.state.regs[&func][local.index()],
+            },
+            AbsLoc::Global(g) => {
+                let key = ObjKey::Global(g.0);
+                ItemPayload::Objects(vec![ObjEntry {
+                    key,
+                    site: None,
+                    data: self.state.mem.get(&key).cloned().unwrap_or_default(),
+                }])
+            }
+            AbsLoc::Local { func, local } => {
+                let key = ObjKey::Local(func, local);
+                ItemPayload::Objects(vec![ObjEntry {
+                    key,
+                    site: None,
+                    data: self.state.mem.get(&key).cloned().unwrap_or_default(),
+                }])
+            }
+            AbsLoc::Site(site) => {
+                let mut keys: Vec<ObjKey> = self
+                    .dyn_site
+                    .iter()
+                    .filter(|(_, (s, _))| *s == site)
+                    .map(|(k, _)| *k)
+                    .collect();
+                keys.sort();
+                ItemPayload::Objects(
+                    keys.into_iter()
+                        .map(|key| ObjEntry {
+                            key,
+                            site: Some(site),
+                            data: self.state.mem.get(&key).cloned().unwrap_or_default(),
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    /// Overwrites this host's copy with a payload.
+    fn install_item(&mut self, payload: ItemPayload) {
+        match payload {
+            ItemPayload::Reg { func, local, value } => {
+                self.state.regs.get_mut(&func).expect("regs")[local.index()] = value;
+            }
+            ItemPayload::Objects(objs) => {
+                for obj in objs {
+                    if let (ObjKey::Dyn(_), Some(site)) = (obj.key, obj.site) {
+                        self.dyn_site.insert(obj.key, (site, obj.data.len() as u32));
+                    }
+                    self.state.mem.insert(obj.key, obj.data);
+                }
+            }
+        }
+    }
+
+    /// Moves an item's backing storage between the hosts through the peer
+    /// link, with message cost, and marks both copies valid.
+    fn transfer_item(
+        &mut self,
+        item: AbsLocId,
+        from: Host,
+        to: Host,
+        peer: &mut dyn ExecHost,
+    ) -> Result<(), RuntimeError> {
+        let slots = if from == self.host {
+            let payload = self.collect_item(item);
+            let slots = payload.slots();
+            peer.push_item(item, payload).map_err(RuntimeError::from)?;
+            slots
+        } else {
+            let payload = peer.fetch_item(item).map_err(RuntimeError::from)?;
+            let slots = payload.slots();
+            self.install_item(payload);
+            slots
+        };
+        let (startup, unit) = match to {
+            Host::Server => (
+                self.r.device.cost.send_startup_c2s.clone(),
+                self.r.device.cost.send_unit_c2s.clone(),
+            ),
+            Host::Client => (
+                self.r.device.cost.send_startup_s2c.clone(),
+                self.r.device.cost.send_unit_s2c.clone(),
+            ),
+        };
+        self.ledger.message(&startup + &(&Rational::from(slots as i64) * &unit));
+        self.ledger.stats.slots_transferred += slots;
+        let v = self.validity(item);
+        v[0] = true;
+        v[1] = true;
+        Ok(())
+    }
+
+    // ---- register and memory access ----
+
+    fn cur_func(&self) -> FuncId {
+        self.stack.last().expect("active frame").func
+    }
+
+    fn read_reg(&mut self, reg: LocalId, peer: &mut dyn ExecHost) -> Result<Value, RuntimeError> {
+        let func = self.cur_func();
+        if let Some(item) = self.item_of_reg(func, reg) {
+            self.ensure_valid(item, peer)?;
+        }
+        Ok(self.state.regs[&func][reg.index()])
+    }
+
+    fn write_reg(&mut self, reg: LocalId, v: Value) {
+        let func = self.cur_func();
+        self.state.regs.get_mut(&func).expect("regs")[reg.index()] = v;
+        if let Some(item) = self.item_of_reg(func, reg) {
+            self.note_write(item);
+        }
+    }
+
+    fn operand(&mut self, op: Operand, peer: &mut dyn ExecHost) -> Result<Value, RuntimeError> {
+        match op {
+            Operand::Const(c) => Ok(Value::Int(c)),
+            Operand::Local(l) => self.read_reg(l, peer),
+        }
+    }
+
+    fn load(&mut self, addr: Value, peer: &mut dyn ExecHost) -> Result<Value, RuntimeError> {
+        let Value::Addr(key, off) = addr else {
+            return Err(RuntimeError::BadAccess(format!("load through {addr}")));
+        };
+        if let Some(item) = self.item_of_obj(key) {
+            self.ensure_valid(item, peer)?;
+        }
+        self.cache_penalty(key);
+        let obj = self
+            .state
+            .mem
+            .get(&key)
+            .ok_or_else(|| RuntimeError::BadAccess(format!("no object {key}")))?;
+        obj.get(off as usize)
+            .copied()
+            .ok_or_else(|| RuntimeError::BadAccess(format!("{key}+{off} out of bounds")))
+    }
+
+    fn store(&mut self, addr: Value, v: Value, peer: &mut dyn ExecHost) -> Result<(), RuntimeError> {
+        let Value::Addr(key, off) = addr else {
+            return Err(RuntimeError::BadAccess(format!("store through {addr}")));
+        };
+        if let Some(item) = self.item_of_obj(key) {
+            // Partial writes require the destination copy to be valid
+            // first (the paper's conservative constraint, dynamically).
+            self.ensure_valid(item, peer)?;
+        }
+        self.cache_penalty(key);
+        let obj = self
+            .state
+            .mem
+            .get_mut(&key)
+            .ok_or_else(|| RuntimeError::BadAccess(format!("no object {key}")))?;
+        let slot = obj
+            .get_mut(off as usize)
+            .ok_or_else(|| RuntimeError::BadAccess(format!("{key}+{off} out of bounds")))?;
+        *slot = v;
+        if let Some(item) = self.item_of_obj(key) {
+            self.note_write(item);
+        }
+        Ok(())
+    }
+
+    // ---- plan queries ----
+
+    fn host_of(&self, task: TaskId) -> Host {
+        match self.r.plan {
+            Plan::AllLocal => Host::Client,
+            Plan::Partitioned(p) => {
+                if p.server_tasks[task.index()] {
+                    Host::Server
+                } else {
+                    Host::Client
+                }
+            }
+            // `Runner::run` rejects unresolved plans before machines exist.
+            Plan::Remote(_) => unreachable!("unresolved Plan::Remote in executor"),
+        }
+    }
+
+    fn segment_at(&self, func: FuncId, block: BlockId, inst: usize) -> SegmentId {
+        let ranges = &self.seg_index[&(func, block)];
+        for (i, &(start, end, sid)) in ranges.iter().enumerate() {
+            let last = i + 1 == ranges.len();
+            // Instruction positions [start, end) belong to the segment;
+            // the block-final segment also owns the terminator position
+            // (inst >= end only happens for inst == block length).
+            if inst >= start && (inst < end || last) {
+                return sid;
+            }
+        }
+        unreachable!("position {func}:{block}:{inst} outside all segments")
+    }
+
+    /// Handles a control transfer between segments: planned eager
+    /// transfers, and the host-switch scheduling message. Returns the
+    /// destination host when control must leave this machine.
+    fn cross(
+        &mut self,
+        from_seg: SegmentId,
+        to_seg: SegmentId,
+        kind: EdgeKind,
+        peer: &mut dyn ExecHost,
+    ) -> Result<Option<Host>, RuntimeError> {
+        let from_task = self.r.tcfg.task_of(from_seg);
+        let to_task = self.r.tcfg.task_of(to_seg);
+        if from_task == to_task {
+            return Ok(None);
+        }
+        let from_host = self.host_of(from_task);
+        let to_host = self.host_of(to_task);
+        // Planned eager transfers ride along regardless of host switch
+        // (they can also prepay for later tasks).
+        if let Plan::Partitioned(p) = self.r.plan {
+            if let Some(&ei) = self.edge_index.get(&(from_task, to_task, kind)) {
+                let moves = p.transfers[ei].clone();
+                for (item_idx, dir) in moves {
+                    let item = self.tracked_item_by_index(item_idx);
+                    let (src, dst) = match dir {
+                        Direction::ClientToServer => (Host::Client, Host::Server),
+                        Direction::ServerToClient => (Host::Server, Host::Client),
+                    };
+                    if let Some(item) = item {
+                        // Only move if the source copy is actually valid
+                        // (dynamic state may differ from the static plan).
+                        if self.validity(item)[src.index()] && !self.validity(item)[dst.index()]
+                        {
+                            self.ledger.stats.eager_transfers += 1;
+                            self.transfer_item(item, src, dst, peer)?;
+                        }
+                    }
+                }
+            }
+        }
+        if from_host != to_host {
+            let sched = match to_host {
+                Host::Server => self.r.device.cost.sched_c2s.clone(),
+                Host::Client => self.r.device.cost.sched_s2c.clone(),
+            };
+            self.ledger.message(sched);
+            return Ok(Some(to_host));
+        }
+        Ok(None)
+    }
+
+    fn tracked_item_by_index(&self, idx: u32) -> Option<AbsLocId> {
+        // The plan's transfer lists index the analysis' item table, whose
+        // order is passed in via `tracked_order`.
+        self.r.tracked_order.get(idx as usize).copied()
+    }
+
+    // ---- the interpreter loop ----
+
+    fn step(&mut self, peer: &mut dyn ExecHost) -> Result<Option<ControlMsg>, RuntimeError> {
+        let frame = self.stack.last().expect("active frame");
+        let (func, block, inst_idx, seg) = (frame.func, frame.block, frame.inst, frame.segment);
+        let f = self.r.module.function(func);
+        let b = &f.blocks[block.index()];
+
+        if inst_idx < b.insts.len() {
+            let inst = b.insts[inst_idx].clone();
+            self.ledger.stats.instructions += 1;
+            self.compute_cost(&inst);
+            if let Inst::Call { .. } = &inst {
+                return self.exec_call(inst, func, block, inst_idx, seg, peer);
+            }
+            self.exec_simple(inst, peer)?;
+            let frame = self.stack.last_mut().expect("active frame");
+            frame.inst += 1;
+            return Ok(None);
+        }
+
+        // Terminator.
+        let term = b.term.clone();
+        match term {
+            Terminator::Goto(t) => self.jump(func, seg, block, t, peer),
+            Terminator::Branch { cond, then, otherwise } => {
+                let v = self.operand(cond, peer)?;
+                let target = if v.truthy() { then } else { otherwise };
+                self.jump(func, seg, block, target, peer)
+            }
+            Terminator::Return(v) => {
+                let value = match v {
+                    Some(op) => Some(self.operand(op, peer)?),
+                    None => None,
+                };
+                self.exec_return(seg, value, peer)
+            }
+        }
+    }
+
+    fn jump(
+        &mut self,
+        func: FuncId,
+        from_seg: SegmentId,
+        from_block: BlockId,
+        to: BlockId,
+        peer: &mut dyn ExecHost,
+    ) -> Result<Option<ControlMsg>, RuntimeError> {
+        let to_seg = self.segment_at(func, to, 0);
+        let switch = self.cross(from_seg, to_seg, EdgeKind::Jump { from: from_block, to }, peer)?;
+        let frame = self.stack.last_mut().expect("active frame");
+        frame.block = to;
+        frame.inst = 0;
+        frame.segment = to_seg;
+        Ok(switch.map(|h| self.package(h, PendingAction::Resume)))
+    }
+
+    fn exec_call(
+        &mut self,
+        inst: Inst,
+        func: FuncId,
+        block: BlockId,
+        inst_idx: usize,
+        seg: SegmentId,
+        peer: &mut dyn ExecHost,
+    ) -> Result<Option<ControlMsg>, RuntimeError> {
+        let Inst::Call { dst, callee, args } = inst else { unreachable!() };
+        let target = match callee {
+            Callee::Direct(t) => t,
+            Callee::Indirect(op) => match self.operand(op, peer)? {
+                Value::Func(t) => t,
+                other => {
+                    return Err(RuntimeError::BadIndirectCall(format!(
+                        "callee evaluated to {other}"
+                    )))
+                }
+            },
+        };
+        let callee_def = self.r.module.function(target);
+        if callee_def.params.len() != args.len() {
+            return Err(RuntimeError::BadIndirectCall(format!(
+                "`{}` expects {} args, got {}",
+                callee_def.name,
+                callee_def.params.len(),
+                args.len()
+            )));
+        }
+        if self.active_funcs.contains(&target) {
+            return Err(RuntimeError::Recursion(callee_def.name.clone()));
+        }
+        // Evaluate arguments on the caller's host.
+        let mut arg_vals = Vec::with_capacity(args.len());
+        for a in &args {
+            arg_vals.push(self.operand(*a, peer)?);
+        }
+
+        // Advance the caller past the call before switching.
+        let cont_seg = self.segment_at(func, block, inst_idx + 1);
+        {
+            let frame = self.stack.last_mut().expect("caller frame");
+            frame.inst = inst_idx + 1;
+            frame.ret_dst = dst;
+            frame.segment = cont_seg;
+        }
+
+        // Control moves to the callee's entry segment.
+        let callee_entry = callee_def.entry;
+        let entry_seg = self.segment_at(target, callee_entry, 0);
+        let params = callee_def.params.clone();
+        let writes: Vec<(LocalId, Value)> =
+            params.iter().copied().zip(arg_vals).collect();
+        let switch = self.cross(seg, entry_seg, EdgeKind::Call { site: seg }, peer)?;
+        if let Some(h) = switch {
+            // Parameters are carried by the scheduling message and written
+            // on the callee's host.
+            return Ok(Some(self.package(
+                h,
+                PendingAction::PushFrame {
+                    func: target,
+                    block: callee_entry,
+                    segment: entry_seg,
+                    writes,
+                },
+            )));
+        }
+        self.stack.push(Frame {
+            func: target,
+            block: callee_entry,
+            inst: 0,
+            segment: entry_seg,
+            ret_dst: None,
+        });
+        self.active_funcs.insert(target);
+        for (p, v) in writes {
+            self.write_reg(p, v);
+        }
+        Ok(None)
+    }
+
+    fn exec_return(
+        &mut self,
+        seg: SegmentId,
+        value: Option<Value>,
+        peer: &mut dyn ExecHost,
+    ) -> Result<Option<ControlMsg>, RuntimeError> {
+        let done = self.stack.pop().expect("returning frame");
+        self.active_funcs.remove(&done.func);
+        let Some(caller) = self.stack.last() else {
+            return Ok(None); // main returned
+        };
+        let cont_seg = caller.segment;
+        let ret_dst = caller.ret_dst;
+        // The call segment is the one preceding the continuation.
+        let call_seg = SegmentId(cont_seg.0 - 1);
+        let switch = self.cross(seg, cont_seg, EdgeKind::Return { site: call_seg }, peer)?;
+        if let Some(h) = switch {
+            // The return value is carried by the message and written on
+            // the continuation's host.
+            return Ok(Some(
+                self.package(h, PendingAction::WriteRet { dst: ret_dst, value }),
+            ));
+        }
+        if let (Some(d), Some(v)) = (ret_dst, value) {
+            self.write_reg(d, v);
+        }
+        Ok(None)
+    }
+
+    fn exec_simple(&mut self, inst: Inst, peer: &mut dyn ExecHost) -> Result<(), RuntimeError> {
+        match inst {
+            Inst::Copy { dst, src } => {
+                let v = self.operand(src, peer)?;
+                self.write_reg(dst, v);
+            }
+            Inst::Un { dst, op, src } => {
+                let v = self.operand(src, peer)?;
+                let out = match op {
+                    offload_lang::UnOp::Neg => Value::Int(
+                        v.as_int()
+                            .ok_or_else(|| RuntimeError::BadAccess("negating pointer".into()))?
+                            .wrapping_neg(),
+                    ),
+                    offload_lang::UnOp::Not => Value::Int(!v.truthy() as i64),
+                };
+                self.write_reg(dst, out);
+            }
+            Inst::Bin { dst, op, lhs, rhs } => {
+                let a = self.operand(lhs, peer)?;
+                let b = self.operand(rhs, peer)?;
+                let out = eval_bin(op, a, b)?;
+                self.write_reg(dst, out);
+            }
+            Inst::AddrGlobal { dst, global } => {
+                self.write_reg(dst, Value::Addr(ObjKey::Global(global.0), 0));
+            }
+            Inst::AddrLocal { dst, local } => {
+                let func = self.cur_func();
+                self.write_reg(dst, Value::Addr(ObjKey::Local(func, local), 0));
+            }
+            Inst::AddrIndex { dst, base, index, stride } => {
+                let b = self.operand(base, peer)?;
+                let i = self.operand(index, peer)?;
+                let Value::Addr(key, off) = b else {
+                    return Err(RuntimeError::BadAccess(format!("indexing {b}")));
+                };
+                let i = i
+                    .as_int()
+                    .ok_or_else(|| RuntimeError::BadAccess("pointer used as index".into()))?;
+                let new_off = off as i64 + i * stride as i64;
+                if new_off < 0 || new_off > u32::MAX as i64 {
+                    return Err(RuntimeError::BadAccess(format!("offset {new_off}")));
+                }
+                self.write_reg(dst, Value::Addr(key, new_off as u32));
+            }
+            Inst::AddrField { dst, base, offset } => {
+                let b = self.operand(base, peer)?;
+                let Value::Addr(key, off) = b else {
+                    return Err(RuntimeError::BadAccess(format!("field of {b}")));
+                };
+                self.write_reg(dst, Value::Addr(key, off + offset));
+            }
+            Inst::Load { dst, addr } => {
+                let a = self.operand(addr, peer)?;
+                let v = self.load(a, peer)?;
+                self.write_reg(dst, v);
+            }
+            Inst::Store { addr, src } => {
+                let a = self.operand(addr, peer)?;
+                let v = self.operand(src, peer)?;
+                self.store(a, v, peer)?;
+            }
+            Inst::Alloc { dst, elem_slots, count, site } => {
+                let c = self
+                    .operand(count, peer)?
+                    .as_int()
+                    .ok_or_else(|| RuntimeError::BadAccess("pointer alloc count".into()))?;
+                let slots = (elem_slots as i64).saturating_mul(c.max(0)) as usize;
+                let key = ObjKey::Dyn(self.dyn_count);
+                self.dyn_count += 1;
+                self.ledger.stats.registrations += 1;
+                // Registration: the id ↔ site binding becomes shared
+                // knowledge (it rides the next control transfer); this
+                // host materializes zeroed storage now, the other host on
+                // receipt. The registration fee is charged once.
+                self.dyn_site.insert(key, (site, slots as u32));
+                self.state.mem.insert(key, vec![Value::Int(0); slots]);
+                let fee = self.r.device.cost.registration.clone();
+                let host = self.host;
+                self.ledger.busy(host, fee);
+                self.write_reg(dst, Value::Addr(key, 0));
+                // The fresh object is valid where it was allocated.
+                if let Some(item) = self.item_of_obj(key) {
+                    self.note_write(item);
+                }
+            }
+            Inst::LoadFunc { dst, func } => {
+                self.write_reg(dst, Value::Func(func));
+            }
+            Inst::Input { dst } => {
+                if self.host != Host::Client {
+                    return Err(RuntimeError::ServerIo);
+                }
+                let v = *self
+                    .input
+                    .get(self.input_pos)
+                    .ok_or(RuntimeError::InputExhausted)?;
+                self.input_pos += 1;
+                self.write_reg(dst, Value::Int(v));
+            }
+            Inst::Output { src } => {
+                if self.host != Host::Client {
+                    return Err(RuntimeError::ServerIo);
+                }
+                let v = self
+                    .operand(src, peer)?
+                    .as_int()
+                    .ok_or_else(|| RuntimeError::BadAccess("output of pointer".into()))?;
+                self.outputs.push(v);
+            }
+            Inst::Call { .. } => unreachable!("calls handled by exec_call"),
+        }
+        Ok(())
+    }
+}
+
+fn eval_bin(op: IrBinOp, a: Value, b: Value) -> Result<Value, RuntimeError> {
+    // Pointer equality.
+    match (op, &a, &b) {
+        (IrBinOp::Eq, Value::Addr(..), _)
+        | (IrBinOp::Eq, _, Value::Addr(..))
+        | (IrBinOp::Eq, Value::Func(_), _)
+        | (IrBinOp::Eq, _, Value::Func(_)) => {
+            let eq = ptr_eq(&a, &b);
+            return Ok(Value::Int(eq as i64));
+        }
+        (IrBinOp::Ne, Value::Addr(..), _)
+        | (IrBinOp::Ne, _, Value::Addr(..))
+        | (IrBinOp::Ne, Value::Func(_), _)
+        | (IrBinOp::Ne, _, Value::Func(_)) => {
+            let eq = ptr_eq(&a, &b);
+            return Ok(Value::Int(!eq as i64));
+        }
+        _ => {}
+    }
+    let x = a.as_int().ok_or_else(|| RuntimeError::BadAccess("arith on pointer".into()))?;
+    let y = b.as_int().ok_or_else(|| RuntimeError::BadAccess("arith on pointer".into()))?;
+    Ok(Value::Int(match op {
+        IrBinOp::Add => x.wrapping_add(y),
+        IrBinOp::Sub => x.wrapping_sub(y),
+        IrBinOp::Mul => x.wrapping_mul(y),
+        IrBinOp::Div => {
+            if y == 0 {
+                return Err(RuntimeError::DivisionByZero);
+            }
+            x.wrapping_div(y)
+        }
+        IrBinOp::Rem => {
+            if y == 0 {
+                return Err(RuntimeError::DivisionByZero);
+            }
+            x.wrapping_rem(y)
+        }
+        IrBinOp::Eq => (x == y) as i64,
+        IrBinOp::Ne => (x != y) as i64,
+        IrBinOp::Lt => (x < y) as i64,
+        IrBinOp::Le => (x <= y) as i64,
+        IrBinOp::Gt => (x > y) as i64,
+        IrBinOp::Ge => (x >= y) as i64,
+    }))
+}
+
+fn ptr_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Addr(k1, o1), Value::Addr(k2, o2)) => k1 == k2 && o1 == o2,
+        (Value::Func(f1), Value::Func(f2)) => f1 == f2,
+        (Value::Addr(..), Value::Int(0)) | (Value::Int(0), Value::Addr(..)) => false,
+        (Value::Func(_), Value::Int(0)) | (Value::Int(0), Value::Func(_)) => false,
+        (Value::Uninit, Value::Int(0)) | (Value::Int(0), Value::Uninit) => true,
+        _ => false,
+    }
+}

@@ -40,10 +40,15 @@
 
 mod device;
 mod exec;
+pub mod host;
 mod value;
 
 pub use device::DeviceModel;
 pub use exec::{Host, Plan, RunResult, RunStats, Runner, RuntimeError};
+pub use host::{
+    ControlMsg, ExecHost, Frame, HostError, ItemPayload, Ledger, Machine, ObjEntry, Outcome,
+    PendingAction,
+};
 pub use value::{ObjKey, Value};
 
 use offload_core::Analysis;
@@ -110,13 +115,29 @@ impl<'a> Simulator<'a> {
         }
     }
 
+    /// Runs under any [`Plan`] — the single execution entry point shared
+    /// with the TCP engine and the experiment harness. [`Plan::Remote`]
+    /// indices are resolved against this simulator's analysis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Plan::Remote`] index is out of range.
+    pub fn run(&self, plan: Plan<'_>, params: &[i64], input: &[i64]) -> Result<RunResult, SimError> {
+        let plan = plan.resolve(&self.analysis.partition);
+        Ok(self.runner(plan).run(params, input)?)
+    }
+
     /// Runs everything on the client (the paper's normalization baseline).
     ///
     /// # Errors
     ///
     /// Propagates [`RuntimeError`].
     pub fn run_local(&self, params: &[i64], input: &[i64]) -> Result<RunResult, SimError> {
-        Ok(self.runner(Plan::AllLocal).run(params, input)?)
+        self.run(Plan::AllLocal, params, input)
     }
 
     /// Runs under a specific partitioning choice.
@@ -134,8 +155,7 @@ impl<'a> Simulator<'a> {
         params: &[i64],
         input: &[i64],
     ) -> Result<RunResult, SimError> {
-        let p = &self.analysis.partition.choices[choice];
-        Ok(self.runner(Plan::Choice(p)).run(params, input)?)
+        self.run(Plan::Remote(choice), params, input)
     }
 
     /// Full adaptive execution: dispatch on the parameter values (the

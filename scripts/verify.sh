@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything a reviewer needs to trust a change.
+#
+#   scripts/verify.sh
+#
+# Runs fully offline: release build, the whole test suite, and (when the
+# component is installed) clippy with warnings denied.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace --offline
+
+echo "== test =="
+cargo test -q --workspace --offline
+
+echo "== clippy =="
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "clippy not installed; skipping (build + tests above are the gate)"
+fi
+
+echo "== verify OK =="

@@ -41,7 +41,7 @@ fn run_with_assignment(a: &Analysis, server_tasks: Vec<bool>, params: &[i64], in
         pta: &a.pta,
         tracked_order: &tracked,
         device: &device,
-        plan: Plan::Choice(&fake),
+        plan: Plan::Partitioned(&fake),
         max_steps: 0,
     }
     .run(params, input)

@@ -1,0 +1,170 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! this minimal implementation of the API subset its benches use:
+//! [`Criterion`], [`Bencher::iter`], benchmark groups, [`BenchmarkId`],
+//! [`black_box`], and the `criterion_group!`/`criterion_main!` macros.
+//! Timing is a plain wall-clock mean over a fixed warm-up + sample loop —
+//! good enough for relative comparisons, with no statistics machinery.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter display.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), param) }
+    }
+
+    /// An id made of a parameter display only.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher { samples: Vec::new(), sample_count }
+    }
+
+    /// Times `f` over warm-up plus `sample_count` measured runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: two untimed runs.
+        for _ in 0..2 {
+            black_box(f());
+        }
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().expect("nonempty");
+        let max = self.samples.iter().max().expect("nonempty");
+        println!("{label:<40} mean {mean:>12.3?}   min {min:>12.3?}   max {max:>12.3?}");
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many measured samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs one benchmark that borrows a prepared input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Finishes the group (prints a trailing newline, as criterion does).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.sample_size == 0 { 10 } else { self.sample_size };
+        BenchmarkGroup { name: name.into(), sample_size, _parent: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self {
+        let n = if self.sample_size == 0 { 10 } else { self.sample_size };
+        let mut b = Bencher::new(n);
+        f(&mut b);
+        b.report(&id.to_string());
+        self
+    }
+
+    /// Final configuration hook (kept for macro compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Reports completion (kept for macro compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, as crates.io criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
