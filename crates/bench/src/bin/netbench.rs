@@ -54,6 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<10} {:>7} {:>10} {:>11} {:>12}  output",
         "n", "choice", "where", "virt time", "wall"
     );
+    let mut server_stats = None;
     for n in [4i64, 1_000, 100_000] {
         let wall = Instant::now();
         let report = engine.run(&[n], &[])?;
@@ -65,6 +66,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.result.stats.total_time.to_f64(),
             wall.elapsed(),
             report.result.outputs,
+        );
+        if let Some(s) = report.server_pipeline {
+            server_stats = Some((s, report.local_pipeline));
+        }
+    }
+    if let Some((server, local)) = server_stats {
+        println!("\nanalysis pipeline stats (from the v2 handshake):\n{server}");
+        println!(
+            "server analysis matches the client's: {}",
+            if server == local { "yes" } else { "no (independent analyses)" }
         );
     }
 

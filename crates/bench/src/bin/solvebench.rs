@@ -1,0 +1,161 @@
+//! Sequential-vs-parallel benchmark of the region-exploration engine.
+//!
+//! Runs the full parametric analysis of each selected benchmark twice —
+//! once with `threads = 1` (the sequential engine) and once with the
+//! requested worker count — asserts that both produce bit-identical
+//! partitioning choices (the engine's determinism contract), prints a
+//! comparison table with the unified [`PipelineStats`] counters, and
+//! writes a machine-readable `BENCH_solve.json`.
+//!
+//! ```text
+//! cargo run --release -p offload-bench --bin solvebench [names...]
+//! ```
+//!
+//! Defaults to the lighter benchmarks (`rawcaudio`, `rawdaudio`, `fft`);
+//! pass names to override. Environment:
+//!
+//! * `SOLVEBENCH_THREADS` — parallel worker count (default: available
+//!   parallelism);
+//! * `SOLVEBENCH_OUT` — output path (default `BENCH_solve.json`).
+
+use offload_benchmarks::all;
+use offload_core::{Analysis, PipelineStats, SolveOptions};
+use std::time::Instant;
+
+struct Row {
+    name: &'static str,
+    strategy: &'static str,
+    seq_ms: f64,
+    par_ms: f64,
+    choices: usize,
+    identical: bool,
+    seq_pipeline: PipelineStats,
+    par_pipeline: PipelineStats,
+}
+
+fn analyze_timed(
+    bench: &offload_benchmarks::Benchmark,
+    threads: usize,
+) -> Result<(Analysis, f64), Box<dyn std::error::Error>> {
+    let opts = SolveOptions { threads, ..SolveOptions::default() };
+    let start = Instant::now();
+    let analysis = bench.analyze_with(opts)?;
+    Ok((analysis, start.elapsed().as_secs_f64() * 1e3))
+}
+
+fn json_pipeline(p: &PipelineStats) -> String {
+    format!(
+        concat!(
+            "{{\"flow_solves\":{},\"flow_phases\":{},\"flow_augmenting_paths\":{},",
+            "\"lp_solves\":{},\"lp_pivots\":{},\"fm_vars_eliminated\":{},",
+            "\"fm_constraints\":{},\"regions_explored\":{},\"rounds\":{},",
+            "\"cache_hits\":{},\"cache_misses\":{},\"threads_used\":{},",
+            "\"simplify_micros\":{},\"solve_micros\":{}}}"
+        ),
+        p.flow_solves,
+        p.flow_phases,
+        p.flow_augmenting_paths,
+        p.lp_solves,
+        p.lp_pivots,
+        p.fm_vars_eliminated,
+        p.fm_constraints,
+        p.regions_explored,
+        p.rounds,
+        p.cache_hits,
+        p.cache_misses,
+        p.threads_used,
+        p.simplify_micros,
+        p.solve_micros,
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let selected: Vec<String> = std::env::args().skip(1).collect();
+    let default_set = ["rawcaudio", "rawdaudio", "fft"];
+    let threads: usize = std::env::var("SOLVEBENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+        .max(2);
+    let out_path =
+        std::env::var("SOLVEBENCH_OUT").unwrap_or_else(|_| "BENCH_solve.json".into());
+
+    let mut rows: Vec<Row> = Vec::new();
+    for b in all() {
+        let wanted = if selected.is_empty() {
+            default_set.contains(&b.name)
+        } else {
+            selected.iter().any(|s| s == b.name)
+        };
+        if !wanted {
+            continue;
+        }
+        eprintln!("solving {} sequentially (threads=1) ...", b.name);
+        let (seq, seq_ms) = analyze_timed(&b, 1)?;
+        eprintln!("solving {} in parallel (threads={threads}) ...", b.name);
+        let (par, par_ms) = analyze_timed(&b, threads)?;
+        // The determinism contract: the partitioning output is
+        // bit-identical for every thread count.
+        let identical = seq.partition.choices == par.partition.choices;
+        assert!(identical, "{}: parallel output diverged from sequential", b.name);
+        let strategy = if seq.pipeline_stats().rounds > 0 { "exact" } else { "dominance" };
+        rows.push(Row {
+            name: b.name,
+            strategy,
+            seq_ms,
+            par_ms,
+            choices: seq.partition.choices.len(),
+            identical,
+            seq_pipeline: seq.pipeline_stats(),
+            par_pipeline: par.pipeline_stats(),
+        });
+    }
+
+    println!(
+        "{:<10} {:<9} {:>8} {:>10} {:>10} {:>8} {:>9}",
+        "benchmark", "strategy", "choices", "seq (ms)", "par (ms)", "speedup", "identical"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:<9} {:>8} {:>10.1} {:>10.1} {:>7.2}x {:>9}",
+            r.name,
+            r.strategy,
+            r.choices,
+            r.seq_ms,
+            r.par_ms,
+            r.seq_ms / r.par_ms,
+            r.identical,
+        );
+    }
+    for r in &rows {
+        println!("\n{} pipeline (parallel run):\n{}", r.name, r.par_pipeline);
+    }
+
+    let mut json = String::from("{\n  \"threads\": ");
+    json.push_str(&threads.to_string());
+    json.push_str(",\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            concat!(
+                "    {{\"name\":\"{}\",\"strategy\":\"{}\",\"choices\":{},",
+                "\"seq_ms\":{:.3},\"par_ms\":{:.3},\"identical\":{},",
+                "\"seq_pipeline\":{},\"par_pipeline\":{}}}{}\n"
+            ),
+            r.name,
+            r.strategy,
+            r.choices,
+            r.seq_ms,
+            r.par_ms,
+            r.identical,
+            json_pipeline(&r.seq_pipeline),
+            json_pipeline(&r.par_pipeline),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json)?;
+    println!("\nwrote {out_path}");
+    Ok(())
+}

@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut all_gains: Vec<f64> = Vec::new();
     for b in all() {
         match &filter {
-            Some(f) if &b.name != f => continue,
+            Some(f) if b.name != *f => continue,
             None if matches!(b.name, "encode" | "decode" | "susan") => {
                 // Heavy analyses; run explicitly via the figure binaries
                 // or `summary <name>`.
@@ -54,11 +54,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (label, params) in settings_for(&b) {
             rows.push(run_setting(&b, &analysis, label, &params)?);
         }
+        let p = analysis.pipeline_stats();
         println!(
-            "{:<10} choices={} settings={}",
+            "{:<10} choices={} settings={} (solve: {} regions, {} flow solves, {} LP solves, {:.1} ms)",
             b.name,
             analysis.partition.choices.len(),
-            rows.len()
+            rows.len(),
+            p.regions_explored,
+            p.flow_solves,
+            p.lp_solves,
+            (p.simplify_micros + p.solve_micros) as f64 / 1e3,
         );
         for row in &rows {
             let best = row.best_choice();

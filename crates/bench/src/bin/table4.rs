@@ -18,7 +18,7 @@ fn main() {
     );
     for b in all() {
         if let Some(f) = &filter {
-            if &b.name != f {
+            if b.name != *f {
                 continue;
             }
         }

@@ -25,7 +25,9 @@ mod fftprog;
 mod g721;
 mod susanprog;
 
-use offload_core::{Analysis, AnalysisOptions, AnalyzeError, Annotations, ParamBounds};
+use offload_core::{
+    Analysis, AnalysisOptions, AnalyzeError, Annotations, ParamBounds, SolveOptions,
+};
 use offload_poly::Rational;
 use offload_symbolic::{DummyOrigin, SymExpr, Symbolic};
 
@@ -63,17 +65,29 @@ impl Benchmark {
     ///
     /// Propagates analysis failures.
     pub fn analyze(&self) -> Result<Analysis, AnalyzeError> {
-        let mut builder = AnalysisOptions::builder()
-            .bounds(self.bounds.clone())
-            .annotate_with(self.annotate);
+        self.analyze_with(SolveOptions::default())
+    }
+
+    /// Like [`Benchmark::analyze`], but with caller-supplied solver
+    /// options (thread count, cut cache, logging). The benchmark's
+    /// preferred region strategy still takes precedence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures.
+    pub fn analyze_with(&self, mut solve: SolveOptions) -> Result<Analysis, AnalyzeError> {
         // The G.721 codecs, fft and susan produce networks of the size
         // for which the paper's exact region computation took thousands
         // of seconds; use the dominance-probing strategy there (see
         // `RegionStrategy::Dominance`). The ADPCM programs stay on the
         // exact Lemma 1 path.
         if matches!(self.name, "encode" | "decode" | "susan" | "fft") {
-            builder = builder.region_strategy(offload_core::RegionStrategy::Dominance);
+            solve.region_strategy = offload_core::RegionStrategy::Dominance;
         }
+        let builder = AnalysisOptions::builder()
+            .bounds(self.bounds.clone())
+            .annotate_with(self.annotate)
+            .solve(solve);
         Analysis::from_source(&self.source, builder.build())
     }
 }

@@ -53,8 +53,8 @@ pub use dispatch::{dummies_in_solution, AnnotationRule, Annotations, DispatchErr
 pub use items::{ItemTable, TrackedItem};
 pub use netbuild::{NetBuilder, ParamBounds, PartitionNetwork, Term, ValidityModel};
 pub use parametric::{
-    cut_cost_at, solve, Direction, ParametricPartition, Partition, Plan, RegionStrategy,
-    SolveError, SolveOptions, SolveStats,
+    cut_cost_at, solve, Direction, LogFn, LogLevel, ParametricPartition, Partition,
+    PipelineStats, Plan, RegionStrategy, SolveError, SolveOptions, SolveStats,
 };
 
 use offload_ir::Module;
@@ -259,7 +259,7 @@ fn probe_points(
         loop {
             match ub {
                 Some(u) if v >= u => {
-                    if *vals.last().expect("nonempty") != u {
+                    if vals.last() != Some(&u) {
                         vals.push(u);
                     }
                     break;
@@ -286,14 +286,14 @@ fn probe_points(
         param_vecs.push(
             ladders
                 .iter()
-                .map(|l| *l.get(level.min(l.len() - 1)).expect("nonempty"))
+                .map(|l| l.get(level.min(l.len().saturating_sub(1))).copied().unwrap_or(1))
                 .collect(),
         );
     }
     // Per-parameter sweeps with the others at their second level.
     let base: Vec<i64> = ladders
         .iter()
-        .map(|l| *l.get(1.min(l.len() - 1)).expect("nonempty"))
+        .map(|l| l.get(1.min(l.len().saturating_sub(1))).copied().unwrap_or(1))
         .collect();
     for (i, l) in ladders.iter().enumerate() {
         for &v in l {
@@ -379,7 +379,14 @@ impl Analysis {
         // (e.g. log2 trip counts) stay as dimensions and are evaluated at
         // dispatch time.
         let annotations = options.resolve_annotations(&symbolic);
-        for (d, rule) in annotations.exprs.clone() {
+        // Substitute in ascending dummy order: substitution interns new
+        // monomials, and the interning order decides every downstream
+        // dimension numbering — iterating the map directly would make the
+        // analysis differ structurally from run to run.
+        let mut rules: Vec<(u32, AnnotationRule)> =
+            annotations.exprs.iter().map(|(d, r)| (*d, r.clone())).collect();
+        rules.sort_by_key(|(d, _)| *d);
+        for (d, rule) in rules {
             if let AnnotationRule::Expr(e) = rule {
                 symbolic.substitute_dummy(d, &e);
             }
@@ -430,6 +437,12 @@ impl Analysis {
     /// Returns [`DispatchError`] for missing annotations or wrong arity.
     pub fn select(&self, params: &[i64]) -> Result<usize, DispatchError> {
         self.dispatcher.select(&self.network, &self.partition, params)
+    }
+
+    /// Unified work counters of the parametric solve (flow / poly / core
+    /// layers), as recorded on the partitioning result.
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        self.partition.stats.pipeline
     }
 
     /// Selects the partitioning choice for concrete parameter values and

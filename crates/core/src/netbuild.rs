@@ -25,7 +25,7 @@ use offload_poly::{Constraint, LinExpr, Polyhedron, Rational};
 use offload_pta::ModRef;
 use offload_symbolic::{Atom, DummyOrigin, MonomialId, SymExpr, Symbolic};
 use offload_tcfg::{EdgeKind, TaskId, Tcfg};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// A boolean term of Problem 1, represented by one network node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -174,8 +174,8 @@ impl<'a> NetBuilder<'a> {
         for (_, _, cap) in &arcs {
             if let PendingCap::Sym(e) = cap {
                 for (m, _) in e.terms() {
-                    if !dim_of.contains_key(&m) {
-                        dim_of.insert(m, dims.len());
+                    if let std::collections::hash_map::Entry::Vacant(slot) = dim_of.entry(m) {
+                        slot.insert(dims.len());
                         dims.push(m);
                     }
                 }
@@ -238,8 +238,11 @@ impl<'a> NetBuilder<'a> {
         for (ti, task) in self.tcfg.tasks().iter().enumerate() {
             let tid = TaskId(ti as u32);
             // Accumulate weight per block, then scale by block counts.
-            let mut weight_by_block: HashMap<(offload_ir::FuncId, offload_ir::BlockId), u32> =
-                HashMap::new();
+            // (A BTreeMap so the summation order — and hence the term
+            // order of the symbolic expression and every downstream
+            // dimension assignment — is identical on every run.)
+            let mut weight_by_block: BTreeMap<(offload_ir::FuncId, offload_ir::BlockId), u32> =
+                BTreeMap::new();
             for (f, b, _, inst) in self.tcfg.task_instructions(self.module, tid) {
                 *weight_by_block.entry((f, b)).or_insert(0) += self.cost.inst_weight(inst);
             }

@@ -1,4 +1,5 @@
-//! Algorithm 2: the parametric min-cut solver.
+//! Algorithm 2: the parametric min-cut solver — the region-exploration
+//! engine.
 //!
 //! Starting from the declared parameter region `X`, repeatedly: sample a
 //! point `h ∈ X`, solve the concrete min-cut at `h`, compute the full
@@ -8,12 +9,29 @@
 //! Lemma-1 projection works on a small network; the §5.2 degeneracy
 //! reduction merges choices whose assigned regions are covered by another
 //! choice's full optimality region.
+//!
+//! The engine drains `X` as a **worklist of disjoint convex pieces**,
+//! explored by a round-synchronous pool of `std::thread::scope` workers
+//! (see [`SolveOptions::threads`]): each round, every current piece of
+//! `X` is sampled / min-cut solved / Lemma-1 projected in parallel, then
+//! a *sequential* merge in piece order accepts each discovered cut unless
+//! an earlier-accepted region of the same round already covers its sample
+//! point. Parallelism only decides *who computes* each piece's result,
+//! never *which results exist*, so the output is bit-identical for every
+//! thread count — including `threads = 1`, which runs the same worklist
+//! inline. A memo cache keyed by cut signature (the source-side bit
+//! vector) reuses projected regions when the same cut is rediscovered
+//! ([`SolveOptions::cut_cache`]).
 
 use crate::netbuild::{PartitionNetwork, Term};
-use offload_flow::{Capacity, ParamNetwork, UnboundedFlow};
-use offload_poly::{Polyhedron, Rational, Region};
+use offload_flow::{Capacity, FlowStats, ParamNetwork, ParamSolver, UnboundedFlow};
+use offload_poly::{Polyhedron, PolyStats, Rational, Region};
 use offload_tcfg::{TaskId, Tcfg};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Direction of a data transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,7 +43,7 @@ pub enum Direction {
 }
 
 /// One partitioning choice: a task assignment plus its parameter region.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Partition {
     /// `true` = the task runs on the server.
     pub server_tasks: Vec<bool>,
@@ -104,7 +122,8 @@ impl<'a> Plan<'a> {
 /// Statistics of a parametric solve.
 #[derive(Debug, Clone, Default)]
 pub struct SolveStats {
-    /// Iterations of Algorithm 2's main loop.
+    /// Iterations of Algorithm 2's main loop (accepted cuts in the exact
+    /// engine; refinement rounds under [`RegionStrategy::Dominance`]).
     pub iterations: usize,
     /// Network nodes before simplification.
     pub nodes_before: usize,
@@ -112,6 +131,111 @@ pub struct SolveStats {
     pub nodes_after: usize,
     /// Choices removed by the §5.2 degeneracy reduction.
     pub merged_choices: usize,
+    /// Unified work counters across the flow / poly / core layers.
+    pub pipeline: PipelineStats,
+}
+
+/// Unified work counters across every layer of the parametric solve
+/// pipeline: Dinic effort in `offload-flow`, LP / projection effort in
+/// `offload-poly`, and engine-level counters (rounds, cache behaviour,
+/// timings) in `offload-core`.
+///
+/// All fields are plain integers so the struct travels unchanged through
+/// bench reports and the net protocol's varint wire format. The poly
+/// counters are process-wide deltas taken around the solve — exact totals
+/// for a single solve, approximate attribution when several solves run in
+/// one process concurrently. Counter values may legitimately differ
+/// between runs with different thread counts or cache settings; the
+/// *partitioning output* never does.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Max-flow solves performed (concrete min-cuts at sample points).
+    pub flow_solves: u64,
+    /// Dinic BFS level phases.
+    pub flow_phases: u64,
+    /// Dinic augmenting paths pushed.
+    pub flow_augmenting_paths: u64,
+    /// Simplex LP solves.
+    pub lp_solves: u64,
+    /// Simplex pivots.
+    pub lp_pivots: u64,
+    /// Variables eliminated by polyhedral projection.
+    pub fm_vars_eliminated: u64,
+    /// Constraints generated by Fourier–Motzkin combination.
+    pub fm_constraints: u64,
+    /// Cuts accepted by the region-exploration engine.
+    pub regions_explored: u64,
+    /// Worklist rounds of the parallel engine.
+    pub rounds: u64,
+    /// Cut-signature cache hits.
+    pub cache_hits: u64,
+    /// Cut-signature cache misses (projections actually performed).
+    pub cache_misses: u64,
+    /// Worker threads the engine ran with.
+    pub threads_used: u32,
+    /// Wall-clock microseconds of the §5.4 simplification.
+    pub simplify_micros: u64,
+    /// Wall-clock microseconds of the region exploration (everything
+    /// after simplification).
+    pub solve_micros: u64,
+}
+
+impl PipelineStats {
+    /// Folds a flow-layer counter block into this record.
+    pub fn absorb_flow(&mut self, flow: &FlowStats) {
+        self.flow_solves += flow.solves;
+        self.flow_phases += flow.phases;
+        self.flow_augmenting_paths += flow.augmenting_paths;
+    }
+
+    /// Folds a poly-layer counter delta into this record.
+    pub fn absorb_poly(&mut self, poly: &PolyStats) {
+        self.lp_solves += poly.lp_solves;
+        self.lp_pivots += poly.lp_pivots;
+        self.fm_vars_eliminated += poly.fm_vars_eliminated;
+        self.fm_constraints += poly.fm_constraints;
+    }
+
+    /// Cache hit rate in `[0, 1]` (zero when the cache was never
+    /// consulted).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "flow: {} solves, {} phases, {} augmenting paths",
+            self.flow_solves, self.flow_phases, self.flow_augmenting_paths
+        )?;
+        writeln!(
+            f,
+            "poly: {} LP solves, {} pivots, {} vars eliminated, {} FM constraints",
+            self.lp_solves, self.lp_pivots, self.fm_vars_eliminated, self.fm_constraints
+        )?;
+        writeln!(
+            f,
+            "core: {} regions in {} rounds on {} thread(s), cache {}/{} ({:.0}% hit)",
+            self.regions_explored,
+            self.rounds,
+            self.threads_used,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            self.cache_hit_rate() * 100.0
+        )?;
+        write!(
+            f,
+            "time: simplify {} us, solve {} us",
+            self.simplify_micros, self.solve_micros
+        )
+    }
 }
 
 /// The complete parametric partitioning result.
@@ -164,8 +288,32 @@ pub enum RegionStrategy {
     Dominance,
 }
 
+/// Verbosity of a [`SolveOptions::log`] message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Per-round / per-iteration progress detail.
+    Debug,
+    /// Milestones (simplification done, solve done).
+    Info,
+    /// Unexpected-but-recoverable situations.
+    Warn,
+}
+
+impl fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogLevel::Debug => write!(f, "debug"),
+            LogLevel::Info => write!(f, "info"),
+            LogLevel::Warn => write!(f, "warn"),
+        }
+    }
+}
+
+/// A leveled progress sink for the solver (see [`SolveOptions::log`]).
+pub type LogFn = dyn Fn(LogLevel, &str) + Send + Sync;
+
 /// Options controlling the solver.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SolveOptions {
     /// Apply the §5.4 network simplification before solving.
     pub simplify: bool,
@@ -175,6 +323,33 @@ pub struct SolveOptions {
     pub max_iterations: usize,
     /// Region computation strategy.
     pub region_strategy: RegionStrategy,
+    /// Worker threads for the region-exploration engine. `0` (default)
+    /// means [`std::thread::available_parallelism`]. The partitioning
+    /// output is bit-identical for every value.
+    pub threads: usize,
+    /// Reuse projected optimality regions when the same cut signature is
+    /// rediscovered (default `true`; sound — the projection is a pure
+    /// function of the signature).
+    pub cut_cache: bool,
+    /// Leveled progress callback. When unset, progress is emitted to
+    /// stderr only if the `OFFLOAD_CORE_DEBUG` environment variable is
+    /// set (the legacy behaviour); embedders such as the server daemon
+    /// set this to capture progress without stderr scraping.
+    pub log: Option<Arc<LogFn>>,
+}
+
+impl fmt::Debug for SolveOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolveOptions")
+            .field("simplify", &self.simplify)
+            .field("reduce_degeneracy", &self.reduce_degeneracy)
+            .field("max_iterations", &self.max_iterations)
+            .field("region_strategy", &self.region_strategy)
+            .field("threads", &self.threads)
+            .field("cut_cache", &self.cut_cache)
+            .field("log", &self.log.as_ref().map(|_| "closure"))
+            .finish()
+    }
 }
 
 impl Default for SolveOptions {
@@ -184,6 +359,37 @@ impl Default for SolveOptions {
             reduce_degeneracy: true,
             max_iterations: 64,
             region_strategy: RegionStrategy::Exact,
+            threads: 0,
+            cut_cache: true,
+            log: None,
+        }
+    }
+}
+
+/// Internal logging shim honouring [`SolveOptions::log`] with the legacy
+/// `OFFLOAD_CORE_DEBUG` stderr fallback.
+struct Logger {
+    sink: Option<Arc<LogFn>>,
+    env_debug: bool,
+}
+
+impl Logger {
+    fn new(options: &SolveOptions) -> Logger {
+        Logger {
+            sink: options.log.clone(),
+            env_debug: std::env::var_os("OFFLOAD_CORE_DEBUG").is_some(),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.sink.is_some() || self.env_debug
+    }
+
+    fn log(&self, level: LogLevel, msg: impl FnOnce() -> String) {
+        match &self.sink {
+            Some(f) => f(level, &msg()),
+            None if self.env_debug => eprintln!("[core:{level}] {}", msg()),
+            None => {}
         }
     }
 }
@@ -219,73 +425,296 @@ pub fn solve_with_probes(
     options: &SolveOptions,
     probes: &[Vec<Rational>],
 ) -> Result<ParametricPartition, SolveError> {
+    let logger = Logger::new(options);
+    let poly_before = PolyStats::snapshot();
     let mut stats = SolveStats { nodes_before: pnet.net.node_count(), ..Default::default() };
 
-    let t_simplify = std::time::Instant::now();
+    let t_simplify = Instant::now();
     let (snet, mapping): (ParamNetwork, Vec<usize>) = if options.simplify {
         pnet.net.simplify(&pnet.param_space)
     } else {
         (pnet.net.clone(), (0..pnet.net.node_count()).collect())
     };
     stats.nodes_after = snet.node_count();
-    if std::env::var_os("OFFLOAD_CORE_DEBUG").is_some() {
-        eprintln!(
-            "[core] simplify {:?}: {} -> {} nodes, {} arcs, {} dims",
+    stats.pipeline.simplify_micros = t_simplify.elapsed().as_micros() as u64;
+    logger.log(LogLevel::Info, || {
+        format!(
+            "simplify {:?}: {} -> {} nodes, {} arcs, {} dims",
             t_simplify.elapsed(),
             stats.nodes_before,
             stats.nodes_after,
             snet.arcs().len(),
             pnet.dims.len(),
-        );
-    }
+        )
+    });
 
-    if options.region_strategy == RegionStrategy::Dominance {
-        let choices = solve_dominance(pnet, tcfg, n_items, &snet, &mapping, probes, &mut stats)?;
-        return Ok(ParametricPartition { choices, stats });
-    }
+    let t_solve = Instant::now();
+    let result = if options.region_strategy == RegionStrategy::Dominance {
+        stats.pipeline.threads_used = 1;
+        solve_dominance(pnet, tcfg, n_items, &snet, &mapping, probes, &mut stats)
+    } else {
+        explore_regions(pnet, tcfg, n_items, options, &logger, &snet, &mapping, &mut stats)
+    };
+    stats.pipeline.solve_micros = t_solve.elapsed().as_micros() as u64;
+    stats.pipeline.absorb_poly(&PolyStats::snapshot().since(&poly_before));
 
-    let debug = std::env::var_os("OFFLOAD_CORE_DEBUG").is_some();
+    let mut choices = result?;
+    if options.region_strategy == RegionStrategy::Exact && options.reduce_degeneracy {
+        stats.merged_choices = reduce_degeneracy(&mut choices);
+    }
+    logger.log(LogLevel::Info, || {
+        format!(
+            "solved: {} choices ({} merged) in {} us\n{}",
+            choices.len(),
+            stats.merged_choices,
+            stats.pipeline.solve_micros,
+            stats.pipeline,
+        )
+    });
+    Ok(ParametricPartition { choices, stats })
+}
+
+/// The result of exploring one worklist piece: its deterministic sample
+/// point, the cut found there (on the simplified network), and the cut's
+/// full Lemma-1 optimality region.
+struct PieceResult {
+    point: Vec<Rational>,
+    side: Vec<bool>,
+    full_region: Polyhedron,
+}
+
+/// The memo cache mapping a cut signature (source-side bit vector on the
+/// simplified network) to its projected optimality region.
+type CutCache = Mutex<HashMap<Vec<bool>, Polyhedron>>;
+
+/// The exact region-exploration engine: a round-synchronous parallel
+/// worklist over the disjoint pieces of the uncovered region `X`.
+///
+/// Each round takes a snapshot of `X`'s pieces in order and explores all
+/// of them (sample → concrete min-cut → optimality region) across the
+/// worker pool; a sequential merge then walks the results **in piece
+/// order**, accepting a cut unless a region accepted earlier in the same
+/// round already covers its sample point, and shrinking `X` per accepted
+/// cut. Every piece is explored in every round regardless of thread
+/// count, and the merge is sequential, so the output — and even the flow
+/// work counters — are independent of scheduling.
+#[allow(clippy::too_many_arguments)]
+fn explore_regions(
+    pnet: &PartitionNetwork,
+    tcfg: &Tcfg,
+    n_items: usize,
+    options: &SolveOptions,
+    logger: &Logger,
+    snet: &ParamNetwork,
+    mapping: &[usize],
+    stats: &mut SolveStats,
+) -> Result<Vec<Partition>, SolveError> {
+    let threads = match options.threads {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    };
+    stats.pipeline.threads_used = threads as u32;
+    let cache: Option<CutCache> = options.cut_cache.then(|| Mutex::new(HashMap::new()));
+
     let mut x = Region::from(pnet.param_space.clone());
     let mut choices: Vec<Partition> = Vec::new();
 
     loop {
-        let t_sample = std::time::Instant::now();
-        let Some(point) = x.sample() else { break };
-        stats.iterations += 1;
-        if stats.iterations > options.max_iterations {
-            return Err(SolveError::IterationLimit { found: choices.len() });
+        let pieces = x.pieces();
+        if pieces.is_empty() {
+            break;
         }
-        let t_cut = std::time::Instant::now();
-        let mf = snet.solve_at(&point).map_err(SolveError::Unbounded)?;
-        let t_region = std::time::Instant::now();
-        let full_region = snet.optimality_region(&mf.source_side, &pnet.param_space);
-        if debug {
-            eprintln!(
-                "[core] iter {}: sample {:?} cut {:?} region {:?} ({} constraints, {} pieces left)",
-                stats.iterations,
-                t_cut - t_sample,
-                t_region - t_cut,
-                t_region.elapsed(),
-                full_region.constraints().len(),
-                x.pieces().len(),
-            );
-        }
-        if !full_region.contains(&point) {
-            // Should be impossible (Theorem 2); fail fast rather than
-            // loop forever.
-            return Err(SolveError::IterationLimit { found: choices.len() });
-        }
-        let assigned = x.intersect(&full_region);
-        x = x.subtract(&full_region);
-        let cut = expand_cut(&mapping, &mf.source_side, pnet.net.node_count());
-        choices.push(extract_partition(pnet, tcfg, n_items, cut, assigned, full_region));
-    }
+        stats.pipeline.rounds += 1;
+        let n_pieces = pieces.len();
+        let t_round = Instant::now();
+        let results = explore_round(snet, &pnet.param_space, pieces, threads, cache.as_ref(), stats);
 
-    if options.reduce_degeneracy {
-        stats.merged_choices = reduce_degeneracy(&mut choices);
+        // Sequential merge in piece order. Parallelism above only decided
+        // who computed each slot; from here on everything is ordered.
+        let mut accepted: Vec<PieceResult> = Vec::new();
+        for result in results {
+            let r = match result {
+                None => continue, // piece was empty (cannot happen: X holds non-empty pieces)
+                Some(Err(e)) => return Err(SolveError::Unbounded(e)),
+                Some(Ok(r)) => r,
+            };
+            if accepted.iter().any(|a| a.full_region.contains(&r.point)) {
+                // An earlier-accepted cut of this round already covers
+                // this sample; the shrunken X re-queues whatever remains
+                // of the piece next round.
+                continue;
+            }
+            stats.iterations += 1;
+            if stats.iterations > options.max_iterations {
+                return Err(SolveError::IterationLimit { found: choices.len() });
+            }
+            if !r.full_region.contains(&r.point) {
+                // Should be impossible (Theorem 2); fail fast rather than
+                // loop forever.
+                return Err(SolveError::IterationLimit { found: choices.len() });
+            }
+            let assigned = x.intersect(&r.full_region);
+            x = x.subtract(&r.full_region);
+            let cut = expand_cut(mapping, &r.side, pnet.net.node_count());
+            choices.push(extract_partition(
+                pnet,
+                tcfg,
+                n_items,
+                cut,
+                assigned,
+                r.full_region.clone(),
+            ));
+            accepted.push(r);
+        }
+        stats.pipeline.regions_explored += accepted.len() as u64;
+        if logger.enabled() {
+            logger.log(LogLevel::Debug, || {
+                format!(
+                    "round {}: {} pieces -> {} accepted cuts ({} total) in {:?}, {} pieces left",
+                    stats.pipeline.rounds,
+                    n_pieces,
+                    accepted.len(),
+                    choices.len(),
+                    t_round.elapsed(),
+                    x.pieces().len(),
+                )
+            });
+        }
     }
+    Ok(choices)
+}
 
-    Ok(ParametricPartition { choices, stats })
+/// Explores every piece of the current round, returning results in piece
+/// order. With one thread (or one piece) the work runs inline; otherwise
+/// `threads` scoped workers drain an atomic index over the piece list,
+/// each owning a [`ParamSolver`] so repeated min-cuts share scratch
+/// buffers. Result slots are indexed by piece, so assembly order is
+/// independent of scheduling.
+fn explore_round(
+    snet: &ParamNetwork,
+    param_space: &Polyhedron,
+    pieces: &[Polyhedron],
+    threads: usize,
+    cache: Option<&CutCache>,
+    stats: &mut SolveStats,
+) -> Vec<Option<Result<PieceResult, UnboundedFlow>>> {
+    let n = pieces.len();
+    let workers = threads.min(n);
+    let mut flow = FlowStats::default();
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let mut results: Vec<Option<Result<PieceResult, UnboundedFlow>>> = Vec::with_capacity(n);
+    if workers <= 1 {
+        let mut solver = snet.solver();
+        for piece in pieces {
+            results.push(explore_piece(
+                snet,
+                param_space,
+                piece,
+                &mut solver,
+                cache,
+                &mut hits,
+                &mut misses,
+            ));
+        }
+        flow = flow.add(&solver.stats());
+    } else {
+        results.resize_with(n, || None);
+        let slots: Vec<Mutex<Option<Result<PieceResult, UnboundedFlow>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut solver = snet.solver();
+                        let (mut h, mut m) = (0u64, 0u64);
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let r = explore_piece(
+                                snet,
+                                param_space,
+                                &pieces[i],
+                                &mut solver,
+                                cache,
+                                &mut h,
+                                &mut m,
+                            );
+                            *lock_ignore_poison(&slots[i]) = r;
+                        }
+                        (solver.stats(), h, m)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok((f, h, m)) => {
+                        flow = flow.add(&f);
+                        hits += h;
+                        misses += m;
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        for (slot, result) in slots.into_iter().zip(results.iter_mut()) {
+            *result = slot.into_inner().unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    stats.pipeline.absorb_flow(&flow);
+    stats.pipeline.cache_hits += hits;
+    stats.pipeline.cache_misses += misses;
+    results
+}
+
+/// Explores one worklist piece: sample its deterministic interior point,
+/// solve the concrete min-cut there, and obtain the cut's optimality
+/// region (from the signature cache when enabled). Returns `None` for an
+/// empty piece.
+fn explore_piece(
+    snet: &ParamNetwork,
+    param_space: &Polyhedron,
+    piece: &Polyhedron,
+    solver: &mut ParamSolver,
+    cache: Option<&CutCache>,
+    hits: &mut u64,
+    misses: &mut u64,
+) -> Option<Result<PieceResult, UnboundedFlow>> {
+    let point = piece.sample()?;
+    let mf = match solver.solve_at(&point) {
+        Ok(mf) => mf,
+        Err(e) => return Some(Err(e)),
+    };
+    let full_region = match cache {
+        Some(cache) => {
+            let cached = lock_ignore_poison(cache).get(&mf.source_side).cloned();
+            match cached {
+                Some(region) => {
+                    *hits += 1;
+                    region
+                }
+                None => {
+                    *misses += 1;
+                    // Pure function of (signature, param_space): a racing
+                    // double-compute stores the identical value twice.
+                    let region = snet.optimality_region(&mf.source_side, param_space);
+                    lock_ignore_poison(cache).insert(mf.source_side.clone(), region.clone());
+                    region
+                }
+            }
+        }
+        None => snet.optimality_region(&mf.source_side, param_space),
+    };
+    Some(Ok(PieceResult { point, side: mf.source_side, full_region }))
+}
+
+/// Locks a mutex, recovering the guard from a poisoned lock (the data is
+/// plain counters / memo entries — a worker panic cannot leave them in a
+/// harmful state, and the panic itself is re-raised by the scope join).
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 fn expand_cut(mapping: &[usize], simplified_side: &[bool], nodes: usize) -> Vec<bool> {
@@ -323,11 +752,12 @@ fn solve_dominance(
     use offload_poly::Rational;
     let space = &pnet.param_space;
     let mut cuts: Vec<(Vec<bool>, offload_poly::LinExpr)> = Vec::new();
+    let solver = std::cell::RefCell::new(snet.solver());
 
     let add_cut_at = |point: &[Rational],
                           cuts: &mut Vec<(Vec<bool>, offload_poly::LinExpr)>|
      -> Result<bool, SolveError> {
-        let mf = snet.solve_at(point).map_err(SolveError::Unbounded)?;
+        let mf = solver.borrow_mut().solve_at(point).map_err(SolveError::Unbounded)?;
         if cuts.iter().any(|(s, _)| *s == mf.source_side) {
             return Ok(false);
         }
@@ -411,6 +841,8 @@ fn solve_dominance(
     // (Degeneracy reduction is unnecessary here — dominance regions are
     // already one-per-cut.)
     out.retain(|p| !p.region.is_empty());
+    stats.pipeline.absorb_flow(&solver.borrow().stats());
+    stats.pipeline.regions_explored += out.len() as u64;
     return Ok(out);
 
     fn dominance_regions(

@@ -1,0 +1,124 @@
+//! Determinism contracts of the region-exploration engine.
+//!
+//! The parallel worklist must produce bit-identical partitions for every
+//! thread count (parallelism only decides *who* computes each piece,
+//! never *which* results exist), the cut-signature cache must be a pure
+//! memoization (identical output on and off), and the whole analysis must
+//! be reproducible run to run within one process (no hash-iteration
+//! ordering may leak into the output).
+
+use offload_core::{Analysis, AnalysisOptions, PipelineStats, SolveOptions};
+
+/// Programs with multi-choice partitions exercising several rounds of
+/// the worklist (loops over distinct parameters produce distinct cuts).
+const PROGRAMS: &[&str] = &[
+    "int work(int k) {
+         int j; int acc;
+         acc = 0;
+         for (j = 0; j < k; j++) { acc = acc + j * j; }
+         return acc;
+     }
+     void main(int n) { output(work(n)); }",
+    "int stage1(int k) {
+         int j; int acc;
+         acc = 0;
+         for (j = 0; j < k; j++) { acc = acc + j * 3 % 97; }
+         return acc;
+     }
+     int stage2(int k) {
+         int j; int acc;
+         acc = 1;
+         for (j = 0; j < k; j++) { acc = acc + j * j % 31; }
+         return acc;
+     }
+     void main(int n, int m) { output(stage1(n) + stage2(m)); }",
+    "int inner(int k) {
+         int j; int acc;
+         acc = 0;
+         for (j = 0; j < k; j++) { acc = acc + j; }
+         return acc;
+     }
+     int outer(int n, int m) {
+         int i; int acc;
+         acc = 0;
+         for (i = 0; i < n; i++) { acc = acc + inner(m); }
+         return acc;
+     }
+     void main(int n, int m) { output(outer(n, m)); }",
+];
+
+fn analyze_with(src: &str, solve: SolveOptions) -> Analysis {
+    let opts = AnalysisOptions { solve, ..AnalysisOptions::default() };
+    Analysis::from_source(src, opts).expect("analysis succeeds")
+}
+
+#[test]
+fn parallel_partition_is_bit_identical_to_sequential() {
+    for (i, src) in PROGRAMS.iter().enumerate() {
+        let seq = analyze_with(src, SolveOptions { threads: 1, ..Default::default() });
+        for threads in [2, 4, 8] {
+            let par = analyze_with(src, SolveOptions { threads, ..Default::default() });
+            assert_eq!(
+                seq.partition.choices, par.partition.choices,
+                "program {i}: threads={threads} diverged from sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_work_counters_are_scheduling_independent() {
+    // Every piece is explored in every round regardless of thread count,
+    // so even the flow-layer effort counters must match exactly.
+    for src in PROGRAMS {
+        let seq = analyze_with(src, SolveOptions { threads: 1, ..Default::default() });
+        let par = analyze_with(src, SolveOptions { threads: 4, ..Default::default() });
+        let (s, p) = (seq.pipeline_stats(), par.pipeline_stats());
+        assert_eq!(s.flow_solves, p.flow_solves);
+        assert_eq!(s.flow_phases, p.flow_phases);
+        assert_eq!(s.flow_augmenting_paths, p.flow_augmenting_paths);
+        assert_eq!(s.rounds, p.rounds);
+        assert_eq!(s.regions_explored, p.regions_explored);
+    }
+}
+
+#[test]
+fn cut_cache_does_not_change_the_partition() {
+    for (i, src) in PROGRAMS.iter().enumerate() {
+        let cached = analyze_with(src, SolveOptions { cut_cache: true, ..Default::default() });
+        let raw = analyze_with(src, SolveOptions { cut_cache: false, ..Default::default() });
+        assert_eq!(
+            cached.partition.choices, raw.partition.choices,
+            "program {i}: cache changed the output"
+        );
+        let off = raw.pipeline_stats();
+        assert_eq!(off.cache_hits, 0, "disabled cache must never report hits");
+        assert_eq!(off.cache_misses, 0, "disabled cache must never report misses");
+    }
+}
+
+#[test]
+fn analysis_is_reproducible_within_a_process() {
+    // Two analyses of the same source in one process see differently
+    // seeded hash maps; none of that may reach the output.
+    for (i, src) in PROGRAMS.iter().enumerate() {
+        let a = analyze_with(src, SolveOptions::default());
+        let b = analyze_with(src, SolveOptions::default());
+        assert_eq!(
+            a.partition.choices, b.partition.choices,
+            "program {i}: repeated analysis diverged"
+        );
+        assert_eq!(a.network.param_space, b.network.param_space);
+    }
+}
+
+#[test]
+fn pipeline_stats_are_populated_on_the_exact_path() {
+    let a = analyze_with(PROGRAMS[0], SolveOptions { threads: 2, ..Default::default() });
+    let p: PipelineStats = a.pipeline_stats();
+    assert!(p.flow_solves > 0, "min-cut work must be counted");
+    assert!(p.lp_solves > 0, "LP work must be counted");
+    assert!(p.rounds > 0, "worklist rounds must be counted");
+    assert!(p.regions_explored as usize >= a.partition.choices.len());
+    assert_eq!(p.threads_used, 2);
+}

@@ -153,8 +153,10 @@ fn degeneracy_reduction_reduces_or_keeps() {
                    return acc;
                }
                void main(int n) { output(work(n)); }";
-    let mut opts = AnalysisOptions::default();
-    opts.solve = SolveOptions { reduce_degeneracy: false, ..Default::default() };
+    let opts = AnalysisOptions {
+        solve: SolveOptions { reduce_degeneracy: false, ..Default::default() },
+        ..Default::default()
+    };
     let without = Analysis::from_source(src, opts).unwrap();
     let with = analyze(src);
     assert!(with.partition.choices.len() <= without.partition.choices.len());
@@ -169,8 +171,10 @@ fn simplification_does_not_change_decisions() {
                    return acc;
                }
                void main(int n) { output(work(n)); }";
-    let mut opts = AnalysisOptions::default();
-    opts.solve = SolveOptions { simplify: false, ..Default::default() };
+    let opts = AnalysisOptions {
+        solve: SolveOptions { simplify: false, ..Default::default() },
+        ..Default::default()
+    };
     let plain = Analysis::from_source(src, opts).unwrap();
     let simplified = analyze(src);
     for n in [1i64, 100, 10_000, 1_000_000] {

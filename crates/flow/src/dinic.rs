@@ -3,6 +3,17 @@
 //! Capacities may be infinite (the paper's encoding of hard constraints:
 //! an infinite arc can never be cut). Dinic's bound of `O(V²E)` phases is
 //! independent of capacity magnitudes, so exact rationals are safe.
+//!
+//! Two entry points:
+//!
+//! * [`FlowNetwork::max_flow`] — one-shot convenience (builds a solver,
+//!   solves, discards);
+//! * [`DinicSolver`] — a reusable solver that owns its adjacency, edge and
+//!   level/iterator scratch buffers. Repeated solves after capacity
+//!   updates ([`DinicSolver::set_capacity`]) pay only the residual reset,
+//!   never graph reconstruction — the workhorse of the parametric
+//!   region-exploration engine, which re-solves the same network at
+//!   thousands of parameter points.
 
 use offload_poly::Rational;
 use std::fmt;
@@ -44,6 +55,32 @@ impl fmt::Display for Capacity {
         match self {
             Capacity::Finite(r) => write!(f, "{r}"),
             Capacity::Infinite => write!(f, "inf"),
+        }
+    }
+}
+
+/// Work counters of a [`DinicSolver`], accumulated across solves.
+///
+/// These feed the pipeline-wide statistics (`offload-core`'s
+/// `PipelineStats`): they measure how much min-cut work a parametric
+/// solve performed, independent of wall-clock noise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Completed max-flow solves.
+    pub solves: u64,
+    /// BFS level phases across all solves.
+    pub phases: u64,
+    /// Augmenting paths pushed across all solves.
+    pub augmenting_paths: u64,
+}
+
+impl FlowStats {
+    /// Field-wise sum (for merging per-worker counters).
+    pub fn add(&self, other: &FlowStats) -> FlowStats {
+        FlowStats {
+            solves: self.solves + other.solves,
+            phases: self.phases + other.phases,
+            augmenting_paths: self.augmenting_paths + other.augmenting_paths,
         }
     }
 }
@@ -127,58 +164,194 @@ impl FlowNetwork {
         self.sink
     }
 
+    /// Builds a reusable solver over this network's structure and current
+    /// capacities.
+    pub fn solver(&self) -> DinicSolver {
+        let mut s = DinicSolver::new(self.nodes, self.source, self.sink);
+        for (f, t, c) in &self.arcs {
+            s.add_arc(*f, *t, c.clone());
+        }
+        s
+    }
+
     /// Computes the maximum flow and the canonical minimum cut.
+    ///
+    /// One-shot convenience over [`FlowNetwork::solver`]; callers that
+    /// re-solve with updated capacities should hold a [`DinicSolver`]
+    /// instead.
     ///
     /// # Errors
     ///
     /// Returns [`UnboundedFlow`] if an all-infinite source-to-sink path
     /// exists.
     pub fn max_flow(&self) -> Result<MaxFlow, UnboundedFlow> {
-        // Unboundedness check: s-t path using only infinite arcs.
-        {
-            let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.nodes];
-            for (f, t, c) in &self.arcs {
-                if matches!(c, Capacity::Infinite) {
-                    adj[*f].push(*t);
-                }
+        self.solver().solve()
+    }
+}
+
+/// Residual representation: paired forward/backward edges.
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: Option<Rational>, // residual; None = infinite
+    paired: usize,
+}
+
+/// A reusable Dinic max-flow solver.
+///
+/// Owns the graph structure (adjacency lists, paired residual edges) and
+/// all per-solve scratch state (BFS levels, DFS edge iterators, the
+/// reachability stack). [`DinicSolver::solve`] resets residuals from the
+/// declared capacities and runs — so solving the same structure at a new
+/// set of capacities ([`DinicSolver::set_capacity`]) performs **zero**
+/// graph construction and no per-solve vector allocation beyond the
+/// returned [`MaxFlow`].
+#[derive(Debug, Clone)]
+pub struct DinicSolver {
+    nodes: usize,
+    source: usize,
+    sink: usize,
+    /// Declared capacity per arc (the reset source).
+    caps: Vec<Capacity>,
+    /// Arc endpoints, in insertion order.
+    ends: Vec<(usize, usize)>,
+    /// node -> incident residual-edge ids.
+    graph: Vec<Vec<usize>>,
+    edges: Vec<Edge>,
+    /// arc index -> forward residual-edge id.
+    fwd_index: Vec<usize>,
+    // ---- scratch ----
+    level: Vec<usize>,
+    iter: Vec<usize>,
+    seen: Vec<bool>,
+    stack: Vec<usize>,
+    stats: FlowStats,
+}
+
+impl DinicSolver {
+    /// Creates an empty solver with `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source == sink` or either is out of range.
+    pub fn new(nodes: usize, source: usize, sink: usize) -> Self {
+        assert!(source < nodes && sink < nodes && source != sink);
+        DinicSolver {
+            nodes,
+            source,
+            sink,
+            caps: Vec::new(),
+            ends: Vec::new(),
+            graph: vec![Vec::new(); nodes],
+            edges: Vec::new(),
+            fwd_index: Vec::new(),
+            level: vec![usize::MAX; nodes],
+            iter: vec![0; nodes],
+            seen: vec![false; nodes],
+            stack: Vec::new(),
+            stats: FlowStats::default(),
+        }
+    }
+
+    /// Adds an arc; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or a negative finite capacity.
+    pub fn add_arc(&mut self, from: usize, to: usize, cap: Capacity) -> usize {
+        assert!(from < self.nodes && to < self.nodes);
+        if let Capacity::Finite(c) = &cap {
+            assert!(!c.is_negative(), "negative capacity");
+        }
+        let fi = self.edges.len();
+        self.edges.push(Edge { to, cap: None, paired: fi + 1 });
+        self.graph[from].push(fi);
+        self.edges.push(Edge { to: from, cap: Some(Rational::zero()), paired: fi });
+        self.graph[to].push(fi + 1);
+        self.fwd_index.push(fi);
+        self.ends.push((from, to));
+        self.caps.push(cap);
+        self.caps.len() - 1
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Replaces the declared capacity of arc `arc` (takes effect on the
+    /// next [`DinicSolver::solve`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range arc index or a negative finite capacity.
+    pub fn set_capacity(&mut self, arc: usize, cap: Capacity) {
+        if let Capacity::Finite(c) = &cap {
+            assert!(!c.is_negative(), "negative capacity");
+        }
+        self.caps[arc] = cap;
+    }
+
+    /// Work counters accumulated since construction.
+    pub fn stats(&self) -> FlowStats {
+        self.stats
+    }
+
+    /// Unboundedness check: an s-t path using only infinite arcs. Reuses
+    /// the `seen`/`stack` scratch buffers.
+    fn has_infinite_path(&mut self) -> bool {
+        self.seen.iter_mut().for_each(|s| *s = false);
+        self.stack.clear();
+        self.stack.push(self.source);
+        self.seen[self.source] = true;
+        while let Some(n) = self.stack.pop() {
+            if n == self.sink {
+                return true;
             }
-            let mut seen = vec![false; self.nodes];
-            let mut stack = vec![self.source];
-            seen[self.source] = true;
-            while let Some(n) = stack.pop() {
-                if n == self.sink {
-                    return Err(UnboundedFlow);
+            for &ei in &self.graph[n] {
+                // Forward edges are even ids; infinite arcs have no
+                // residual bound once reset, but here we consult the
+                // *declared* capacities so the check is valid pre-reset.
+                if ei % 2 != 0 {
+                    continue;
                 }
-                for &m in &adj[n] {
-                    if !seen[m] {
-                        seen[m] = true;
-                        stack.push(m);
+                let arc = ei / 2;
+                if matches!(self.caps[arc], Capacity::Infinite) {
+                    let to = self.edges[ei].to;
+                    if !self.seen[to] {
+                        self.seen[to] = true;
+                        self.stack.push(to);
                     }
                 }
             }
         }
+        false
+    }
 
-        // Residual representation: paired forward/backward edges.
-        struct Edge {
-            to: usize,
-            cap: Option<Rational>, // residual; None = infinite
-            paired: usize,
+    /// Resets residuals from the declared capacities.
+    fn reset_residuals(&mut self) {
+        for (arc, cap) in self.caps.iter().enumerate() {
+            let fi = self.fwd_index[arc];
+            self.edges[fi].cap = cap.as_finite().cloned();
+            if matches!(cap, Capacity::Infinite) {
+                self.edges[fi].cap = None;
+            }
+            self.edges[fi + 1].cap = Some(Rational::zero());
         }
-        let mut graph: Vec<Vec<usize>> = vec![Vec::new(); self.nodes];
-        let mut edges: Vec<Edge> = Vec::with_capacity(self.arcs.len() * 2);
-        let mut fwd_index = Vec::with_capacity(self.arcs.len());
-        for (f, t, c) in &self.arcs {
-            let fi = edges.len();
-            fwd_index.push(fi);
-            edges.push(Edge {
-                to: *t,
-                cap: c.as_finite().cloned().map(Some).unwrap_or(None),
-                paired: fi + 1,
-            });
-            graph[*f].push(fi);
-            edges.push(Edge { to: *f, cap: Some(Rational::zero()), paired: fi });
-            graph[*t].push(fi + 1);
+    }
+
+    /// Computes the maximum flow and the canonical minimum cut under the
+    /// current capacities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnboundedFlow`] if an all-infinite source-to-sink path
+    /// exists.
+    pub fn solve(&mut self) -> Result<MaxFlow, UnboundedFlow> {
+        if self.has_infinite_path() {
+            return Err(UnboundedFlow);
         }
+        self.reset_residuals();
 
         let positive = |cap: &Option<Rational>| match cap {
             None => true,
@@ -187,24 +360,30 @@ impl FlowNetwork {
 
         let mut total = Rational::zero();
         loop {
-            // BFS levels.
-            let mut level = vec![usize::MAX; self.nodes];
-            level[self.source] = 0;
-            let mut queue = std::collections::VecDeque::from([self.source]);
-            while let Some(n) = queue.pop_front() {
-                for &ei in &graph[n] {
-                    let e = &edges[ei];
-                    if positive(&e.cap) && level[e.to] == usize::MAX {
-                        level[e.to] = level[n] + 1;
-                        queue.push_back(e.to);
+            // BFS levels (reuse the level buffer and the stack as a FIFO
+            // via an explicit head index).
+            self.level.iter_mut().for_each(|l| *l = usize::MAX);
+            self.level[self.source] = 0;
+            self.stack.clear();
+            self.stack.push(self.source);
+            let mut head = 0;
+            while head < self.stack.len() {
+                let n = self.stack[head];
+                head += 1;
+                for &ei in &self.graph[n] {
+                    let e = &self.edges[ei];
+                    if positive(&e.cap) && self.level[e.to] == usize::MAX {
+                        self.level[e.to] = self.level[n] + 1;
+                        self.stack.push(e.to);
                     }
                 }
             }
-            if level[self.sink] == usize::MAX {
+            if self.level[self.sink] == usize::MAX {
                 break;
             }
+            self.stats.phases += 1;
             // Blocking flow via iterative DFS with edge iterators.
-            let mut iter = vec![0usize; self.nodes];
+            self.iter.iter_mut().for_each(|i| *i = 0);
             loop {
                 // Find one augmenting path.
                 let mut path: Vec<usize> = Vec::new(); // edge ids
@@ -214,16 +393,16 @@ impl FlowNetwork {
                         break true;
                     }
                     let mut advanced = false;
-                    while iter[node] < graph[node].len() {
-                        let ei = graph[node][iter[node]];
-                        let e = &edges[ei];
-                        if positive(&e.cap) && level[e.to] == level[node] + 1 {
+                    while self.iter[node] < self.graph[node].len() {
+                        let ei = self.graph[node][self.iter[node]];
+                        let e = &self.edges[ei];
+                        if positive(&e.cap) && self.level[e.to] == self.level[node] + 1 {
                             path.push(ei);
                             node = e.to;
                             advanced = true;
                             break;
                         }
-                        iter[node] += 1;
+                        self.iter[node] += 1;
                     }
                     if advanced {
                         continue;
@@ -234,8 +413,8 @@ impl FlowNetwork {
                         Some(ei) => {
                             // The edge we came through is exhausted at its
                             // tail; advance the tail's iterator.
-                            let tail = edges[edges[ei].paired].to;
-                            iter[tail] += 1;
+                            let tail = self.edges[self.edges[ei].paired].to;
+                            self.iter[tail] += 1;
                             node = tail;
                         }
                     }
@@ -243,10 +422,12 @@ impl FlowNetwork {
                 if !found {
                     break;
                 }
-                // Bottleneck.
+                // Bottleneck. A path of only infinite residuals would mean
+                // the upfront infinite-path check missed one — report the
+                // unboundedness instead of panicking.
                 let mut bottleneck: Option<Rational> = None;
                 for &ei in &path {
-                    if let Some(c) = &edges[ei].cap {
+                    if let Some(c) = &self.edges[ei].cap {
                         bottleneck = Some(match bottleneck {
                             None => c.clone(),
                             Some(b) if c < &b => c.clone(),
@@ -254,17 +435,20 @@ impl FlowNetwork {
                         });
                     }
                 }
-                let b = bottleneck.expect("no all-infinite path (checked upfront)");
+                let Some(b) = bottleneck else {
+                    return Err(UnboundedFlow);
+                };
                 debug_assert!(b.is_positive());
                 for &ei in &path {
-                    if let Some(c) = &mut edges[ei].cap {
+                    if let Some(c) = &mut self.edges[ei].cap {
                         *c = &*c - &b;
                     }
-                    let pi = edges[ei].paired;
-                    if let Some(c) = &mut edges[pi].cap {
+                    let pi = self.edges[ei].paired;
+                    if let Some(c) = &mut self.edges[pi].cap {
                         *c = &*c + &b;
                     }
                 }
+                self.stats.augmenting_paths += 1;
                 total += &b;
             }
         }
@@ -272,33 +456,36 @@ impl FlowNetwork {
         // Min cut: residual reachability from the source.
         let mut source_side = vec![false; self.nodes];
         source_side[self.source] = true;
-        let mut stack = vec![self.source];
-        while let Some(n) = stack.pop() {
-            for &ei in &graph[n] {
-                let e = &edges[ei];
+        self.stack.clear();
+        self.stack.push(self.source);
+        while let Some(n) = self.stack.pop() {
+            for &ei in &self.graph[n] {
+                let e = &self.edges[ei];
                 if positive(&e.cap) && !source_side[e.to] {
                     source_side[e.to] = true;
-                    stack.push(e.to);
+                    self.stack.push(e.to);
                 }
             }
         }
 
         // Per-arc flow = original cap - residual (for finite); for
-        // infinite arcs the reverse edge's residual is the flow.
+        // infinite arcs the reverse edge's residual is the flow (reverse
+        // residuals start at zero and only grow by finite bottlenecks, so
+        // they are always finite).
         let arc_flow = self
-            .arcs
+            .caps
             .iter()
-            .zip(&fwd_index)
-            .map(|((_, _, c), &fi)| match (c.as_finite(), &edges[fi].cap) {
+            .zip(&self.fwd_index)
+            .map(|(c, &fi)| match (c.as_finite(), &self.edges[fi].cap) {
                 (Some(orig), Some(resid)) => orig - resid,
-                (None, _) => edges[edges[fi].paired]
+                _ => self.edges[self.edges[fi].paired]
                     .cap
                     .clone()
-                    .expect("reverse residual is finite"),
-                (Some(_), None) => unreachable!("finite arc keeps finite residual"),
+                    .unwrap_or_else(Rational::zero),
             })
             .collect();
 
+        self.stats.solves += 1;
         Ok(MaxFlow { value: total, arc_flow, source_side })
     }
 }
@@ -424,5 +611,52 @@ mod tests {
         n.add_arc(0, 1, Capacity::zero());
         let mf = n.max_flow().unwrap();
         assert_eq!(mf.value, Rational::zero());
+    }
+
+    #[test]
+    fn resolve_after_capacity_update() {
+        // The same solver, re-solved at three capacity settings, matches
+        // fresh one-shot solves exactly (values and cut sides).
+        let mut n = FlowNetwork::new(3, 0, 2);
+        n.add_arc(0, 1, fin(2));
+        n.add_arc(1, 2, fin(5));
+        let mut solver = n.solver();
+        for c in [1i64, 4, 9] {
+            solver.set_capacity(0, fin(c));
+            let reused = solver.solve().unwrap();
+            let mut fresh_net = FlowNetwork::new(3, 0, 2);
+            fresh_net.add_arc(0, 1, fin(c));
+            fresh_net.add_arc(1, 2, fin(5));
+            let fresh = fresh_net.max_flow().unwrap();
+            assert_eq!(reused.value, fresh.value, "c={c}");
+            assert_eq!(reused.source_side, fresh.source_side, "c={c}");
+            assert_eq!(reused.arc_flow, fresh.arc_flow, "c={c}");
+        }
+        let st = solver.stats();
+        assert_eq!(st.solves, 3);
+        assert!(st.phases >= 3 && st.augmenting_paths >= 3);
+    }
+
+    #[test]
+    fn capacity_update_to_infinite_and_back() {
+        let mut solver = DinicSolver::new(3, 0, 2);
+        let a = solver.add_arc(0, 1, fin(2));
+        solver.add_arc(1, 2, fin(5));
+        assert_eq!(solver.solve().unwrap().value, r(2));
+        solver.set_capacity(a, Capacity::Infinite);
+        assert_eq!(solver.solve().unwrap().value, r(5));
+        solver.set_capacity(a, fin(3));
+        assert_eq!(solver.solve().unwrap().value, r(3));
+        assert_eq!(solver.arc_count(), 2);
+    }
+
+    #[test]
+    fn unbounded_after_update_detected() {
+        let mut solver = DinicSolver::new(3, 0, 2);
+        solver.add_arc(0, 1, Capacity::Infinite);
+        let b = solver.add_arc(1, 2, fin(5));
+        assert_eq!(solver.solve().unwrap().value, r(5));
+        solver.set_capacity(b, Capacity::Infinite);
+        assert!(matches!(solver.solve(), Err(UnboundedFlow)));
     }
 }

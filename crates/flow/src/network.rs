@@ -12,7 +12,7 @@
 //! * [`ParamNetwork::simplify`] — the §5.4 node-merging heuristic that
 //!   strips the redundancy introduced by infinite constraint arcs.
 
-use crate::dinic::{Capacity, FlowNetwork, MaxFlow, UnboundedFlow};
+use crate::dinic::{Capacity, DinicSolver, FlowStats, MaxFlow, UnboundedFlow};
 use offload_poly::{Constraint, LinExpr, Polyhedron, Rational};
 
 /// A parametric capacity: an affine function of the parameters, or `+∞`.
@@ -131,16 +131,30 @@ impl ParamNetwork {
     /// Instantiates the network at a parameter point and computes a
     /// minimum cut.
     ///
+    /// One-shot convenience over [`ParamNetwork::solver`]; callers that
+    /// solve at many points (the region-exploration loop) should hold a
+    /// [`ParamSolver`] instead.
+    ///
     /// # Errors
     ///
     /// Returns [`UnboundedFlow`] if every cut is infinite (cannot happen
     /// for well-formed partitioning networks).
     pub fn solve_at(&self, point: &[Rational]) -> Result<MaxFlow, UnboundedFlow> {
-        let mut net = FlowNetwork::new(self.nodes, self.source, self.sink);
+        self.solver().solve_at(point)
+    }
+
+    /// Builds a reusable concrete solver over this network's structure.
+    ///
+    /// The returned [`ParamSolver`] constructs the Dinic graph **once**;
+    /// each [`ParamSolver::solve_at`] only re-evaluates the affine
+    /// capacities and resets residuals.
+    pub fn solver(&self) -> ParamSolver {
+        let mut solver = DinicSolver::new(self.nodes, self.source, self.sink);
+        let caps: Vec<ParamCap> = self.arcs.iter().map(|a| a.cap.clone()).collect();
         for a in &self.arcs {
-            net.add_arc(a.from, a.to, a.cap.eval(point));
+            solver.add_arc(a.from, a.to, Capacity::zero());
         }
-        net.max_flow()
+        ParamSolver { caps, solver }
     }
 
     /// The cut value at a point for a given side assignment.
@@ -195,7 +209,7 @@ impl ParamNetwork {
 
         // Union-find over interior nodes linked by free arcs.
         let mut parent: Vec<usize> = (0..self.nodes).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -204,9 +218,6 @@ impl ParamNetwork {
         }
         for &i in &free {
             let a = &self.arcs[i];
-            for end in [a.from, a.to] {
-                let _ = end;
-            }
             if a.from != self.source
                 && a.from != self.sink
                 && a.to != self.source
@@ -219,7 +230,7 @@ impl ParamNetwork {
         // Assign each free arc to the component of one of its interior
         // endpoints (arcs touching only s/t have no conservation coupling
         // and form singleton components).
-        let comp_of_arc = |parent: &mut Vec<usize>, i: usize| -> usize {
+        let comp_of_arc = |parent: &mut [usize], i: usize| -> usize {
             let a = &self.arcs[i];
             if a.from != self.source && a.from != self.sink {
                 find(parent, a.from)
@@ -249,7 +260,10 @@ impl ParamNetwork {
                     continue;
                 };
                 if fwd {
-                    let ParamCap::Affine(c) = &a.cap else { unreachable!("checked above") };
+                    // An infinite forward arc makes the whole region empty
+                    // (handled before any balance is taken); skipping here
+                    // keeps the closure total instead of panicking.
+                    let ParamCap::Affine(c) = &a.cap else { continue };
                     balance = balance.add(&c.scale(&sign));
                 }
             }
@@ -265,8 +279,8 @@ impl ParamNetwork {
             has_free[self.arcs[i].from] = true;
             has_free[self.arcs[i].to] = true;
         }
-        for node in 0..self.nodes {
-            if node == self.source || node == self.sink || has_free[node] {
+        for (node, free_here) in has_free.iter().enumerate() {
+            if node == self.source || node == self.sink || *free_here {
                 continue;
             }
             let touched = self.arcs.iter().any(|a| a.from == node || a.to == node);
@@ -431,7 +445,10 @@ impl ParamNetwork {
             if !alive[nj] || nj == self.source || nj == self.sink {
                 continue;
             }
-            let in_neighbors: Vec<usize> = inc[nj].keys().copied().collect();
+            // Sorted: the first qualifying absorber wins, so candidate
+            // order must not depend on hash iteration.
+            let mut in_neighbors: Vec<usize> = inc[nj].keys().copied().collect();
+            in_neighbors.sort_unstable();
             let mut merged_into: Option<usize> = None;
             for ni in in_neighbors {
                 if ni == nj || !alive[ni] {
@@ -468,10 +485,12 @@ impl ParamNetwork {
                     merge_cap(&mut inc[ni], k, &c);
                 }
             }
-            // Re-examine the absorber and its neighbourhood.
+            // Re-examine the absorber and its neighbourhood (sorted, so
+            // the examination order is reproducible).
             let mut requeue: Vec<usize> = vec![ni];
             requeue.extend(out[ni].keys().copied());
             requeue.extend(inc[ni].keys().copied());
+            requeue.sort_unstable();
             for r in requeue {
                 if alive[r] && !queued[r] {
                     queued[r] = true;
@@ -503,10 +522,15 @@ impl ParamNetwork {
             if !alive[f] {
                 continue;
             }
-            for (&t, c) in m {
+            // Sorted by target: arc order decides the solver's traversal
+            // order, and with it which of several equal-value min-cuts is
+            // reported — keep it reproducible.
+            let mut targets: Vec<usize> = m.keys().copied().collect();
+            targets.sort_unstable();
+            for t in targets {
                 let (nf, nt) = (new_id[find(f)], new_id[find(t)]);
                 if nf != nt {
-                    result.add_arc(nf, nt, c.clone());
+                    result.add_arc(nf, nt, m[&t].clone());
                 }
             }
         }
@@ -517,6 +541,42 @@ impl ParamNetwork {
     /// Expands a cut on a simplified network back to this network's nodes.
     pub fn expand_cut(&self, mapping: &[usize], simplified_side: &[bool]) -> Vec<bool> {
         (0..self.nodes).map(|n| simplified_side[mapping[n]]).collect()
+    }
+}
+
+/// A reusable concrete min-cut solver for one [`ParamNetwork`].
+///
+/// Built once per network ([`ParamNetwork::solver`]), then driven at many
+/// parameter points: each [`ParamSolver::solve_at`] evaluates the affine
+/// capacities into the held [`DinicSolver`] and re-solves on the already
+/// constructed graph — no adjacency rebuilding, no per-point vector
+/// allocation beyond the returned [`MaxFlow`]. This is the per-worker
+/// state of the parallel region-exploration engine.
+#[derive(Debug, Clone)]
+pub struct ParamSolver {
+    caps: Vec<ParamCap>,
+    solver: DinicSolver,
+}
+
+impl ParamSolver {
+    /// Computes a minimum cut at `point`.
+    ///
+    /// Results are identical to [`ParamNetwork::solve_at`] on the owning
+    /// network (same flow value, same canonical cut, same arc flows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnboundedFlow`] if every cut is infinite.
+    pub fn solve_at(&mut self, point: &[Rational]) -> Result<MaxFlow, UnboundedFlow> {
+        for (i, c) in self.caps.iter().enumerate() {
+            self.solver.set_capacity(i, c.eval(point));
+        }
+        self.solver.solve()
+    }
+
+    /// Work counters accumulated across all solves on this solver.
+    pub fn stats(&self) -> FlowStats {
+        self.solver.stats()
     }
 }
 

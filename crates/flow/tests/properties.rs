@@ -75,7 +75,7 @@ const CASES: usize = 48;
 
 #[test]
 fn maxflow_equals_brute_force_mincut() {
-    let mut rng = Rng::new(0xF10_1);
+    let mut rng = Rng::new(0xF101);
     for _ in 0..CASES {
         let (n, arcs) = random_graph(&mut rng);
         let (s, t) = (0, n - 1);
@@ -90,7 +90,7 @@ fn maxflow_equals_brute_force_mincut() {
 
 #[test]
 fn reported_cut_achieves_flow_value() {
-    let mut rng = Rng::new(0xF10_2);
+    let mut rng = Rng::new(0xF102);
     for _ in 0..CASES {
         let (n, arcs) = random_graph(&mut rng);
         let (s, t) = (0, n - 1);
@@ -115,7 +115,7 @@ fn reported_cut_achieves_flow_value() {
 /// whose region contains the point must achieve the true minimum there.
 #[test]
 fn optimality_regions_sound() {
-    let mut rng = Rng::new(0xF10_3);
+    let mut rng = Rng::new(0xF103);
     for _ in 0..CASES {
         let (n, arcs) = random_graph(&mut rng);
         let (s, t) = (0, n - 1);
@@ -157,7 +157,7 @@ fn optimality_regions_sound() {
 /// Simplification never changes the min-cut value.
 #[test]
 fn simplification_value_preserving() {
-    let mut rng = Rng::new(0xF10_4);
+    let mut rng = Rng::new(0xF104);
     for _ in 0..CASES {
         let (n, arcs) = random_graph(&mut rng);
         let inf_mask = rng.next() as u16;

@@ -5,7 +5,7 @@
 use crate::error::NetError;
 use crate::link::{serve, Conn, Served, TcpPeer};
 use crate::protocol::{fingerprint, WireMsg};
-use offload_core::{Analysis, Plan};
+use offload_core::{Analysis, PipelineStats, Plan};
 use offload_pta::AbsLocId;
 use offload_runtime::{
     ControlMsg, DeviceModel, Host, Machine, Outcome, RunResult, Runner, RuntimeError,
@@ -96,6 +96,12 @@ pub struct RunReport {
     pub fallback_reason: Option<String>,
     /// TCP connection attempts spent (0 when no connection was needed).
     pub connect_attempts: u32,
+    /// Analysis-time pipeline statistics of the local (client-side)
+    /// compiled analysis — identical counters to a purely local run.
+    pub local_pipeline: PipelineStats,
+    /// The server's analysis-time pipeline statistics, carried back on
+    /// the v2 handshake; `None` when no handshake completed.
+    pub server_pipeline: Option<PipelineStats>,
 }
 
 /// The adaptive offloading engine: dispatch on the parameters, execute
@@ -142,6 +148,7 @@ impl<'a> OffloadEngine<'a> {
     /// Dispatch failures, program faults, and non-transport protocol
     /// errors.
     pub fn run(&self, params: &[i64], input: &[i64]) -> Result<RunReport, NetError> {
+        let local_pipeline = self.analysis.pipeline_stats();
         let (choice, plan) = self.analysis.plan_for(params)?;
         let Plan::Partitioned(partition) = plan else {
             let result = self.run_plan(Plan::AllLocal, params, input)?;
@@ -152,16 +159,20 @@ impl<'a> OffloadEngine<'a> {
                 fell_back: false,
                 fallback_reason: None,
                 connect_attempts: 0,
+                local_pipeline,
+                server_pipeline: None,
             });
         };
         match self.try_remote(choice, partition, params, input) {
-            Ok((result, connect_attempts)) => Ok(RunReport {
+            Ok((result, connect_attempts, server_pipeline)) => Ok(RunReport {
                 choice,
                 result,
                 offloaded: true,
                 fell_back: false,
                 fallback_reason: None,
                 connect_attempts,
+                local_pipeline,
+                server_pipeline: Some(server_pipeline),
             }),
             Err((e, connect_attempts)) if e.is_transport() => {
                 let result = self.run_plan(Plan::AllLocal, params, input)?;
@@ -172,6 +183,8 @@ impl<'a> OffloadEngine<'a> {
                     fell_back: true,
                     fallback_reason: Some(e.to_string()),
                     connect_attempts,
+                    local_pipeline,
+                    server_pipeline: None,
                 })
             }
             Err((e, _)) => Err(e),
@@ -237,7 +250,7 @@ impl<'a> OffloadEngine<'a> {
         partition: &offload_core::Partition,
         params: &[i64],
         input: &[i64],
-    ) -> Result<(RunResult, u32), (NetError, u32)> {
+    ) -> Result<(RunResult, u32, PipelineStats), (NetError, u32)> {
         let (stream, attempts) = self.connect()?;
         let fail = |e: NetError| (e, attempts);
         let mut conn =
@@ -253,8 +266,8 @@ impl<'a> OffloadEngine<'a> {
             })
             .map_err(fail)?;
         let ack = conn.recv().map_err(fail)?;
-        match ack.msg {
-            WireMsg::HelloAck if ack.request_id == id => {}
+        let server_stats = match ack.msg {
+            WireMsg::HelloAck { server_stats } if ack.request_id == id => server_stats,
             WireMsg::Error(m) => return Err(fail(NetError::HandshakeRefused(m))),
             other => {
                 return Err(fail(NetError::protocol(format!(
@@ -262,7 +275,7 @@ impl<'a> OffloadEngine<'a> {
                     other.kind()
                 ))))
             }
-        }
+        };
 
         // The client half of the executor; the server built its twin from
         // the Hello.
@@ -287,7 +300,7 @@ impl<'a> OffloadEngine<'a> {
                     // Orderly teardown; the result no longer depends on
                     // the socket, so send errors are ignored.
                     let _ = conn.send(WireMsg::Bye);
-                    return Ok((machine.into_result(), attempts));
+                    return Ok((machine.into_result(), attempts, server_stats));
                 }
                 Err(e @ RuntimeError::HostLink(_)) => return Err(fail(e.into())),
                 Err(e) => {

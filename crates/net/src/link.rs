@@ -136,6 +136,11 @@ impl ExecHost for TcpPeer<'_> {
 }
 
 /// How a passive serve loop ended.
+///
+/// `Control` carries the full `ControlMsg` by value, mirroring
+/// `offload_runtime::Outcome`: one is produced per control transfer and
+/// consumed immediately, never stored.
+#[allow(clippy::large_enum_variant)]
 pub enum Served {
     /// The peer handed control over.
     Control(ControlMsg),

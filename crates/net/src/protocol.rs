@@ -19,7 +19,7 @@
 //! the request they answer.
 
 use crate::error::NetError;
-use offload_core::Analysis;
+use offload_core::{Analysis, PipelineStats};
 use offload_ir::{AllocSiteId, BlockId, FuncId, LocalId};
 use offload_poly::Rational;
 use offload_pta::AbsLocId;
@@ -31,7 +31,8 @@ use offload_tcfg::SegmentId;
 use std::io::{Read, Write};
 
 /// Protocol version; bumped on any incompatible framing change.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// (v2: `HelloAck` carries the server's analysis [`PipelineStats`].)
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on a single frame's payload (a corruption guard, not a
 /// tight limit).
@@ -61,7 +62,11 @@ pub enum WireMsg {
         max_steps: u64,
     },
     /// Server → client: session accepted.
-    HelloAck,
+    HelloAck {
+        /// Work counters of the server's parametric analysis, so a
+        /// networked run reports the same numbers as a local one.
+        server_stats: PipelineStats,
+    },
     /// A turn-taking control transfer (either direction).
     Control(Box<ControlMsg>),
     /// Active → passive: send me your copy of this item.
@@ -91,7 +96,7 @@ impl WireMsg {
     fn tag(&self) -> u8 {
         match self {
             WireMsg::Hello { .. } => 1,
-            WireMsg::HelloAck => 2,
+            WireMsg::HelloAck { .. } => 2,
             WireMsg::Control(_) => 3,
             WireMsg::FetchItem { .. } => 4,
             WireMsg::ItemData(_) => 5,
@@ -106,7 +111,7 @@ impl WireMsg {
     pub fn kind(&self) -> &'static str {
         match self {
             WireMsg::Hello { .. } => "Hello",
-            WireMsg::HelloAck => "HelloAck",
+            WireMsg::HelloAck { .. } => "HelloAck",
             WireMsg::Control(_) => "Control",
             WireMsg::FetchItem { .. } => "FetchItem",
             WireMsg::ItemData(_) => "ItemData",
@@ -229,6 +234,23 @@ fn put_payload(buf: &mut Vec<u8>, p: &ItemPayload) {
             }
         }
     }
+}
+
+fn put_pipeline(buf: &mut Vec<u8>, s: &PipelineStats) {
+    put_uv(buf, s.flow_solves);
+    put_uv(buf, s.flow_phases);
+    put_uv(buf, s.flow_augmenting_paths);
+    put_uv(buf, s.lp_solves);
+    put_uv(buf, s.lp_pivots);
+    put_uv(buf, s.fm_vars_eliminated);
+    put_uv(buf, s.fm_constraints);
+    put_uv(buf, s.regions_explored);
+    put_uv(buf, s.rounds);
+    put_uv(buf, s.cache_hits);
+    put_uv(buf, s.cache_misses);
+    put_uv(buf, s.threads_used as u64);
+    put_uv(buf, s.simplify_micros);
+    put_uv(buf, s.solve_micros);
 }
 
 fn put_stats(buf: &mut Vec<u8>, s: &RunStats) {
@@ -453,6 +475,25 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    fn pipeline(&mut self) -> Result<PipelineStats, NetError> {
+        Ok(PipelineStats {
+            flow_solves: self.uv()?,
+            flow_phases: self.uv()?,
+            flow_augmenting_paths: self.uv()?,
+            lp_solves: self.uv()?,
+            lp_pivots: self.uv()?,
+            fm_vars_eliminated: self.uv()?,
+            fm_constraints: self.uv()?,
+            regions_explored: self.uv()?,
+            rounds: self.uv()?,
+            cache_hits: self.uv()?,
+            cache_misses: self.uv()?,
+            threads_used: self.u32v()?,
+            simplify_micros: self.uv()?,
+            solve_micros: self.uv()?,
+        })
+    }
+
     fn stats(&mut self) -> Result<RunStats, NetError> {
         Ok(RunStats {
             total_time: self.rat()?,
@@ -564,7 +605,8 @@ pub fn encode_frame(frame: &WireFrame) -> Vec<u8> {
             }
             put_uv(&mut body, *max_steps);
         }
-        WireMsg::HelloAck | WireMsg::PushAck | WireMsg::Bye => {}
+        WireMsg::HelloAck { server_stats } => put_pipeline(&mut body, server_stats),
+        WireMsg::PushAck | WireMsg::Bye => {}
         WireMsg::Control(m) => put_control(&mut body, m),
         WireMsg::FetchItem { item } => put_uv(&mut body, *item as u64),
         WireMsg::ItemData(p) => put_payload(&mut body, p),
@@ -601,7 +643,7 @@ pub fn decode_frame(payload: &[u8]) -> Result<WireFrame, NetError> {
             let max_steps = c.uv()?;
             WireMsg::Hello { fingerprint, choice, params, max_steps }
         }
-        2 => WireMsg::HelloAck,
+        2 => WireMsg::HelloAck { server_stats: c.pipeline()? },
         3 => WireMsg::Control(Box::new(c.control()?)),
         4 => WireMsg::FetchItem { item: c.u32v()? },
         5 => WireMsg::ItemData(c.payload()?),

@@ -143,7 +143,10 @@ fn handle_session(
             return Err(NetError::protocol(format!("expected Hello, got {}", other.kind())))
         }
     };
-    conn.reply(hello.request_id, WireMsg::HelloAck)?;
+    conn.reply(
+        hello.request_id,
+        WireMsg::HelloAck { server_stats: analysis.pipeline_stats() },
+    )?;
 
     // The server half of the executor, configured identically to the
     // client's (same analysis, same plan, same device constants).

@@ -6,6 +6,7 @@
 //! offline build environment cannot fetch crates), so every run draws the
 //! same deterministic case set.
 
+use offload_core::PipelineStats;
 use offload_ir::{AllocSiteId, BlockId, FuncId, LocalId};
 use offload_net::protocol::{decode_frame, encode_frame, put_iv, put_uv, Cursor};
 use offload_net::{NetError, WireFrame, WireMsg};
@@ -151,6 +152,25 @@ fn arb_control(rng: &mut Rng) -> ControlMsg {
     }
 }
 
+fn arb_pipeline(rng: &mut Rng) -> PipelineStats {
+    PipelineStats {
+        flow_solves: rng.next() % 100_000,
+        flow_phases: rng.next() % 100_000,
+        flow_augmenting_paths: rng.next() % 1_000_000,
+        lp_solves: rng.next() % 1_000_000,
+        lp_pivots: rng.next() % 10_000_000,
+        fm_vars_eliminated: rng.next() % 100_000,
+        fm_constraints: rng.next() % 1_000_000,
+        regions_explored: rng.next() % 10_000,
+        rounds: rng.next() % 1_000,
+        cache_hits: rng.next() % 10_000,
+        cache_misses: rng.next() % 10_000,
+        threads_used: 1 + rng.u32(63),
+        simplify_micros: rng.next() % 100_000_000,
+        solve_micros: rng.next() % 100_000_000,
+    }
+}
+
 fn arb_msg(rng: &mut Rng) -> WireMsg {
     match rng.u32(9) {
         0 => WireMsg::Hello {
@@ -159,7 +179,7 @@ fn arb_msg(rng: &mut Rng) -> WireMsg {
             params: (0..rng.usize(4)).map(|_| rng.next() as i64).collect(),
             max_steps: rng.next() % 1_000_000,
         },
-        1 => WireMsg::HelloAck,
+        1 => WireMsg::HelloAck { server_stats: arb_pipeline(rng) },
         2 => WireMsg::Control(Box::new(arb_control(rng))),
         3 => WireMsg::FetchItem { item: rng.u32(200) },
         4 => WireMsg::ItemData(arb_payload(rng)),
@@ -238,7 +258,10 @@ fn truncated_frames_fail_cleanly() {
 
 #[test]
 fn corrupt_version_byte_is_rejected() {
-    let frame = WireFrame { request_id: 7, msg: WireMsg::HelloAck };
+    let frame = WireFrame {
+        request_id: 7,
+        msg: WireMsg::HelloAck { server_stats: PipelineStats::default() },
+    };
     let encoded = encode_frame(&frame);
     let mut payload = strip_len_prefix(&encoded).to_vec();
     payload[0] ^= 0xFF; // version byte

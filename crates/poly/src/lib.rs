@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 mod bigint;
+mod counters;
 mod linear;
 mod lp;
 mod polyhedron;
@@ -50,6 +51,7 @@ mod rational;
 mod region;
 
 pub use bigint::{BigInt, ParseBigIntError};
+pub use counters::PolyStats;
 pub use linear::{Cmp, Constraint, LinExpr};
 pub use lp::{closure_feasible, maximize as lp_maximize, minimize as lp_minimize, LpResult};
 pub use polyhedron::Polyhedron;

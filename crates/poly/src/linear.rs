@@ -329,7 +329,7 @@ impl Constraint {
         let n = self.expr.nvars();
         let mut expr = LinExpr::zero(n);
         for (i, v) in scaled.iter().take(n).enumerate() {
-            expr.coeffs[i] = Rational::from(&*v / &gcd);
+            expr.coeffs[i] = Rational::from(v / &gcd);
         }
         expr.constant = Rational::from(&scaled[n] / &gcd);
         Constraint { expr, cmp: self.cmp }

@@ -28,6 +28,7 @@ pub enum LpResult {
 /// Variables are free (unbounded in both directions); internally each is
 /// split into a difference of two non-negatives.
 pub fn maximize(objective: &LinExpr, constraints: &[Constraint]) -> LpResult {
+    crate::counters::LP_SOLVES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let n = objective.nvars();
     debug_assert!(constraints.iter().all(|c| c.expr.nvars() == n));
     let m = constraints.len();
@@ -92,7 +93,12 @@ pub fn maximize(objective: &LinExpr, constraints: &[Constraint]) -> LpResult {
             phase1[cols + k] = Rational::from(-1);
         }
         match simplex(&mut a, &mut b, &mut basis, &phase1, total_cols) {
-            SimplexOutcome::Unbounded => unreachable!("phase-1 objective is bounded"),
+            // The phase-1 objective (-Σ artificials) is bounded above by
+            // zero, so this arm is unreachable in a correct tableau; if it
+            // ever fires, `Unbounded` is the sound conservative answer for
+            // every caller (redundancy checks keep their constraint, merge
+            // checks skip their optional merge) — prefer that to a panic.
+            SimplexOutcome::Unbounded => return LpResult::Unbounded,
             SimplexOutcome::Optimal(v) => {
                 if v.is_negative() {
                     return LpResult::Infeasible;
@@ -209,6 +215,7 @@ fn simplex(
 }
 
 fn pivot(a: &mut [Vec<Rational>], b: &mut [Rational], basis: &mut [usize], i: usize, j: usize) {
+    crate::counters::LP_PIVOTS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let m = a.len();
     let piv = a[i][j].clone();
     debug_assert!(!piv.is_zero());

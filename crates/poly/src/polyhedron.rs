@@ -110,8 +110,12 @@ impl Polyhedron {
     fn pruned(&self) -> Option<Polyhedron> {
         // Key: canonical integer variable-coefficient vector (gcd 1).
         // Constraints sharing a key differ only in constant / strictness;
-        // only the tightest survives.
+        // only the tightest survives. `order` pins the output to
+        // first-encounter order — constraint order steers downstream
+        // Fourier–Motzkin combination and region subtraction, so it must
+        // not depend on hash iteration.
         let mut best: HashMap<Vec<Rational>, (Rational, Cmp)> = HashMap::new();
+        let mut order: Vec<Vec<Rational>> = Vec::new();
         for c in &self.constraints {
             let n = c.normalize();
             match n.trivial_truth() {
@@ -123,6 +127,9 @@ impl Polyhedron {
             // constant term is comparable across constraints.
             let varscale = var_coeff_canonical(&n);
             let (key, constant, cmp) = varscale;
+            if !best.contains_key(&key) {
+                order.push(key.clone());
+            }
             best.entry(key)
                 .and_modify(|(c0, m0)| {
                     // expr >= -constant: larger -constant (smaller constant) is tighter.
@@ -134,7 +141,8 @@ impl Polyhedron {
                 .or_insert((constant, cmp));
         }
         let mut out = Polyhedron::universe(self.nvars);
-        for (key, (constant, cmp)) in best {
+        for key in order {
+            let Some((constant, cmp)) = best.remove(&key) else { continue };
             let mut e = LinExpr::zero(self.nvars);
             for (i, c) in key.into_iter().enumerate() {
                 e.set_coeff(i, c);
@@ -208,7 +216,7 @@ impl Polyhedron {
             }
             seen.insert(format!("{}", c.expr), i);
         }
-        for (_, c) in normalized.iter().enumerate() {
+        for c in normalized.iter() {
             if c.cmp != Cmp::Ge {
                 continue;
             }
@@ -253,20 +261,18 @@ impl Polyhedron {
             None => return Polyhedron::empty(self.nvars),
         };
 
+        use std::sync::atomic::Ordering::Relaxed;
+
         // Phase 1: exact equality substitutions (never grow the system).
-        loop {
-            match cur.substitute_equality(&remaining) {
-                Some(v) => {
-                    remaining.retain(|&x| x != v);
-                    cur = match cur.pruned() {
-                        Some(p) => p,
-                        None => return Polyhedron::empty(self.nvars),
-                    };
-                    if remaining.is_empty() {
-                        return cur;
-                    }
-                }
-                None => break,
+        while let Some(v) = cur.substitute_equality(&remaining) {
+            crate::counters::FM_VARS_ELIMINATED.fetch_add(1, Relaxed);
+            remaining.retain(|&x| x != v);
+            cur = match cur.pruned() {
+                Some(p) => p,
+                None => return Polyhedron::empty(self.nvars),
+            };
+            if remaining.is_empty() {
+                return cur;
             }
         }
 
@@ -285,7 +291,7 @@ impl Polyhedron {
             if debug {
                 eprintln!("[poly] remaining={} constraints={}", remaining.len(), sys.len());
             }
-            let (idx, &v) = remaining
+            let Some((idx, &v)) = remaining
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, &v)| {
@@ -301,9 +307,12 @@ impl Polyhedron {
                     }
                     lo * up
                 })
-                .expect("non-empty remaining set");
+            else {
+                break; // unreachable: loop guard keeps `remaining` non-empty
+            };
             remaining.swap_remove(idx);
             eliminated += 1;
+            crate::counters::FM_VARS_ELIMINATED.fetch_add(1, Relaxed);
 
             let mut lowers = Vec::new();
             let mut uppers = Vec::new();
@@ -318,6 +327,7 @@ impl Polyhedron {
                     keep.push((c, h));
                 }
             }
+            let mut generated = 0u64;
             for (lo, lh) in &lowers {
                 let a = lo.expr.coeff(v).clone();
                 for (up, uh) in &uppers {
@@ -331,13 +341,20 @@ impl Polyhedron {
                     let cmp =
                         if lo.cmp == Cmp::Gt || up.cmp == Cmp::Gt { Cmp::Gt } else { Cmp::Ge };
                     keep.push((Constraint { expr: combined, cmp }, hist));
+                    generated += 1;
                 }
             }
+            crate::counters::FM_CONSTRAINTS.fetch_add(generated, Relaxed);
 
             // Prune: drop trivially-true rows, detect contradictions,
-            // and keep only the tightest constraint per direction.
+            // and keep only the tightest constraint per direction. The
+            // surviving system is rebuilt in first-encounter order — its
+            // constraint order decides the next round's combinations and
+            // ultimately the output's constraint order, so it must not
+            // depend on hash iteration.
             let mut best: HashMap<Vec<Rational>, (Rational, Cmp, std::collections::BTreeSet<u32>)> =
                 HashMap::new();
+            let mut order: Vec<Vec<Rational>> = Vec::new();
             for (c, h) in keep {
                 let n = c.normalize();
                 match n.trivial_truth() {
@@ -348,6 +365,7 @@ impl Polyhedron {
                 let (key, constant, cmp) = var_coeff_canonical(&n);
                 match best.get_mut(&key) {
                     None => {
+                        order.push(key.clone());
                         best.insert(key, (constant, cmp, h));
                     }
                     Some((c0, m0, h0)) => {
@@ -359,15 +377,16 @@ impl Polyhedron {
                     }
                 }
             }
-            sys = best
+            sys = order
                 .into_iter()
-                .map(|(key, (constant, cmp, h))| {
+                .filter_map(|key| {
+                    let (constant, cmp, h) = best.remove(&key)?;
                     let mut e = LinExpr::zero(self.nvars);
                     for (i, c) in key.into_iter().enumerate() {
                         e.set_coeff(i, c);
                     }
                     e.set_constant(constant);
-                    (Constraint { expr: e, cmp }, h)
+                    Some((Constraint { expr: e, cmp }, h))
                 })
                 .collect();
 
@@ -544,7 +563,7 @@ impl Polyhedron {
         let mut systems: Vec<Polyhedron> = Vec::with_capacity(self.nvars + 1);
         systems.push(self.pruned()?);
         for v in (0..self.nvars).rev() {
-            let next = systems.last().expect("at least the original system").eliminate_var(v);
+            let next = systems.last()?.eliminate_var(v);
             // `eliminate_var` returns the canonical empty polyhedron when
             // it detects infeasibility.
             if next.constraints.iter().any(|c| c.trivial_truth() == Some(false)) {

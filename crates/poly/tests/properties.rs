@@ -49,7 +49,7 @@ const CASES: usize = 256;
 
 #[test]
 fn bigint_arithmetic_matches_i128() {
-    let mut rng = Rng::new(0xB16_1);
+    let mut rng = Rng::new(0xB161);
     for _ in 0..CASES {
         let a = rng.i128_in(-1_000_000_000_000, 1_000_000_000_000);
         let b = rng.i128_in(-1_000_000_000_000, 1_000_000_000_000);
@@ -68,7 +68,7 @@ fn bigint_arithmetic_matches_i128() {
 
 #[test]
 fn bigint_display_parse_roundtrip() {
-    let mut rng = Rng::new(0xB16_2);
+    let mut rng = Rng::new(0xB162);
     for _ in 0..CASES {
         let a = rng.i128_in(i128::MIN + 1, i128::MAX);
         let v = bi(a);
@@ -80,7 +80,7 @@ fn bigint_display_parse_roundtrip() {
 
 #[test]
 fn bigint_gcd_divides_both() {
-    let mut rng = Rng::new(0xB16_3);
+    let mut rng = Rng::new(0xB163);
     for _ in 0..CASES {
         let a = rng.i128_in(-100_000, 100_000);
         let b = rng.i128_in(-100_000, 100_000);

@@ -248,7 +248,12 @@ impl ControlMsg {
 }
 
 /// What a turn produced.
+///
+/// `Yield` carries the full `ControlMsg` by value (not boxed): outcomes
+/// are produced once per control transfer and consumed immediately, so
+/// the size imbalance against `Done` never sits in a collection.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
 pub enum Outcome {
     /// Control moves to the other host.
     Yield(ControlMsg),
@@ -260,6 +265,10 @@ struct HostState {
     mem: HashMap<ObjKey, Vec<Value>>,
     regs: HashMap<FuncId, Vec<Value>>,
 }
+
+/// Segment lookup entry: `(range_start, range_end, segment)` for one
+/// `(function, block)` pair.
+type SegEntry = (usize, usize, SegmentId);
 
 /// The interpreter for one host.
 ///
@@ -283,7 +292,7 @@ pub struct Machine<'a> {
     input_pos: usize,
     outputs: Vec<i64>,
     // Derived indexes.
-    seg_index: HashMap<(FuncId, BlockId), Vec<(usize, usize, SegmentId)>>,
+    seg_index: HashMap<(FuncId, BlockId), Vec<SegEntry>>,
     edge_index: HashMap<(TaskId, TaskId, EdgeKind), usize>,
     max_steps: u64,
 }
@@ -305,8 +314,7 @@ impl<'a> Machine<'a> {
     /// with `main`'s parameters broadcast into the register file (both
     /// hosts initialize identically at startup, §2.1).
     pub fn new(r: &'a Runner<'a>, host: Host, params: &[i64], input: &'a [i64]) -> Machine<'a> {
-        let mut seg_index: HashMap<(FuncId, BlockId), Vec<(usize, usize, SegmentId)>> =
-            HashMap::new();
+        let mut seg_index: HashMap<(FuncId, BlockId), Vec<SegEntry>> = HashMap::new();
         for (si, seg) in r.tcfg.segments().iter().enumerate() {
             seg_index
                 .entry((seg.func, seg.block))

@@ -37,7 +37,7 @@ impl fmt::Display for ObjKey {
 }
 
 /// A run-time scalar value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum Value {
     /// An integer.
     Int(i64),
@@ -47,6 +47,7 @@ pub enum Value {
     Func(FuncId),
     /// Never written (reading it is a runtime error in strict mode; it
     /// transfers as itself).
+    #[default]
     Uninit,
 }
 
@@ -68,12 +69,6 @@ impl Value {
             Value::Addr(..) | Value::Func(_) => true,
             Value::Uninit => false,
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Uninit
     }
 }
 
@@ -108,7 +103,7 @@ mod tests {
 
     #[test]
     fn keys_order_deterministically() {
-        let mut keys = vec![
+        let mut keys = [
             ObjKey::Dyn(1),
             ObjKey::Global(0),
             ObjKey::Local(FuncId(0), LocalId(2)),

@@ -26,7 +26,7 @@ use offload_ir::{
 };
 use offload_poly::Rational;
 use offload_tcfg::IndirectTargets;
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 /// A symbolic register value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -301,9 +301,13 @@ impl<'m> Analyzer<'m> {
 
     /// Topological order of the call graph (callers first); functions in
     /// cycles are appended afterwards in id order.
+    ///
+    /// Edge sets are ordered so ties in the topological sort always break
+    /// the same way: the visit order decides the numbering of every dummy
+    /// parameter, which must not vary from run to run.
     fn call_order(&self) -> Vec<FuncId> {
         let n = self.module.functions.len();
-        let mut edges: Vec<HashSet<FuncId>> = vec![HashSet::new(); n];
+        let mut edges: Vec<BTreeSet<FuncId>> = vec![BTreeSet::new(); n];
         for (fi, f) in self.module.functions.iter().enumerate() {
             let fid = FuncId(fi as u32);
             for (bid, block) in f.iter_blocks() {
@@ -337,8 +341,8 @@ impl<'m> Analyzer<'m> {
                 }
             }
         }
-        for i in 0..n {
-            if !emitted[i] {
+        for (i, done) in emitted.iter().enumerate() {
+            if !done {
                 order.push(FuncId(i as u32));
             }
         }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Solve-time benchmark: sequential (threads=1) vs parallel region
+# exploration across the light benchmark set.
+#
+#   scripts/bench.sh [benchmark names...]
+#
+# Emits BENCH_solve.json in the repository root (override the path with
+# SOLVEBENCH_OUT, the worker count with SOLVEBENCH_THREADS). Runs fully
+# offline on a release build.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release -p offload-bench --offline
+
+echo "== solvebench =="
+./target/release/solvebench "$@"

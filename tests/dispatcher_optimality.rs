@@ -77,7 +77,7 @@ fn regions_are_pairwise_disjoint() {
 #[test]
 fn predicted_ranking_matches_measured_ranking_at_extremes() {
     let a = analysis();
-    let sim = Simulator::new(&a, DeviceModel::ipaq_testbed());
+    let sim = Simulator::new(a, DeviceModel::ipaq_testbed());
     // Tiny work: local must win. Heavy work: offloading must win.
     let light_params = [2i64, 1];
     let heavy_params = [2i64, 60_000];
@@ -103,7 +103,7 @@ fn prediction_error_within_reasonable_bounds() {
     // the measured/predicted ratio should be near 1 (allow 35% for the
     // coarse per-instruction weights).
     let a = analysis();
-    let sim = Simulator::new(&a, DeviceModel::ipaq_testbed());
+    let sim = Simulator::new(a, DeviceModel::ipaq_testbed());
     for &(n, w) in &[(4i64, 2000i64), (2, 20_000)] {
         let idx = a.select(&[n, w]).unwrap();
         let point = a

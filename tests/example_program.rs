@@ -162,7 +162,7 @@ fn figure1_program_full_pipeline() {
     assert!(analysis.partition.choices.len() >= 2, "{}", analysis.describe_choices());
 
     // Distributed behaviour matches local behaviour for every choice.
-    let sim = Simulator::new(&analysis, DeviceModel::ipaq_testbed());
+    let sim = Simulator::new(analysis, DeviceModel::ipaq_testbed());
     let params = [2i64, 4, 6];
     let input: Vec<i64> = (0..8).collect();
     let local = sim.run_local(&params, &input).unwrap();
