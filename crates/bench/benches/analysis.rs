@@ -16,9 +16,13 @@ fn bench_stages(c: &mut Criterion) {
     let module = lower(&checked);
     c.bench_function("points_to", |b| b.iter(|| PointsTo::analyze(&module)));
     let pta = PointsTo::analyze(&module);
-    c.bench_function("tcfg", |b| b.iter(|| Tcfg::build(&module, pta.indirect_targets())));
+    c.bench_function("tcfg", |b| {
+        b.iter(|| Tcfg::build(&module, pta.indirect_targets()))
+    });
     let tcfg = Tcfg::build(&module, pta.indirect_targets());
-    c.bench_function("modref", |b| b.iter(|| ModRef::compute(&module, &tcfg, &pta)));
+    c.bench_function("modref", |b| {
+        b.iter(|| ModRef::compute(&module, &tcfg, &pta))
+    });
     c.bench_function("symbolic", |b| {
         b.iter(|| Symbolic::analyze(&module, pta.indirect_targets()))
     });

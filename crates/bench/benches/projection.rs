@@ -11,25 +11,43 @@ fn bench_projection(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("with_simplification", |b| {
         b.iter(|| {
-            Analysis::from_source(src, AnalysisOptions::default()).unwrap().partition.choices.len()
+            Analysis::from_source(src, AnalysisOptions::default())
+                .unwrap()
+                .partition
+                .choices
+                .len()
         })
     });
     group.bench_function("without_simplification", |b| {
         b.iter(|| {
             let opts = AnalysisOptions {
-                solve: SolveOptions { simplify: false, ..Default::default() },
+                solve: SolveOptions {
+                    simplify: false,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
-            Analysis::from_source(src, opts).unwrap().partition.choices.len()
+            Analysis::from_source(src, opts)
+                .unwrap()
+                .partition
+                .choices
+                .len()
         })
     });
     group.bench_function("without_degeneracy_reduction", |b| {
         b.iter(|| {
             let opts = AnalysisOptions {
-                solve: SolveOptions { reduce_degeneracy: false, ..Default::default() },
+                solve: SolveOptions {
+                    reduce_degeneracy: false,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
-            Analysis::from_source(src, opts).unwrap().partition.choices.len()
+            Analysis::from_source(src, opts)
+                .unwrap()
+                .partition
+                .choices
+                .len()
         })
     });
     group.finish();

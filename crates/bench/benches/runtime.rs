@@ -7,9 +7,11 @@ use offload_runtime::{DeviceModel, Simulator};
 
 fn bench_runtime(c: &mut Criterion) {
     // Analyze once, outside the timing loops.
-    let analysis =
-        Analysis::from_source(offload_lang::examples_src::FIGURE1, AnalysisOptions::default())
-            .unwrap();
+    let analysis = Analysis::from_source(
+        offload_lang::examples_src::FIGURE1,
+        AnalysisOptions::default(),
+    )
+    .unwrap();
     let sim = Simulator::new(&analysis, DeviceModel::ipaq_testbed());
     let params = [8i64, 64, 16]; // x frames, y samples, z work
     let input: Vec<i64> = (0..(params[0] * params[1])).map(|v| v % 100).collect();
@@ -26,7 +28,12 @@ fn bench_runtime(c: &mut Criterion) {
     });
     if let Some(idx) = offloaded {
         group.bench_function("figure1_offloaded", |b| {
-            b.iter(|| sim.run_choice(idx, &params, &input).unwrap().stats.instructions)
+            b.iter(|| {
+                sim.run_choice(idx, &params, &input)
+                    .unwrap()
+                    .stats
+                    .instructions
+            })
         });
     }
     group.finish();

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let states = Analysis::from_source(PROGRAM, AnalysisOptions::default())?;
     let duchain = Analysis::from_source(
         PROGRAM,
-        AnalysisOptions { validity_model: ValidityModel::DuChains, ..Default::default() },
+        AnalysisOptions {
+            validity_model: ValidityModel::DuChains,
+            ..Default::default()
+        },
     )?;
     println!("== Ablation: validity states vs DU-chain charging ==");
     println!("(one producer feeding two consumer tasks; Figure 3's scenario)");
@@ -72,9 +75,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     // The crossover: first n at which each model leaves all-local.
     let crossover = |a: &Analysis| -> Option<i64> {
-        (0..24)
-            .map(|p| 1i64 << p)
-            .find(|&n| a.select(&[n]).map(|i| !a.partition.choices[i].is_all_local()).unwrap_or(false))
+        (0..24).map(|p| 1i64 << p).find(|&n| {
+            a.select(&[n])
+                .map(|i| !a.partition.choices[i].is_all_local())
+                .unwrap_or(false)
+        })
     };
     println!(
         "offloading crossover: states at n ≈ {:?}, du-chains at n ≈ {:?}",

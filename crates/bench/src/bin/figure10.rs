@@ -18,7 +18,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for bufsz in [16i64, 64, 256, 1024, 2048] {
         let nbuf = (total / bufsz).max(1);
         let params = [4, 0, bufsz, nbuf];
-        rows.push(run_setting(&bench, &analysis, format!("bufsz={bufsz}"), &params)?);
+        rows.push(run_setting(
+            &bench,
+            &analysis,
+            format!("bufsz={bufsz}"),
+            &params,
+        )?);
     }
     print_normalized_table(
         "Figure 10: G.721 encode with different buffer sizes (-4 -l)",

@@ -20,7 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     for samples in [16i64, 64, 256, 1024, 4096] {
         let params = [4, samples, 0];
-        rows.push(run_setting(&bench, &analysis, format!("n={samples}"), &params)?);
+        rows.push(run_setting(
+            &bench,
+            &analysis,
+            format!("n={samples}"),
+            &params,
+        )?);
     }
     print_normalized_table(
         "Figure 11: FFT with different sample numbers",

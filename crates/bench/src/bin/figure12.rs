@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &rows,
     );
     if let Some(gain) = average_improvement(&rows, &analysis) {
-        println!("average improvement over local (offloaded settings): {:.1}%", gain * 100.0);
+        println!(
+            "average improvement over local (offloaded settings): {:.1}%",
+            gain * 100.0
+        );
     }
     Ok(())
 }

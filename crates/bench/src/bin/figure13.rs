@@ -26,8 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (lname, law) in [("-l", 0i64), ("-a", 1), ("-u", 2)] {
             let params = [method, law, 128, 4];
             let input = (bench.make_input)(&params);
-            let rparams: Vec<Rational> =
-                params.iter().map(|&p| Rational::from(p)).collect();
+            let rparams: Vec<Rational> = params.iter().map(|&p| Rational::from(p)).collect();
             let point = analysis.dispatcher.dim_point(&analysis.network, &rparams)?;
             print!("{:<12}", format!("{mname} {lname}"));
             for (i, choice) in analysis.partition.choices.iter().enumerate() {
@@ -38,8 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         continue;
                     }
                 };
-                let measured =
-                    sim.run_choice(i, &params, &input)?.stats.total_time.to_f64();
+                let measured = sim
+                    .run_choice(i, &params, &input)?
+                    .stats
+                    .total_time
+                    .to_f64();
                 let ratio = predicted / measured;
                 worst = worst.max(ratio.max(1.0 / ratio));
                 print!("  {ratio:>10.3}");
@@ -47,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!();
         }
     }
-    println!("\nworst |ratio - 1| across all settings and partitionings: {:.1}%", (worst - 1.0) * 100.0);
+    println!(
+        "\nworst |ratio - 1| across all settings and partitionings: {:.1}%",
+        (worst - 1.0) * 100.0
+    );
     println!("(paper: all prediction errors within 10%)");
     Ok(())
 }

@@ -5,8 +5,10 @@
 use offload_core::{Analysis, AnalysisOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let analysis =
-        Analysis::from_source(offload_lang::examples_src::FIGURE1, AnalysisOptions::default())?;
+    let analysis = Analysis::from_source(
+        offload_lang::examples_src::FIGURE1,
+        AnalysisOptions::default(),
+    )?;
     println!("== Figure 2: transformed program (dispatch guards) ==\n");
     for (i, choice) in analysis.partition.choices.iter().enumerate() {
         let guard = analysis.dispatcher.guard_text(&analysis.network, choice);
@@ -18,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         } else {
             for (t, task) in analysis.tcfg.tasks().iter().enumerate() {
-                let host = if choice.server_tasks[t] { "server" } else { "client" };
+                let host = if choice.server_tasks[t] {
+                    "server"
+                } else {
+                    "client"
+                };
                 let f = &analysis.module.function(task.func).name;
                 println!("    schedule {host}_task{t}();   // in {f}");
             }

@@ -14,7 +14,10 @@ fn main() {
     let k = 3;
     let aff = |x: i64, xy: i64, xyz: i64| {
         ParamCap::Affine(
-            LinExpr::zero(k).plus_term(0, r(x)).plus_term(1, r(xy)).plus_term(2, r(xyz)),
+            LinExpr::zero(k)
+                .plus_term(0, r(x))
+                .plus_term(1, r(xy))
+                .plus_term(2, r(xyz)),
         )
     };
     // Nodes: 0 = s, 1 = t, 2 = M(f), 3 = M(g) — the Table 1 network.

@@ -25,7 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (mname, method) in [("-3", 3i64), ("-4", 4), ("-5", 5)] {
         for (lname, law) in [("-l", 0i64), ("-a", 1), ("-u", 2)] {
             let params = [method, law, 32, 8];
-            rows.push(run_setting(&bench, &analysis, format!("{mname} {lname}"), &params)?);
+            rows.push(run_setting(
+                &bench,
+                &analysis,
+                format!("{mname} {lname}"),
+                &params,
+            )?);
         }
     }
     print_normalized_table(
@@ -35,11 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The paper's claim: different options favor different partitionings.
-    let bests: std::collections::BTreeSet<usize> =
-        rows.iter().map(|r| r.best_choice()).collect();
-    println!("distinct best partitionings across options: {}", bests.len());
+    let bests: std::collections::BTreeSet<usize> = rows.iter().map(|r| r.best_choice()).collect();
+    println!(
+        "distinct best partitionings across options: {}",
+        bests.len()
+    );
     if let Some(gain) = average_improvement(&rows, &analysis) {
-        println!("average improvement over local (offloaded settings): {:.1}%", gain * 100.0);
+        println!(
+            "average improvement over local (offloaded settings): {:.1}%",
+            gain * 100.0
+        );
     }
     Ok(())
 }

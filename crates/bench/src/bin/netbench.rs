@@ -7,8 +7,13 @@
 //! graceful degradation by running against an address with no server.
 //!
 //! ```text
-//! cargo run -p offload-bench --bin netbench
+//! cargo run -p offload-bench --bin netbench [--json] [--trace <path>]
 //! ```
+//!
+//! * `--json` — print a machine-readable report to stdout and nothing
+//!   else (human-readable progress goes to stderr);
+//! * `--trace <path>` — record the whole session with the `offload-obs`
+//!   recorder and write a Chrome trace-event JSON file to `path`.
 
 use offload_core::{Analysis, AnalysisOptions};
 use offload_net::{ClientConfig, OffloadEngine, OffloadServer, RetryPolicy, ServerConfig};
@@ -31,11 +36,39 @@ const PROGRAM: &str = "
         output(work(n));
     }";
 
+struct RunRow {
+    n: i64,
+    choice: usize,
+    offloaded: bool,
+    virt_time: f64,
+    wall_ms: f64,
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let analysis =
-        Arc::new(Analysis::from_source(PROGRAM, AnalysisOptions::default())?);
+    let mut json_mode = false;
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_mode = true,
+            "--trace" => {
+                trace_path = Some(args.next().ok_or("--trace requires a path")?);
+            }
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    if trace_path.is_some() {
+        offload_obs::set_enabled(true);
+    }
+    macro_rules! say {
+        ($($arg:tt)*) => {
+            if json_mode { eprintln!($($arg)*) } else { println!($($arg)*) }
+        };
+    }
+
+    let analysis = Arc::new(Analysis::from_source(PROGRAM, AnalysisOptions::default())?);
     let device = DeviceModel::ipaq_testbed();
-    println!("partitioning choices:\n{}", analysis.describe_choices());
+    say!("partitioning choices:\n{}", analysis.describe_choices());
 
     let server = OffloadServer::bind(
         "127.0.0.1:0",
@@ -43,39 +76,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         device.clone(),
         ServerConfig::default(),
     )?;
-    println!("server listening on {}", server.addr());
+    say!("server listening on {}", server.addr());
 
     // The interpreter is slow in debug builds; give each request a
     // generous deadline so the demo never times out spuriously.
     let mut config = ClientConfig::new(server.addr().to_string());
     config.request_timeout = Duration::from_secs(300);
     let engine = OffloadEngine::new(&analysis, device.clone(), config);
-    println!(
+    say!(
         "{:<10} {:>7} {:>10} {:>11} {:>12}  output",
-        "n", "choice", "where", "virt time", "wall"
+        "n",
+        "choice",
+        "where",
+        "virt time",
+        "wall"
     );
     let mut server_stats = None;
+    let mut rows: Vec<RunRow> = Vec::new();
     for n in [4i64, 1_000, 100_000] {
         let wall = Instant::now();
         let report = engine.run(&[n], &[])?;
         assert!(!report.fell_back, "loopback server should be reachable");
-        println!(
+        say!(
             "{n:<10} {:>7} {:>10} {:>11.3} {:>10.1?}  {:?}",
             report.choice,
-            if report.offloaded { "offloaded" } else { "local" },
+            if report.offloaded {
+                "offloaded"
+            } else {
+                "local"
+            },
             report.result.stats.total_time.to_f64(),
             wall.elapsed(),
             report.result.outputs,
         );
+        rows.push(RunRow {
+            n,
+            choice: report.choice,
+            offloaded: report.offloaded,
+            virt_time: report.result.stats.total_time.to_f64(),
+            wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+        });
         if let Some(s) = report.server_pipeline {
             server_stats = Some((s, report.local_pipeline));
         }
     }
-    if let Some((server, local)) = server_stats {
-        println!("\nanalysis pipeline stats (from the v2 handshake):\n{server}");
-        println!(
+    let mut analyses_match = false;
+    if let Some((server, local)) = &server_stats {
+        say!("\nanalysis pipeline stats (from the v3 handshake):\n{server}");
+        analyses_match = server == local;
+        say!(
             "server analysis matches the client's: {}",
-            if server == local { "yes" } else { "no (independent analyses)" }
+            if analyses_match {
+                "yes"
+            } else {
+                "no (independent analyses)"
+            }
         );
     }
 
@@ -87,16 +142,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     server.shutdown();
     drop(server);
     let mut config = ClientConfig::new(dead);
-    config.retry = RetryPolicy { max_attempts: 2, ..RetryPolicy::default() };
+    config.retry = RetryPolicy {
+        max_attempts: 2,
+        ..RetryPolicy::default()
+    };
     config.connect_timeout = Duration::from_millis(500);
     let engine = OffloadEngine::new(&analysis, device, config);
     let report = engine.run(&[1_000], &[])?;
     assert!(report.fell_back, "no server: the engine must degrade");
-    println!(
+    say!(
         "\nserver absent: fell back after {} connect attempts — {}",
         report.connect_attempts,
-        report.fallback_reason.as_deref().unwrap_or("(no reason recorded)"),
+        report
+            .fallback_reason
+            .as_deref()
+            .unwrap_or("(no reason recorded)"),
     );
-    println!("fallback output {:?} (all-local, correct)", report.result.outputs);
+    say!(
+        "fallback output {:?} (all-local, correct)",
+        report.result.outputs
+    );
+
+    if let Some(path) = &trace_path {
+        let snapshot = offload_obs::snapshot();
+        offload_obs::export::write_chrome_trace(path, &snapshot)?;
+        eprintln!("wrote {path} (open in chrome://tracing or ui.perfetto.dev)");
+    }
+    if json_mode {
+        let mut json = String::from("{\n  \"runs\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            json.push_str(&format!(
+                concat!(
+                    "    {{\"n\":{},\"choice\":{},\"offloaded\":{},",
+                    "\"virt_time\":{:.6},\"wall_ms\":{:.3}}}{}\n"
+                ),
+                r.n,
+                r.choice,
+                r.offloaded,
+                r.virt_time,
+                r.wall_ms,
+                if i + 1 == rows.len() { "" } else { "," },
+            ));
+        }
+        json.push_str("  ],\n");
+        json.push_str(&format!("  \"analyses_match\": {analyses_match},\n"));
+        json.push_str(&format!(
+            "  \"fallback\": {{\"fell_back\":{},\"connect_attempts\":{}}}\n",
+            report.fell_back, report.connect_attempts,
+        ));
+        json.push_str("}\n");
+        print!("{json}");
+    }
     Ok(())
 }

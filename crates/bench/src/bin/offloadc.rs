@@ -11,7 +11,10 @@ use offload_core::{Analysis, AnalysisOptions};
 use offload_runtime::{DeviceModel, Simulator};
 
 fn parse_list(s: &str) -> Vec<i64> {
-    s.split(',').filter(|p| !p.is_empty()).map(|p| p.trim().parse().expect("integer")).collect()
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| p.trim().parse().expect("integer"))
+        .collect()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -27,8 +27,14 @@ fn settings_for(b: &Benchmark) -> Vec<(String, Vec<i64>)> {
             ("n=1024".into(), vec![4, 1024, 0]),
         ],
         "susan" => vec![
-            ("-e 24x24".into(), vec![0, 1, 0, 24, 24, 20, 2, 1, 1, 1200, 16, 10]),
-            ("-e 56x56".into(), vec![0, 1, 0, 56, 56, 20, 2, 1, 1, 1200, 16, 10]),
+            (
+                "-e 24x24".into(),
+                vec![0, 1, 0, 24, 24, 20, 2, 1, 1, 1200, 16, 10],
+            ),
+            (
+                "-e 56x56".into(),
+                vec![0, 1, 0, 56, 56, 20, 2, 1, 1, 1200, 16, 10],
+            ),
         ],
         _ => vec![],
     }
@@ -43,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None if matches!(b.name, "encode" | "decode" | "susan") => {
                 // Heavy analyses; run explicitly via the figure binaries
                 // or `summary <name>`.
-                println!("{:<10} (skipped by default — run `summary {}`)", b.name, b.name);
+                println!(
+                    "{:<10} (skipped by default — run `summary {}`)",
+                    b.name, b.name
+                );
                 continue;
             }
             _ => {}
@@ -84,7 +93,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if !all_gains.is_empty() {
         let avg = all_gains.iter().sum::<f64>() / all_gains.len() as f64;
-        println!("\noverall average improvement (offloaded instances): {:.1}%", avg * 100.0);
+        println!(
+            "\noverall average improvement (offloaded instances): {:.1}%",
+            avg * 100.0
+        );
         println!("(paper §6.2: about 37%, energy roughly proportional to time)");
     }
     Ok(())

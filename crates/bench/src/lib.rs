@@ -34,7 +34,10 @@ impl SettingRow {
     /// Times normalized so the local run is 1.0 (the paper's Figures
     /// 9–12 normalization).
     pub fn normalized(&self) -> Vec<f64> {
-        self.choice_times.iter().map(|t| t / self.local_time).collect()
+        self.choice_times
+            .iter()
+            .map(|t| t / self.local_time)
+            .collect()
     }
 
     /// The fastest choice for this setting.
@@ -66,7 +69,10 @@ pub fn run_setting(
     let mut choice_energy = Vec::new();
     for i in 0..analysis.partition.choices.len() {
         let r = sim.run(Plan::Remote(i), params, &input)?;
-        assert_eq!(r.outputs, local.outputs, "behaviour preserved under choice {i}");
+        assert_eq!(
+            r.outputs, local.outputs,
+            "behaviour preserved under choice {i}"
+        );
         choice_times.push(r.stats.total_time.to_f64());
         choice_energy.push(r.stats.energy.to_f64());
     }

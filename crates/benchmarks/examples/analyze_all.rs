@@ -8,7 +8,9 @@ fn main() {
     let filter = std::env::args().nth(1);
     for b in all() {
         if let Some(f) = &filter {
-            if b.name != f { continue; }
+            if b.name != f {
+                continue;
+            }
         }
         let t = Instant::now();
         match b.analyze() {

@@ -161,9 +161,9 @@ pub fn fft() -> Benchmark {
         param_names: vec!["nsin", "n", "inv"],
         bounds: ParamBounds {
             per_param: vec![
-                (Some(1), Some(64)),   // sinusoids
+                (Some(1), Some(64)),    // sinusoids
                 (Some(4), Some(16384)), // samples
-                (Some(0), Some(1)),    // inverse flag
+                (Some(0), Some(1)),     // inverse flag
             ],
         },
         default_params: vec![4, 1024, 0],
@@ -173,9 +173,7 @@ pub fn fft() -> Benchmark {
                 // The doubling pass loop runs log2(n) times (a quantity no
                 // polynomial expresses: an annotation *function* of the
                 // parameters, kept as a dispatch-time dimension).
-                DummyOrigin::TripCount { .. } => {
-                    Some(AnnotationRule::Func(log2_of_param1))
-                }
+                DummyOrigin::TripCount { .. } => Some(AnnotationRule::Func(log2_of_param1)),
                 // Data-dependent branches (bit-reversal carries): ~50%.
                 DummyOrigin::BranchFreq { .. } => Some(AnnotationRule::Expr(
                     offload_symbolic::SymExpr::constant(offload_poly::Rational::new(1, 2)),

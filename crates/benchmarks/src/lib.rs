@@ -101,9 +101,7 @@ pub fn default_annotations(sym: &Symbolic) -> Annotations {
     use offload_core::AnnotationRule;
     annotate_by_origin(sym, |_, origin| {
         Some(AnnotationRule::Expr(match origin {
-            DummyOrigin::BranchFreq { .. } => {
-                SymExpr::constant(offload_poly::Rational::new(1, 2))
-            }
+            DummyOrigin::BranchFreq { .. } => SymExpr::constant(offload_poly::Rational::new(1, 2)),
             DummyOrigin::TripCount { .. } => SymExpr::int(4),
             DummyOrigin::AllocSize { .. } => SymExpr::int(64),
             DummyOrigin::Recursion { .. } => SymExpr::int(16),

@@ -165,23 +165,23 @@ pub fn susan() -> Benchmark {
         description: "susan in MiBench, Photo Processing",
         source: source(),
         param_names: vec![
-            "mode_s", "mode_e", "mode_c", "xdim", "ydim", "bt", "dt", "mask", "iters",
-            "corner_t", "stride", "gain",
+            "mode_s", "mode_e", "mode_c", "xdim", "ydim", "bt", "dt", "mask", "iters", "corner_t",
+            "stride", "gain",
         ],
         bounds: ParamBounds {
             per_param: vec![
-                (Some(0), Some(1)),   // mode_s
-                (Some(0), Some(1)),   // mode_e
-                (Some(0), Some(1)),   // mode_c
-                (Some(1), Some(130)), // xdim
-                (Some(1), Some(130)), // ydim
-                (Some(1), Some(100)), // bt
-                (Some(1), Some(3)),   // dt
-                (Some(1), Some(4)),   // mask
-                (Some(1), Some(4)),   // iters
-                (Some(1), Some(2500)),// corner_t
-                (Some(1), Some(64)),  // stride
-                (Some(1), Some(100)), // gain
+                (Some(0), Some(1)),    // mode_s
+                (Some(0), Some(1)),    // mode_e
+                (Some(0), Some(1)),    // mode_c
+                (Some(1), Some(130)),  // xdim
+                (Some(1), Some(130)),  // ydim
+                (Some(1), Some(100)),  // bt
+                (Some(1), Some(3)),    // dt
+                (Some(1), Some(4)),    // mask
+                (Some(1), Some(4)),    // iters
+                (Some(1), Some(2500)), // corner_t
+                (Some(1), Some(64)),   // stride
+                (Some(1), Some(100)),  // gain
             ],
         },
         default_params: vec![0, 1, 0, 64, 64, 20, 2, 1, 1, 1200, 16, 10],

@@ -9,8 +9,12 @@ fn main() {
     let t = Instant::now();
     let a = Analysis::from_source(src, AnalysisOptions::default()).unwrap();
     eprintln!("full analysis: {:?}", t.elapsed());
-    eprintln!("choices: {} iterations: {} merged: {}",
-        a.partition.choices.len(), a.partition.stats.iterations, a.partition.stats.merged_choices);
+    eprintln!(
+        "choices: {} iterations: {} merged: {}",
+        a.partition.choices.len(),
+        a.partition.stats.iterations,
+        a.partition.stats.merged_choices
+    );
     for (i, g) in a.guards().iter().enumerate() {
         let c = &a.partition.choices[i];
         eprintln!("choice {i} local={} when: {g}", c.is_all_local());

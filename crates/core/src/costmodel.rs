@@ -109,7 +109,10 @@ mod tests {
     #[test]
     fn weights_ordered_sensibly() {
         let m = CostModel::default();
-        let copy = Inst::Copy { dst: LocalId(0), src: Operand::Const(1) };
+        let copy = Inst::Copy {
+            dst: LocalId(0),
+            src: Operand::Const(1),
+        };
         let div = Inst::Bin {
             dst: LocalId(0),
             op: IrBinOp::Div,
@@ -123,7 +126,10 @@ mod tests {
     fn testbed_ratios() {
         let m = CostModel::ipaq_testbed();
         assert!(m.client_unit > m.server_unit, "server faster than client");
-        assert!(m.send_startup_c2s > m.send_unit_c2s, "startup dominates per-slot cost");
+        assert!(
+            m.send_startup_c2s > m.send_unit_c2s,
+            "startup dominates per-slot cost"
+        );
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl fmt::Display for DispatchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DispatchError::MissingAnnotation { dummy, site } => {
-                write!(f, "dummy parameter d{dummy} ({site}) needs a user annotation")
+                write!(
+                    f,
+                    "dummy parameter d{dummy} ({site}) needs a user annotation"
+                )
             }
             DispatchError::ArityMismatch { expected, got } => {
                 write!(f, "expected {expected} parameter values, got {got}")
@@ -102,10 +105,18 @@ impl Dispatcher {
     }
 
     /// Evaluates one atom given concrete parameter values.
-    fn atom_value(&self, a: Atom, params: &[Rational], depth: u32) -> Result<Rational, DispatchError> {
+    fn atom_value(
+        &self,
+        a: Atom,
+        params: &[Rational],
+        depth: u32,
+    ) -> Result<Rational, DispatchError> {
         if depth > 16 {
             // Pathological self-referential annotation; treat as missing.
-            return Err(DispatchError::MissingAnnotation { dummy: u32::MAX, site: "cyclic".into() });
+            return Err(DispatchError::MissingAnnotation {
+                dummy: u32::MAX,
+                site: "cyclic".into(),
+            });
         }
         match a {
             Atom::Param(i) => Ok(params[i as usize].clone()),
@@ -177,13 +188,14 @@ impl Dispatcher {
             .dims
             .iter()
             .map(|m| {
-                self.dict.eval_monomial(*m, &|a| match self.atom_value(a, params, 0) {
-                    Ok(v) => v,
-                    Err(e) => {
-                        err.borrow_mut().get_or_insert(e);
-                        Rational::zero()
-                    }
-                })
+                self.dict
+                    .eval_monomial(*m, &|a| match self.atom_value(a, params, 0) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            err.borrow_mut().get_or_insert(e);
+                            Rational::zero()
+                        }
+                    })
             })
             .collect();
         match err.into_inner() {
@@ -217,6 +229,10 @@ impl Dispatcher {
         let point = self.dim_point(pnet, &params)?;
         for (i, choice) in partition.choices.iter().enumerate() {
             if choice.region.contains(&point) {
+                offload_obs::event!("runtime", "dispatch", choice = i, matched_region = true,);
+                if offload_obs::enabled() {
+                    offload_obs::counter("runtime.dispatch.region_matches").inc();
+                }
                 return Ok(i);
             }
         }
@@ -231,7 +247,17 @@ impl Dispatcher {
                 });
             }
         }
-        Ok(best.map(|(i, _)| i).unwrap_or(0))
+        let selected = best.map(|(i, _)| i).unwrap_or(0);
+        offload_obs::event!(
+            "runtime",
+            "dispatch",
+            choice = selected,
+            matched_region = false,
+        );
+        if offload_obs::enabled() {
+            offload_obs::counter("runtime.dispatch.fallbacks").inc();
+        }
+        Ok(selected)
     }
 
     /// Reusable region test: does `choice`'s optimality region contain the

@@ -46,12 +46,7 @@ pub struct ItemTable {
 
 impl ItemTable {
     /// Builds the table.
-    pub fn build(
-        tcfg: &Tcfg,
-        pta: &PointsTo,
-        modref: &ModRef,
-        symbolic: &Symbolic,
-    ) -> ItemTable {
+    pub fn build(tcfg: &Tcfg, pta: &PointsTo, modref: &ModRef, symbolic: &Symbolic) -> ItemTable {
         // Successor lists over tasks.
         let n = tcfg.tasks().len();
         let mut preds: Vec<Vec<TaskId>> = vec![Vec::new(); n];
@@ -109,7 +104,10 @@ impl ItemTable {
                 site,
             });
         }
-        ItemTable { items, dynamic_locs }
+        ItemTable {
+            items,
+            dynamic_locs,
+        }
     }
 }
 
@@ -134,8 +132,13 @@ mod tests {
     #[test]
     fn shared_buffer_is_tracked() {
         let (m, _, pta, table) = build(offload_lang::examples_src::FIGURE1);
-        let inbuf = pta.id_of(offload_pta::AbsLoc::Global(m.global_by_name("inbuf").unwrap()));
-        assert!(table.items.iter().any(|i| Some(i.loc) == inbuf), "inbuf crosses tasks");
+        let inbuf = pta.id_of(offload_pta::AbsLoc::Global(
+            m.global_by_name("inbuf").unwrap(),
+        ));
+        assert!(
+            table.items.iter().any(|i| Some(i.loc) == inbuf),
+            "inbuf crosses tasks"
+        );
     }
 
     #[test]
@@ -173,7 +176,10 @@ mod tests {
         let (_, _, _, table) = build(offload_lang::examples_src::FIGURE4);
         let dynamic: Vec<_> = table.items.iter().filter(|i| i.dynamic).collect();
         assert_eq!(dynamic.len(), 1);
-        assert!(!dynamic[0].transfer_slots.is_constant(), "site size depends on n");
+        assert!(
+            !dynamic[0].transfer_slots.is_constant(),
+            "site size depends on n"
+        );
         assert_eq!(table.dynamic_locs.len(), 1);
     }
 }

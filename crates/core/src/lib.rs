@@ -53,8 +53,8 @@ pub use dispatch::{dummies_in_solution, AnnotationRule, Annotations, DispatchErr
 pub use items::{ItemTable, TrackedItem};
 pub use netbuild::{NetBuilder, ParamBounds, PartitionNetwork, Term, ValidityModel};
 pub use parametric::{
-    cut_cost_at, solve, Direction, LogFn, LogLevel, ParametricPartition, Partition,
-    PipelineStats, Plan, RegionStrategy, SolveError, SolveOptions, SolveStats,
+    cut_cost_at, solve, Direction, LogFn, LogLevel, ParametricPartition, Partition, PipelineStats,
+    Plan, RegionStrategy, SolveError, SolveOptions, SolveStats,
 };
 
 use offload_ir::Module;
@@ -116,7 +116,10 @@ impl fmt::Debug for AnalysisOptions {
             .field("bounds", &self.bounds)
             .field("annotations", &self.annotations)
             .field("annotate", &self.annotate.map(|_| "fn"))
-            .field("annotate_with", &self.annotate_with.as_ref().map(|_| "closure"))
+            .field(
+                "annotate_with",
+                &self.annotate_with.as_ref().map(|_| "closure"),
+            )
             .field("validity_model", &self.validity_model)
             .field("solve", &self.solve)
             .finish()
@@ -126,7 +129,9 @@ impl fmt::Debug for AnalysisOptions {
 impl AnalysisOptions {
     /// Starts a builder with all-default options.
     pub fn builder() -> AnalysisOptionsBuilder {
-        AnalysisOptionsBuilder { opts: AnalysisOptions::default() }
+        AnalysisOptionsBuilder {
+            opts: AnalysisOptions::default(),
+        }
     }
 
     /// Resolves the effective annotations for an analyzed program, honoring
@@ -286,14 +291,22 @@ fn probe_points(
         param_vecs.push(
             ladders
                 .iter()
-                .map(|l| l.get(level.min(l.len().saturating_sub(1))).copied().unwrap_or(1))
+                .map(|l| {
+                    l.get(level.min(l.len().saturating_sub(1)))
+                        .copied()
+                        .unwrap_or(1)
+                })
                 .collect(),
         );
     }
     // Per-parameter sweeps with the others at their second level.
     let base: Vec<i64> = ladders
         .iter()
-        .map(|l| l.get(1.min(l.len().saturating_sub(1))).copied().unwrap_or(1))
+        .map(|l| {
+            l.get(1.min(l.len().saturating_sub(1)))
+                .copied()
+                .unwrap_or(1)
+        })
         .collect();
     for (i, l) in ladders.iter().enumerate() {
         for &v in l {
@@ -383,8 +396,11 @@ impl Analysis {
         // monomials, and the interning order decides every downstream
         // dimension numbering — iterating the map directly would make the
         // analysis differ structurally from run to run.
-        let mut rules: Vec<(u32, AnnotationRule)> =
-            annotations.exprs.iter().map(|(d, r)| (*d, r.clone())).collect();
+        let mut rules: Vec<(u32, AnnotationRule)> = annotations
+            .exprs
+            .iter()
+            .map(|(d, r)| (*d, r.clone()))
+            .collect();
         rules.sort_by_key(|(d, _)| *d);
         for (d, rule) in rules {
             if let AnnotationRule::Expr(e) = rule {
@@ -436,7 +452,8 @@ impl Analysis {
     ///
     /// Returns [`DispatchError`] for missing annotations or wrong arity.
     pub fn select(&self, params: &[i64]) -> Result<usize, DispatchError> {
-        self.dispatcher.select(&self.network, &self.partition, params)
+        self.dispatcher
+            .select(&self.network, &self.partition, params)
     }
 
     /// Unified work counters of the parametric solve (flow / poly / core

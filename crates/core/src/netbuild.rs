@@ -93,7 +93,10 @@ impl PartitionNetwork {
         dict: &offload_symbolic::ParamDict,
         atom_value: &dyn Fn(Atom) -> Rational,
     ) -> Vec<Rational> {
-        self.dims.iter().map(|m| dict.eval_monomial(*m, atom_value)).collect()
+        self.dims
+            .iter()
+            .map(|m| dict.eval_monomial(*m, atom_value))
+            .collect()
     }
 }
 
@@ -107,12 +110,18 @@ pub struct ParamBounds {
 impl ParamBounds {
     /// All parameters in `[lo, hi]`.
     pub fn uniform(count: usize, lo: i64, hi: Option<i64>) -> Self {
-        ParamBounds { per_param: vec![(Some(lo), hi); count] }
+        ParamBounds {
+            per_param: vec![(Some(lo), hi); count],
+        }
     }
 
     /// Effective lower bound of parameter `i` (defaults to 0).
     pub fn lower(&self, i: usize) -> Option<i64> {
-        self.per_param.get(i).map(|b| b.0).unwrap_or(Some(0)).or(Some(0))
+        self.per_param
+            .get(i)
+            .map(|b| b.0)
+            .unwrap_or(Some(0))
+            .or(Some(0))
     }
 
     /// Effective upper bound of parameter `i`, if declared.
@@ -226,7 +235,14 @@ impl<'a> NetBuilder<'a> {
         }
 
         let param_space = self.param_space(&dims, &dim_of);
-        PartitionNetwork { net, terms, node_of, dims, dim_of, param_space }
+        PartitionNetwork {
+            net,
+            terms,
+            node_of,
+            dims,
+            dim_of,
+            param_space,
+        }
     }
 
     /// `a = 1 ⇒ b = 1` as an infinite arc.
@@ -427,7 +443,11 @@ impl<'a> NetBuilder<'a> {
             let site = item.site.expect("dynamic items carry their site");
             let r = self.symbolic.allocs[site.index()].count.clone();
             let ca = r.scale(&self.cost.registration);
-            arcs.push((End::Term(Term::Ns(d)), End::Term(Term::NotNc(d)), PendingCap::Sym(ca)));
+            arcs.push((
+                End::Term(Term::Ns(d)),
+                End::Term(Term::NotNc(d)),
+                PendingCap::Sym(ca),
+            ));
         }
     }
 

@@ -25,7 +25,7 @@
 
 use crate::netbuild::{PartitionNetwork, Term};
 use offload_flow::{Capacity, FlowStats, ParamNetwork, ParamSolver, UnboundedFlow};
-use offload_poly::{Polyhedron, PolyStats, Rational, Region};
+use offload_poly::{PolyStats, Polyhedron, Rational, Region};
 use offload_tcfg::{TaskId, Tcfg};
 use std::collections::HashMap;
 use std::fmt;
@@ -135,108 +135,7 @@ pub struct SolveStats {
     pub pipeline: PipelineStats,
 }
 
-/// Unified work counters across every layer of the parametric solve
-/// pipeline: Dinic effort in `offload-flow`, LP / projection effort in
-/// `offload-poly`, and engine-level counters (rounds, cache behaviour,
-/// timings) in `offload-core`.
-///
-/// All fields are plain integers so the struct travels unchanged through
-/// bench reports and the net protocol's varint wire format. The poly
-/// counters are process-wide deltas taken around the solve — exact totals
-/// for a single solve, approximate attribution when several solves run in
-/// one process concurrently. Counter values may legitimately differ
-/// between runs with different thread counts or cache settings; the
-/// *partitioning output* never does.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PipelineStats {
-    /// Max-flow solves performed (concrete min-cuts at sample points).
-    pub flow_solves: u64,
-    /// Dinic BFS level phases.
-    pub flow_phases: u64,
-    /// Dinic augmenting paths pushed.
-    pub flow_augmenting_paths: u64,
-    /// Simplex LP solves.
-    pub lp_solves: u64,
-    /// Simplex pivots.
-    pub lp_pivots: u64,
-    /// Variables eliminated by polyhedral projection.
-    pub fm_vars_eliminated: u64,
-    /// Constraints generated by Fourier–Motzkin combination.
-    pub fm_constraints: u64,
-    /// Cuts accepted by the region-exploration engine.
-    pub regions_explored: u64,
-    /// Worklist rounds of the parallel engine.
-    pub rounds: u64,
-    /// Cut-signature cache hits.
-    pub cache_hits: u64,
-    /// Cut-signature cache misses (projections actually performed).
-    pub cache_misses: u64,
-    /// Worker threads the engine ran with.
-    pub threads_used: u32,
-    /// Wall-clock microseconds of the §5.4 simplification.
-    pub simplify_micros: u64,
-    /// Wall-clock microseconds of the region exploration (everything
-    /// after simplification).
-    pub solve_micros: u64,
-}
-
-impl PipelineStats {
-    /// Folds a flow-layer counter block into this record.
-    pub fn absorb_flow(&mut self, flow: &FlowStats) {
-        self.flow_solves += flow.solves;
-        self.flow_phases += flow.phases;
-        self.flow_augmenting_paths += flow.augmenting_paths;
-    }
-
-    /// Folds a poly-layer counter delta into this record.
-    pub fn absorb_poly(&mut self, poly: &PolyStats) {
-        self.lp_solves += poly.lp_solves;
-        self.lp_pivots += poly.lp_pivots;
-        self.fm_vars_eliminated += poly.fm_vars_eliminated;
-        self.fm_constraints += poly.fm_constraints;
-    }
-
-    /// Cache hit rate in `[0, 1]` (zero when the cache was never
-    /// consulted).
-    pub fn cache_hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.cache_hits as f64 / total as f64
-        }
-    }
-}
-
-impl fmt::Display for PipelineStats {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "flow: {} solves, {} phases, {} augmenting paths",
-            self.flow_solves, self.flow_phases, self.flow_augmenting_paths
-        )?;
-        writeln!(
-            f,
-            "poly: {} LP solves, {} pivots, {} vars eliminated, {} FM constraints",
-            self.lp_solves, self.lp_pivots, self.fm_vars_eliminated, self.fm_constraints
-        )?;
-        writeln!(
-            f,
-            "core: {} regions in {} rounds on {} thread(s), cache {}/{} ({:.0}% hit)",
-            self.regions_explored,
-            self.rounds,
-            self.threads_used,
-            self.cache_hits,
-            self.cache_hits + self.cache_misses,
-            self.cache_hit_rate() * 100.0
-        )?;
-        write!(
-            f,
-            "time: simplify {} us, solve {} us",
-            self.simplify_micros, self.solve_micros
-        )
-    }
-}
+pub use offload_obs::PipelineStats;
 
 /// The complete parametric partitioning result.
 #[derive(Debug, Clone)]
@@ -366,8 +265,11 @@ impl Default for SolveOptions {
     }
 }
 
-/// Internal logging shim honouring [`SolveOptions::log`] with the legacy
-/// `OFFLOAD_CORE_DEBUG` stderr fallback.
+/// Internal logging shim: every message becomes a leveled structured
+/// event in the `offload-obs` recorder (when tracing is enabled), and is
+/// additionally delivered to the legacy [`SolveOptions::log`] callback
+/// and/or the `OFFLOAD_CORE_DEBUG` stderr fallback so existing embedders
+/// keep working unchanged.
 struct Logger {
     sink: Option<Arc<LogFn>>,
     env_debug: bool,
@@ -382,14 +284,29 @@ impl Logger {
     }
 
     fn enabled(&self) -> bool {
-        self.sink.is_some() || self.env_debug
+        self.sink.is_some() || self.env_debug || offload_obs::enabled()
     }
 
     fn log(&self, level: LogLevel, msg: impl FnOnce() -> String) {
+        if !self.enabled() {
+            return;
+        }
+        let text = msg();
+        offload_obs::log_event(level.into(), "core", &text);
         match &self.sink {
-            Some(f) => f(level, &msg()),
-            None if self.env_debug => eprintln!("[core:{level}] {}", msg()),
+            Some(f) => f(level, &text),
+            None if self.env_debug => eprintln!("[core:{level}] {}", text),
             None => {}
+        }
+    }
+}
+
+impl From<LogLevel> for offload_obs::Level {
+    fn from(l: LogLevel) -> offload_obs::Level {
+        match l {
+            LogLevel::Debug => offload_obs::Level::Debug,
+            LogLevel::Info => offload_obs::Level::Info,
+            LogLevel::Warn => offload_obs::Level::Warn,
         }
     }
 }
@@ -427,14 +344,43 @@ pub fn solve_with_probes(
 ) -> Result<ParametricPartition, SolveError> {
     let logger = Logger::new(options);
     let poly_before = PolyStats::snapshot();
-    let mut stats = SolveStats { nodes_before: pnet.net.node_count(), ..Default::default() };
+    let mut stats = SolveStats {
+        nodes_before: pnet.net.node_count(),
+        ..Default::default()
+    };
+    // Resolve the configured worker count once, up front, so every
+    // strategy reports the same number (`threads_used` used to be
+    // hard-wired to 1 on the dominance path even when the caller asked
+    // for more workers). A strategy that cannot use the workers says so
+    // via `sequential_strategy` instead of under-reporting the config.
+    let threads = match options.threads {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    };
+    stats.pipeline.threads_used = threads as u32;
+    let mut solve_span = offload_obs::span!(
+        "parametric",
+        "solve",
+        nodes = pnet.net.node_count(),
+        dims = pnet.dims.len(),
+        threads = threads,
+    );
 
     let t_simplify = Instant::now();
+    let simplify_span = offload_obs::span!(
+        "parametric",
+        "simplify",
+        enabled = options.simplify,
+        nodes_in = pnet.net.node_count(),
+    );
     let (snet, mapping): (ParamNetwork, Vec<usize>) = if options.simplify {
         pnet.net.simplify(&pnet.param_space)
     } else {
         (pnet.net.clone(), (0..pnet.net.node_count()).collect())
     };
+    drop(simplify_span);
     stats.nodes_after = snet.node_count();
     stats.pipeline.simplify_micros = t_simplify.elapsed().as_micros() as u64;
     logger.log(LogLevel::Info, || {
@@ -450,13 +396,23 @@ pub fn solve_with_probes(
 
     let t_solve = Instant::now();
     let result = if options.region_strategy == RegionStrategy::Dominance {
-        stats.pipeline.threads_used = 1;
+        // Probing refines sequentially by design: keep the configured
+        // worker count honest and flag the strategy instead.
+        stats.pipeline.sequential_strategy = true;
         solve_dominance(pnet, tcfg, n_items, &snet, &mapping, probes, &mut stats)
     } else {
-        explore_regions(pnet, tcfg, n_items, options, &logger, &snet, &mapping, &mut stats)
+        explore_regions(
+            pnet, tcfg, n_items, options, threads, &logger, &snet, &mapping, &mut stats,
+        )
     };
     stats.pipeline.solve_micros = t_solve.elapsed().as_micros() as u64;
-    stats.pipeline.absorb_poly(&PolyStats::snapshot().since(&poly_before));
+    let poly = PolyStats::snapshot().since(&poly_before);
+    stats.pipeline.absorb_poly_counts(
+        poly.lp_solves,
+        poly.lp_pivots,
+        poly.fm_vars_eliminated,
+        poly.fm_constraints,
+    );
 
     let mut choices = result?;
     if options.region_strategy == RegionStrategy::Exact && options.reduce_degeneracy {
@@ -471,6 +427,11 @@ pub fn solve_with_probes(
             stats.pipeline,
         )
     });
+    if offload_obs::enabled() {
+        solve_span.record("choices", choices.len());
+        solve_span.record("rounds", stats.pipeline.rounds);
+        stats.pipeline.publish_metrics();
+    }
     Ok(ParametricPartition { choices, stats })
 }
 
@@ -504,16 +465,12 @@ fn explore_regions(
     tcfg: &Tcfg,
     n_items: usize,
     options: &SolveOptions,
+    threads: usize,
     logger: &Logger,
     snet: &ParamNetwork,
     mapping: &[usize],
     stats: &mut SolveStats,
 ) -> Result<Vec<Partition>, SolveError> {
-    let threads = match options.threads {
-        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-        n => n,
-    };
-    stats.pipeline.threads_used = threads as u32;
     let cache: Option<CutCache> = options.cut_cache.then(|| Mutex::new(HashMap::new()));
 
     let mut x = Region::from(pnet.param_space.clone());
@@ -527,7 +484,20 @@ fn explore_regions(
         stats.pipeline.rounds += 1;
         let n_pieces = pieces.len();
         let t_round = Instant::now();
-        let results = explore_round(snet, &pnet.param_space, pieces, threads, cache.as_ref(), stats);
+        let mut round_span = offload_obs::span!(
+            "parametric",
+            "round",
+            round = stats.pipeline.rounds,
+            pieces = n_pieces,
+        );
+        let results = explore_round(
+            snet,
+            &pnet.param_space,
+            pieces,
+            threads,
+            cache.as_ref(),
+            stats,
+        );
 
         // Sequential merge in piece order. Parallelism above only decided
         // who computed each slot; from here on everything is ordered.
@@ -546,12 +516,16 @@ fn explore_regions(
             }
             stats.iterations += 1;
             if stats.iterations > options.max_iterations {
-                return Err(SolveError::IterationLimit { found: choices.len() });
+                return Err(SolveError::IterationLimit {
+                    found: choices.len(),
+                });
             }
             if !r.full_region.contains(&r.point) {
                 // Should be impossible (Theorem 2); fail fast rather than
                 // loop forever.
-                return Err(SolveError::IterationLimit { found: choices.len() });
+                return Err(SolveError::IterationLimit {
+                    found: choices.len(),
+                });
             }
             let assigned = x.intersect(&r.full_region);
             x = x.subtract(&r.full_region);
@@ -567,6 +541,8 @@ fn explore_regions(
             accepted.push(r);
         }
         stats.pipeline.regions_explored += accepted.len() as u64;
+        round_span.record("accepted", accepted.len());
+        drop(round_span);
         if logger.enabled() {
             logger.log(LogLevel::Debug, || {
                 format!(
@@ -663,7 +639,9 @@ fn explore_round(
             *result = slot.into_inner().unwrap_or_else(|e| e.into_inner());
         }
     }
-    stats.pipeline.absorb_flow(&flow);
+    stats
+        .pipeline
+        .absorb_flow_counts(flow.solves, flow.phases, flow.augmenting_paths);
     stats.pipeline.cache_hits += hits;
     stats.pipeline.cache_misses += misses;
     results
@@ -682,6 +660,7 @@ fn explore_piece(
     hits: &mut u64,
     misses: &mut u64,
 ) -> Option<Result<PieceResult, UnboundedFlow>> {
+    let mut span = offload_obs::span!("parametric", "piece");
     let point = piece.sample()?;
     let mf = match solver.solve_at(&point) {
         Ok(mf) => mf,
@@ -693,10 +672,12 @@ fn explore_piece(
             match cached {
                 Some(region) => {
                     *hits += 1;
+                    span.record("cache_hit", true);
                     region
                 }
                 None => {
                     *misses += 1;
+                    span.record("cache_hit", false);
                     // Pure function of (signature, param_space): a racing
                     // double-compute stores the identical value twice.
                     let region = snet.optimality_region(&mf.source_side, param_space);
@@ -707,7 +688,11 @@ fn explore_piece(
         }
         None => snet.optimality_region(&mf.source_side, param_space),
     };
-    Some(Ok(PieceResult { point, side: mf.source_side, full_region }))
+    Some(Ok(PieceResult {
+        point,
+        side: mf.source_side,
+        full_region,
+    }))
 }
 
 /// Locks a mutex, recovering the guard from a poisoned lock (the data is
@@ -755,9 +740,12 @@ fn solve_dominance(
     let solver = std::cell::RefCell::new(snet.solver());
 
     let add_cut_at = |point: &[Rational],
-                          cuts: &mut Vec<(Vec<bool>, offload_poly::LinExpr)>|
+                      cuts: &mut Vec<(Vec<bool>, offload_poly::LinExpr)>|
      -> Result<bool, SolveError> {
-        let mf = solver.borrow_mut().solve_at(point).map_err(SolveError::Unbounded)?;
+        let mf = solver
+            .borrow_mut()
+            .solve_at(point)
+            .map_err(SolveError::Unbounded)?;
         if cuts.iter().any(|(s, _)| *s == mf.source_side) {
             return Ok(false);
         }
@@ -800,8 +788,7 @@ fn solve_dominance(
             let mut probes: Vec<Vec<Rational>> = vec![p.clone()];
             for step in [1i64, 100, 10_000, 1_000_000] {
                 // Diagonal bump.
-                let diag: Vec<Rational> =
-                    p.iter().map(|v| v + &Rational::from(step)).collect();
+                let diag: Vec<Rational> = p.iter().map(|v| v + &Rational::from(step)).collect();
                 probes.push(diag);
                 // Per-dimension bumps.
                 for d in 0..k {
@@ -835,13 +822,23 @@ fn solve_dominance(
             let e: &Partition = earlier;
             region = region.subtract(&e.full_region);
         }
-        out.push(extract_partition(pnet, tcfg, n_items, cut, region, region_poly));
+        out.push(extract_partition(
+            pnet,
+            tcfg,
+            n_items,
+            cut,
+            region,
+            region_poly,
+        ));
     }
     // Drop choices whose region vanished after disjointification.
     // (Degeneracy reduction is unnecessary here — dominance regions are
     // already one-per-cut.)
     out.retain(|p| !p.region.is_empty());
-    stats.pipeline.absorb_flow(&solver.borrow().stats());
+    let flow = solver.borrow().stats();
+    stats
+        .pipeline
+        .absorb_flow_counts(flow.solves, flow.phases, flow.augmenting_paths);
     stats.pipeline.regions_explored += out.len() as u64;
     return Ok(out);
 
@@ -917,8 +914,7 @@ fn extract_partition(
     for (ei, e) in tcfg.edges().iter().enumerate() {
         for d in 0..n_items as u32 {
             // c→s on (vi,vj): Vso(vi,d) = 0 and Vsi(vj,d) = 1.
-            if let (Some(vso), Some(vsi)) =
-                (value(Term::Vso(e.from, d)), value(Term::Vsi(e.to, d)))
+            if let (Some(vso), Some(vsi)) = (value(Term::Vso(e.from, d)), value(Term::Vsi(e.to, d)))
             {
                 if !vso && vsi {
                     transfers[ei].push((d, Direction::ClientToServer));
@@ -936,7 +932,13 @@ fn extract_partition(
         }
     }
 
-    Partition { server_tasks, transfers, region, full_region, cut }
+    Partition {
+        server_tasks,
+        transfers,
+        region,
+        full_region,
+        cut,
+    }
 }
 
 /// Evaluates the total cost of a partition's cut at a concrete point of

@@ -48,16 +48,31 @@ const PROGRAMS: &[&str] = &[
 ];
 
 fn analyze_with(src: &str, solve: SolveOptions) -> Analysis {
-    let opts = AnalysisOptions { solve, ..AnalysisOptions::default() };
+    let opts = AnalysisOptions {
+        solve,
+        ..AnalysisOptions::default()
+    };
     Analysis::from_source(src, opts).expect("analysis succeeds")
 }
 
 #[test]
 fn parallel_partition_is_bit_identical_to_sequential() {
     for (i, src) in PROGRAMS.iter().enumerate() {
-        let seq = analyze_with(src, SolveOptions { threads: 1, ..Default::default() });
+        let seq = analyze_with(
+            src,
+            SolveOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        );
         for threads in [2, 4, 8] {
-            let par = analyze_with(src, SolveOptions { threads, ..Default::default() });
+            let par = analyze_with(
+                src,
+                SolveOptions {
+                    threads,
+                    ..Default::default()
+                },
+            );
             assert_eq!(
                 seq.partition.choices, par.partition.choices,
                 "program {i}: threads={threads} diverged from sequential"
@@ -69,31 +84,98 @@ fn parallel_partition_is_bit_identical_to_sequential() {
 #[test]
 fn parallel_work_counters_are_scheduling_independent() {
     // Every piece is explored in every round regardless of thread count,
-    // so even the flow-layer effort counters must match exactly.
+    // so even the flow-layer effort counters must match exactly. The
+    // `work_counters` view masks the legitimately run-dependent fields
+    // (thread count, wall times), so the whole record must compare equal.
     for src in PROGRAMS {
-        let seq = analyze_with(src, SolveOptions { threads: 1, ..Default::default() });
-        let par = analyze_with(src, SolveOptions { threads: 4, ..Default::default() });
+        let seq = analyze_with(
+            src,
+            SolveOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let par = analyze_with(
+            src,
+            SolveOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        );
         let (s, p) = (seq.pipeline_stats(), par.pipeline_stats());
         assert_eq!(s.flow_solves, p.flow_solves);
         assert_eq!(s.flow_phases, p.flow_phases);
         assert_eq!(s.flow_augmenting_paths, p.flow_augmenting_paths);
         assert_eq!(s.rounds, p.rounds);
         assert_eq!(s.regions_explored, p.regions_explored);
+        assert_eq!(s.work_counters(), p.work_counters());
+        assert_ne!(
+            s.threads_used, p.threads_used,
+            "the masked field really differs"
+        );
     }
+}
+
+#[test]
+fn threads_used_reports_the_configured_worker_count() {
+    // `threads_used` records the resolved configuration on every
+    // strategy; a sequential-by-design strategy says so through
+    // `sequential_strategy` instead of misreporting 1.
+    for threads in [1usize, 2, 3] {
+        let a = analyze_with(
+            PROGRAMS[0],
+            SolveOptions {
+                threads,
+                ..Default::default()
+            },
+        );
+        let p = a.pipeline_stats();
+        assert_eq!(p.threads_used as usize, threads);
+        assert!(!p.sequential_strategy, "the exact engine is parallel");
+    }
+    let dom = analyze_with(
+        PROGRAMS[0],
+        SolveOptions {
+            threads: 2,
+            region_strategy: offload_core::RegionStrategy::Dominance,
+            ..Default::default()
+        },
+    );
+    let p = dom.pipeline_stats();
+    assert_eq!(
+        p.threads_used, 2,
+        "dominance still reports the configured count"
+    );
+    assert!(p.sequential_strategy, "dominance is sequential by design");
 }
 
 #[test]
 fn cut_cache_does_not_change_the_partition() {
     for (i, src) in PROGRAMS.iter().enumerate() {
-        let cached = analyze_with(src, SolveOptions { cut_cache: true, ..Default::default() });
-        let raw = analyze_with(src, SolveOptions { cut_cache: false, ..Default::default() });
+        let cached = analyze_with(
+            src,
+            SolveOptions {
+                cut_cache: true,
+                ..Default::default()
+            },
+        );
+        let raw = analyze_with(
+            src,
+            SolveOptions {
+                cut_cache: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(
             cached.partition.choices, raw.partition.choices,
             "program {i}: cache changed the output"
         );
         let off = raw.pipeline_stats();
         assert_eq!(off.cache_hits, 0, "disabled cache must never report hits");
-        assert_eq!(off.cache_misses, 0, "disabled cache must never report misses");
+        assert_eq!(
+            off.cache_misses, 0,
+            "disabled cache must never report misses"
+        );
     }
 }
 
@@ -114,7 +196,13 @@ fn analysis_is_reproducible_within_a_process() {
 
 #[test]
 fn pipeline_stats_are_populated_on_the_exact_path() {
-    let a = analyze_with(PROGRAMS[0], SolveOptions { threads: 2, ..Default::default() });
+    let a = analyze_with(
+        PROGRAMS[0],
+        SolveOptions {
+            threads: 2,
+            ..Default::default()
+        },
+    );
     let p: PipelineStats = a.pipeline_stats();
     assert!(p.flow_solves > 0, "min-cut work must be counted");
     assert!(p.lp_solves > 0, "LP work must be counted");

@@ -12,7 +12,9 @@ fn every_task_has_an_m_node() {
     let a = analyze(offload_lang::examples_src::FIGURE1);
     for i in 0..a.tcfg.tasks().len() {
         assert!(
-            a.network.node(Term::M(offload_tcfg::TaskId(i as u32))).is_some(),
+            a.network
+                .node(Term::M(offload_tcfg::TaskId(i as u32)))
+                .is_some(),
             "task {i} missing M node"
         );
     }
@@ -26,7 +28,10 @@ fn io_tasks_have_infinite_server_arcs() {
         if !t.is_io {
             continue;
         }
-        let m = a.network.node(Term::M(offload_tcfg::TaskId(i as u32))).unwrap();
+        let m = a
+            .network
+            .node(Term::M(offload_tcfg::TaskId(i as u32)))
+            .unwrap();
         let has_inf = a
             .network
             .net
@@ -42,7 +47,12 @@ fn client_computation_arcs_leave_source() {
     let a = analyze("void main(int n) { int i; for (i = 0; i < n; i++) { output(i); } }");
     let src = a.network.net.source();
     let m = a.network.node(Term::M(offload_tcfg::TaskId(0))).unwrap();
-    let has_cc = a.network.net.arcs().iter().any(|arc| arc.from == src && arc.to == m);
+    let has_cc = a
+        .network
+        .net
+        .arcs()
+        .iter()
+        .any(|arc| arc.from == src && arc.to == m);
     assert!(has_cc, "client computation cost arc s -> M");
 }
 
@@ -58,11 +68,12 @@ fn validity_nodes_only_for_tracked_items() {
     );
     // Single task: no tracked items, hence no validity nodes.
     assert!(a.items.items.is_empty());
-    let has_validity = a
-        .network
-        .terms
-        .iter()
-        .any(|t| matches!(t, Term::Vsi(..) | Term::Vso(..) | Term::NotVci(..) | Term::NotVco(..)));
+    let has_validity = a.network.terms.iter().any(|t| {
+        matches!(
+            t,
+            Term::Vsi(..) | Term::Vso(..) | Term::NotVci(..) | Term::NotVco(..)
+        )
+    });
     assert!(!has_validity);
 }
 
@@ -71,7 +82,10 @@ fn figure4_has_registration_nodes() {
     let a = analyze(offload_lang::examples_src::FIGURE4);
     let has_ns = a.network.terms.iter().any(|t| matches!(t, Term::Ns(_)));
     let has_nc = a.network.terms.iter().any(|t| matches!(t, Term::NotNc(_)));
-    assert!(has_ns && has_nc, "dynamic items get Ns/¬Nc access-state nodes");
+    assert!(
+        has_ns && has_nc,
+        "dynamic items get Ns/¬Nc access-state nodes"
+    );
 }
 
 #[test]

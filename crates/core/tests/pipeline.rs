@@ -11,7 +11,10 @@ fn analyze(src: &str) -> Analysis {
 fn trivial_program_single_local_choice() {
     let a = analyze("void main() { output(42); }");
     assert_eq!(a.partition.choices.len(), 1);
-    assert!(a.partition.choices[0].is_all_local(), "I/O pins the only task to the client");
+    assert!(
+        a.partition.choices[0].is_all_local(),
+        "I/O pins the only task to the client"
+    );
     assert_eq!(a.select(&[]).unwrap(), 0);
 }
 
@@ -116,9 +119,16 @@ fn figure1_produces_parameter_dependent_choices() {
     assert!(a.partition.choices[local].is_all_local());
     let g = a.module.func_by_name("g_fast").unwrap();
     let heavy_choice = &a.partition.choices[heavy];
-    let server_funcs: Vec<_> =
-        heavy_choice.server_task_ids().iter().map(|t| a.tcfg.task(*t).func).collect();
-    assert!(server_funcs.contains(&g), "large z offloads the encoder\n{}", a.describe_choices());
+    let server_funcs: Vec<_> = heavy_choice
+        .server_task_ids()
+        .iter()
+        .map(|t| a.tcfg.task(*t).func)
+        .collect();
+    assert!(
+        server_funcs.contains(&g),
+        "large z offloads the encoder\n{}",
+        a.describe_choices()
+    );
 }
 
 #[test]
@@ -128,12 +138,8 @@ fn figure1_transfers_buffers_not_garbage() {
     let choice = &a.partition.choices[heavy];
     // Some edge carries a client-to-server transfer (inbuf) and some edge
     // carries a server-to-client transfer (outbuf).
-    let dirs: std::collections::HashSet<offload_core::Direction> = choice
-        .transfers
-        .iter()
-        .flatten()
-        .map(|(_, d)| *d)
-        .collect();
+    let dirs: std::collections::HashSet<offload_core::Direction> =
+        choice.transfers.iter().flatten().map(|(_, d)| *d).collect();
     assert!(
         dirs.contains(&offload_core::Direction::ClientToServer),
         "input buffer must move to the server"
@@ -154,7 +160,10 @@ fn degeneracy_reduction_reduces_or_keeps() {
                }
                void main(int n) { output(work(n)); }";
     let opts = AnalysisOptions {
-        solve: SolveOptions { reduce_degeneracy: false, ..Default::default() },
+        solve: SolveOptions {
+            reduce_degeneracy: false,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let without = Analysis::from_source(src, opts).unwrap();
@@ -172,7 +181,10 @@ fn simplification_does_not_change_decisions() {
                }
                void main(int n) { output(work(n)); }";
     let opts = AnalysisOptions {
-        solve: SolveOptions { simplify: false, ..Default::default() },
+        solve: SolveOptions {
+            simplify: false,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let plain = Analysis::from_source(src, opts).unwrap();
@@ -215,7 +227,10 @@ fn zero_communication_model_offloads_everything_possible() {
     cost.send_unit_s2c = Rational::zero();
     cost.sched_c2s = Rational::zero();
     cost.sched_s2c = Rational::zero();
-    let opts = AnalysisOptions { cost, ..Default::default() };
+    let opts = AnalysisOptions {
+        cost,
+        ..Default::default()
+    };
     let a = Analysis::from_source(
         "int work(int k) {
              int j; int acc;
@@ -258,7 +273,10 @@ fn guards_render_readably() {
     );
     let guards = a.guards();
     assert_eq!(guards.len(), a.partition.choices.len());
-    assert!(guards.iter().any(|g| g.contains('n')), "guards mention the parameter: {guards:?}");
+    assert!(
+        guards.iter().any(|g| g.contains('n')),
+        "guards mention the parameter: {guards:?}"
+    );
 }
 
 #[test]

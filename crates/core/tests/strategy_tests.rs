@@ -5,7 +5,10 @@ use offload_core::{Analysis, AnalysisOptions, RegionStrategy, SolveOptions};
 
 fn analyze(src: &str, strategy: RegionStrategy) -> Analysis {
     let options = AnalysisOptions {
-        solve: SolveOptions { region_strategy: strategy, ..Default::default() },
+        solve: SolveOptions {
+            region_strategy: strategy,
+            ..Default::default()
+        },
         ..Default::default()
     };
     Analysis::from_source(src, options).expect("analysis")
@@ -34,16 +37,28 @@ fn dominance_matches_exact_dispatch_on_worker() {
 #[test]
 fn dominance_matches_exact_dispatch_on_figure1() {
     let exact = analyze(offload_lang::examples_src::FIGURE1, RegionStrategy::Exact);
-    let dom = analyze(offload_lang::examples_src::FIGURE1, RegionStrategy::Dominance);
-    for &(x, y, z) in
-        &[(1i64, 4, 1), (4, 64, 3), (2, 8, 500), (1, 512, 40), (3, 3, 3), (2, 2, 5000)]
-    {
+    let dom = analyze(
+        offload_lang::examples_src::FIGURE1,
+        RegionStrategy::Dominance,
+    );
+    for &(x, y, z) in &[
+        (1i64, 4, 1),
+        (4, 64, 3),
+        (2, 8, 500),
+        (1, 512, 40),
+        (3, 3, 3),
+        (2, 2, 5000),
+    ] {
         let e = exact.partition.choices[exact.select(&[x, y, z]).unwrap()]
             .server_task_ids()
             .len();
-        let d =
-            dom.partition.choices[dom.select(&[x, y, z]).unwrap()].server_task_ids().len();
-        assert_eq!(e, d, "({x},{y},{z}): strategies disagree on offloaded task count");
+        let d = dom.partition.choices[dom.select(&[x, y, z]).unwrap()]
+            .server_task_ids()
+            .len();
+        assert_eq!(
+            e, d,
+            "({x},{y},{z}): strategies disagree on offloaded task count"
+        );
     }
 }
 
@@ -55,8 +70,15 @@ fn dominance_regions_cover_space() {
             .dispatcher
             .dim_point(&dom.network, &[offload_poly::Rational::from(n)])
             .unwrap();
-        let holders =
-            dom.partition.choices.iter().filter(|c| c.region.contains(&point)).count();
-        assert_eq!(holders, 1, "n={n}: dominance regions must partition the space");
+        let holders = dom
+            .partition
+            .choices
+            .iter()
+            .filter(|c| c.region.contains(&point))
+            .count();
+        assert_eq!(
+            holders, 1,
+            "n={n}: dominance regions must partition the space"
+        );
     }
 }

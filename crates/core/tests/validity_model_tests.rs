@@ -49,7 +49,10 @@ fn states_model_never_costs_more() {
         Analysis::from_source(SHARED_PRODUCER, AnalysisOptions::default()).expect("states");
     let duchain = Analysis::from_source(
         SHARED_PRODUCER,
-        AnalysisOptions { validity_model: ValidityModel::DuChains, ..Default::default() },
+        AnalysisOptions {
+            validity_model: ValidityModel::DuChains,
+            ..Default::default()
+        },
     )
     .expect("du-chains");
     for n in [16i64, 256, 4096, 65536, 1 << 20] {
@@ -69,7 +72,10 @@ fn both_models_offload_eventually() {
     for model in [ValidityModel::States, ValidityModel::DuChains] {
         let a = Analysis::from_source(
             SHARED_PRODUCER,
-            AnalysisOptions { validity_model: model, ..Default::default() },
+            AnalysisOptions {
+                validity_model: model,
+                ..Default::default()
+            },
         )
         .expect("analysis");
         let idx = a.select(&[1 << 22]).expect("dispatch");

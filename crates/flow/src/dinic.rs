@@ -114,7 +114,10 @@ pub struct UnboundedFlow;
 
 impl fmt::Display for UnboundedFlow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "maximum flow is unbounded (an all-infinite s-t path exists)")
+        write!(
+            f,
+            "maximum flow is unbounded (an all-infinite s-t path exists)"
+        )
     }
 }
 impl std::error::Error for UnboundedFlow {}
@@ -127,7 +130,12 @@ impl FlowNetwork {
     /// Panics if `source == sink` or either is out of range.
     pub fn new(nodes: usize, source: usize, sink: usize) -> Self {
         assert!(source < nodes && sink < nodes && source != sink);
-        FlowNetwork { nodes, arcs: Vec::new(), source, sink }
+        FlowNetwork {
+            nodes,
+            arcs: Vec::new(),
+            source,
+            sink,
+        }
     }
 
     /// Adds an arc; returns its index.
@@ -264,9 +272,17 @@ impl DinicSolver {
             assert!(!c.is_negative(), "negative capacity");
         }
         let fi = self.edges.len();
-        self.edges.push(Edge { to, cap: None, paired: fi + 1 });
+        self.edges.push(Edge {
+            to,
+            cap: None,
+            paired: fi + 1,
+        });
         self.graph[from].push(fi);
-        self.edges.push(Edge { to: from, cap: Some(Rational::zero()), paired: fi });
+        self.edges.push(Edge {
+            to: from,
+            cap: Some(Rational::zero()),
+            paired: fi,
+        });
         self.graph[to].push(fi + 1);
         self.fwd_index.push(fi);
         self.ends.push((from, to));
@@ -348,6 +364,26 @@ impl DinicSolver {
     /// Returns [`UnboundedFlow`] if an all-infinite source-to-sink path
     /// exists.
     pub fn solve(&mut self) -> Result<MaxFlow, UnboundedFlow> {
+        let mut span = offload_obs::span!(
+            "flow",
+            "dinic_solve",
+            nodes = self.nodes,
+            arcs = self.caps.len(),
+        );
+        let before = self.stats;
+        let result = self.solve_inner();
+        if offload_obs::enabled() {
+            span.record("phases", self.stats.phases - before.phases);
+            span.record(
+                "augmenting_paths",
+                self.stats.augmenting_paths - before.augmenting_paths,
+            );
+            span.record("ok", result.is_ok());
+        }
+        result
+    }
+
+    fn solve_inner(&mut self) -> Result<MaxFlow, UnboundedFlow> {
         if self.has_infinite_path() {
             return Err(UnboundedFlow);
         }
@@ -486,7 +522,11 @@ impl DinicSolver {
             .collect();
 
         self.stats.solves += 1;
-        Ok(MaxFlow { value: total, arc_flow, source_side })
+        Ok(MaxFlow {
+            value: total,
+            arc_flow,
+            source_side,
+        })
     }
 }
 
@@ -582,7 +622,14 @@ mod tests {
     #[test]
     fn flow_conservation() {
         let mut n = FlowNetwork::new(5, 0, 4);
-        for (f, t, c) in [(0, 1, 4), (0, 2, 3), (1, 3, 3), (2, 3, 5), (3, 4, 6), (1, 2, 1)] {
+        for (f, t, c) in [
+            (0, 1, 4),
+            (0, 2, 3),
+            (1, 3, 3),
+            (2, 3, 5),
+            (3, 4, 6),
+            (1, 2, 1),
+        ] {
             n.add_arc(f, t, fin(c));
         }
         let mf = n.max_flow().unwrap();

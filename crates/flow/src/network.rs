@@ -88,7 +88,13 @@ impl ParamNetwork {
     /// Panics if `source == sink` or either is out of range.
     pub fn new(params: usize, nodes: usize, source: usize, sink: usize) -> Self {
         assert!(source < nodes && sink < nodes && source != sink);
-        ParamNetwork { params, nodes, arcs: Vec::new(), source, sink }
+        ParamNetwork {
+            params,
+            nodes,
+            arcs: Vec::new(),
+            source,
+            sink,
+        }
     }
 
     /// Adds an arc (parallel arcs are merged by capacity addition).
@@ -173,13 +179,15 @@ impl ParamNetwork {
     /// space of the polyhedron of Theorem 2's flow constraints.
     ///
     /// The returned polyhedron is intersected with `param_space`.
-    pub fn optimality_region(
-        &self,
-        source_side: &[bool],
-        param_space: &Polyhedron,
-    ) -> Polyhedron {
+    pub fn optimality_region(&self, source_side: &[bool], param_space: &Polyhedron) -> Polyhedron {
         assert_eq!(source_side.len(), self.nodes);
         assert_eq!(param_space.nvars(), self.params);
+        let _span = offload_obs::span!(
+            "flow",
+            "optimality_region",
+            nodes = self.nodes,
+            arcs = self.arcs.len(),
+        );
         let k = self.params;
 
         // Theorem 2 pins cut arcs: forward arcs carry exactly their
@@ -263,7 +271,9 @@ impl ParamNetwork {
                     // An infinite forward arc makes the whole region empty
                     // (handled before any balance is taken); skipping here
                     // keeps the closure total instead of panicking.
-                    let ParamCap::Affine(c) = &a.cap else { continue };
+                    let ParamCap::Affine(c) = &a.cap else {
+                        continue;
+                    };
                     balance = balance.add(&c.scale(&sign));
                 }
             }
@@ -300,8 +310,10 @@ impl ParamNetwork {
         // Fourier–Motzkin blow up.
         for (_, arcs) in components {
             // Pair up opposite arcs.
-            let arcset: std::collections::HashMap<(usize, usize), usize> =
-                arcs.iter().map(|&i| ((self.arcs[i].from, self.arcs[i].to), i)).collect();
+            let arcset: std::collections::HashMap<(usize, usize), usize> = arcs
+                .iter()
+                .map(|&i| ((self.arcs[i].from, self.arcs[i].to), i))
+                .collect();
             let mut vars: Vec<(usize, Option<usize>)> = Vec::new(); // (fwd arc, paired rev arc)
             let mut seen: std::collections::HashSet<usize> = std::collections::HashSet::new();
             for &i in &arcs {
@@ -346,9 +358,7 @@ impl ParamNetwork {
                         // Lower bound: g >= -cap(rev).
                         match &self.arcs[r].cap {
                             ParamCap::Affine(c) => {
-                                cs.push(Constraint::ge0(
-                                    g.add(&c.extend_vars(nv)),
-                                ));
+                                cs.push(Constraint::ge0(g.add(&c.extend_vars(nv))));
                             }
                             ParamCap::Infinite => {}
                         }
@@ -413,6 +423,12 @@ impl ParamNetwork {
     /// representative in the simplified one.
     pub fn simplify(&self, param_space: &Polyhedron) -> (ParamNetwork, Vec<usize>) {
         use std::collections::{HashMap, VecDeque};
+        let mut span = offload_obs::span!(
+            "flow",
+            "simplify",
+            nodes_in = self.nodes,
+            arcs_in = self.arcs.len(),
+        );
         let n = self.nodes;
         // Adjacency with combined parallel capacities.
         let mut out: Vec<HashMap<usize, ParamCap>> = vec![HashMap::new(); n];
@@ -458,9 +474,7 @@ impl ParamNetwork {
                 let cap_ji = out[nj].get(&ni).cloned();
                 let out_sum = sum_excluding(&out[nj], ni);
                 let in_sum = sum_excluding(&inc[nj], ni);
-                if cap_ge(&cap_ij, &out_sum, param_space)
-                    && cap_ge(&cap_ji, &in_sum, param_space)
-                {
+                if cap_ge(&cap_ij, &out_sum, param_space) && cap_ge(&cap_ji, &in_sum, param_space) {
                     merged_into = Some(ni);
                     break;
                 }
@@ -535,12 +549,16 @@ impl ParamNetwork {
             }
         }
         let mapping: Vec<usize> = (0..n).map(|node| new_id[find(node)]).collect();
+        span.record("nodes_out", result.nodes);
+        span.record("arcs_out", result.arcs.len());
         (result, mapping)
     }
 
     /// Expands a cut on a simplified network back to this network's nodes.
     pub fn expand_cut(&self, mapping: &[usize], simplified_side: &[bool]) -> Vec<bool> {
-        (0..self.nodes).map(|n| simplified_side[mapping[n]]).collect()
+        (0..self.nodes)
+            .map(|n| simplified_side[mapping[n]])
+            .collect()
     }
 }
 
@@ -580,15 +598,8 @@ impl ParamSolver {
     }
 }
 
-
-
-
 /// Adds a capacity into an adjacency map entry.
-fn merge_cap(
-    m: &mut std::collections::HashMap<usize, ParamCap>,
-    key: usize,
-    cap: &ParamCap,
-) {
+fn merge_cap(m: &mut std::collections::HashMap<usize, ParamCap>, key: usize, cap: &ParamCap) {
     match m.get_mut(&key) {
         Some(existing) => *existing = existing.add(cap),
         None => {
@@ -626,9 +637,7 @@ fn cap_ge(a: &Option<ParamCap>, b: &Option<ParamCap>, param_space: &Polyhedron) 
     match (a, b) {
         (_, None) => true,
         (Some(ParamCap::Infinite), _) => true,
-        (None, Some(ParamCap::Affine(e))) => {
-            nonneg_on(&e.scale(&Rational::from(-1)), param_space)
-        }
+        (None, Some(ParamCap::Affine(e))) => nonneg_on(&e.scale(&Rational::from(-1)), param_space),
         (None, Some(ParamCap::Infinite)) => false,
         (Some(ParamCap::Affine(_)), Some(ParamCap::Infinite)) => false,
         (Some(ParamCap::Affine(ea)), Some(ParamCap::Affine(eb))) => {
@@ -647,9 +656,7 @@ mod tests {
 
     /// Affine capacity `c0 + c1*x0` in a 1-parameter space.
     fn affine(c0: i64, c1: i64) -> ParamCap {
-        ParamCap::Affine(
-            LinExpr::constant(1, r(c0)).plus_term(0, r(c1)),
-        )
+        ParamCap::Affine(LinExpr::constant(1, r(c0)).plus_term(0, r(c1)))
     }
 
     fn x_ge(c: i64) -> Constraint {
@@ -683,7 +690,10 @@ mod tests {
         assert!(region_a.contains(&[r(3)]));
         assert!(!region_a.contains(&[r(4)]));
         let region_b = n.optimality_region(&[true, true, false], &space);
-        assert!(region_b.contains(&[r(3)]), "tie at x = 3: both cuts minimal");
+        assert!(
+            region_b.contains(&[r(3)]),
+            "tie at x = 3: both cuts minimal"
+        );
         assert!(region_b.contains(&[r(10)]));
         assert!(!region_b.contains(&[r(1)]));
     }

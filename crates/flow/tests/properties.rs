@@ -139,7 +139,10 @@ fn optimality_regions_sound() {
         let probe = [r(2)];
         let mf = net.solve_at(&probe).unwrap();
         let region = net.optimality_region(&mf.source_side, &space);
-        assert!(region.contains(&probe), "cut must be optimal where it was found");
+        assert!(
+            region.contains(&probe),
+            "cut must be optimal where it was found"
+        );
         for x in 0..=8i64 {
             let p = [r(x)];
             if region.contains(&p) {
@@ -171,8 +174,7 @@ fn simplification_value_preserving() {
             };
             net.add_arc(f, to, cap);
         }
-        let space =
-            Polyhedron::from_constraints(1, vec![Constraint::ge0(LinExpr::var(1, 0))]);
+        let space = Polyhedron::from_constraints(1, vec![Constraint::ge0(LinExpr::var(1, 0))]);
         let (simplified, _) = net.simplify(&space);
         for x in [0i64, 3, 9] {
             let v1 = net.solve_at(&[r(x)]);

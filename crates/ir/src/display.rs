@@ -20,13 +20,25 @@ pub fn dump_module(m: &Module) -> String {
 pub fn dump_function(f: &FuncDef) -> String {
     let mut out = String::new();
     let params: Vec<String> = f.params.iter().map(|p| format!("{p}")).collect();
-    let _ = writeln!(out, "func {}({}) -> {} {{", f.name, params.join(", "), f.ret);
+    let _ = writeln!(
+        out,
+        "func {}({}) -> {} {{",
+        f.name,
+        params.join(", "),
+        f.ret
+    );
     for (i, l) in f.locals.iter().enumerate() {
         let kind = match &l.kind {
             LocalKind::Register => "reg".to_string(),
             LocalKind::Memory { slots } => format!("mem[{slots}]"),
         };
-        let _ = writeln!(out, "  local {} = {} : {} ({kind})", LocalId(i as u32), l.name, l.ty);
+        let _ = writeln!(
+            out,
+            "  local {} = {} : {} ({kind})",
+            LocalId(i as u32),
+            l.name,
+            l.ty
+        );
     }
     for (id, b) in f.iter_blocks() {
         let _ = writeln!(out, "{id}:");
@@ -44,25 +56,51 @@ pub fn dump_inst(i: &Inst) -> String {
     use offload_lang::UnOp;
     match i {
         Inst::Copy { dst, src } => format!("{dst} = {src}"),
-        Inst::Un { dst, op: UnOp::Neg, src } => format!("{dst} = -{src}"),
-        Inst::Un { dst, op: UnOp::Not, src } => format!("{dst} = !{src}"),
+        Inst::Un {
+            dst,
+            op: UnOp::Neg,
+            src,
+        } => format!("{dst} = -{src}"),
+        Inst::Un {
+            dst,
+            op: UnOp::Not,
+            src,
+        } => format!("{dst} = !{src}"),
         Inst::Bin { dst, op, lhs, rhs } => format!("{dst} = {lhs} {op} {rhs}"),
         Inst::AddrGlobal { dst, global } => format!("{dst} = &{global}"),
         Inst::AddrLocal { dst, local } => format!("{dst} = &{local}"),
-        Inst::AddrIndex { dst, base, index, stride } => {
+        Inst::AddrIndex {
+            dst,
+            base,
+            index,
+            stride,
+        } => {
             format!("{dst} = {base} + {index} * {stride}")
         }
         Inst::AddrField { dst, base, offset } => format!("{dst} = {base} + {offset}"),
         Inst::Load { dst, addr } => format!("{dst} = *{addr}"),
         Inst::Store { addr, src } => format!("*{addr} = {src}"),
-        Inst::Alloc { dst, elem_slots, count, site } => {
+        Inst::Alloc {
+            dst,
+            elem_slots,
+            count,
+            site,
+        } => {
             format!("{dst} = alloc {count} x {elem_slots} ({site})")
         }
         Inst::LoadFunc { dst, func } => format!("{dst} = &{func}"),
-        Inst::Call { dst: Some(d), callee, args } => {
+        Inst::Call {
+            dst: Some(d),
+            callee,
+            args,
+        } => {
             format!("{d} = call {}({})", dump_callee(callee), dump_args(args))
         }
-        Inst::Call { dst: None, callee, args } => {
+        Inst::Call {
+            dst: None,
+            callee,
+            args,
+        } => {
             format!("call {}({})", dump_callee(callee), dump_args(args))
         }
         Inst::Input { dst } => format!("{dst} = input()"),
@@ -78,14 +116,21 @@ fn dump_callee(c: &Callee) -> String {
 }
 
 fn dump_args(args: &[Operand]) -> String {
-    args.iter().map(|a| format!("{a}")).collect::<Vec<_>>().join(", ")
+    args.iter()
+        .map(|a| format!("{a}"))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// Renders one terminator.
 pub fn dump_term(t: &Terminator) -> String {
     match t {
         Terminator::Goto(b) => format!("goto {b}"),
-        Terminator::Branch { cond, then, otherwise } => {
+        Terminator::Branch {
+            cond,
+            then,
+            otherwise,
+        } => {
             format!("br {cond} ? {then} : {otherwise}")
         }
         Terminator::Return(Some(v)) => format!("ret {v}"),

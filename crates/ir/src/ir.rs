@@ -367,7 +367,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Goto(b) => vec![*b],
-            Terminator::Branch { then, otherwise, .. } => vec![*then, *otherwise],
+            Terminator::Branch {
+                then, otherwise, ..
+            } => vec![*then, *otherwise],
             Terminator::Return(_) => vec![],
         }
     }
@@ -443,7 +445,10 @@ impl FuncDef {
 
     /// Iterates over `(BlockId, &Block)`.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
     }
 }
 
@@ -492,12 +497,18 @@ impl Module {
 
     /// Finds a function id by name.
     pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
-        self.functions.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
     }
 
     /// Finds a global id by name.
     pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
-        self.globals.iter().position(|g| g.name == name).map(|i| GlobalId(i as u32))
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GlobalId(i as u32))
     }
 
     /// Slot footprint of a type under this module's struct layouts.

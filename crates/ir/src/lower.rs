@@ -2,8 +2,8 @@
 
 use crate::ir::*;
 use offload_lang::{
-    BinOp, Block as AstBlock, CallTarget, CheckedProgram, Expr, ExprKind, Function, NodeId,
-    Stmt, Type, UnOp,
+    BinOp, Block as AstBlock, CallTarget, CheckedProgram, Expr, ExprKind, Function, NodeId, Stmt,
+    Type, UnOp,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -39,7 +39,11 @@ pub fn lower(checked: &CheckedProgram) -> Module {
             fields.push((name.clone(), ty.clone(), offset));
             offset += slots_of(ty, &structs);
         }
-        structs.push(StructLayout { name: s.name.clone(), fields, slots: offset });
+        structs.push(StructLayout {
+            name: s.name.clone(),
+            fields,
+            slots: offset,
+        });
     }
 
     let globals: Vec<GlobalDef> = program
@@ -63,13 +67,17 @@ pub fn lower(checked: &CheckedProgram) -> Module {
     let functions: Vec<FuncDef> = program
         .functions
         .iter()
-        .map(|f| {
-            FuncLowerer::new(checked, &structs, &globals, &func_ids, &mut alloc_sites).run(f)
-        })
+        .map(|f| FuncLowerer::new(checked, &structs, &globals, &func_ids, &mut alloc_sites).run(f))
         .collect();
 
     let main = func_ids["main"];
-    Module { structs, globals, functions, main, alloc_sites }
+    Module {
+        structs,
+        globals,
+        functions,
+        main,
+        alloc_sites,
+    }
 }
 
 fn slots_of(ty: &Type, structs: &[StructLayout]) -> u32 {
@@ -78,7 +86,11 @@ fn slots_of(ty: &Type, structs: &[StructLayout]) -> u32 {
         Type::Void => 0,
         Type::Array(t, n) => slots_of(t, structs) * (*n as u32),
         Type::Struct(name) => {
-            structs.iter().find(|s| &s.name == name).expect("earlier struct").slots
+            structs
+                .iter()
+                .find(|s| &s.name == name)
+                .expect("earlier struct")
+                .slots
         }
     }
 }
@@ -151,7 +163,10 @@ impl<'a> FuncLowerer<'a> {
         let mut params = Vec::new();
         for p in &f.params {
             let id = self.add_local(&p.name, p.ty.clone(), LocalKind::Register);
-            self.scopes.last_mut().expect("scope").insert(p.name.clone(), id);
+            self.scopes
+                .last_mut()
+                .expect("scope")
+                .insert(p.name.clone(), id);
             params.push(id);
         }
         self.lower_block(&f.body);
@@ -176,7 +191,10 @@ impl<'a> FuncLowerer<'a> {
 
     fn new_block(&mut self) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(Block { insts: Vec::new(), term: Terminator::Return(None) });
+        self.blocks.push(Block {
+            insts: Vec::new(),
+            term: Terminator::Return(None),
+        });
         id
     }
 
@@ -212,7 +230,11 @@ impl<'a> FuncLowerer<'a> {
 
     fn add_local(&mut self, name: &str, ty: Type, kind: LocalKind) -> LocalId {
         let id = LocalId(self.locals.len() as u32);
-        self.locals.push(LocalDef { name: name.to_string(), ty, kind });
+        self.locals.push(LocalDef {
+            name: name.to_string(),
+            ty,
+            kind,
+        });
         id
     }
 
@@ -227,7 +249,10 @@ impl<'a> FuncLowerer<'a> {
     }
 
     fn lookup_global(&self, name: &str) -> Option<GlobalId> {
-        self.globals.iter().position(|g| g.name == name).map(|i| GlobalId(i as u32))
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GlobalId(i as u32))
     }
 
     fn ty(&self, id: NodeId) -> &Type {
@@ -253,18 +278,29 @@ impl<'a> FuncLowerer<'a> {
             Stmt::Decl { name, ty, init, .. } => {
                 let needs_memory = !ty.is_scalar() || self.addr_taken.contains(name);
                 let kind = if needs_memory {
-                    LocalKind::Memory { slots: self.slots(ty) }
+                    LocalKind::Memory {
+                        slots: self.slots(ty),
+                    }
                 } else {
                     LocalKind::Register
                 };
                 let id = self.add_local(name, ty.clone(), kind);
-                self.scopes.last_mut().expect("scope").insert(name.clone(), id);
+                self.scopes
+                    .last_mut()
+                    .expect("scope")
+                    .insert(name.clone(), id);
                 if let Some(e) = init {
                     let v = self.rvalue(e);
                     if needs_memory {
                         let addr = self.fresh_temp(ty.clone().ptr_to());
-                        self.emit(Inst::AddrLocal { dst: addr, local: id });
-                        self.emit(Inst::Store { addr: Operand::Local(addr), src: v });
+                        self.emit(Inst::AddrLocal {
+                            dst: addr,
+                            local: id,
+                        });
+                        self.emit(Inst::Store {
+                            addr: Operand::Local(addr),
+                            src: v,
+                        });
                     } else {
                         self.emit(Inst::Copy { dst: id, src: v });
                     }
@@ -273,7 +309,12 @@ impl<'a> FuncLowerer<'a> {
             Stmt::Expr(e) => {
                 self.lower_expr_for_effect(e);
             }
-            Stmt::If { cond, then, otherwise, .. } => {
+            Stmt::If {
+                cond,
+                then,
+                otherwise,
+                ..
+            } => {
                 let then_bb = self.new_block();
                 let exit_bb = self.new_block();
                 let else_bb = match otherwise {
@@ -303,7 +344,10 @@ impl<'a> FuncLowerer<'a> {
                 self.switch_to(header);
                 self.lower_cond(cond, body_bb, exit_bb);
                 self.switch_to(body_bb);
-                self.loops.push(LoopCtx { break_to: exit_bb, continue_to: header });
+                self.loops.push(LoopCtx {
+                    break_to: exit_bb,
+                    continue_to: header,
+                });
                 self.lower_block(body);
                 self.loops.pop();
                 if !self.terminated {
@@ -311,7 +355,13 @@ impl<'a> FuncLowerer<'a> {
                 }
                 self.switch_to(exit_bb);
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     self.lower_stmt(i);
@@ -327,7 +377,10 @@ impl<'a> FuncLowerer<'a> {
                     None => self.terminate(Terminator::Goto(body_bb)),
                 }
                 self.switch_to(body_bb);
-                self.loops.push(LoopCtx { break_to: exit_bb, continue_to: step_bb });
+                self.loops.push(LoopCtx {
+                    break_to: exit_bb,
+                    continue_to: step_bb,
+                });
                 self.lower_block(body);
                 self.loops.pop();
                 if !self.terminated {
@@ -389,7 +442,11 @@ impl<'a> FuncLowerer<'a> {
             ExprKind::Unary(UnOp::Not, a) => self.lower_cond(a, else_bb, then_bb),
             _ => {
                 let v = self.rvalue(e);
-                self.terminate(Terminator::Branch { cond: v, then: then_bb, otherwise: else_bb });
+                self.terminate(Terminator::Branch {
+                    cond: v,
+                    then: then_bb,
+                    otherwise: else_bb,
+                });
             }
         }
     }
@@ -404,18 +461,30 @@ impl<'a> FuncLowerer<'a> {
                     if self.locals[id.index()].is_memory() {
                         // Scalar spilled to memory (address-taken): load it.
                         let addr = self.fresh_temp(self.locals[id.index()].ty.clone().ptr_to());
-                        self.emit(Inst::AddrLocal { dst: addr, local: id });
+                        self.emit(Inst::AddrLocal {
+                            dst: addr,
+                            local: id,
+                        });
                         let dst = self.fresh_temp(self.ty(e.id).clone());
-                        self.emit(Inst::Load { dst, addr: Operand::Local(addr) });
+                        self.emit(Inst::Load {
+                            dst,
+                            addr: Operand::Local(addr),
+                        });
                         Operand::Local(dst)
                     } else {
                         Operand::Local(id)
                     }
                 } else if let Some(g) = self.lookup_global(name) {
                     let addr = self.fresh_temp(self.ty(e.id).clone().ptr_to());
-                    self.emit(Inst::AddrGlobal { dst: addr, global: g });
+                    self.emit(Inst::AddrGlobal {
+                        dst: addr,
+                        global: g,
+                    });
                     let dst = self.fresh_temp(self.ty(e.id).clone());
-                    self.emit(Inst::Load { dst, addr: Operand::Local(addr) });
+                    self.emit(Inst::Load {
+                        dst,
+                        addr: Operand::Local(addr),
+                    });
                     Operand::Local(dst)
                 } else {
                     unreachable!("checked: variable `{name}` resolves")
@@ -424,7 +493,11 @@ impl<'a> FuncLowerer<'a> {
             ExprKind::Unary(op, a) => {
                 let v = self.rvalue(a);
                 let dst = self.fresh_temp(Type::Int);
-                self.emit(Inst::Un { dst, op: *op, src: v });
+                self.emit(Inst::Un {
+                    dst,
+                    op: *op,
+                    src: v,
+                });
                 Operand::Local(dst)
             }
             ExprKind::Binary(op @ (BinOp::And | BinOp::Or), ..) => {
@@ -437,10 +510,16 @@ impl<'a> FuncLowerer<'a> {
                 let exit_bb = self.new_block();
                 self.lower_cond(e, then_bb, else_bb);
                 self.switch_to(then_bb);
-                self.emit(Inst::Copy { dst, src: Operand::Const(1) });
+                self.emit(Inst::Copy {
+                    dst,
+                    src: Operand::Const(1),
+                });
                 self.terminate(Terminator::Goto(exit_bb));
                 self.switch_to(else_bb);
-                self.emit(Inst::Copy { dst, src: Operand::Const(0) });
+                self.emit(Inst::Copy {
+                    dst,
+                    src: Operand::Const(0),
+                });
                 self.terminate(Terminator::Goto(exit_bb));
                 self.switch_to(exit_bb);
                 Operand::Local(dst)
@@ -450,7 +529,12 @@ impl<'a> FuncLowerer<'a> {
                 let rhs = self.rvalue(b);
                 let ir_op = IrBinOp::from_ast(*op).expect("short-circuit handled above");
                 let dst = self.fresh_temp(self.ty(e.id).clone());
-                self.emit(Inst::Bin { dst, op: ir_op, lhs, rhs });
+                self.emit(Inst::Bin {
+                    dst,
+                    op: ir_op,
+                    lhs,
+                    rhs,
+                });
                 Operand::Local(dst)
             }
             ExprKind::Assign(lhs, rhs) => {
@@ -512,7 +596,12 @@ impl<'a> FuncLowerer<'a> {
                 *self.alloc_sites += 1;
                 let dst = self.fresh_temp(ty.clone().ptr_to());
                 let elem_slots = self.slots(ty);
-                self.emit(Inst::Alloc { dst, elem_slots, count: c, site });
+                self.emit(Inst::Alloc {
+                    dst,
+                    elem_slots,
+                    count: c,
+                    site,
+                });
                 Operand::Local(dst)
             }
         }
@@ -524,7 +613,10 @@ impl<'a> FuncLowerer<'a> {
                 if let Some(id) = self.lookup_local(name) {
                     if self.locals[id.index()].is_memory() {
                         let addr = self.fresh_temp(self.locals[id.index()].ty.clone().ptr_to());
-                        self.emit(Inst::AddrLocal { dst: addr, local: id });
+                        self.emit(Inst::AddrLocal {
+                            dst: addr,
+                            local: id,
+                        });
                         Place::Mem(Operand::Local(addr))
                     } else {
                         Place::Reg(id)
@@ -532,7 +624,10 @@ impl<'a> FuncLowerer<'a> {
                 } else if let Some(g) = self.lookup_global(name) {
                     let gty = self.globals[g.index()].ty.clone();
                     let addr = self.fresh_temp(gty.ptr_to());
-                    self.emit(Inst::AddrGlobal { dst: addr, global: g });
+                    self.emit(Inst::AddrGlobal {
+                        dst: addr,
+                        global: g,
+                    });
                     Place::Mem(Operand::Local(addr))
                 } else {
                     unreachable!("checked: variable `{name}` resolves")
@@ -560,7 +655,12 @@ impl<'a> FuncLowerer<'a> {
                 let i = self.rvalue(idx);
                 let stride = self.slots(&elem_ty);
                 let dst = self.fresh_temp(elem_ty.ptr_to());
-                self.emit(Inst::AddrIndex { dst, base: base_addr, index: i, stride });
+                self.emit(Inst::AddrIndex {
+                    dst,
+                    base: base_addr,
+                    index: i,
+                    stride,
+                });
                 Place::Mem(Operand::Local(dst))
             }
             ExprKind::Field(base, fname) => {
@@ -577,7 +677,9 @@ impl<'a> FuncLowerer<'a> {
                 let Type::Ptr(inner) = self.ty(base.id).clone() else {
                     unreachable!("checked: `->` on struct pointer")
                 };
-                let Type::Struct(sname) = *inner else { unreachable!() };
+                let Type::Struct(sname) = *inner else {
+                    unreachable!()
+                };
                 let base_addr = self.rvalue(base);
                 self.field_place(&sname, fname, base_addr)
             }
@@ -598,18 +700,24 @@ impl<'a> FuncLowerer<'a> {
             .map(|(_, t, o)| (t.clone(), *o))
             .expect("checked: field exists");
         let dst = self.fresh_temp(fty.ptr_to());
-        self.emit(Inst::AddrField { dst, base: base_addr, offset });
+        self.emit(Inst::AddrField {
+            dst,
+            base: base_addr,
+            offset,
+        });
         Place::Mem(Operand::Local(dst))
     }
 
     fn lower_call(&mut self, e: &Expr, want_value: bool) -> Option<Operand> {
         let (target, args): (&CallTarget, &[Expr]) = match &e.kind {
-            ExprKind::Call(_, args) => {
-                (self.checked.call_targets.get(&e.id).expect("resolved call"), args)
-            }
-            ExprKind::CallPtr(_, args) => {
-                (self.checked.call_targets.get(&e.id).expect("resolved call"), args)
-            }
+            ExprKind::Call(_, args) => (
+                self.checked.call_targets.get(&e.id).expect("resolved call"),
+                args,
+            ),
+            ExprKind::CallPtr(_, args) => (
+                self.checked.call_targets.get(&e.id).expect("resolved call"),
+                args,
+            ),
             _ => unreachable!("lower_call on a call expression"),
         };
         let target = target.clone();
@@ -633,7 +741,11 @@ impl<'a> FuncLowerer<'a> {
                 } else {
                     None
                 };
-                self.emit(Inst::Call { dst, callee: Callee::Direct(func), args: arg_ops });
+                self.emit(Inst::Call {
+                    dst,
+                    callee: Callee::Direct(func),
+                    args: arg_ops,
+                });
                 dst.map(Operand::Local)
             }
             CallTarget::Indirect => {
@@ -661,7 +773,11 @@ impl<'a> FuncLowerer<'a> {
                     _ => unreachable!(),
                 };
                 let arg_ops: Vec<Operand> = args.iter().map(|a| self.rvalue(a)).collect();
-                let dst = if want_value { Some(self.fresh_temp(Type::Int)) } else { None };
+                let dst = if want_value {
+                    Some(self.fresh_temp(Type::Int))
+                } else {
+                    None
+                };
                 self.emit(Inst::Call {
                     dst,
                     callee: Callee::Indirect(callee_op),
@@ -716,7 +832,12 @@ fn collect_addr_taken(b: &AstBlock, out: &mut HashSet<String>) {
                 }
             }
             Stmt::Expr(e) => expr(e, out),
-            Stmt::If { cond, then, otherwise, .. } => {
+            Stmt::If {
+                cond,
+                then,
+                otherwise,
+                ..
+            } => {
                 expr(cond, out);
                 collect_addr_taken(then, out);
                 if let Some(b) = otherwise {
@@ -727,7 +848,13 @@ fn collect_addr_taken(b: &AstBlock, out: &mut HashSet<String>) {
                 expr(cond, out);
                 collect_addr_taken(body, out);
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 if let Some(i) = init {
                     stmt(i, out);
                 }
@@ -876,11 +1003,15 @@ mod tests {
             .flat_map(|b| &b.insts)
             .any(|i| matches!(i, Inst::LoadFunc { .. }));
         assert!(has_loadfunc);
-        let has_indirect = main
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::Call { callee: Callee::Indirect(_), .. }));
+        let has_indirect = main.blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Inst::Call {
+                    callee: Callee::Indirect(_),
+                    ..
+                }
+            )
+        });
         assert!(has_indirect);
     }
 

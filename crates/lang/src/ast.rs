@@ -91,7 +91,11 @@ pub struct StructDef {
 impl StructDef {
     /// Index and type of a field, if present.
     pub fn field(&self, name: &str) -> Option<(usize, &Type)> {
-        self.fields.iter().enumerate().find(|(_, (n, _))| n == name).map(|(i, (_, t))| (i, t))
+        self.fields
+            .iter()
+            .enumerate()
+            .find(|(_, (n, _))| n == name)
+            .map(|(i, (_, t))| (i, t))
     }
 }
 

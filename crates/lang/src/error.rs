@@ -25,17 +25,29 @@ pub struct LangError {
 impl LangError {
     /// Creates a lexer error.
     pub fn lex(span: Span, message: impl Into<String>) -> Self {
-        LangError { phase: Phase::Lex, span, message: message.into() }
+        LangError {
+            phase: Phase::Lex,
+            span,
+            message: message.into(),
+        }
     }
 
     /// Creates a parser error.
     pub fn parse(span: Span, message: impl Into<String>) -> Self {
-        LangError { phase: Phase::Parse, span, message: message.into() }
+        LangError {
+            phase: Phase::Parse,
+            span,
+            message: message.into(),
+        }
     }
 
     /// Creates a type-checker error.
     pub fn ty(span: Span, message: impl Into<String>) -> Self {
-        LangError { phase: Phase::Type, span, message: message.into() }
+        LangError {
+            phase: Phase::Type,
+            span,
+            message: message.into(),
+        }
     }
 
     /// The phase that rejected the input.

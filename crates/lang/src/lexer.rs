@@ -32,7 +32,12 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -65,7 +70,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let span = self.span();
             let Some(c) = self.peek() else {
-                out.push(Token { kind: TokenKind::Eof, span });
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span,
+                });
                 return Ok(out);
             };
             let kind = match c {
@@ -213,7 +221,10 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     OrOr
                 } else {
-                    return Err(LangError::lex(span, "expected `||` (bitwise `|` unsupported)"));
+                    return Err(LangError::lex(
+                        span,
+                        "expected `||` (bitwise `|` unsupported)",
+                    ));
                 }
             }
             other => {
@@ -255,15 +266,33 @@ mod tests {
         assert_eq!(
             kinds("== = != ! <= < >= > && & || ++ -- += -= ->"),
             vec![
-                Eq, Assign, Ne, Bang, Le, Lt, Ge, Gt, AndAnd, Amp, OrOr, PlusPlus, MinusMinus,
-                PlusAssign, MinusAssign, Arrow, Eof
+                Eq,
+                Assign,
+                Ne,
+                Bang,
+                Le,
+                Lt,
+                Ge,
+                Gt,
+                AndAnd,
+                Amp,
+                OrOr,
+                PlusPlus,
+                MinusMinus,
+                PlusAssign,
+                MinusAssign,
+                Arrow,
+                Eof
             ]
         );
     }
 
     #[test]
     fn integers() {
-        assert_eq!(kinds("0 42 123456789"), vec![Int(0), Int(42), Int(123456789), Eof]);
+        assert_eq!(
+            kinds("0 42 123456789"),
+            vec![Int(0), Int(42), Int(123456789), Eof]
+        );
     }
 
     #[test]
@@ -278,12 +307,10 @@ mod tests {
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(kinds("a // line\n b /* block\nspanning */ c"), vec![
-            Ident("a".into()),
-            Ident("b".into()),
-            Ident("c".into()),
-            Eof
-        ]);
+        assert_eq!(
+            kinds("a // line\n b /* block\nspanning */ c"),
+            vec![Ident("a".into()), Ident("b".into()), Ident("c".into()), Eof]
+        );
     }
 
     #[test]

@@ -40,8 +40,8 @@ mod token;
 mod types;
 
 pub use ast::{
-    BinOp, Block, Expr, ExprKind, Function, Global, NodeId, Param, Program, Stmt, StructDef,
-    Type, UnOp,
+    BinOp, Block, Expr, ExprKind, Function, Global, NodeId, Param, Program, Stmt, StructDef, Type,
+    UnOp,
 };
 pub use error::{LangError, Phase};
 pub use lexer::lex;

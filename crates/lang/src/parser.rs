@@ -23,7 +23,12 @@ use crate::token::{Span, Token, TokenKind};
 /// ```
 pub fn parse(src: &str) -> Result<Program, LangError> {
     let tokens = lex(src)?;
-    Parser { tokens, pos: 0, next_id: 0 }.program()
+    Parser {
+        tokens,
+        pos: 0,
+        next_id: 0,
+    }
+    .program()
 }
 
 struct Parser {
@@ -82,7 +87,11 @@ impl Parser {
     }
 
     fn mk(&mut self, kind: ExprKind, span: Span) -> Expr {
-        Expr { id: self.fresh_id(), kind, span }
+        Expr {
+            id: self.fresh_id(),
+            kind,
+            span,
+        }
     }
 
     /// Deep-clones an expression with fresh node ids (used by desugaring,
@@ -151,7 +160,10 @@ impl Parser {
                 self.bump();
                 Ok(name)
             }
-            other => Err(LangError::parse(self.span(), format!("expected identifier, found {other}"))),
+            other => Err(LangError::parse(
+                self.span(),
+                format!("expected identifier, found {other}"),
+            )),
         }
     }
 
@@ -174,7 +186,10 @@ impl Parser {
                 let name = self.ident()?;
                 Ok(Type::Struct(name))
             }
-            other => Err(LangError::parse(self.span(), format!("expected a type, found {other}"))),
+            other => Err(LangError::parse(
+                self.span(),
+                format!("expected a type, found {other}"),
+            )),
         }
     }
 
@@ -235,7 +250,11 @@ impl Parser {
                 let base = self.base_type()?;
                 let ty = self.pointer_suffix(base);
                 let pname = self.ident()?;
-                params.push(Param { name: pname, ty, span: pspan });
+                params.push(Param {
+                    name: pname,
+                    ty,
+                    span: pspan,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
@@ -243,7 +262,13 @@ impl Parser {
         }
         self.expect(TokenKind::RParen)?;
         let body = self.block()?;
-        Ok(Function { name, params, ret, body, span })
+        Ok(Function {
+            name,
+            params,
+            ret,
+            body,
+            span,
+        })
     }
 
     fn block(&mut self) -> Result<Block, LangError> {
@@ -282,8 +307,11 @@ impl Parser {
             TokenKind::KwFor => self.for_stmt(),
             TokenKind::KwReturn => {
                 self.bump();
-                let value =
-                    if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(TokenKind::Semi)?;
                 Ok(Stmt::Return { value, span })
             }
@@ -316,8 +344,17 @@ impl Parser {
         let ty = self.pointer_suffix(base);
         let name = self.ident()?;
         let ty = self.array_suffix(ty)?;
-        let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
-        Ok(Stmt::Decl { name, ty, init, span })
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Decl {
+            name,
+            ty,
+            init,
+            span,
+        })
     }
 
     fn if_stmt(&mut self) -> Result<Stmt, LangError> {
@@ -330,14 +367,21 @@ impl Parser {
         let otherwise = if self.eat(&TokenKind::KwElse) {
             if self.peek() == &TokenKind::KwIf {
                 let nested = self.if_stmt()?;
-                Some(Block { stmts: vec![nested] })
+                Some(Block {
+                    stmts: vec![nested],
+                })
             } else {
                 Some(self.block_or_single()?)
             }
         } else {
             None
         };
-        Ok(Stmt::If { cond, then, otherwise, span })
+        Ok(Stmt::If {
+            cond,
+            then,
+            otherwise,
+            span,
+        })
     }
 
     fn for_stmt(&mut self) -> Result<Stmt, LangError> {
@@ -356,19 +400,35 @@ impl Parser {
             self.expect(TokenKind::Semi)?;
             Some(Box::new(Stmt::Expr(e)))
         };
-        let cond = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+        let cond = if self.peek() == &TokenKind::Semi {
+            None
+        } else {
+            Some(self.expr()?)
+        };
         self.expect(TokenKind::Semi)?;
-        let step = if self.peek() == &TokenKind::RParen { None } else { Some(self.expr()?) };
+        let step = if self.peek() == &TokenKind::RParen {
+            None
+        } else {
+            Some(self.expr()?)
+        };
         self.expect(TokenKind::RParen)?;
         let body = self.block_or_single()?;
-        Ok(Stmt::For { init, cond, step, body, span })
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            span,
+        })
     }
 
     fn block_or_single(&mut self) -> Result<Block, LangError> {
         if self.peek() == &TokenKind::LBrace {
             self.block()
         } else {
-            Ok(Block { stmts: vec![self.stmt()?] })
+            Ok(Block {
+                stmts: vec![self.stmt()?],
+            })
         }
     }
 
@@ -388,7 +448,11 @@ impl Parser {
                 Ok(self.mk(ExprKind::Assign(Box::new(lhs), Box::new(rhs)), span))
             }
             TokenKind::PlusAssign | TokenKind::MinusAssign => {
-                let op = if self.bump() == TokenKind::PlusAssign { BinOp::Add } else { BinOp::Sub };
+                let op = if self.bump() == TokenKind::PlusAssign {
+                    BinOp::Add
+                } else {
+                    BinOp::Sub
+                };
                 let rhs = self.assignment()?;
                 let lhs2 = self.renumber(&lhs);
                 let sum = self.mk(ExprKind::Binary(op, Box::new(lhs2), Box::new(rhs)), span);
@@ -404,7 +468,10 @@ impl Parser {
             let span = self.span();
             self.bump();
             let rhs = self.logic_and()?;
-            lhs = self.mk(ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), span);
+            lhs = self.mk(
+                ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
         }
         Ok(lhs)
     }
@@ -415,7 +482,10 @@ impl Parser {
             let span = self.span();
             self.bump();
             let rhs = self.equality()?;
-            lhs = self.mk(ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)), span);
+            lhs = self.mk(
+                ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
+                span,
+            );
         }
         Ok(lhs)
     }
@@ -507,7 +577,11 @@ impl Parser {
                 Ok(self.mk(ExprKind::AddrOf(Box::new(e)), span))
             }
             TokenKind::PlusPlus | TokenKind::MinusMinus => {
-                let op = if self.bump() == TokenKind::PlusPlus { BinOp::Add } else { BinOp::Sub };
+                let op = if self.bump() == TokenKind::PlusPlus {
+                    BinOp::Add
+                } else {
+                    BinOp::Sub
+                };
                 let e = self.unary()?;
                 self.incr_decr(e, op, span)
             }
@@ -557,8 +631,11 @@ impl Parser {
                     e = self.mk(ExprKind::ArrowField(Box::new(e), field), span);
                 }
                 TokenKind::PlusPlus | TokenKind::MinusMinus => {
-                    let op =
-                        if self.bump() == TokenKind::PlusPlus { BinOp::Add } else { BinOp::Sub };
+                    let op = if self.bump() == TokenKind::PlusPlus {
+                        BinOp::Add
+                    } else {
+                        BinOp::Sub
+                    };
                     e = self.incr_decr(e, op, span)?;
                 }
                 _ => return Ok(e),
@@ -607,9 +684,10 @@ impl Parser {
                 self.expect(TokenKind::RParen)?;
                 Ok(e)
             }
-            other => {
-                Err(LangError::parse(span, format!("expected an expression, found {other}")))
-            }
+            other => Err(LangError::parse(
+                span,
+                format!("expected an expression, found {other}"),
+            )),
         }
     }
 }
@@ -635,7 +713,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.structs.len(), 1);
-        assert_eq!(p.structs[0].fields[1].1, Type::Struct("list".into()).ptr_to());
+        assert_eq!(
+            p.structs[0].fields[1].1,
+            Type::Struct("list".into()).ptr_to()
+        );
         assert_eq!(p.globals.len(), 1);
         assert_eq!(p.globals[0].ty, Type::Array(Box::new(Type::Int), 4096));
     }
@@ -650,7 +731,10 @@ mod tests {
     #[test]
     fn parses_for_loop_with_decl() {
         let p = parse("void main(int n) { for (int i = 0; i < n; i++) { output(i); } }").unwrap();
-        let Stmt::For { init, cond, step, .. } = &p.functions[0].body.stmts[0] else {
+        let Stmt::For {
+            init, cond, step, ..
+        } = &p.functions[0].body.stmts[0]
+        else {
             panic!("expected for");
         };
         assert!(matches!(init.as_deref(), Some(Stmt::Decl { .. })));
@@ -661,24 +745,36 @@ mod tests {
     #[test]
     fn desugars_increment() {
         let p = parse("void main() { int i; i++; }").unwrap();
-        let Stmt::Expr(e) = &p.functions[0].body.stmts[1] else { panic!() };
+        let Stmt::Expr(e) = &p.functions[0].body.stmts[1] else {
+            panic!()
+        };
         assert!(matches!(e.kind, ExprKind::Assign(..)));
     }
 
     #[test]
     fn desugars_plus_assign() {
         let p = parse("void main() { int i; i += 5; }").unwrap();
-        let Stmt::Expr(e) = &p.functions[0].body.stmts[1] else { panic!() };
-        let ExprKind::Assign(_, rhs) = &e.kind else { panic!() };
+        let Stmt::Expr(e) = &p.functions[0].body.stmts[1] else {
+            panic!()
+        };
+        let ExprKind::Assign(_, rhs) = &e.kind else {
+            panic!()
+        };
         assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Add, ..)));
     }
 
     #[test]
     fn precedence() {
         let p = parse("void main() { int x; x = 1 + 2 * 3; }").unwrap();
-        let Stmt::Expr(e) = &p.functions[0].body.stmts[1] else { panic!() };
-        let ExprKind::Assign(_, rhs) = &e.kind else { panic!() };
-        let ExprKind::Binary(BinOp::Add, _, r) = &rhs.kind else { panic!("expected + at top") };
+        let Stmt::Expr(e) = &p.functions[0].body.stmts[1] else {
+            panic!()
+        };
+        let ExprKind::Assign(_, rhs) = &e.kind else {
+            panic!()
+        };
+        let ExprKind::Binary(BinOp::Add, _, r) = &rhs.kind else {
+            panic!("expected + at top")
+        };
         assert!(matches!(r.kind, ExprKind::Binary(BinOp::Mul, ..)));
     }
 
@@ -717,10 +813,12 @@ mod tests {
         fn walk(e: &Expr, seen: &mut std::collections::HashSet<u32>) {
             assert!(seen.insert(e.id.0), "duplicate node id {}", e.id);
             match &e.kind {
-                ExprKind::Unary(_, a) | ExprKind::AddrOf(a) | ExprKind::Deref(a)
-                | ExprKind::Alloc(_, a) | ExprKind::Field(a, _) | ExprKind::ArrowField(a, _) => {
-                    walk(a, seen)
-                }
+                ExprKind::Unary(_, a)
+                | ExprKind::AddrOf(a)
+                | ExprKind::Deref(a)
+                | ExprKind::Alloc(_, a)
+                | ExprKind::Field(a, _)
+                | ExprKind::ArrowField(a, _) => walk(a, seen),
                 ExprKind::Binary(_, a, b) | ExprKind::Assign(a, b) | ExprKind::Index(a, b) => {
                     walk(a, seen);
                     walk(b, seen);
@@ -746,7 +844,12 @@ mod tests {
                     }
                 }
                 Stmt::Expr(e) => walk(e, seen),
-                Stmt::If { cond, then, otherwise, .. } => {
+                Stmt::If {
+                    cond,
+                    then,
+                    otherwise,
+                    ..
+                } => {
                     walk(cond, seen);
                     walk_block(then, seen);
                     if let Some(b) = otherwise {
@@ -757,7 +860,13 @@ mod tests {
                     walk(cond, seen);
                     walk_block(body, seen);
                 }
-                Stmt::For { init, cond, step, body, .. } => {
+                Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    ..
+                } => {
                     if let Some(s) = init {
                         walk_stmt(s, seen);
                     }
@@ -793,9 +902,20 @@ mod tests {
     fn dangling_else_binds_inner() {
         let src = "void main(int a, int b) { if (a) if (b) output(1); else output(2); }";
         let p = parse(src).unwrap();
-        let Stmt::If { otherwise, then, .. } = &p.functions[0].body.stmts[0] else { panic!() };
+        let Stmt::If {
+            otherwise, then, ..
+        } = &p.functions[0].body.stmts[0]
+        else {
+            panic!()
+        };
         assert!(otherwise.is_none(), "outer if must have no else");
-        let Stmt::If { otherwise: inner_else, .. } = &then.stmts[0] else { panic!() };
+        let Stmt::If {
+            otherwise: inner_else,
+            ..
+        } = &then.stmts[0]
+        else {
+            panic!()
+        };
         assert!(inner_else.is_some());
     }
 }

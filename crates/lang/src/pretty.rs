@@ -34,9 +34,18 @@ pub fn pretty(program: &Program) -> String {
         let _ = writeln!(out, "{};", declarator(&g.ty, &g.name));
     }
     for f in &program.functions {
-        let params: Vec<String> =
-            f.params.iter().map(|p| declarator(&p.ty, &p.name)).collect();
-        let _ = writeln!(out, "{} {}({}) {{", type_prefix(&f.ret), f.name, params.join(", "));
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|p| declarator(&p.ty, &p.name))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} {}({}) {{",
+            type_prefix(&f.ret),
+            f.name,
+            params.join(", ")
+        );
         write_block_body(&mut out, &f.body, 1);
         let _ = writeln!(out, "}}");
     }
@@ -97,7 +106,12 @@ fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
         Stmt::Expr(e) => {
             let _ = writeln!(out, "{};", expr(e));
         }
-        Stmt::If { cond, then, otherwise, .. } => {
+        Stmt::If {
+            cond,
+            then,
+            otherwise,
+            ..
+        } => {
             let _ = writeln!(out, "if ({}) {{", expr(cond));
             write_block_body(out, then, depth + 1);
             indent(out, depth);
@@ -117,13 +131,29 @@ fn write_stmt(out: &mut String, s: &Stmt, depth: usize) {
             indent(out, depth);
             out.push_str("}\n");
         }
-        Stmt::For { init, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             out.push_str("for (");
             match init.as_deref() {
-                Some(Stmt::Decl { name, ty, init: Some(e), .. }) => {
+                Some(Stmt::Decl {
+                    name,
+                    ty,
+                    init: Some(e),
+                    ..
+                }) => {
                     let _ = write!(out, "{} = {}", declarator(ty, name), expr(e));
                 }
-                Some(Stmt::Decl { name, ty, init: None, .. }) => {
+                Some(Stmt::Decl {
+                    name,
+                    ty,
+                    init: None,
+                    ..
+                }) => {
                     let _ = write!(out, "{}", declarator(ty, name));
                 }
                 Some(Stmt::Expr(e)) => {
@@ -211,9 +241,8 @@ mod tests {
         for src in sources {
             let p1 = parse(src).unwrap();
             let printed = pretty(&p1);
-            let p2 = parse(&printed).unwrap_or_else(|e| {
-                panic!("pretty output failed to reparse: {e}\n---\n{printed}")
-            });
+            let p2 = parse(&printed)
+                .unwrap_or_else(|e| panic!("pretty output failed to reparse: {e}\n---\n{printed}"));
             let printed2 = pretty(&strip(&p2));
             assert_eq!(printed, printed2, "pretty must be a fixpoint");
         }
@@ -224,7 +253,10 @@ mod tests {
         assert_eq!(declarator(&Type::Int, "x"), "int x");
         assert_eq!(declarator(&Type::Int.ptr_to(), "p"), "int *p");
         assert_eq!(declarator(&Type::Int.ptr_to().ptr_to(), "p"), "int **p");
-        assert_eq!(declarator(&Type::Array(Box::new(Type::Int), 4), "a"), "int a[4]");
+        assert_eq!(
+            declarator(&Type::Array(Box::new(Type::Int), 4), "a"),
+            "int a[4]"
+        );
         assert_eq!(
             declarator(&Type::Struct("s".into()).ptr_to(), "q"),
             "struct s *q"

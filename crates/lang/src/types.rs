@@ -78,8 +78,16 @@ pub fn check(program: Program) -> Result<CheckedProgram, LangError> {
     for f in &program.functions {
         checker.check_function(f)?;
     }
-    let Checker { types, call_targets, .. } = checker;
-    Ok(CheckedProgram { program, types, call_targets })
+    let Checker {
+        types,
+        call_targets,
+        ..
+    } = checker;
+    Ok(CheckedProgram {
+        program,
+        types,
+        call_targets,
+    })
 }
 
 struct Checker<'a> {
@@ -98,7 +106,10 @@ impl<'a> Checker<'a> {
         let mut seen = HashMap::new();
         for s in &self.program.structs {
             if seen.insert(s.name.clone(), ()).is_some() {
-                return Err(LangError::ty(s.span, format!("duplicate struct `{}`", s.name)));
+                return Err(LangError::ty(
+                    s.span,
+                    format!("duplicate struct `{}`", s.name),
+                ));
             }
             let mut fields = HashMap::new();
             for (fname, fty) in &s.fields {
@@ -167,7 +178,10 @@ impl<'a> Checker<'a> {
         for g in &self.program.globals {
             self.validate_type(&g.ty, g.span)?;
             if globals.insert(g.name.clone(), g.ty.clone()).is_some() {
-                return Err(LangError::ty(g.span, format!("duplicate global `{}`", g.name)));
+                return Err(LangError::ty(
+                    g.span,
+                    format!("duplicate global `{}`", g.name),
+                ));
             }
             if self.program.function(&g.name).is_some() {
                 return Err(LangError::ty(
@@ -182,7 +196,10 @@ impl<'a> Checker<'a> {
 
     fn check_main_signature(&self) -> Result<(), LangError> {
         let Some(main) = self.program.main() else {
-            return Err(LangError::ty(Span::default(), "program has no `main` function"));
+            return Err(LangError::ty(
+                Span::default(),
+                "program has no `main` function",
+            ));
         };
         for p in &main.params {
             if p.ty != Type::Int {
@@ -197,10 +214,23 @@ impl<'a> Checker<'a> {
 
     fn check_function(&mut self, f: &Function) -> Result<(), LangError> {
         if is_builtin(&f.name) {
-            return Err(LangError::ty(f.span, format!("`{}` is a reserved builtin", f.name)));
+            return Err(LangError::ty(
+                f.span,
+                format!("`{}` is a reserved builtin", f.name),
+            ));
         }
-        if self.program.functions.iter().filter(|g| g.name == f.name).count() > 1 {
-            return Err(LangError::ty(f.span, format!("duplicate function `{}`", f.name)));
+        if self
+            .program
+            .functions
+            .iter()
+            .filter(|g| g.name == f.name)
+            .count()
+            > 1
+        {
+            return Err(LangError::ty(
+                f.span,
+                format!("duplicate function `{}`", f.name),
+            ));
         }
         self.current_ret = f.ret.clone();
         let mut params = HashMap::new();
@@ -213,7 +243,10 @@ impl<'a> Checker<'a> {
                 ));
             }
             if params.insert(p.name.clone(), p.ty.clone()).is_some() {
-                return Err(LangError::ty(p.span, format!("duplicate parameter `{}`", p.name)));
+                return Err(LangError::ty(
+                    p.span,
+                    format!("duplicate parameter `{}`", p.name),
+                ));
             }
         }
         self.scopes.push(params);
@@ -234,7 +267,10 @@ impl<'a> Checker<'a> {
     fn declare(&mut self, name: &str, ty: Type, span: Span) -> Result<(), LangError> {
         let scope = self.scopes.last_mut().expect("inside a scope");
         if scope.insert(name.to_string(), ty).is_some() {
-            return Err(LangError::ty(span, format!("`{name}` already declared in this scope")));
+            return Err(LangError::ty(
+                span,
+                format!("`{name}` already declared in this scope"),
+            ));
         }
         Ok(())
     }
@@ -245,7 +281,12 @@ impl<'a> Checker<'a> {
 
     fn check_stmt(&mut self, s: &Stmt) -> Result<(), LangError> {
         match s {
-            Stmt::Decl { name, ty, init, span } => {
+            Stmt::Decl {
+                name,
+                ty,
+                init,
+                span,
+            } => {
                 self.validate_type(ty, *span)?;
                 if let Some(e) = init {
                     let ity = self.check_expr(e)?;
@@ -257,7 +298,12 @@ impl<'a> Checker<'a> {
                 self.check_expr(e)?;
                 Ok(())
             }
-            Stmt::If { cond, then, otherwise, .. } => {
+            Stmt::If {
+                cond,
+                then,
+                otherwise,
+                ..
+            } => {
                 self.require_condition(cond)?;
                 self.check_block(then)?;
                 if let Some(b) = otherwise {
@@ -272,7 +318,13 @@ impl<'a> Checker<'a> {
                 self.loop_depth -= 1;
                 Ok(())
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     self.check_stmt(i)?;
@@ -319,7 +371,10 @@ impl<'a> Checker<'a> {
         if t.is_scalar() {
             Ok(())
         } else {
-            Err(LangError::ty(e.span, format!("condition must be scalar, found `{t}`")))
+            Err(LangError::ty(
+                e.span,
+                format!("condition must be scalar, found `{t}`"),
+            ))
         }
     }
 
@@ -341,7 +396,10 @@ impl<'a> Checker<'a> {
         {
             return Ok(());
         }
-        Err(LangError::ty(span, format!("expected `{expected}`, found `{actual}`")))
+        Err(LangError::ty(
+            span,
+            format!("expected `{expected}`, found `{actual}`"),
+        ))
     }
 
     fn is_lvalue(&self, e: &Expr) -> bool {
@@ -350,7 +408,9 @@ impl<'a> Checker<'a> {
                 // A function name is not an l-value.
                 self.lookup(name).is_some()
             }
-            ExprKind::Deref(_) | ExprKind::Index(..) | ExprKind::Field(..)
+            ExprKind::Deref(_)
+            | ExprKind::Index(..)
+            | ExprKind::Field(..)
             | ExprKind::ArrowField(..) => true,
             _ => false,
         }
@@ -367,7 +427,10 @@ impl<'a> Checker<'a> {
             ExprKind::Int(_) => Ok(Type::Int),
             ExprKind::Var(name) => match self.lookup(name) {
                 Some(t) => Ok(t.clone()),
-                None => Err(LangError::ty(e.span, format!("undefined variable `{name}`"))),
+                None => Err(LangError::ty(
+                    e.span,
+                    format!("undefined variable `{name}`"),
+                )),
             },
             ExprKind::Unary(op, a) => {
                 let t = self.check_expr(a)?;
@@ -399,7 +462,9 @@ impl<'a> Checker<'a> {
                         } else {
                             Err(LangError::ty(
                                 e.span,
-                                format!("arithmetic needs `int` operands, found `{ta}` {op} `{tb}`"),
+                                format!(
+                                    "arithmetic needs `int` operands, found `{ta}` {op} `{tb}`"
+                                ),
                             ))
                         }
                     }
@@ -440,7 +505,10 @@ impl<'a> Checker<'a> {
                 let tl = self.check_expr(lhs)?;
                 let tr = self.check_expr(rhs)?;
                 if !self.is_lvalue(lhs) {
-                    return Err(LangError::ty(lhs.span, "left side of `=` is not assignable"));
+                    return Err(LangError::ty(
+                        lhs.span,
+                        "left side of `=` is not assignable",
+                    ));
                 }
                 if !tl.is_scalar() {
                     return Err(LangError::ty(
@@ -460,9 +528,10 @@ impl<'a> Checker<'a> {
                 match tb {
                     Type::Array(t, _) => Ok(*t),
                     Type::Ptr(t) => Ok(*t),
-                    other => {
-                        Err(LangError::ty(base.span, format!("cannot index into `{other}`")))
-                    }
+                    other => Err(LangError::ty(
+                        base.span,
+                        format!("cannot index into `{other}`"),
+                    )),
                 }
             }
             ExprKind::Field(base, fname) => {
@@ -534,8 +603,10 @@ impl<'a> Checker<'a> {
                         if f.name == "main" {
                             return Err(LangError::ty(e.span, "`main` cannot be called"));
                         }
-                        let (ret, ptypes): (Type, Vec<Type>) =
-                            (f.ret.clone(), f.params.iter().map(|p| p.ty.clone()).collect());
+                        let (ret, ptypes): (Type, Vec<Type>) = (
+                            f.ret.clone(),
+                            f.params.iter().map(|p| p.ty.clone()).collect(),
+                        );
                         if args.len() != ptypes.len() {
                             return Err(LangError::ty(
                                 e.span,
@@ -550,7 +621,8 @@ impl<'a> Checker<'a> {
                             let at = self.check_expr(a)?;
                             self.require_assignable(pt, &at, a, a.span)?;
                         }
-                        self.call_targets.insert(e.id, CallTarget::Direct(name.clone()));
+                        self.call_targets
+                            .insert(e.id, CallTarget::Direct(name.clone()));
                         Ok(ret)
                     }
                 }
@@ -593,9 +665,10 @@ impl<'a> Checker<'a> {
                     // Dereferencing a function pointer yields the function
                     // pointer itself, as in C.
                     Type::Fn => Ok(Type::Fn),
-                    other => {
-                        Err(LangError::ty(inner.span, format!("cannot dereference `{other}`")))
-                    }
+                    other => Err(LangError::ty(
+                        inner.span,
+                        format!("cannot dereference `{other}`"),
+                    )),
                 }
             }
             ExprKind::Alloc(ty, count) => {
@@ -613,7 +686,10 @@ impl<'a> Checker<'a> {
         for a in args {
             let t = self.check_expr(a)?;
             if !t.is_scalar() {
-                return Err(LangError::ty(span, "indirect call arguments must be scalar"));
+                return Err(LangError::ty(
+                    span,
+                    "indirect call arguments must be scalar",
+                ));
             }
         }
         // Indirect targets are dynamically checked; statically they yield int.
@@ -626,9 +702,10 @@ impl<'a> Checker<'a> {
         };
         match def.field(fname) {
             Some((_, t)) => Ok(t.clone()),
-            None => {
-                Err(LangError::ty(span, format!("struct `{sname}` has no field `{fname}`")))
-            }
+            None => Err(LangError::ty(
+                span,
+                format!("struct `{sname}` has no field `{fname}`"),
+            )),
         }
     }
 }
@@ -688,10 +765,8 @@ mod tests {
         let src = "struct pt { int x; int y; };
                    void main() { struct pt p; p.x = 1; output(p.x + p.y); }";
         ok(src);
-        assert!(err(
-            "struct pt { int x; };
-             void main() { struct pt p; p.z = 1; }"
-        )
+        assert!(err("struct pt { int x; };
+             void main() { struct pt p; p.z = 1; }")
         .contains("no field"));
     }
 
@@ -751,16 +826,15 @@ mod tests {
     #[test]
     fn return_type_checked() {
         assert!(err("int f() { return; } void main() { f(); }").contains("missing return value"));
-        assert!(err("void f() { return 1; } void main() { f(); }")
-            .contains("cannot return a value"));
+        assert!(
+            err("void f() { return 1; } void main() { f(); }").contains("cannot return a value")
+        );
     }
 
     #[test]
     fn aggregate_assignment_rejected() {
-        assert!(err(
-            "struct pt { int x; };
-             void main() { struct pt a; struct pt b; a = b; }"
-        )
+        assert!(err("struct pt { int x; };
+             void main() { struct pt a; struct pt b; a = b; }")
         .contains("aggregate"));
     }
 

@@ -38,7 +38,10 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// A single attempt, no waiting.
     pub fn none() -> Self {
-        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
     }
 
     /// The deterministic delay before attempt `n` (1-based; attempt 1 is
@@ -102,6 +105,10 @@ pub struct RunReport {
     /// The server's analysis-time pipeline statistics, carried back on
     /// the v2 handshake; `None` when no handshake completed.
     pub server_pipeline: Option<PipelineStats>,
+    /// Aggregated server-side span statistics from the v3 handshake
+    /// (empty unless the server runs with tracing enabled); `None` when
+    /// no handshake completed.
+    pub server_spans: Option<offload_obs::SpanSummary>,
 }
 
 /// The adaptive offloading engine: dispatch on the parameters, execute
@@ -118,7 +125,12 @@ impl<'a> OffloadEngine<'a> {
     /// Creates an engine for one compiled analysis.
     pub fn new(analysis: &'a Analysis, device: DeviceModel, config: ClientConfig) -> Self {
         let tracked = analysis.items.items.iter().map(|i| i.loc).collect();
-        OffloadEngine { analysis, device, config, tracked }
+        OffloadEngine {
+            analysis,
+            device,
+            config,
+            tracked,
+        }
     }
 
     /// The engine's configuration.
@@ -161,10 +173,11 @@ impl<'a> OffloadEngine<'a> {
                 connect_attempts: 0,
                 local_pipeline,
                 server_pipeline: None,
+                server_spans: None,
             });
         };
         match self.try_remote(choice, partition, params, input) {
-            Ok((result, connect_attempts, server_pipeline)) => Ok(RunReport {
+            Ok((result, connect_attempts, server_pipeline, server_spans)) => Ok(RunReport {
                 choice,
                 result,
                 offloaded: true,
@@ -173,8 +186,13 @@ impl<'a> OffloadEngine<'a> {
                 connect_attempts,
                 local_pipeline,
                 server_pipeline: Some(server_pipeline),
+                server_spans: Some(server_spans),
             }),
             Err((e, connect_attempts)) if e.is_transport() => {
+                offload_obs::event!("net", "fallback", choice = choice, cause = e.to_string(),);
+                if offload_obs::enabled() {
+                    offload_obs::counter("net.fallbacks").inc();
+                }
                 let result = self.run_plan(Plan::AllLocal, params, input)?;
                 Ok(RunReport {
                     choice,
@@ -185,6 +203,7 @@ impl<'a> OffloadEngine<'a> {
                     connect_attempts,
                     local_pipeline,
                     server_pipeline: None,
+                    server_spans: None,
                 })
             }
             Err((e, _)) => Err(e),
@@ -216,6 +235,11 @@ impl<'a> OffloadEngine<'a> {
 
     /// Connects with the bounded deterministic retry schedule.
     fn connect(&self) -> Result<(TcpStream, u32), (NetError, u32)> {
+        let mut span = offload_obs::span!(
+            "net",
+            "connect",
+            max_attempts = self.config.retry.max_attempts,
+        );
         let addrs: Vec<SocketAddr> = match self.config.server.to_socket_addrs() {
             Ok(a) => a.collect(),
             Err(e) => return Err((NetError::io("resolving server address", e), 0)),
@@ -229,10 +253,27 @@ impl<'a> OffloadEngine<'a> {
             std::thread::sleep(self.config.retry.delay_before(attempt));
             attempts = attempt;
             match TcpStream::connect_timeout(&addrs[0], self.config.connect_timeout) {
-                Ok(s) => return Ok((s, attempts)),
-                Err(e) => last = Some(e),
+                Ok(s) => {
+                    span.record("attempts", attempts);
+                    span.record("ok", true);
+                    return Ok((s, attempts));
+                }
+                Err(e) => {
+                    offload_obs::event!(
+                        "net",
+                        "connect_retry",
+                        attempt = attempt,
+                        cause = e.to_string(),
+                    );
+                    if offload_obs::enabled() {
+                        offload_obs::counter("net.connect_retries").inc();
+                    }
+                    last = Some(e);
+                }
             }
         }
+        span.record("attempts", attempts);
+        span.record("ok", false);
         let e = last.unwrap_or_else(|| std::io::Error::other("no attempt made"));
         Err((
             NetError::io(
@@ -250,11 +291,11 @@ impl<'a> OffloadEngine<'a> {
         partition: &offload_core::Partition,
         params: &[i64],
         input: &[i64],
-    ) -> Result<(RunResult, u32, PipelineStats), (NetError, u32)> {
+    ) -> Result<(RunResult, u32, PipelineStats, offload_obs::SpanSummary), (NetError, u32)> {
+        let mut span = offload_obs::span!("net", "remote_run", choice = choice,);
         let (stream, attempts) = self.connect()?;
         let fail = |e: NetError| (e, attempts);
-        let mut conn =
-            Conn::new(stream, Some(self.config.request_timeout)).map_err(fail)?;
+        let mut conn = Conn::new(stream, Some(self.config.request_timeout)).map_err(fail)?;
 
         // Handshake: agree on program, plan and parameters.
         let id = conn
@@ -266,8 +307,11 @@ impl<'a> OffloadEngine<'a> {
             })
             .map_err(fail)?;
         let ack = conn.recv().map_err(fail)?;
-        let server_stats = match ack.msg {
-            WireMsg::HelloAck { server_stats } if ack.request_id == id => server_stats,
+        let (server_stats, server_spans) = match ack.msg {
+            WireMsg::HelloAck {
+                server_stats,
+                server_spans,
+            } if ack.request_id == id => (server_stats, server_spans),
             WireMsg::Error(m) => return Err(fail(NetError::HandshakeRefused(m))),
             other => {
                 return Err(fail(NetError::protocol(format!(
@@ -300,7 +344,10 @@ impl<'a> OffloadEngine<'a> {
                     // Orderly teardown; the result no longer depends on
                     // the socket, so send errors are ignored.
                     let _ = conn.send(WireMsg::Bye);
-                    return Ok((machine.into_result(), attempts, server_stats));
+                    span.record("connect_attempts", attempts);
+                    span.record("bytes_sent", conn.bytes_sent());
+                    span.record("bytes_received", conn.bytes_received());
+                    return Ok((machine.into_result(), attempts, server_stats, server_spans));
                 }
                 Err(e @ RuntimeError::HostLink(_)) => return Err(fail(e.into())),
                 Err(e) => {

@@ -47,7 +47,10 @@ pub enum NetError {
 impl NetError {
     /// Wraps an I/O failure with context.
     pub fn io(context: impl Into<String>, source: std::io::Error) -> NetError {
-        NetError::Io { context: context.into(), source }
+        NetError::Io {
+            context: context.into(),
+            source,
+        }
     }
 
     /// A malformed-bytes failure.

@@ -3,7 +3,7 @@
 //! machine answers with.
 
 use crate::error::NetError;
-use crate::protocol::{read_frame, write_frame, WireFrame, WireMsg};
+use crate::protocol::{read_frame_counted, write_frame, WireFrame, WireMsg};
 use offload_pta::AbsLocId;
 use offload_runtime::{ControlMsg, ExecHost, HostError, ItemPayload, Machine};
 use std::io;
@@ -17,6 +17,10 @@ pub struct Conn {
     /// Fault injection: abort the connection after this many more frames
     /// (sent + received). Used by tests to kill a server mid-run.
     frame_budget: Option<u64>,
+    /// On-wire bytes written (frame length prefixes included).
+    bytes_sent: u64,
+    /// On-wire bytes read (frame length prefixes included).
+    bytes_received: u64,
 }
 
 impl Conn {
@@ -26,14 +30,32 @@ impl Conn {
     ///
     /// Socket-option failures.
     pub fn new(stream: TcpStream, deadline: Option<Duration>) -> Result<Conn, NetError> {
-        stream.set_nodelay(true).map_err(|e| NetError::io("setting nodelay", e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| NetError::io("setting nodelay", e))?;
         stream
             .set_read_timeout(deadline)
             .map_err(|e| NetError::io("setting read deadline", e))?;
         stream
             .set_write_timeout(deadline)
             .map_err(|e| NetError::io("setting write deadline", e))?;
-        Ok(Conn { stream, next_id: 0, frame_budget: None })
+        Ok(Conn {
+            stream,
+            next_id: 0,
+            frame_budget: None,
+            bytes_sent: 0,
+            bytes_received: 0,
+        })
+    }
+
+    /// On-wire bytes this connection has sent so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// On-wire bytes this connection has received so far.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
     }
 
     /// Arms fault injection: after `n` more frames the connection
@@ -67,7 +89,13 @@ impl Conn {
         self.spend_frame()?;
         self.next_id += 1;
         let id = self.next_id;
-        write_frame(&mut self.stream, &WireFrame { request_id: id, msg })?;
+        self.bytes_sent += write_frame(
+            &mut self.stream,
+            &WireFrame {
+                request_id: id,
+                msg,
+            },
+        )?;
         Ok(id)
     }
 
@@ -78,7 +106,8 @@ impl Conn {
     /// Transport failures.
     pub fn reply(&mut self, request_id: u64, msg: WireMsg) -> Result<(), NetError> {
         self.spend_frame()?;
-        write_frame(&mut self.stream, &WireFrame { request_id, msg })
+        self.bytes_sent += write_frame(&mut self.stream, &WireFrame { request_id, msg })?;
+        Ok(())
     }
 
     /// Receives the next frame.
@@ -88,7 +117,9 @@ impl Conn {
     /// Transport failures, deadline expiry, malformed frames.
     pub fn recv(&mut self) -> Result<WireFrame, NetError> {
         self.spend_frame()?;
-        read_frame(&mut self.stream)
+        let (frame, n) = read_frame_counted(&mut self.stream)?;
+        self.bytes_received += n;
+        Ok(frame)
     }
 }
 
@@ -119,15 +150,23 @@ impl<'c> TcpPeer<'c> {
 
 impl ExecHost for TcpPeer<'_> {
     fn fetch_item(&mut self, item: AbsLocId) -> Result<ItemPayload, HostError> {
-        match self.round_trip(WireMsg::FetchItem { item: item.index() as u32 }) {
+        match self.round_trip(WireMsg::FetchItem {
+            item: item.index() as u32,
+        }) {
             Ok(WireMsg::ItemData(payload)) => Ok(payload),
-            Ok(other) => Err(HostError(format!("expected ItemData, got {}", other.kind()))),
+            Ok(other) => Err(HostError(format!(
+                "expected ItemData, got {}",
+                other.kind()
+            ))),
             Err(e) => Err(HostError(e.to_string())),
         }
     }
 
     fn push_item(&mut self, item: AbsLocId, payload: ItemPayload) -> Result<(), HostError> {
-        match self.round_trip(WireMsg::PushItem { item: item.index() as u32, payload }) {
+        match self.round_trip(WireMsg::PushItem {
+            item: item.index() as u32,
+            payload,
+        }) {
             Ok(WireMsg::PushAck) => Ok(()),
             Ok(other) => Err(HostError(format!("expected PushAck, got {}", other.kind()))),
             Err(e) => Err(HostError(e.to_string())),

@@ -21,18 +21,20 @@
 use crate::error::NetError;
 use offload_core::{Analysis, PipelineStats};
 use offload_ir::{AllocSiteId, BlockId, FuncId, LocalId};
+use offload_obs::{SpanStat, SpanSummary};
 use offload_poly::Rational;
 use offload_pta::AbsLocId;
 use offload_runtime::{
-    ControlMsg, Frame, Host, ItemPayload, Ledger, ObjEntry, ObjKey, PendingAction, RunStats,
-    Value,
+    ControlMsg, Frame, Host, ItemPayload, Ledger, ObjEntry, ObjKey, PendingAction, RunStats, Value,
 };
 use offload_tcfg::SegmentId;
 use std::io::{Read, Write};
 
 /// Protocol version; bumped on any incompatible framing change.
-/// (v2: `HelloAck` carries the server's analysis [`PipelineStats`].)
-pub const PROTOCOL_VERSION: u8 = 2;
+/// (v2: `HelloAck` carries the server's analysis [`PipelineStats`];
+/// v3: [`PipelineStats`] gains `sequential_strategy` and `HelloAck`
+/// additionally carries the server's [`SpanSummary`].)
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Upper bound on a single frame's payload (a corruption guard, not a
 /// tight limit).
@@ -66,6 +68,9 @@ pub enum WireMsg {
         /// Work counters of the server's parametric analysis, so a
         /// networked run reports the same numbers as a local one.
         server_stats: PipelineStats,
+        /// Aggregated span statistics of the server process so far —
+        /// where server time went, without shipping a full trace.
+        server_spans: SpanSummary,
     },
     /// A turn-taking control transfer (either direction).
     Control(Box<ControlMsg>),
@@ -251,6 +256,18 @@ fn put_pipeline(buf: &mut Vec<u8>, s: &PipelineStats) {
     put_uv(buf, s.threads_used as u64);
     put_uv(buf, s.simplify_micros);
     put_uv(buf, s.solve_micros);
+    buf.push(s.sequential_strategy as u8);
+}
+
+fn put_span_summary(buf: &mut Vec<u8>, s: &SpanSummary) {
+    put_uv(buf, s.entries.len() as u64);
+    for e in &s.entries {
+        put_str(buf, &e.cat);
+        put_str(buf, &e.name);
+        put_uv(buf, e.count);
+        put_uv(buf, e.total_us);
+        put_uv(buf, e.max_us);
+    }
 }
 
 fn put_stats(buf: &mut Vec<u8>, s: &RunStats) {
@@ -279,7 +296,12 @@ fn put_action(buf: &mut Vec<u8>, a: &PendingAction) {
     match a {
         PendingAction::Start => buf.push(0),
         PendingAction::Resume => buf.push(1),
-        PendingAction::PushFrame { func, block, segment, writes } => {
+        PendingAction::PushFrame {
+            func,
+            block,
+            segment,
+            writes,
+        } => {
             buf.push(2);
             put_uv(buf, func.0 as u64);
             put_uv(buf, block.0 as u64);
@@ -398,7 +420,8 @@ impl<'a> Cursor<'a> {
 
     fn rat(&mut self) -> Result<Rational, NetError> {
         let s = self.str()?;
-        s.parse().map_err(|_| NetError::protocol("malformed rational"))
+        s.parse()
+            .map_err(|_| NetError::protocol("malformed rational"))
     }
 
     fn u32v(&mut self) -> Result<u32, NetError> {
@@ -491,7 +514,27 @@ impl<'a> Cursor<'a> {
             threads_used: self.u32v()?,
             simplify_micros: self.uv()?,
             solve_micros: self.uv()?,
+            sequential_strategy: match self.byte()? {
+                0 => false,
+                1 => true,
+                t => return Err(NetError::protocol(format!("bad strategy flag {t}"))),
+            },
         })
+    }
+
+    fn span_summary(&mut self) -> Result<SpanSummary, NetError> {
+        let n = self.uv()? as usize;
+        let mut entries = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            entries.push(SpanStat {
+                cat: self.str()?,
+                name: self.str()?,
+                count: self.uv()?,
+                total_us: self.uv()?,
+                max_us: self.uv()?,
+            });
+        }
+        Ok(SpanSummary { entries })
     }
 
     fn stats(&mut self) -> Result<RunStats, NetError> {
@@ -523,7 +566,13 @@ impl<'a> Cursor<'a> {
         stats.server_compute = Rational::zero();
         stats.comm_time = Rational::zero();
         stats.energy = Rational::zero();
-        Ok(Ledger { clock, client_busy, server_busy, comm, stats })
+        Ok(Ledger {
+            clock,
+            client_busy,
+            server_busy,
+            comm,
+            stats,
+        })
     }
 
     fn action(&mut self) -> Result<PendingAction, NetError> {
@@ -539,7 +588,12 @@ impl<'a> Cursor<'a> {
                 for _ in 0..n {
                     writes.push((LocalId(self.u32v()?), self.value()?));
                 }
-                Ok(PendingAction::PushFrame { func, block, segment, writes })
+                Ok(PendingAction::PushFrame {
+                    func,
+                    block,
+                    segment,
+                    writes,
+                })
             }
             3 => {
                 let dst = self.opt_local()?;
@@ -582,7 +636,16 @@ impl<'a> Cursor<'a> {
         let dyn_count = self.uv()?;
         let steps = self.uv()?;
         let ledger = self.ledger()?;
-        Ok(ControlMsg { to, action, stack, valid, dyn_table, dyn_count, steps, ledger })
+        Ok(ControlMsg {
+            to,
+            action,
+            stack,
+            valid,
+            dyn_table,
+            dyn_count,
+            steps,
+            ledger,
+        })
     }
 }
 
@@ -596,7 +659,12 @@ pub fn encode_frame(frame: &WireFrame) -> Vec<u8> {
     body.push(frame.msg.tag());
     put_uv(&mut body, frame.request_id);
     match &frame.msg {
-        WireMsg::Hello { fingerprint, choice, params, max_steps } => {
+        WireMsg::Hello {
+            fingerprint,
+            choice,
+            params,
+            max_steps,
+        } => {
             put_uv(&mut body, *fingerprint);
             put_uv(&mut body, *choice as u64);
             put_uv(&mut body, params.len() as u64);
@@ -605,7 +673,13 @@ pub fn encode_frame(frame: &WireFrame) -> Vec<u8> {
             }
             put_uv(&mut body, *max_steps);
         }
-        WireMsg::HelloAck { server_stats } => put_pipeline(&mut body, server_stats),
+        WireMsg::HelloAck {
+            server_stats,
+            server_spans,
+        } => {
+            put_pipeline(&mut body, server_stats);
+            put_span_summary(&mut body, server_spans);
+        }
         WireMsg::PushAck | WireMsg::Bye => {}
         WireMsg::Control(m) => put_control(&mut body, m),
         WireMsg::FetchItem { item } => put_uv(&mut body, *item as u64),
@@ -627,7 +701,10 @@ pub fn decode_frame(payload: &[u8]) -> Result<WireFrame, NetError> {
     let mut c = Cursor::new(payload);
     let version = c.byte()?;
     if version != PROTOCOL_VERSION {
-        return Err(NetError::VersionMismatch { ours: PROTOCOL_VERSION, theirs: version });
+        return Err(NetError::VersionMismatch {
+            ours: PROTOCOL_VERSION,
+            theirs: version,
+        });
     }
     let tag = c.byte()?;
     let request_id = c.uv()?;
@@ -641,9 +718,17 @@ pub fn decode_frame(payload: &[u8]) -> Result<WireFrame, NetError> {
                 params.push(c.iv()?);
             }
             let max_steps = c.uv()?;
-            WireMsg::Hello { fingerprint, choice, params, max_steps }
+            WireMsg::Hello {
+                fingerprint,
+                choice,
+                params,
+                max_steps,
+            }
         }
-        2 => WireMsg::HelloAck { server_stats: c.pipeline()? },
+        2 => WireMsg::HelloAck {
+            server_stats: c.pipeline()?,
+            server_spans: c.span_summary()?,
+        },
         3 => WireMsg::Control(Box::new(c.control()?)),
         4 => WireMsg::FetchItem { item: c.u32v()? },
         5 => WireMsg::ItemData(c.payload()?),
@@ -668,11 +753,12 @@ pub fn decode_frame(payload: &[u8]) -> Result<WireFrame, NetError> {
 /// # Errors
 ///
 /// I/O failures (including write-deadline expiry).
-pub fn write_frame(w: &mut impl Write, frame: &WireFrame) -> Result<(), NetError> {
+pub fn write_frame(w: &mut impl Write, frame: &WireFrame) -> Result<u64, NetError> {
     let bytes = encode_frame(frame);
     w.write_all(&bytes)
         .and_then(|()| w.flush())
-        .map_err(|e| NetError::io(format!("sending {}", frame.msg.kind()), e))
+        .map_err(|e| NetError::io(format!("sending {}", frame.msg.kind()), e))?;
+    Ok(bytes.len() as u64)
 }
 
 /// Reads one frame from a stream.
@@ -682,12 +768,24 @@ pub fn write_frame(w: &mut impl Write, frame: &WireFrame) -> Result<(), NetError
 /// I/O failures (including read-deadline expiry), oversized frames and
 /// malformed payloads.
 pub fn read_frame(r: &mut impl Read) -> Result<WireFrame, NetError> {
+    read_frame_counted(r).map(|(frame, _)| frame)
+}
+
+/// Like [`read_frame`], additionally returning the on-wire size of the
+/// frame (length prefix plus payload) for transfer accounting.
+///
+/// # Errors
+///
+/// See [`read_frame`].
+pub fn read_frame_counted(r: &mut impl Read) -> Result<(WireFrame, u64), NetError> {
+    let mut prefix = 0u64;
     let mut len = 0u64;
     let mut shift = 0u32;
     loop {
         let mut b = [0u8; 1];
         r.read_exact(&mut b)
             .map_err(|e| NetError::io("reading frame length", e))?;
+        prefix += 1;
         if shift >= 64 {
             return Err(NetError::protocol("frame length varint overflow"));
         }
@@ -698,12 +796,14 @@ pub fn read_frame(r: &mut impl Read) -> Result<WireFrame, NetError> {
         shift += 7;
     }
     if len > MAX_FRAME_LEN {
-        return Err(NetError::protocol(format!("frame of {len} bytes exceeds limit")));
+        return Err(NetError::protocol(format!(
+            "frame of {len} bytes exceeds limit"
+        )));
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)
         .map_err(|e| NetError::io("reading frame payload", e))?;
-    decode_frame(&payload)
+    decode_frame(&payload).map(|frame| (frame, prefix + len))
 }
 
 /// A stable fingerprint of a compiled analysis (FNV-1a over the program

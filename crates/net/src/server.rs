@@ -26,7 +26,10 @@ pub struct ServerConfig {
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { request_timeout: Some(Duration::from_secs(60)), fail_after_frames: None }
+        ServerConfig {
+            request_timeout: Some(Duration::from_secs(60)),
+            fail_after_frames: None,
+        }
     }
 }
 
@@ -76,7 +79,11 @@ impl OffloadServer {
                 }
             }
         });
-        Ok(ServerHandle { addr: local, stop, accept: Some(accept) })
+        Ok(ServerHandle {
+            addr: local,
+            stop,
+            accept: Some(accept),
+        })
     }
 }
 
@@ -125,7 +132,12 @@ fn handle_session(
     // Handshake.
     let hello = conn.recv()?;
     let (choice, params, max_steps) = match hello.msg {
-        WireMsg::Hello { fingerprint: fp, choice, params, max_steps } => {
+        WireMsg::Hello {
+            fingerprint: fp,
+            choice,
+            params,
+            max_steps,
+        } => {
             let ours = fingerprint(analysis);
             if fp != ours {
                 let e = NetError::FingerprintMismatch { ours, theirs: fp };
@@ -140,12 +152,19 @@ fn handle_session(
             (choice as usize, params, max_steps)
         }
         other => {
-            return Err(NetError::protocol(format!("expected Hello, got {}", other.kind())))
+            return Err(NetError::protocol(format!(
+                "expected Hello, got {}",
+                other.kind()
+            )))
         }
     };
+    let mut session_span = offload_obs::span!("net", "session", choice = choice,);
     conn.reply(
         hello.request_id,
-        WireMsg::HelloAck { server_stats: analysis.pipeline_stats() },
+        WireMsg::HelloAck {
+            server_stats: analysis.pipeline_stats(),
+            server_spans: offload_obs::span_summary(),
+        },
     )?;
 
     // The server half of the executor, configured identically to the
@@ -162,20 +181,57 @@ fn handle_session(
     };
     let mut machine = Machine::new(&runner, Host::Server, &params, &[]);
 
+    let mut turns = 0u64;
+    let finish = |span: &mut offload_obs::SpanGuard, conn: &Conn, turns: u64| {
+        span.record("turns", turns);
+        span.record("bytes_received", conn.bytes_received());
+        span.record("bytes_sent", conn.bytes_sent());
+    };
     loop {
-        match serve(&mut machine, &mut conn)? {
-            Served::Bye => return Ok(()),
+        let rx_before = conn.bytes_received();
+        let served = match serve(&mut machine, &mut conn) {
+            Ok(s) => s,
+            Err(e) => {
+                finish(&mut session_span, &conn, turns);
+                return Err(e);
+            }
+        };
+        match served {
+            Served::Bye => {
+                finish(&mut session_span, &conn, turns);
+                return Ok(());
+            }
             Served::Control(msg) => {
+                turns += 1;
+                let mut turn_span = offload_obs::span!("net", "server_turn", turn = turns,);
+                let tx0 = conn.bytes_sent();
                 let mut peer = TcpPeer::new(&mut conn);
-                match machine.run_turn(msg, &mut peer) {
+                let outcome = machine.run_turn(msg, &mut peer);
+                // The request frame was already read by `serve`, so the
+                // inbound window opens before it (and picks up any
+                // mid-turn item fetches); the outbound window closes
+                // only after the control reply below goes out.
+                turn_span.record("request_bytes", conn.bytes_received() - rx_before);
+                match outcome {
                     Ok(Outcome::Yield(back)) => {
-                        conn.send(WireMsg::Control(Box::new(back)))?;
+                        let sent = conn.send(WireMsg::Control(Box::new(back)));
+                        turn_span.record("response_bytes", conn.bytes_sent() - tx0);
+                        drop(turn_span);
+                        sent?;
                     }
                     // The run never terminates on the server: an empty
                     // stack yields a `Finish` control home instead.
-                    Ok(Outcome::Done) => return Ok(()),
+                    Ok(Outcome::Done) => {
+                        turn_span.record("response_bytes", conn.bytes_sent() - tx0);
+                        drop(turn_span);
+                        finish(&mut session_span, &conn, turns);
+                        return Ok(());
+                    }
                     Err(e) => {
                         let _ = conn.send(WireMsg::Error(e.to_string()));
+                        turn_span.record("response_bytes", conn.bytes_sent() - tx0);
+                        drop(turn_span);
+                        finish(&mut session_span, &conn, turns);
                         return Err(e.into());
                     }
                 }

@@ -51,11 +51,14 @@ fn dead_addr() -> String {
 fn tcp_run_matches_local_and_simulated() {
     let a = analysis();
     let device = DeviceModel::ipaq_testbed();
-    let server =
-        OffloadServer::bind("127.0.0.1:0", a.clone(), device.clone(), ServerConfig::default())
-            .expect("server");
-    let engine =
-        OffloadEngine::new(&a, device.clone(), client_config(server.addr().to_string()));
+    let server = OffloadServer::bind(
+        "127.0.0.1:0",
+        a.clone(),
+        device.clone(),
+        ServerConfig::default(),
+    )
+    .expect("server");
+    let engine = OffloadEngine::new(&a, device.clone(), client_config(server.addr().to_string()));
     let sim = Simulator::new(&a, device);
 
     let mut offloaded_at_least_once = false;
@@ -69,18 +72,30 @@ fn tcp_run_matches_local_and_simulated() {
         // Byte-identical external behaviour across all three execution
         // modes (the paper's §2 semantic requirement, now over a socket).
         assert_eq!(report.result.outputs, local.outputs, "n={n}: tcp vs local");
-        assert_eq!(report.result.outputs, sim_run.outputs, "n={n}: tcp vs simulated");
+        assert_eq!(
+            report.result.outputs, sim_run.outputs,
+            "n={n}: tcp vs simulated"
+        );
 
         // Same dispatch decision, and exactly the same virtual cost: the
         // ledger rides the wire in exact rational arithmetic.
         assert_eq!(report.choice, sim_choice, "n={n}: dispatch agrees");
-        assert_eq!(report.result.stats, sim_run.stats, "n={n}: virtual stats agree");
+        assert_eq!(
+            report.result.stats, sim_run.stats,
+            "n={n}: virtual stats agree"
+        );
 
         let partitioned = !a.partition.choices[report.choice].is_all_local();
-        assert_eq!(report.offloaded, partitioned, "n={n}: offloaded iff partitioned");
+        assert_eq!(
+            report.offloaded, partitioned,
+            "n={n}: offloaded iff partitioned"
+        );
         offloaded_at_least_once |= report.offloaded;
     }
-    assert!(offloaded_at_least_once, "the large setting must actually use the socket");
+    assert!(
+        offloaded_at_least_once,
+        "the large setting must actually use the socket"
+    );
 }
 
 #[test]
@@ -116,8 +131,13 @@ fn absent_server_falls_back_to_all_local() {
     assert_eq!(report.connect_attempts, 2, "retry budget fully spent");
     assert!(report.fallback_reason.is_some());
 
-    let local = Simulator::new(&a, device).run_local(&[1_000], &[]).expect("local");
-    assert_eq!(report.result.outputs, local.outputs, "fallback output is correct");
+    let local = Simulator::new(&a, device)
+        .run_local(&[1_000], &[])
+        .expect("local");
+    assert_eq!(
+        report.result.outputs, local.outputs,
+        "fallback output is correct"
+    );
 }
 
 #[test]
@@ -133,7 +153,10 @@ fn server_killed_mid_run_falls_back() {
             "127.0.0.1:0",
             a.clone(),
             device.clone(),
-            ServerConfig { fail_after_frames: Some(frames), ..ServerConfig::default() },
+            ServerConfig {
+                fail_after_frames: Some(frames),
+                ..ServerConfig::default()
+            },
         )
         .expect("server");
         let mut config = client_config(server.addr().to_string());
@@ -162,15 +185,23 @@ fn server_killed_mid_run_falls_back() {
         "127.0.0.1:0",
         a.clone(),
         device.clone(),
-        ServerConfig { fail_after_frames: Some(4), ..ServerConfig::default() },
+        ServerConfig {
+            fail_after_frames: Some(4),
+            ..ServerConfig::default()
+        },
     )
     .expect("server");
     let mut config = client_config(server.addr().to_string());
     config.retry = RetryPolicy::none();
     let engine = OffloadEngine::new(&a, device.clone(), config);
     let report = engine.run(&[1_000], &[]).expect("run");
-    assert!(report.offloaded && !report.fell_back, "late crash injures nothing");
-    let local = Simulator::new(&a, device).run_local(&[1_000], &[]).expect("local");
+    assert!(
+        report.offloaded && !report.fell_back,
+        "late crash injures nothing"
+    );
+    let local = Simulator::new(&a, device)
+        .run_local(&[1_000], &[])
+        .expect("local");
     assert_eq!(report.result.outputs, local.outputs);
 }
 
@@ -181,19 +212,31 @@ fn mismatched_program_falls_back() {
     // constant): the fingerprint handshake must catch it before any state
     // is exchanged, and the client heals locally.
     let other = Arc::new(
-        Analysis::from_source(&PROGRAM.replace("% 1000", "% 999"), AnalysisOptions::default())
-            .expect("other analysis"),
+        Analysis::from_source(
+            &PROGRAM.replace("% 1000", "% 999"),
+            AnalysisOptions::default(),
+        )
+        .expect("other analysis"),
     );
     let device = DeviceModel::ipaq_testbed();
-    let server =
-        OffloadServer::bind("127.0.0.1:0", other, device.clone(), ServerConfig::default())
-            .expect("server");
+    let server = OffloadServer::bind(
+        "127.0.0.1:0",
+        other,
+        device.clone(),
+        ServerConfig::default(),
+    )
+    .expect("server");
     let mut config = client_config(server.addr().to_string());
     config.retry = RetryPolicy::none();
     let engine = OffloadEngine::new(&a, device.clone(), config);
 
     let report = engine.run(&[1_000], &[]).expect("run against wrong server");
-    assert!(report.fell_back, "wrong program on the server: degrade, don't corrupt");
-    let local = Simulator::new(&a, device).run_local(&[1_000], &[]).expect("local");
+    assert!(
+        report.fell_back,
+        "wrong program on the server: degrade, don't corrupt"
+    );
+    let local = Simulator::new(&a, device)
+        .run_local(&[1_000], &[])
+        .expect("local");
     assert_eq!(report.result.outputs, local.outputs);
 }

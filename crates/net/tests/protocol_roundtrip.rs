@@ -13,8 +13,7 @@ use offload_net::{NetError, WireFrame, WireMsg};
 use offload_poly::Rational;
 use offload_pta::AbsLocId;
 use offload_runtime::{
-    ControlMsg, Frame, Host, ItemPayload, Ledger, ObjEntry, ObjKey, PendingAction,
-    RunStats, Value,
+    ControlMsg, Frame, Host, ItemPayload, Ledger, ObjEntry, ObjKey, PendingAction, RunStats, Value,
 };
 use offload_tcfg::SegmentId;
 
@@ -129,7 +128,11 @@ fn arb_ledger(rng: &mut Rng) -> Ledger {
 
 fn arb_control(rng: &mut Rng) -> ControlMsg {
     ControlMsg {
-        to: if rng.bool() { Host::Client } else { Host::Server },
+        to: if rng.bool() {
+            Host::Client
+        } else {
+            Host::Server
+        },
         action: arb_action(rng),
         stack: (0..rng.usize(6))
             .map(|_| Frame {
@@ -168,6 +171,21 @@ fn arb_pipeline(rng: &mut Rng) -> PipelineStats {
         threads_used: 1 + rng.u32(63),
         simplify_micros: rng.next() % 100_000_000,
         solve_micros: rng.next() % 100_000_000,
+        sequential_strategy: rng.bool(),
+    }
+}
+
+fn arb_span_summary(rng: &mut Rng) -> offload_obs::SpanSummary {
+    offload_obs::SpanSummary {
+        entries: (0..rng.usize(6))
+            .map(|_| offload_obs::SpanStat {
+                cat: format!("cat{}", rng.u32(4)),
+                name: format!("span{}", rng.u32(16)),
+                count: rng.next() % 100_000,
+                total_us: rng.next() % 100_000_000,
+                max_us: rng.next() % 10_000_000,
+            })
+            .collect(),
     }
 }
 
@@ -179,11 +197,17 @@ fn arb_msg(rng: &mut Rng) -> WireMsg {
             params: (0..rng.usize(4)).map(|_| rng.next() as i64).collect(),
             max_steps: rng.next() % 1_000_000,
         },
-        1 => WireMsg::HelloAck { server_stats: arb_pipeline(rng) },
+        1 => WireMsg::HelloAck {
+            server_stats: arb_pipeline(rng),
+            server_spans: arb_span_summary(rng),
+        },
         2 => WireMsg::Control(Box::new(arb_control(rng))),
         3 => WireMsg::FetchItem { item: rng.u32(200) },
         4 => WireMsg::ItemData(arb_payload(rng)),
-        5 => WireMsg::PushItem { item: rng.u32(200), payload: arb_payload(rng) },
+        5 => WireMsg::PushItem {
+            item: rng.u32(200),
+            payload: arb_payload(rng),
+        },
         6 => WireMsg::PushAck,
         7 => WireMsg::Error(format!("failure #{}", rng.u32(1000))),
         _ => WireMsg::Bye,
@@ -204,7 +228,11 @@ fn varint_roundtrip() {
     let mut rng = Rng::new(0xB1A5);
     let edge = [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX];
     for i in 0..2_000 {
-        let v = if i < edge.len() { edge[i] } else { rng.next() >> rng.u32(64) };
+        let v = if i < edge.len() {
+            edge[i]
+        } else {
+            rng.next() >> rng.u32(64)
+        };
         let mut buf = Vec::new();
         put_uv(&mut buf, v);
         let mut c = Cursor::new(&buf);
@@ -218,7 +246,11 @@ fn zigzag_roundtrip() {
     let mut rng = Rng::new(0x5160);
     let edge = [0i64, 1, -1, i64::MAX, i64::MIN, 63, -64];
     for i in 0..2_000 {
-        let v = if i < edge.len() { edge[i] } else { rng.next() as i64 };
+        let v = if i < edge.len() {
+            edge[i]
+        } else {
+            rng.next() as i64
+        };
         let mut buf = Vec::new();
         put_iv(&mut buf, v);
         let mut c = Cursor::new(&buf);
@@ -231,7 +263,10 @@ fn zigzag_roundtrip() {
 fn frame_roundtrip() {
     let mut rng = Rng::new(0xF4A3E);
     for _ in 0..500 {
-        let frame = WireFrame { request_id: rng.next() % 1_000_000, msg: arb_msg(&mut rng) };
+        let frame = WireFrame {
+            request_id: rng.next() % 1_000_000,
+            msg: arb_msg(&mut rng),
+        };
         let encoded = encode_frame(&frame);
         let decoded = decode_frame(strip_len_prefix(&encoded)).unwrap();
         assert_eq!(decoded, frame);
@@ -242,7 +277,10 @@ fn frame_roundtrip() {
 fn truncated_frames_fail_cleanly() {
     let mut rng = Rng::new(0x7C0B);
     for _ in 0..100 {
-        let frame = WireFrame { request_id: rng.next() % 1_000, msg: arb_msg(&mut rng) };
+        let frame = WireFrame {
+            request_id: rng.next() % 1_000,
+            msg: arb_msg(&mut rng),
+        };
         let payload = encode_frame(&frame);
         let payload = strip_len_prefix(&payload);
         for cut in 0..payload.len() {
@@ -260,7 +298,10 @@ fn truncated_frames_fail_cleanly() {
 fn corrupt_version_byte_is_rejected() {
     let frame = WireFrame {
         request_id: 7,
-        msg: WireMsg::HelloAck { server_stats: PipelineStats::default() },
+        msg: WireMsg::HelloAck {
+            server_stats: PipelineStats::default(),
+            server_spans: offload_obs::SpanSummary::default(),
+        },
     };
     let encoded = encode_frame(&frame);
     let mut payload = strip_len_prefix(&encoded).to_vec();
@@ -273,7 +314,10 @@ fn corrupt_version_byte_is_rejected() {
 
 #[test]
 fn trailing_garbage_is_rejected() {
-    let frame = WireFrame { request_id: 9, msg: WireMsg::Bye };
+    let frame = WireFrame {
+        request_id: 9,
+        msg: WireMsg::Bye,
+    };
     let encoded = encode_frame(&frame);
     let mut payload = strip_len_prefix(&encoded).to_vec();
     payload.push(0x00);

@@ -1,0 +1,221 @@
+//! Exporters over a recorder snapshot: Chrome trace-event JSON, a
+//! JSON-lines event stream, and a human-readable aggregated tree.
+
+use crate::recorder::{Event, EventKind, FieldValue, ThreadSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn args_json(fields: &[(&'static str, FieldValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", escape_json(k), v.to_json());
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a snapshot as Chrome trace-event JSON (the "JSON Object
+/// Format"): load the file in `chrome://tracing` or
+/// <https://ui.perfetto.dev>. Every recorder thread becomes its own
+/// named track; span begin/end pairs become `B`/`E` duration events and
+/// instant events become `i`.
+pub fn chrome_trace_json(threads: &[ThreadSnapshot]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |s: String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        out.push_str(&s);
+        *first = false;
+    };
+    for t in threads {
+        push(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                t.tid,
+                escape_json(&t.name)
+            ),
+            &mut first,
+        );
+        // Replay the thread's nesting so every `E` names the span its
+        // matching `B` opened (Perfetto tolerates anonymous ends, but
+        // named ones survive re-sorting and partial loads better).
+        let mut stack: Vec<(&'static str, &'static str)> = Vec::new();
+        for e in &t.events {
+            match e.kind {
+                EventKind::Begin => {
+                    stack.push((e.cat, e.name));
+                    push(
+                        format!(
+                            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"B\",\"ts\":{},\
+                             \"pid\":1,\"tid\":{},\"args\":{}}}",
+                            escape_json(e.name),
+                            escape_json(e.cat),
+                            e.ts_us,
+                            t.tid,
+                            args_json(&e.fields)
+                        ),
+                        &mut first,
+                    );
+                }
+                EventKind::End => {
+                    let (cat, name) = stack.pop().unwrap_or(("", ""));
+                    push(
+                        format!(
+                            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"E\",\"ts\":{},\
+                             \"pid\":1,\"tid\":{},\"args\":{}}}",
+                            escape_json(name),
+                            escape_json(cat),
+                            e.ts_us,
+                            t.tid,
+                            args_json(&e.fields)
+                        ),
+                        &mut first,
+                    );
+                }
+                EventKind::Instant => {
+                    push(
+                        format!(
+                            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\
+                             \"ts\":{},\"pid\":1,\"tid\":{},\"args\":{}}}",
+                            escape_json(e.name),
+                            escape_json(e.cat),
+                            e.ts_us,
+                            t.tid,
+                            args_json(&e.fields)
+                        ),
+                        &mut first,
+                    );
+                }
+            }
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Writes [`chrome_trace_json`] of a snapshot to `path`.
+///
+/// # Errors
+///
+/// Filesystem failures.
+pub fn write_chrome_trace(
+    path: impl AsRef<std::path::Path>,
+    threads: &[ThreadSnapshot],
+) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace_json(threads))
+}
+
+/// Renders a snapshot as a JSON-lines event stream: one self-contained
+/// JSON object per event, carrying the thread id/name, kind, category,
+/// name, timestamp, and fields. Grep-friendly and trivially parseable.
+pub fn jsonl(threads: &[ThreadSnapshot]) -> String {
+    let mut out = String::new();
+    for t in threads {
+        for e in &t.events {
+            let kind = match e.kind {
+                EventKind::Begin => "begin",
+                EventKind::End => "end",
+                EventKind::Instant => "instant",
+            };
+            let _ = writeln!(
+                out,
+                "{{\"tid\":{},\"thread\":\"{}\",\"kind\":\"{}\",\"cat\":\"{}\",\
+                 \"name\":\"{}\",\"ts_us\":{},\"fields\":{}}}",
+                t.tid,
+                escape_json(&t.name),
+                kind,
+                escape_json(e.cat),
+                escape_json(e.name),
+                e.ts_us,
+                args_json(&e.fields)
+            );
+        }
+    }
+    out
+}
+
+#[derive(Default)]
+struct TreeNode {
+    count: u64,
+    total_us: u64,
+    children: BTreeMap<(String, String), TreeNode>,
+}
+
+fn insert_thread(root: &mut TreeNode, events: &[Event]) {
+    // Path of (cat, name) keys from the root to the open span.
+    let mut path: Vec<(String, String)> = Vec::new();
+    let mut begin_ts: Vec<u64> = Vec::new();
+    for e in events {
+        match e.kind {
+            EventKind::Begin => {
+                path.push((e.cat.to_string(), e.name.to_string()));
+                begin_ts.push(e.ts_us);
+            }
+            EventKind::End => {
+                if let (Some(_), Some(ts)) = (path.last(), begin_ts.pop()) {
+                    let mut node = &mut *root;
+                    for key in &path {
+                        node = node.children.entry(key.clone()).or_default();
+                    }
+                    node.count += 1;
+                    node.total_us += e.ts_us.saturating_sub(ts);
+                    path.pop();
+                }
+            }
+            EventKind::Instant => {}
+        }
+    }
+}
+
+fn render(node: &TreeNode, depth: usize, out: &mut String) {
+    for ((cat, name), child) in &node.children {
+        let _ = writeln!(
+            out,
+            "{:indent$}{cat}/{name}: {} spans, {} us total ({} us avg)",
+            "",
+            child.count,
+            child.total_us,
+            child.total_us.checked_div(child.count).unwrap_or(0),
+            indent = depth * 2,
+        );
+        render(child, depth + 1, out);
+    }
+}
+
+/// Renders a snapshot as an indented aggregate tree: spans merged across
+/// threads by their (category, name) nesting path, each line showing
+/// completion count and total/average duration.
+pub fn summary_tree(threads: &[ThreadSnapshot]) -> String {
+    let mut root = TreeNode::default();
+    for t in threads {
+        insert_thread(&mut root, &t.events);
+    }
+    let mut out = String::new();
+    render(&root, 0, &mut out);
+    out
+}

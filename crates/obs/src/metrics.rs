@@ -1,0 +1,238 @@
+//! The process-wide metrics registry: named counters, gauges, and
+//! log-scale latency histograms.
+//!
+//! Handles are `Arc`s to atomics — cheap to clone, cheap to update from
+//! any thread, and safe to cache in hot loops. The registry itself is a
+//! `BTreeMap` behind one mutex, touched only on first registration and
+//! on snapshot, so steady-state updates never contend on it.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Power-of-two bucket count: bucket `i` holds values whose bit length
+/// is `i`, i.e. `[2^(i-1), 2^i)` (bucket 0 holds exactly zero).
+const BUCKETS: usize = 65;
+
+/// A log-scale histogram for non-negative samples (latencies in
+/// microseconds, byte counts, ...). Fixed power-of-two buckets: exact
+/// counts, ~2× worst-case relative error on percentile estimates,
+/// constant memory, wait-free recording.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0u64; BUCKETS].map(AtomicU64::new),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Summary statistics of a [`Histogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample (exact).
+    pub max: u64,
+    /// Estimated 50th percentile.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+impl Histogram {
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Estimates the `q`-quantile (`0 < q <= 1`) by linear interpolation
+    /// within the bucket that crosses the target rank. Returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let target = (q * count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                // Bucket i spans [lo, hi]; interpolate by rank within it.
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let hi = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                let into = (target - seen) as f64 / n as f64;
+                let est = lo as f64 + (hi - lo) as f64 * into;
+                return (est.round() as u64).min(self.max.load(Ordering::Relaxed));
+            }
+            seen += n;
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Count / sum / max plus p50/p90/p99 estimates.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, BTreeMap<&'static str, Metric>> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The counter registered under `name` (created on first use).
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn counter(name: &'static str) -> Arc<Counter> {
+    match lock()
+        .entry(name)
+        .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+    {
+        Metric::Counter(c) => c.clone(),
+        _ => panic!("metric {name} is not a counter"),
+    }
+}
+
+/// The gauge registered under `name` (created on first use).
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn gauge(name: &'static str) -> Arc<Gauge> {
+    match lock()
+        .entry(name)
+        .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+    {
+        Metric::Gauge(g) => g.clone(),
+        _ => panic!("metric {name} is not a gauge"),
+    }
+}
+
+/// The histogram registered under `name` (created on first use).
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn histogram(name: &'static str) -> Arc<Histogram> {
+    match lock()
+        .entry(name)
+        .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+    {
+        Metric::Histogram(h) => h.clone(),
+        _ => panic!("metric {name} is not a histogram"),
+    }
+}
+
+/// A metric's current value, as captured by [`metrics_snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram summary.
+    Histogram(HistogramSummary),
+}
+
+/// Every registered metric and its current value, sorted by name.
+pub fn metrics_snapshot() -> Vec<(&'static str, MetricValue)> {
+    lock()
+        .iter()
+        .map(|(name, m)| {
+            let v = match m {
+                Metric::Counter(c) => MetricValue::Counter(c.get()),
+                Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
+            };
+            (*name, v)
+        })
+        .collect()
+}
+
+/// Unregisters every metric (existing handles keep working but are no
+/// longer visible to [`metrics_snapshot`]). Intended for tests.
+pub fn reset_metrics() {
+    lock().clear();
+}

@@ -43,7 +43,10 @@ pub struct BigInt {
 impl BigInt {
     /// The integer zero.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Zero, limbs: Vec::new() }
+        BigInt {
+            sign: Sign::Zero,
+            limbs: Vec::new(),
+        }
     }
 
     /// The integer one.
@@ -78,7 +81,10 @@ impl BigInt {
     /// Absolute value.
     pub fn abs(&self) -> Self {
         match self.sign {
-            Sign::Negative => BigInt { sign: Sign::Positive, limbs: self.limbs.clone() },
+            Sign::Negative => BigInt {
+                sign: Sign::Positive,
+                limbs: self.limbs.clone(),
+            },
             _ => self.clone(),
         }
     }
@@ -230,7 +236,11 @@ impl BigInt {
             while q.last() == Some(&0) {
                 q.pop();
             }
-            let r = if rem == 0 { Vec::new() } else { vec![rem as u32] };
+            let r = if rem == 0 {
+                Vec::new()
+            } else {
+                vec![rem as u32]
+            };
             return (q, r);
         }
         // Binary long division over bits (adequate for the coefficient sizes
@@ -278,7 +288,10 @@ impl BigInt {
             Sign::Negative
         };
         let rsign = if rm.is_empty() { Sign::Zero } else { self.sign };
-        (BigInt::from_limbs2(qsign, qm), BigInt::from_limbs2(rsign, rm))
+        (
+            BigInt::from_limbs2(qsign, qm),
+            BigInt::from_limbs2(rsign, rm),
+        )
     }
 
     fn from_limbs2(sign: Sign, limbs: Vec<u32>) -> Self {
@@ -404,7 +417,10 @@ impl Neg for &BigInt {
             Sign::Zero => Sign::Zero,
             Sign::Positive => Sign::Negative,
         };
-        BigInt { sign, limbs: self.limbs.clone() }
+        BigInt {
+            sign,
+            limbs: self.limbs.clone(),
+        }
     }
 }
 
@@ -426,9 +442,7 @@ impl Add for &BigInt {
         match (self.sign, other.sign) {
             (Sign::Zero, _) => other.clone(),
             (_, Sign::Zero) => self.clone(),
-            (a, b) if a == b => {
-                BigInt::from_limbs(a, BigInt::add_mag(&self.limbs, &other.limbs))
-            }
+            (a, b) if a == b => BigInt::from_limbs(a, BigInt::add_mag(&self.limbs, &other.limbs)),
             _ => match BigInt::cmp_mag(&self.limbs, &other.limbs) {
                 Ordering::Equal => BigInt::zero(),
                 Ordering::Greater => {
@@ -455,7 +469,11 @@ impl Mul for &BigInt {
         if self.is_zero() || other.is_zero() {
             return BigInt::zero();
         }
-        let sign = if self.sign == other.sign { Sign::Positive } else { Sign::Negative };
+        let sign = if self.sign == other.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
         BigInt::from_limbs(sign, BigInt::mul_mag(&self.limbs, &other.limbs))
     }
 }
@@ -599,12 +617,22 @@ mod tests {
     fn mul_carries_across_limbs() {
         let a = BigInt::from(u64::MAX);
         let b = &a * &a;
-        assert_eq!(b.to_string(), format!("{}", u64::MAX as u128 * u64::MAX as u128));
+        assert_eq!(
+            b.to_string(),
+            format!("{}", u64::MAX as u128 * u64::MAX as u128)
+        );
     }
 
     #[test]
     fn division_matches_primitive() {
-        for &(x, y) in &[(100i64, 7i64), (-100, 7), (100, -7), (-100, -7), (0, 3), (5, 100)] {
+        for &(x, y) in &[
+            (100i64, 7i64),
+            (-100, 7),
+            (100, -7),
+            (-100, -7),
+            (0, 3),
+            (5, 100),
+        ] {
             let (q, r) = BigInt::from(x).div_rem(&BigInt::from(y));
             assert_eq!(q.to_i128(), Some((x / y) as i128), "{x}/{y}");
             assert_eq!(r.to_i128(), Some((x % y) as i128), "{x}%{y}");
@@ -622,15 +650,27 @@ mod tests {
 
     #[test]
     fn gcd_basics() {
-        assert_eq!(BigInt::from(12i64).gcd(&BigInt::from(18i64)), BigInt::from(6i64));
-        assert_eq!(BigInt::from(-12i64).gcd(&BigInt::from(18i64)), BigInt::from(6i64));
-        assert_eq!(BigInt::from(0i64).gcd(&BigInt::from(5i64)), BigInt::from(5i64));
+        assert_eq!(
+            BigInt::from(12i64).gcd(&BigInt::from(18i64)),
+            BigInt::from(6i64)
+        );
+        assert_eq!(
+            BigInt::from(-12i64).gcd(&BigInt::from(18i64)),
+            BigInt::from(6i64)
+        );
+        assert_eq!(
+            BigInt::from(0i64).gcd(&BigInt::from(5i64)),
+            BigInt::from(5i64)
+        );
         assert_eq!(BigInt::zero().gcd(&BigInt::zero()), BigInt::zero());
     }
 
     #[test]
     fn lcm_basics() {
-        assert_eq!(BigInt::from(4i64).lcm(&BigInt::from(6i64)), BigInt::from(12i64));
+        assert_eq!(
+            BigInt::from(4i64).lcm(&BigInt::from(6i64)),
+            BigInt::from(12i64)
+        );
     }
 
     #[test]
@@ -638,14 +678,24 @@ mod tests {
         let vals = [-5i64, -1, 0, 1, 5];
         for &x in &vals {
             for &y in &vals {
-                assert_eq!(BigInt::from(x).cmp(&BigInt::from(y)), x.cmp(&y), "{x} vs {y}");
+                assert_eq!(
+                    BigInt::from(x).cmp(&BigInt::from(y)),
+                    x.cmp(&y),
+                    "{x} vs {y}"
+                );
             }
         }
     }
 
     #[test]
     fn parse_display_roundtrip() {
-        for s in ["0", "1", "-1", "4294967296", "-123456789012345678901234567890"] {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "4294967296",
+            "-123456789012345678901234567890",
+        ] {
             let v: BigInt = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }

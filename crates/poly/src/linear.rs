@@ -32,12 +32,18 @@ pub struct LinExpr {
 impl LinExpr {
     /// The zero expression over `nvars` variables.
     pub fn zero(nvars: usize) -> Self {
-        LinExpr { coeffs: vec![Rational::zero(); nvars], constant: Rational::zero() }
+        LinExpr {
+            coeffs: vec![Rational::zero(); nvars],
+            constant: Rational::zero(),
+        }
     }
 
     /// A constant expression over `nvars` variables.
     pub fn constant(nvars: usize, c: Rational) -> Self {
-        LinExpr { coeffs: vec![Rational::zero(); nvars], constant: c }
+        LinExpr {
+            coeffs: vec![Rational::zero(); nvars],
+            constant: c,
+        }
     }
 
     /// The expression consisting of a single variable.
@@ -46,7 +52,10 @@ impl LinExpr {
     ///
     /// Panics if `var >= nvars`.
     pub fn var(nvars: usize, var: usize) -> Self {
-        assert!(var < nvars, "variable index {var} out of range ({nvars} variables)");
+        assert!(
+            var < nvars,
+            "variable index {var} out of range ({nvars} variables)"
+        );
         let mut e = Self::zero(nvars);
         e.coeffs[var] = Rational::one();
         e
@@ -162,12 +171,19 @@ impl LinExpr {
         assert!(new_nvars >= self.nvars());
         let mut coeffs = self.coeffs.clone();
         coeffs.resize(new_nvars, Rational::zero());
-        LinExpr { coeffs, constant: self.constant.clone() }
+        LinExpr {
+            coeffs,
+            constant: self.constant.clone(),
+        }
     }
 
     /// Indices of variables with non-zero coefficients.
     pub fn support(&self) -> impl Iterator<Item = usize> + '_ {
-        self.coeffs.iter().enumerate().filter(|(_, c)| !c.is_zero()).map(|(i, _)| i)
+        self.coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_zero())
+            .map(|(i, _)| i)
     }
 
     /// Formats with variable names supplied by `names`.
@@ -305,7 +321,12 @@ impl Constraint {
     pub fn normalize(&self) -> Constraint {
         // Common denominator of all coefficients (including the constant).
         let mut lcm = BigInt::one();
-        for c in self.expr.coeffs.iter().chain(std::iter::once(&self.expr.constant)) {
+        for c in self
+            .expr
+            .coeffs
+            .iter()
+            .chain(std::iter::once(&self.expr.constant))
+        {
             if !c.is_zero() {
                 lcm = lcm.lcm(c.denom());
             }
@@ -332,7 +353,10 @@ impl Constraint {
             expr.coeffs[i] = Rational::from(v / &gcd);
         }
         expr.constant = Rational::from(&scaled[n] / &gcd);
-        Constraint { expr, cmp: self.cmp }
+        Constraint {
+            expr,
+            cmp: self.cmp,
+        }
     }
 
     /// Formats with variable names supplied by `names`.
@@ -365,7 +389,10 @@ mod tests {
 
     #[test]
     fn eval_and_arith() {
-        let e = LinExpr::zero(2).plus_term(0, r(2)).plus_term(1, r(-1)).plus_constant(r(3));
+        let e = LinExpr::zero(2)
+            .plus_term(0, r(2))
+            .plus_term(1, r(-1))
+            .plus_constant(r(3));
         assert_eq!(e.eval(&[r(1), r(2)]), r(3));
         let f = e.add(&e);
         assert_eq!(f.eval(&[r(1), r(2)]), r(6));
@@ -376,7 +403,10 @@ mod tests {
 
     #[test]
     fn substitution() {
-        let e = LinExpr::zero(2).plus_term(0, r(2)).plus_term(1, r(3)).plus_constant(r(1));
+        let e = LinExpr::zero(2)
+            .plus_term(0, r(2))
+            .plus_term(1, r(3))
+            .plus_constant(r(1));
         let s = e.substitute(0, &r(10));
         assert!(s.coeff(0).is_zero());
         assert_eq!(s.eval(&[r(999), r(1)]), r(24));
@@ -400,7 +430,11 @@ mod tests {
         let n = c.negated();
         for v in [-3i64, 2, 7] {
             let p = [r(v)];
-            assert_ne!(c.holds_at(&p), n.holds_at(&p), "exactly one side must hold at {v}");
+            assert_ne!(
+                c.holds_at(&p),
+                n.holds_at(&p),
+                "exactly one side must hold at {v}"
+            );
         }
     }
 
@@ -418,15 +452,27 @@ mod tests {
 
     #[test]
     fn trivial_truth() {
-        assert_eq!(Constraint::ge0(LinExpr::constant(0, r(0))).trivial_truth(), Some(true));
-        assert_eq!(Constraint::gt0(LinExpr::constant(0, r(0))).trivial_truth(), Some(false));
-        assert_eq!(Constraint::ge0(LinExpr::constant(0, r(-1))).trivial_truth(), Some(false));
+        assert_eq!(
+            Constraint::ge0(LinExpr::constant(0, r(0))).trivial_truth(),
+            Some(true)
+        );
+        assert_eq!(
+            Constraint::gt0(LinExpr::constant(0, r(0))).trivial_truth(),
+            Some(false)
+        );
+        assert_eq!(
+            Constraint::ge0(LinExpr::constant(0, r(-1))).trivial_truth(),
+            Some(false)
+        );
         assert_eq!(Constraint::ge0(LinExpr::var(1, 0)).trivial_truth(), None);
     }
 
     #[test]
     fn display() {
-        let e = LinExpr::zero(2).plus_term(0, r(2)).plus_term(1, r(-1)).plus_constant(r(3));
+        let e = LinExpr::zero(2)
+            .plus_term(0, r(2))
+            .plus_term(1, r(-1))
+            .plus_constant(r(3));
         assert_eq!(e.to_string(), "2*x0 - x1 + 3");
         assert_eq!(Constraint::ge0(e).to_string(), "2*x0 - x1 + 3 >= 0");
     }

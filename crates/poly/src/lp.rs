@@ -29,6 +29,12 @@ pub enum LpResult {
 /// split into a difference of two non-negatives.
 pub fn maximize(objective: &LinExpr, constraints: &[Constraint]) -> LpResult {
     crate::counters::LP_SOLVES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let _span = offload_obs::span!(
+        "poly",
+        "lp_maximize",
+        vars = objective.nvars(),
+        constraints = constraints.len(),
+    );
     let n = objective.nvars();
     debug_assert!(constraints.iter().all(|c| c.expr.nvars() == n));
     let m = constraints.len();
@@ -66,7 +72,11 @@ pub fn maximize(objective: &LinExpr, constraints: &[Constraint]) -> LpResult {
     let total_cols = cols + artificials.len();
     for (k, &i) in artificials.iter().enumerate() {
         for (r, row) in a.iter_mut().enumerate() {
-            row.push(if r == i { Rational::one() } else { Rational::zero() });
+            row.push(if r == i {
+                Rational::one()
+            } else {
+                Rational::zero()
+            });
         }
         let _ = k;
     }
@@ -133,9 +143,7 @@ pub fn maximize(objective: &LinExpr, constraints: &[Constraint]) -> LpResult {
     // Any leftover artificial basis rows became redundant zero rows.
     match simplex(&mut a, &mut b, &mut basis, &obj, cols) {
         SimplexOutcome::Unbounded => LpResult::Unbounded,
-        SimplexOutcome::Optimal(v) => {
-            LpResult::Optimal(&v + objective.constant_term())
-        }
+        SimplexOutcome::Optimal(v) => LpResult::Optimal(&v + objective.constant_term()),
     }
 }
 
@@ -252,7 +260,10 @@ pub fn minimize(objective: &LinExpr, constraints: &[Constraint]) -> LpResult {
 /// A helper for feasibility of the closure.
 pub fn closure_feasible(constraints: &[Constraint]) -> bool {
     let n = constraints.first().map(|c| c.expr.nvars()).unwrap_or(0);
-    !matches!(maximize(&LinExpr::zero(n), constraints), LpResult::Infeasible)
+    !matches!(
+        maximize(&LinExpr::zero(n), constraints),
+        LpResult::Infeasible
+    )
 }
 
 /// Keeps the digits crate linked (gcd normalization is exercised through
@@ -316,7 +327,10 @@ mod tests {
         // -10 <= x <= -2: feasibility needs phase 1; free vars handled.
         let cs = vec![ge(1, &[(0, 1)], 10), ge(1, &[(0, -1)], -2)];
         assert_eq!(maximize(&LinExpr::var(1, 0), &cs), LpResult::Optimal(r(-2)));
-        assert_eq!(minimize(&LinExpr::var(1, 0), &cs), LpResult::Optimal(r(-10)));
+        assert_eq!(
+            minimize(&LinExpr::var(1, 0), &cs),
+            LpResult::Optimal(r(-10))
+        );
     }
 
     #[test]

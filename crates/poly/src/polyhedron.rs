@@ -42,7 +42,10 @@ pub struct Polyhedron {
 impl Polyhedron {
     /// The full space in `nvars` dimensions.
     pub fn universe(nvars: usize) -> Self {
-        Polyhedron { nvars, constraints: Vec::new() }
+        Polyhedron {
+            nvars,
+            constraints: Vec::new(),
+        }
     }
 
     /// An empty polyhedron in `nvars` dimensions.
@@ -142,7 +145,9 @@ impl Polyhedron {
         }
         let mut out = Polyhedron::universe(self.nvars);
         for key in order {
-            let Some((constant, cmp)) = best.remove(&key) else { continue };
+            let Some((constant, cmp)) = best.remove(&key) else {
+                continue;
+            };
             let mut e = LinExpr::zero(self.nvars);
             for (i, c) in key.into_iter().enumerate() {
                 e.set_coeff(i, c);
@@ -181,15 +186,25 @@ impl Polyhedron {
             let a = lo.expr.coeff(var).clone(); // > 0
             for up in &uppers {
                 let b = up.expr.coeff(var).abs(); // > 0
-                // a*x + e1 >= 0  and  -b*x + e2 >= 0
-                // => b*e1 + a*e2 >= 0 (strict if either side strict)
+                                                  // a*x + e1 >= 0  and  -b*x + e2 >= 0
+                                                  // => b*e1 + a*e2 >= 0 (strict if either side strict)
                 let combined = lo.expr.scale(&b).add(&up.expr.scale(&a));
                 debug_assert!(combined.coeff(var).is_zero());
-                let cmp = if lo.cmp == Cmp::Gt || up.cmp == Cmp::Gt { Cmp::Gt } else { Cmp::Ge };
-                keep.push(Constraint { expr: combined, cmp });
+                let cmp = if lo.cmp == Cmp::Gt || up.cmp == Cmp::Gt {
+                    Cmp::Gt
+                } else {
+                    Cmp::Ge
+                };
+                keep.push(Constraint {
+                    expr: combined,
+                    cmp,
+                });
             }
         }
-        let result = Polyhedron { nvars: self.nvars, constraints: keep };
+        let result = Polyhedron {
+            nvars: self.nvars,
+            constraints: keep,
+        };
         match result.pruned() {
             Some(p) => p,
             None => Polyhedron::empty(self.nvars),
@@ -254,6 +269,18 @@ impl Polyhedron {
     /// elimination produces the fewest new constraints (the classic
     /// `min(|lowers| * |uppers|)` heuristic).
     pub fn eliminate_vars(&self, vars: &[usize]) -> Polyhedron {
+        let mut span = offload_obs::span!(
+            "poly",
+            "fm_eliminate",
+            vars = vars.len(),
+            constraints_in = self.constraints.len(),
+        );
+        let out = self.eliminate_vars_inner(vars);
+        span.record("constraints_out", out.constraints.len());
+        out
+    }
+
+    fn eliminate_vars_inner(&self, vars: &[usize]) -> Polyhedron {
         let debug = std::env::var_os("OFFLOAD_POLY_DEBUG").is_some();
         let mut remaining: Vec<usize> = vars.to_vec();
         let mut cur = match self.pruned() {
@@ -289,25 +316,25 @@ impl Polyhedron {
         let mut eliminated = 0usize;
         while !remaining.is_empty() {
             if debug {
-                eprintln!("[poly] remaining={} constraints={}", remaining.len(), sys.len());
+                eprintln!(
+                    "[poly] remaining={} constraints={}",
+                    remaining.len(),
+                    sys.len()
+                );
             }
-            let Some((idx, &v)) = remaining
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &v)| {
-                    let mut lo = 0usize;
-                    let mut up = 0usize;
-                    for (c, _) in &sys {
-                        let a = c.expr.coeff(v);
-                        if a.is_positive() {
-                            lo += 1;
-                        } else if a.is_negative() {
-                            up += 1;
-                        }
+            let Some((idx, &v)) = remaining.iter().enumerate().min_by_key(|(_, &v)| {
+                let mut lo = 0usize;
+                let mut up = 0usize;
+                for (c, _) in &sys {
+                    let a = c.expr.coeff(v);
+                    if a.is_positive() {
+                        lo += 1;
+                    } else if a.is_negative() {
+                        up += 1;
                     }
-                    lo * up
-                })
-            else {
+                }
+                lo * up
+            }) else {
                 break; // unreachable: loop guard keeps `remaining` non-empty
             };
             remaining.swap_remove(idx);
@@ -331,16 +358,24 @@ impl Polyhedron {
             for (lo, lh) in &lowers {
                 let a = lo.expr.coeff(v).clone();
                 for (up, uh) in &uppers {
-                    let hist: std::collections::BTreeSet<u32> =
-                        lh.union(uh).copied().collect();
+                    let hist: std::collections::BTreeSet<u32> = lh.union(uh).copied().collect();
                     if hist.len() > eliminated + 1 {
                         continue; // Imbert: redundant combination
                     }
                     let b = up.expr.coeff(v).abs();
                     let combined = lo.expr.scale(&b).add(&up.expr.scale(&a));
-                    let cmp =
-                        if lo.cmp == Cmp::Gt || up.cmp == Cmp::Gt { Cmp::Gt } else { Cmp::Ge };
-                    keep.push((Constraint { expr: combined, cmp }, hist));
+                    let cmp = if lo.cmp == Cmp::Gt || up.cmp == Cmp::Gt {
+                        Cmp::Gt
+                    } else {
+                        Cmp::Ge
+                    };
+                    keep.push((
+                        Constraint {
+                            expr: combined,
+                            cmp,
+                        },
+                        hist,
+                    ));
                     generated += 1;
                 }
             }
@@ -441,10 +476,16 @@ impl Polyhedron {
                     e.set_coeff(i, c.expr.coeff(i).clone());
                 }
                 e.set_constant(c.expr.constant_term().clone());
-                Constraint { expr: e, cmp: c.cmp }
+                Constraint {
+                    expr: e,
+                    cmp: c.cmp,
+                }
             })
             .collect();
-        Polyhedron { nvars: k, constraints }
+        Polyhedron {
+            nvars: k,
+            constraints,
+        }
     }
 
     /// Embeds into a larger space (new trailing coordinates unconstrained).
@@ -455,7 +496,10 @@ impl Polyhedron {
             constraints: self
                 .constraints
                 .iter()
-                .map(|c| Constraint { expr: c.expr.extend_vars(new_nvars), cmp: c.cmp })
+                .map(|c| Constraint {
+                    expr: c.expr.extend_vars(new_nvars),
+                    cmp: c.cmp,
+                })
                 .collect(),
         }
     }
@@ -548,7 +592,10 @@ impl Polyhedron {
                 i += 1;
             }
         }
-        let out = Polyhedron { nvars: self.nvars, constraints: kept };
+        let out = Polyhedron {
+            nvars: self.nvars,
+            constraints: kept,
+        };
         if out.is_empty() {
             return Polyhedron::empty(self.nvars);
         }
@@ -566,7 +613,11 @@ impl Polyhedron {
             let next = systems.last()?.eliminate_var(v);
             // `eliminate_var` returns the canonical empty polyhedron when
             // it detects infeasibility.
-            if next.constraints.iter().any(|c| c.trivial_truth() == Some(false)) {
+            if next
+                .constraints
+                .iter()
+                .any(|c| c.trivial_truth() == Some(false))
+            {
                 return None;
             }
             systems.push(next);
@@ -579,7 +630,10 @@ impl Polyhedron {
             let value = pick_value(system, j, &point)?;
             point[j] = value;
         }
-        debug_assert!(self.contains(&point), "sampled point must satisfy all constraints");
+        debug_assert!(
+            self.contains(&point),
+            "sampled point must satisfy all constraints"
+        );
         Some(point)
     }
 
@@ -600,7 +654,11 @@ impl Polyhedron {
         let parts: Vec<String> = match self.pruned() {
             None => return "false".to_string(),
             Some(p) if p.constraints.is_empty() => return "true".to_string(),
-            Some(p) => p.constraints.iter().map(|c| c.display_with(names)).collect(),
+            Some(p) => p
+                .constraints
+                .iter()
+                .map(|c| c.display_with(names))
+                .collect(),
         };
         let mut sorted = parts;
         sorted.sort();
@@ -659,7 +717,11 @@ fn var_coeff_canonical(c: &Constraint) -> (Vec<Rational>, Rational, Cmp) {
     }
     if gcd.is_zero() {
         // Constant constraint: callers filter these out beforehand.
-        return (vec![Rational::zero(); n], c.expr.constant_term().clone(), c.cmp);
+        return (
+            vec![Rational::zero(); n],
+            c.expr.constant_term().clone(),
+            c.cmp,
+        );
     }
     let scale = Rational::from_bigints(BigInt::one(), gcd);
     let key: Vec<Rational> = (0..n).map(|i| c.expr.coeff(i) * &scale).collect();
@@ -700,12 +762,8 @@ fn pick_value(system: &Polyhedron, var: usize, point: &[Rational]) -> Option<Rat
     }
     match (lower, upper) {
         (None, None) => Some(Rational::zero()),
-        (Some((lo, strict)), None) => {
-            Some(if strict { &lo + &Rational::one() } else { lo })
-        }
-        (None, Some((hi, strict))) => {
-            Some(if strict { &hi - &Rational::one() } else { hi })
-        }
+        (Some((lo, strict)), None) => Some(if strict { &lo + &Rational::one() } else { lo }),
+        (None, Some((hi, strict))) => Some(if strict { &hi - &Rational::one() } else { hi }),
         (Some((lo, ls)), Some((hi, us))) => {
             if lo < hi {
                 Some(Rational::midpoint(&lo, &hi))
@@ -791,7 +849,11 @@ mod tests {
         // Triangle x >= 0, y >= 0, x + y <= 4. Projecting out y gives 0 <= x <= 4.
         let p = Polyhedron::from_constraints(
             2,
-            vec![ge(2, &[(0, 1)], 0), ge(2, &[(1, 1)], 0), ge(2, &[(0, -1), (1, -1)], 4)],
+            vec![
+                ge(2, &[(0, 1)], 0),
+                ge(2, &[(1, 1)], 0),
+                ge(2, &[(0, -1), (1, -1)], 4),
+            ],
         );
         let q = p.eliminate_var(1);
         assert!(q.contains(&[r(0), r(999)]));
@@ -804,7 +866,11 @@ mod tests {
     fn project_to_first_truncates() {
         let p = Polyhedron::from_constraints(
             3,
-            vec![ge(3, &[(0, 1), (2, 1)], 0), ge(3, &[(2, 1)], -1), ge(3, &[(2, -1)], 2)],
+            vec![
+                ge(3, &[(0, 1), (2, 1)], 0),
+                ge(3, &[(2, 1)], -1),
+                ge(3, &[(2, -1)], 2),
+            ],
         );
         // x0 + x2 >= 0 with 1 <= x2 <= 2  =>  x0 >= -2
         let q = p.project_to_first(1);
@@ -837,7 +903,11 @@ mod tests {
     fn redundant_constraints_pruned() {
         let p = Polyhedron::from_constraints(
             1,
-            vec![ge(1, &[(0, 1)], 0), ge(1, &[(0, 2)], 0), ge(1, &[(0, 1)], -3)],
+            vec![
+                ge(1, &[(0, 1)], 0),
+                ge(1, &[(0, 2)], 0),
+                ge(1, &[(0, 1)], -3),
+            ],
         );
         let pruned = p.pruned().unwrap();
         // x >= 0, x >= 0 (scaled) and x >= 3 collapse to just x >= 3.
@@ -874,7 +944,11 @@ mod reduction_tests {
         // x >= 0, x >= -5 (redundant), x + 1 >= 0 (redundant).
         let p = Polyhedron::from_constraints(
             1,
-            vec![ge(1, &[(0, 1)], 0), ge(1, &[(0, 1)], 5), ge(1, &[(0, 1)], 1)],
+            vec![
+                ge(1, &[(0, 1)], 0),
+                ge(1, &[(0, 1)], 5),
+                ge(1, &[(0, 1)], 1),
+            ],
         );
         let q = p.reduce_redundancy();
         assert_eq!(q.constraints().len(), 1);
@@ -885,7 +959,11 @@ mod reduction_tests {
     #[test]
     fn reduction_preserves_set() {
         // A 2D wedge with a stack of redundant supports.
-        let mut cs = vec![ge(2, &[(0, 1)], 0), ge(2, &[(1, 1)], 0), ge(2, &[(0, -1), (1, -1)], 10)];
+        let mut cs = vec![
+            ge(2, &[(0, 1)], 0),
+            ge(2, &[(1, 1)], 0),
+            ge(2, &[(0, -1), (1, -1)], 10),
+        ];
         for k in 1..8 {
             cs.push(ge(2, &[(0, -1), (1, -1)], 10 + k)); // weaker copies
             cs.push(ge(2, &[(0, 1), (1, 1)], k)); // implied by x,y >= 0

@@ -44,7 +44,10 @@ impl Rational {
     pub fn from_bigints(num: BigInt, den: BigInt) -> Self {
         assert!(!den.is_zero(), "rational with zero denominator");
         if num.is_zero() {
-            return Rational { num: BigInt::zero(), den: BigInt::one() };
+            return Rational {
+                num: BigInt::zero(),
+                den: BigInt::one(),
+            };
         }
         let g = num.gcd(&den);
         let (mut num, mut den) = (&num / &g, &den / &g);
@@ -57,12 +60,18 @@ impl Rational {
 
     /// The rational zero.
     pub fn zero() -> Self {
-        Rational { num: BigInt::zero(), den: BigInt::one() }
+        Rational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
     }
 
     /// The rational one.
     pub fn one() -> Self {
-        Rational { num: BigInt::one(), den: BigInt::one() }
+        Rational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
     }
 
     /// Numerator (sign-carrying).
@@ -102,7 +111,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Self {
-        Rational { num: self.num.abs(), den: self.den.clone() }
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse.
@@ -150,13 +162,19 @@ impl Default for Rational {
 
 impl From<i64> for Rational {
     fn from(v: i64) -> Self {
-        Rational { num: BigInt::from(v), den: BigInt::one() }
+        Rational {
+            num: BigInt::from(v),
+            den: BigInt::one(),
+        }
     }
 }
 
 impl From<BigInt> for Rational {
     fn from(v: BigInt) -> Self {
-        Rational { num: v, den: BigInt::one() }
+        Rational {
+            num: v,
+            den: BigInt::one(),
+        }
     }
 }
 
@@ -249,13 +267,19 @@ forward_binop_owned!(Add::add, Sub::sub, Mul::mul, Div::div);
 impl Neg for &Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -(&self.num), den: self.den.clone() }
+        Rational {
+            num: -(&self.num),
+            den: self.den.clone(),
+        }
     }
 }
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

@@ -42,12 +42,18 @@ pub struct Region {
 impl Region {
     /// The empty region in `nvars` dimensions.
     pub fn empty(nvars: usize) -> Self {
-        Region { nvars, pieces: Vec::new() }
+        Region {
+            nvars,
+            pieces: Vec::new(),
+        }
     }
 
     /// The full space in `nvars` dimensions.
     pub fn universe(nvars: usize) -> Self {
-        Region { nvars, pieces: vec![Polyhedron::universe(nvars)] }
+        Region {
+            nvars,
+            pieces: vec![Polyhedron::universe(nvars)],
+        }
     }
 
     /// Number of dimensions.
@@ -154,7 +160,10 @@ impl Region {
         } else if live.len() == 1 {
             live.into_iter().next().expect("one element")
         } else {
-            live.into_iter().map(|s| format!("({s})")).collect::<Vec<_>>().join(" || ")
+            live.into_iter()
+                .map(|s| format!("({s})"))
+                .collect::<Vec<_>>()
+                .join(" || ")
         }
     }
 }

@@ -150,7 +150,9 @@ fn halfspaces(rng: &mut Rng, lo: usize, hi: usize) -> Vec<Constraint> {
 }
 
 fn probe3(rng: &mut Rng) -> Vec<Rational> {
-    (0..3).map(|_| Rational::from(rng.i64_in(-10, 10))).collect()
+    (0..3)
+        .map(|_| Rational::from(rng.i64_in(-10, 10)))
+        .collect()
 }
 
 /// If the polyhedron is declared non-empty, the sampled witness must
@@ -177,7 +179,10 @@ fn projection_sound_and_tight() {
         let proj = p.eliminate_var(2);
         let probe = probe3(&mut rng);
         if p.contains(&probe) {
-            assert!(proj.contains(&probe), "projection must contain shadow of member point");
+            assert!(
+                proj.contains(&probe),
+                "projection must contain shadow of member point"
+            );
         }
         assert_eq!(p.is_empty(), proj.is_empty());
     }

@@ -205,7 +205,11 @@ impl<'m> Analyzer<'m> {
         // Enumerate abstract locations: globals, memory locals, registers,
         // alloc sites (in that order, deterministically).
         for (gi, g) in module.globals.iter().enumerate() {
-            a.add_loc(AbsLoc::Global(GlobalId(gi as u32)), g.name.clone(), Some(g.slots));
+            a.add_loc(
+                AbsLoc::Global(GlobalId(gi as u32)),
+                g.name.clone(),
+                Some(g.slots),
+            );
         }
         for (fi, f) in module.functions.iter().enumerate() {
             let fid = FuncId(fi as u32);
@@ -214,14 +218,20 @@ impl<'m> Analyzer<'m> {
                 match &l.kind {
                     offload_ir::LocalKind::Memory { slots } => {
                         a.add_loc(
-                            AbsLoc::Local { func: fid, local: lid },
+                            AbsLoc::Local {
+                                func: fid,
+                                local: lid,
+                            },
                             format!("{}::{}", f.name, l.name),
                             Some(*slots),
                         );
                     }
                     offload_ir::LocalKind::Register => {
                         a.add_loc(
-                            AbsLoc::Reg { func: fid, local: lid },
+                            AbsLoc::Reg {
+                                func: fid,
+                                local: lid,
+                            },
                             format!("{}::{}", f.name, l.name),
                             Some(1),
                         );
@@ -310,7 +320,10 @@ impl<'m> Analyzer<'m> {
                 self.extend_reg(fid, *dst, TargetSet::from([Target::Loc(id)]))
             }
             Inst::AddrLocal { dst, local } => {
-                let id = self.loc_ids[&AbsLoc::Local { func: fid, local: *local }];
+                let id = self.loc_ids[&AbsLoc::Local {
+                    func: fid,
+                    local: *local,
+                }];
                 self.extend_reg(fid, *dst, TargetSet::from([Target::Loc(id)]))
             }
             Inst::AddrIndex { dst, base, .. } | Inst::AddrField { dst, base, .. } => {
@@ -383,9 +396,7 @@ impl<'m> Analyzer<'m> {
                 }
                 changed
             }
-            Inst::Un { .. } | Inst::Bin { .. } | Inst::Input { .. } | Inst::Output { .. } => {
-                false
-            }
+            Inst::Un { .. } | Inst::Bin { .. } | Inst::Input { .. } | Inst::Output { .. } => false,
         }
     }
 
@@ -395,7 +406,11 @@ impl<'m> Analyzer<'m> {
             let fid = FuncId(fi as u32);
             for (bi, block) in f.blocks.iter().enumerate() {
                 for (ii, inst) in block.insts.iter().enumerate() {
-                    if let Inst::Call { callee: Callee::Indirect(op), .. } = inst {
+                    if let Inst::Call {
+                        callee: Callee::Indirect(op),
+                        ..
+                    } = inst
+                    {
                         let targets: Vec<FuncId> = self
                             .op_set(fid, *op)
                             .into_iter()
@@ -435,14 +450,14 @@ mod tests {
 
     #[test]
     fn pointer_to_global() {
-        let (m, p) = pta(
-            "int data[8];
-             void main() { int *q; q = &data[0]; *q = 1; output(*q); }",
-        );
+        let (m, p) = pta("int data[8];
+             void main() { int *q; q = &data[0]; *q = 1; output(*q); }");
         let (f, q) = reg_of(&m, "main", "q");
         let pts = p.reg_points_to(f, q);
         assert_eq!(pts.len(), 1);
-        let Target::Loc(id) = pts.iter().next().unwrap() else { panic!() };
+        let Target::Loc(id) = pts.iter().next().unwrap() else {
+            panic!()
+        };
         assert_eq!(p.loc(*id), AbsLoc::Global(GlobalId(0)));
     }
 
@@ -465,11 +480,9 @@ mod tests {
 
     #[test]
     fn flow_through_call_and_return() {
-        let (m, p) = pta(
-            "int g[4];
+        let (m, p) = pta("int g[4];
              int *identity(int *x) { return x; }
-             void main() { int *r; r = identity(&g[0]); *r = 5; output(*r); }",
-        );
+             void main() { int *r; r = identity(&g[0]); *r = 5; output(*r); }");
         let (f, r) = reg_of(&m, "main", "r");
         let pts = p.reg_points_to(f, r);
         assert!(pts
@@ -479,26 +492,21 @@ mod tests {
 
     #[test]
     fn function_pointer_targets() {
-        let (m, p) = pta(
-            "int a(int x) { return x; }
+        let (m, p) = pta("int a(int x) { return x; }
              int b(int x) { return x + 1; }
-             void main(int n) { fn g; if (n) { g = &a; } else { g = &b; } output(g(n)); }",
-        );
+             void main(int n) { fn g; if (n) { g = &a; } else { g = &b; } output(g(n)); }");
         let targets = p.indirect_targets();
         assert_eq!(targets.per_site.len(), 1);
         let ts = targets.per_site.values().next().unwrap();
-        let names: Vec<&str> =
-            ts.iter().map(|f| m.function(*f).name.as_str()).collect();
+        let names: Vec<&str> = ts.iter().map(|f| m.function(*f).name.as_str()).collect();
         assert!(names.contains(&"a") && names.contains(&"b"));
     }
 
     #[test]
     fn function_pointer_precise_single_target() {
-        let (m, p) = pta(
-            "int a(int x) { return x; }
+        let (m, p) = pta("int a(int x) { return x; }
              int b(int x) { return x + 1; }
-             void main(int n) { fn g; g = &a; output(g(n)); if (n < 0) { g = &b; } }",
-        );
+             void main(int n) { fn g; g = &a; output(g(n)); if (n < 0) { g = &b; } }");
         // The call site sees both &a (before) and — flow-insensitively —
         // &b (after). Andersen is flow-insensitive, so both appear.
         let ts = p.indirect_targets().per_site.values().next().unwrap();
@@ -508,16 +516,14 @@ mod tests {
 
     #[test]
     fn store_through_pointer_updates_contents() {
-        let (m, p) = pta(
-            "struct node { struct node *next; };
+        let (m, p) = pta("struct node { struct node *next; };
              void main() {
                  struct node *a; struct node *b;
                  a = alloc(struct node, 1);
                  b = alloc(struct node, 1);
                  a->next = b;
                  output(0);
-             }",
-        );
+             }");
         let site_a = p.id_of(AbsLoc::Site(AllocSiteId(0))).unwrap();
         let site_b = p.id_of(AbsLoc::Site(AllocSiteId(1))).unwrap();
         assert!(p.obj_pts[site_a.index()].contains(&Target::Loc(site_b)));
@@ -530,18 +536,28 @@ mod tests {
         let fid = m.main;
         let f = m.function(fid);
         let xi = f.locals.iter().position(|l| l.name == "x").unwrap();
-        let loc = AbsLoc::Local { func: fid, local: LocalId(xi as u32) };
+        let loc = AbsLoc::Local {
+            func: fid,
+            local: LocalId(xi as u32),
+        };
         assert!(p.id_of(loc).is_some());
         let (_, q) = reg_of(&m, "main", "q");
         let pts = p.reg_points_to(fid, q);
-        assert!(pts.iter().any(|t| matches!(t, Target::Loc(l) if p.loc(*l) == loc)));
+        assert!(pts
+            .iter()
+            .any(|t| matches!(t, Target::Loc(l) if p.loc(*l) == loc)));
     }
 
     #[test]
     fn registers_are_locations_too() {
         let (m, p) = pta("void main(int n) { output(n); }");
         let (fid, n) = reg_of(&m, "main", "n");
-        assert!(p.id_of(AbsLoc::Reg { func: fid, local: n }).is_some());
+        assert!(p
+            .id_of(AbsLoc::Reg {
+                func: fid,
+                local: n
+            })
+            .is_some());
     }
 
     #[test]

@@ -91,14 +91,7 @@ impl ModRef {
                 // Straight-line definite-write tracking within the segment.
                 let mut written: BTreeSet<AbsLocId> = BTreeSet::new();
                 for idx in seg.range.0..seg.range.1 {
-                    classify_inst(
-                        module,
-                        pta,
-                        func,
-                        &block.insts[idx],
-                        access,
-                        &mut written,
-                    );
+                    classify_inst(module, pta, func, &block.insts[idx], access, &mut written);
                 }
                 // Terminator condition reads.
                 if seg.end == SegmentEnd::Term {
@@ -117,7 +110,9 @@ impl ModRef {
         for (si, seg) in tcfg.segments().iter().enumerate() {
             if let SegmentEnd::Call { inst, targets } = &seg.end {
                 let call = &module.function(seg.func).blocks[seg.block.index()].insts[*inst];
-                let Inst::Call { dst, .. } = call else { unreachable!("segment ends at call") };
+                let Inst::Call { dst, .. } = call else {
+                    unreachable!("segment ends at call")
+                };
                 for &callee in targets {
                     let entry_seg = tcfg
                         .block_entry_segment(callee, module.function(callee).entry)
@@ -125,7 +120,10 @@ impl ModRef {
                     let entry_task = tcfg.task_of(entry_seg);
                     for &p in &module.function(callee).params {
                         let loc = pta
-                            .id_of(crate::AbsLoc::Reg { func: callee, local: p })
+                            .id_of(crate::AbsLoc::Reg {
+                                func: callee,
+                                local: p,
+                            })
                             .expect("parameter registers are locations");
                         tasks[entry_task.index()].summary_mut(loc).definite_write = true;
                     }
@@ -135,7 +133,10 @@ impl ModRef {
                     let cont = offload_tcfg::SegmentId(si as u32 + 1);
                     let cont_task = tcfg.task_of(cont);
                     let loc = pta
-                        .id_of(crate::AbsLoc::Reg { func: seg.func, local: *d })
+                        .id_of(crate::AbsLoc::Reg {
+                            func: seg.func,
+                            local: *d,
+                        })
                         .expect("destination register is a location");
                     tasks[cont_task.index()].summary_mut(loc).definite_write = true;
                 }
@@ -152,7 +153,10 @@ impl ModRef {
 
     /// Every location accessed by any task.
     pub fn touched_locs(&self) -> BTreeSet<AbsLocId> {
-        self.tasks.iter().flat_map(|t| t.per_loc.keys().copied()).collect()
+        self.tasks
+            .iter()
+            .flat_map(|t| t.per_loc.keys().copied())
+            .collect()
     }
 
     /// Tasks that access a given location at all.
@@ -314,8 +318,11 @@ mod tests {
         );
         let g = pta.id_of(AbsLoc::Global(GlobalId(0))).unwrap();
         let fill_tasks = task_of_fn(&m, &tcfg, "fill");
-        let writes: Vec<_> =
-            fill_tasks.iter().map(|t| mr.task(*t).of(g)).filter(|a| a.writes()).collect();
+        let writes: Vec<_> = fill_tasks
+            .iter()
+            .map(|t| mr.task(*t).of(g))
+            .filter(|a| a.writes())
+            .collect();
         assert!(!writes.is_empty());
         assert!(writes.iter().all(|a| a.partial_write && !a.definite_write));
     }
@@ -329,7 +336,9 @@ mod tests {
         );
         let g = pta.id_of(AbsLoc::Global(GlobalId(0))).unwrap();
         let sum_tasks = task_of_fn(&m, &tcfg, "sum");
-        assert!(sum_tasks.iter().any(|t| mr.task(*t).of(g).upward_exposed_read));
+        assert!(sum_tasks
+            .iter()
+            .any(|t| mr.task(*t).of(g).upward_exposed_read));
     }
 
     #[test]
@@ -340,11 +349,19 @@ mod tests {
         );
         let callee = m.func_by_name("double_it").unwrap();
         let p0 = m.function(callee).params[0];
-        let loc = pta.id_of(AbsLoc::Reg { func: callee, local: p0 }).unwrap();
+        let loc = pta
+            .id_of(AbsLoc::Reg {
+                func: callee,
+                local: p0,
+            })
+            .unwrap();
         let entry_task = task_of_fn(&m, &tcfg, "double_it")
             .into_iter()
             .find(|t| mr.task(*t).of(loc).definite_write);
-        assert!(entry_task.is_some(), "parameter written by callee entry task");
+        assert!(
+            entry_task.is_some(),
+            "parameter written by callee entry task"
+        );
     }
 
     #[test]
@@ -354,12 +371,24 @@ mod tests {
              void main() { output(f()); }",
         );
         let f = m.func_by_name("f").unwrap();
-        let ai = m.function(f).locals.iter().position(|l| l.name == "a").unwrap();
+        let ai = m
+            .function(f)
+            .locals
+            .iter()
+            .position(|l| l.name == "a")
+            .unwrap();
         let loc = pta
-            .id_of(AbsLoc::Reg { func: f, local: offload_ir::LocalId(ai as u32) })
+            .id_of(AbsLoc::Reg {
+                func: f,
+                local: offload_ir::LocalId(ai as u32),
+            })
             .unwrap();
         let tasks = task_of_fn(&m, &tcfg, "f");
-        let s = tasks.iter().map(|t| mr.task(*t).of(loc)).find(|s| s.writes()).unwrap();
+        let s = tasks
+            .iter()
+            .map(|t| mr.task(*t).of(loc))
+            .find(|s| s.writes())
+            .unwrap();
         assert!(s.definite_write);
         // `a` is read only after being written in the same straight line,
         // so it is not upward-exposed there.
@@ -373,8 +402,7 @@ mod tests {
         let accessors = mr.accessors(site);
         assert!(!accessors.is_empty());
         // Both build (writes) and main (reads the list) touch the site.
-        let funcs: BTreeSet<FuncId> =
-            accessors.iter().map(|t| tcfg.task(*t).func).collect();
+        let funcs: BTreeSet<FuncId> = accessors.iter().map(|t| tcfg.task(*t).func).collect();
         assert!(funcs.contains(&m.func_by_name("build").unwrap()));
         assert!(funcs.contains(&m.main));
     }
@@ -385,7 +413,10 @@ mod tests {
         let site = pta.alloc_site_locs().next().unwrap();
         for t in 0..tcfg.tasks().len() {
             let s = mr.task(TaskId(t as u32)).of(site);
-            assert!(!s.definite_write, "summary locations admit no definite writes");
+            assert!(
+                !s.definite_write,
+                "summary locations admit no definite writes"
+            );
         }
         let _ = m;
     }
@@ -393,15 +424,25 @@ mod tests {
     #[test]
     fn figure1_buffer_flow() {
         let (m, tcfg, pta, mr) = setup(offload_lang::examples_src::FIGURE1);
-        let inbuf = pta.id_of(AbsLoc::Global(m.global_by_name("inbuf").unwrap())).unwrap();
-        let outbuf = pta.id_of(AbsLoc::Global(m.global_by_name("outbuf").unwrap())).unwrap();
+        let inbuf = pta
+            .id_of(AbsLoc::Global(m.global_by_name("inbuf").unwrap()))
+            .unwrap();
+        let outbuf = pta
+            .id_of(AbsLoc::Global(m.global_by_name("outbuf").unwrap()))
+            .unwrap();
         // Encoder tasks read inbuf and write outbuf.
         let enc_tasks = task_of_fn(&m, &tcfg, "g_fast");
-        assert!(enc_tasks.iter().any(|t| mr.task(*t).of(inbuf).upward_exposed_read));
-        assert!(enc_tasks.iter().any(|t| mr.task(*t).of(outbuf).partial_write));
+        assert!(enc_tasks
+            .iter()
+            .any(|t| mr.task(*t).of(inbuf).upward_exposed_read));
+        assert!(enc_tasks
+            .iter()
+            .any(|t| mr.task(*t).of(outbuf).partial_write));
         // f's tasks write inbuf and read outbuf.
         let f_tasks = task_of_fn(&m, &tcfg, "f");
         assert!(f_tasks.iter().any(|t| mr.task(*t).of(inbuf).partial_write));
-        assert!(f_tasks.iter().any(|t| mr.task(*t).of(outbuf).upward_exposed_read));
+        assert!(f_tasks
+            .iter()
+            .any(|t| mr.task(*t).of(outbuf).upward_exposed_read));
     }
 }

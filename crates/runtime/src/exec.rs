@@ -23,8 +23,8 @@
 use crate::device::DeviceModel;
 use crate::host::{ControlMsg, HostError, Machine, Outcome};
 use offload_ir::Module;
-use offload_pta::{AbsLocId, PointsTo};
 use offload_poly::Rational;
+use offload_pta::{AbsLocId, PointsTo};
 use offload_tcfg::Tcfg;
 use std::fmt;
 
@@ -176,10 +176,30 @@ impl<'a> Runner<'a> {
         if let Plan::Remote(i) = self.plan {
             return Err(RuntimeError::UnresolvedPlan(i));
         }
+        let (plan_kind, tasks_server) = match self.plan {
+            Plan::AllLocal => ("all_local", 0usize),
+            Plan::Partitioned(p) => ("partitioned", p.server_tasks.iter().filter(|&&s| s).count()),
+            Plan::Remote(_) => unreachable!("rejected above"),
+        };
+        let tasks_total = self.tcfg.tasks().len();
+        let mut span = offload_obs::span!(
+            "runtime",
+            "run",
+            plan = plan_kind,
+            tasks_server = tasks_server,
+            tasks_client = tasks_total - tasks_server,
+        );
+        if offload_obs::enabled() {
+            offload_obs::counter("runtime.runs").inc();
+            offload_obs::counter("runtime.tasks_server").add(tasks_server as u64);
+            offload_obs::counter("runtime.tasks_client").add((tasks_total - tasks_server) as u64);
+        }
         let mut client = Machine::new(self, Host::Client, params, input);
         let mut server = Machine::new(self, Host::Server, params, &[]);
         let mut msg = ControlMsg::start();
+        let mut turns = 0u64;
         loop {
+            turns += 1;
             let outcome = match msg.to {
                 Host::Client => client.run_turn(msg, &mut server)?,
                 Host::Server => server.run_turn(msg, &mut client)?,
@@ -189,6 +209,7 @@ impl<'a> Runner<'a> {
                 Outcome::Done => break,
             }
         }
+        span.record("turns", turns);
         Ok(client.into_result())
     }
 }

@@ -152,8 +152,8 @@ impl Ledger {
         stats.comm_time = self.comm.clone();
         let active = &self.client_busy + &self.comm;
         let idle = &self.clock - &active;
-        stats.energy = &(&active * &device.client_active_power)
-            + &(&idle * &device.client_idle_power);
+        stats.energy =
+            &(&active * &device.client_active_power) + &(&idle * &device.client_idle_power);
         stats
     }
 }
@@ -316,18 +316,25 @@ impl<'a> Machine<'a> {
     pub fn new(r: &'a Runner<'a>, host: Host, params: &[i64], input: &'a [i64]) -> Machine<'a> {
         let mut seg_index: HashMap<(FuncId, BlockId), Vec<SegEntry>> = HashMap::new();
         for (si, seg) in r.tcfg.segments().iter().enumerate() {
-            seg_index
-                .entry((seg.func, seg.block))
-                .or_default()
-                .push((seg.range.0, seg.range.1, SegmentId(si as u32)));
+            seg_index.entry((seg.func, seg.block)).or_default().push((
+                seg.range.0,
+                seg.range.1,
+                SegmentId(si as u32),
+            ));
         }
         let mut edge_index = HashMap::new();
         for (ei, e) in r.tcfg.edges().iter().enumerate() {
             edge_index.insert((e.from, e.to, e.kind), ei);
         }
-        let mut state = HostState { mem: HashMap::new(), regs: HashMap::new() };
+        let mut state = HostState {
+            mem: HashMap::new(),
+            regs: HashMap::new(),
+        };
         for (gi, g) in r.module.globals.iter().enumerate() {
-            state.mem.insert(ObjKey::Global(gi as u32), vec![Value::Int(0); g.slots as usize]);
+            state.mem.insert(
+                ObjKey::Global(gi as u32),
+                vec![Value::Int(0); g.slots as usize],
+            );
         }
         for (fi, f) in r.module.functions.iter().enumerate() {
             let fid = FuncId(fi as u32);
@@ -363,7 +370,11 @@ impl<'a> Machine<'a> {
             outputs: Vec::new(),
             seg_index,
             edge_index,
-            max_steps: if r.max_steps == 0 { 500_000_000 } else { r.max_steps },
+            max_steps: if r.max_steps == 0 {
+                500_000_000
+            } else {
+                r.max_steps
+            },
         }
     }
 
@@ -375,7 +386,10 @@ impl<'a> Machine<'a> {
     /// Consumes the client machine into a finished [`RunResult`].
     pub fn into_result(self) -> RunResult {
         let stats = self.ledger.finish(self.r.device);
-        RunResult { outputs: self.outputs, stats }
+        RunResult {
+            outputs: self.outputs,
+            stats,
+        }
     }
 
     /// Accepts a control transfer and runs until control leaves this host
@@ -416,8 +430,19 @@ impl<'a> Machine<'a> {
                 }
             }
             PendingAction::Resume => {}
-            PendingAction::PushFrame { func, block, segment, writes } => {
-                self.stack.push(Frame { func, block, inst: 0, segment, ret_dst: None });
+            PendingAction::PushFrame {
+                func,
+                block,
+                segment,
+                writes,
+            } => {
+                self.stack.push(Frame {
+                    func,
+                    block,
+                    inst: 0,
+                    segment,
+                    ret_dst: None,
+                });
                 self.active_funcs.insert(func);
                 for (p, v) in writes {
                     self.write_reg(p, v);
@@ -462,7 +487,10 @@ impl<'a> Machine<'a> {
             self.dyn_site.insert(key, (site, slots));
             // Deferred registration: materialize zeroed storage for
             // objects allocated on the other host.
-            self.state.mem.entry(key).or_insert_with(|| vec![Value::Int(0); slots as usize]);
+            self.state
+                .mem
+                .entry(key)
+                .or_insert_with(|| vec![Value::Int(0); slots as usize]);
         }
         self.dyn_count = msg.dyn_count;
         self.steps = msg.steps;
@@ -473,8 +501,11 @@ impl<'a> Machine<'a> {
         let mut valid: Vec<(AbsLocId, [bool; 2])> =
             self.valid.iter().map(|(k, v)| (*k, *v)).collect();
         valid.sort_by_key(|(k, _)| k.index());
-        let mut dyn_table: Vec<(ObjKey, AllocSiteId, u32)> =
-            self.dyn_site.iter().map(|(k, (s, n))| (*k, *s, *n)).collect();
+        let mut dyn_table: Vec<(ObjKey, AllocSiteId, u32)> = self
+            .dyn_site
+            .iter()
+            .map(|(k, (s, n))| (*k, *s, *n))
+            .collect();
         dyn_table.sort_by_key(|(k, _, _)| *k);
         ControlMsg {
             to,
@@ -538,7 +569,11 @@ impl<'a> Machine<'a> {
 
     /// Ensures `item` is valid on this host, pulling it lazily from the
     /// peer if necessary.
-    fn ensure_valid(&mut self, item: AbsLocId, peer: &mut dyn ExecHost) -> Result<(), RuntimeError> {
+    fn ensure_valid(
+        &mut self,
+        item: AbsLocId,
+        peer: &mut dyn ExecHost,
+    ) -> Result<(), RuntimeError> {
         if !self.is_tracked(item) {
             return Ok(());
         }
@@ -658,7 +693,8 @@ impl<'a> Machine<'a> {
                 self.r.device.cost.send_unit_s2c.clone(),
             ),
         };
-        self.ledger.message(&startup + &(&Rational::from(slots as i64) * &unit));
+        self.ledger
+            .message(&startup + &(&Rational::from(slots as i64) * &unit));
         self.ledger.stats.slots_transferred += slots;
         let v = self.validity(item);
         v[0] = true;
@@ -713,7 +749,12 @@ impl<'a> Machine<'a> {
             .ok_or_else(|| RuntimeError::BadAccess(format!("{key}+{off} out of bounds")))
     }
 
-    fn store(&mut self, addr: Value, v: Value, peer: &mut dyn ExecHost) -> Result<(), RuntimeError> {
+    fn store(
+        &mut self,
+        addr: Value,
+        v: Value,
+        peer: &mut dyn ExecHost,
+    ) -> Result<(), RuntimeError> {
         let Value::Addr(key, off) = addr else {
             return Err(RuntimeError::BadAccess(format!("store through {addr}")));
         };
@@ -800,8 +841,7 @@ impl<'a> Machine<'a> {
                     if let Some(item) = item {
                         // Only move if the source copy is actually valid
                         // (dynamic state may differ from the static plan).
-                        if self.validity(item)[src.index()] && !self.validity(item)[dst.index()]
-                        {
+                        if self.validity(item)[src.index()] && !self.validity(item)[dst.index()] {
                             self.ledger.stats.eager_transfers += 1;
                             self.transfer_item(item, src, dst, peer)?;
                         }
@@ -851,7 +891,11 @@ impl<'a> Machine<'a> {
         let term = b.term.clone();
         match term {
             Terminator::Goto(t) => self.jump(func, seg, block, t, peer),
-            Terminator::Branch { cond, then, otherwise } => {
+            Terminator::Branch {
+                cond,
+                then,
+                otherwise,
+            } => {
                 let v = self.operand(cond, peer)?;
                 let target = if v.truthy() { then } else { otherwise };
                 self.jump(func, seg, block, target, peer)
@@ -875,7 +919,15 @@ impl<'a> Machine<'a> {
         peer: &mut dyn ExecHost,
     ) -> Result<Option<ControlMsg>, RuntimeError> {
         let to_seg = self.segment_at(func, to, 0);
-        let switch = self.cross(from_seg, to_seg, EdgeKind::Jump { from: from_block, to }, peer)?;
+        let switch = self.cross(
+            from_seg,
+            to_seg,
+            EdgeKind::Jump {
+                from: from_block,
+                to,
+            },
+            peer,
+        )?;
         let frame = self.stack.last_mut().expect("active frame");
         frame.block = to;
         frame.inst = 0;
@@ -892,7 +944,9 @@ impl<'a> Machine<'a> {
         seg: SegmentId,
         peer: &mut dyn ExecHost,
     ) -> Result<Option<ControlMsg>, RuntimeError> {
-        let Inst::Call { dst, callee, args } = inst else { unreachable!() };
+        let Inst::Call { dst, callee, args } = inst else {
+            unreachable!()
+        };
         let target = match callee {
             Callee::Direct(t) => t,
             Callee::Indirect(op) => match self.operand(op, peer)? {
@@ -935,8 +989,7 @@ impl<'a> Machine<'a> {
         let callee_entry = callee_def.entry;
         let entry_seg = self.segment_at(target, callee_entry, 0);
         let params = callee_def.params.clone();
-        let writes: Vec<(LocalId, Value)> =
-            params.iter().copied().zip(arg_vals).collect();
+        let writes: Vec<(LocalId, Value)> = params.iter().copied().zip(arg_vals).collect();
         let switch = self.cross(seg, entry_seg, EdgeKind::Call { site: seg }, peer)?;
         if let Some(h) = switch {
             // Parameters are carried by the scheduling message and written
@@ -984,9 +1037,13 @@ impl<'a> Machine<'a> {
         if let Some(h) = switch {
             // The return value is carried by the message and written on
             // the continuation's host.
-            return Ok(Some(
-                self.package(h, PendingAction::WriteRet { dst: ret_dst, value }),
-            ));
+            return Ok(Some(self.package(
+                h,
+                PendingAction::WriteRet {
+                    dst: ret_dst,
+                    value,
+                },
+            )));
         }
         if let (Some(d), Some(v)) = (ret_dst, value) {
             self.write_reg(d, v);
@@ -1025,7 +1082,12 @@ impl<'a> Machine<'a> {
                 let func = self.cur_func();
                 self.write_reg(dst, Value::Addr(ObjKey::Local(func, local), 0));
             }
-            Inst::AddrIndex { dst, base, index, stride } => {
+            Inst::AddrIndex {
+                dst,
+                base,
+                index,
+                stride,
+            } => {
                 let b = self.operand(base, peer)?;
                 let i = self.operand(index, peer)?;
                 let Value::Addr(key, off) = b else {
@@ -1057,7 +1119,12 @@ impl<'a> Machine<'a> {
                 let v = self.operand(src, peer)?;
                 self.store(a, v, peer)?;
             }
-            Inst::Alloc { dst, elem_slots, count, site } => {
+            Inst::Alloc {
+                dst,
+                elem_slots,
+                count,
+                site,
+            } => {
                 let c = self
                     .operand(count, peer)?
                     .as_int()
@@ -1130,8 +1197,12 @@ fn eval_bin(op: IrBinOp, a: Value, b: Value) -> Result<Value, RuntimeError> {
         }
         _ => {}
     }
-    let x = a.as_int().ok_or_else(|| RuntimeError::BadAccess("arith on pointer".into()))?;
-    let y = b.as_int().ok_or_else(|| RuntimeError::BadAccess("arith on pointer".into()))?;
+    let x = a
+        .as_int()
+        .ok_or_else(|| RuntimeError::BadAccess("arith on pointer".into()))?;
+    let y = b
+        .as_int()
+        .ok_or_else(|| RuntimeError::BadAccess("arith on pointer".into()))?;
     Ok(Value::Int(match op {
         IrBinOp::Add => x.wrapping_add(y),
         IrBinOp::Sub => x.wrapping_sub(y),

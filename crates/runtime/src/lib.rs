@@ -95,7 +95,11 @@ impl<'a> Simulator<'a> {
     /// Creates a simulator for the analyzed program.
     pub fn new(analysis: &'a Analysis, device: DeviceModel) -> Self {
         let tracked = analysis.items.items.iter().map(|i| i.loc).collect();
-        Simulator { analysis, device, tracked }
+        Simulator {
+            analysis,
+            device,
+            tracked,
+        }
     }
 
     /// The device model in use.
@@ -126,7 +130,12 @@ impl<'a> Simulator<'a> {
     /// # Panics
     ///
     /// Panics if a [`Plan::Remote`] index is out of range.
-    pub fn run(&self, plan: Plan<'_>, params: &[i64], input: &[i64]) -> Result<RunResult, SimError> {
+    pub fn run(
+        &self,
+        plan: Plan<'_>,
+        params: &[i64],
+        input: &[i64],
+    ) -> Result<RunResult, SimError> {
         let plan = plan.resolve(&self.analysis.partition);
         Ok(self.runner(plan).run(params, input)?)
     }

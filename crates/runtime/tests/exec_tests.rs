@@ -138,7 +138,10 @@ fn every_choice_preserves_outputs() {
     let local = sim.run_local(&params, &input).unwrap();
     for (i, _) in a.partition.choices.iter().enumerate() {
         let r = sim.run_choice(i, &params, &input).unwrap();
-        assert_eq!(r.outputs, local.outputs, "choice {i} must behave identically");
+        assert_eq!(
+            r.outputs, local.outputs,
+            "choice {i} must behave identically"
+        );
     }
 }
 
@@ -154,7 +157,9 @@ fn offloaded_run_exchanges_messages() {
         .enumerate()
         .find(|(_, c)| !c.is_all_local())
     {
-        let r = sim.run_choice(i, &[2, 3, 50], &(5..=10).collect::<Vec<_>>()).unwrap();
+        let r = sim
+            .run_choice(i, &[2, 3, 50], &(5..=10).collect::<Vec<_>>())
+            .unwrap();
         assert!(r.stats.messages > 0);
         assert!(r.stats.server_compute > offload_poly::Rational::zero());
     }
@@ -209,7 +214,10 @@ fn light_work_runs_faster_locally() {
     let a = analysis(src);
     let sim = Simulator::new(&a, DeviceModel::ipaq_testbed());
     let (idx, _) = sim.run_dispatched(&[3], &[]).unwrap();
-    assert!(a.partition.choices[idx].is_all_local(), "tiny input stays local");
+    assert!(
+        a.partition.choices[idx].is_all_local(),
+        "tiny input stays local"
+    );
 }
 
 #[test]

@@ -107,7 +107,11 @@ impl Symbolic {
 
     /// Execution count of a block.
     pub fn block_count(&self, func: FuncId, block: BlockId) -> SymExpr {
-        self.funcs[func.index()].block_counts.get(&block).cloned().unwrap_or_else(SymExpr::zero)
+        self.funcs[func.index()]
+            .block_counts
+            .get(&block)
+            .cloned()
+            .unwrap_or_else(SymExpr::zero)
     }
 
     /// Execution count of a CFG edge.
@@ -174,7 +178,11 @@ struct Analyzer<'m> {
 impl<'m> Analyzer<'m> {
     fn new(module: &'m Module, indirect: &'m IndirectTargets) -> Self {
         let main = module.function(module.main);
-        let names = main.params.iter().map(|p| main.local(*p).name.clone()).collect();
+        let names = main
+            .params
+            .iter()
+            .map(|p| main.local(*p).name.clone())
+            .collect();
         Analyzer {
             module,
             indirect,
@@ -208,8 +216,9 @@ impl<'m> Analyzer<'m> {
                 .clone()
                 .unwrap_or_else(|| vec![SymVal::Unknown; f.params.len()]);
             if in_cycle.contains(&fid) {
-                let d =
-                    self.dict.fresh_dummy(DummyOrigin::Recursion { site: f.name.clone() });
+                let d = self.dict.fresh_dummy(DummyOrigin::Recursion {
+                    site: f.name.clone(),
+                });
                 inv = SymExpr::atom(&mut self.dict, d);
                 params = vec![SymVal::Unknown; f.params.len()];
             }
@@ -281,21 +290,22 @@ impl<'m> Analyzer<'m> {
             })
             .collect();
 
-        Symbolic { dict: self.dict, funcs, allocs }
+        Symbolic {
+            dict: self.dict,
+            funcs,
+            allocs,
+        }
     }
 
-    fn call_targets(
-        &self,
-        fid: FuncId,
-        bid: BlockId,
-        ii: usize,
-        callee: &Callee,
-    ) -> Vec<FuncId> {
+    fn call_targets(&self, fid: FuncId, bid: BlockId, ii: usize, callee: &Callee) -> Vec<FuncId> {
         match callee {
             Callee::Direct(t) => vec![*t],
-            Callee::Indirect(_) => {
-                self.indirect.per_site.get(&(fid, bid, ii)).cloned().unwrap_or_default()
-            }
+            Callee::Indirect(_) => self
+                .indirect
+                .per_site
+                .get(&(fid, bid, ii))
+                .cloned()
+                .unwrap_or_default(),
         }
     }
 
@@ -324,8 +334,10 @@ impl<'m> Analyzer<'m> {
                 indeg[t.index()] += 1;
             }
         }
-        let mut queue: VecDeque<FuncId> =
-            (0..n).map(|i| FuncId(i as u32)).filter(|f| indeg[f.index()] == 0).collect();
+        let mut queue: VecDeque<FuncId> = (0..n)
+            .map(|i| FuncId(i as u32))
+            .filter(|f| indeg[f.index()] == 0)
+            .collect();
         let mut order = Vec::new();
         let mut emitted = vec![false; n];
         while let Some(f) = queue.pop_front() {
@@ -474,7 +486,9 @@ impl<'m> Analyzer<'m> {
                         continue;
                     }
                 }
-                let Some(env_in) = envs.get(&bid).cloned() else { continue };
+                let Some(env_in) = envs.get(&bid).cloned() else {
+                    continue;
+                };
                 let mut env = env_in;
                 for inst in &block.insts {
                     self.transfer(&mut env, inst);
@@ -501,8 +515,11 @@ impl<'m> Analyzer<'m> {
                                     changed = true;
                                 }
                             }
-                            let missing: Vec<LocalId> =
-                                old.keys().filter(|k| !env.contains_key(k)).copied().collect();
+                            let missing: Vec<LocalId> = old
+                                .keys()
+                                .filter(|k| !env.contains_key(k))
+                                .copied()
+                                .collect();
                             for k in missing {
                                 if old.get(&k) != Some(&SymVal::Unknown) {
                                     old.insert(k, SymVal::Unknown);
@@ -533,8 +550,12 @@ impl<'m> Analyzer<'m> {
         let doms = Dominators::compute(&f, &preds);
         let loops = natural_loops(&f, &preds, &doms);
 
-        let entry_env: Env =
-            f.params.iter().zip(params).map(|(p, v)| (*p, v.clone())).collect();
+        let entry_env: Env = f
+            .params
+            .iter()
+            .zip(params)
+            .map(|(p, v)| (*p, v.clone()))
+            .collect();
         let envs = self.compute_envs(fid, None, f.entry, entry_env);
 
         // Trip counts per loop.
@@ -583,11 +604,15 @@ impl<'m> Analyzer<'m> {
         for (bid, block) in f.iter_blocks() {
             let mut env = envs.get(&bid).cloned().unwrap_or_default();
             for inst in &block.insts {
-                if let Inst::Alloc { elem_slots, count, site, .. } = inst {
+                if let Inst::Alloc {
+                    elem_slots,
+                    count,
+                    site,
+                    ..
+                } = inst
+                {
                     let per_exec = match self.op_val(&env, *count) {
-                        SymVal::Expr(e)
-                            if !self.mentions_probe(&e) =>
-                        {
+                        SymVal::Expr(e) if !self.mentions_probe(&e) => {
                             e.scale(&Rational::from(*elem_slots as i64))
                         }
                         _ => {
@@ -597,7 +622,11 @@ impl<'m> Analyzer<'m> {
                             SymExpr::atom(&mut self.dict, d)
                         }
                     };
-                    let r = counts.block_counts.get(&bid).cloned().unwrap_or_else(SymExpr::zero);
+                    let r = counts
+                        .block_counts
+                        .get(&bid)
+                        .cloned()
+                        .unwrap_or_else(SymExpr::zero);
                     let total = r.mul(&per_exec, &mut self.dict);
                     allocs[site.index()] = Some(AllocSymbolic {
                         func: fid,
@@ -613,12 +642,14 @@ impl<'m> Analyzer<'m> {
 
         counts.invocations = invocations.clone();
         counts.trip_counts = trips;
-        FuncResult { counts, entry_envs: envs }
+        FuncResult {
+            counts,
+            entry_envs: envs,
+        }
     }
 
     fn mentions_probe(&self, e: &SymExpr) -> bool {
-        (1_000_000..self.probe_base)
-            .any(|i| e.mentions_atom(&self.dict, Atom::Dummy(i)))
+        (1_000_000..self.probe_base).any(|i| e.mentions_atom(&self.dict, Atom::Dummy(i)))
     }
 
     fn branch_freq(&mut self, fid: FuncId, bid: BlockId, cond: SymVal) -> SymExpr {
@@ -643,11 +674,17 @@ impl<'m> Analyzer<'m> {
     /// Interns an auto-annotatable condition dummy (same condition text →
     /// same dummy dimension).
     fn cond_dummy(&mut self, op: IrBinOp, lhs: SymExpr, rhs: SymExpr, site: String) -> Atom {
-        let key = format!("{op:?}|{}|{}", lhs.display(&self.dict), rhs.display(&self.dict));
+        let key = format!(
+            "{op:?}|{}|{}",
+            lhs.display(&self.dict),
+            rhs.display(&self.dict)
+        );
         if let Some(&a) = self.cond_dummies.get(&key) {
             return a;
         }
-        let a = self.dict.fresh_dummy(DummyOrigin::AutoCond { op, lhs, rhs, site });
+        let a = self
+            .dict
+            .fresh_dummy(DummyOrigin::AutoCond { op, lhs, rhs, site });
         self.cond_dummies.insert(key, a);
         a
     }
@@ -673,7 +710,12 @@ impl<'m> Analyzer<'m> {
         }
 
         let header_block = f.block(l.header);
-        let Terminator::Branch { cond, then, otherwise } = &header_block.term else {
+        let Terminator::Branch {
+            cond,
+            then,
+            otherwise,
+        } = &header_block.term
+        else {
             fallback!()
         };
         let negated = if l.contains(*then) && !l.contains(*otherwise) {
@@ -703,7 +745,9 @@ impl<'m> Analyzer<'m> {
                 Some(old) => merge_envs(&old, &env),
             });
         }
-        let Some(init_env) = init_env else { fallback!() };
+        let Some(init_env) = init_env else {
+            fallback!()
+        };
 
         // Probe env: loop-defined registers become fresh probe atoms.
         let defined_in_loop: HashSet<LocalId> = l
@@ -728,7 +772,9 @@ impl<'m> Analyzer<'m> {
         for inst in &header_block.insts {
             self.transfer(&mut henv, inst);
         }
-        let SymVal::Cmp(mut op, lhs, rhs) = self.op_val(&henv, *cond) else { fallback!() };
+        let SymVal::Cmp(mut op, lhs, rhs) = self.op_val(&henv, *cond) else {
+            fallback!()
+        };
         if negated {
             op = negate_cmp(op);
         }
@@ -768,9 +814,13 @@ impl<'m> Analyzer<'m> {
             for inst in &f.block(latch).insts {
                 self.transfer(&mut env, inst);
             }
-            let Some(SymVal::Expr(v)) = env.get(&ivar).cloned() else { fallback!() };
+            let Some(SymVal::Expr(v)) = env.get(&ivar).cloned() else {
+                fallback!()
+            };
             let delta = v.sub(&probe_expr);
-            let Some(c) = delta.as_constant().cloned() else { fallback!() };
+            let Some(c) = delta.as_constant().cloned() else {
+                fallback!()
+            };
             match &step {
                 None => step = Some(c),
                 Some(s) if *s == c => {}
@@ -783,7 +833,9 @@ impl<'m> Analyzer<'m> {
         }
 
         // Initial value at loop entry.
-        let Some(SymVal::Expr(init)) = init_env.get(&ivar).cloned() else { fallback!() };
+        let Some(SymVal::Expr(init)) = init_env.get(&ivar).cloned() else {
+            fallback!()
+        };
         if mentions_any(self, &init) || mentions_any(self, &bound) {
             fallback!()
         }
@@ -937,8 +989,11 @@ fn propagate_counts(
 
     let mut inflow: HashMap<BlockId, SymExpr> = HashMap::new();
     inflow.insert(node_of(entry), entry_count);
-    let mut queue: VecDeque<BlockId> =
-        indeg.iter().filter(|(_, d)| **d == 0).map(|(b, _)| *b).collect();
+    let mut queue: VecDeque<BlockId> = indeg
+        .iter()
+        .filter(|(_, d)| **d == 0)
+        .map(|(b, _)| *b)
+        .collect();
     let mut order = Vec::new();
     {
         let mut indeg2 = indeg.clone();
@@ -958,7 +1013,11 @@ fn propagate_counts(
         }
         // Any unprocessed nodes (irreducible leftovers) appended for a
         // best-effort pass.
-        let mut rest: Vec<BlockId> = indeg.keys().filter(|b| !seen.contains(b)).copied().collect();
+        let mut rest: Vec<BlockId> = indeg
+            .keys()
+            .filter(|b| !seen.contains(b))
+            .copied()
+            .collect();
         rest.sort();
         order.extend(rest);
     }
@@ -971,11 +1030,23 @@ fn propagate_counts(
             let trip = trips.get(&l.header).cloned().unwrap_or_else(SymExpr::zero);
             let body_flow = flow.mul(&trip, dict);
             propagate_counts(
-                dict, f, loops, trips, freqs, Some(child), &l.body, l.header, body_flow, out,
+                dict,
+                f,
+                loops,
+                trips,
+                freqs,
+                Some(child),
+                &l.body,
+                l.header,
+                body_flow,
+                out,
             );
             // The header runs once more than the body per entry (the
             // final, failing loop test).
-            let h = out.block_counts.entry(l.header).or_insert_with(SymExpr::zero);
+            let h = out
+                .block_counts
+                .entry(l.header)
+                .or_insert_with(SymExpr::zero);
             *h = h.add(&flow);
             // Exit edges: total outflow equals the inflow (each entry
             // leaves once). Attribute it to the primary exit (the
@@ -1028,17 +1099,21 @@ fn propagate_counts(
                         }
                         _ => flow.clone(),
                     };
-                    let e = out.edge_counts.entry((nd, *s)).or_insert_with(SymExpr::zero);
+                    let e = out
+                        .edge_counts
+                        .entry((nd, *s))
+                        .or_insert_with(SymExpr::zero);
                     *e = e.add(&share);
                 }
             }
             match term {
-                Terminator::Branch { then, otherwise, .. }
-                    if in_region.len() == 2 =>
-                {
-                    let beta = freqs.get(&nd).cloned().unwrap_or_else(|| {
-                        SymExpr::constant(Rational::new(1, 2))
-                    });
+                Terminator::Branch {
+                    then, otherwise, ..
+                } if in_region.len() == 2 => {
+                    let beta = freqs
+                        .get(&nd)
+                        .cloned()
+                        .unwrap_or_else(|| SymExpr::constant(Rational::new(1, 2)));
                     let then_flow = flow.mul(&beta, dict);
                     let else_flow = flow.sub(&then_flow);
                     for (s, fl) in [(*then, then_flow), (*otherwise, else_flow)] {

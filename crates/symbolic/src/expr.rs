@@ -120,7 +120,10 @@ pub struct ParamDict {
 impl ParamDict {
     /// Creates a dictionary for the given parameter names.
     pub fn new(param_names: Vec<String>) -> Self {
-        ParamDict { param_names, ..Default::default() }
+        ParamDict {
+            param_names,
+            ..Default::default()
+        }
     }
 
     /// Number of program parameters.
@@ -186,11 +189,7 @@ impl ParamDict {
     }
 
     /// Evaluates a monomial given values for every atom.
-    pub fn eval_monomial(
-        &self,
-        id: MonomialId,
-        atom_value: &dyn Fn(Atom) -> Rational,
-    ) -> Rational {
+    pub fn eval_monomial(&self, id: MonomialId, atom_value: &dyn Fn(Atom) -> Rational) -> Rational {
         let mut acc = Rational::one();
         for &a in self.atoms(id) {
             acc *= &atom_value(a);
@@ -232,7 +231,10 @@ impl SymExpr {
 
     /// A constant expression.
     pub fn constant(c: Rational) -> Self {
-        SymExpr { terms: BTreeMap::new(), constant: c }
+        SymExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     /// A constant integer expression.
@@ -245,7 +247,10 @@ impl SymExpr {
         let m = dict.atom_monomial(a);
         let mut terms = BTreeMap::new();
         terms.insert(m, Rational::one());
-        SymExpr { terms, constant: Rational::zero() }
+        SymExpr {
+            terms,
+            constant: Rational::zero(),
+        }
     }
 
     /// The constant term.
@@ -461,7 +466,9 @@ mod tests {
         assert_eq!(xy, yx, "commutative: same interned monomial");
         assert_eq!(xy.display(&d), "x*y");
         // (x + 1)(y + 2) = xy + 2x + y + 2
-        let e = x.add(&SymExpr::int(1)).mul(&y.add(&SymExpr::int(2)), &mut d);
+        let e = x
+            .add(&SymExpr::int(1))
+            .mul(&y.add(&SymExpr::int(2)), &mut d);
         let vals = |a: Atom| match a {
             Atom::Param(0) => r(3),
             Atom::Param(1) => r(5),
@@ -533,7 +540,9 @@ mod tests {
     #[test]
     fn dummies_tracked() {
         let mut d = dict();
-        let dum = d.fresh_dummy(DummyOrigin::TripCount { site: "f:bb3".into() });
+        let dum = d.fresh_dummy(DummyOrigin::TripCount {
+            site: "f:bb3".into(),
+        });
         assert_eq!(d.dummies().len(), 1);
         assert!(!d.dummies()[0].is_auto());
         let e = SymExpr::atom(&mut d, dum);

@@ -59,9 +59,7 @@ fn max_block_count(sym: &Symbolic, m: &offload_ir::Module, fname: &str, params: 
 
 #[test]
 fn simple_loop_count_is_n() {
-    let (m, sym) = analyze(
-        "void main(int n) { int i; for (i = 0; i < n; i++) { output(i); } }",
-    );
+    let (m, sym) = analyze("void main(int n) { int i; for (i = 0; i < n; i++) { output(i); } }");
     // The loop header runs n + 1 times (n body iterations + final test).
     assert_eq!(max_block_count(&sym, &m, "main", &[17]), 18);
     // With n = 0 only the entry block and the header test run (once).
@@ -90,9 +88,8 @@ fn le_loop_counts_inclusive() {
 
 #[test]
 fn downward_loop() {
-    let (m, sym) = analyze(
-        "void main(int n) { int i; for (i = n; i > 0; i = i - 1) { output(i); } }",
-    );
+    let (m, sym) =
+        analyze("void main(int n) { int i; for (i = n; i > 0; i = i - 1) { output(i); } }");
     assert_eq!(max_block_count(&sym, &m, "main", &[6]), 7); // header: 6 + 1
 }
 
@@ -149,8 +146,7 @@ fn branch_on_param_creates_auto_dummy() {
     );
     // The condition is parameter-expressible: auto dummy, no annotation.
     assert!(sym.annotations_required().is_empty());
-    let autos: Vec<_> =
-        sym.dict.dummies().iter().filter(|d| d.is_auto()).collect();
+    let autos: Vec<_> = sym.dict.dummies().iter().filter(|d| d.is_auto()).collect();
     assert_eq!(autos.len(), 1, "one deduped auto condition: {autos:?}");
     // With mode == 1, the then-side block runs n times; else 0.
     let main = m.main;
@@ -190,7 +186,8 @@ fn data_dependent_loop_needs_annotation() {
     );
     let req = sym.annotations_required();
     assert!(
-        req.iter().any(|(_, d)| matches!(d, DummyOrigin::TripCount { .. })),
+        req.iter()
+            .any(|(_, d)| matches!(d, DummyOrigin::TripCount { .. })),
         "{req:?}"
     );
 }
@@ -215,7 +212,8 @@ fn recursion_gets_dummy() {
     );
     let req = sym.annotations_required();
     assert!(
-        req.iter().any(|(_, d)| matches!(d, DummyOrigin::Recursion { .. })),
+        req.iter()
+            .any(|(_, d)| matches!(d, DummyOrigin::Recursion { .. })),
         "{req:?}"
     );
 }

@@ -319,9 +319,7 @@ impl<'m> Builder<'m> {
                     if let Inst::Call { callee, .. } = inst {
                         let targets = match callee {
                             Callee::Direct(t) => vec![*t],
-                            Callee::Indirect(_) => {
-                                indirect.targets_for(self.module, fid, bid, i)
-                            }
+                            Callee::Indirect(_) => indirect.targets_for(self.module, fid, bid, i),
                         };
                         let id = SegmentId(self.segments.len() as u32);
                         if start == 0 {
@@ -394,7 +392,10 @@ impl<'m> Builder<'m> {
                         self.seg_edges.push((
                             sid,
                             target,
-                            EdgeKind::Jump { from: seg.block, to: succ },
+                            EdgeKind::Jump {
+                                from: seg.block,
+                                to: succ,
+                            },
                             seg.func,
                         ));
                     }
@@ -516,11 +517,18 @@ impl<'m> Builder<'m> {
             let is_io = segs.iter().any(|s| {
                 let seg = &self.segments[s.index()];
                 let block = &self.module.function(seg.func).blocks[seg.block.index()];
-                block.insts[seg.range.0..seg.range.1].iter().any(Inst::is_io)
+                block.insts[seg.range.0..seg.range.1]
+                    .iter()
+                    .any(Inst::is_io)
             });
             let id = TaskId(tasks.len() as u32);
             task_ids.insert(header, id);
-            tasks.push(Task { header, segments: segs, func, is_io });
+            tasks.push(Task {
+                header,
+                segments: segs,
+                func,
+                is_io,
+            });
         }
         let task_of_segment: Vec<TaskId> = header_of.iter().map(|h| task_ids[h]).collect();
 
@@ -531,7 +539,12 @@ impl<'m> Builder<'m> {
             let from = task_of_segment[s.index()];
             let to = task_of_segment[t.index()];
             if from != to && seen.insert((from, to, *kind)) {
-                edges.push(TcfgEdge { from, to, kind: *kind, func: *func });
+                edges.push(TcfgEdge {
+                    from,
+                    to,
+                    kind: *kind,
+                    func: *func,
+                });
             }
         }
 
@@ -581,8 +594,14 @@ mod tests {
              void main(int n) { output(helper(n)); }",
         );
         assert!(t.tasks().len() >= 3, "{}", t.summary(&m));
-        assert!(t.edges().iter().any(|e| matches!(e.kind, EdgeKind::Call { .. })));
-        assert!(t.edges().iter().any(|e| matches!(e.kind, EdgeKind::Return { .. })));
+        assert!(t
+            .edges()
+            .iter()
+            .any(|e| matches!(e.kind, EdgeKind::Call { .. })));
+        assert!(t
+            .edges()
+            .iter()
+            .any(|e| matches!(e.kind, EdgeKind::Return { .. })));
     }
 
     #[test]
@@ -616,7 +635,11 @@ mod tests {
         );
         assert!(t.tasks().iter().any(|x| x.is_io));
         let pure = m.func_by_name("pure").unwrap();
-        assert!(t.tasks().iter().filter(|x| x.func == pure).all(|x| !x.is_io));
+        assert!(t
+            .tasks()
+            .iter()
+            .filter(|x| x.func == pure)
+            .all(|x| !x.is_io));
     }
 
     #[test]
@@ -668,8 +691,12 @@ mod tests {
         let total: usize = (0..t.tasks().len())
             .map(|i| t.task_instructions(&m, TaskId(i as u32)).count())
             .sum();
-        let expect: usize =
-            m.functions.iter().flat_map(|f| &f.blocks).map(|b| b.insts.len()).sum();
+        let expect: usize = m
+            .functions
+            .iter()
+            .flat_map(|f| &f.blocks)
+            .map(|b| b.insts.len())
+            .sum();
         assert_eq!(total, expect);
     }
 
@@ -684,7 +711,13 @@ mod tests {
         let mut site = None;
         for (bid, b) in main.iter_blocks() {
             for (i, inst) in b.insts.iter().enumerate() {
-                if matches!(inst, Inst::Call { callee: Callee::Indirect(_), .. }) {
+                if matches!(
+                    inst,
+                    Inst::Call {
+                        callee: Callee::Indirect(_),
+                        ..
+                    }
+                ) {
                     site = Some((m.main, bid, i));
                 }
             }

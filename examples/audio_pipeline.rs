@@ -10,8 +10,10 @@ use offload_core::{Analysis, AnalysisOptions};
 use offload_runtime::{DeviceModel, Simulator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let analysis =
-        Analysis::from_source(offload_lang::examples_src::FIGURE1, AnalysisOptions::default())?;
+    let analysis = Analysis::from_source(
+        offload_lang::examples_src::FIGURE1,
+        AnalysisOptions::default(),
+    )?;
     println!("== Figure 1 audio pipeline ==");
     println!("{}", analysis.describe_choices());
 
@@ -19,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // x frames of y samples each; z units of work per sample.
     // Sweep the per-sample work z, as the paper's §1.1 discussion does.
-    println!("{:>8} {:>10} {:>12} {:>12} {:>9}", "z", "choice", "adaptive", "local", "speedup");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>9}",
+        "z", "choice", "adaptive", "local", "speedup"
+    );
     for z in [1i64, 4, 16, 64, 256, 1024, 4096] {
         let params = [4i64, 32, z];
         let input: Vec<i64> = (0..(params[0] * params[1])).map(|v| v % 100).collect();

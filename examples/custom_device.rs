@@ -32,12 +32,10 @@ const PROGRAM: &str = "
 
 fn crossover(analysis: &Analysis) -> Option<i64> {
     // First n at which the dispatcher leaves everything local no longer.
-    (1..=22)
-        .map(|p| 1i64 << p)
-        .find(|&n| {
-            let idx = analysis.select(&[n]).unwrap();
-            !analysis.partition.choices[idx].is_all_local()
-        })
+    (1..=22).map(|p| 1i64 << p).find(|&n| {
+        let idx = analysis.select(&[n]).unwrap();
+        !analysis.partition.choices[idx].is_all_local()
+    })
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -47,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let calibrated: CostModel = device.calibrate();
     let a = Analysis::from_source(
         PROGRAM,
-        AnalysisOptions { cost: calibrated, ..Default::default() },
+        AnalysisOptions {
+            cost: calibrated,
+            ..Default::default()
+        },
     )?;
 
     // Testbed B: same hosts, but a 10x slower, higher-latency link.
@@ -60,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     slow.sched_s2c = &slow.sched_s2c * &Rational::from(10);
     let b = Analysis::from_source(
         PROGRAM,
-        AnalysisOptions { cost: slow, ..Default::default() },
+        AnalysisOptions {
+            cost: slow,
+            ..Default::default()
+        },
     )?;
 
     println!("fast link: offloading starts at n ≈ {:?}", crossover(&a));

@@ -11,7 +11,11 @@ use offload_runtime::{DeviceModel, Simulator};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bench = susan();
-    println!("analyzing `{}` ({} source lines)...", bench.name, bench.source_lines());
+    println!(
+        "analyzing `{}` ({} source lines)...",
+        bench.name,
+        bench.source_lines()
+    );
     let analysis = bench.analyze()?;
     println!(
         "{} tasks, {} tracked items, {} partitioning choices (analysis took {:?})",
@@ -23,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let sim = Simulator::new(&analysis, DeviceModel::ipaq_testbed());
     // Edge recognition on photos of increasing size.
-    println!("{:>10} {:>10} {:>12} {:>12}", "photo", "choice", "adaptive", "local");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12}",
+        "photo", "choice", "adaptive", "local"
+    );
     for dim in [8i64, 16, 32, 64] {
         // mode_s, mode_e, mode_c, xdim, ydim, bt, dt, mask, iters,
         // corner_t, stride, gain

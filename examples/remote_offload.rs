@@ -32,8 +32,7 @@ const PROGRAM: &str = "
     }";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let analysis =
-        Arc::new(Analysis::from_source(PROGRAM, AnalysisOptions::default())?);
+    let analysis = Arc::new(Analysis::from_source(PROGRAM, AnalysisOptions::default())?);
     let device = DeviceModel::ipaq_testbed();
 
     // In a real deployment the server runs on the wall-powered host; here
@@ -55,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "n={n:>9}: choice {} ran {} — output {:?}",
             report.choice,
-            if report.offloaded { "over TCP" } else { "locally" },
+            if report.offloaded {
+                "over TCP"
+            } else {
+                "locally"
+            },
             report.result.outputs,
         );
     }

@@ -4,15 +4,17 @@
 #
 #   scripts/bench.sh [benchmark names...]
 #
-# Emits BENCH_solve.json in the repository root (override the path with
-# SOLVEBENCH_OUT, the worker count with SOLVEBENCH_THREADS). Runs fully
-# offline on a release build.
+# Emits BENCH_solve.json (the same JSON goes to stdout via --json, so
+# callers never scrape tables) and a Chrome trace at BENCH_trace.json in
+# the repository root (override the report path with SOLVEBENCH_OUT, the
+# worker count with SOLVEBENCH_THREADS). Runs fully offline on a release
+# build.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== build (release) =="
+echo "== build (release) ==" >&2
 cargo build --release -p offload-bench --offline
 
-echo "== solvebench =="
-./target/release/solvebench "$@"
+echo "== solvebench ==" >&2
+./target/release/solvebench --json --trace BENCH_trace.json "$@"

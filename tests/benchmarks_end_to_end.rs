@@ -14,7 +14,12 @@ fn table3_shape() {
     assert_eq!(benchmarks.len(), 6);
     for b in &benchmarks {
         // Sources are real programs, not stubs.
-        assert!(b.source_lines() > 50, "{}: {} lines", b.name, b.source_lines());
+        assert!(
+            b.source_lines() > 50,
+            "{}: {} lines",
+            b.name,
+            b.source_lines()
+        );
         assert!(!b.description.is_empty());
         let checked = offload_lang::frontend(&b.source).expect(b.name);
         assert!(checked.program.functions.len() >= 2, "{}", b.name);
@@ -39,7 +44,9 @@ fn rawcaudio_analyzes_and_roundtrips() {
     let input = (b.make_input)(&params);
     let local = sim.run_local(&params, &input).expect("local run");
     assert_eq!(local.outputs.len(), 64);
-    let run = sim.run_choice(idx, &params, &input).expect("dispatched run");
+    let run = sim
+        .run_choice(idx, &params, &input)
+        .expect("dispatched run");
     assert_eq!(run.outputs, local.outputs);
 }
 

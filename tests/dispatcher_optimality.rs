@@ -40,14 +40,20 @@ fn analysis() -> &'static Analysis {
 #[test]
 fn dispatcher_minimizes_predicted_cost() {
     let a = analysis();
-    for &(n, w) in &[(1i64, 1i64), (4, 10), (2, 1000), (16, 100_000), (1, 1_000_000)] {
+    for &(n, w) in &[
+        (1i64, 1i64),
+        (4, 10),
+        (2, 1000),
+        (16, 100_000),
+        (1, 1_000_000),
+    ] {
         let idx = a.select(&[n, w]).unwrap();
         let point = a
             .dispatcher
             .dim_point(&a.network, &[Rational::from(n), Rational::from(w)])
             .unwrap();
-        let chosen = cut_cost_at(&a.network, &a.partition.choices[idx], &point)
-            .expect("finite cut");
+        let chosen =
+            cut_cost_at(&a.network, &a.partition.choices[idx], &point).expect("finite cut");
         for (j, c) in a.partition.choices.iter().enumerate() {
             if let Some(v) = cut_cost_at(&a.network, c, &point) {
                 assert!(chosen <= v, "(n={n},w={w}): chosen {idx} beaten by {j}");

@@ -67,8 +67,7 @@ fn all_non_io_assignments_of_small_program() {
     let io_mask: Vec<bool> = a.tcfg.tasks().iter().map(|t| t.is_io).collect();
     let limit = 1u32 << tasks.min(10);
     for mask in 0..limit {
-        let assignment: Vec<bool> =
-            (0..tasks).map(|i| mask & (1 << i.min(31)) != 0).collect();
+        let assignment: Vec<bool> = (0..tasks).map(|i| mask & (1 << i.min(31)) != 0).collect();
         if assignment.iter().zip(&io_mask).any(|(&s, &io)| s && io) {
             continue; // would violate the semantic constraint
         }
@@ -91,8 +90,12 @@ fn figure4_lists_survive_offloading() {
     // And under a deliberately adversarial assignment: `build` remote,
     // everything else local (lazy pulls must fetch the list).
     let build = a.module.func_by_name("build").unwrap();
-    let assignment: Vec<bool> =
-        a.tcfg.tasks().iter().map(|t| t.func == build && !t.is_io).collect();
+    let assignment: Vec<bool> = a
+        .tcfg
+        .tasks()
+        .iter()
+        .map(|t| t.func == build && !t.is_io)
+        .collect();
     run_with_assignment(&a, assignment, &[12], &[]);
 }
 

@@ -40,7 +40,7 @@ fn paper_network() -> (ParamNetwork, Polyhedron) {
     net.add_arc(2, 3, aff(12, 2, 0)); // M(f)=1, M(g)=0 → buffers move
     net.add_arc(3, 2, aff(12, 2, 0)); // M(g)=1, M(f)=0 → buffers move
     net.add_arc(2, 1, aff(0, 14, 0)); // M(f)=1 → 14xy of I/O traffic
-    // Parameter space: x >= 1, y >= 1 (xy >= x), z >= 1 (xyz >= xy).
+                                      // Parameter space: x >= 1, y >= 1 (xy >= x), z >= 1 (xyz >= xy).
     let space = Polyhedron::from_constraints(
         k,
         vec![
@@ -55,8 +55,11 @@ fn paper_network() -> (ParamNetwork, Polyhedron) {
 fn figure1_analysis() -> &'static Analysis {
     static CACHE: std::sync::OnceLock<Analysis> = std::sync::OnceLock::new();
     CACHE.get_or_init(|| {
-        Analysis::from_source(offload_lang::examples_src::FIGURE1, AnalysisOptions::default())
-            .expect("analysis succeeds")
+        Analysis::from_source(
+            offload_lang::examples_src::FIGURE1,
+            AnalysisOptions::default(),
+        )
+        .expect("analysis succeeds")
     })
 }
 
@@ -80,7 +83,11 @@ fn worked_example_reproduces_table1_costs() {
         let point = dims_for(x, y, z);
         let mf = net.solve_at(&point).unwrap();
         let best = table1_costs(x, y, z).iter().map(|&(_, c)| c).min().unwrap();
-        assert_eq!(mf.value, r(best), "min cut = Table 1 minimum at ({x},{y},{z})");
+        assert_eq!(
+            mf.value,
+            r(best),
+            "min cut = Table 1 minimum at ({x},{y},{z})"
+        );
     }
 }
 
@@ -111,11 +118,12 @@ fn worked_example_regions_match_section_1_conditions() {
             (true, false) => "offload-f-only",
         }
     };
-    let kinds: std::collections::BTreeSet<&str> =
-        found.iter().map(|(s, _)| classify(s)).collect();
+    let kinds: std::collections::BTreeSet<&str> = found.iter().map(|(s, _)| classify(s)).collect();
     assert_eq!(
         kinds,
-        ["local", "offload-g", "offload-fg"].into_iter().collect::<std::collections::BTreeSet<_>>(),
+        ["local", "offload-g", "offload-fg"]
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>(),
         "the paper's three partitionings"
     );
     // Check region membership against the paper's closed-form conditions
@@ -140,8 +148,7 @@ fn worked_example_regions_match_section_1_conditions() {
                     .expect("point covered");
                 if holder != expect {
                     let costs = table1_costs(x_, y, z);
-                    let get =
-                        |name: &str| costs.iter().find(|(n, _)| *n == name).unwrap().1;
+                    let get = |name: &str| costs.iter().find(|(n, _)| *n == name).unwrap().1;
                     assert_eq!(
                         get(holder),
                         get(expect),
@@ -159,7 +166,11 @@ fn figure1_program_full_pipeline() {
     // No user annotations required (everything is parameter-expressible).
     assert!(analysis.missing_annotations().is_empty());
     // At least local + offload-encoder choices.
-    assert!(analysis.partition.choices.len() >= 2, "{}", analysis.describe_choices());
+    assert!(
+        analysis.partition.choices.len() >= 2,
+        "{}",
+        analysis.describe_choices()
+    );
 
     // Distributed behaviour matches local behaviour for every choice.
     let sim = Simulator::new(analysis, DeviceModel::ipaq_testbed());
@@ -178,12 +189,9 @@ fn figure1_program_full_pipeline() {
             .dispatcher
             .dim_point(&analysis.network, &[r(x), r(y), r(z)])
             .unwrap();
-        let chosen = offload_core::cut_cost_at(
-            &analysis.network,
-            &analysis.partition.choices[idx],
-            &point,
-        )
-        .expect("finite");
+        let chosen =
+            offload_core::cut_cost_at(&analysis.network, &analysis.partition.choices[idx], &point)
+                .expect("finite");
         for c in &analysis.partition.choices {
             if let Some(v) = offload_core::cut_cost_at(&analysis.network, c, &point) {
                 assert!(chosen <= v, "({x},{y},{z})");

@@ -120,7 +120,10 @@ fn param_dependent_branches_with_auto_conditions() {
             let fid = offload_ir::FuncId(fi as u32);
             for (bi, b) in f.blocks.iter().enumerate() {
                 let expr = a.symbolic.block_count(fid, offload_ir::BlockId(bi as u32));
-                let count = a.dispatcher.eval_expr(&expr, &rparams, 0).expect("auto dummies");
+                let count = a
+                    .dispatcher
+                    .eval_expr(&expr, &rparams, 0)
+                    .expect("auto dummies");
                 total += &(&count * &Rational::from(b.insts.len() as i64));
             }
         }

@@ -23,12 +23,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id made of a function name and a parameter display.
     pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", name.into(), param) }
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
     }
 
     /// An id made of a parameter display only.
     pub fn from_parameter(param: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: param.to_string() }
+        BenchmarkId {
+            id: param.to_string(),
+        }
     }
 }
 
@@ -46,7 +50,10 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(sample_count: usize) -> Self {
-        Bencher { samples: Vec::new(), sample_count }
+        Bencher {
+            samples: Vec::new(),
+            sample_count,
+        }
     }
 
     /// Times `f` over warm-up plus `sample_count` measured runs.
@@ -90,7 +97,11 @@ impl<'a> BenchmarkGroup<'a> {
     }
 
     /// Runs one benchmark in the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
         let mut b = Bencher::new(self.sample_size);
         f(&mut b);
         b.report(&format!("{}/{}", self.name, id));
@@ -125,13 +136,29 @@ pub struct Criterion {
 impl Criterion {
     /// Opens a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        let sample_size = if self.sample_size == 0 { 10 } else { self.sample_size };
-        BenchmarkGroup { name: name.into(), sample_size, _parent: self }
+        let sample_size = if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _parent: self,
+        }
     }
 
     /// Runs one stand-alone benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self {
-        let n = if self.sample_size == 0 { 10 } else { self.sample_size };
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let n = if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        };
         let mut b = Bencher::new(n);
         f(&mut b);
         b.report(&id.to_string());
