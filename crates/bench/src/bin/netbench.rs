@@ -122,7 +122,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let mut analyses_match = false;
     if let Some((server, local)) = &server_stats {
-        say!("\nanalysis pipeline stats (from the v3 handshake):\n{server}");
+        say!("\nanalysis pipeline stats (from the handshake):\n{server}");
         analyses_match = server == local;
         say!(
             "server analysis matches the client's: {}",

@@ -39,6 +39,10 @@ struct Row {
     par_ms: f64,
     choices: usize,
     identical: bool,
+    /// Sequential time of the checked-in `BENCH_baseline.json` divided by
+    /// this run's sequential time; `None` when the baseline file is
+    /// missing or does not cover this benchmark.
+    speedup_vs_baseline: Option<f64>,
     seq_pipeline: PipelineStats,
     par_pipeline: PipelineStats,
 }
@@ -61,7 +65,8 @@ fn json_pipeline(p: &PipelineStats) -> String {
         concat!(
             "{{\"flow_solves\":{},\"flow_phases\":{},\"flow_augmenting_paths\":{},",
             "\"lp_solves\":{},\"lp_pivots\":{},\"fm_vars_eliminated\":{},",
-            "\"fm_constraints\":{},\"regions_explored\":{},\"rounds\":{},",
+            "\"fm_constraints\":{},\"lp_cache_hits\":{},\"small_int_promotions\":{},",
+            "\"regions_explored\":{},\"rounds\":{},",
             "\"cache_hits\":{},\"cache_misses\":{},\"threads_used\":{},",
             "\"simplify_micros\":{},\"solve_micros\":{},\"sequential_strategy\":{}}}"
         ),
@@ -72,6 +77,8 @@ fn json_pipeline(p: &PipelineStats) -> String {
         p.lp_pivots,
         p.fm_vars_eliminated,
         p.fm_constraints,
+        p.lp_cache_hits,
+        p.small_int_promotions,
         p.regions_explored,
         p.rounds,
         p.cache_hits,
@@ -81,6 +88,20 @@ fn json_pipeline(p: &PipelineStats) -> String {
         p.solve_micros,
         p.sequential_strategy,
     )
+}
+
+/// Reads one benchmark's sequential time out of the checked-in baseline
+/// report without a JSON dependency: locates `"name":"<name>"` and takes
+/// the first `"seq_ms":` value after it.
+fn baseline_seq_ms(baseline: &str, name: &str) -> Option<f64> {
+    let at = baseline.find(&format!("\"name\":\"{name}\""))?;
+    let rest = &baseline[at..];
+    let at = rest.find("\"seq_ms\":")?;
+    let rest = &rest[at + "\"seq_ms\":".len()..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Measures the cost of one *disabled* span site: the price every
@@ -126,6 +147,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .max(2);
     let out_path = std::env::var("SOLVEBENCH_OUT").unwrap_or_else(|_| "BENCH_solve.json".into());
+    let baseline_path =
+        std::env::var("SOLVEBENCH_BASELINE").unwrap_or_else(|_| "BENCH_baseline.json".into());
+    let baseline = std::fs::read_to_string(&baseline_path).ok();
+    if baseline.is_none() {
+        eprintln!("note: no baseline at {baseline_path}; speedup_vs_baseline will be null");
+    }
 
     // Calibrate the disabled-site cost before any tracing turns on.
     let disabled_ns = disabled_span_ns();
@@ -176,6 +203,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             par_ms,
             choices: seq.partition.choices.len(),
             identical,
+            speedup_vs_baseline: baseline
+                .as_deref()
+                .and_then(|base| baseline_seq_ms(base, b.name))
+                .map(|base_ms| base_ms / seq_ms),
             seq_pipeline: seq.pipeline_stats(),
             par_pipeline: par.pipeline_stats(),
         });
@@ -202,18 +233,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if !json_mode {
         println!(
-            "{:<10} {:<9} {:>8} {:>10} {:>10} {:>8} {:>9}",
-            "benchmark", "strategy", "choices", "seq (ms)", "par (ms)", "speedup", "identical"
+            "{:<10} {:<9} {:>8} {:>10} {:>10} {:>8} {:>8} {:>9}",
+            "benchmark",
+            "strategy",
+            "choices",
+            "seq (ms)",
+            "par (ms)",
+            "speedup",
+            "vs-base",
+            "identical"
         );
         for r in &rows {
             println!(
-                "{:<10} {:<9} {:>8} {:>10.1} {:>10.1} {:>7.2}x {:>9}",
+                "{:<10} {:<9} {:>8} {:>10.1} {:>10.1} {:>7.2}x {:>8} {:>9}",
                 r.name,
                 r.strategy,
                 r.choices,
                 r.seq_ms,
                 r.par_ms,
                 r.seq_ms / r.par_ms,
+                r.speedup_vs_baseline
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_else(|| "-".into()),
                 r.identical,
             );
         }
@@ -238,6 +279,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             concat!(
                 "    {{\"name\":\"{}\",\"strategy\":\"{}\",\"choices\":{},",
                 "\"seq_ms\":{:.3},\"par_ms\":{:.3},\"identical\":{},",
+                "\"speedup_vs_baseline\":{},",
                 "\"seq_pipeline\":{},\"par_pipeline\":{}}}{}\n"
             ),
             r.name,
@@ -246,6 +288,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.seq_ms,
             r.par_ms,
             r.identical,
+            r.speedup_vs_baseline
+                .map(|s| format!("{s:.3}"))
+                .unwrap_or_else(|| "null".into()),
             json_pipeline(&r.seq_pipeline),
             json_pipeline(&r.par_pipeline),
             if i + 1 == rows.len() { "" } else { "," },

@@ -343,6 +343,11 @@ pub fn solve_with_probes(
     probes: &[Vec<Rational>],
 ) -> Result<ParametricPartition, SolveError> {
     let logger = Logger::new(options);
+    // Start from a cold LP result cache so per-run cache-hit counts and
+    // timings are reproducible regardless of what ran earlier on this
+    // thread. (Worker threads are spawned fresh each round, so their
+    // caches always start empty.)
+    offload_poly::lp_cache_clear();
     let poly_before = PolyStats::snapshot();
     let mut stats = SolveStats {
         nodes_before: pnet.net.node_count(),
@@ -412,6 +417,8 @@ pub fn solve_with_probes(
         poly.lp_pivots,
         poly.fm_vars_eliminated,
         poly.fm_constraints,
+        poly.lp_cache_hits,
+        poly.small_int_promotions,
     );
 
     let mut choices = result?;
@@ -575,7 +582,12 @@ fn explore_round(
     stats: &mut SolveStats,
 ) -> Vec<Option<Result<PieceResult, UnboundedFlow>>> {
     let n = pieces.len();
-    let workers = threads.min(n);
+    // Spawn scoped workers only when the round actually has ≥2 pieces to
+    // distribute; a single-piece round (every round of a two-choice exact
+    // program) runs inline, avoiding thread setup that can only slow the
+    // solve down. Who computes a piece never changes what is computed, so
+    // output is bit-identical either way.
+    let workers = if n >= 2 { threads.min(n) } else { 1 };
     let mut flow = FlowStats::default();
     let (mut hits, mut misses) = (0u64, 0u64);
     let mut results: Vec<Option<Result<PieceResult, UnboundedFlow>>> = Vec::with_capacity(n);

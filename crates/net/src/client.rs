@@ -105,7 +105,7 @@ pub struct RunReport {
     /// The server's analysis-time pipeline statistics, carried back on
     /// the v2 handshake; `None` when no handshake completed.
     pub server_pipeline: Option<PipelineStats>,
-    /// Aggregated server-side span statistics from the v3 handshake
+    /// Aggregated server-side span statistics from the handshake
     /// (empty unless the server runs with tracing enabled); `None` when
     /// no handshake completed.
     pub server_spans: Option<offload_obs::SpanSummary>,

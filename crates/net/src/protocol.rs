@@ -33,8 +33,10 @@ use std::io::{Read, Write};
 /// Protocol version; bumped on any incompatible framing change.
 /// (v2: `HelloAck` carries the server's analysis [`PipelineStats`];
 /// v3: [`PipelineStats`] gains `sequential_strategy` and `HelloAck`
-/// additionally carries the server's [`SpanSummary`].)
-pub const PROTOCOL_VERSION: u8 = 3;
+/// additionally carries the server's [`SpanSummary`];
+/// v4: [`PipelineStats`] gains `lp_cache_hits` and
+/// `small_int_promotions`.)
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Upper bound on a single frame's payload (a corruption guard, not a
 /// tight limit).
@@ -249,6 +251,8 @@ fn put_pipeline(buf: &mut Vec<u8>, s: &PipelineStats) {
     put_uv(buf, s.lp_pivots);
     put_uv(buf, s.fm_vars_eliminated);
     put_uv(buf, s.fm_constraints);
+    put_uv(buf, s.lp_cache_hits);
+    put_uv(buf, s.small_int_promotions);
     put_uv(buf, s.regions_explored);
     put_uv(buf, s.rounds);
     put_uv(buf, s.cache_hits);
@@ -507,6 +511,8 @@ impl<'a> Cursor<'a> {
             lp_pivots: self.uv()?,
             fm_vars_eliminated: self.uv()?,
             fm_constraints: self.uv()?,
+            lp_cache_hits: self.uv()?,
+            small_int_promotions: self.uv()?,
             regions_explored: self.uv()?,
             rounds: self.uv()?,
             cache_hits: self.uv()?,

@@ -164,6 +164,8 @@ fn arb_pipeline(rng: &mut Rng) -> PipelineStats {
         lp_pivots: rng.next() % 10_000_000,
         fm_vars_eliminated: rng.next() % 100_000,
         fm_constraints: rng.next() % 1_000_000,
+        lp_cache_hits: rng.next() % 1_000_000,
+        small_int_promotions: rng.next() % 1_000_000,
         regions_explored: rng.next() % 10_000,
         rounds: rng.next() % 1_000,
         cache_hits: rng.next() % 10_000,

@@ -1,25 +1,45 @@
-//! Arbitrary-precision signed integers.
+//! Arbitrary-precision signed integers with an inline small-value fast
+//! path.
 //!
 //! The parametric partitioning algorithm performs long chains of
 //! Fourier–Motzkin combinations whose coefficients can overflow any fixed
 //! width integer, so all polyhedral arithmetic is exact over [`BigInt`].
+//! In practice, though, the overwhelming majority of coefficients are tiny
+//! (gcd normalization after every operation keeps them small), so the
+//! representation is a two-armed enum: an inline `i64` for values that fit,
+//! and a sign plus little-endian `u32` limbs only for values that do not.
 //!
-//! The representation is a sign plus a little-endian vector of `u32` limbs
-//! with no trailing zero limbs (zero is the empty limb vector with
-//! [`Sign::Zero`]).
+//! The representation is canonical — the heap arm is used *only* for
+//! values outside the `i64` range, and limb vectors never carry trailing
+//! zeros — so structural equality and hashing coincide with numeric
+//! equality and derived `Eq`/`Hash` are correct. Every arithmetic result
+//! is re-canonicalized, demoting back to the inline arm whenever it fits;
+//! promotions (small operands whose result needs limbs) are counted in
+//! [`crate::PolyStats::small_int_promotions`].
 
 use std::cmp::Ordering;
 use std::fmt;
-use std::hash::{Hash, Hasher};
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
 use std::str::FromStr;
+use std::sync::atomic::Ordering::Relaxed;
 
-/// Sign of a [`BigInt`].
+/// Sign of a heap-allocated [`BigInt`] (the heap arm is never zero).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Sign {
     Negative,
-    Zero,
     Positive,
+}
+
+/// Internal representation. Invariant: `Big` is used only for values
+/// strictly outside the `i64` range, and its limb vector has no trailing
+/// zeros — so every value has exactly one representation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    Small(i64),
+    /// Little-endian limbs; magnitude exceeds `i64::MAX` for positives
+    /// and 2^63 for negatives (a magnitude of exactly 2^63 with negative
+    /// sign is `i64::MIN` and stays `Small`).
+    Big(Sign, Vec<u32>),
 }
 
 /// An arbitrary-precision signed integer.
@@ -33,97 +53,199 @@ enum Sign {
 /// let b = &a * &a;
 /// assert_eq!(b.to_string(), "1000000014000000049");
 /// ```
-#[derive(Debug, Clone)]
-pub struct BigInt {
-    sign: Sign,
-    /// Little-endian limbs; empty iff `sign == Sign::Zero`.
-    limbs: Vec<u32>,
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BigInt(Repr);
+
+#[inline]
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
 }
 
 impl BigInt {
     /// The integer zero.
+    #[inline]
     pub fn zero() -> Self {
-        BigInt {
-            sign: Sign::Zero,
-            limbs: Vec::new(),
-        }
+        BigInt(Repr::Small(0))
     }
 
     /// The integer one.
+    #[inline]
     pub fn one() -> Self {
-        BigInt::from(1i64)
+        BigInt(Repr::Small(1))
     }
 
     /// Returns `true` if this integer is zero.
+    #[inline]
     pub fn is_zero(&self) -> bool {
-        self.sign == Sign::Zero
+        matches!(self.0, Repr::Small(0))
     }
 
     /// Returns `true` if this integer is strictly positive.
+    #[inline]
     pub fn is_positive(&self) -> bool {
-        self.sign == Sign::Positive
+        match &self.0 {
+            Repr::Small(v) => *v > 0,
+            Repr::Big(s, _) => *s == Sign::Positive,
+        }
     }
 
     /// Returns `true` if this integer is strictly negative.
+    #[inline]
     pub fn is_negative(&self) -> bool {
-        self.sign == Sign::Negative
+        match &self.0 {
+            Repr::Small(v) => *v < 0,
+            Repr::Big(s, _) => *s == Sign::Negative,
+        }
     }
 
     /// Sign as `-1`, `0` or `1`.
+    #[inline]
     pub fn signum(&self) -> i32 {
-        match self.sign {
-            Sign::Negative => -1,
-            Sign::Zero => 0,
-            Sign::Positive => 1,
+        match &self.0 {
+            Repr::Small(v) => v.signum() as i32,
+            Repr::Big(Sign::Negative, _) => -1,
+            Repr::Big(Sign::Positive, _) => 1,
+        }
+    }
+
+    /// The inline value, when this integer fits `i64`.
+    #[inline]
+    pub(crate) fn as_small(&self) -> Option<i64> {
+        match self.0 {
+            Repr::Small(v) => Some(v),
+            Repr::Big(..) => None,
         }
     }
 
     /// Absolute value.
     pub fn abs(&self) -> Self {
-        match self.sign {
-            Sign::Negative => BigInt {
-                sign: Sign::Positive,
-                limbs: self.limbs.clone(),
+        match &self.0 {
+            Repr::Small(v) => match v.checked_abs() {
+                Some(a) => BigInt(Repr::Small(a)),
+                // |i64::MIN| = 2^63 does not fit i64.
+                None => BigInt::promoted_i128(-(i64::MIN as i128)),
             },
-            _ => self.clone(),
+            Repr::Big(_, limbs) => BigInt(Repr::Big(Sign::Positive, limbs.clone())),
         }
     }
 
-    fn from_limbs(sign: Sign, mut limbs: Vec<u32>) -> Self {
+    /// Canonical constructor from a value known to fit `i128`; promotes to
+    /// the heap arm (and counts the promotion) only when needed.
+    #[inline]
+    fn promoted_i128(v: i128) -> Self {
+        if let Ok(s) = i64::try_from(v) {
+            return BigInt(Repr::Small(s));
+        }
+        crate::counters::SMALL_INT_PROMOTIONS.fetch_add(1, Relaxed);
+        Self::big_from_u128(v < 0, v.unsigned_abs())
+    }
+
+    /// Like [`Self::promoted_i128`] but without the promotion accounting —
+    /// used by `From` conversions, where a large literal is not an
+    /// arithmetic overflow.
+    #[inline]
+    fn from_i128_quiet(v: i128) -> Self {
+        if let Ok(s) = i64::try_from(v) {
+            return BigInt(Repr::Small(s));
+        }
+        Self::big_from_u128(v < 0, v.unsigned_abs())
+    }
+
+    fn big_from_u128(negative: bool, mut mag: u128) -> Self {
+        // Caller guarantees the value is outside i64 range.
+        debug_assert!(mag > i64::MAX as u128);
+        let mut limbs = Vec::with_capacity(4);
+        while mag != 0 {
+            limbs.push(mag as u32);
+            mag >>= 32;
+        }
+        let sign = if negative {
+            Sign::Negative
+        } else {
+            Sign::Positive
+        };
+        BigInt(Repr::Big(sign, limbs))
+    }
+
+    /// Canonical constructor from a signed magnitude: trims trailing
+    /// zeros and demotes to the inline arm when the value fits `i64`.
+    fn from_sign_limbs(sign: i8, mut limbs: Vec<u32>) -> Self {
         while limbs.last() == Some(&0) {
             limbs.pop();
         }
         if limbs.is_empty() {
-            BigInt::zero()
+            return BigInt::zero();
+        }
+        if limbs.len() <= 2 {
+            let mag = limbs[0] as u64 | ((limbs.get(1).copied().unwrap_or(0) as u64) << 32);
+            if sign > 0 && mag <= i64::MAX as u64 {
+                return BigInt(Repr::Small(mag as i64));
+            }
+            if sign < 0 && mag <= i64::MIN.unsigned_abs() {
+                return BigInt(Repr::Small((mag as i64).wrapping_neg()));
+            }
+        }
+        debug_assert_ne!(sign, 0);
+        let s = if sign < 0 {
+            Sign::Negative
         } else {
-            debug_assert_ne!(sign, Sign::Zero);
-            BigInt { sign, limbs }
+            Sign::Positive
+        };
+        BigInt(Repr::Big(s, limbs))
+    }
+
+    /// Magnitude view: sign as `-1`/`0`/`1` plus a limb slice, borrowing
+    /// either the heap limbs or a caller-provided stack buffer for the
+    /// inline arm. Lets mixed small/big operations share one code path
+    /// without allocating.
+    #[inline]
+    fn mag_view<'a>(&'a self, buf: &'a mut [u32; 2]) -> (i8, &'a [u32]) {
+        match &self.0 {
+            Repr::Small(0) => (0, &[]),
+            Repr::Small(v) => {
+                let m = v.unsigned_abs();
+                buf[0] = m as u32;
+                buf[1] = (m >> 32) as u32;
+                let len = if buf[1] != 0 { 2 } else { 1 };
+                (if *v < 0 { -1 } else { 1 }, &buf[..len])
+            }
+            Repr::Big(Sign::Negative, limbs) => (-1, limbs.as_slice()),
+            Repr::Big(Sign::Positive, limbs) => (1, limbs.as_slice()),
         }
     }
 
     /// Converts to `i128` if the value fits.
     pub fn to_i128(&self) -> Option<i128> {
-        if self.limbs.len() > 4 {
-            return None;
-        }
-        let mut mag: u128 = 0;
-        for (i, &l) in self.limbs.iter().enumerate() {
-            mag |= (l as u128) << (32 * i);
-        }
-        match self.sign {
-            Sign::Zero => Some(0),
-            Sign::Positive => {
-                if mag <= i128::MAX as u128 {
-                    Some(mag as i128)
-                } else {
-                    None
+        match &self.0 {
+            Repr::Small(v) => Some(*v as i128),
+            Repr::Big(sign, limbs) => {
+                if limbs.len() > 4 {
+                    return None;
                 }
-            }
-            Sign::Negative => {
-                if mag <= i128::MAX as u128 + 1 {
-                    Some((mag as i128).wrapping_neg())
-                } else {
-                    None
+                let mut mag: u128 = 0;
+                for (i, &l) in limbs.iter().enumerate() {
+                    mag |= (l as u128) << (32 * i);
+                }
+                match sign {
+                    Sign::Positive => {
+                        if mag <= i128::MAX as u128 {
+                            Some(mag as i128)
+                        } else {
+                            None
+                        }
+                    }
+                    Sign::Negative => {
+                        if mag <= i128::MAX as u128 + 1 {
+                            Some((mag as i128).wrapping_neg())
+                        } else {
+                            None
+                        }
+                    }
                 }
             }
         }
@@ -131,14 +253,19 @@ impl BigInt {
 
     /// Converts to `f64` (approximately, for reporting only).
     pub fn to_f64(&self) -> f64 {
-        let mut v = 0.0f64;
-        for &l in self.limbs.iter().rev() {
-            v = v * 4294967296.0 + l as f64;
-        }
-        if self.sign == Sign::Negative {
-            -v
-        } else {
-            v
+        match &self.0 {
+            Repr::Small(v) => *v as f64,
+            Repr::Big(sign, limbs) => {
+                let mut v = 0.0f64;
+                for &l in limbs.iter().rev() {
+                    v = v * 4294967296.0 + l as f64;
+                }
+                if *sign == Sign::Negative {
+                    -v
+                } else {
+                    v
+                }
+            }
         }
     }
 
@@ -274,41 +401,62 @@ impl BigInt {
         (q, rem)
     }
 
+    /// Signed addition over magnitude views (both operands non-zero).
+    fn add_signed(s1: i8, m1: &[u32], s2: i8, m2: &[u32]) -> BigInt {
+        debug_assert!(s1 != 0 && s2 != 0);
+        if s1 == s2 {
+            BigInt::from_sign_limbs(s1, Self::add_mag(m1, m2))
+        } else {
+            match Self::cmp_mag(m1, m2) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::from_sign_limbs(s1, Self::sub_mag(m1, m2)),
+                Ordering::Less => BigInt::from_sign_limbs(s2, Self::sub_mag(m2, m1)),
+            }
+        }
+    }
+
     /// Euclidean division returning `(quotient, remainder)` with the
     /// remainder carrying the sign of `self` (truncated division, matching
     /// Rust's `/` and `%` on primitives).
     pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
         assert!(!other.is_zero(), "division by zero");
-        let (qm, rm) = Self::divmod_mag(&self.limbs, &other.limbs);
-        let qsign = if qm.is_empty() {
-            Sign::Zero
-        } else if self.sign == other.sign {
-            Sign::Positive
-        } else {
-            Sign::Negative
-        };
-        let rsign = if rm.is_empty() { Sign::Zero } else { self.sign };
-        (
-            BigInt::from_limbs2(qsign, qm),
-            BigInt::from_limbs2(rsign, rm),
-        )
-    }
-
-    fn from_limbs2(sign: Sign, limbs: Vec<u32>) -> Self {
-        if limbs.is_empty() {
-            BigInt::zero()
-        } else {
-            BigInt { sign, limbs }
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            // i128 sidesteps the lone overflow case, i64::MIN / -1 = 2^63.
+            let (a, b) = (*a as i128, *b as i128);
+            return (
+                BigInt::promoted_i128(a / b),
+                BigInt(Repr::Small((a % b) as i64)),
+            );
         }
+        let (mut b1, mut b2) = ([0u32; 2], [0u32; 2]);
+        let (s1, m1) = self.mag_view(&mut b1);
+        let (s2, m2) = other.mag_view(&mut b2);
+        let (qm, rm) = Self::divmod_mag(m1, m2);
+        (
+            BigInt::from_sign_limbs(s1 * s2, qm),
+            BigInt::from_sign_limbs(s1, rm),
+        )
     }
 
     /// Greatest common divisor (always non-negative).
     ///
     /// `gcd(0, 0)` is defined as `0`.
     pub fn gcd(&self, other: &BigInt) -> BigInt {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            let g = gcd_u64(a.unsigned_abs(), b.unsigned_abs());
+            // gcd of two i64 magnitudes can be 2^63 (e.g. both i64::MIN):
+            // promoted_i128 handles the spill.
+            return BigInt::promoted_i128(g as i128);
+        }
+        // Mixed or big operands: Euclid over magnitudes drops into the
+        // all-small path after at most a couple of big divisions.
         let mut a = self.abs();
         let mut b = other.abs();
         while !b.is_zero() {
+            if let (Repr::Small(x), Repr::Small(y)) = (&a.0, &b.0) {
+                let g = gcd_u64(x.unsigned_abs(), y.unsigned_abs());
+                return BigInt::promoted_i128(g as i128);
+            }
             let r = a.div_rem(&b).1;
             a = b;
             b = r.abs();
@@ -333,30 +481,22 @@ impl Default for BigInt {
     }
 }
 
-impl PartialEq for BigInt {
-    fn eq(&self, other: &Self) -> bool {
-        self.sign == other.sign && self.limbs == other.limbs
-    }
-}
-impl Eq for BigInt {}
-
-impl Hash for BigInt {
-    fn hash<H: Hasher>(&self, state: &mut H) {
-        self.signum().hash(state);
-        self.limbs.hash(state);
-    }
-}
-
 impl Ord for BigInt {
     fn cmp(&self, other: &Self) -> Ordering {
-        match (self.sign, other.sign) {
-            (Sign::Negative, Sign::Negative) => Self::cmp_mag(&other.limbs, &self.limbs),
-            (Sign::Negative, _) => Ordering::Less,
-            (Sign::Zero, Sign::Negative) => Ordering::Greater,
-            (Sign::Zero, Sign::Zero) => Ordering::Equal,
-            (Sign::Zero, Sign::Positive) => Ordering::Less,
-            (Sign::Positive, Sign::Positive) => Self::cmp_mag(&self.limbs, &other.limbs),
-            (Sign::Positive, _) => Ordering::Greater,
+        match (&self.0, &other.0) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            // The heap arm is canonical: it is always outside i64 range,
+            // so its sign alone decides against any inline value.
+            (Repr::Small(_), Repr::Big(Sign::Positive, _)) => Ordering::Less,
+            (Repr::Small(_), Repr::Big(Sign::Negative, _)) => Ordering::Greater,
+            (Repr::Big(Sign::Positive, _), Repr::Small(_)) => Ordering::Greater,
+            (Repr::Big(Sign::Negative, _), Repr::Small(_)) => Ordering::Less,
+            (Repr::Big(s1, l1), Repr::Big(s2, l2)) => match (s1, s2) {
+                (Sign::Negative, Sign::Negative) => Self::cmp_mag(l2, l1),
+                (Sign::Negative, Sign::Positive) => Ordering::Less,
+                (Sign::Positive, Sign::Negative) => Ordering::Greater,
+                (Sign::Positive, Sign::Positive) => Self::cmp_mag(l1, l2),
+            },
         }
     }
 }
@@ -367,114 +507,150 @@ impl PartialOrd for BigInt {
     }
 }
 
-macro_rules! impl_from_signed {
+macro_rules! impl_from_small_signed {
     ($($t:ty),*) => {$(
         impl From<$t> for BigInt {
+            #[inline]
             fn from(v: $t) -> Self {
-                let sign = match v {
-                    0 => return BigInt::zero(),
-                    x if x > 0 => Sign::Positive,
-                    _ => Sign::Negative,
-                };
-                let mut mag = (v as i128).unsigned_abs();
-                let mut limbs = Vec::new();
-                while mag != 0 {
-                    limbs.push(mag as u32);
-                    mag >>= 32;
-                }
-                BigInt { sign, limbs }
+                BigInt(Repr::Small(v as i64))
             }
         }
     )*};
 }
-impl_from_signed!(i8, i16, i32, i64, i128, isize);
+impl_from_small_signed!(i8, i16, i32, i64, isize);
 
-macro_rules! impl_from_unsigned {
+impl From<i128> for BigInt {
+    fn from(v: i128) -> Self {
+        BigInt::from_i128_quiet(v)
+    }
+}
+
+macro_rules! impl_from_small_unsigned {
     ($($t:ty),*) => {$(
         impl From<$t> for BigInt {
+            #[inline]
             fn from(v: $t) -> Self {
-                if v == 0 {
-                    return BigInt::zero();
-                }
-                let mut mag = v as u128;
-                let mut limbs = Vec::new();
-                while mag != 0 {
-                    limbs.push(mag as u32);
-                    mag >>= 32;
-                }
-                BigInt { sign: Sign::Positive, limbs }
+                BigInt(Repr::Small(v as i64))
             }
         }
     )*};
 }
-impl_from_unsigned!(u8, u16, u32, u64, u128, usize);
+impl_from_small_unsigned!(u8, u16, u32);
+
+macro_rules! impl_from_wide_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigInt {
+            #[inline]
+            fn from(v: $t) -> Self {
+                BigInt::from_i128_quiet(v as i128)
+            }
+        }
+    )*};
+}
+impl_from_wide_unsigned!(u64, usize);
+
+impl From<u128> for BigInt {
+    fn from(v: u128) -> Self {
+        if let Ok(s) = i64::try_from(v) {
+            return BigInt(Repr::Small(s));
+        }
+        BigInt::big_from_u128(false, v)
+    }
+}
 
 impl Neg for &BigInt {
     type Output = BigInt;
     fn neg(self) -> BigInt {
-        let sign = match self.sign {
-            Sign::Negative => Sign::Positive,
-            Sign::Zero => Sign::Zero,
-            Sign::Positive => Sign::Negative,
-        };
-        BigInt {
-            sign,
-            limbs: self.limbs.clone(),
+        match &self.0 {
+            Repr::Small(v) => match v.checked_neg() {
+                Some(n) => BigInt(Repr::Small(n)),
+                // -i64::MIN = 2^63 does not fit i64.
+                None => BigInt::promoted_i128(-(i64::MIN as i128)),
+            },
+            Repr::Big(Sign::Negative, limbs) => BigInt(Repr::Big(Sign::Positive, limbs.clone())),
+            Repr::Big(Sign::Positive, limbs) => {
+                // Magnitude exactly 2^63 demotes to Small(i64::MIN).
+                BigInt::from_sign_limbs(-1, limbs.clone())
+            }
         }
     }
 }
 
 impl Neg for BigInt {
     type Output = BigInt;
-    fn neg(mut self) -> BigInt {
-        self.sign = match self.sign {
-            Sign::Negative => Sign::Positive,
-            Sign::Zero => Sign::Zero,
-            Sign::Positive => Sign::Negative,
-        };
-        self
+    fn neg(self) -> BigInt {
+        match self.0 {
+            Repr::Small(v) => match v.checked_neg() {
+                Some(n) => BigInt(Repr::Small(n)),
+                None => BigInt::promoted_i128(-(i64::MIN as i128)),
+            },
+            Repr::Big(Sign::Negative, limbs) => BigInt(Repr::Big(Sign::Positive, limbs)),
+            Repr::Big(Sign::Positive, limbs) => BigInt::from_sign_limbs(-1, limbs),
+        }
     }
 }
 
 impl Add for &BigInt {
     type Output = BigInt;
     fn add(self, other: &BigInt) -> BigInt {
-        match (self.sign, other.sign) {
-            (Sign::Zero, _) => other.clone(),
-            (_, Sign::Zero) => self.clone(),
-            (a, b) if a == b => BigInt::from_limbs(a, BigInt::add_mag(&self.limbs, &other.limbs)),
-            _ => match BigInt::cmp_mag(&self.limbs, &other.limbs) {
-                Ordering::Equal => BigInt::zero(),
-                Ordering::Greater => {
-                    BigInt::from_limbs(self.sign, BigInt::sub_mag(&self.limbs, &other.limbs))
-                }
-                Ordering::Less => {
-                    BigInt::from_limbs(other.sign, BigInt::sub_mag(&other.limbs, &self.limbs))
-                }
-            },
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            return match a.checked_add(*b) {
+                Some(s) => BigInt(Repr::Small(s)),
+                None => BigInt::promoted_i128(*a as i128 + *b as i128),
+            };
         }
+        let (mut b1, mut b2) = ([0u32; 2], [0u32; 2]);
+        let (s1, m1) = self.mag_view(&mut b1);
+        let (s2, m2) = other.mag_view(&mut b2);
+        if s1 == 0 {
+            return other.clone();
+        }
+        if s2 == 0 {
+            return self.clone();
+        }
+        BigInt::add_signed(s1, m1, s2, m2)
     }
 }
 
 impl Sub for &BigInt {
     type Output = BigInt;
     fn sub(self, other: &BigInt) -> BigInt {
-        self + &(-other)
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            return match a.checked_sub(*b) {
+                Some(s) => BigInt(Repr::Small(s)),
+                None => BigInt::promoted_i128(*a as i128 - *b as i128),
+            };
+        }
+        let (mut b1, mut b2) = ([0u32; 2], [0u32; 2]);
+        let (s1, m1) = self.mag_view(&mut b1);
+        let (s2, m2) = other.mag_view(&mut b2);
+        if s2 == 0 {
+            return self.clone();
+        }
+        if s1 == 0 {
+            return BigInt::from_sign_limbs(-s2, m2.to_vec());
+        }
+        BigInt::add_signed(s1, m1, -s2, m2)
     }
 }
 
 impl Mul for &BigInt {
     type Output = BigInt;
     fn mul(self, other: &BigInt) -> BigInt {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            return match a.checked_mul(*b) {
+                Some(p) => BigInt(Repr::Small(p)),
+                // i64 × i64 always fits i128.
+                None => BigInt::promoted_i128(*a as i128 * *b as i128),
+            };
+        }
         if self.is_zero() || other.is_zero() {
             return BigInt::zero();
         }
-        let sign = if self.sign == other.sign {
-            Sign::Positive
-        } else {
-            Sign::Negative
-        };
-        BigInt::from_limbs(sign, BigInt::mul_mag(&self.limbs, &other.limbs))
+        let (mut b1, mut b2) = ([0u32; 2], [0u32; 2]);
+        let (s1, m1) = self.mag_view(&mut b1);
+        let (s2, m2) = other.mag_view(&mut b2);
+        BigInt::from_sign_limbs(s1 * s2, BigInt::mul_mag(m1, m2))
     }
 }
 
@@ -518,42 +694,61 @@ forward_binop_owned!(Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem);
 
 impl AddAssign<&BigInt> for BigInt {
     fn add_assign(&mut self, other: &BigInt) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            if let Some(s) = a.checked_add(*b) {
+                self.0 = Repr::Small(s);
+                return;
+            }
+        }
         *self = &*self + other;
     }
 }
 impl SubAssign<&BigInt> for BigInt {
     fn sub_assign(&mut self, other: &BigInt) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            if let Some(s) = a.checked_sub(*b) {
+                self.0 = Repr::Small(s);
+                return;
+            }
+        }
         *self = &*self - other;
     }
 }
 impl MulAssign<&BigInt> for BigInt {
     fn mul_assign(&mut self, other: &BigInt) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.0, &other.0) {
+            if let Some(p) = a.checked_mul(*b) {
+                self.0 = Repr::Small(p);
+                return;
+            }
+        }
         *self = &*self * other;
     }
 }
 
 impl fmt::Display for BigInt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_zero() {
-            return write!(f, "0");
+        match &self.0 {
+            Repr::Small(v) => write!(f, "{v}"),
+            Repr::Big(sign, limbs) => {
+                // Repeated division by 10^9.
+                let mut digits: Vec<u32> = Vec::new();
+                let mut cur = limbs.clone();
+                while !cur.is_empty() {
+                    let (q, r) = Self::divmod_mag(&cur, &[1_000_000_000]);
+                    digits.push(r.first().copied().unwrap_or(0));
+                    cur = q;
+                }
+                if *sign == Sign::Negative {
+                    write!(f, "-")?;
+                }
+                write!(f, "{}", digits.last().expect("non-zero big"))?;
+                for d in digits.iter().rev().skip(1) {
+                    write!(f, "{d:09}")?;
+                }
+                Ok(())
+            }
         }
-        // Repeated division by 10^9.
-        let chunk = BigInt::from(1_000_000_000u32);
-        let mut digits: Vec<u32> = Vec::new();
-        let mut cur = self.abs();
-        while !cur.is_zero() {
-            let (q, r) = cur.div_rem(&chunk);
-            digits.push(r.limbs.first().copied().unwrap_or(0));
-            cur = q;
-        }
-        if self.sign == Sign::Negative {
-            write!(f, "-")?;
-        }
-        write!(f, "{}", digits.last().unwrap())?;
-        for d in digits.iter().rev().skip(1) {
-            write!(f, "{d:09}")?;
-        }
-        Ok(())
     }
 }
 
@@ -578,15 +773,38 @@ impl FromStr for BigInt {
         if body.is_empty() || !body.bytes().all(|b| b.is_ascii_digit()) {
             return Err(ParseBigIntError);
         }
-        let ten = BigInt::from(10u32);
-        let mut acc = BigInt::zero();
-        for b in body.bytes() {
-            acc = &(&acc * &ten) + &BigInt::from((b - b'0') as u32);
+        if body.len() <= 18 {
+            // ≤ 18 decimal digits always fits i64 either sign.
+            let mag: i64 = body.parse().map_err(|_| ParseBigIntError)?;
+            return Ok(BigInt(Repr::Small(if neg { -mag } else { mag })));
         }
-        if neg {
-            acc = -acc;
+        // Accumulate in 9-digit chunks: limbs = limbs * 10^k + chunk.
+        let mut limbs: Vec<u32> = Vec::new();
+        let bytes = body.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let take = (bytes.len() - i).min(9);
+            let mut chunk: u32 = 0;
+            let mut pow: u32 = 1;
+            for &b in &bytes[i..i + take] {
+                chunk = chunk * 10 + (b - b'0') as u32;
+            }
+            for _ in 0..take {
+                pow *= 10;
+            }
+            let mut carry = chunk as u64;
+            for l in limbs.iter_mut() {
+                let t = *l as u64 * pow as u64 + carry;
+                *l = t as u32;
+                carry = t >> 32;
+            }
+            while carry != 0 {
+                limbs.push(carry as u32);
+                carry >>= 32;
+            }
+            i += take;
         }
-        Ok(acc)
+        Ok(BigInt::from_sign_limbs(if neg { -1 } else { 1 }, limbs))
     }
 }
 
@@ -712,5 +930,72 @@ mod tests {
         assert_eq!(too_big.to_i128(), None);
         let min_minus = &BigInt::from(i128::MIN) - &BigInt::one();
         assert_eq!(min_minus.to_i128(), None);
+    }
+
+    // --- small/big boundary behavior ---
+
+    /// `true` iff the value is stored inline (test-only introspection).
+    fn is_inline(v: &BigInt) -> bool {
+        matches!(v.0, Repr::Small(_))
+    }
+
+    #[test]
+    fn representation_is_canonical_at_the_boundary() {
+        assert!(is_inline(&BigInt::from(i64::MAX)));
+        assert!(is_inline(&BigInt::from(i64::MIN)));
+        assert!(!is_inline(&(&BigInt::from(i64::MAX) + &BigInt::one())));
+        assert!(!is_inline(&(&BigInt::from(i64::MIN) - &BigInt::one())));
+        // Arithmetic that comes back into range demotes to inline.
+        let over = &BigInt::from(i64::MAX) + &BigInt::one();
+        assert!(is_inline(&(&over - &BigInt::one())));
+        let under = &BigInt::from(i64::MIN) - &BigInt::one();
+        assert!(is_inline(&(&under + &BigInt::one())));
+    }
+
+    #[test]
+    fn min_negation_promotes_and_roundtrips() {
+        let min = BigInt::from(i64::MIN);
+        let neg = -&min;
+        assert!(!is_inline(&neg));
+        assert_eq!(neg.to_i128(), Some(-(i64::MIN as i128)));
+        assert_eq!(-&neg, min);
+        assert!(is_inline(&(-&neg)));
+        assert_eq!(min.abs(), neg);
+    }
+
+    #[test]
+    fn min_divided_by_minus_one() {
+        let (q, r) = BigInt::from(i64::MIN).div_rem(&BigInt::from(-1i64));
+        assert_eq!(q.to_i128(), Some(-(i64::MIN as i128)));
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn gcd_at_the_boundary() {
+        let min = BigInt::from(i64::MIN);
+        let g = min.gcd(&BigInt::zero());
+        assert_eq!(g.to_i128(), Some(-(i64::MIN as i128)));
+        assert_eq!(min.gcd(&min), g);
+        // Mixed small/big operands.
+        let big = &BigInt::from(i64::MAX) + &BigInt::one(); // 2^63
+        assert_eq!(BigInt::from(6i64).gcd(&big), BigInt::from(2i64));
+        assert_eq!(big.gcd(&BigInt::from(6i64)), BigInt::from(2i64));
+    }
+
+    #[test]
+    fn promotions_are_counted() {
+        let before = crate::PolyStats::snapshot().small_int_promotions;
+        let _ = &BigInt::from(i64::MAX) * &BigInt::from(2i64);
+        let after = crate::PolyStats::snapshot().small_int_promotions;
+        assert!(after > before);
+    }
+
+    #[test]
+    fn cross_representation_ordering() {
+        let big_pos = &BigInt::from(i64::MAX) + &BigInt::one();
+        let big_neg = &BigInt::from(i64::MIN) - &BigInt::one();
+        assert!(big_pos > BigInt::from(i64::MAX));
+        assert!(big_neg < BigInt::from(i64::MIN));
+        assert!(big_pos > big_neg);
     }
 }

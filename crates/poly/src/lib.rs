@@ -53,7 +53,10 @@ mod region;
 pub use bigint::{BigInt, ParseBigIntError};
 pub use counters::PolyStats;
 pub use linear::{Cmp, Constraint, LinExpr};
-pub use lp::{closure_feasible, maximize as lp_maximize, minimize as lp_minimize, LpResult};
+pub use lp::{
+    cache_clear as lp_cache_clear, closure_feasible, maximize as lp_maximize,
+    minimize as lp_minimize, LpResult,
+};
 pub use polyhedron::Polyhedron;
 pub use rational::{ParseRationalError, Rational};
 pub use region::Region;

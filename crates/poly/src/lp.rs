@@ -6,10 +6,35 @@
 //! implies it. Strict inequalities are relaxed to their closures, which
 //! can only make the check more conservative (we keep a constraint we
 //! might have dropped — never the reverse).
+//!
+//! # Performance
+//!
+//! The solver works on a single flat row-major tableau held in
+//! thread-local scratch (mirroring the `DinicSolver` re-solve pattern in
+//! the flow crate), so repeated solves reuse one allocation. Reduced costs
+//! are maintained incrementally across pivots instead of being recomputed
+//! from the basis each iteration — in exact arithmetic the maintained row
+//! equals the recomputed one, so Bland's rule picks the identical pivot
+//! sequence and results are bit-for-bit unchanged. Pivots touch only the
+//! nonzero columns of the pivot row.
+//!
+//! On top of the scratch solver sits a thread-local *exact* result cache:
+//! the region-subtraction and redundancy-reduction loops in `polyhedron.rs`
+//! re-issue many identical `(objective, constraints)` systems, which are
+//! answered from the cache without re-solving. Keys are compared by full
+//! structural equality (never by hash alone), so a cache hit returns
+//! exactly what a fresh solve would. To keep the work counters
+//! scheduling-independent, a hit still counts as an `lp_solve` and adds
+//! the original solve's pivot count to `lp_pivots`; the hit itself is
+//! reported separately as `lp_cache_hits`.
 
-use crate::bigint::BigInt;
 use crate::linear::{Constraint, LinExpr};
 use crate::rational::Rational;
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::Ordering::Relaxed;
 
 /// Outcome of an LP solve.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,231 +47,370 @@ pub enum LpResult {
     Optimal(Rational),
 }
 
+/// Upper bound on cached constraint cells (`(nvars + 1) × (rows + 1)`
+/// summed over entries) per thread. When an insert would exceed it the
+/// whole cache is dropped and rebuilt — an epoch scheme that bounds memory
+/// without per-entry bookkeeping.
+const CACHE_CELL_CAP: usize = 1_000_000;
+
+struct CacheEntry {
+    objective: LinExpr,
+    constraints: Vec<Constraint>,
+    result: LpResult,
+    pivots: u64,
+}
+
+#[derive(Default)]
+struct LpTls {
+    scratch: Scratch,
+    cache: HashMap<u64, Vec<CacheEntry>>,
+    cache_cells: usize,
+}
+
+thread_local! {
+    static LP_TLS: RefCell<LpTls> = RefCell::new(LpTls::default());
+}
+
+/// Drops this thread's LP result cache (scratch buffers are kept).
+///
+/// The parametric engine calls this at the start of every solve so runs
+/// are reproducible: cached results never change *what* is computed (keys
+/// are compared exactly), but clearing makes the per-run `lp_cache_hits`
+/// counter and timing independent of whatever ran earlier on the thread.
+pub fn cache_clear() {
+    LP_TLS.with(|tls| {
+        let tls = &mut *tls.borrow_mut();
+        tls.cache.clear();
+        tls.cache_cells = 0;
+    });
+}
+
+fn key_hash(objective: &LinExpr, constraints: &[Constraint]) -> u64 {
+    let mut h = DefaultHasher::new();
+    objective.hash(&mut h);
+    constraints.hash(&mut h);
+    h.finish()
+}
+
 /// Maximizes `objective` subject to the *closures* of `constraints`
 /// (each `expr >= 0` / `expr > 0` is treated as `expr >= 0`).
 ///
 /// Variables are free (unbounded in both directions); internally each is
 /// split into a difference of two non-negatives.
 pub fn maximize(objective: &LinExpr, constraints: &[Constraint]) -> LpResult {
-    crate::counters::LP_SOLVES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    crate::counters::LP_SOLVES.fetch_add(1, Relaxed);
     let _span = offload_obs::span!(
         "poly",
         "lp_maximize",
         vars = objective.nvars(),
         constraints = constraints.len(),
     );
+    debug_assert!(constraints
+        .iter()
+        .all(|c| c.expr.nvars() == objective.nvars()));
+
+    LP_TLS.with(|tls| {
+        let tls = &mut *tls.borrow_mut();
+        let h = key_hash(objective, constraints);
+        if let Some(bucket) = tls.cache.get(&h) {
+            for e in bucket {
+                if e.objective == *objective && e.constraints == constraints {
+                    // A fresh solve of the same system would perform the
+                    // same pivots, so account for them: lp_solves/lp_pivots
+                    // stay independent of cache (and thread) scheduling.
+                    crate::counters::LP_PIVOTS.fetch_add(e.pivots, Relaxed);
+                    crate::counters::LP_CACHE_HITS.fetch_add(1, Relaxed);
+                    return e.result.clone();
+                }
+            }
+        }
+        let mut pivots = 0u64;
+        let result = solve(&mut tls.scratch, objective, constraints, &mut pivots);
+        crate::counters::LP_PIVOTS.fetch_add(pivots, Relaxed);
+
+        let cells = (objective.nvars() + 1) * (constraints.len() + 1);
+        if tls.cache_cells + cells > CACHE_CELL_CAP {
+            tls.cache.clear();
+            tls.cache_cells = 0;
+        }
+        tls.cache_cells += cells;
+        tls.cache.entry(h).or_default().push(CacheEntry {
+            objective: objective.clone(),
+            constraints: constraints.to_vec(),
+            result: result.clone(),
+            pivots,
+        });
+        result
+    })
+}
+
+/// Reusable solver state: one flat row-major tableau plus the vectors the
+/// simplex needs, all retained across solves so steady-state solving does
+/// not allocate tableau storage.
+#[derive(Default)]
+struct Scratch {
+    /// `rows × stride` tableau, row-major.
+    tab: Vec<Rational>,
+    /// Right-hand sides, one per row.
+    b: Vec<Rational>,
+    /// Maintained reduced-cost row (length = active column count).
+    red: Vec<Rational>,
+    /// Basic column per row.
+    basis: Vec<usize>,
+    /// Nonzero column indices of the normalized pivot row.
+    nz: Vec<usize>,
+    /// Cloned values of the normalized pivot row at `nz` positions.
+    prow: Vec<Rational>,
+    /// Rows whose initial basic variable is artificial.
+    art_rows: Vec<usize>,
+}
+
+enum Phase {
+    Optimal(Rational),
+    Unbounded,
+}
+
+fn solve(
+    scr: &mut Scratch,
+    objective: &LinExpr,
+    constraints: &[Constraint],
+    pivots: &mut u64,
+) -> LpResult {
     let n = objective.nvars();
-    debug_assert!(constraints.iter().all(|c| c.expr.nvars() == n));
     let m = constraints.len();
 
-    // Columns: x+ (n), x- (n), slacks (m). Rows: one per constraint, in
-    // the form  sum(-a_ij)(x+_j - x-_j) + s_i = c_i.
+    // Columns: x+ (n), x- (n), slacks (m), then one artificial per row
+    // whose right-hand side had to be negated for phase 1. Rows are
+    //   sum(-a_ij)(x+_j - x-_j) + s_i = c_i.
     let cols = 2 * n + m;
-    let mut a: Vec<Vec<Rational>> = Vec::with_capacity(m);
-    let mut b: Vec<Rational> = Vec::with_capacity(m);
+    scr.art_rows.clear();
     for (i, c) in constraints.iter().enumerate() {
-        let mut row = vec![Rational::zero(); cols];
-        for j in 0..n {
-            let aij = c.expr.coeff(j);
-            if !aij.is_zero() {
-                row[j] = -aij;
-                row[n + j] = aij.clone();
-            }
+        if c.expr.constant_term().is_negative() {
+            scr.art_rows.push(i);
         }
-        row[2 * n + i] = Rational::one();
-        a.push(row);
-        b.push(c.expr.constant_term().clone());
     }
+    let na = scr.art_rows.len();
+    let stride = cols + na;
 
-    // Normalize negative right-hand sides for phase 1.
-    let mut artificials: Vec<usize> = Vec::new();
-    for i in 0..m {
-        if b[i].is_negative() {
-            for v in a[i].iter_mut() {
-                *v = -&*v;
-            }
-            b[i] = -b[i].clone();
-            artificials.push(i);
-        }
-    }
-    let total_cols = cols + artificials.len();
-    for (k, &i) in artificials.iter().enumerate() {
-        for (r, row) in a.iter_mut().enumerate() {
-            row.push(if r == i {
-                Rational::one()
-            } else {
-                Rational::zero()
-            });
-        }
-        let _ = k;
-    }
-
-    // Initial basis: slack for rows with original sign, artificial
-    // otherwise.
-    let mut basis: Vec<usize> = Vec::with_capacity(m);
+    scr.tab.clear();
+    scr.tab.resize(m * stride, Rational::zero());
+    scr.b.clear();
+    scr.basis.clear();
     {
-        let mut art_iter = 0usize;
-        for i in 0..m {
-            if artificials.contains(&i) {
-                basis.push(cols + art_iter);
-                art_iter += 1;
+        let mut art = 0usize;
+        for (i, c) in constraints.iter().enumerate() {
+            let negate = c.expr.constant_term().is_negative();
+            let row = &mut scr.tab[i * stride..(i + 1) * stride];
+            for j in 0..n {
+                let aij = c.expr.coeff(j);
+                if !aij.is_zero() {
+                    if negate {
+                        row[j] = aij.clone();
+                        row[n + j] = -aij;
+                    } else {
+                        row[j] = -aij;
+                        row[n + j] = aij.clone();
+                    }
+                }
+            }
+            row[2 * n + i] = if negate {
+                -Rational::one()
             } else {
-                basis.push(2 * n + i);
+                Rational::one()
+            };
+            if negate {
+                row[cols + art] = Rational::one();
+                scr.basis.push(cols + art);
+                scr.b.push(-c.expr.constant_term());
+                art += 1;
+            } else {
+                scr.basis.push(2 * n + i);
+                scr.b.push(c.expr.constant_term().clone());
             }
         }
     }
 
     // Phase 1: minimize the sum of artificials (maximize its negation).
-    if !artificials.is_empty() {
-        let mut phase1 = vec![Rational::zero(); total_cols];
-        for k in 0..artificials.len() {
-            phase1[cols + k] = Rational::from(-1);
+    if na > 0 {
+        // Initial reduced costs for c = -1 on artificial columns with the
+        // artificials basic: red_j = c_j + Σ_{artificial rows} a_ij, and
+        // the objective value starts at -Σ b_i over those rows.
+        scr.red.clear();
+        scr.red.resize(stride, Rational::zero());
+        let mut z = Rational::zero();
+        for k in 0..na {
+            scr.red[cols + k] = Rational::from(-1);
         }
-        match simplex(&mut a, &mut b, &mut basis, &phase1, total_cols) {
+        for &i in &scr.art_rows {
+            for j in 0..stride {
+                let a = &scr.tab[i * stride + j];
+                if !a.is_zero() {
+                    scr.red[j] += a;
+                }
+            }
+            z -= &scr.b[i];
+        }
+        match run_simplex(scr, m, stride, stride, z, pivots) {
             // The phase-1 objective (-Σ artificials) is bounded above by
             // zero, so this arm is unreachable in a correct tableau; if it
             // ever fires, `Unbounded` is the sound conservative answer for
             // every caller (redundancy checks keep their constraint, merge
             // checks skip their optional merge) — prefer that to a panic.
-            SimplexOutcome::Unbounded => return LpResult::Unbounded,
-            SimplexOutcome::Optimal(v) => {
+            Phase::Unbounded => return LpResult::Unbounded,
+            Phase::Optimal(v) => {
                 if v.is_negative() {
                     return LpResult::Infeasible;
                 }
             }
         }
         // Pivot any remaining artificial variables out of the basis (or
-        // their rows are redundant); then forbid them by zero columns.
+        // their rows are redundant); artificial columns are simply never
+        // scanned again afterwards.
         for i in 0..m {
-            if basis[i] >= cols {
-                // Find a non-artificial column with nonzero entry.
-                if let Some(j) = (0..cols).find(|&j| !a[i][j].is_zero()) {
-                    pivot(&mut a, &mut b, &mut basis, i, j);
+            if scr.basis[i] >= cols {
+                if let Some(j) = (0..cols).find(|&j| !scr.tab[i * stride + j].is_zero()) {
+                    pivot(scr, m, stride, cols, i, j, pivots);
                 }
             }
         }
-        // Drop artificial columns.
-        for row in a.iter_mut() {
-            row.truncate(cols);
-        }
     }
 
-    // Phase 2 objective: maximize objective(x+ - x-).
-    let mut obj = vec![Rational::zero(); cols];
-    for j in 0..n {
-        let cj = objective.coeff(j);
-        if !cj.is_zero() {
-            obj[j] = cj.clone();
-            obj[n + j] = -cj;
+    // Phase 2 objective: maximize objective(x+ - x-). Columns >= cols
+    // (artificials) have objective coefficient zero, including any
+    // leftover artificial basis rows (redundant zero rows).
+    let obj_of = |col: usize| -> Rational {
+        if col < n {
+            objective.coeff(col).clone()
+        } else if col < 2 * n {
+            -objective.coeff(col - n)
+        } else {
+            Rational::zero()
         }
+    };
+    scr.red.clear();
+    scr.red.resize(cols, Rational::zero());
+    for (j, r) in scr.red.iter_mut().enumerate() {
+        *r = obj_of(j);
     }
-    // Any leftover artificial basis rows became redundant zero rows.
-    match simplex(&mut a, &mut b, &mut basis, &obj, cols) {
-        SimplexOutcome::Unbounded => LpResult::Unbounded,
-        SimplexOutcome::Optimal(v) => LpResult::Optimal(&v + objective.constant_term()),
+    let mut z = Rational::zero();
+    for i in 0..m {
+        let cb = obj_of(scr.basis[i]);
+        if cb.is_zero() {
+            continue;
+        }
+        for j in 0..cols {
+            let a = &scr.tab[i * stride + j];
+            if !a.is_zero() {
+                scr.red[j] -= &(&cb * a);
+            }
+        }
+        z += &(&cb * &scr.b[i]);
+    }
+    match run_simplex(scr, m, stride, cols, z, pivots) {
+        Phase::Unbounded => LpResult::Unbounded,
+        Phase::Optimal(v) => LpResult::Optimal(&v + objective.constant_term()),
     }
 }
 
-enum SimplexOutcome {
-    Optimal(Rational),
-    Unbounded,
-}
-
-/// Primal simplex on `max obj·x  s.t.  A x = b, x ≥ 0` with the given
-/// starting basis; Bland's rule guarantees termination.
-fn simplex(
-    a: &mut [Vec<Rational>],
-    b: &mut [Rational],
-    basis: &mut [usize],
-    obj: &[Rational],
-    active_cols: usize,
-) -> SimplexOutcome {
-    let m = a.len();
+/// Primal simplex on the scratch tableau with Bland's rule; `width` is the
+/// number of active (scannable) columns and `z` the current objective
+/// value, both kept in lockstep with the maintained reduced-cost row.
+fn run_simplex(
+    scr: &mut Scratch,
+    m: usize,
+    stride: usize,
+    width: usize,
+    mut z: Rational,
+    pivots: &mut u64,
+) -> Phase {
     loop {
-        // Reduced costs: c_j - c_B · B^-1 A_j; tableau is kept in basis
-        // form, so the basic solution's reduced costs come from direct
-        // computation.
-        // Compute multipliers implicitly: reduced(j) = obj[j] - sum_i
-        // obj[basis[i]] * a[i][j].
-        let reduced = |j: usize, a: &[Vec<Rational>], basis: &[usize]| -> Rational {
-            let mut r = obj[j].clone();
-            for i in 0..m {
-                let cb = &obj[basis[i]];
-                if !cb.is_zero() && !a[i][j].is_zero() {
-                    r -= &(cb * &a[i][j]);
-                }
-            }
-            r
+        // Bland: smallest index with positive reduced cost. Basic columns
+        // have an exactly-zero reduced cost, so they are skipped naturally.
+        let Some(j) = (0..width).find(|&j| scr.red[j].is_positive()) else {
+            return Phase::Optimal(z);
         };
-        // Bland: smallest index with positive reduced cost.
-        let mut entering = None;
-        for j in 0..active_cols {
-            if basis.contains(&j) {
+        // Ratio test (Bland: smallest basis index on ties). Ratios are
+        // compared by cross-multiplication to avoid forming quotients.
+        let mut leave: Option<usize> = None;
+        for i in 0..m {
+            if !scr.tab[i * stride + j].is_positive() {
                 continue;
             }
-            if reduced(j, a, basis).is_positive() {
-                entering = Some(j);
-                break;
-            }
-        }
-        let Some(j) = entering else {
-            // Optimal: value = obj · basic solution.
-            let mut v = Rational::zero();
-            for i in 0..m {
-                let cb = &obj[basis[i]];
-                if !cb.is_zero() {
-                    v += &(cb * &b[i]);
-                }
-            }
-            return SimplexOutcome::Optimal(v);
-        };
-        // Ratio test (Bland: smallest basis index on ties).
-        let mut leave: Option<(usize, Rational)> = None;
-        for i in 0..m {
-            if a[i][j].is_positive() {
-                let ratio = &b[i] / &a[i][j];
-                match &leave {
-                    None => leave = Some((i, ratio)),
-                    Some((li, lr)) => {
-                        if ratio < *lr || (ratio == *lr && basis[i] < basis[*li]) {
-                            leave = Some((i, ratio));
-                        }
+            match leave {
+                None => leave = Some(i),
+                Some(li) => {
+                    // b_i / a_ij ? b_li / a_lij  <=>  b_i·a_lij ? b_li·a_ij
+                    let lhs = &scr.b[i] * &scr.tab[li * stride + j];
+                    let rhs = &scr.b[li] * &scr.tab[i * stride + j];
+                    if lhs < rhs || (lhs == rhs && scr.basis[i] < scr.basis[li]) {
+                        leave = Some(i);
                     }
                 }
             }
         }
-        let Some((i, _)) = leave else {
-            return SimplexOutcome::Unbounded;
+        let Some(i) = leave else {
+            return Phase::Unbounded;
         };
-        pivot(a, b, basis, i, j);
+        let rj = scr.red[j].clone();
+        pivot(scr, m, stride, width, i, j, pivots);
+        // Reduced-cost and objective update: the pivot row (normalized) is
+        // in scr.nz/scr.prow. red -= red_j_old · row_i sets red[j] to an
+        // exact zero; z grows by red_j_old · (new basic value).
+        for (&k, v) in scr.nz.iter().zip(&scr.prow) {
+            if k < width {
+                scr.red[k] -= &(&rj * v);
+            }
+        }
+        z += &(&rj * &scr.b[i]);
     }
 }
 
-fn pivot(a: &mut [Vec<Rational>], b: &mut [Rational], basis: &mut [usize], i: usize, j: usize) {
-    crate::counters::LP_PIVOTS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let m = a.len();
-    let piv = a[i][j].clone();
+/// Pivots on `(i, j)`: normalizes the pivot row, eliminates column `j`
+/// from every other row touching only the pivot row's nonzero columns,
+/// and leaves the normalized pivot row in `scr.nz`/`scr.prow`. Columns at
+/// `width` and beyond are dead (dropped artificials) and skipped.
+fn pivot(
+    scr: &mut Scratch,
+    m: usize,
+    stride: usize,
+    width: usize,
+    i: usize,
+    j: usize,
+    pivots: &mut u64,
+) {
+    *pivots += 1;
+    let piv = scr.tab[i * stride + j].clone();
     debug_assert!(!piv.is_zero());
     let inv = piv.recip();
-    for v in a[i].iter_mut() {
-        *v = &*v * &inv;
+    scr.nz.clear();
+    scr.prow.clear();
+    for k in 0..width {
+        let v = &mut scr.tab[i * stride + k];
+        if !v.is_zero() {
+            *v *= &inv;
+            scr.nz.push(k);
+            scr.prow.push(v.clone());
+        }
     }
-    b[i] = &b[i] * &inv;
+    scr.b[i] *= &inv;
     for r in 0..m {
         if r == i {
             continue;
         }
-        let factor = a[r][j].clone();
+        let factor = scr.tab[r * stride + j].clone();
         if factor.is_zero() {
             continue;
         }
-        let pivot_row = a[i].clone();
-        for (dst, src) in a[r].iter_mut().zip(&pivot_row) {
-            *dst = &*dst - &(&factor * src);
+        for (&k, v) in scr.nz.iter().zip(&scr.prow) {
+            let t = &factor * v;
+            scr.tab[r * stride + k] -= &t;
         }
-        b[r] = &b[r] - &(&factor * &b[i]);
+        if !scr.b[i].is_zero() {
+            let t = &factor * &scr.b[i];
+            scr.b[r] -= &t;
+        }
     }
-    basis[i] = j;
+    scr.basis[i] = j;
 }
 
 /// Minimum of `objective` over the closure of `constraints`.
@@ -265,11 +429,6 @@ pub fn closure_feasible(constraints: &[Constraint]) -> bool {
         LpResult::Infeasible
     )
 }
-
-/// Keeps the digits crate linked (gcd normalization is exercised through
-/// rationals during pivoting).
-#[allow(dead_code)]
-fn _types(_: &BigInt) {}
 
 #[cfg(test)]
 mod tests {
@@ -363,5 +522,54 @@ mod tests {
         ];
         let obj = LinExpr::zero(2).plus_term(0, r(1)).plus_term(1, r(1));
         assert_eq!(maximize(&obj, &cs), LpResult::Optimal(r(0)));
+    }
+
+    #[test]
+    fn cache_hit_returns_identical_result_and_counts() {
+        cache_clear();
+        let cs = vec![
+            ge(2, &[(0, 1)], 0),
+            ge(2, &[(1, 1)], 0),
+            ge(2, &[(0, -2), (1, -3)], 7),
+            ge(2, &[(0, -3), (1, -2)], 7),
+        ];
+        let obj = LinExpr::zero(2).plus_term(0, r(1)).plus_term(1, r(1));
+        let before = crate::PolyStats::snapshot();
+        let first = maximize(&obj, &cs);
+        let mid = crate::PolyStats::snapshot();
+        let second = maximize(&obj, &cs);
+        let after = crate::PolyStats::snapshot();
+        assert_eq!(first, second);
+        let fresh = mid.since(&before);
+        let hit = after.since(&mid);
+        assert_eq!(hit.lp_cache_hits, fresh.lp_cache_hits + 1);
+        // Stored-pivot accounting: a hit reports the same solve/pivot work
+        // as the original solve did.
+        assert_eq!(hit.lp_solves, fresh.lp_solves);
+        assert_eq!(hit.lp_pivots, fresh.lp_pivots);
+    }
+
+    #[test]
+    fn cache_distinguishes_differing_systems() {
+        cache_clear();
+        let cs_a = vec![ge(1, &[(0, 1)], 0), ge(1, &[(0, -1)], 5)];
+        let cs_b = vec![ge(1, &[(0, 1)], 0), ge(1, &[(0, -1)], 6)];
+        let obj = LinExpr::var(1, 0);
+        assert_eq!(maximize(&obj, &cs_a), LpResult::Optimal(r(5)));
+        assert_eq!(maximize(&obj, &cs_b), LpResult::Optimal(r(6)));
+        assert_eq!(maximize(&obj, &cs_a), LpResult::Optimal(r(5)));
+    }
+
+    #[test]
+    fn cache_clear_resets_hits() {
+        cache_clear();
+        let cs = vec![ge(1, &[(0, 1)], 0), ge(1, &[(0, -1)], 5)];
+        let obj = LinExpr::var(1, 0);
+        let _ = maximize(&obj, &cs);
+        cache_clear();
+        let before = crate::PolyStats::snapshot();
+        let _ = maximize(&obj, &cs);
+        let delta = crate::PolyStats::snapshot().since(&before);
+        assert_eq!(delta.lp_cache_hits, 0);
     }
 }

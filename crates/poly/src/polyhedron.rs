@@ -221,22 +221,22 @@ impl Polyhedron {
     /// dominated by equalities (saturated arcs, zero arcs, conservation),
     /// making this the difference between milliseconds and blow-up.
     fn substitute_equality(&mut self, vars: &[usize]) -> Option<usize> {
-        use std::collections::HashMap;
         // Index normalized expressions to find e >= 0 with -e >= 0.
+        // `LinExpr` is its own hash key — no stringification needed.
         let normalized: Vec<Constraint> = self.constraints.iter().map(|c| c.normalize()).collect();
-        let mut seen: HashMap<String, usize> = HashMap::new();
+        let mut seen: HashMap<&LinExpr, usize> = HashMap::new();
         for (i, c) in normalized.iter().enumerate() {
             if c.cmp != Cmp::Ge {
                 continue;
             }
-            seen.insert(format!("{}", c.expr), i);
+            seen.insert(&c.expr, i);
         }
         for c in normalized.iter() {
             if c.cmp != Cmp::Ge {
                 continue;
             }
             let neg = c.expr.scale(&Rational::from(-1));
-            if seen.contains_key(&format!("{neg}")) {
+            if seen.contains_key(&neg) {
                 // c.expr == 0 holds. Pick a variable from `vars` with a
                 // non-zero coefficient and substitute it everywhere.
                 for &v in vars {

@@ -119,12 +119,25 @@ impl Rational {
 
     /// Multiplicative inverse.
     ///
+    /// Since `self` is already in lowest terms, the inverse is a swap plus
+    /// a sign fix — no gcd needed.
+    ///
     /// # Panics
     ///
     /// Panics if the value is zero.
     pub fn recip(&self) -> Self {
         assert!(!self.is_zero(), "reciprocal of zero");
-        Self::from_bigints(self.den.clone(), self.num.clone())
+        if self.num.is_negative() {
+            Rational {
+                num: -(&self.den),
+                den: -(&self.num),
+            }
+        } else {
+            Rational {
+                num: self.den.clone(),
+                den: self.num.clone(),
+            }
+        }
     }
 
     /// Floor, as a big integer.
@@ -195,6 +208,15 @@ impl Hash for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
+        if let (Some(a), Some(b), Some(c), Some(d)) = (
+            self.num.as_small(),
+            self.den.as_small(),
+            other.num.as_small(),
+            other.den.as_small(),
+        ) {
+            // i64 × i64 always fits i128: compare without touching BigInt.
+            return (a as i128 * d as i128).cmp(&(c as i128 * b as i128));
+        }
         (&self.num * &other.den).cmp(&(&other.num * &self.den))
     }
 }
@@ -205,30 +227,94 @@ impl PartialOrd for Rational {
     }
 }
 
+/// Addition/subtraction via Knuth TAOCP 4.5.1: with both operands in
+/// lowest terms and `d1 = gcd(b, d)`, the sum `a/b ± c/d` needs at most
+/// one more gcd — of the combined numerator against `d1` — instead of a
+/// full-size gcd of the cross-multiplied numerator and `b·d`. When
+/// `d1 == 1` (the common case for small coefficients) no reduction is
+/// needed at all: the result is already in lowest terms.
+fn add_sub(lhs: &Rational, rhs: &Rational, negate_rhs: bool) -> Rational {
+    if rhs.is_zero() {
+        return lhs.clone();
+    }
+    if lhs.is_zero() {
+        let num = if negate_rhs {
+            -(&rhs.num)
+        } else {
+            rhs.num.clone()
+        };
+        return Rational {
+            num,
+            den: rhs.den.clone(),
+        };
+    }
+    let (a, b) = (&lhs.num, &lhs.den);
+    let (c, d) = (&rhs.num, &rhs.den);
+    let d1 = b.gcd(d);
+    let (t, den) = if d1 == BigInt::one() {
+        let ad = a * d;
+        let cb = c * b;
+        let t = if negate_rhs { &ad - &cb } else { &ad + &cb };
+        // gcd(b, d) == 1 implies the result is already in lowest terms.
+        if t.is_zero() {
+            return Rational::zero();
+        }
+        return Rational { num: t, den: b * d };
+    } else {
+        let b1 = b / &d1;
+        let d_red = d / &d1;
+        let t = if negate_rhs {
+            &(a * &d_red) - &(c * &b1)
+        } else {
+            &(a * &d_red) + &(c * &b1)
+        };
+        (t, b1)
+    };
+    if t.is_zero() {
+        return Rational::zero();
+    }
+    let d2 = t.gcd(&d1);
+    Rational {
+        num: &t / &d2,
+        den: &den * &(d / &d2),
+    }
+}
+
 impl Add for &Rational {
     type Output = Rational;
     fn add(self, other: &Rational) -> Rational {
-        Rational::from_bigints(
-            &(&self.num * &other.den) + &(&other.num * &self.den),
-            &self.den * &other.den,
-        )
+        add_sub(self, other, false)
     }
 }
 
 impl Sub for &Rational {
     type Output = Rational;
     fn sub(self, other: &Rational) -> Rational {
-        Rational::from_bigints(
-            &(&self.num * &other.den) - &(&other.num * &self.den),
-            &self.den * &other.den,
-        )
+        add_sub(self, other, true)
     }
 }
 
 impl Mul for &Rational {
     type Output = Rational;
     fn mul(self, other: &Rational) -> Rational {
-        Rational::from_bigints(&self.num * &other.num, &self.den * &other.den)
+        // Knuth 4.5.1: cross-reduce before multiplying. With d1 = gcd(a, d)
+        // and d2 = gcd(c, b), (a/d1)·(c/d2) / ((b/d2)·(d/d1)) is in lowest
+        // terms, and the multiplications happen on the reduced values.
+        if self.is_zero() || other.is_zero() {
+            return Rational::zero();
+        }
+        let (a, b) = (&self.num, &self.den);
+        let (c, d) = (&other.num, &other.den);
+        let d1 = a.gcd(d);
+        let d2 = c.gcd(b);
+        let one = BigInt::one();
+        let (num, den) = match (d1 == one, d2 == one) {
+            (true, true) => (a * c, b * d),
+            (true, false) => (a * &(c / &d2), &(b / &d2) * d),
+            (false, true) => (&(a / &d1) * c, b * &(d / &d1)),
+            (false, false) => (&(a / &d1) * &(c / &d2), &(b / &d2) * &(d / &d1)),
+        };
+        Rational { num, den }
     }
 }
 
@@ -236,7 +322,22 @@ impl Div for &Rational {
     type Output = Rational;
     fn div(self, other: &Rational) -> Rational {
         assert!(!other.is_zero(), "rational division by zero");
-        Rational::from_bigints(&self.num * &other.den, &self.den * &other.num)
+        if self.is_zero() {
+            return Rational::zero();
+        }
+        // a/b ÷ c/d = (a·d)/(b·c): cross-reduce a vs c and d vs b, then fix
+        // the sign (c may be negative).
+        let (a, b) = (&self.num, &self.den);
+        let (c, d) = (&other.num, &other.den);
+        let d1 = a.gcd(c);
+        let d2 = d.gcd(b);
+        let mut num = &(a / &d1) * &(d / &d2);
+        let mut den = &(b / &d2) * &(c / &d1);
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        Rational { num, den }
     }
 }
 

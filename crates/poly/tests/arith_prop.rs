@@ -1,0 +1,312 @@
+//! Differential property tests for the fast-path exact arithmetic.
+//!
+//! `BigInt` carries an inline `i64` representation with automatic
+//! promotion to heap limbs, and `Rational` uses the Knuth 4.5.1 cross-GCD
+//! shortcuts instead of fully normalizing every result. Both must be
+//! *observably identical* to the naive definitions. These tests pit them
+//! against reference computations — `i128` arithmetic where results fit,
+//! and the plain cross-multiply-then-normalize formulas for rationals —
+//! over a seeded LCG stream that deliberately oversamples the `i64`
+//! promotion boundary.
+
+use offload_poly::{BigInt, Rational};
+use std::cmp::Ordering;
+
+/// Deterministic 64-bit LCG (Knuth MMIX constants) — no external deps,
+/// same stream on every run.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed)
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 1 ^ self.0
+    }
+    /// Samples an `i64` from magnitude classes that stress the inline
+    /// representation: tiny values (the dominant case in polyhedral
+    /// computations), medium values, full-range values, and values within
+    /// a few ulps of the promotion boundary.
+    fn i64_stratified(&mut self) -> i64 {
+        match self.next_u64() % 8 {
+            0..=2 => (self.next_u64() % 33) as i64 - 16,
+            3..=4 => (self.next_u64() % (1 << 32)) as i64 - (1 << 31),
+            5 => self.next_u64() as i64,
+            6 => i64::MAX - (self.next_u64() % 3) as i64,
+            _ => i64::MIN + (self.next_u64() % 3) as i64,
+        }
+    }
+    /// A value that usually needs the heap representation: a product of
+    /// two stratified `i64`s plus a stratified offset.
+    fn big(&mut self) -> BigInt {
+        let a = BigInt::from(self.i64_stratified());
+        let b = BigInt::from(self.i64_stratified());
+        let c = BigInt::from(self.i64_stratified());
+        &(&a * &b) + &c
+    }
+}
+
+// ---- BigInt vs i128 reference ----
+
+#[test]
+fn bigint_ops_match_i128_reference() {
+    let mut rng = Lcg::new(0x5eed_0001);
+    for _ in 0..4000 {
+        let x = rng.i64_stratified();
+        let y = rng.i64_stratified();
+        let (bx, by) = (BigInt::from(x), BigInt::from(y));
+        let (rx, ry) = (x as i128, y as i128);
+        assert_eq!((&bx + &by).to_i128(), Some(rx + ry), "{x} + {y}");
+        assert_eq!((&bx - &by).to_i128(), Some(rx - ry), "{x} - {y}");
+        assert_eq!((&bx * &by).to_i128(), Some(rx * ry), "{x} * {y}");
+        assert_eq!(bx.cmp(&by), x.cmp(&y), "cmp {x} vs {y}");
+        assert_eq!((-&bx).to_i128(), Some(-rx), "-{x}");
+        assert_eq!(bx.abs().to_i128(), Some(rx.abs()), "|{x}|");
+        if y != 0 {
+            let (q, r) = bx.div_rem(&by);
+            assert_eq!(q.to_i128(), Some(rx / ry), "{x} / {y}");
+            assert_eq!(r.to_i128(), Some(rx % ry), "{x} % {y}");
+        }
+        let g = bx.gcd(&by);
+        let rg = gcd_i128(rx.unsigned_abs(), ry.unsigned_abs());
+        assert_eq!(g.to_i128(), Some(rg as i128), "gcd({x}, {y})");
+        assert_eq!(bx.to_string(), x.to_string(), "display {x}");
+        assert_eq!(x.to_string().parse::<BigInt>().unwrap(), bx, "parse {x}");
+    }
+}
+
+fn gcd_i128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+#[test]
+fn bigint_assign_ops_match_binary_ops() {
+    let mut rng = Lcg::new(0x5eed_0002);
+    for _ in 0..2000 {
+        let a = rng.big();
+        let b = rng.big();
+        let mut x = a.clone();
+        x += &b;
+        assert_eq!(x, &a + &b);
+        let mut x = a.clone();
+        x -= &b;
+        assert_eq!(x, &a - &b);
+        let mut x = a.clone();
+        x *= &b;
+        assert_eq!(x, &a * &b);
+    }
+}
+
+#[test]
+fn bigint_algebraic_identities_on_big_values() {
+    let mut rng = Lcg::new(0x5eed_0003);
+    for _ in 0..2000 {
+        let a = rng.big();
+        let b = rng.big();
+        assert_eq!(&(&a + &b) - &b, a, "add/sub roundtrip");
+        assert_eq!(&a + &b, &b + &a, "commutative add");
+        assert_eq!(&a * &b, &b * &a, "commutative mul");
+        if !b.is_zero() {
+            let (q, r) = a.div_rem(&b);
+            assert_eq!(&(&q * &b) + &r, a, "division identity");
+            assert!(r.abs() < b.abs(), "remainder bound");
+            assert!(
+                r.is_zero() || (r.is_negative() == a.is_negative()),
+                "remainder sign follows dividend (truncated division)"
+            );
+            let g = a.gcd(&b);
+            if !g.is_zero() {
+                assert!((&a % &g).is_zero(), "gcd divides a");
+                assert!((&b % &g).is_zero(), "gcd divides b");
+                assert_eq!((&a / &g).gcd(&(&b / &g)), BigInt::one(), "gcd is greatest");
+            }
+        }
+        // Display/parse roundtrip exercises the limb <-> decimal paths.
+        let s = a.to_string();
+        assert_eq!(s.parse::<BigInt>().unwrap(), a, "parse(display) = id");
+    }
+}
+
+#[test]
+fn bigint_promotion_boundary_cases() {
+    let two63 = BigInt::from(1i128 << 63);
+    let max = BigInt::from(i64::MAX);
+    let min = BigInt::from(i64::MIN);
+
+    // ±2^63 from both directions.
+    assert_eq!(&max + &BigInt::one(), two63);
+    assert_eq!(-&min, two63);
+    assert_eq!(&min - &BigInt::one(), BigInt::from(-(1i128 << 63) - 1));
+    assert_eq!(&two63 - &BigInt::one(), max);
+    assert_eq!(-&two63, min);
+    assert_eq!(min.abs(), two63);
+
+    // i64::MIN negation through every operator form.
+    assert_eq!((-&min).to_i128(), Some(1i128 << 63));
+    assert_eq!((&BigInt::zero() - &min).to_i128(), Some(1i128 << 63));
+    assert_eq!((&min * &BigInt::from(-1i64)).to_i128(), Some(1i128 << 63));
+    let (q, r) = min.div_rem(&BigInt::from(-1i64));
+    assert_eq!(q, two63);
+    assert!(r.is_zero());
+
+    // gcd with mixed small/big operands, including the 2^63 result.
+    assert_eq!(min.gcd(&BigInt::zero()), two63);
+    assert_eq!(min.gcd(&min), two63);
+    assert_eq!(two63.gcd(&BigInt::from(6i64)), BigInt::from(2i64));
+    assert_eq!(BigInt::from(6i64).gcd(&two63), BigInt::from(2i64));
+    let big = &two63 * &BigInt::from(15i64);
+    assert_eq!(big.gcd(&BigInt::from(10i64)), BigInt::from(10i64));
+
+    // Values crossing the boundary and coming back compare/hash equal to
+    // ones that never left it.
+    let back = &(&max + &BigInt::one()) - &BigInt::one();
+    assert_eq!(back, max);
+    use std::collections::HashSet;
+    let mut set = HashSet::new();
+    set.insert(back);
+    assert!(set.contains(&max), "demoted value hashes like inline value");
+}
+
+// ---- Rational vs naive normalize-everything reference ----
+
+/// Reference rational: the pre-fast-path formulas — cross-multiply, then
+/// fully normalize through `from_bigints`.
+fn ref_add(a: &Rational, b: &Rational) -> Rational {
+    Rational::from_bigints(
+        &(a.numer() * b.denom()) + &(b.numer() * a.denom()),
+        a.denom() * b.denom(),
+    )
+}
+fn ref_sub(a: &Rational, b: &Rational) -> Rational {
+    Rational::from_bigints(
+        &(a.numer() * b.denom()) - &(b.numer() * a.denom()),
+        a.denom() * b.denom(),
+    )
+}
+fn ref_mul(a: &Rational, b: &Rational) -> Rational {
+    Rational::from_bigints(a.numer() * b.numer(), a.denom() * b.denom())
+}
+fn ref_div(a: &Rational, b: &Rational) -> Rational {
+    Rational::from_bigints(a.numer() * b.denom(), a.denom() * b.numer())
+}
+fn ref_cmp(a: &Rational, b: &Rational) -> Ordering {
+    (a.numer() * b.denom()).cmp(&(b.numer() * a.denom()))
+}
+
+fn rational(rng: &mut Lcg) -> Rational {
+    let n = rng.i64_stratified();
+    let mut d = rng.i64_stratified();
+    if d == 0 {
+        d = 1;
+    }
+    Rational::new(n, d)
+}
+
+/// Canonical-form invariants every `Rational` must satisfy: lowest terms,
+/// positive denominator, and the unique zero `0/1`.
+fn assert_canonical(r: &Rational, ctx: &str) {
+    assert!(r.denom().is_positive(), "{ctx}: denominator must be > 0");
+    if r.is_zero() {
+        assert_eq!(r.denom(), &BigInt::one(), "{ctx}: zero must be 0/1");
+    } else {
+        assert_eq!(
+            r.numer().gcd(r.denom()),
+            BigInt::one(),
+            "{ctx}: must be in lowest terms"
+        );
+    }
+}
+
+#[test]
+fn rational_ops_match_naive_reference() {
+    let mut rng = Lcg::new(0x5eed_0004);
+    for i in 0..3000 {
+        let a = rational(&mut rng);
+        let b = rational(&mut rng);
+        let sum = &a + &b;
+        assert_eq!(sum, ref_add(&a, &b), "add #{i}: {a} + {b}");
+        assert_canonical(&sum, "add");
+        let diff = &a - &b;
+        assert_eq!(diff, ref_sub(&a, &b), "sub #{i}: {a} - {b}");
+        assert_canonical(&diff, "sub");
+        let prod = &a * &b;
+        assert_eq!(prod, ref_mul(&a, &b), "mul #{i}: {a} * {b}");
+        assert_canonical(&prod, "mul");
+        if !b.is_zero() {
+            let quot = &a / &b;
+            assert_eq!(quot, ref_div(&a, &b), "div #{i}: {a} / {b}");
+            assert_canonical(&quot, "div");
+            let rec = b.recip();
+            assert_eq!(rec, ref_div(&Rational::one(), &b), "recip #{i}: {b}");
+            assert_canonical(&rec, "recip");
+        }
+        assert_eq!(a.cmp(&b), ref_cmp(&a, &b), "cmp #{i}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn rational_assign_ops_match_binary_ops() {
+    let mut rng = Lcg::new(0x5eed_0005);
+    for _ in 0..2000 {
+        let a = rational(&mut rng);
+        let b = rational(&mut rng);
+        let mut x = a.clone();
+        x += &b;
+        assert_eq!(x, &a + &b);
+        let mut x = a.clone();
+        x -= &b;
+        assert_eq!(x, &a - &b);
+        let mut x = a.clone();
+        x *= &b;
+        assert_eq!(x, &a * &b);
+    }
+}
+
+#[test]
+fn rational_boundary_denominators_and_numerators() {
+    // Operands pinned to the promotion boundary: every op must still be
+    // canonical and agree with the reference.
+    let specials = [
+        Rational::new(i64::MIN, 1),
+        Rational::new(i64::MAX, 1),
+        Rational::new(1, i64::MAX),
+        Rational::new(i64::MIN, i64::MAX),
+        Rational::new(i64::MAX, 3),
+        Rational::new(-1, 2),
+        Rational::zero(),
+        Rational::one(),
+        // den = i64::MIN normalizes to a positive (promoted) denominator.
+        Rational::new(1, i64::MIN),
+        Rational::new(i64::MIN, i64::MIN),
+    ];
+    for a in &specials {
+        for b in &specials {
+            let sum = a + b;
+            assert_eq!(sum, ref_add(a, b), "{a} + {b}");
+            assert_canonical(&sum, "boundary add");
+            let prod = a * b;
+            assert_eq!(prod, ref_mul(a, b), "{a} * {b}");
+            assert_canonical(&prod, "boundary mul");
+            if !b.is_zero() {
+                let quot = a / b;
+                assert_eq!(quot, ref_div(a, b), "{a} / {b}");
+                assert_canonical(&quot, "boundary div");
+            }
+            assert_eq!(a.cmp(b), ref_cmp(a, b), "{a} vs {b}");
+        }
+    }
+    assert_eq!(
+        Rational::new(1, i64::MIN),
+        Rational::from_bigints(BigInt::from(-1i64), BigInt::from(1i128 << 63))
+    );
+    assert_eq!(Rational::new(i64::MIN, i64::MIN), Rational::one());
+}

@@ -7,7 +7,10 @@
 # Emits BENCH_solve.json (the same JSON goes to stdout via --json, so
 # callers never scrape tables) and a Chrome trace at BENCH_trace.json in
 # the repository root (override the report path with SOLVEBENCH_OUT, the
-# worker count with SOLVEBENCH_THREADS). Runs fully offline on a release
+# worker count with SOLVEBENCH_THREADS). Each benchmark row carries a
+# speedup_vs_baseline field computed against the checked-in
+# BENCH_baseline.json (override with SOLVEBENCH_BASELINE), so the perf
+# trajectory is tracked across PRs. Runs fully offline on a release
 # build.
 
 set -euo pipefail
