@@ -66,9 +66,11 @@ fn json_pipeline(p: &PipelineStats) -> String {
             "{{\"flow_solves\":{},\"flow_phases\":{},\"flow_augmenting_paths\":{},",
             "\"lp_solves\":{},\"lp_pivots\":{},\"fm_vars_eliminated\":{},",
             "\"fm_constraints\":{},\"lp_cache_hits\":{},\"small_int_promotions\":{},",
+            "\"prefilter_hits\":{},\"lp_warm_starts\":{},\"dual_pivots\":{},",
             "\"regions_explored\":{},\"rounds\":{},",
             "\"cache_hits\":{},\"cache_misses\":{},\"threads_used\":{},",
-            "\"simplify_micros\":{},\"solve_micros\":{},\"sequential_strategy\":{}}}"
+            "\"simplify_micros\":{},\"solve_micros\":{},",
+            "\"prune_micros\":{},\"region_lp_micros\":{},\"sequential_strategy\":{}}}"
         ),
         p.flow_solves,
         p.flow_phases,
@@ -79,6 +81,9 @@ fn json_pipeline(p: &PipelineStats) -> String {
         p.fm_constraints,
         p.lp_cache_hits,
         p.small_int_promotions,
+        p.prefilter_hits,
+        p.lp_warm_starts,
+        p.dual_pivots,
         p.regions_explored,
         p.rounds,
         p.cache_hits,
@@ -86,6 +91,8 @@ fn json_pipeline(p: &PipelineStats) -> String {
         p.threads_used,
         p.simplify_micros,
         p.solve_micros,
+        p.prune_micros,
+        p.region_lp_micros,
         p.sequential_strategy,
     )
 }

@@ -420,6 +420,13 @@ pub fn solve_with_probes(
         poly.lp_cache_hits,
         poly.small_int_promotions,
     );
+    stats.pipeline.absorb_poly_extras(
+        poly.prefilter_hits(),
+        poly.lp_warm_starts,
+        poly.dual_pivots,
+        poly.prune_micros,
+        poly.region_lp_micros,
+    );
 
     let mut choices = result?;
     if options.region_strategy == RegionStrategy::Exact && options.reduce_degeneracy {
@@ -589,9 +596,13 @@ fn explore_round(
     // output is bit-identical either way.
     let workers = if n >= 2 { threads.min(n) } else { 1 };
     let mut flow = FlowStats::default();
-    let (mut hits, mut misses) = (0u64, 0u64);
+    // (cache hits, cache misses).
+    let mut tally = (0u64, 0u64);
     let mut results: Vec<Option<Result<PieceResult, UnboundedFlow>>> = Vec::with_capacity(n);
     if workers <= 1 {
+        // All granted threads go to intra-piece projection work — this is
+        // the exact-strategy hot path, where rounds have a single piece
+        // and region-level parallelism has nothing to distribute.
         let mut solver = snet.solver();
         for piece in pieces {
             results.push(explore_piece(
@@ -600,8 +611,8 @@ fn explore_round(
                 piece,
                 &mut solver,
                 cache,
-                &mut hits,
-                &mut misses,
+                threads,
+                &mut tally,
             ));
         }
         flow = flow.add(&solver.stats());
@@ -610,12 +621,15 @@ fn explore_round(
         let slots: Vec<Mutex<Option<Result<PieceResult, UnboundedFlow>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
+        // Piece-level workers claim the thread budget first; whatever is
+        // left over parallelizes each worker's own projections.
+        let intra = (threads / workers).max(1);
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
                         let mut solver = snet.solver();
-                        let (mut h, mut m) = (0u64, 0u64);
+                        let mut t = (0u64, 0u64);
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
@@ -627,21 +641,21 @@ fn explore_round(
                                 &pieces[i],
                                 &mut solver,
                                 cache,
-                                &mut h,
-                                &mut m,
+                                intra,
+                                &mut t,
                             );
                             *lock_ignore_poison(&slots[i]) = r;
                         }
-                        (solver.stats(), h, m)
+                        (solver.stats(), t)
                     })
                 })
                 .collect();
             for handle in handles {
                 match handle.join() {
-                    Ok((f, h, m)) => {
+                    Ok((f, t)) => {
                         flow = flow.add(&f);
-                        hits += h;
-                        misses += m;
+                        tally.0 += t.0;
+                        tally.1 += t.1;
                     }
                     Err(payload) => std::panic::resume_unwind(payload),
                 }
@@ -654,8 +668,8 @@ fn explore_round(
     stats
         .pipeline
         .absorb_flow_counts(flow.solves, flow.phases, flow.augmenting_paths);
-    stats.pipeline.cache_hits += hits;
-    stats.pipeline.cache_misses += misses;
+    stats.pipeline.cache_hits += tally.0;
+    stats.pipeline.cache_misses += tally.1;
     results
 }
 
@@ -669,8 +683,8 @@ fn explore_piece(
     piece: &Polyhedron,
     solver: &mut ParamSolver,
     cache: Option<&CutCache>,
-    hits: &mut u64,
-    misses: &mut u64,
+    intra_threads: usize,
+    cache_tally: &mut (u64, u64),
 ) -> Option<Result<PieceResult, UnboundedFlow>> {
     let mut span = offload_obs::span!("parametric", "piece");
     let point = piece.sample()?;
@@ -683,22 +697,23 @@ fn explore_piece(
             let cached = lock_ignore_poison(cache).get(&mf.source_side).cloned();
             match cached {
                 Some(region) => {
-                    *hits += 1;
+                    cache_tally.0 += 1;
                     span.record("cache_hit", true);
                     region
                 }
                 None => {
-                    *misses += 1;
+                    cache_tally.1 += 1;
                     span.record("cache_hit", false);
                     // Pure function of (signature, param_space): a racing
                     // double-compute stores the identical value twice.
-                    let region = snet.optimality_region(&mf.source_side, param_space);
+                    let region =
+                        snet.optimality_region_threads(&mf.source_side, param_space, intra_threads);
                     lock_ignore_poison(cache).insert(mf.source_side.clone(), region.clone());
                     region
                 }
             }
         }
-        None => snet.optimality_region(&mf.source_side, param_space),
+        None => snet.optimality_region_threads(&mf.source_side, param_space, intra_threads),
     };
     Some(Ok(PieceResult {
         point,

@@ -195,6 +195,47 @@ fn analysis_is_reproducible_within_a_process() {
 }
 
 #[test]
+fn incremental_prune_counters_fire_and_are_thread_count_independent() {
+    // The warm-started redundancy pipeline must (a) actually run on a
+    // real evaluation program — every ladder stage fires, so none of the
+    // counters may be zero — and (b) do *identical* work at every thread
+    // count: the intra-piece parallel split only changes who verifies
+    // each candidate, never which checks happen.
+    let bench = offload_benchmarks::all()
+        .into_iter()
+        .find(|b| b.name == "rawcaudio")
+        .expect("rawcaudio is a stock benchmark");
+    let mut runs = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let a = bench
+            .analyze_with(SolveOptions {
+                threads,
+                ..Default::default()
+            })
+            .expect("analysis succeeds");
+        runs.push((threads, a.pipeline_stats(), a.partition.choices.clone()));
+    }
+    let (_, first, choices) = &runs[0];
+    assert!(first.prefilter_hits > 0, "pre-filter ladder never fired");
+    assert!(first.lp_warm_starts > 0, "incremental LP never consulted");
+    assert!(first.dual_pivots > 0, "dual-simplex restore never ran");
+    assert!(first.prune_micros > 0, "prune time must be accounted");
+    for (threads, stats, ch) in &runs[1..] {
+        assert_eq!(choices, ch, "threads={threads}: partition diverged");
+        for (name, a, b) in [
+            ("prefilter_hits", first.prefilter_hits, stats.prefilter_hits),
+            ("lp_warm_starts", first.lp_warm_starts, stats.lp_warm_starts),
+            ("dual_pivots", first.dual_pivots, stats.dual_pivots),
+            ("lp_pivots", first.lp_pivots, stats.lp_pivots),
+            ("lp_solves", first.lp_solves, stats.lp_solves),
+            ("fm_constraints", first.fm_constraints, stats.fm_constraints),
+        ] {
+            assert_eq!(a, b, "threads={threads}: {name} depends on thread count");
+        }
+    }
+}
+
+#[test]
 fn pipeline_stats_are_populated_on_the_exact_path() {
     let a = analyze_with(
         PROGRAMS[0],

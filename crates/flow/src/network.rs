@@ -180,6 +180,19 @@ impl ParamNetwork {
     ///
     /// The returned polyhedron is intersected with `param_space`.
     pub fn optimality_region(&self, source_side: &[bool], param_space: &Polyhedron) -> Polyhedron {
+        self.optimality_region_threads(source_side, param_space, 1)
+    }
+
+    /// [`Self::optimality_region`] with up to `threads` worker threads
+    /// available to the polyhedral projection's redundancy-elimination
+    /// inner loop. The region — and every poly work counter — is
+    /// identical for every thread count.
+    pub fn optimality_region_threads(
+        &self,
+        source_side: &[bool],
+        param_space: &Polyhedron,
+        threads: usize,
+    ) -> Polyhedron {
         assert_eq!(source_side.len(), self.nodes);
         assert_eq!(param_space.nvars(), self.params);
         let _span = offload_obs::span!(
@@ -405,13 +418,13 @@ impl ParamNetwork {
                 cs.extend(Constraint::equalities(&balance, &LinExpr::zero(nv)));
             }
             let poly = Polyhedron::from_constraints(nv, cs);
-            let shadow = poly.project_to_first(k);
+            let shadow = poly.project_to_first_threads(k, threads);
             for c in shadow.constraints() {
                 result.add(c.clone());
             }
         }
 
-        result.reduce_redundancy()
+        result.reduce_redundancy_threads(threads)
     }
 
     /// Applies the §5.4 simplification heuristic: merges node `nj` into

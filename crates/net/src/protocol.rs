@@ -35,8 +35,11 @@ use std::io::{Read, Write};
 /// v3: [`PipelineStats`] gains `sequential_strategy` and `HelloAck`
 /// additionally carries the server's [`SpanSummary`];
 /// v4: [`PipelineStats`] gains `lp_cache_hits` and
-/// `small_int_promotions`.)
-pub const PROTOCOL_VERSION: u8 = 4;
+/// `small_int_promotions`;
+/// v5: [`PipelineStats`] gains the incremental-projection counters
+/// `prefilter_hits`, `lp_warm_starts`, `dual_pivots` and the phase
+/// timings `prune_micros`, `region_lp_micros`.)
+pub const PROTOCOL_VERSION: u8 = 5;
 
 /// Upper bound on a single frame's payload (a corruption guard, not a
 /// tight limit).
@@ -260,6 +263,11 @@ fn put_pipeline(buf: &mut Vec<u8>, s: &PipelineStats) {
     put_uv(buf, s.threads_used as u64);
     put_uv(buf, s.simplify_micros);
     put_uv(buf, s.solve_micros);
+    put_uv(buf, s.prefilter_hits);
+    put_uv(buf, s.lp_warm_starts);
+    put_uv(buf, s.dual_pivots);
+    put_uv(buf, s.prune_micros);
+    put_uv(buf, s.region_lp_micros);
     buf.push(s.sequential_strategy as u8);
 }
 
@@ -520,6 +528,11 @@ impl<'a> Cursor<'a> {
             threads_used: self.u32v()?,
             simplify_micros: self.uv()?,
             solve_micros: self.uv()?,
+            prefilter_hits: self.uv()?,
+            lp_warm_starts: self.uv()?,
+            dual_pivots: self.uv()?,
+            prune_micros: self.uv()?,
+            region_lp_micros: self.uv()?,
             sequential_strategy: match self.byte()? {
                 0 => false,
                 1 => true,

@@ -173,6 +173,11 @@ fn arb_pipeline(rng: &mut Rng) -> PipelineStats {
         threads_used: 1 + rng.u32(63),
         simplify_micros: rng.next() % 100_000_000,
         solve_micros: rng.next() % 100_000_000,
+        prefilter_hits: rng.next() % 1_000_000,
+        lp_warm_starts: rng.next() % 1_000_000,
+        dual_pivots: rng.next() % 10_000_000,
+        prune_micros: rng.next() % 100_000_000,
+        region_lp_micros: rng.next() % 100_000_000,
         sequential_strategy: rng.bool(),
     }
 }

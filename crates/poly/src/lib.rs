@@ -48,6 +48,7 @@ mod linear;
 mod lp;
 mod polyhedron;
 mod rational;
+mod reduce;
 mod region;
 
 pub use bigint::{BigInt, ParseBigIntError};

@@ -177,6 +177,12 @@ impl LinExpr {
         }
     }
 
+    /// Non-zero terms as `(variable index, coefficient)` pairs, in
+    /// ascending variable order.
+    pub fn terms(&self) -> impl Iterator<Item = (usize, &Rational)> + '_ {
+        self.coeffs.iter().enumerate().filter(|(_, c)| !c.is_zero())
+    }
+
     /// Indices of variables with non-zero coefficients.
     pub fn support(&self) -> impl Iterator<Item = usize> + '_ {
         self.coeffs

@@ -421,6 +421,23 @@ pub fn minimize(objective: &LinExpr, constraints: &[Constraint]) -> LpResult {
     }
 }
 
+/// Whether the closure of `set` implies `c`: the minimum of `c.expr`
+/// over `set` is non-negative (strict: positive). An infeasible `set`
+/// implies everything; an unbounded minimum implies nothing.
+///
+/// This is the from-scratch reference for the warm-started incremental
+/// check in `reduce.rs`; both must agree on every input.
+pub(crate) fn implied_by(set: &[Constraint], c: &Constraint) -> bool {
+    match minimize(&c.expr, set) {
+        LpResult::Optimal(v) => match c.cmp {
+            crate::linear::Cmp::Ge => !v.is_negative(),
+            crate::linear::Cmp::Gt => v.is_positive(),
+        },
+        LpResult::Infeasible => true,
+        LpResult::Unbounded => false,
+    }
+}
+
 /// A helper for feasibility of the closure.
 pub fn closure_feasible(constraints: &[Constraint]) -> bool {
     let n = constraints.first().map(|c| c.expr.nvars()).unwrap_or(0);

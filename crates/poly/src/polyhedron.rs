@@ -12,6 +12,14 @@ use crate::rational::Rational;
 use std::collections::HashMap;
 use std::fmt;
 
+/// System size past which Fourier–Motzkin rounds run the warm-started
+/// LP redundancy filter ([`lp_reduce_with_history`]). Tuned on the
+/// audio/fft benchmarks: each implication check on the incremental
+/// solver is cheap enough that reducing early — before the quadratic
+/// combination step can square a bloated system — wins decisively over
+/// letting the cheap syntactic filters run alone.
+const LP_REDUCE_THRESHOLD: usize = 150;
+
 /// A (possibly unbounded, possibly empty) convex polyhedron
 /// `{ x | A x (>=|>) b }` in `nvars` dimensions.
 ///
@@ -111,6 +119,19 @@ impl Polyhedron {
     /// Removes duplicate and dominated constraints; returns `None` if a
     /// trivially false constraint is found (the polyhedron is empty).
     fn pruned(&self) -> Option<Polyhedron> {
+        self.pruned_inner(false)
+    }
+
+    /// [`Self::pruned`] with the drops attributed to the pre-filter
+    /// counters — used by the redundancy-elimination pipeline, where
+    /// "how many LP checks did the syntactic ladder discharge" is the
+    /// quantity of interest. Generic callers use the uncounted wrapper so
+    /// incidental pruning (display, sampling) does not pollute the stats.
+    fn pruned_counted(&self) -> Option<Polyhedron> {
+        self.pruned_inner(true)
+    }
+
+    fn pruned_inner(&self, count: bool) -> Option<Polyhedron> {
         // Key: canonical integer variable-coefficient vector (gcd 1).
         // Constraints sharing a key differ only in constant / strictness;
         // only the tightest survives. `order` pins the output to
@@ -130,18 +151,29 @@ impl Polyhedron {
             // constant term is comparable across constraints.
             let varscale = var_coeff_canonical(&n);
             let (key, constant, cmp) = varscale;
-            if !best.contains_key(&key) {
-                order.push(key.clone());
-            }
-            best.entry(key)
-                .and_modify(|(c0, m0)| {
+            match best.get_mut(&key) {
+                None => {
+                    order.push(key.clone());
+                    best.insert(key, (constant, cmp));
+                }
+                Some((c0, m0)) => {
+                    if count {
+                        use std::sync::atomic::Ordering::Relaxed;
+                        if constant == *c0 && cmp == *m0 {
+                            // Syntactically identical rows collapse to one.
+                            crate::counters::PREFILTER_DEDUP.fetch_add(1, Relaxed);
+                        } else {
+                            // Parallel half-spaces: one bound dominates.
+                            crate::counters::PREFILTER_DOMINANCE.fetch_add(1, Relaxed);
+                        }
+                    }
                     // expr >= -constant: larger -constant (smaller constant) is tighter.
                     if constant < *c0 || (constant == *c0 && cmp == Cmp::Gt) {
-                        *c0 = constant.clone();
+                        *c0 = constant;
                         *m0 = cmp;
                     }
-                })
-                .or_insert((constant, cmp));
+                }
+            }
         }
         let mut out = Polyhedron::universe(self.nvars);
         for key in order {
@@ -211,97 +243,70 @@ impl Polyhedron {
         }
     }
 
-    /// Finds a variable in `vars` that is pinned by an equality (a pair of
-    /// opposite non-strict constraints) and substitutes it away; returns
-    /// the variable on success.
-    ///
-    /// Equality substitution is exact and — unlike Fourier–Motzkin —
-    /// never grows the constraint system, so [`Self::eliminate_vars`]
-    /// prefers it. The minimum-cut optimality systems of Lemma 1 are
-    /// dominated by equalities (saturated arcs, zero arcs, conservation),
-    /// making this the difference between milliseconds and blow-up.
-    fn substitute_equality(&mut self, vars: &[usize]) -> Option<usize> {
-        // Index normalized expressions to find e >= 0 with -e >= 0.
-        // `LinExpr` is its own hash key — no stringification needed.
-        let normalized: Vec<Constraint> = self.constraints.iter().map(|c| c.normalize()).collect();
-        let mut seen: HashMap<&LinExpr, usize> = HashMap::new();
-        for (i, c) in normalized.iter().enumerate() {
-            if c.cmp != Cmp::Ge {
-                continue;
-            }
-            seen.insert(&c.expr, i);
-        }
-        for c in normalized.iter() {
-            if c.cmp != Cmp::Ge {
-                continue;
-            }
-            let neg = c.expr.scale(&Rational::from(-1));
-            if seen.contains_key(&neg) {
-                // c.expr == 0 holds. Pick a variable from `vars` with a
-                // non-zero coefficient and substitute it everywhere.
-                for &v in vars {
-                    let a = c.expr.coeff(v);
-                    if a.is_zero() {
-                        continue;
-                    }
-                    // v = -(rest)/a
-                    let mut rest = c.expr.clone();
-                    rest.set_coeff(v, Rational::zero());
-                    let scale = -(&a.recip());
-                    let replacement = rest.scale(&scale);
-                    for cons in &mut self.constraints {
-                        let coeff = cons.expr.coeff(v).clone();
-                        if coeff.is_zero() {
-                            continue;
-                        }
-                        cons.expr.set_coeff(v, Rational::zero());
-                        cons.expr = cons.expr.add(&replacement.scale(&coeff));
-                    }
-                    return Some(v);
-                }
-            }
-        }
-        None
-    }
-
     /// Eliminates a set of variables: equality substitution first, then
     /// Fourier–Motzkin, choosing at each step the variable whose
     /// elimination produces the fewest new constraints (the classic
     /// `min(|lowers| * |uppers|)` heuristic).
     pub fn eliminate_vars(&self, vars: &[usize]) -> Polyhedron {
+        self.eliminate_vars_threads(vars, 1)
+    }
+
+    /// [`Self::eliminate_vars`] with up to `threads` worker threads for
+    /// the intra-step LP-based redundancy reduction. The output — and
+    /// every work counter — is identical for every thread count (see
+    /// `reduce.rs` for the determinism argument).
+    pub fn eliminate_vars_threads(&self, vars: &[usize], threads: usize) -> Polyhedron {
         let mut span = offload_obs::span!(
             "poly",
             "fm_eliminate",
             vars = vars.len(),
             constraints_in = self.constraints.len(),
         );
-        let out = self.eliminate_vars_inner(vars);
+        let out = self.eliminate_vars_inner(vars, threads);
         span.record("constraints_out", out.constraints.len());
         out
     }
 
-    fn eliminate_vars_inner(&self, vars: &[usize]) -> Polyhedron {
-        let debug = std::env::var_os("OFFLOAD_POLY_DEBUG").is_some();
-        let mut remaining: Vec<usize> = vars.to_vec();
-        let mut cur = match self.pruned() {
+    fn eliminate_vars_inner(&self, vars: &[usize], threads: usize) -> Polyhedron {
+        let remaining: Vec<usize> = vars.to_vec();
+        let cur = match self.pruned() {
             Some(p) => p,
             None => return Polyhedron::empty(self.nvars),
         };
 
         use std::sync::atomic::Ordering::Relaxed;
 
+        // Compact the variable space before any per-iteration work.
+        // `LinExpr` coefficient vectors are dense over the *full* space,
+        // but most variables never appear in this system — their columns
+        // are identically zero. Every substitution, combination,
+        // normalization and LP check below pays O(columns), so remap the
+        // live variables (plus any still to eliminate) onto a dense
+        // prefix, eliminate there, and embed the result back at the end.
+        // A pure index permutation: the arithmetic — and therefore the
+        // output and every counter — is unchanged.
+        let (mut cur, mut remaining, to_old) = compact_space(cur, remaining);
+
         // Phase 1: exact equality substitutions (never grow the system).
-        while let Some(v) = cur.substitute_equality(&remaining) {
-            crate::counters::FM_VARS_ELIMINATED.fetch_add(1, Relaxed);
-            remaining.retain(|&x| x != v);
-            cur = match cur.pruned() {
-                Some(p) => p,
-                None => return Polyhedron::empty(self.nvars),
-            };
-            if remaining.is_empty() {
-                return cur;
-            }
+        if substitute_equalities(&mut cur, &mut remaining).is_err() {
+            return Polyhedron::empty(self.nvars);
         }
+        cur = match cur.pruned() {
+            Some(p) => p,
+            None => return Polyhedron::empty(self.nvars),
+        };
+        if remaining.is_empty() {
+            return embed_space(self.nvars, &to_old, cur.constraints);
+        }
+
+        // Re-compact: the substituted variables' columns are gone now.
+        let (cur, remaining, to_old) = {
+            let (c2, r2, t2) = compact_space(cur, remaining);
+            let composed: Vec<usize> = t2.iter().map(|&j| to_old[j]).collect();
+            (c2, r2, composed)
+        };
+        let mut remaining = remaining;
+        let m = cur.nvars;
 
         // Phase 2: Fourier–Motzkin with Imbert's acceleration — every
         // derived constraint carries the set of phase-2 input constraints
@@ -315,13 +320,6 @@ impl Polyhedron {
             .collect();
         let mut eliminated = 0usize;
         while !remaining.is_empty() {
-            if debug {
-                eprintln!(
-                    "[poly] remaining={} constraints={}",
-                    remaining.len(),
-                    sys.len()
-                );
-            }
             let Some((idx, &v)) = remaining.iter().enumerate().min_by_key(|(_, &v)| {
                 let mut lo = 0usize;
                 let mut up = 0usize;
@@ -416,7 +414,7 @@ impl Polyhedron {
                 .into_iter()
                 .filter_map(|key| {
                     let (constant, cmp, h) = best.remove(&key)?;
-                    let mut e = LinExpr::zero(self.nvars);
+                    let mut e = LinExpr::zero(m);
                     for (i, c) in key.into_iter().enumerate() {
                         e.set_coeff(i, c);
                     }
@@ -450,23 +448,37 @@ impl Polyhedron {
 
             // LP-based redundancy reduction when Fourier–Motzkin growth
             // outpaces the cheap filters (sound: only provably implied
-            // constraints are dropped).
-            if sys.len() > 300 {
-                sys = lp_reduce_with_history(sys);
+            // constraints are dropped). The trigger is deliberately low:
+            // with the warm-started incremental solver each implication
+            // check is cheap, and reducing *early* keeps the quadratic
+            // combination step small on every later round — on the audio
+            // benchmarks a threshold of 150 more than halves end-to-end
+            // projection time versus 300+.
+            if sys.len() > LP_REDUCE_THRESHOLD {
+                sys = lp_reduce_with_history(sys, threads);
             }
         }
-        Polyhedron {
-            nvars: self.nvars,
-            constraints: sys.into_iter().map(|(c, _)| c).collect(),
-        }
+        // Embed the compact-space result back into the original space.
+        embed_space(
+            self.nvars,
+            &to_old,
+            sys.into_iter().map(|(c, _)| c).collect(),
+        )
     }
 
     /// Projects onto the first `k` variables: eliminates variables
     /// `k..nvars` and truncates the space to `k` dimensions.
     pub fn project_to_first(&self, k: usize) -> Polyhedron {
+        self.project_to_first_threads(k, 1)
+    }
+
+    /// [`Self::project_to_first`] with up to `threads` worker threads for
+    /// the redundancy-elimination inner loop; output is thread-count
+    /// independent.
+    pub fn project_to_first_threads(&self, k: usize, threads: usize) -> Polyhedron {
         assert!(k <= self.nvars);
         let elim: Vec<usize> = (k..self.nvars).collect();
-        let reduced = self.eliminate_vars(&elim);
+        let reduced = self.eliminate_vars_threads(&elim, threads);
         let constraints = reduced
             .constraints
             .iter()
@@ -510,6 +522,16 @@ impl Polyhedron {
     /// ε with every strict constraint relaxed to `expr ≥ ε`; the system is
     /// satisfiable iff the supremum is positive (or unbounded).
     pub fn is_empty(&self) -> bool {
+        let t0 = std::time::Instant::now();
+        let out = self.is_empty_inner();
+        crate::counters::REGION_LP_MICROS.fetch_add(
+            t0.elapsed().as_micros() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        out
+    }
+
+    fn is_empty_inner(&self) -> bool {
         let eps = self.nvars;
         let nv = self.nvars + 1;
         let mut cs: Vec<Constraint> = Vec::with_capacity(self.constraints.len() + 1);
@@ -548,31 +570,32 @@ impl Polyhedron {
     /// projections, whose raw Fourier–Motzkin output is highly redundant.
     ///
     /// Two passes: an incremental filter that only keeps constraints not
-    /// already implied by the kept set (cheap: the kept set stays small),
-    /// then a reverse sweep removing survivors made redundant by later
-    /// additions.
+    /// already implied by the kept set (syntactic pre-filters, then a
+    /// warm-started incremental LP — see `reduce.rs`), then a reverse
+    /// sweep removing survivors made redundant by later additions.
     pub fn reduce_redundancy(&self) -> Polyhedron {
-        let cur = match self.pruned() {
+        self.reduce_redundancy_threads(1)
+    }
+
+    /// [`Self::reduce_redundancy`] with up to `threads` worker threads
+    /// for the implication checks. The survivor set — and every work
+    /// counter — is identical for every thread count, including 1; the
+    /// thread count only changes how fast the same checks run.
+    pub fn reduce_redundancy_threads(&self, threads: usize) -> Polyhedron {
+        let cur = match self.pruned_counted() {
             Some(p) => p,
             None => return Polyhedron::empty(self.nvars),
         };
-        let implied = |set: &[Constraint], c: &Constraint| -> bool {
-            match crate::lp::minimize(&c.expr, set) {
-                crate::lp::LpResult::Optimal(v) => match c.cmp {
-                    Cmp::Ge => !v.is_negative(),
-                    Cmp::Gt => v.is_positive(),
-                },
-                crate::lp::LpResult::Infeasible => true,
-                crate::lp::LpResult::Unbounded => false,
-            }
-        };
         // Prefer constraints with fewer variables first (cheaper and
         // likelier to be facets of simple regions).
-        let mut ordered = cur.constraints.clone();
+        let mut ordered = cur.constraints;
         ordered.sort_by_key(|c| c.expr.support().count());
-        let mut kept: Vec<Constraint> = Vec::new();
-        for c in ordered {
-            if kept.is_empty() || !implied(&kept, &c) {
+        let keep = crate::reduce::filter_implied(&ordered, threads);
+        let mut kept: Vec<Constraint> = Vec::with_capacity(keep.len());
+        let mut want = keep.into_iter().peekable();
+        for (i, c) in ordered.into_iter().enumerate() {
+            if want.peek() == Some(&i) {
+                want.next();
                 kept.push(c);
             }
         }
@@ -586,7 +609,7 @@ impl Polyhedron {
                 .filter(|(j, _)| *j != i)
                 .map(|(_, c)| c.clone())
                 .collect();
-            if !rest.is_empty() && implied(&rest, &candidate) {
+            if !rest.is_empty() && crate::lp::implied_by(&rest, &candidate) {
                 kept.remove(i);
             } else {
                 i += 1;
@@ -673,32 +696,238 @@ impl fmt::Display for Polyhedron {
     }
 }
 
+/// Sign-canonical view of one normalized `e >= 0` row: `e` negated when
+/// its leading nonzero coefficient (falling back to the constant) is
+/// negative, plus the sign that was stripped. The two halves of an
+/// equality — `e >= 0` and `-e >= 0` — canonicalize to the same
+/// expression with opposite `positive` flags, so equality detection
+/// becomes a cached-hash bucket probe instead of negating and re-hashing
+/// every row on every round.
+struct SignCanon {
+    expr: LinExpr,
+    positive: bool,
+    hash: u64,
+}
+
+fn sign_canon(c: &Constraint) -> Option<SignCanon> {
+    use std::hash::{Hash, Hasher};
+    if c.cmp != Cmp::Ge {
+        return None;
+    }
+    let lead = c
+        .expr
+        .terms()
+        .map(|(_, a)| a)
+        .next()
+        .or_else(|| (!c.expr.constant_term().is_zero()).then(|| c.expr.constant_term()));
+    let positive = !lead.is_some_and(|a| a.is_negative());
+    let expr = if positive {
+        c.expr.clone()
+    } else {
+        c.expr.scale(&Rational::from(-1))
+    };
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    expr.hash(&mut h);
+    Some(SignCanon {
+        expr,
+        positive,
+        hash: h.finish(),
+    })
+}
+
+/// Phase-1 elimination driver: repeatedly finds a variable from
+/// `remaining` pinned by an equality (a pair of opposite non-strict
+/// rows, found through the cached [`SignCanon`] index) and substitutes
+/// it away everywhere, until no equality pins any remaining variable.
+///
+/// Equality substitution is exact and — unlike Fourier–Motzkin — never
+/// grows the constraint system, so [`Polyhedron::eliminate_vars`]
+/// prefers it. The minimum-cut optimality systems of Lemma 1 are
+/// dominated by equalities (saturated arcs, zero arcs, conservation),
+/// making this the difference between milliseconds and blow-up. The
+/// batch driver normalizes and canonicalizes each row once and refreshes
+/// only the rows a substitution actually touches, so a run of `k`
+/// substitutions over `n` rows costs `O(n + k·touched)` row
+/// canonicalizations, not `O(k·n)`.
+///
+/// Returns the number of variables substituted away (removing them from
+/// `remaining`), or `Err(())` when a substitution exposes a trivially
+/// false row (the polyhedron is empty).
+fn substitute_equalities(cur: &mut Polyhedron, remaining: &mut Vec<usize>) -> Result<usize, ()> {
+    use std::sync::atomic::Ordering::Relaxed;
+    let mut count = 0usize;
+    let mut normalized: Vec<Constraint> = cur.constraints.iter().map(|c| c.normalize()).collect();
+    let mut cache: Vec<Option<SignCanon>> = normalized.iter().map(sign_canon).collect();
+    // Hash buckets over the canonical expressions; collisions are
+    // resolved by comparing the cached expressions themselves.
+    let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, c) in cache.iter().enumerate() {
+        if let Some(c) = c {
+            buckets.entry(c.hash).or_default().push(i);
+        }
+    }
+    while !remaining.is_empty() {
+        let mut found: Option<(usize, usize)> = None;
+        for ci in 0..normalized.len() {
+            let Some(c) = &cache[ci] else { continue };
+            let has_partner = buckets.get(&c.hash).is_some_and(|bucket| {
+                bucket.iter().any(|&rj| {
+                    rj != ci
+                        && cache[rj]
+                            .as_ref()
+                            .is_some_and(|r| r.positive != c.positive && r.expr == c.expr)
+                })
+            });
+            if !has_partner {
+                continue;
+            }
+            // `normalized[ci].expr == 0` holds. Pick the first variable
+            // from `remaining` with a non-zero coefficient (if any).
+            let eq = &normalized[ci].expr;
+            if let Some(pos) = remaining.iter().position(|&v| !eq.coeff(v).is_zero()) {
+                found = Some((ci, pos));
+                break;
+            }
+        }
+        let Some((ci, pos)) = found else {
+            break;
+        };
+        // Substitute `v = -(rest)/a` everywhere, refreshing the
+        // normalized form and canonical index of only the rows that
+        // actually mention `v`.
+        let v = remaining[pos];
+        let eq = &normalized[ci].expr;
+        let a = eq.coeff(v);
+        let mut rest = eq.clone();
+        rest.set_coeff(v, Rational::zero());
+        let scale = -(&a.recip());
+        let replacement = rest.scale(&scale);
+        for (r, (cons, norm)) in cur
+            .constraints
+            .iter_mut()
+            .zip(normalized.iter_mut())
+            .enumerate()
+        {
+            let coeff = cons.expr.coeff(v).clone();
+            if coeff.is_zero() {
+                continue;
+            }
+            cons.expr.set_coeff(v, Rational::zero());
+            cons.expr = cons.expr.add(&replacement.scale(&coeff));
+            *norm = cons.normalize();
+            if let Some(false) = norm.trivial_truth() {
+                return Err(());
+            }
+            if let Some(old) = cache[r].take() {
+                if let Some(b) = buckets.get_mut(&old.hash) {
+                    b.retain(|&x| x != r);
+                    if b.is_empty() {
+                        buckets.remove(&old.hash);
+                    }
+                }
+            }
+            cache[r] = sign_canon(norm);
+            if let Some(c) = &cache[r] {
+                buckets.entry(c.hash).or_default().push(r);
+            }
+        }
+        remaining.remove(pos);
+        count += 1;
+        crate::counters::FM_VARS_ELIMINATED.fetch_add(1, Relaxed);
+    }
+    Ok(count)
+}
+
+/// Remaps the live variables of `cur` (the union of all constraint
+/// supports plus the still-to-eliminate set) onto a dense prefix
+/// `0..m`. Returns the compacted polyhedron, the remapped elimination
+/// list, and the new→old index table for [`embed_space`]. A pure index
+/// permutation: the arithmetic — and therefore the output and every
+/// counter — is unchanged.
+fn compact_space(cur: Polyhedron, remaining: Vec<usize>) -> (Polyhedron, Vec<usize>, Vec<usize>) {
+    let n = cur.nvars;
+    let mut live = vec![false; n];
+    for c in &cur.constraints {
+        for v in c.expr.support() {
+            live[v] = true;
+        }
+    }
+    for &v in &remaining {
+        live[v] = true;
+    }
+    let to_old: Vec<usize> = (0..n).filter(|&v| live[v]).collect();
+    let mut to_new = vec![usize::MAX; n];
+    for (new, &old) in to_old.iter().enumerate() {
+        to_new[old] = new;
+    }
+    let m = to_old.len();
+    let constraints = cur
+        .constraints
+        .iter()
+        .map(|c| {
+            let mut e = LinExpr::zero(m);
+            for (old, a) in c.expr.terms() {
+                e.set_coeff(to_new[old], a.clone());
+            }
+            e.set_constant(c.expr.constant_term().clone());
+            Constraint {
+                expr: e,
+                cmp: c.cmp,
+            }
+        })
+        .collect();
+    let remaining = remaining.iter().map(|&v| to_new[v]).collect();
+    (
+        Polyhedron {
+            nvars: m,
+            constraints,
+        },
+        remaining,
+        to_old,
+    )
+}
+
+/// Inverse of [`compact_space`]: embeds compact-space constraints back
+/// into the `nvars`-dimensional original space via the new→old table.
+fn embed_space(nvars: usize, to_old: &[usize], constraints: Vec<Constraint>) -> Polyhedron {
+    Polyhedron {
+        nvars,
+        constraints: constraints
+            .into_iter()
+            .map(|c| {
+                let mut e = LinExpr::zero(nvars);
+                for (new, a) in c.expr.terms() {
+                    e.set_coeff(to_old[new], a.clone());
+                }
+                e.set_constant(c.expr.constant_term().clone());
+                Constraint {
+                    expr: e,
+                    cmp: c.cmp,
+                }
+            })
+            .collect(),
+    }
+}
+
 /// Incremental LP-based redundancy filter preserving derivation
 /// histories: keeps a constraint only when the already-kept set does not
-/// imply it.
+/// imply it. The checks run on the warm-started incremental solver
+/// across up to `threads` workers; output is thread-count independent.
 fn lp_reduce_with_history(
     sys: Vec<(Constraint, std::collections::BTreeSet<u32>)>,
+    threads: usize,
 ) -> Vec<(Constraint, std::collections::BTreeSet<u32>)> {
     let mut ordered = sys;
     ordered.sort_by_key(|(c, _)| c.expr.support().count());
-    let mut kept: Vec<(Constraint, std::collections::BTreeSet<u32>)> = Vec::new();
-    let mut kept_cs: Vec<Constraint> = Vec::new();
-    for (c, h) in ordered {
-        let implied = if kept_cs.is_empty() {
-            false
-        } else {
-            match crate::lp::minimize(&c.expr, &kept_cs) {
-                crate::lp::LpResult::Optimal(v) => match c.cmp {
-                    Cmp::Ge => !v.is_negative(),
-                    Cmp::Gt => v.is_positive(),
-                },
-                crate::lp::LpResult::Infeasible => true,
-                crate::lp::LpResult::Unbounded => false,
-            }
-        };
-        if !implied {
-            kept_cs.push(c.clone());
-            kept.push((c, h));
+    let cs: Vec<Constraint> = ordered.iter().map(|(c, _)| c.clone()).collect();
+    let keep = crate::reduce::filter_implied(&cs, threads);
+    let mut kept: Vec<(Constraint, std::collections::BTreeSet<u32>)> =
+        Vec::with_capacity(keep.len());
+    let mut want = keep.into_iter().peekable();
+    for (i, ch) in ordered.into_iter().enumerate() {
+        if want.peek() == Some(&i) {
+            want.next();
+            kept.push(ch);
         }
     }
     kept
