@@ -38,7 +38,7 @@ const PROGRAM: &str = "
 fn predicted_offload_cost(a: &Analysis, n: i64) -> Option<(usize, f64)> {
     let params = [Rational::from(n)];
     let point = a.dispatcher.dim_point(&a.network, &params).ok()?;
-    let idx = a.select(&[n]).ok()?;
+    let idx = a.decide(&[n]).ok()?.region_id;
     let cost = offload_core::cut_cost_at(&a.network, &a.partition.choices[idx], &point)?;
     Some((idx, cost.to_f64()))
 }
@@ -76,8 +76,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The crossover: first n at which each model leaves all-local.
     let crossover = |a: &Analysis| -> Option<i64> {
         (0..24).map(|p| 1i64 << p).find(|&n| {
-            a.select(&[n])
-                .map(|i| !a.partition.choices[i].is_all_local())
+            a.decide(&[n])
+                .map(|d| !d.plan.is_all_local())
                 .unwrap_or(false)
         })
     };

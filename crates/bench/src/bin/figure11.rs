@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sinusoid count and inverse flag shouldn't change the pick.
     let picks: std::collections::BTreeSet<usize> = [(1i64, 0i64), (16, 0), (4, 1)]
         .iter()
-        .map(|&(nsin, inv)| analysis.select(&[nsin, 512, inv]).unwrap())
+        .map(|&(nsin, inv)| analysis.decide(&[nsin, 512, inv]).unwrap().region_id)
         .collect();
     println!(
         "distinct dispatched choices across (nsin, inv) at n=512: {} (paper: 1)",

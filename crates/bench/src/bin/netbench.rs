@@ -8,17 +8,28 @@
 //!
 //! ```text
 //! cargo run -p offload-bench --bin netbench [--json] [--trace <path>]
+//! cargo run -p offload-bench --bin netbench -- --clients N --duration S \
+//!     [--out BENCH_net.json] [--json]
 //! ```
 //!
 //! * `--json` — print a machine-readable report to stdout and nothing
 //!   else (human-readable progress goes to stderr);
 //! * `--trace <path>` — record the whole session with the `offload-obs`
-//!   recorder and write a Chrome trace-event JSON file to `path`.
+//!   recorder and write a Chrome trace-event JSON file to `path`;
+//! * `--clients N --duration S` — **load-generator mode**: N concurrent
+//!   loopback [`offload_net::DispatchClient`]s hammer the server's
+//!   dispatch path for S seconds, then the sustained QPS and the
+//!   client-observed p50/p90/p99 dispatch latency (plus the server's
+//!   own [`offload_net::DispatchStats`]) are written to `--out`
+//!   (default `BENCH_net.json`).
 
 use offload_core::{Analysis, AnalysisOptions};
-use offload_net::{ClientConfig, OffloadEngine, OffloadServer, RetryPolicy, ServerConfig};
+use offload_net::{
+    fingerprint, ClientConfig, DispatchClient, OffloadEngine, OffloadServer, RetryPolicy,
+    ServerConfig,
+};
 use offload_runtime::DeviceModel;
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 const PROGRAM: &str = "
@@ -47,6 +58,9 @@ struct RunRow {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut json_mode = false;
     let mut trace_path: Option<String> = None;
+    let mut clients = 0usize;
+    let mut duration = Duration::from_secs(5);
+    let mut out = String::from("BENCH_net.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -54,8 +68,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--trace" => {
                 trace_path = Some(args.next().ok_or("--trace requires a path")?);
             }
+            "--clients" => {
+                clients = args
+                    .next()
+                    .ok_or("--clients requires a count")?
+                    .parse()
+                    .map_err(|_| "--clients requires an integer")?;
+            }
+            "--duration" => {
+                let s: f64 = args
+                    .next()
+                    .ok_or("--duration requires seconds")?
+                    .parse()
+                    .map_err(|_| "--duration requires a number of seconds")?;
+                duration = Duration::from_secs_f64(s);
+            }
+            "--out" => {
+                out = args.next().ok_or("--out requires a path")?;
+            }
             other => return Err(format!("unknown flag {other}").into()),
         }
+    }
+    if clients > 0 {
+        return run_load(clients, duration, &out, json_mode);
     }
     if trace_path.is_some() {
         offload_obs::set_enabled(true);
@@ -139,7 +174,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // refused immediately.
     let mut server = server;
     let dead = server.addr().to_string();
-    server.shutdown();
+    let drained = server.shutdown();
+    say!(
+        "server drained: {} session(s) and {} worker(s) joined",
+        drained.sessions_joined,
+        drained.workers_joined,
+    );
     drop(server);
     let mut config = ClientConfig::new(dead);
     config.retry = RetryPolicy {
@@ -170,27 +210,212 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if json_mode {
         let mut json = String::from("{\n  \"runs\": [\n");
-        for (i, r) in rows.iter().enumerate() {
-            json.push_str(&format!(
-                concat!(
-                    "    {{\"n\":{},\"choice\":{},\"offloaded\":{},",
-                    "\"virt_time\":{:.6},\"wall_ms\":{:.3}}}{}\n"
-                ),
-                r.n,
-                r.choice,
-                r.offloaded,
-                r.virt_time,
-                r.wall_ms,
-                if i + 1 == rows.len() { "" } else { "," },
-            ));
-        }
-        json.push_str("  ],\n");
-        json.push_str(&format!("  \"analyses_match\": {analyses_match},\n"));
+        emit_runs(&mut json, &rows, analyses_match, &report);
+        print!("{json}");
+    }
+    Ok(())
+}
+
+fn emit_runs(
+    json: &mut String,
+    rows: &[RunRow],
+    analyses_match: bool,
+    report: &offload_net::RunReport,
+) {
+    for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "  \"fallback\": {{\"fell_back\":{},\"connect_attempts\":{}}}\n",
-            report.fell_back, report.connect_attempts,
+            concat!(
+                "    {{\"n\":{},\"choice\":{},\"offloaded\":{},",
+                "\"virt_time\":{:.6},\"wall_ms\":{:.3}}}{}\n"
+            ),
+            r.n,
+            r.choice,
+            r.offloaded,
+            r.virt_time,
+            r.wall_ms,
+            if i + 1 == rows.len() { "" } else { "," },
         ));
-        json.push_str("}\n");
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"analyses_match\": {analyses_match},\n"));
+    json.push_str(&format!(
+        "  \"fallback\": {{\"fell_back\":{},\"connect_attempts\":{}}}\n",
+        report.fell_back, report.connect_attempts,
+    ));
+    json.push_str("}\n");
+}
+
+/// The load-generator mode: `clients` concurrent [`DispatchClient`]s
+/// issue dispatch queries against one loopback server for `duration`,
+/// then sustained QPS and latency percentiles go to `out`.
+fn run_load(
+    clients: usize,
+    duration: Duration,
+    out: &str,
+    json_mode: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    macro_rules! say {
+        ($($arg:tt)*) => {
+            if json_mode { eprintln!($($arg)*) } else { println!($($arg)*) }
+        };
+    }
+    let analysis = Arc::new(Analysis::from_source(PROGRAM, AnalysisOptions::default())?);
+    let device = DeviceModel::ipaq_testbed();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let config = ServerConfig::builder()
+        .workers(workers)
+        .max_inflight(clients + 64)
+        .request_timeout(Some(Duration::from_secs(30)))
+        .build();
+    let mut server = OffloadServer::bind("127.0.0.1:0", analysis.clone(), device, config)?;
+    let addr = server.addr();
+    let fp = fingerprint(&analysis);
+    say!(
+        "load mode: {clients} clients x {:.1}s against {addr} ({workers} dispatch workers)",
+        duration.as_secs_f64()
+    );
+
+    // One shared latency histogram (atomic buckets), recorded client-side
+    // so it includes the full loopback round trip.
+    let latency = Arc::new(offload_obs::Histogram::default());
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let mut handles = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let latency = latency.clone();
+        let barrier = barrier.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("loadgen-{c}"))
+                .stack_size(128 * 1024)
+                .spawn(move || -> Result<(u64, u64), String> {
+                    let mut client =
+                        DispatchClient::connect_fingerprinted(addr, fp, Duration::from_secs(10))
+                            .map_err(|e| e.to_string())?;
+                    // Cycle through settings that exercise every region
+                    // (and, offset per client, keep the mix steady).
+                    let settings: [i64; 4] = [4, 1_000, 100_000, 1 << 20];
+                    barrier.wait();
+                    let deadline = Instant::now() + duration;
+                    let mut sent = 0u64;
+                    let mut errors = 0u64;
+                    while Instant::now() < deadline {
+                        let n = settings[(sent as usize + c) % settings.len()];
+                        let t0 = Instant::now();
+                        match client.dispatch(&[n]) {
+                            Ok(_) => {
+                                latency.record(
+                                    u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX),
+                                );
+                                sent += 1;
+                            }
+                            Err(_) => {
+                                errors += 1;
+                                break;
+                            }
+                        }
+                    }
+                    client.close();
+                    Ok((sent, errors))
+                })?,
+        );
+    }
+
+    barrier.wait();
+    let t0 = Instant::now();
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    let mut failed_clients = 0usize;
+    for h in handles {
+        match h.join() {
+            Ok(Ok((s, e))) => {
+                requests += s;
+                errors += e;
+            }
+            _ => failed_clients += 1,
+        }
+    }
+    let elapsed = t0.elapsed();
+    let server_stats = server.stats();
+    let summary = server.shutdown();
+
+    let qps = requests as f64 / elapsed.as_secs_f64();
+    let lat = latency.summary();
+    say!(
+        "{requests} requests in {:.2}s = {qps:.0} QPS  \
+         (p50 {}us, p90 {}us, p99 {}us, max {}us)",
+        elapsed.as_secs_f64(),
+        lat.p50,
+        lat.p90,
+        lat.p99,
+        lat.max
+    );
+    say!(
+        "server: {} requests in {} batches ({:.1} per batch), \
+         cache {} hits / {} misses, pointloc {} nodes depth {}",
+        server_stats.requests,
+        server_stats.batches,
+        server_stats.requests as f64 / server_stats.batches.max(1) as f64,
+        server_stats.plan_cache_hits,
+        server_stats.plan_cache_misses,
+        server_stats.pointloc_nodes,
+        server_stats.pointloc_depth,
+    );
+    say!(
+        "drained: {} session(s), {} worker(s) joined; \
+         {errors} request errors, {failed_clients} clients failed",
+        summary.sessions_joined,
+        summary.workers_joined,
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"clients\": {},\n",
+            "  \"duration_s\": {:.3},\n",
+            "  \"requests\": {},\n",
+            "  \"errors\": {},\n",
+            "  \"failed_clients\": {},\n",
+            "  \"qps\": {:.1},\n",
+            "  \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}},\n",
+            "  \"server\": {{\n",
+            "    \"requests\": {},\n",
+            "    \"batches\": {},\n",
+            "    \"plan_cache_hits\": {},\n",
+            "    \"plan_cache_misses\": {},\n",
+            "    \"pointloc_nodes\": {},\n",
+            "    \"pointloc_depth\": {},\n",
+            "    \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}}}\n",
+            "  }},\n",
+            "  \"join\": {{\"sessions\": {}, \"workers\": {}}}\n",
+            "}}\n"
+        ),
+        clients,
+        elapsed.as_secs_f64(),
+        requests,
+        errors,
+        failed_clients,
+        qps,
+        lat.p50,
+        lat.p90,
+        lat.p99,
+        lat.max,
+        server_stats.requests,
+        server_stats.batches,
+        server_stats.plan_cache_hits,
+        server_stats.plan_cache_misses,
+        server_stats.pointloc_nodes,
+        server_stats.pointloc_depth,
+        server_stats.latency_p50_us,
+        server_stats.latency_p90_us,
+        server_stats.latency_p99_us,
+        summary.sessions_joined,
+        summary.workers_joined,
+    );
+    std::fs::write(out, &json)?;
+    say!("wrote {out}");
+    if json_mode {
         print!("{json}");
     }
     Ok(())

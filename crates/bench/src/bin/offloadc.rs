@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("analysis time: {:?}", analysis.analysis_time);
 
     if !params.is_empty() {
-        let idx = analysis.select(&params)?;
+        let idx = analysis.decide(&params)?.region_id;
         println!("dispatch at {params:?}: choice {idx}");
         if run {
             let sim = Simulator::new(&analysis, DeviceModel::ipaq_testbed());

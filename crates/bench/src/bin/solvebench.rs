@@ -192,7 +192,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if trace_path.is_some() {
             // Exercise the dispatcher and executor too, so the trace
             // carries the runtime category next to flow/poly/parametric.
-            let idx = par.select(&b.default_params)?;
+            let idx = par.decide(&b.default_params)?.region_id;
             let input = (b.make_input)(&b.default_params);
             let sim = Simulator::new(&par, DeviceModel::ipaq_testbed());
             sim.run_choice(idx, &b.default_params, &input)

@@ -76,7 +76,7 @@ pub fn run_setting(
         choice_times.push(r.stats.total_time.to_f64());
         choice_energy.push(r.stats.energy.to_f64());
     }
-    let (dispatched, _) = analysis.plan_for(params)?;
+    let dispatched = analysis.decide(params)?.region_id;
     Ok(SettingRow {
         label: label.into(),
         local_time: local.stats.total_time.to_f64(),

@@ -9,11 +9,61 @@
 //! choice whose region contains the point.
 
 use crate::netbuild::PartitionNetwork;
-use crate::parametric::{cut_cost_at, ParametricPartition, Partition};
+use crate::parametric::{cut_cost_at, ParametricPartition, Partition, Plan};
 use offload_poly::Rational;
 use offload_symbolic::{Atom, DummyOrigin, ParamDict, SymExpr};
 use std::collections::HashMap;
 use std::fmt;
+
+/// How a dispatch decision was reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchRoute {
+    /// Answered by the compiled point-location DAG
+    /// ([`crate::PointLocator`]) — the production path.
+    Dag,
+    /// Answered by the linear region scan (no locator compiled for the
+    /// partition). Kept as a first-class route so the scan stays
+    /// available as the differential-testing oracle.
+    LinearScan,
+    /// The point lies outside every region (outside the declared
+    /// parameter space); the cheapest known cut was selected instead.
+    Fallback,
+}
+
+impl fmt::Display for DispatchRoute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DispatchRoute::Dag => "dag",
+            DispatchRoute::LinearScan => "linear-scan",
+            DispatchRoute::Fallback => "fallback",
+        })
+    }
+}
+
+/// A typed dispatch decision: what to execute, which region matched, and
+/// how the answer was computed.
+///
+/// This replaces the bare `usize` (and `(usize, Plan)` tuple) the
+/// dispatcher used to hand out: callers get the executable [`Plan`], the
+/// region/choice index for reporting, and the [`DispatchRoute`] for
+/// observability, in one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Decision<'a> {
+    /// The executable plan for the selected choice.
+    pub plan: Plan<'a>,
+    /// Index of the selected choice (== its region's index; regions are
+    /// pairwise disjoint, one per choice).
+    pub region_id: usize,
+    /// How the decision was reached.
+    pub route: DispatchRoute,
+}
+
+impl Decision<'_> {
+    /// The selected choice index (alias of [`Decision::region_id`]).
+    pub fn choice(&self) -> usize {
+        self.region_id
+    }
+}
 
 /// How an annotated dummy is evaluated at dispatch time.
 #[derive(Debug, Clone)]
@@ -204,21 +254,13 @@ impl Dispatcher {
         }
     }
 
-    /// Selects the partitioning choice for concrete parameter values:
-    /// the choice whose region contains the point, falling back to the
-    /// cheapest cut when the point lies outside every recorded region
-    /// (e.g. outside the declared parameter bounds).
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`DispatchError`] for missing annotations or wrong
-    /// arity.
-    pub fn select(
+    /// Computes the linearized-dimension point for raw `i64` parameter
+    /// values, checking arity.
+    fn point_for(
         &self,
         pnet: &PartitionNetwork,
-        partition: &ParametricPartition,
         params: &[i64],
-    ) -> Result<usize, DispatchError> {
+    ) -> Result<Vec<Rational>, DispatchError> {
         if params.len() != self.dict.param_count() {
             return Err(DispatchError::ArityMismatch {
                 expected: self.dict.param_count(),
@@ -226,20 +268,50 @@ impl Dispatcher {
             });
         }
         let params: Vec<Rational> = params.iter().map(|&v| Rational::from(v)).collect();
-        let point = self.dim_point(pnet, &params)?;
-        for (i, choice) in partition.choices.iter().enumerate() {
-            if choice.region.contains(&point) {
-                offload_obs::event!("runtime", "dispatch", choice = i, matched_region = true,);
-                if offload_obs::enabled() {
-                    offload_obs::counter("runtime.dispatch.region_matches").inc();
-                }
-                return Ok(i);
+        self.dim_point(pnet, &params)
+    }
+
+    /// Assembles the [`Decision`] for a matched (or fallen-back) choice.
+    fn decision<'a>(
+        partition: &'a ParametricPartition,
+        region_id: usize,
+        route: DispatchRoute,
+    ) -> Decision<'a> {
+        let choice = &partition.choices[region_id];
+        let plan = if choice.is_all_local() {
+            Plan::AllLocal
+        } else {
+            Plan::Partitioned(choice)
+        };
+        offload_obs::event!(
+            "runtime",
+            "dispatch",
+            choice = region_id,
+            matched_region = route != DispatchRoute::Fallback,
+        );
+        if offload_obs::enabled() {
+            match route {
+                DispatchRoute::Fallback => offload_obs::counter("runtime.dispatch.fallbacks").inc(),
+                _ => offload_obs::counter("runtime.dispatch.region_matches").inc(),
             }
         }
-        // Outside the declared space: pick the cheapest known cut.
+        Decision {
+            plan,
+            region_id,
+            route,
+        }
+    }
+
+    /// Cheapest known cut at a point outside every region (outside the
+    /// declared parameter bounds).
+    fn fallback_choice(
+        pnet: &PartitionNetwork,
+        partition: &ParametricPartition,
+        point: &[Rational],
+    ) -> usize {
         let mut best: Option<(usize, Rational)> = None;
         for (i, choice) in partition.choices.iter().enumerate() {
-            if let Some(v) = cut_cost_at(pnet, choice, &point) {
+            if let Some(v) = cut_cost_at(pnet, choice, point) {
                 best = Some(match best {
                     None => (i, v),
                     Some((_, bv)) if v < bv => (i, v),
@@ -247,17 +319,97 @@ impl Dispatcher {
                 });
             }
         }
-        let selected = best.map(|(i, _)| i).unwrap_or(0);
-        offload_obs::event!(
-            "runtime",
-            "dispatch",
-            choice = selected,
-            matched_region = false,
-        );
-        if offload_obs::enabled() {
-            offload_obs::counter("runtime.dispatch.fallbacks").inc();
+        best.map(|(i, _)| i).unwrap_or(0)
+    }
+
+    /// Selects the partitioning choice for concrete parameter values and
+    /// returns the full typed [`Decision`]: the choice whose region
+    /// contains the point, falling back to the cheapest cut when the
+    /// point lies outside every recorded region (e.g. outside the
+    /// declared parameter bounds).
+    ///
+    /// Uses the partition's compiled point-location DAG
+    /// ([`crate::PointLocator`]) when one is present — O(depth) sign
+    /// tests instead of a scan over every constraint of every region —
+    /// and the linear region scan otherwise; [`Decision::route`] records
+    /// which engine answered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DispatchError`] for missing annotations or wrong
+    /// arity.
+    pub fn decide<'a>(
+        &self,
+        pnet: &PartitionNetwork,
+        partition: &'a ParametricPartition,
+        params: &[i64],
+    ) -> Result<Decision<'a>, DispatchError> {
+        let point = self.point_for(pnet, params)?;
+        if let Some(locator) = &partition.locator {
+            return Ok(match locator.locate(&point) {
+                Some(i) => Self::decision(partition, i, DispatchRoute::Dag),
+                None => Self::decision(
+                    partition,
+                    Self::fallback_choice(pnet, partition, &point),
+                    DispatchRoute::Fallback,
+                ),
+            });
         }
-        Ok(selected)
+        Ok(self.scan_decision(pnet, partition, point))
+    }
+
+    /// Like [`Dispatcher::decide`], but always answers with the linear
+    /// region scan, ignoring any compiled locator. This is the original
+    /// dispatch procedure, kept as the differential-testing oracle for
+    /// the DAG (and reachable in production via partitions without a
+    /// locator).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DispatchError`] for missing annotations or wrong
+    /// arity.
+    pub fn decide_linear<'a>(
+        &self,
+        pnet: &PartitionNetwork,
+        partition: &'a ParametricPartition,
+        params: &[i64],
+    ) -> Result<Decision<'a>, DispatchError> {
+        let point = self.point_for(pnet, params)?;
+        Ok(self.scan_decision(pnet, partition, point))
+    }
+
+    fn scan_decision<'a>(
+        &self,
+        pnet: &PartitionNetwork,
+        partition: &'a ParametricPartition,
+        point: Vec<Rational>,
+    ) -> Decision<'a> {
+        for (i, choice) in partition.choices.iter().enumerate() {
+            if choice.region.contains(&point) {
+                return Self::decision(partition, i, DispatchRoute::LinearScan);
+            }
+        }
+        Self::decision(
+            partition,
+            Self::fallback_choice(pnet, partition, &point),
+            DispatchRoute::Fallback,
+        )
+    }
+
+    /// Selects the partitioning choice for concrete parameter values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DispatchError`] for missing annotations or wrong
+    /// arity.
+    #[deprecated(note = "use `decide`, which returns the typed `Decision`")]
+    pub fn select(
+        &self,
+        pnet: &PartitionNetwork,
+        partition: &ParametricPartition,
+        params: &[i64],
+    ) -> Result<usize, DispatchError> {
+        self.decide(pnet, partition, params).map(|d| d.region_id)
     }
 
     /// Reusable region test: does `choice`'s optimality region contain the

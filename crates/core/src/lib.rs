@@ -32,10 +32,10 @@
 //!     void main(int n) { output(work(n)); }";
 //! let analysis = Analysis::from_source(src, AnalysisOptions::default())?;
 //! // Small n: stay local. Huge n: offload the worker.
-//! let small = analysis.select(&[1])?;
-//! let large = analysis.select(&[100000])?;
-//! assert!(analysis.partition.choices[small].is_all_local());
-//! assert!(!analysis.partition.choices[large].is_all_local());
+//! let small = analysis.decide(&[1])?;
+//! let large = analysis.decide(&[100000])?;
+//! assert!(small.plan.is_all_local());
+//! assert!(!large.plan.is_all_local());
 //! # Ok::<(), offload_core::AnalyzeError>(())
 //! ```
 
@@ -47,15 +47,20 @@ mod dispatch;
 mod items;
 mod netbuild;
 mod parametric;
+mod pointloc;
 
 pub use costmodel::CostModel;
-pub use dispatch::{dummies_in_solution, AnnotationRule, Annotations, DispatchError, Dispatcher};
+pub use dispatch::{
+    dummies_in_solution, AnnotationRule, Annotations, Decision, DispatchError, DispatchRoute,
+    Dispatcher,
+};
 pub use items::{ItemTable, TrackedItem};
 pub use netbuild::{NetBuilder, ParamBounds, PartitionNetwork, Term, ValidityModel};
 pub use parametric::{
     cut_cost_at, solve, Direction, LogFn, LogLevel, ParametricPartition, Partition, PipelineStats,
     Plan, RegionStrategy, SolveError, SolveOptions, SolveStats,
 };
+pub use pointloc::PointLocator;
 
 use offload_ir::Module;
 use offload_pta::{ModRef, PointsTo};
@@ -451,9 +456,38 @@ impl Analysis {
     /// # Errors
     ///
     /// Returns [`DispatchError`] for missing annotations or wrong arity.
+    #[deprecated(note = "use `decide`, which returns the typed `Decision`")]
     pub fn select(&self, params: &[i64]) -> Result<usize, DispatchError> {
+        self.decide(params).map(|d| d.region_id)
+    }
+
+    /// Selects the partitioning choice for concrete parameter values and
+    /// returns the full typed [`Decision`] — the executable [`Plan`], the
+    /// matched region index, and the [`DispatchRoute`] that answered
+    /// (point-location DAG, linear scan, or cheapest-cut fallback).
+    ///
+    /// This is the one-call bridge from analysis to execution: the plan
+    /// feeds directly into the simulator's and the TCP engine's `run`
+    /// entry points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DispatchError`] for missing annotations or wrong arity.
+    pub fn decide(&self, params: &[i64]) -> Result<Decision<'_>, DispatchError> {
         self.dispatcher
-            .select(&self.network, &self.partition, params)
+            .decide(&self.network, &self.partition, params)
+    }
+
+    /// Like [`Analysis::decide`], but always answers with the linear
+    /// region scan — the differential-testing oracle for the compiled
+    /// point-location DAG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DispatchError`] for missing annotations or wrong arity.
+    pub fn decide_linear(&self, params: &[i64]) -> Result<Decision<'_>, DispatchError> {
+        self.dispatcher
+            .decide_linear(&self.network, &self.partition, params)
     }
 
     /// Unified work counters of the parametric solve (flow / poly / core
@@ -472,15 +506,9 @@ impl Analysis {
     /// # Errors
     ///
     /// Returns [`DispatchError`] for missing annotations or wrong arity.
+    #[deprecated(note = "use `decide`, which returns the typed `Decision`")]
     pub fn plan_for(&self, params: &[i64]) -> Result<(usize, Plan<'_>), DispatchError> {
-        let choice = self.select(params)?;
-        let partition = &self.partition.choices[choice];
-        let plan = if partition.is_all_local() {
-            Plan::AllLocal
-        } else {
-            Plan::Partitioned(partition)
-        };
-        Ok((choice, plan))
+        self.decide(params).map(|d| (d.region_id, d.plan))
     }
 
     /// The Figure 2-style guard text of each choice.

@@ -144,6 +144,10 @@ pub struct ParametricPartition {
     pub choices: Vec<Partition>,
     /// Solve statistics.
     pub stats: SolveStats,
+    /// The compiled point-location structure over the choices' regions
+    /// (shared so N sessions of one program share one DAG). `None` only
+    /// for hand-assembled partitions; [`solve`] always compiles one.
+    pub locator: Option<Arc<crate::pointloc::PointLocator>>,
 }
 
 /// Errors from the parametric solver.
@@ -446,7 +450,19 @@ pub fn solve_with_probes(
         solve_span.record("rounds", stats.pipeline.rounds);
         stats.pipeline.publish_metrics();
     }
-    Ok(ParametricPartition { choices, stats })
+    // Compile the region decomposition into the point-location DAG the
+    // dispatcher walks at run time (built once here, shared by every
+    // session of this analysis). `None` when the decomposition is too
+    // rich to compile within the build budget — dispatch then keeps the
+    // linear scan.
+    let regions: Vec<&Region> = choices.iter().map(|c| &c.region).collect();
+    let locator =
+        crate::pointloc::PointLocator::build(&regions, pnet.param_space.nvars()).map(Arc::new);
+    Ok(ParametricPartition {
+        choices,
+        stats,
+        locator,
+    })
 }
 
 /// The result of exploring one worklist piece: its deterministic sample

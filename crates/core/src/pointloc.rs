@@ -1,0 +1,655 @@
+//! Point location: compiling a region decomposition into a hyperplane
+//! decision DAG.
+//!
+//! The paper's Figure 2 dispatcher linearly tests which polyhedral region
+//! contains the current parameter point. That is the right shape for the
+//! two-region programs of the evaluation, and the wrong shape for a
+//! service answering millions of dispatch queries: every query re-checks
+//! every constraint of every piece of every choice. This module compiles
+//! the decomposition **once**, at analysis time, into a decision DAG over
+//! the distinct hyperplanes of the region inequalities:
+//!
+//! * Every constraint `e ⋈ 0` of every piece is canonicalized to a signed
+//!   integer hyperplane `h` (integer coefficients, collective gcd one,
+//!   leading coefficient positive), deduplicated across pieces and
+//!   choices, so a facet shared by two adjacent regions is evaluated
+//!   once per query.
+//! * Internal nodes test the **sign** of one hyperplane at the query
+//!   point and branch three ways (`< 0`, `= 0`, `> 0`); the trichotomy —
+//!   rather than a binary test — is what keeps points that lie exactly
+//!   on a region boundary exact: strict and non-strict constraints on
+//!   the same hyperplane resolve differently at sign zero, and both
+//!   resolve correctly here.
+//! * Construction is exact: each branch's accumulated sign context is a
+//!   polyhedron, infeasible branches are pruned with the poly layer's
+//!   rational emptiness LP, and a branch whose context is covered by the
+//!   remaining candidate pieces of a single choice terminates early in a
+//!   leaf. Identical sign contexts are hash-consed, so the structure is
+//!   a DAG, not a tree.
+//! * Evaluation runs in fixed-width integer arithmetic: each hyperplane
+//!   stores its coefficients as `i128` (when they fit) and the sign of
+//!   `h(x)` is an overflow-checked dot product for integer-valued query
+//!   points, falling back to the exact rational evaluation on overflow
+//!   or on fractional coordinates (annotated dummies can evaluate to
+//!   rationals). Fast path and fallback compute the same sign, so the
+//!   result never depends on which one ran.
+//!
+//! The DAG answers "which choice's region contains this point?" in one
+//! root-to-leaf walk — at most one sign evaluation per distinct
+//! hyperplane, and typically far fewer. [`crate::Dispatcher::decide`]
+//! consults it via the locator stored on
+//! [`crate::ParametricPartition::locator`]; the linear scan remains
+//! available (and differential-tested against the DAG) as
+//! [`crate::DispatchRoute::LinearScan`] — and stays the sole dispatch
+//! route for decompositions whose hyperplane arrangements are too rich
+//! to compile within [`PointLocator::build`]'s size gate and work
+//! budget.
+
+use offload_poly::{Cmp, Constraint, LinExpr, Polyhedron, Rational, Region};
+use std::collections::HashMap;
+
+/// Sign-requirement bitmask: which signs of a hyperplane value satisfy a
+/// constraint.
+const NEG: u8 = 1;
+const ZERO: u8 = 2;
+const POS: u8 = 4;
+
+/// One canonical hyperplane `h(x) = c0 + Σ ci·xi`.
+#[derive(Debug, Clone)]
+struct Plane {
+    /// Exact form (integer coefficients, gcd one, leading coefficient
+    /// positive).
+    expr: LinExpr,
+    /// `(coefficients, constant)` as `i128`, when every coefficient fits.
+    int_form: Option<(Vec<i128>, i128)>,
+}
+
+impl Plane {
+    fn from_expr(expr: LinExpr) -> Plane {
+        let int_form = (|| {
+            let mut coeffs = Vec::with_capacity(expr.nvars());
+            for i in 0..expr.nvars() {
+                let c = expr.coeff(i);
+                debug_assert!(c.is_integer(), "canonical plane has integer coefficients");
+                coeffs.push(c.numer().to_i128()?);
+            }
+            let c0 = expr.constant_term().numer().to_i128()?;
+            Some((coeffs, c0))
+        })();
+        Plane { expr, int_form }
+    }
+
+    /// Sign of `h` at `point`: `-1`, `0` or `1`. `ints` is the point's
+    /// `i128` image when every coordinate is an integer that fits.
+    fn sign_at(&self, point: &[Rational], ints: Option<&[i128]>) -> i32 {
+        if let (Some((coeffs, c0)), Some(xs)) = (&self.int_form, ints) {
+            if let Some(sign) = int_dot_sign(coeffs, *c0, xs) {
+                return sign;
+            }
+            // i128 overflow: fall through to the exact path.
+            if offload_obs::enabled() {
+                offload_obs::counter("core.pointloc.exact_fallbacks").inc();
+            }
+        }
+        self.expr.eval(point).signum()
+    }
+}
+
+/// Overflow-checked `sign(c0 + Σ ci·xi)` in `i128`; `None` on overflow.
+fn int_dot_sign(coeffs: &[i128], c0: i128, xs: &[i128]) -> Option<i32> {
+    let mut acc = c0;
+    for (c, x) in coeffs.iter().zip(xs) {
+        if *c != 0 {
+            acc = acc.checked_add(c.checked_mul(*x)?)?;
+        }
+    }
+    Some(acc.signum() as i32)
+}
+
+/// A node of the decision DAG.
+#[derive(Debug, Clone)]
+enum Node {
+    /// No choice's region contains the point.
+    NoMatch,
+    /// The point lies in this choice's region.
+    Match(u32),
+    /// Branch on the sign of a hyperplane.
+    Test {
+        plane: u32,
+        neg: u32,
+        zero: u32,
+        pos: u32,
+    },
+}
+
+/// One piece of one choice's region, as sign requirements on planes.
+#[derive(Debug, Clone)]
+struct PieceReq {
+    choice: u32,
+    /// Piece index within the source regions (used to fetch the
+    /// polyhedron for coverage tests during construction).
+    poly: Polyhedron,
+    /// `(plane, allowed-sign mask)`, deduplicated per plane.
+    reqs: Vec<(u32, u8)>,
+}
+
+/// A compiled point-location structure over a region decomposition.
+///
+/// Built once per analysis (see [`crate::ParametricPartition::locator`]);
+/// evaluated per dispatch query by [`PointLocator::locate`].
+#[derive(Debug, Clone)]
+pub struct PointLocator {
+    nvars: usize,
+    planes: Vec<Plane>,
+    nodes: Vec<Node>,
+    root: u32,
+    depth: u32,
+}
+
+/// Construction rides every analysis, so it must be cheap or absent:
+/// compiling the DAG is worth seconds for a decomposition a server will
+/// answer millions of queries against, but a hyperplane arrangement
+/// that is too rich (its cell count is exponential in dimension) must
+/// abandon the DAG — dispatch then keeps the paper's linear scan
+/// ([`crate::DispatchRoute::LinearScan`]) — rather than stall the
+/// solve. Two deterministic guards enforce that:
+///
+/// * an up-front gate on arrangement size — past [`MAX_PLANES`]
+///   distinct hyperplanes or [`MAX_PIECES`] region pieces the cell
+///   count dwarfs any scan savings, so construction is not attempted
+///   (of the checked-in benchmarks, fft at 29 planes / 11 dims and
+///   susan at 30 / 14 are gated out; the ADPCM codecs at 12 / 6
+///   compile to ~2.7k nodes);
+/// * a work budget counted in LP calls ([`BUILD_WORK_BUDGET`]) — the
+///   unit of actual construction cost — so an attempt that turns out
+///   pathological aborts in bounded time instead of bounded recursion
+///   with unbounded per-step cost.
+const MAX_PLANES: usize = 24;
+const MAX_PIECES: usize = 16;
+const BUILD_WORK_BUDGET: usize = 200_000;
+
+impl PointLocator {
+    /// Compiles the decision DAG for a set of pairwise-disjoint regions
+    /// (one per partitioning choice, in choice order) over an
+    /// `nvars`-dimensional space.
+    ///
+    /// Returns `None` when the arrangement fails the size gate or
+    /// construction exceeds its work budget (the arrangement is too
+    /// rich to compile cheaply); callers fall back to the linear scan,
+    /// which is always available.
+    pub fn build(regions: &[&Region], nvars: usize) -> Option<PointLocator> {
+        let mut b = Builder {
+            planes: Vec::new(),
+            plane_ids: HashMap::new(),
+            pieces: Vec::new(),
+            nodes: Vec::new(),
+            memo: HashMap::new(),
+            work: 0,
+            aborted: false,
+        };
+        for (choice, region) in regions.iter().enumerate() {
+            for piece in region.pieces() {
+                b.intern_piece(choice as u32, piece);
+            }
+        }
+        if b.planes.len() > MAX_PLANES || b.pieces.len() > MAX_PIECES {
+            if offload_obs::enabled() {
+                offload_obs::counter("core.pointloc.build_skips").inc();
+            }
+            return None;
+        }
+        let all: Vec<usize> = (0..b.pieces.len()).collect();
+        let root = b.node_for(&mut Vec::new(), &all, Polyhedron::universe(nvars));
+        if b.aborted {
+            if offload_obs::enabled() {
+                offload_obs::counter("core.pointloc.build_aborts").inc();
+            }
+            return None;
+        }
+        let depth = b.max_depth(root);
+        let locator = PointLocator {
+            nvars,
+            planes: b.planes,
+            nodes: b.nodes,
+            root,
+            depth,
+        };
+        if offload_obs::enabled() {
+            offload_obs::histogram("core.pointloc.nodes").record(locator.nodes.len() as u64);
+            offload_obs::histogram("core.pointloc.depth").record(locator.depth as u64);
+        }
+        Some(locator)
+    }
+
+    /// The index of the choice whose region contains `point`, or `None`
+    /// when the point lies outside every region (outside the declared
+    /// parameter space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point's dimension differs from the regions'.
+    pub fn locate(&self, point: &[Rational]) -> Option<usize> {
+        assert_eq!(point.len(), self.nvars, "point dimension mismatch");
+        // One integerization for the whole walk: every coordinate as
+        // i128 when the point is integral (the common case — integer
+        // parameters through integer monomials).
+        let ints: Option<Vec<i128>> = point
+            .iter()
+            .map(|r| {
+                if r.is_integer() {
+                    r.numer().to_i128()
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::NoMatch => return None,
+                Node::Match(c) => return Some(*c as usize),
+                Node::Test {
+                    plane,
+                    neg,
+                    zero,
+                    pos,
+                } => {
+                    let sign = self.planes[*plane as usize].sign_at(point, ints.as_deref());
+                    node = match sign {
+                        s if s < 0 => *neg,
+                        0 => *zero,
+                        _ => *pos,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of DAG nodes (leaves included).
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Longest root-to-leaf path (sign evaluations on the worst query).
+    pub fn depth(&self) -> usize {
+        self.depth as usize
+    }
+
+    /// Number of distinct hyperplanes across all regions.
+    pub fn planes(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// Dimension of the located space.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+}
+
+struct Builder {
+    planes: Vec<Plane>,
+    plane_ids: HashMap<LinExpr, u32>,
+    pieces: Vec<PieceReq>,
+    nodes: Vec<Node>,
+    /// Hash-consing: sign assignment (sorted `(plane, sign-bit)`) → node.
+    memo: HashMap<Vec<(u32, u8)>, u32>,
+    /// Work units spent (roughly, emptiness LPs solved); construction
+    /// aborts past [`BUILD_WORK_BUDGET`].
+    work: usize,
+    aborted: bool,
+}
+
+impl Builder {
+    /// Charges `units` of construction work against the budget; returns
+    /// `false` (and latches the abort flag) once the budget is blown.
+    fn charge(&mut self, units: usize) -> bool {
+        self.work = self.work.saturating_add(units);
+        if self.work > BUILD_WORK_BUDGET {
+            self.aborted = true;
+        }
+        !self.aborted
+    }
+
+    /// Canonicalizes a constraint to `(plane, allowed-sign mask)`.
+    /// Returns `None` for trivially-true constraints and a full-`false`
+    /// mask (`0`) for trivially-false ones.
+    fn intern_constraint(&mut self, c: &Constraint) -> Option<(u32, u8)> {
+        match c.trivial_truth() {
+            Some(true) => return None,
+            Some(false) => return Some((u32::MAX, 0)),
+            None => {}
+        }
+        let norm = c.normalize();
+        // Sign-canonical: flip so the leading nonzero coefficient is
+        // positive, remembering the flip in the allowed-sign mask.
+        let flip = (0..norm.expr.nvars())
+            .map(|i| norm.expr.coeff(i))
+            .find(|v| !v.is_zero())
+            .map(|v| v.is_negative())
+            .unwrap_or(false);
+        let expr = if flip {
+            norm.expr.scale(&Rational::from(-1))
+        } else {
+            norm.expr.clone()
+        };
+        let mask = match (norm.cmp, flip) {
+            (Cmp::Ge, false) => ZERO | POS,
+            (Cmp::Ge, true) => NEG | ZERO,
+            (Cmp::Gt, false) => POS,
+            (Cmp::Gt, true) => NEG,
+        };
+        let id = match self.plane_ids.get(&expr) {
+            Some(id) => *id,
+            None => {
+                let id = self.planes.len() as u32;
+                self.planes.push(Plane::from_expr(expr.clone()));
+                self.plane_ids.insert(expr, id);
+                id
+            }
+        };
+        Some((id, mask))
+    }
+
+    fn intern_piece(&mut self, choice: u32, poly: &Polyhedron) {
+        let mut reqs: Vec<(u32, u8)> = Vec::new();
+        for c in poly.constraints() {
+            match self.intern_constraint(c) {
+                None => {}
+                Some((_, 0)) => return, // trivially-false: empty piece
+                Some((p, m)) => match reqs.iter_mut().find(|(q, _)| *q == p) {
+                    Some((_, exist)) => *exist &= m,
+                    None => reqs.push((p, m)),
+                },
+            }
+        }
+        if reqs.iter().any(|(_, m)| *m == 0) {
+            return; // contradictory on one plane: empty piece
+        }
+        reqs.sort_unstable_by_key(|(p, _)| *p);
+        self.pieces.push(PieceReq {
+            choice,
+            poly: poly.clone(),
+            reqs,
+        });
+    }
+
+    fn push_node(&mut self, n: Node) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(n);
+        id
+    }
+
+    /// Constraints a sign assignment imposes on the context polyhedron.
+    fn sign_constraints(&self, plane: u32, bit: u8) -> Vec<Constraint> {
+        let h = self.planes[plane as usize].expr.clone();
+        match bit {
+            NEG => vec![Constraint::gt0(h.scale(&Rational::from(-1)))],
+            ZERO => vec![
+                Constraint::ge0(h.clone()),
+                Constraint::ge0(h.scale(&Rational::from(-1))),
+            ],
+            _ => vec![Constraint::gt0(h)],
+        }
+    }
+
+    /// Builds (or reuses) the node for a sign assignment. `assign` is
+    /// kept sorted by plane id; `candidates` lists pieces compatible with
+    /// it; `ctx` is the polyhedron of the assignment's constraints.
+    fn node_for(
+        &mut self,
+        assign: &mut Vec<(u32, u8)>,
+        candidates: &[usize],
+        ctx: Polyhedron,
+    ) -> u32 {
+        if let Some(id) = self.memo.get(assign.as_slice()) {
+            return *id;
+        }
+        let id = self.build_node(assign, candidates, ctx);
+        self.memo.insert(assign.clone(), id);
+        id
+    }
+
+    fn build_node(
+        &mut self,
+        assign: &mut Vec<(u32, u8)>,
+        candidates: &[usize],
+        ctx: Polyhedron,
+    ) -> u32 {
+        if candidates.is_empty() {
+            return self.push_node(Node::NoMatch);
+        }
+        // Unreachable sign combinations get a NoMatch leaf; pruning here
+        // is what keeps the structure near the decomposition's intrinsic
+        // size instead of 3^planes.
+        if !self.charge(1) {
+            return self.push_node(Node::NoMatch);
+        }
+        if ctx.is_empty() {
+            return self.push_node(Node::NoMatch);
+        }
+        // A piece whose every requirement is decided true contains the
+        // whole context; regions are pairwise disjoint, so it is the
+        // answer everywhere below this node.
+        let decided = |reqs: &[(u32, u8)]| {
+            reqs.iter()
+                .all(|(p, m)| assign.iter().any(|(ap, abit)| ap == p && (abit & m) != 0))
+        };
+        if let Some(i) = candidates.iter().find(|&&i| decided(&self.pieces[i].reqs)) {
+            return self.push_node(Node::Match(self.pieces[*i].choice));
+        }
+        // Geometric refinement — the step that keeps the recursion at
+        // the decomposition's intrinsic complexity instead of the full
+        // hyperplane arrangement's (which is exponential in dimension):
+        // a candidate whose piece *contains* the whole context is the
+        // answer outright (first in choice order, mirroring the scan),
+        // and a candidate whose piece is disjoint from the context can
+        // never match below this node and is dropped, so branching only
+        // continues on planes that still discriminate here.
+        let mut live: Vec<usize> = Vec::with_capacity(candidates.len());
+        for &i in candidates {
+            // subset_of runs one emptiness LP per constraint of the
+            // piece; the intersection test runs one more.
+            let lp_cost = self.pieces[i].poly.constraints().len() + 1;
+            if !self.charge(lp_cost) {
+                return self.push_node(Node::NoMatch);
+            }
+            if ctx.subset_of(&self.pieces[i].poly) {
+                return self.push_node(Node::Match(self.pieces[i].choice));
+            }
+            if !ctx.intersect(&self.pieces[i].poly).is_empty() {
+                live.push(i);
+            }
+        }
+        if live.is_empty() {
+            return self.push_node(Node::NoMatch);
+        }
+        let candidates = &live[..];
+        // Early leaf: when every remaining candidate belongs to one
+        // choice and together they cover the context, no further sign
+        // can change the answer.
+        let first_choice = self.pieces[candidates[0]].choice;
+        if candidates
+            .iter()
+            .all(|&i| self.pieces[i].choice == first_choice)
+        {
+            let mut rest = Region::from(ctx.clone());
+            for &i in candidates {
+                if !self.charge(self.pieces[i].poly.constraints().len() + 1) {
+                    return self.push_node(Node::NoMatch);
+                }
+                rest = rest.subtract(&self.pieces[i].poly);
+                if rest.is_empty() {
+                    return self.push_node(Node::Match(first_choice));
+                }
+            }
+        }
+        // Branch on the hyperplane that appears in the most candidate
+        // pieces (ties break to the lowest id, for determinism).
+        let assigned = |p: u32| assign.iter().any(|(ap, _)| *ap == p);
+        let mut counts: Vec<(u32, usize)> = Vec::new();
+        for &i in candidates {
+            for (p, _) in &self.pieces[i].reqs {
+                if assigned(*p) {
+                    continue;
+                }
+                match counts.iter_mut().find(|(q, _)| q == p) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((*p, 1)),
+                }
+            }
+        }
+        let Some(&(plane, _)) = counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        else {
+            // Every plane of every candidate is assigned, yet none is
+            // fully satisfied: each candidate has some requirement
+            // decided false, so nothing matches here.
+            return self.push_node(Node::NoMatch);
+        };
+        let mut children = [0u32; 3];
+        for (slot, bit) in [NEG, ZERO, POS].into_iter().enumerate() {
+            let next: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    self.pieces[i]
+                        .reqs
+                        .iter()
+                        .all(|(p, m)| *p != plane || (m & bit) != 0)
+                })
+                .collect();
+            let mut child_ctx = ctx.clone();
+            for c in self.sign_constraints(plane, bit) {
+                child_ctx.add(c);
+            }
+            let pos = assign
+                .binary_search_by_key(&(plane, bit), |&e| e)
+                .unwrap_err();
+            assign.insert(pos, (plane, bit));
+            children[slot] = self.node_for(assign, &next, child_ctx);
+            assign.remove(pos);
+        }
+        self.push_node(Node::Test {
+            plane,
+            neg: children[0],
+            zero: children[1],
+            pos: children[2],
+        })
+    }
+
+    /// Longest path from `root` to any leaf (the DAG is acyclic by
+    /// construction: children are always created before their parent).
+    fn max_depth(&self, root: u32) -> u32 {
+        let mut depth = vec![0u32; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Node::Test { neg, zero, pos, .. } = n {
+                depth[i] = 1 + depth[*neg as usize]
+                    .max(depth[*zero as usize])
+                    .max(depth[*pos as usize]);
+            }
+        }
+        depth[root as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64) -> Rational {
+        Rational::from(n)
+    }
+
+    fn x_ge(c: i64) -> Constraint {
+        Constraint::ge0(LinExpr::var(1, 0).plus_constant(r(-c)))
+    }
+
+    fn x_lt(c: i64) -> Constraint {
+        Constraint::gt0(LinExpr::constant(1, r(c)).plus_term(0, r(-1)))
+    }
+
+    /// Two disjoint 1-d regions split at x = 10 (x < 10 | x >= 10): the
+    /// boundary point must land in the closed side.
+    #[test]
+    fn split_point_boundary_is_exact() {
+        let low = Region::from(Polyhedron::from_constraints(1, vec![x_ge(0), x_lt(10)]));
+        let high = Region::from(Polyhedron::from_constraints(1, vec![x_ge(10)]));
+        let loc = PointLocator::build(&[&low, &high], 1).expect("DAG builds within budget");
+        assert_eq!(loc.locate(&[r(0)]), Some(0));
+        assert_eq!(loc.locate(&[r(9)]), Some(0));
+        assert_eq!(loc.locate(&[r(10)]), Some(1), "boundary goes to >=");
+        assert_eq!(loc.locate(&[r(11)]), Some(1));
+        assert_eq!(loc.locate(&[r(-1)]), None, "outside the declared space");
+        assert_eq!(
+            loc.locate(&[Rational::new(19, 2)]),
+            Some(0),
+            "rational coordinates use the exact path"
+        );
+    }
+
+    /// A shared facet between adjacent regions is interned once.
+    #[test]
+    fn shared_hyperplane_dedup() {
+        let low = Region::from(Polyhedron::from_constraints(1, vec![x_lt(10)]));
+        let high = Region::from(Polyhedron::from_constraints(1, vec![x_ge(10)]));
+        let loc = PointLocator::build(&[&low, &high], 1).expect("DAG builds within budget");
+        assert_eq!(loc.planes(), 1, "x<10 and x>=10 share one hyperplane");
+        assert_eq!(loc.depth(), 1);
+    }
+
+    /// Zero-dimensional space: a single universal region.
+    #[test]
+    fn zero_dims_universe() {
+        let all = Region::universe(0);
+        let loc = PointLocator::build(&[&all], 0).expect("DAG builds within budget");
+        assert_eq!(loc.locate(&[]), Some(0));
+    }
+
+    /// Coefficients too large for i128 still evaluate (exact fallback).
+    #[test]
+    fn huge_point_falls_back_to_exact() {
+        let low = Region::from(Polyhedron::from_constraints(1, vec![x_lt(10)]));
+        let high = Region::from(Polyhedron::from_constraints(1, vec![x_ge(10)]));
+        let loc = PointLocator::build(&[&low, &high], 1).expect("DAG builds within budget");
+        // 2^200 does not fit i128; the rational path must answer.
+        let mut huge = Rational::one();
+        for _ in 0..200 {
+            huge = &huge * &Rational::from(2);
+        }
+        assert_eq!(loc.locate(&[huge]), Some(1));
+    }
+
+    /// 2-d: quadrant-style split with a wedge, exercising DAG sharing.
+    #[test]
+    fn two_dims_three_choices() {
+        let nv = 2;
+        let x = || LinExpr::var(nv, 0);
+        let y = || LinExpr::var(nv, 1);
+        // A: x >= 0, y >= 0, x - y >= 0 (lower wedge incl. diagonal)
+        let a = Region::from(Polyhedron::from_constraints(
+            nv,
+            vec![
+                Constraint::ge0(x()),
+                Constraint::ge0(y()),
+                Constraint::ge0(x().sub(&y())),
+            ],
+        ));
+        // B: x >= 0, y >= 0, y - x > 0 (upper wedge, open diagonal)
+        let b = Region::from(Polyhedron::from_constraints(
+            nv,
+            vec![
+                Constraint::ge0(x()),
+                Constraint::ge0(y()),
+                Constraint::gt0(y().sub(&x())),
+            ],
+        ));
+        let loc = PointLocator::build(&[&a, &b], nv).expect("DAG builds within budget");
+        assert_eq!(loc.locate(&[r(3), r(2)]), Some(0));
+        assert_eq!(loc.locate(&[r(2), r(3)]), Some(1));
+        assert_eq!(loc.locate(&[r(2), r(2)]), Some(0), "diagonal is A's");
+        assert_eq!(loc.locate(&[r(-1), r(2)]), None);
+        // The shared boundary plane x - y appears once.
+        assert!(loc.planes() <= 3);
+    }
+}

@@ -15,7 +15,7 @@ fn trivial_program_single_local_choice() {
         a.partition.choices[0].is_all_local(),
         "I/O pins the only task to the client"
     );
-    assert_eq!(a.select(&[]).unwrap(), 0);
+    assert_eq!(a.decide(&[]).unwrap().region_id, 0);
 }
 
 #[test]
@@ -30,8 +30,8 @@ fn pure_compute_helper_offloads_for_large_inputs() {
          void main(int n) { output(work(n)); }",
     );
     assert!(a.partition.choices.len() >= 2, "{}", a.describe_choices());
-    let small = a.select(&[1]).unwrap();
-    let large = a.select(&[1_000_000]).unwrap();
+    let small = a.decide(&[1]).unwrap().region_id;
+    let large = a.decide(&[1_000_000]).unwrap().region_id;
     assert!(a.partition.choices[small].is_all_local());
     assert!(!a.partition.choices[large].is_all_local());
     // The offloaded choice sends the worker to the server but keeps the
@@ -88,7 +88,7 @@ fn selected_choice_is_cheapest() {
          void main(int n) { output(work(n)); }",
     );
     for n in [1i64, 64, 512, 4096, 65536] {
-        let chosen = a.select(&[n]).unwrap();
+        let chosen = a.decide(&[n]).unwrap().region_id;
         let params = [Rational::from(n)];
         let point = a.dispatcher.dim_point(&a.network, &params).unwrap();
         let chosen_cost =
@@ -113,8 +113,8 @@ fn figure1_produces_parameter_dependent_choices() {
     // Different (x, y, z) corners select different partitionings, as in
     // the paper's worked example: heavy per-unit work (large z) favors
     // offloading the encoder; tiny work keeps everything local.
-    let local = a.select(&[4, 64, 1]).unwrap();
-    let heavy = a.select(&[4, 64, 100_000]).unwrap();
+    let local = a.decide(&[4, 64, 1]).unwrap().region_id;
+    let heavy = a.decide(&[4, 64, 100_000]).unwrap().region_id;
     assert_ne!(local, heavy, "{}", a.describe_choices());
     assert!(a.partition.choices[local].is_all_local());
     let g = a.module.func_by_name("g_fast").unwrap();
@@ -134,7 +134,7 @@ fn figure1_produces_parameter_dependent_choices() {
 #[test]
 fn figure1_transfers_buffers_not_garbage() {
     let a = analyze(offload_lang::examples_src::FIGURE1);
-    let heavy = a.select(&[4, 64, 100_000]).unwrap();
+    let heavy = a.decide(&[4, 64, 100_000]).unwrap().region_id;
     let choice = &a.partition.choices[heavy];
     // Some edge carries a client-to-server transfer (inbuf) and some edge
     // carries a server-to-client transfer (outbuf).
@@ -190,8 +190,9 @@ fn simplification_does_not_change_decisions() {
     let plain = Analysis::from_source(src, opts).unwrap();
     let simplified = analyze(src);
     for n in [1i64, 100, 10_000, 1_000_000] {
-        let a = plain.partition.choices[plain.select(&[n]).unwrap()].is_all_local();
-        let b = simplified.partition.choices[simplified.select(&[n]).unwrap()].is_all_local();
+        let a = plain.partition.choices[plain.decide(&[n]).unwrap().region_id].is_all_local();
+        let b =
+            simplified.partition.choices[simplified.decide(&[n]).unwrap().region_id].is_all_local();
         assert_eq!(a, b, "n={n}");
     }
 }
@@ -242,7 +243,7 @@ fn zero_communication_model_offloads_everything_possible() {
         opts,
     )
     .unwrap();
-    let idx = a.select(&[1000]).unwrap();
+    let idx = a.decide(&[1000]).unwrap().region_id;
     let choice = &a.partition.choices[idx];
     let work = a.module.func_by_name("work").unwrap();
     let worker_tasks: Vec<usize> = a

@@ -1,0 +1,238 @@
+//! Property tests for the point-location DAG.
+//!
+//! The DAG ([`offload_core::PointLocator`]) and the paper's linear
+//! region scan must be *extensionally equal*: for every parameter point
+//! — interior, boundary, or outside the declared parameter space — both
+//! must name the same partitioning choice. proptest is unavailable
+//! offline, so the suite drives a seeded xorshift64* generator (the same
+//! idiom as the wire-protocol fuzz tests) over mixed magnitudes, signs,
+//! and exact boundary neighborhoods, plus rational (non-integer) points
+//! that force the locator off its `i128` fast path.
+
+use offload_core::{Analysis, AnalysisOptions, DispatchRoute};
+use offload_poly::Rational;
+
+/// `(source, parameter arity)` for programs with multi-choice partitions
+/// (loops over distinct parameters produce distinct cuts and genuinely
+/// intersecting region boundaries).
+const PROGRAMS: &[(&str, usize)] = &[
+    (
+        "int work(int k) {
+         int j; int acc;
+         acc = 0;
+         for (j = 0; j < k; j++) { acc = acc + j * j; }
+         return acc;
+     }
+     void main(int n) { output(work(n)); }",
+        1,
+    ),
+    (
+        "int stage1(int k) {
+         int j; int acc;
+         acc = 0;
+         for (j = 0; j < k; j++) { acc = acc + j * 3 % 97; }
+         return acc;
+     }
+     int stage2(int k) {
+         int j; int acc;
+         acc = 1;
+         for (j = 0; j < k; j++) { acc = acc + j * j % 31; }
+         return acc;
+     }
+     void main(int n, int m) { output(stage1(n) + stage2(m)); }",
+        2,
+    ),
+    (
+        "int inner(int k) {
+         int j; int acc;
+         acc = 0;
+         for (j = 0; j < k; j++) { acc = acc + j; }
+         return acc;
+     }
+     int outer(int n, int m) {
+         int i; int acc;
+         acc = 0;
+         for (i = 0; i < n; i++) { acc = acc + inner(m); }
+         return acc;
+     }
+     void main(int n, int m) { output(outer(n, m)); }",
+        2,
+    ),
+];
+
+fn analyze(src: &str) -> Analysis {
+    Analysis::from_source(src, AnalysisOptions::default()).expect("analysis succeeds")
+}
+
+/// Deterministic xorshift64* generator (proptest is unavailable offline).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A parameter value from a magnitude tier chosen per draw: small
+    /// values straddle the region boundaries, large ones exercise the
+    /// deep interiors, and negatives land outside the declared space.
+    fn param(&mut self) -> i64 {
+        match self.next() % 4 {
+            0 => (self.next() % 32) as i64,
+            1 => (self.next() % 10_000) as i64,
+            2 => (self.next() % 2_000_000_000) as i64,
+            _ => -((self.next() % 1_000) as i64),
+        }
+    }
+}
+
+/// Asserts that the DAG route and the linear-scan oracle produce the
+/// same decision for `params`, and that the routes are the expected
+/// pair (DAG⇄scan on a match, fallback⇄fallback off the space).
+fn assert_agree(analysis: &Analysis, params: &[i64]) {
+    let dag = analysis.decide(params).expect("decide succeeds");
+    let scan = analysis.decide_linear(params).expect("scan succeeds");
+    assert_eq!(
+        dag.region_id, scan.region_id,
+        "params {params:?}: DAG chose {} but the linear scan chose {}",
+        dag.region_id, scan.region_id
+    );
+    assert_eq!(
+        dag.plan.is_all_local(),
+        scan.plan.is_all_local(),
+        "params {params:?}: same region, different plan shape"
+    );
+    match scan.route {
+        DispatchRoute::LinearScan => assert_eq!(
+            dag.route,
+            DispatchRoute::Dag,
+            "params {params:?}: scan matched a region but the DAG fell back"
+        ),
+        DispatchRoute::Fallback => assert_eq!(
+            dag.route,
+            DispatchRoute::Fallback,
+            "params {params:?}: scan fell back but the DAG matched a region"
+        ),
+        DispatchRoute::Dag => unreachable!("decide_linear never routes through the DAG"),
+    }
+}
+
+#[test]
+fn dag_agrees_with_linear_scan_on_random_params() {
+    for (i, &(src, arity)) in PROGRAMS.iter().enumerate() {
+        let analysis = analyze(src);
+        assert!(
+            analysis.partition.locator.is_some(),
+            "program {i}: analysis produced no point locator"
+        );
+        let mut rng = Rng::new(0x9E37_79B9 + i as u64);
+        for _ in 0..2000 {
+            let params: Vec<i64> = (0..arity).map(|_| rng.param()).collect();
+            assert_agree(&analysis, &params);
+        }
+    }
+}
+
+#[test]
+fn dag_agrees_with_linear_scan_at_region_boundaries() {
+    // Walk a dense window of small parameter values; everywhere the
+    // linear scan's answer *changes* between n and n+1 is a region
+    // boundary, and the three-way sign branching must resolve n-1, n,
+    // and n+1 exactly as the scan does. (The window itself already
+    // asserts agreement point by point; recording the crossings makes
+    // the test fail loudly if a program stops exercising any boundary.)
+    for (i, &(src, arity)) in PROGRAMS.iter().enumerate() {
+        let analysis = analyze(src);
+        let mut crossings = 0usize;
+        let mut prev: Option<usize> = None;
+        for n in 0..256i64 {
+            // Diagonal sweep: all parameters move together, so every
+            // 1-D boundary slice along the diagonal is visited.
+            let params: Vec<i64> = (0..arity).map(|k| n + k as i64).collect();
+            assert_agree(&analysis, &params);
+            let id = analysis.decide_linear(&params).unwrap().region_id;
+            if prev.is_some_and(|p| p != id) {
+                crossings += 1;
+                for delta in [-1, 0, 1] {
+                    let near: Vec<i64> = params.iter().map(|&v| v + delta).collect();
+                    assert_agree(&analysis, &near);
+                }
+            }
+            prev = Some(id);
+        }
+        assert!(
+            crossings > 0,
+            "program {i}: diagonal sweep crossed no region boundary — \
+             the boundary-exactness check is vacuous"
+        );
+    }
+}
+
+#[test]
+fn locator_matches_contains_scan_on_rational_points() {
+    // Drive the locator directly with rational points — including
+    // non-integer coordinates, which integer-valued parameters can
+    // never produce, so this is the only coverage of the exact-rational
+    // fallback off the i128 fast path — and compare against the
+    // definitional answer: the first choice whose region contains the
+    // point.
+    for (i, &(src, _)) in PROGRAMS.iter().enumerate() {
+        let analysis = analyze(src);
+        let part = &analysis.partition;
+        let locator = part.locator.as_ref().expect("locator built");
+        let nvars = locator.nvars();
+        let mut rng = Rng::new(0xDEAD_BEEF + i as u64);
+        let mut fractional = 0usize;
+        for round in 0..1500 {
+            let point: Vec<Rational> = (0..nvars)
+                .map(|_| {
+                    let numer = (rng.next() % 4001) as i64 - 500;
+                    let denom = *[1, 1, 2, 3, 8].get((rng.next() % 5) as usize).unwrap();
+                    Rational::new(numer, denom)
+                })
+                .collect();
+            if point.iter().any(|c| !c.is_integer()) {
+                fractional += 1;
+            }
+            let expected = part.choices.iter().position(|c| c.region.contains(&point));
+            assert_eq!(
+                locator.locate(&point),
+                expected,
+                "program {i}, round {round}: locator disagrees with the \
+                 contains() scan at {point:?}"
+            );
+        }
+        assert!(
+            fractional > 0,
+            "program {i}: no fractional points generated — the exact \
+             fallback path went untested"
+        );
+    }
+}
+
+#[test]
+fn locator_structure_is_compiled_not_degenerate() {
+    let analysis = analyze(PROGRAMS[1].0);
+    let locator = analysis
+        .partition
+        .locator
+        .as_ref()
+        .expect("locator built for a multi-choice partition");
+    assert!(locator.nodes() > 0, "empty DAG");
+    assert!(locator.planes() > 0, "no hyperplanes interned");
+    assert!(
+        locator.depth() <= locator.planes(),
+        "a root-to-leaf walk ({} tests) must never evaluate more than \
+         the {} distinct hyperplanes",
+        locator.depth(),
+        locator.planes()
+    );
+}

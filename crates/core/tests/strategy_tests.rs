@@ -28,8 +28,8 @@ fn dominance_matches_exact_dispatch_on_worker() {
     let exact = analyze(WORKER, RegionStrategy::Exact);
     let dom = analyze(WORKER, RegionStrategy::Dominance);
     for n in [1i64, 10, 100, 1000, 10_000, 100_000, 1_000_000] {
-        let e = exact.partition.choices[exact.select(&[n]).unwrap()].is_all_local();
-        let d = dom.partition.choices[dom.select(&[n]).unwrap()].is_all_local();
+        let e = exact.partition.choices[exact.decide(&[n]).unwrap().region_id].is_all_local();
+        let d = dom.partition.choices[dom.decide(&[n]).unwrap().region_id].is_all_local();
         assert_eq!(e, d, "n={n}: strategies disagree");
     }
 }
@@ -49,10 +49,10 @@ fn dominance_matches_exact_dispatch_on_figure1() {
         (3, 3, 3),
         (2, 2, 5000),
     ] {
-        let e = exact.partition.choices[exact.select(&[x, y, z]).unwrap()]
+        let e = exact.partition.choices[exact.decide(&[x, y, z]).unwrap().region_id]
             .server_task_ids()
             .len();
-        let d = dom.partition.choices[dom.select(&[x, y, z]).unwrap()]
+        let d = dom.partition.choices[dom.decide(&[x, y, z]).unwrap().region_id]
             .server_task_ids()
             .len();
         assert_eq!(

@@ -78,7 +78,7 @@ fn both_models_offload_eventually() {
             },
         )
         .expect("analysis");
-        let idx = a.select(&[1 << 22]).expect("dispatch");
+        let idx = a.decide(&[1 << 22]).expect("dispatch").region_id;
         assert!(
             !a.partition.choices[idx].is_all_local(),
             "{model:?}: heavy work must offload\n{}",

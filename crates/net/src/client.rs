@@ -4,8 +4,8 @@
 
 use crate::error::NetError;
 use crate::link::{serve, Conn, Served, TcpPeer};
-use crate::protocol::{fingerprint, WireMsg};
-use offload_core::{Analysis, PipelineStats, Plan};
+use crate::protocol::{fingerprint, DispatchStats, WireMsg};
+use offload_core::{Analysis, DispatchRoute, PipelineStats, Plan};
 use offload_pta::AbsLocId;
 use offload_runtime::{
     ControlMsg, DeviceModel, Host, Machine, Outcome, RunResult, Runner, RuntimeError,
@@ -89,6 +89,9 @@ impl ClientConfig {
 pub struct RunReport {
     /// The partitioning choice the dispatcher selected.
     pub choice: usize,
+    /// Which dispatch engine answered (point-location DAG, linear region
+    /// scan, or cheapest-cut fallback).
+    pub route: DispatchRoute,
     /// Outputs and virtual-cost statistics.
     pub result: RunResult,
     /// Whether the run actually executed over the network.
@@ -109,6 +112,120 @@ pub struct RunReport {
     /// (empty unless the server runs with tracing enabled); `None` when
     /// no handshake completed.
     pub server_spans: Option<offload_obs::SpanSummary>,
+}
+
+/// A lightweight client for the v6 dispatch-serving path: one framed
+/// connection to the server's dispatch loop, one query in flight at a
+/// time (matching the server's per-connection backpressure).
+///
+/// Where [`OffloadEngine`] executes whole runs, `DispatchClient` asks
+/// only the high-frequency question — *which partitioning for these
+/// parameter values?* — and leaves execution to the caller.
+pub struct DispatchClient {
+    conn: Conn,
+    fingerprint: u64,
+}
+
+impl DispatchClient {
+    /// Connects and binds the session to `analysis`'s fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Connect and socket-option failures.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        analysis: &Analysis,
+        timeout: Duration,
+    ) -> Result<DispatchClient, NetError> {
+        Self::connect_fingerprinted(addr, fingerprint(analysis), timeout)
+    }
+
+    /// Like [`DispatchClient::connect`] with a precomputed fingerprint,
+    /// so N clients of one program pay for [`fingerprint`] once.
+    ///
+    /// # Errors
+    ///
+    /// Connect and socket-option failures.
+    pub fn connect_fingerprinted(
+        addr: impl ToSocketAddrs,
+        fingerprint: u64,
+        timeout: Duration,
+    ) -> Result<DispatchClient, NetError> {
+        let addrs: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| NetError::io("resolving server address", e))?
+            .collect();
+        let Some(first) = addrs.first() else {
+            return Err(NetError::protocol("server address resolved to nothing"));
+        };
+        let stream = TcpStream::connect_timeout(first, timeout)
+            .map_err(|e| NetError::io("connecting dispatch client", e))?;
+        Ok(DispatchClient {
+            conn: Conn::new(stream, Some(timeout))?,
+            fingerprint,
+        })
+    }
+
+    /// One dispatch query: the selected choice index and the route
+    /// (DAG / linear scan / fallback) that answered it server-side.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`NetError::Remote`] if the server
+    /// reports one (unknown fingerprint, dispatch failure).
+    pub fn dispatch(
+        &mut self,
+        params: &[i64],
+    ) -> Result<(usize, offload_core::DispatchRoute), NetError> {
+        let id = self.conn.send(WireMsg::DispatchRequest {
+            fingerprint: self.fingerprint,
+            params: params.to_vec(),
+        })?;
+        let frame = self.conn.recv()?;
+        if frame.request_id != id {
+            return Err(NetError::protocol(format!(
+                "reply id {} does not match request id {id}",
+                frame.request_id
+            )));
+        }
+        match frame.msg {
+            WireMsg::DispatchReply { choice, route } => Ok((choice as usize, route)),
+            WireMsg::Error(m) => Err(NetError::Remote(m)),
+            other => Err(NetError::protocol(format!(
+                "expected DispatchReply, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Fetches the server's serving-path statistics.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn stats(&mut self) -> Result<DispatchStats, NetError> {
+        let id = self.conn.send(WireMsg::StatsRequest)?;
+        let frame = self.conn.recv()?;
+        if frame.request_id != id {
+            return Err(NetError::protocol(format!(
+                "reply id {} does not match request id {id}",
+                frame.request_id
+            )));
+        }
+        match frame.msg {
+            WireMsg::StatsReply(s) => Ok(s),
+            WireMsg::Error(m) => Err(NetError::Remote(m)),
+            other => Err(NetError::protocol(format!(
+                "expected StatsReply, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Orderly session end.
+    pub fn close(mut self) {
+        let _ = self.conn.send(WireMsg::Bye);
+    }
 }
 
 /// The adaptive offloading engine: dispatch on the parameters, execute
@@ -161,11 +278,13 @@ impl<'a> OffloadEngine<'a> {
     /// errors.
     pub fn run(&self, params: &[i64], input: &[i64]) -> Result<RunReport, NetError> {
         let local_pipeline = self.analysis.pipeline_stats();
-        let (choice, plan) = self.analysis.plan_for(params)?;
-        let Plan::Partitioned(partition) = plan else {
+        let decision = self.analysis.decide(params)?;
+        let (choice, route) = (decision.region_id, decision.route);
+        let Plan::Partitioned(partition) = decision.plan else {
             let result = self.run_plan(Plan::AllLocal, params, input)?;
             return Ok(RunReport {
                 choice,
+                route,
                 result,
                 offloaded: false,
                 fell_back: false,
@@ -179,6 +298,7 @@ impl<'a> OffloadEngine<'a> {
         match self.try_remote(choice, partition, params, input) {
             Ok((result, connect_attempts, server_pipeline, server_spans)) => Ok(RunReport {
                 choice,
+                route,
                 result,
                 offloaded: true,
                 fell_back: false,
@@ -196,6 +316,7 @@ impl<'a> OffloadEngine<'a> {
                 let result = self.run_plan(Plan::AllLocal, params, input)?;
                 Ok(RunReport {
                     choice,
+                    route,
                     result,
                     offloaded: false,
                     fell_back: true,

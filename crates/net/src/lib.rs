@@ -90,8 +90,8 @@ mod link;
 pub mod protocol;
 mod server;
 
-pub use client::{ClientConfig, OffloadEngine, RetryPolicy, RunReport};
+pub use client::{ClientConfig, DispatchClient, OffloadEngine, RetryPolicy, RunReport};
 pub use error::NetError;
 pub use link::{serve, Conn, Served, TcpPeer};
-pub use protocol::{fingerprint, WireFrame, WireMsg, PROTOCOL_VERSION};
-pub use server::{OffloadServer, ServerConfig, ServerHandle};
+pub use protocol::{fingerprint, DispatchStats, WireFrame, WireMsg, PROTOCOL_VERSION};
+pub use server::{JoinSummary, OffloadServer, ServerConfig, ServerConfigBuilder, ServerHandle};

@@ -19,7 +19,7 @@
 //! the request they answer.
 
 use crate::error::NetError;
-use offload_core::{Analysis, PipelineStats};
+use offload_core::{Analysis, DispatchRoute, PipelineStats};
 use offload_ir::{AllocSiteId, BlockId, FuncId, LocalId};
 use offload_obs::{SpanStat, SpanSummary};
 use offload_poly::Rational;
@@ -38,8 +38,12 @@ use std::io::{Read, Write};
 /// `small_int_promotions`;
 /// v5: [`PipelineStats`] gains the incremental-projection counters
 /// `prefilter_hits`, `lp_warm_starts`, `dual_pivots` and the phase
-/// timings `prune_micros`, `region_lp_micros`.)
-pub const PROTOCOL_VERSION: u8 = 5;
+/// timings `prune_micros`, `region_lp_micros`;
+/// v6: the dispatch-serving path — `DispatchRequest`/`DispatchReply`
+/// for stateless region-dispatch queries and `StatsRequest`/`StatsReply`
+/// carrying the server's [`DispatchStats`] (plan-cache and
+/// point-location counters, dispatch-latency percentiles).)
+pub const PROTOCOL_VERSION: u8 = 6;
 
 /// Upper bound on a single frame's payload (a corruption guard, not a
 /// tight limit).
@@ -100,6 +104,51 @@ pub enum WireMsg {
     Error(String),
     /// Client → server: orderly session end.
     Bye,
+    /// Client → server: a stateless dispatch query — "which partitioning
+    /// for these parameter values?". Answered from the server's sharded
+    /// plan cache; many requests may be decided in one batch.
+    DispatchRequest {
+        /// Fingerprint of the compiled analysis the client holds.
+        fingerprint: u64,
+        /// `main`'s parameter values.
+        params: Vec<i64>,
+    },
+    /// Server → client: the dispatch answer.
+    DispatchReply {
+        /// The selected partitioning choice (= region index).
+        choice: u32,
+        /// Which engine answered ([`offload_core::DispatchRoute`]).
+        route: DispatchRoute,
+    },
+    /// Client → server: ask for the server's serving-path statistics.
+    StatsRequest,
+    /// Server → client: serving-path statistics so far.
+    StatsReply(DispatchStats),
+}
+
+/// Serving-path statistics carried on [`WireMsg::StatsReply`] (v6):
+/// plan-cache effectiveness, compiled point-location DAG shape, and
+/// dispatch-latency percentiles as observed server-side.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Dispatch requests served.
+    pub requests: u64,
+    /// Worker-pool batches executed (requests/batches = mean batch size).
+    pub batches: u64,
+    /// Plan-cache hits (a cached compiled analysis answered).
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses (fingerprint not resident).
+    pub plan_cache_misses: u64,
+    /// Nodes of the point-location DAG of the server's primary program.
+    pub pointloc_nodes: u64,
+    /// Depth of that DAG (worst-case sign tests per query).
+    pub pointloc_depth: u64,
+    /// Server-side dispatch latency, 50th percentile (µs).
+    pub latency_p50_us: u64,
+    /// Server-side dispatch latency, 90th percentile (µs).
+    pub latency_p90_us: u64,
+    /// Server-side dispatch latency, 99th percentile (µs).
+    pub latency_p99_us: u64,
 }
 
 impl WireMsg {
@@ -114,6 +163,10 @@ impl WireMsg {
             WireMsg::PushAck => 7,
             WireMsg::Error(_) => 8,
             WireMsg::Bye => 9,
+            WireMsg::DispatchRequest { .. } => 10,
+            WireMsg::DispatchReply { .. } => 11,
+            WireMsg::StatsRequest => 12,
+            WireMsg::StatsReply(_) => 13,
         }
     }
 
@@ -129,6 +182,10 @@ impl WireMsg {
             WireMsg::PushAck => "PushAck",
             WireMsg::Error(_) => "Error",
             WireMsg::Bye => "Bye",
+            WireMsg::DispatchRequest { .. } => "DispatchRequest",
+            WireMsg::DispatchReply { .. } => "DispatchReply",
+            WireMsg::StatsRequest => "StatsRequest",
+            WireMsg::StatsReply(_) => "StatsReply",
         }
     }
 }
@@ -269,6 +326,26 @@ fn put_pipeline(buf: &mut Vec<u8>, s: &PipelineStats) {
     put_uv(buf, s.prune_micros);
     put_uv(buf, s.region_lp_micros);
     buf.push(s.sequential_strategy as u8);
+}
+
+fn put_route(buf: &mut Vec<u8>, r: DispatchRoute) {
+    buf.push(match r {
+        DispatchRoute::Dag => 0,
+        DispatchRoute::LinearScan => 1,
+        DispatchRoute::Fallback => 2,
+    });
+}
+
+fn put_dispatch_stats(buf: &mut Vec<u8>, s: &DispatchStats) {
+    put_uv(buf, s.requests);
+    put_uv(buf, s.batches);
+    put_uv(buf, s.plan_cache_hits);
+    put_uv(buf, s.plan_cache_misses);
+    put_uv(buf, s.pointloc_nodes);
+    put_uv(buf, s.pointloc_depth);
+    put_uv(buf, s.latency_p50_us);
+    put_uv(buf, s.latency_p90_us);
+    put_uv(buf, s.latency_p99_us);
 }
 
 fn put_span_summary(buf: &mut Vec<u8>, s: &SpanSummary) {
@@ -541,6 +618,29 @@ impl<'a> Cursor<'a> {
         })
     }
 
+    fn route(&mut self) -> Result<DispatchRoute, NetError> {
+        match self.byte()? {
+            0 => Ok(DispatchRoute::Dag),
+            1 => Ok(DispatchRoute::LinearScan),
+            2 => Ok(DispatchRoute::Fallback),
+            t => Err(NetError::protocol(format!("bad route tag {t}"))),
+        }
+    }
+
+    fn dispatch_stats(&mut self) -> Result<DispatchStats, NetError> {
+        Ok(DispatchStats {
+            requests: self.uv()?,
+            batches: self.uv()?,
+            plan_cache_hits: self.uv()?,
+            plan_cache_misses: self.uv()?,
+            pointloc_nodes: self.uv()?,
+            pointloc_depth: self.uv()?,
+            latency_p50_us: self.uv()?,
+            latency_p90_us: self.uv()?,
+            latency_p99_us: self.uv()?,
+        })
+    }
+
     fn span_summary(&mut self) -> Result<SpanSummary, NetError> {
         let n = self.uv()? as usize;
         let mut entries = Vec::with_capacity(n.min(4096));
@@ -708,6 +808,22 @@ pub fn encode_frame(frame: &WireFrame) -> Vec<u8> {
             put_payload(&mut body, payload);
         }
         WireMsg::Error(s) => put_str(&mut body, s),
+        WireMsg::DispatchRequest {
+            fingerprint,
+            params,
+        } => {
+            put_uv(&mut body, *fingerprint);
+            put_uv(&mut body, params.len() as u64);
+            for p in params {
+                put_iv(&mut body, *p);
+            }
+        }
+        WireMsg::DispatchReply { choice, route } => {
+            put_uv(&mut body, *choice as u64);
+            put_route(&mut body, *route);
+        }
+        WireMsg::StatsRequest => {}
+        WireMsg::StatsReply(s) => put_dispatch_stats(&mut body, s),
     }
     let mut out = Vec::with_capacity(body.len() + 4);
     put_uv(&mut out, body.len() as u64);
@@ -759,6 +875,24 @@ pub fn decode_frame(payload: &[u8]) -> Result<WireFrame, NetError> {
         7 => WireMsg::PushAck,
         8 => WireMsg::Error(c.str()?),
         9 => WireMsg::Bye,
+        10 => {
+            let fingerprint = c.uv()?;
+            let n = c.uv()? as usize;
+            let mut params = Vec::with_capacity(n.min(256));
+            for _ in 0..n {
+                params.push(c.iv()?);
+            }
+            WireMsg::DispatchRequest {
+                fingerprint,
+                params,
+            }
+        }
+        11 => WireMsg::DispatchReply {
+            choice: c.u32v()?,
+            route: c.route()?,
+        },
+        12 => WireMsg::StatsRequest,
+        13 => WireMsg::StatsReply(c.dispatch_stats()?),
         t => return Err(NetError::protocol(format!("unknown frame type {t}"))),
     };
     if !c.at_end() {

@@ -1,19 +1,43 @@
-//! The server daemon: loads a compiled [`Analysis`], listens for client
-//! sessions, and executes the server half of each partitioned run.
+//! The server daemon: loads compiled [`Analysis`]es, listens for client
+//! sessions, and serves two kinds of traffic:
+//!
+//! * **turn sessions** (`Hello`) — the server half of a partitioned run,
+//!   one thread per connection, exactly as before;
+//! * **dispatch sessions** (`DispatchRequest`, v6) — stateless
+//!   "which partitioning for these parameters?" queries, answered by a
+//!   fixed pool of worker threads that pull *batches* of requests off a
+//!   shared queue and decide them against a sharded plan cache keyed by
+//!   program fingerprint, so N clients of one program share a single
+//!   compiled point-location DAG.
+//!
+//! Backpressure is structural: each connection has at most one dispatch
+//! request in flight (its session thread blocks until the answer comes
+//! back), and the accept loop stops accepting at
+//! [`ServerConfig::max_inflight`] live sessions.
+//!
+//! [`ServerHandle::shutdown`] drains deterministically: it stops the
+//! accept loop, wakes every parked connection, lets the workers finish
+//! the queue, joins *all* threads, and returns a [`JoinSummary`].
 
 use crate::error::NetError;
 use crate::link::{serve, Conn, Served, TcpPeer};
-use crate::protocol::{fingerprint, WireMsg};
-use offload_core::{Analysis, Plan};
+use crate::protocol::{fingerprint, DispatchStats, WireFrame, WireMsg};
+use offload_core::{Analysis, DispatchRoute, Plan};
+use offload_obs::Histogram;
 use offload_pta::AbsLocId;
 use offload_runtime::{DeviceModel, Host, Machine, Outcome, Runner};
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
+///
+/// Construct via [`ServerConfig::builder`] (preferred, mirroring
+/// [`offload_core::AnalysisOptions::builder`]) or field-by-field from
+/// [`Default`] — both remain supported.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Per-request socket deadline; `None` blocks indefinitely (the
@@ -22,6 +46,20 @@ pub struct ServerConfig {
     /// Fault injection for tests: each session's connection dies abruptly
     /// after this many frames.
     pub fail_after_frames: Option<u64>,
+    /// Dispatch worker threads (the pool that answers
+    /// `DispatchRequest`s). Clamped to at least 1.
+    pub workers: usize,
+    /// How long a worker holds an underfull batch open waiting for more
+    /// requests. Zero disables the wait (every batch ships immediately).
+    pub batch_window: Duration,
+    /// Most requests decided per batch. Clamped to at least 1.
+    pub max_batch: usize,
+    /// Shards of the fingerprint-keyed plan cache. Clamped to at least 1.
+    pub cache_shards: usize,
+    /// Most live sessions at once; the accept loop pauses at the limit
+    /// (per-connection backpressure is structural: one in-flight dispatch
+    /// per connection).
+    pub max_inflight: usize,
 }
 
 impl Default for ServerConfig {
@@ -29,6 +67,155 @@ impl Default for ServerConfig {
         ServerConfig {
             request_timeout: Some(Duration::from_secs(60)),
             fail_after_frames: None,
+            workers: 4,
+            batch_window: Duration::from_micros(200),
+            max_batch: 32,
+            cache_shards: 8,
+            max_inflight: 4096,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Starts a fluent [`ServerConfigBuilder`] over the defaults.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::default(),
+        }
+    }
+}
+
+/// Fluent constructor for [`ServerConfig`].
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Sets the per-request socket deadline (`None` = no deadline).
+    pub fn request_timeout(mut self, t: Option<Duration>) -> Self {
+        self.config.request_timeout = t;
+        self
+    }
+
+    /// Arms fault injection: sessions die after this many frames.
+    pub fn fail_after_frames(mut self, n: u64) -> Self {
+        self.config.fail_after_frames = Some(n);
+        self
+    }
+
+    /// Sets the dispatch worker-pool size.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = n;
+        self
+    }
+
+    /// Sets how long an underfull batch stays open.
+    pub fn batch_window(mut self, w: Duration) -> Self {
+        self.config.batch_window = w;
+        self
+    }
+
+    /// Sets the per-batch request cap.
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.config.max_batch = n;
+        self
+    }
+
+    /// Sets the plan-cache shard count.
+    pub fn cache_shards(mut self, n: usize) -> Self {
+        self.config.cache_shards = n;
+        self
+    }
+
+    /// Sets the live-session cap.
+    pub fn max_inflight(mut self, n: usize) -> Self {
+        self.config.max_inflight = n;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> ServerConfig {
+        self.config
+    }
+}
+
+/// One queued dispatch query, answered over its private reply channel.
+struct Job {
+    fingerprint: u64,
+    params: Vec<i64>,
+    reply: mpsc::Sender<Result<(u32, DispatchRoute), String>>,
+}
+
+/// Serving-path counters, aggregated across workers.
+struct Stats {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    latency: Histogram,
+    /// Shape of the primary program's point-location DAG (fixed at bind).
+    pointloc_nodes: u64,
+    pointloc_depth: u64,
+}
+
+/// State shared by the accept loop, session threads and workers.
+struct Shared {
+    programs: Vec<Arc<Analysis>>,
+    device: DeviceModel,
+    config: ServerConfig,
+    /// Sharded plan cache: fingerprint → compiled analysis. A miss pays
+    /// one [`fingerprint`] computation per registered program; every
+    /// later query for the same program is a shard lookup.
+    shards: Vec<Mutex<HashMap<u64, Arc<Analysis>>>>,
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    stats: Stats,
+    stop: AtomicBool,
+    inflight: AtomicUsize,
+    /// Live sessions' stream clones, so shutdown can wake blocked reads.
+    sessions: Mutex<HashMap<u64, TcpStream>>,
+    session_handles: Mutex<Vec<JoinHandle<()>>>,
+    next_session: AtomicU64,
+}
+
+impl Shared {
+    /// Looks a program up by fingerprint, populating the cache shard on
+    /// a miss (the miss is what pays the fingerprint computations).
+    fn lookup(&self, fp: u64) -> Option<Arc<Analysis>> {
+        let shard = &self.shards[(fp as usize) % self.shards.len()];
+        if let Some(a) = shard.lock().unwrap().get(&fp) {
+            self.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            if offload_obs::enabled() {
+                offload_obs::counter("net.plan_cache.hits").inc();
+            }
+            return Some(a.clone());
+        }
+        self.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+        if offload_obs::enabled() {
+            offload_obs::counter("net.plan_cache.misses").inc();
+        }
+        for p in &self.programs {
+            if fingerprint(p) == fp {
+                shard.lock().unwrap().insert(fp, p.clone());
+                return Some(p.clone());
+            }
+        }
+        None
+    }
+
+    fn dispatch_stats(&self) -> DispatchStats {
+        let lat = self.stats.latency.summary();
+        DispatchStats {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            batches: self.stats.batches.load(Ordering::Relaxed),
+            plan_cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
+            pointloc_nodes: self.stats.pointloc_nodes,
+            pointloc_depth: self.stats.pointloc_depth,
+            latency_p50_us: lat.p50,
+            latency_p90_us: lat.p90,
+            latency_p99_us: lat.p99,
         }
     }
 }
@@ -38,8 +225,8 @@ pub struct OffloadServer;
 
 impl OffloadServer {
     /// Binds a listener (use port 0 for an OS-assigned port), spawns the
-    /// accept loop, and returns a handle for address discovery and
-    /// shutdown. Each accepted connection is served on its own thread.
+    /// accept loop and the dispatch worker pool, and returns a handle for
+    /// address discovery, statistics and shutdown.
     ///
     /// # Errors
     ///
@@ -50,6 +237,27 @@ impl OffloadServer {
         device: DeviceModel,
         config: ServerConfig,
     ) -> Result<ServerHandle, NetError> {
+        Self::bind_multi(addr, vec![analysis], device, config)
+    }
+
+    /// Like [`OffloadServer::bind`], serving several programs at once:
+    /// both turn sessions and dispatch queries are routed to the matching
+    /// program by the fingerprint they carry. The first program is the
+    /// *primary* one (its point-location DAG shape is what
+    /// [`DispatchStats`] reports).
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, or an empty program list.
+    pub fn bind_multi(
+        addr: impl ToSocketAddrs,
+        programs: Vec<Arc<Analysis>>,
+        device: DeviceModel,
+        config: ServerConfig,
+    ) -> Result<ServerHandle, NetError> {
+        if programs.is_empty() {
+            return Err(NetError::protocol("no programs to serve"));
+        }
         let listener = TcpListener::bind(addr).map_err(|e| NetError::io("binding listener", e))?;
         let local = listener
             .local_addr()
@@ -57,41 +265,136 @@ impl OffloadServer {
         listener
             .set_nonblocking(true)
             .map_err(|e| NetError::io("setting listener nonblocking", e))?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_accept = stop.clone();
-        let accept = std::thread::spawn(move || {
-            while !stop_accept.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let analysis = analysis.clone();
-                        let device = device.clone();
-                        let config = config.clone();
-                        std::thread::spawn(move || {
-                            // A failed session must not take the daemon
-                            // down; the client heals by falling back.
-                            let _ = handle_session(stream, &analysis, &device, &config);
-                        });
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
-                }
-            }
+
+        let (pointloc_nodes, pointloc_depth) = programs[0]
+            .partition
+            .locator
+            .as_ref()
+            .map(|l| (l.nodes() as u64, l.depth() as u64))
+            .unwrap_or((0, 0));
+        let nshards = config.cache_shards.max(1);
+        let nworkers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            programs,
+            device,
+            config,
+            shards: (0..nshards).map(|_| Mutex::new(HashMap::new())).collect(),
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            stats: Stats {
+                requests: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
+                cache_misses: AtomicU64::new(0),
+                latency: Histogram::default(),
+                pointloc_nodes,
+                pointloc_depth,
+            },
+            stop: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            sessions: Mutex::new(HashMap::new()),
+            session_handles: Mutex::new(Vec::new()),
+            next_session: AtomicU64::new(0),
         });
+
+        let workers: Vec<JoinHandle<()>> = (0..nworkers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("offload-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning dispatch worker")
+            })
+            .collect();
+
+        let shared_accept = shared.clone();
+        let accept = std::thread::Builder::new()
+            .name("offload-accept".into())
+            .spawn(move || accept_loop(&listener, &shared_accept))
+            .expect("spawning accept loop");
+
         Ok(ServerHandle {
             addr: local,
-            stop,
+            shared,
             accept: Some(accept),
+            workers,
+            done: None,
         })
     }
 }
 
-/// A running server: its address and a shutdown switch.
+/// Accepts connections until shutdown, spawning one session thread per
+/// connection. Drains the backlog on every wakeup so a burst of N
+/// clients does not serialize behind the poll interval.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        // Backpressure: over the live-session cap, stop accepting — the
+        // OS backlog (and then the clients' connect timeouts) absorb the
+        // excess.
+        if shared.inflight.load(Ordering::SeqCst) >= shared.config.max_inflight {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => spawn_session(stream, shared),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+fn spawn_session(stream: TcpStream, shared: &Arc<Shared>) {
+    let id = shared.next_session.fetch_add(1, Ordering::SeqCst);
+    if let Ok(clone) = stream.try_clone() {
+        shared.sessions.lock().unwrap().insert(id, clone);
+    }
+    shared.inflight.fetch_add(1, Ordering::SeqCst);
+    let shared2 = shared.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("offload-session-{id}"))
+        // Sessions are mostly parked on a socket or a reply channel;
+        // small stacks keep a thousand of them cheap.
+        .stack_size(512 * 1024)
+        .spawn(move || {
+            // A failed session must not take the daemon down; the client
+            // heals by falling back.
+            let _ = handle_connection(stream, &shared2);
+            shared2.sessions.lock().unwrap().remove(&id);
+            shared2.inflight.fetch_sub(1, Ordering::SeqCst);
+        });
+    match handle {
+        Ok(h) => shared.session_handles.lock().unwrap().push(h),
+        Err(_) => {
+            // Spawn failure: undo the registration.
+            shared.sessions.lock().unwrap().remove(&id);
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// A running server: its address, statistics, and a draining shutdown.
 pub struct ServerHandle {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    done: Option<JoinSummary>,
+}
+
+/// What [`ServerHandle::shutdown`] joined, and what the server did over
+/// its lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct JoinSummary {
+    /// Session threads joined (every connection ever accepted).
+    pub sessions_joined: usize,
+    /// Dispatch worker threads joined.
+    pub workers_joined: usize,
+    /// Dispatch requests served over the server's lifetime.
+    pub requests: u64,
+    /// Worker batches executed over the server's lifetime.
+    pub batches: u64,
 }
 
 impl ServerHandle {
@@ -100,13 +403,64 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting connections and joins the accept loop. Sessions
-    /// already in flight run to completion on their own threads.
-    pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+    /// Serving-path statistics so far (also available over the wire via
+    /// [`WireMsg::StatsRequest`]).
+    pub fn stats(&self) -> DispatchStats {
+        self.shared.dispatch_stats()
+    }
+
+    /// Stops accepting, wakes every parked connection, lets the worker
+    /// pool finish the queued requests, joins **all** threads (accept,
+    /// sessions, workers), and reports what was joined. Idempotent: a
+    /// second call returns the same summary without re-joining.
+    pub fn shutdown(&mut self) -> JoinSummary {
+        if let Some(done) = &self.done {
+            return done.clone();
+        }
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake dispatch sessions parked on the queue and reads parked on
+        // sockets. Queued jobs are still drained by the workers before
+        // they exit, so no request is dropped unanswered.
+        self.shared.ready.notify_all();
+        for s in self.shared.sessions.lock().unwrap().values() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        // The accept loop is gone, so the registry is final; a session
+        // accepted in the shutdown race gets its socket closed here.
+        for s in self.shared.sessions.lock().unwrap().values() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        let handles: Vec<JoinHandle<()>> = self
+            .shared
+            .session_handles
+            .lock()
+            .unwrap()
+            .drain(..)
+            .collect();
+        let mut summary = JoinSummary {
+            sessions_joined: 0,
+            workers_joined: 0,
+            requests: 0,
+            batches: 0,
+        };
+        for h in handles {
+            let _ = h.join();
+            summary.sessions_joined += 1;
+        }
+        // No session threads remain, so no new jobs: the workers drain
+        // the queue and exit.
+        self.shared.ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+            summary.workers_joined += 1;
+        }
+        summary.requests = self.shared.stats.requests.load(Ordering::Relaxed);
+        summary.batches = self.shared.stats.batches.load(Ordering::Relaxed);
+        self.done = Some(summary.clone());
+        summary
     }
 }
 
@@ -116,48 +470,176 @@ impl Drop for ServerHandle {
     }
 }
 
-/// One client session: handshake, then alternate between serving the
-/// active client and running our own turns.
-fn handle_session(
-    stream: TcpStream,
-    analysis: &Analysis,
-    device: &DeviceModel,
-    config: &ServerConfig,
-) -> Result<(), NetError> {
-    let mut conn = Conn::new(stream, config.request_timeout)?;
-    if let Some(n) = config.fail_after_frames {
+/// One dispatch worker: pull a batch off the queue, decide every request
+/// in it, answer each session's reply channel.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if !q.is_empty() {
+                    break;
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared.ready.wait(q).unwrap();
+            }
+            // The batching window: hold an underfull batch open briefly
+            // so a burst of concurrent clients amortizes into one
+            // wakeup's worth of work.
+            let max_batch = shared.config.max_batch.max(1);
+            if q.len() < max_batch
+                && !shared.config.batch_window.is_zero()
+                && !shared.stop.load(Ordering::SeqCst)
+            {
+                let (qq, _) = shared
+                    .ready
+                    .wait_timeout(q, shared.config.batch_window)
+                    .unwrap();
+                q = qq;
+            }
+            let n = q.len().min(max_batch);
+            q.drain(..n).collect()
+        };
+        if batch.is_empty() {
+            continue;
+        }
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        for job in batch {
+            let t0 = Instant::now();
+            let answer = match shared.lookup(job.fingerprint) {
+                None => Err(format!(
+                    "unknown program fingerprint {:#018x}",
+                    job.fingerprint
+                )),
+                Some(analysis) => match analysis.decide(&job.params) {
+                    Ok(d) => Ok((d.region_id as u32, d.route)),
+                    Err(e) => Err(e.to_string()),
+                },
+            };
+            let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+            shared.stats.latency.record(us);
+            if offload_obs::enabled() {
+                offload_obs::histogram("net.dispatch.latency_us").record(us);
+            }
+            shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+            // A vanished session (dead socket) is not an error.
+            let _ = job.reply.send(answer);
+        }
+    }
+}
+
+/// Routes a fresh connection by its first frame: `Hello` opens a turn
+/// session, `DispatchRequest`/`StatsRequest` a dispatch session.
+fn handle_connection(stream: TcpStream, shared: &Shared) -> Result<(), NetError> {
+    let mut conn = Conn::new(stream, shared.config.request_timeout)?;
+    if let Some(n) = shared.config.fail_after_frames {
         conn.fail_after_frames(n);
     }
+    let first = conn.recv()?;
+    match &first.msg {
+        WireMsg::Hello { .. } => turn_session(first, &mut conn, shared),
+        WireMsg::DispatchRequest { .. } | WireMsg::StatsRequest => {
+            dispatch_session(first, &mut conn, shared)
+        }
+        other => Err(NetError::protocol(format!(
+            "expected Hello or DispatchRequest, got {}",
+            other.kind()
+        ))),
+    }
+}
 
-    // Handshake.
-    let hello = conn.recv()?;
-    let (choice, params, max_steps) = match hello.msg {
-        WireMsg::Hello {
-            fingerprint: fp,
-            choice,
-            params,
-            max_steps,
-        } => {
-            let ours = fingerprint(analysis);
-            if fp != ours {
-                let e = NetError::FingerprintMismatch { ours, theirs: fp };
-                let _ = conn.reply(hello.request_id, WireMsg::Error(e.to_string()));
-                return Err(e);
+/// The dispatch session loop: one request in flight at a time (the
+/// thread blocks on its reply channel — that *is* the per-connection
+/// backpressure), until `Bye` or the connection drops.
+fn dispatch_session(first: WireFrame, conn: &mut Conn, shared: &Shared) -> Result<(), NetError> {
+    let (tx, rx) = mpsc::channel();
+    let mut next = Some(first);
+    loop {
+        let frame = match next.take() {
+            Some(f) => f,
+            None => conn.recv()?,
+        };
+        match frame.msg {
+            WireMsg::DispatchRequest {
+                fingerprint,
+                params,
+            } => {
+                {
+                    // Stop-check and push under one lock: a worker only
+                    // exits with the queue observed empty under this
+                    // lock, so a job pushed while `stop` still reads
+                    // false here is guaranteed to be drained.
+                    let mut q = shared.queue.lock().unwrap();
+                    if shared.stop.load(Ordering::SeqCst) {
+                        drop(q);
+                        let _ = conn.reply(
+                            frame.request_id,
+                            WireMsg::Error("server shutting down".into()),
+                        );
+                        return Ok(());
+                    }
+                    q.push_back(Job {
+                        fingerprint,
+                        params,
+                        reply: tx.clone(),
+                    });
+                }
+                shared.ready.notify_one();
+                match rx.recv() {
+                    Ok(Ok((choice, route))) => {
+                        conn.reply(frame.request_id, WireMsg::DispatchReply { choice, route })?
+                    }
+                    Ok(Err(msg)) => conn.reply(frame.request_id, WireMsg::Error(msg))?,
+                    Err(_) => {
+                        let _ = conn.reply(
+                            frame.request_id,
+                            WireMsg::Error("server shutting down".into()),
+                        );
+                        return Ok(());
+                    }
+                }
             }
-            if choice as usize >= analysis.partition.choices.len() {
-                let msg = format!("choice {choice} out of range");
-                let _ = conn.reply(hello.request_id, WireMsg::Error(msg.clone()));
-                return Err(NetError::protocol(msg));
+            WireMsg::StatsRequest => conn.reply(
+                frame.request_id,
+                WireMsg::StatsReply(shared.dispatch_stats()),
+            )?,
+            WireMsg::Bye => return Ok(()),
+            other => {
+                return Err(NetError::protocol(format!(
+                    "unexpected {} in dispatch session",
+                    other.kind()
+                )))
             }
-            (choice as usize, params, max_steps)
         }
-        other => {
-            return Err(NetError::protocol(format!(
-                "expected Hello, got {}",
-                other.kind()
-            )))
-        }
+    }
+}
+
+/// One turn session: handshake, then alternate between serving the
+/// active client and running our own turns.
+fn turn_session(hello: WireFrame, conn: &mut Conn, shared: &Shared) -> Result<(), NetError> {
+    let WireMsg::Hello {
+        fingerprint: fp,
+        choice,
+        params,
+        max_steps,
+    } = hello.msg
+    else {
+        unreachable!("routed by handle_connection");
     };
+    let Some(analysis) = shared.lookup(fp) else {
+        let ours = fingerprint(&shared.programs[0]);
+        let e = NetError::FingerprintMismatch { ours, theirs: fp };
+        let _ = conn.reply(hello.request_id, WireMsg::Error(e.to_string()));
+        return Err(e);
+    };
+    let choice = choice as usize;
+    if choice >= analysis.partition.choices.len() {
+        let msg = format!("choice {choice} out of range");
+        let _ = conn.reply(hello.request_id, WireMsg::Error(msg.clone()));
+        return Err(NetError::protocol(msg));
+    }
     let mut session_span = offload_obs::span!("net", "session", choice = choice,);
     conn.reply(
         hello.request_id,
@@ -175,7 +657,7 @@ fn handle_session(
         tcfg: &analysis.tcfg,
         pta: &analysis.pta,
         tracked_order: &tracked,
-        device,
+        device: &shared.device,
         plan: Plan::Partitioned(&analysis.partition.choices[choice]),
         max_steps,
     };
@@ -189,23 +671,23 @@ fn handle_session(
     };
     loop {
         let rx_before = conn.bytes_received();
-        let served = match serve(&mut machine, &mut conn) {
+        let served = match serve(&mut machine, conn) {
             Ok(s) => s,
             Err(e) => {
-                finish(&mut session_span, &conn, turns);
+                finish(&mut session_span, conn, turns);
                 return Err(e);
             }
         };
         match served {
             Served::Bye => {
-                finish(&mut session_span, &conn, turns);
+                finish(&mut session_span, conn, turns);
                 return Ok(());
             }
             Served::Control(msg) => {
                 turns += 1;
                 let mut turn_span = offload_obs::span!("net", "server_turn", turn = turns,);
                 let tx0 = conn.bytes_sent();
-                let mut peer = TcpPeer::new(&mut conn);
+                let mut peer = TcpPeer::new(conn);
                 let outcome = machine.run_turn(msg, &mut peer);
                 // The request frame was already read by `serve`, so the
                 // inbound window opens before it (and picks up any
@@ -224,14 +706,14 @@ fn handle_session(
                     Ok(Outcome::Done) => {
                         turn_span.record("response_bytes", conn.bytes_sent() - tx0);
                         drop(turn_span);
-                        finish(&mut session_span, &conn, turns);
+                        finish(&mut session_span, conn, turns);
                         return Ok(());
                     }
                     Err(e) => {
                         let _ = conn.send(WireMsg::Error(e.to_string()));
                         turn_span.record("response_bytes", conn.bytes_sent() - tx0);
                         drop(turn_span);
-                        finish(&mut session_span, &conn, turns);
+                        finish(&mut session_span, conn, turns);
                         return Err(e.into());
                     }
                 }

@@ -1,0 +1,262 @@
+//! Loopback stress test of the batched dispatch server: 256 concurrent
+//! clients, mixed programs, every response checked bit-for-bit against
+//! the sequential in-process oracle.
+//!
+//! The server half is the full production path — accept loop, session
+//! threads, the batching worker pool, the sharded plan cache — so this
+//! is the concurrency test for the serving rebuild: interleaving,
+//! batching, and cache sharding may never change a single answer, and
+//! [`ServerHandle::shutdown`] must drain deterministically and account
+//! for every thread it started.
+
+use offload_core::{Analysis, AnalysisOptions, DispatchRoute};
+use offload_net::{fingerprint, DispatchClient, OffloadServer, ServerConfig};
+use offload_runtime::DeviceModel;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const CLIENTS: usize = 256;
+const REQUESTS_PER_CLIENT: usize = 12;
+
+/// Two programs with different fingerprints and different region
+/// decompositions, so the plan-cache sharding and per-request program
+/// resolution are genuinely exercised.
+const PROGRAMS: &[&str] = &[
+    "int work(int k) {
+         int j; int acc;
+         acc = 0;
+         for (j = 0; j < k; j++) { acc = acc + j * j % 1000; }
+         return acc;
+     }
+     void main(int n) { output(work(n)); }",
+    "int stage1(int k) {
+         int j; int acc;
+         acc = 0;
+         for (j = 0; j < k; j++) { acc = acc + j * 3 % 97; }
+         return acc;
+     }
+     int stage2(int k) {
+         int j; int acc;
+         acc = 1;
+         for (j = 0; j < k; j++) { acc = acc + j * j % 31; }
+         return acc;
+     }
+     void main(int n) { output(stage1(n) + stage2(n)); }",
+];
+
+/// The parameter cycled through by client `c` on request `r` — mixed
+/// magnitudes so both all-local and offloaded regions are hit.
+fn param_for(c: usize, r: usize) -> i64 {
+    const SETTINGS: &[i64] = &[0, 3, 40, 1_000, 100_000, 1 << 20];
+    SETTINGS[(c + r) % SETTINGS.len()]
+}
+
+#[test]
+fn stress_256_clients_match_sequential_oracle() {
+    let analyses: Vec<Arc<Analysis>> = PROGRAMS
+        .iter()
+        .map(|src| {
+            Arc::new(Analysis::from_source(src, AnalysisOptions::default()).expect("analysis"))
+        })
+        .collect();
+    let fingerprints: Vec<u64> = analyses.iter().map(|a| fingerprint(a)).collect();
+    assert_ne!(
+        fingerprints[0], fingerprints[1],
+        "test programs must have distinct fingerprints"
+    );
+
+    let config = ServerConfig::builder()
+        .workers(4)
+        .max_inflight(CLIENTS + 16)
+        .request_timeout(Some(Duration::from_secs(120)))
+        .build();
+    let mut server = OffloadServer::bind_multi(
+        "127.0.0.1:0",
+        analyses.clone(),
+        DeviceModel::ipaq_testbed(),
+        config,
+    )
+    .expect("server binds");
+    let addr = server.addr().to_string();
+
+    // Every client: connect, wait for the whole cohort, then fire a
+    // deterministic request schedule and bring the answers home.
+    let barrier = Arc::new(Barrier::new(CLIENTS + 1));
+    let mut handles = Vec::with_capacity(CLIENTS);
+    for c in 0..CLIENTS {
+        let addr = addr.clone();
+        let barrier = barrier.clone();
+        let fp = fingerprints[c % fingerprints.len()];
+        let handle = std::thread::Builder::new()
+            .name(format!("stress-client-{c}"))
+            .stack_size(128 * 1024)
+            .spawn(move || -> Result<Vec<(usize, DispatchRoute)>, String> {
+                let mut client =
+                    DispatchClient::connect_fingerprinted(&addr, fp, Duration::from_secs(120))
+                        .map_err(|e| format!("client {c}: connect: {e}"))?;
+                barrier.wait();
+                let mut got = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let reply = client
+                        .dispatch(&[param_for(c, r)])
+                        .map_err(|e| format!("client {c} request {r}: {e}"))?;
+                    got.push(reply);
+                }
+                client.close();
+                Ok(got)
+            })
+            .expect("spawn client thread");
+        handles.push(handle);
+    }
+    barrier.wait();
+
+    let mut served = 0u64;
+    for (c, handle) in handles.into_iter().enumerate() {
+        let got = handle
+            .join()
+            .expect("client thread panicked")
+            .unwrap_or_else(|e| panic!("{e}"));
+        let oracle = &analyses[c % analyses.len()];
+        for (r, &(choice, route)) in got.iter().enumerate() {
+            served += 1;
+            let params = [param_for(c, r)];
+            // Bit-for-bit against the sequential oracle: same region
+            // index, and the server's route must be the DAG (or the
+            // fallback exactly when the oracle also falls back).
+            let expect = oracle.decide_linear(&params).expect("oracle decides");
+            assert_eq!(
+                choice, expect.region_id,
+                "client {c} request {r} (n={}): server chose {choice}, oracle {}",
+                params[0], expect.region_id
+            );
+            match expect.route {
+                DispatchRoute::LinearScan => assert_eq!(
+                    route,
+                    DispatchRoute::Dag,
+                    "client {c} request {r}: expected the DAG route"
+                ),
+                DispatchRoute::Fallback => assert_eq!(
+                    route,
+                    DispatchRoute::Fallback,
+                    "client {c} request {r}: expected the fallback route"
+                ),
+                DispatchRoute::Dag => unreachable!("the oracle never routes through the DAG"),
+            }
+        }
+    }
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+    assert_eq!(served, total, "every scheduled request must be answered");
+
+    // The server's own accounting must balance: every request either hit
+    // or missed the plan cache, and batching never loses or invents work.
+    let stats = server.stats();
+    assert_eq!(stats.requests, total, "server request count");
+    assert_eq!(
+        stats.plan_cache_hits + stats.plan_cache_misses,
+        total,
+        "every dispatch consults the plan cache exactly once"
+    );
+    assert!(
+        stats.plan_cache_hits > stats.plan_cache_misses,
+        "steady-state lookups must be cache hits \
+         (hits {}, misses {})",
+        stats.plan_cache_hits,
+        stats.plan_cache_misses
+    );
+    assert!(stats.batches > 0, "worker pool executed no batches");
+    assert!(
+        stats.batches <= stats.requests,
+        "batch count cannot exceed request count"
+    );
+    assert!(stats.pointloc_nodes > 0, "primary program has a DAG");
+
+    // Deterministic drain: the join summary accounts for every session
+    // ever accepted, every worker, and every request served.
+    let summary = server.shutdown();
+    assert_eq!(
+        summary.sessions_joined, CLIENTS,
+        "one session thread per client must be joined"
+    );
+    assert_eq!(summary.workers_joined, 4, "all dispatch workers joined");
+    assert_eq!(summary.requests, total, "drained request accounting");
+    assert_eq!(summary.batches, stats.batches, "drained batch accounting");
+}
+
+#[test]
+fn shutdown_with_no_clients_is_clean() {
+    let a =
+        Arc::new(Analysis::from_source(PROGRAMS[0], AnalysisOptions::default()).expect("analysis"));
+    let mut server = OffloadServer::bind(
+        "127.0.0.1:0",
+        a,
+        DeviceModel::ipaq_testbed(),
+        ServerConfig::default(),
+    )
+    .expect("server binds");
+    let summary = server.shutdown();
+    assert_eq!(summary.sessions_joined, 0);
+    assert_eq!(summary.requests, 0);
+    assert!(summary.workers_joined > 0, "workers must be joined");
+    // Shutdown is idempotent: a second call (and the eventual Drop)
+    // reports the same summary instead of hanging or double-joining.
+    let again = server.shutdown();
+    assert_eq!(again.workers_joined, summary.workers_joined);
+}
+
+#[test]
+fn server_config_builder_mirrors_defaults() {
+    // The builder starts from `Default` (the back-compat construction
+    // path) and overrides exactly what is set — the same contract as
+    // `AnalysisOptions::builder()`.
+    let d = ServerConfig::default();
+    let built = ServerConfig::builder().build();
+    assert_eq!(built.request_timeout, d.request_timeout);
+    assert_eq!(built.workers, d.workers);
+    assert_eq!(built.batch_window, d.batch_window);
+    assert_eq!(built.max_batch, d.max_batch);
+    assert_eq!(built.cache_shards, d.cache_shards);
+    assert_eq!(built.max_inflight, d.max_inflight);
+    assert_eq!(built.fail_after_frames, None);
+
+    let tuned = ServerConfig::builder()
+        .workers(9)
+        .batch_window(Duration::from_micros(50))
+        .max_batch(7)
+        .cache_shards(3)
+        .max_inflight(123)
+        .request_timeout(None)
+        .fail_after_frames(5)
+        .build();
+    assert_eq!(tuned.workers, 9);
+    assert_eq!(tuned.batch_window, Duration::from_micros(50));
+    assert_eq!(tuned.max_batch, 7);
+    assert_eq!(tuned.cache_shards, 3);
+    assert_eq!(tuned.max_inflight, 123);
+    assert_eq!(tuned.request_timeout, None);
+    assert_eq!(tuned.fail_after_frames, Some(5));
+}
+
+#[test]
+fn unknown_fingerprint_is_a_remote_error_not_a_hang() {
+    let a =
+        Arc::new(Analysis::from_source(PROGRAMS[0], AnalysisOptions::default()).expect("analysis"));
+    let server = OffloadServer::bind(
+        "127.0.0.1:0",
+        a,
+        DeviceModel::ipaq_testbed(),
+        ServerConfig::default(),
+    )
+    .expect("server binds");
+    let mut client = DispatchClient::connect_fingerprinted(
+        server.addr().to_string(),
+        0xBAD_F00D,
+        Duration::from_secs(30),
+    )
+    .expect("connects");
+    let err = client.dispatch(&[5]).expect_err("unknown program");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("fingerprint") || msg.contains("unknown"),
+        "error should name the unknown program: {msg}"
+    );
+}

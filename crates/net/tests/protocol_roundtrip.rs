@@ -196,8 +196,30 @@ fn arb_span_summary(rng: &mut Rng) -> offload_obs::SpanSummary {
     }
 }
 
+fn arb_route(rng: &mut Rng) -> offload_core::DispatchRoute {
+    match rng.u32(3) {
+        0 => offload_core::DispatchRoute::Dag,
+        1 => offload_core::DispatchRoute::LinearScan,
+        _ => offload_core::DispatchRoute::Fallback,
+    }
+}
+
+fn arb_dispatch_stats(rng: &mut Rng) -> offload_net::DispatchStats {
+    offload_net::DispatchStats {
+        requests: rng.next() % 10_000_000,
+        batches: rng.next() % 1_000_000,
+        plan_cache_hits: rng.next() % 10_000_000,
+        plan_cache_misses: rng.next() % 10_000,
+        pointloc_nodes: rng.next() % 10_000,
+        pointloc_depth: rng.next() % 100,
+        latency_p50_us: rng.next() % 1_000_000,
+        latency_p90_us: rng.next() % 1_000_000,
+        latency_p99_us: rng.next() % 1_000_000,
+    }
+}
+
 fn arb_msg(rng: &mut Rng) -> WireMsg {
-    match rng.u32(9) {
+    match rng.u32(13) {
         0 => WireMsg::Hello {
             fingerprint: rng.next(),
             choice: rng.u32(16),
@@ -217,6 +239,16 @@ fn arb_msg(rng: &mut Rng) -> WireMsg {
         },
         6 => WireMsg::PushAck,
         7 => WireMsg::Error(format!("failure #{}", rng.u32(1000))),
+        8 => WireMsg::DispatchRequest {
+            fingerprint: rng.next(),
+            params: (0..rng.usize(6)).map(|_| rng.next() as i64).collect(),
+        },
+        9 => WireMsg::DispatchReply {
+            choice: rng.u32(64),
+            route: arb_route(rng),
+        },
+        10 => WireMsg::StatsRequest,
+        11 => WireMsg::StatsReply(arb_dispatch_stats(rng)),
         _ => WireMsg::Bye,
     }
 }

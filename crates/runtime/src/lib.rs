@@ -170,6 +170,9 @@ impl<'a> Simulator<'a> {
     /// Full adaptive execution: dispatch on the parameter values (the
     /// Figure 2 transformation), then run the selected partitioning.
     ///
+    /// The dispatch itself goes through [`offload_core::Analysis::decide`],
+    /// so it uses the compiled point-location DAG when one is present.
+    ///
     /// # Errors
     ///
     /// Propagates dispatch and runtime errors.
@@ -178,7 +181,7 @@ impl<'a> Simulator<'a> {
         params: &[i64],
         input: &[i64],
     ) -> Result<(usize, RunResult), SimError> {
-        let idx = self.analysis.select(params)?;
+        let idx = self.analysis.decide(params)?.region_id;
         let result = self.run_choice(idx, params, input)?;
         Ok((idx, result))
     }

@@ -33,7 +33,7 @@ const PROGRAM: &str = "
 fn crossover(analysis: &Analysis) -> Option<i64> {
     // First n at which the dispatcher leaves everything local no longer.
     (1..=22).map(|p| 1i64 << p).find(|&n| {
-        let idx = analysis.select(&[n]).unwrap();
+        let idx = analysis.decide(&[n]).unwrap().region_id;
         !analysis.partition.choices[idx].is_all_local()
     })
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Serving-path benchmark: N concurrent loopback dispatch clients against
+# one offload server for a few seconds.
+#
+#   scripts/netbench.sh [clients] [duration-seconds]
+#
+# Emits BENCH_net.json in the repository root (override the path with
+# NETBENCH_OUT): sustained QPS, client-observed p50/p90/p99 dispatch
+# latency, and the server's plan-cache / point-location / batching
+# statistics. Runs fully offline on a release build.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLIENTS="${1:-1000}"
+DURATION="${2:-5}"
+OUT="${NETBENCH_OUT:-BENCH_net.json}"
+
+echo "== build (release) ==" >&2
+cargo build --release -p offload-bench --offline
+
+echo "== netbench load (${CLIENTS} clients, ${DURATION}s) ==" >&2
+./target/release/netbench --clients "$CLIENTS" --duration "$DURATION" --out "$OUT"

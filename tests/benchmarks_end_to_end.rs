@@ -37,7 +37,7 @@ fn rawcaudio_analyzes_and_roundtrips() {
     assert!(!a.tcfg.tasks().is_empty());
     assert!(!a.partition.choices.is_empty());
     // Dispatch works at the default parameters.
-    let idx = a.select(&b.default_params).expect("dispatch");
+    let idx = a.decide(&b.default_params).expect("dispatch").region_id;
     // Execution under the dispatched plan matches the local run.
     let sim = Simulator::new(&a, DeviceModel::ipaq_testbed());
     let params = [64i64];

@@ -1,0 +1,150 @@
+//! Differential test: the point-location DAG versus the linear region
+//! scan, on every checked-in program.
+//!
+//! [`offload_core::Analysis::decide`] walks the hyperplane decision DAG
+//! compiled at analysis time; [`offload_core::Analysis::decide_linear`]
+//! is the paper's original Figure 2 dispatcher, kept as the executable
+//! oracle. The two must agree — same region, same plan shape, matched
+//! routes — at every parameter point: representative values, the
+//! benchmark's declared bounds, dense boundary neighborhoods, and points
+//! outside the declared parameter space (where both must take the
+//! fallback route).
+
+use offload_benchmarks::{all, Benchmark};
+use offload_core::{Analysis, DispatchRoute};
+
+/// Deterministic xorshift64* generator (proptest is unavailable offline).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A value in `lo..=hi`, inclusive.
+    fn in_range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo + 1) as u64) as i64
+    }
+}
+
+fn assert_agree(name: &str, analysis: &Analysis, params: &[i64]) {
+    let has_dag = analysis.partition.locator.is_some();
+    let dag = analysis.decide(params).expect("decide succeeds");
+    let scan = analysis.decide_linear(params).expect("scan succeeds");
+    assert_eq!(
+        dag.region_id, scan.region_id,
+        "{name} {params:?}: DAG chose {} but the linear scan chose {}",
+        dag.region_id, scan.region_id
+    );
+    assert_eq!(
+        dag.plan.is_all_local(),
+        scan.plan.is_all_local(),
+        "{name} {params:?}: same region, different plan shape"
+    );
+    match scan.route {
+        DispatchRoute::LinearScan => assert_eq!(
+            dag.route,
+            if has_dag {
+                DispatchRoute::Dag
+            } else {
+                DispatchRoute::LinearScan
+            },
+            "{name} {params:?}: unexpected route for a matched region"
+        ),
+        DispatchRoute::Fallback => assert_eq!(
+            dag.route,
+            DispatchRoute::Fallback,
+            "{name} {params:?}: scan fell back but the DAG matched a region"
+        ),
+        DispatchRoute::Dag => unreachable!("decide_linear never routes through the DAG"),
+    }
+}
+
+/// Sweeps one analyzed benchmark: its default parameters, a seeded
+/// random sample of the declared parameter box, the box's corners, and
+/// out-of-bounds points on every axis.
+fn sweep(bench: &Benchmark, analysis: &Analysis, rounds: usize) {
+    let arity = bench.param_names.len();
+    // Benchmarks with small hyperplane arrangements must compile a DAG;
+    // the rich ones (fft: 29 planes in 11 dims, susan: 30 in 14) are
+    // gated out by the arrangement-size guard and keep the linear scan —
+    // the sweep then still checks route and decision consistency.
+    if DAG_EXPECTED.contains(&bench.name) {
+        assert!(
+            analysis.partition.locator.is_some(),
+            "{}: analysis produced no point locator",
+            bench.name
+        );
+    }
+    assert_agree(bench.name, analysis, &bench.default_params);
+
+    let lo = |i: usize| bench.bounds.lower(i).unwrap_or(0);
+    let hi = |i: usize| bench.bounds.upper(i).unwrap_or(1 << 20).max(lo(i) + 1);
+
+    let mut rng = Rng::new(0xB1FF_0000 ^ bench.name.len() as u64);
+    for _ in 0..rounds {
+        let params: Vec<i64> = (0..arity).map(|i| rng.in_range(lo(i), hi(i))).collect();
+        assert_agree(bench.name, analysis, &params);
+    }
+
+    // Corners of the declared box (capped — susan has 12 parameters and
+    // 2^12 corners is more than this needs), then one step past each
+    // face: boundary hyperplanes exactly, then the fallback route.
+    for mask in 0..(1u32 << arity.min(8)) {
+        let corner: Vec<i64> = (0..arity)
+            .map(|i| if mask >> i & 1 == 0 { lo(i) } else { hi(i) })
+            .collect();
+        assert_agree(bench.name, analysis, &corner);
+    }
+    for i in 0..arity {
+        let mut below = bench.default_params.clone();
+        below[i] = lo(i) - 1;
+        assert_agree(bench.name, analysis, &below);
+    }
+}
+
+/// The quick, stable benchmarks; everything else rides in the
+/// release-gated full sweep below.
+const LIGHT: &[&str] = &["rawcaudio", "rawdaudio"];
+
+/// Benchmarks whose decompositions must compile to a DAG (arrangements
+/// within the builder's size gate).
+const DAG_EXPECTED: &[&str] = &["rawcaudio", "rawdaudio", "encode", "decode"];
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "analyzes full benchmarks; run with --release (exact polyhedral algebra is ~10x slower unoptimized)"
+)]
+fn light_benchmarks_dag_agrees_with_linear_scan() {
+    for bench in all().iter().filter(|b| LIGHT.contains(&b.name)) {
+        let analysis = bench.analyze().expect("analysis succeeds");
+        sweep(bench, &analysis, 600);
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "analyzes every benchmark; run with --release"
+)]
+fn every_benchmark_dag_agrees_with_linear_scan() {
+    for bench in all() {
+        let analysis = bench.analyze().expect("analysis succeeds");
+        let rounds = if bench.param_names.len() > 4 {
+            150
+        } else {
+            400
+        };
+        sweep(&bench, &analysis, rounds);
+    }
+}

@@ -47,7 +47,7 @@ fn dispatcher_minimizes_predicted_cost() {
         (16, 100_000),
         (1, 1_000_000),
     ] {
-        let idx = a.select(&[n, w]).unwrap();
+        let idx = a.decide(&[n, w]).unwrap().region_id;
         let point = a
             .dispatcher
             .dim_point(&a.network, &[Rational::from(n), Rational::from(w)])
@@ -88,10 +88,10 @@ fn predicted_ranking_matches_measured_ranking_at_extremes() {
     let light_params = [2i64, 1];
     let heavy_params = [2i64, 60_000];
 
-    let light_idx = a.select(&light_params).unwrap();
+    let light_idx = a.decide(&light_params).unwrap().region_id;
     assert!(a.partition.choices[light_idx].is_all_local());
 
-    let heavy_idx = a.select(&heavy_params).unwrap();
+    let heavy_idx = a.decide(&heavy_params).unwrap().region_id;
     assert!(!a.partition.choices[heavy_idx].is_all_local());
 
     // Measured agreement.
@@ -111,7 +111,7 @@ fn prediction_error_within_reasonable_bounds() {
     let a = analysis();
     let sim = Simulator::new(a, DeviceModel::ipaq_testbed());
     for &(n, w) in &[(4i64, 2000i64), (2, 20_000)] {
-        let idx = a.select(&[n, w]).unwrap();
+        let idx = a.decide(&[n, w]).unwrap().region_id;
         let point = a
             .dispatcher
             .dim_point(&a.network, &[Rational::from(n), Rational::from(w)])

@@ -184,7 +184,7 @@ fn figure1_program_full_pipeline() {
 
     // The dispatcher picks the cheapest choice wherever we probe.
     for &(x, y, z) in &[(1i64, 4, 1), (4, 64, 3), (2, 8, 500), (1, 512, 40)] {
-        let idx = analysis.select(&[x, y, z]).unwrap();
+        let idx = analysis.decide(&[x, y, z]).unwrap().region_id;
         let point = analysis
             .dispatcher
             .dim_point(&analysis.network, &[r(x), r(y), r(z)])
@@ -208,7 +208,7 @@ fn figure1_decision_independent_of_x() {
     for &(y, z) in &[(4i64, 1), (64, 3), (8, 500), (512, 40), (1, 1000)] {
         let picks: std::collections::BTreeSet<usize> = [1i64, 2, 7, 40]
             .iter()
-            .map(|&x| analysis.select(&[x, y, z]).unwrap())
+            .map(|&x| analysis.decide(&[x, y, z]).unwrap().region_id)
             .collect();
         assert_eq!(picks.len(), 1, "same choice for all x at (y={y}, z={z})");
     }
